@@ -1,0 +1,694 @@
+// Benchmarks E1–E16: the synthetic experiment suite defined in DESIGN.md.
+// Each benchmark regenerates one row family of EXPERIMENTS.md; the
+// human-readable tables come from cmd/benchgen, which wraps the same
+// workloads.
+package webdbsec
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"webdbsec/internal/accessctl"
+	"webdbsec/internal/authorx"
+	"webdbsec/internal/core"
+	"webdbsec/internal/credential"
+	"webdbsec/internal/federation"
+	"webdbsec/internal/inference"
+	"webdbsec/internal/merkle"
+	"webdbsec/internal/mining"
+	"webdbsec/internal/ontology"
+	"webdbsec/internal/p3p"
+	"webdbsec/internal/policy"
+	"webdbsec/internal/privacy"
+	"webdbsec/internal/rdf"
+	"webdbsec/internal/reldb"
+	"webdbsec/internal/secchan"
+	"webdbsec/internal/synth"
+	"webdbsec/internal/sysr"
+	"webdbsec/internal/uddi"
+	"webdbsec/internal/wsig"
+	"webdbsec/internal/xmldoc"
+)
+
+// --- E1: access decision throughput by subject qualification kind ---
+
+func e1Engine(nPolicies int, kind string) (*accessctl.Engine, *policy.Subject) {
+	store := xmldoc.NewStore()
+	doc := synth.Hospital(1, 50)
+	store.Put(doc)
+	base := policy.NewBase(nil)
+	for i := 0; i < nPolicies; i++ {
+		p := &policy.Policy{
+			Name:   fmt.Sprintf("p%d", i),
+			Object: policy.ObjectSpec{Doc: doc.Name, Path: fmt.Sprintf("/hospital/patient[@ward='%d']", i%8)},
+			Priv:   policy.Read,
+			Sign:   policy.Permit,
+			Prop:   policy.Cascade,
+		}
+		switch kind {
+		case "identity":
+			p.Subject = policy.SubjectSpec{IDs: []string{fmt.Sprintf("user%d", i%100)}}
+		case "role":
+			p.Subject = policy.SubjectSpec{Roles: []string{fmt.Sprintf("role%d", i%10)}}
+		case "credential":
+			p.Subject = policy.SubjectSpec{CredExpr: credential.MustCompile(
+				fmt.Sprintf("staff.ward = '%d'", i%8))}
+		}
+		base.MustAdd(p)
+	}
+	w := credential.NewWallet("user7")
+	w.Add(&credential.Credential{Type: "staff", Subject: "user7", Attrs: map[string]string{"ward": "3"}})
+	s := &policy.Subject{ID: "user7", Roles: []string{"role3"}, Wallet: w}
+	return accessctl.NewEngine(store, base), s
+}
+
+func BenchmarkE1AccessDecision(b *testing.B) {
+	for _, kind := range []string{"identity", "role", "credential"} {
+		for _, n := range []int{10, 100, 1000} {
+			b.Run(fmt.Sprintf("%s/policies=%d", kind, n), func(b *testing.B) {
+				eng, s := e1Engine(n, kind)
+				doc, _ := eng.Store().Get("hospital-50.xml")
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.Labels(doc, s, policy.Read)
+				}
+			})
+		}
+	}
+}
+
+// --- E2: Author-X view computation vs document size and granularity ---
+
+func BenchmarkE2ViewComputation(b *testing.B) {
+	for _, patients := range []int{10, 100, 1000} {
+		for _, gran := range []string{"doc", "subtree", "node"} {
+			b.Run(fmt.Sprintf("patients=%d/%s", patients, gran), func(b *testing.B) {
+				store := xmldoc.NewStore()
+				doc := synth.Hospital(2, patients)
+				store.Put(doc)
+				base := policy.NewBase(nil)
+				var path string
+				switch gran {
+				case "doc":
+					path = ""
+				case "subtree":
+					path = "//patient"
+				case "node":
+					path = "//ssn"
+				}
+				base.MustAdd(&policy.Policy{
+					Name:    "p",
+					Subject: policy.SubjectSpec{IDs: []string{"*"}},
+					Object:  policy.ObjectSpec{Doc: doc.Name, Path: path},
+					Priv:    policy.Read,
+					Sign:    policy.Permit,
+					Prop:    policy.Cascade,
+				})
+				eng := accessctl.NewEngine(store, base)
+				s := &policy.Subject{ID: "u"}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if v := eng.View(doc.Name, s, policy.Read); v == nil {
+						b.Fatal("nil view")
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- E3: secure dissemination: encryption and key cost vs policy configs ---
+
+func BenchmarkE3Dissemination(b *testing.B) {
+	for _, configs := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("configs=%d", configs), func(b *testing.B) {
+			store := xmldoc.NewStore()
+			doc := synth.Hospital(3, 200)
+			store.Put(doc)
+			base := policy.NewBase(nil)
+			for i := 0; i < configs; i++ {
+				// One policy per patient slice: each matched subtree gets a
+				// distinct policy configuration, so the number of keys
+				// tracks `configs`.
+				base.MustAdd(&policy.Policy{
+					Name:    fmt.Sprintf("p%d", i),
+					Subject: policy.SubjectSpec{Roles: []string{fmt.Sprintf("r%d", i)}},
+					Object:  policy.ObjectSpec{Doc: doc.Name, Path: fmt.Sprintf("/hospital/patient[@id='p%d']", i)},
+					Priv:    policy.Read,
+					Sign:    policy.Permit,
+					Prop:    policy.Cascade,
+				})
+			}
+			eng := accessctl.NewEngine(store, base)
+			pub := authorx.NewPublisher(eng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pub.Encrypt(doc.Name); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(pub.NumKeys(doc.Name)), "keys")
+		})
+	}
+	// Trusted-server baseline: view computation instead of encryption.
+	b.Run("baseline-trusted-view", func(b *testing.B) {
+		store := xmldoc.NewStore()
+		doc := synth.Hospital(3, 200)
+		store.Put(doc)
+		base := policy.NewBase(nil)
+		base.MustAdd(&policy.Policy{
+			Name:    "all",
+			Subject: policy.SubjectSpec{IDs: []string{"*"}},
+			Object:  policy.ObjectSpec{Doc: doc.Name},
+			Priv:    policy.Read,
+			Sign:    policy.Permit,
+			Prop:    policy.Cascade,
+		})
+		eng := accessctl.NewEngine(store, base)
+		s := &policy.Subject{ID: "u"}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.View(doc.Name, s, policy.Read)
+		}
+	})
+}
+
+// --- E4: Merkle verification vs full-document signature; pruning sweep ---
+
+func BenchmarkE4MerkleVerify(b *testing.B) {
+	signer, _ := wsig.NewSigner("prov")
+	dir := wsig.NewKeyDirectory()
+	dir.RegisterSigner(signer)
+	for _, patients := range []int{16, 256, 1024} {
+		doc := synth.Hospital(4, patients)
+		ss := merkle.Sign(doc, signer)
+		b.Run(fmt.Sprintf("full-sig/elems=%d", patients), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !merkle.VerifyFull(doc, ss, dir) {
+					b.Fatal("verify failed")
+				}
+			}
+		})
+		for _, prunePct := range []int{0, 50, 90} {
+			keepEvery := 100 - prunePct
+			view, proof := merkle.PruneWithProof(doc, func(n *xmldoc.Node) bool {
+				return int(n.ID()*7%100) < keepEvery
+			})
+			if view == nil {
+				continue
+			}
+			b.Run(fmt.Sprintf("pruned/elems=%d/prune=%d%%", patients, prunePct), func(b *testing.B) {
+				b.ReportMetric(float64(proof.NumAuxHashes()), "aux-hashes")
+				for i := 0; i < b.N; i++ {
+					if err := merkle.VerifyView(view, proof, ss, dir); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- E5: UDDI inquiry across deployment models ---
+
+func BenchmarkE5UDDIInquiry(b *testing.B) {
+	const entries = 500
+	reg := uddi.NewRegistry(nil)
+	keys := synth.Registry(5, reg, entries)
+	req := &policy.Subject{ID: "requestor"}
+
+	b.Run("two-party/get", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := reg.GetBusinessDetail(req, keys[i%len(keys)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("two-party/find", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reg.FindBusiness(req, "logistics", nil)
+		}
+	})
+
+	// Third-party untrusted with proofs.
+	prov, _ := uddi.NewProvider("prov")
+	dir := wsig.NewKeyDirectory()
+	dir.RegisterSigner(prov.Signer())
+	base := policy.NewBase(nil)
+	base.MustAdd(&policy.Policy{
+		Name:    "public",
+		Subject: policy.SubjectSpec{IDs: []string{"*"}},
+		Object:  policy.ObjectSpec{Doc: "*"},
+		Priv:    policy.Read,
+		Sign:    policy.Permit,
+		Prop:    policy.Cascade,
+	})
+	agency := uddi.NewUntrustedAgency(base)
+	trusted := uddi.NewTrustedAgency(base)
+	for i := 0; i < entries; i++ {
+		e := synth.Entity(fmt.Sprintf("be-%05d", i), "logistics", 2)
+		entry, err := prov.Sign(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		agency.Publish(entry)
+		trusted.Publish(e)
+	}
+	b.Run("third-party-trusted/get", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := trusted.Query(req, keys[i%len(keys)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("third-party-untrusted/get+verify", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := agency.Query(req, keys[i%len(keys)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := res.Verify(dir); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E6: privacy-preserving mining cost vs randomization level ---
+
+func BenchmarkE6PrivateMining(b *testing.B) {
+	const items = 40
+	baskets := synth.NewBaskets(6, 5000, items, 5)
+	b.Run("baseline-exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mining.Apriori(baskets.Data, 0.15, 2)
+		}
+	})
+	for _, p := range []float64{0.6, 0.8, 0.95} {
+		rdz := mining.Randomize(baskets.Data, items, p, 6)
+		b.Run(fmt.Sprintf("private/p=%.2f", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mining.PrivateApriori(rdz, items, p, 0.15, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E7: multiparty secure-sum mining vs centralized ---
+
+func BenchmarkE7Multiparty(b *testing.B) {
+	baskets := synth.NewBaskets(7, 8000, 30, 5)
+	b.Run("centralized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mining.Apriori(baskets.Data, 0.2, 2)
+		}
+	})
+	for _, parties := range []int{2, 4, 8} {
+		chunk := len(baskets.Data) / parties
+		ps := make([]*mining.Party, parties)
+		for i := 0; i < parties; i++ {
+			lo, hi := i*chunk, (i+1)*chunk
+			if i == parties-1 {
+				hi = len(baskets.Data)
+			}
+			ps[i] = mining.NewParty(fmt.Sprintf("p%d", i), baskets.Data[lo:hi])
+		}
+		b.Run(fmt.Sprintf("parties=%d", parties), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mining.MultipartyApriori(ps, 0.2, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E8: inference controller overhead per query vs rule count ---
+
+func BenchmarkE8Inference(b *testing.B) {
+	for _, rules := range []int{100, 1000, 5000} {
+		b.Run(fmt.Sprintf("rules=%d", rules), func(b *testing.B) {
+			pc := privacy.NewController()
+			pc.Add(&privacy.Constraint{Name: "c", Attrs: []string{"attr0", "derived0"}, Class: privacy.Private})
+			ic := inference.NewController(pc)
+			for i := 0; i < rules; i++ {
+				ic.AddRule(&inference.Rule{
+					Name: fmt.Sprintf("r%d", i),
+					Body: []string{fmt.Sprintf("attr%d", i), fmt.Sprintf("attr%d", i+1)},
+					Head: fmt.Sprintf("derived%d", i),
+				})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := &policy.Subject{ID: fmt.Sprintf("u%d", i)}
+				ic.Check(s, []string{"attr5", "attr9"})
+			}
+		})
+	}
+}
+
+// --- E9: semantic RDF filtering throughput ---
+
+func BenchmarkE9RDFFilter(b *testing.B) {
+	for _, triples := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("triples=%d", triples), func(b *testing.B) {
+			store := rdf.NewStore()
+			for i := 0; i < triples; i++ {
+				store.Add(rdf.Triple{
+					S: rdf.NewIRI(fmt.Sprintf("res%d", i%1000)),
+					P: rdf.NewIRI(fmt.Sprintf("p%d", i%20)),
+					O: rdf.NewLiteral(fmt.Sprintf("v%d", i)),
+				})
+			}
+			g := rdf.NewGuard(store)
+			g.AddClassRule(&rdf.ClassRule{
+				Pattern: rdf.Pattern{P: rdf.T(rdf.NewIRI("p1"))}, Level: rdf.Secret,
+			})
+			c := rdf.NewClearance(&policy.Subject{ID: "u"}, rdf.Unclassified)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Query(c, rdf.Pattern{S: rdf.T(rdf.NewIRI(fmt.Sprintf("res%d", i%1000)))})
+			}
+		})
+	}
+}
+
+// --- E10: security-aware query processing overhead ---
+
+func BenchmarkE10QueryRewrite(b *testing.B) {
+	mk := func(withPolicies bool) (*reldb.SecureDB, *policy.Subject) {
+		sdb := reldb.NewSecureDB(reldb.NewDatabase(), nil)
+		dba := &policy.Subject{ID: "dba"}
+		sdb.CreateTable(dba, "CREATE TABLE emp (id INT, dept TEXT, salary INT)")
+		sdb.DB().Exec("CREATE HASH INDEX ON emp (dept)")
+		for i := 0; i < 5000; i++ {
+			sdb.DB().Exec(fmt.Sprintf("INSERT INTO emp VALUES (%d, 'd%d', %d)", i, i%20, i%200*1000))
+		}
+		sdb.Grants().Grant("dba", "u", sysr.Select, "emp", false)
+		if withPolicies {
+			// The policy predicate matches every row, so both variants
+			// return identical results and the delta is pure rewrite +
+			// evaluation overhead.
+			pred := reldb.MustParse("SELECT * FROM emp WHERE salary >= 0").(*reldb.SelectStmt).Where
+			sdb.AddRowPolicy(&reldb.RowPolicy{
+				Name: "own-dept", Table: "emp",
+				Subject: policy.SubjectSpec{IDs: []string{"u"}}, Pred: pred,
+			})
+		}
+		return sdb, &policy.Subject{ID: "u"}
+	}
+	plain, u1 := mk(false)
+	secured, u2 := mk(true)
+	b.Run("no-row-policy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := plain.Exec(u1, "SELECT id FROM emp WHERE salary > 100000"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("with-row-policy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := secured.Exec(u2, "SELECT id FROM emp WHERE salary > 100000"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E11: secure channel throughput vs plaintext ---
+
+func benchChannel(b *testing.B, secure bool, size int) {
+	payload := make([]byte, size)
+	cConn, sConn := net.Pipe()
+	defer cConn.Close()
+	defer sConn.Close()
+	if secure {
+		pub, priv, _ := ed25519.GenerateKey(nil)
+		done := make(chan *secchan.Channel, 1)
+		go func() {
+			ch, err := secchan.Server(sConn, priv)
+			if err == nil {
+				done <- ch
+			}
+		}()
+		client, err := secchan.Client(cConn, pub)
+		if err != nil {
+			b.Fatal(err)
+		}
+		server := <-done
+		go func() {
+			for {
+				if _, err := server.Receive(); err != nil {
+					return
+				}
+			}
+		}()
+		b.SetBytes(int64(size))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := client.Send(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return
+	}
+	pc, ps := secchan.NewPlainChannel(cConn), secchan.NewPlainChannel(sConn)
+	go func() {
+		for {
+			if _, err := ps.Receive(); err != nil {
+				return
+			}
+		}
+	}()
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pc.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11SecureChannel(b *testing.B) {
+	for _, size := range []int{1 << 10, 1 << 16, 1 << 20} {
+		b.Run(fmt.Sprintf("plain/%dB", size), func(b *testing.B) { benchChannel(b, false, size) })
+		b.Run(fmt.Sprintf("secure/%dB", size), func(b *testing.B) { benchChannel(b, true, size) })
+	}
+}
+
+// --- E12: P3P preference matching and delegation chains ---
+
+func BenchmarkE12P3PMatch(b *testing.B) {
+	mkPolicy := func(i int) *p3p.Policy {
+		return &p3p.Policy{
+			Entity: fmt.Sprintf("svc%d", i),
+			Statements: []p3p.Statement{{
+				Purposes:   []p3p.Purpose{p3p.PurposeCurrent, p3p.PurposeMarketing},
+				Recipients: []p3p.Recipient{p3p.RecipientOurs},
+				Categories: []p3p.Category{p3p.CategoryOnline, p3p.CategoryClickstream},
+				Retention:  30 + i%60,
+			}},
+		}
+	}
+	pref := &p3p.Preference{Rules: []p3p.PreferenceRule{
+		{Name: "no-health", Categories: []p3p.Category{p3p.CategoryHealth}, Purposes: []p3p.Purpose{p3p.PurposeMarketing}},
+		{Name: "short-retention", Categories: []p3p.Category{p3p.CategoryClickstream}, MaxRetention: 45},
+	}}
+	for _, n := range []int{100, 1000} {
+		policies := make([]*p3p.Policy, n)
+		for i := range policies {
+			policies[i] = mkPolicy(i)
+		}
+		b.Run(fmt.Sprintf("match/policies=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pref.Evaluate(policies[i%n])
+			}
+		})
+	}
+	for _, depth := range []int{2, 8} {
+		d := p3p.NewDirectory()
+		for i := 0; i <= depth; i++ {
+			d.Advertise(fmt.Sprintf("s%d", i), &p3p.Policy{
+				Entity: fmt.Sprintf("s%d", i),
+				Statements: []p3p.Statement{{
+					Purposes:   []p3p.Purpose{p3p.PurposeCurrent},
+					Recipients: []p3p.Recipient{p3p.RecipientOurs},
+					Categories: []p3p.Category{p3p.CategoryOnline},
+					Retention:  100 - i,
+				}},
+			})
+		}
+		for i := 0; i < depth; i++ {
+			if err := d.Delegate(fmt.Sprintf("s%d", i), fmt.Sprintf("s%d", i+1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(fmt.Sprintf("chain/depth=%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d.DelegationChain("s0")
+			}
+		})
+	}
+}
+
+// --- E13: flexible security policy — cost at different strengths ---
+
+func BenchmarkE13FlexibleSecurity(b *testing.B) {
+	store := xmldoc.NewStore()
+	doc := synth.Hospital(13, 300)
+	store.Put(doc)
+	base := policy.NewBase(nil)
+	base.MustAdd(&policy.Policy{
+		Name:    "names-only",
+		Subject: policy.SubjectSpec{IDs: []string{"u"}},
+		Object:  policy.ObjectSpec{Doc: doc.Name, Path: "//name"},
+		Priv:    policy.Read,
+		Sign:    policy.Permit,
+		Prop:    policy.Cascade,
+	})
+	xml := accessctl.NewEngine(store, base)
+	guard := rdf.NewGuard(rdf.NewStore())
+	med := ontology.NewMediator(ontology.New("o"), rdf.NewStore())
+	stack := core.NewSemanticStack(xml, guard, med)
+	u := &policy.Subject{ID: "u"}
+	for _, s := range []core.Strength{0, 30, 70, 100} {
+		b.Run(fmt.Sprintf("strength=%d", s), func(b *testing.B) {
+			stack.SetStrength(s)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := stack.XMLView(doc.Name, u); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E15: federated query scaling with sources and clearance filtering ---
+
+func BenchmarkE15FederatedQuery(b *testing.B) {
+	for _, nSources := range []int{2, 8, 32} {
+		fed := federation.New()
+		for i := 0; i < nSources; i++ {
+			db := reldb.NewDatabase()
+			db.Exec("CREATE TABLE local_cases (patient TEXT, disease TEXT)")
+			for j := 0; j < 200; j++ {
+				db.Exec(fmt.Sprintf("INSERT INTO local_cases VALUES ('p%d-%d', 'd%d')", i, j, j%5))
+			}
+			level := rdf.Unclassified
+			if i%2 == 1 {
+				level = rdf.Secret
+			}
+			src := federation.NewSource(fmt.Sprintf("s%02d", i), db, level)
+			if err := src.ExportTable(&federation.Export{
+				Virtual: "cases", Local: "local_cases", Columns: []string{"patient", "disease"},
+			}); err != nil {
+				b.Fatal(err)
+			}
+			if err := fed.AddSource(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+		high := &federation.Requestor{Subject: &policy.Subject{ID: "r"}, Clearance: rdf.Secret}
+		low := &federation.Requestor{Subject: &policy.Subject{ID: "r"}, Clearance: rdf.Unclassified}
+		b.Run(fmt.Sprintf("sources=%d/full-clearance", nSources), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := fed.Query(high, "SELECT patient FROM cases WHERE disease = 'd1'"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("sources=%d/low-clearance", nSources), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := fed.Query(low, "SELECT patient FROM cases WHERE disease = 'd1'"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E16: provenance-aware (guarded) RDFS inference vs plain inference ---
+
+func BenchmarkE16GuardedInference(b *testing.B) {
+	build := func(classes, instances int) *rdf.Store {
+		s := rdf.NewStore()
+		for c := 1; c < classes; c++ {
+			s.Add(rdf.Triple{
+				S: rdf.NewIRI(fmt.Sprintf("C%d", c)),
+				P: rdf.NewIRI(rdf.RDFSSubClassOf),
+				O: rdf.NewIRI(fmt.Sprintf("C%d", c/2)),
+			})
+		}
+		for i := 0; i < instances; i++ {
+			s.Add(rdf.Triple{
+				S: rdf.NewIRI(fmt.Sprintf("x%d", i)),
+				P: rdf.NewIRI(rdf.RDFType),
+				O: rdf.NewIRI(fmt.Sprintf("C%d", 1+i%(classes-1))),
+			})
+		}
+		return s
+	}
+	for _, size := range []int{16, 64} {
+		b.Run(fmt.Sprintf("plain/classes=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := build(size, size*4)
+				b.StartTimer()
+				s.InferRDFS()
+			}
+		})
+		b.Run(fmt.Sprintf("guarded/classes=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := build(size, size*4)
+				g := rdf.NewGuard(s)
+				g.AddClassRule(&rdf.ClassRule{
+					Pattern: rdf.Pattern{S: rdf.T(rdf.NewIRI("C1"))},
+					Level:   rdf.Secret,
+				})
+				b.StartTimer()
+				g.InferRDFS()
+			}
+		})
+	}
+}
+
+// --- E14: open-bid auction model vs conventional locking ---
+
+func BenchmarkE14AuctionTxn(b *testing.B) {
+	b.Run("open-bid", func(b *testing.B) {
+		db := reldb.NewDatabase()
+		a, err := reldb.NewAuctionHouse(db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a.Open("item", "seller")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := a.PlaceBid("item", "bidder", int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("locking-thinktime", func(b *testing.B) {
+		db := reldb.NewDatabase()
+		a, err := reldb.NewAuctionHouse(db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a.Open("item", "seller")
+		locking := reldb.NewLockingAuctionHouse(a, time.Millisecond)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := locking.PlaceBid("item", "bidder", int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

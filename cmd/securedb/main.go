@@ -1,0 +1,186 @@
+// Command securedb runs the secure web database (internal/core) as an HTTP
+// service: the full §3 pipeline — System R grants, row/column policies,
+// privacy constraints, inference control and audit — in front of the
+// relational substrate, with a demo medical schema.
+//
+// Endpoints:
+//
+//	POST /query    form fields: subject, roles (comma-separated), sql
+//	POST /exec     same fields; for INSERT/UPDATE/DELETE
+//	GET  /audit    the audit trail
+//
+// Example:
+//
+//	curl -d "subject=ana&roles=analyst&sql=SELECT age, zip FROM patients" \
+//	     http://localhost:8081/query
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"webdbsec/internal/core"
+	"webdbsec/internal/inference"
+	"webdbsec/internal/policy"
+	"webdbsec/internal/privacy"
+	"webdbsec/internal/reldb"
+	"webdbsec/internal/synth"
+	"webdbsec/internal/sysr"
+)
+
+func main() {
+	addr := flag.String("addr", ":8081", "listen address")
+	people := flag.Int("people", 200, "synthetic patients to load")
+	flag.Parse()
+
+	w := core.NewSecureWebDB(core.Config{})
+	if err := setupDemo(w, *people); err != nil {
+		log.Fatal(err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", handler(w, true))
+	mux.HandleFunc("/exec", handler(w, false))
+	mux.HandleFunc("/agg", aggHandler(w))
+	mux.HandleFunc("/explain", func(rw http.ResponseWriter, r *http.Request) {
+		plan, err := w.DB().DB().Explain(r.FormValue("sql"))
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		fmt.Fprintln(rw, plan)
+	})
+	mux.HandleFunc("/audit", func(rw http.ResponseWriter, r *http.Request) {
+		for _, rec := range w.Audit().Records() {
+			fmt.Fprintf(rw, "%4d %-10s %-8s %-60s %s\n", rec.Seq, rec.Actor, rec.Action, rec.Object, rec.Outcome)
+		}
+	})
+	log.Printf("securedb listening on %s (demo schema: patients(name, zip, age, disease))", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+func handler(w *core.SecureWebDB, isQuery bool) http.HandlerFunc {
+	return func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(rw, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		subject := &policy.Subject{ID: r.FormValue("subject")}
+		if roles := r.FormValue("roles"); roles != "" {
+			subject.Roles = strings.Split(roles, ",")
+		}
+		sql := r.FormValue("sql")
+		if subject.ID == "" || sql == "" {
+			http.Error(rw, "need subject and sql", http.StatusBadRequest)
+			return
+		}
+		if isQuery {
+			out, err := w.Query(subject, sql)
+			if err != nil {
+				http.Error(rw, err.Error(), http.StatusForbidden)
+				return
+			}
+			fmt.Fprintln(rw, strings.Join(out.Result.Columns, "\t"))
+			for _, row := range out.Result.Rows {
+				cells := make([]string, len(row))
+				for i, v := range row {
+					cells[i] = v.String()
+				}
+				fmt.Fprintln(rw, strings.Join(cells, "\t"))
+			}
+			if len(out.MaskedColumns) > 0 {
+				fmt.Fprintf(rw, "# masked by privacy constraints: %s\n", strings.Join(out.MaskedColumns, ", "))
+			}
+			if len(out.Derived) > 0 {
+				fmt.Fprintf(rw, "# inference controller notes you can now derive: %s\n", strings.Join(out.Derived, ", "))
+			}
+			return
+		}
+		res, err := w.Execute(subject, sql)
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusForbidden)
+			return
+		}
+		fmt.Fprintf(rw, "ok, %d row(s) affected\n", res.Affected)
+	}
+}
+
+// aggHandler serves statistical queries through the secure aggregate
+// path: the subject only ever aggregates over its visible rows.
+func aggHandler(w *core.SecureWebDB) http.HandlerFunc {
+	return func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(rw, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		subject := &policy.Subject{ID: r.FormValue("subject")}
+		if roles := r.FormValue("roles"); roles != "" {
+			subject.Roles = strings.Split(roles, ",")
+		}
+		res, err := w.DB().ExecAggregateSecure(subject, r.FormValue("sql"))
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusForbidden)
+			return
+		}
+		fmt.Fprintln(rw, strings.Join(res.Columns, "\t"))
+		for _, row := range res.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.String()
+			}
+			fmt.Fprintln(rw, strings.Join(cells, "\t"))
+		}
+	}
+}
+
+// setupDemo loads the demo schema: a patients table, analyst grants, a
+// row policy, privacy constraints ({name, disease} private; {zip, disease}
+// semi-private for researchers) and the re-identification inference rule.
+func setupDemo(w *core.SecureWebDB, people int) error {
+	dba := &policy.Subject{ID: "dba"}
+	if err := w.DB().CreateTable(dba, "CREATE TABLE patients (name TEXT, zip TEXT, age INT, disease TEXT)"); err != nil {
+		return err
+	}
+	for _, p := range synth.People(1, people) {
+		stmt := fmt.Sprintf("INSERT INTO patients VALUES ('%s', '%s', %d, '%s')", p.Name, p.Zip, p.Age, p.Disease)
+		if _, err := w.DB().Exec(dba, stmt); err != nil {
+			return err
+		}
+	}
+	for _, grantee := range []string{"ana", "res"} {
+		for _, priv := range []sysr.Privilege{sysr.Select} {
+			if err := w.DB().Grants().Grant("dba", grantee, priv, "patients", false); err != nil {
+				return err
+			}
+		}
+	}
+	pred := reldb.MustParse("SELECT * FROM patients WHERE age >= 0").(*reldb.SelectStmt).Where
+	if err := w.DB().AddRowPolicy(&reldb.RowPolicy{
+		Name: "analysts-see-all", Table: "patients",
+		Subject: policy.SubjectSpec{Roles: []string{"analyst", "researcher"}}, Pred: pred,
+	}); err != nil {
+		return err
+	}
+	if err := w.Privacy().Add(&privacy.Constraint{
+		Name: "name-disease-private", Attrs: []string{"name", "disease"}, Class: privacy.Private,
+	}); err != nil {
+		return err
+	}
+	if err := w.Privacy().Add(&privacy.Constraint{
+		Name: "zip-disease-research", Attrs: []string{"zip", "disease"},
+		Class: privacy.SemiPrivate, NeedToKnow: []string{"researcher"},
+	}); err != nil {
+		return err
+	}
+	if err := w.Privacy().Add(&privacy.Constraint{
+		Name: "identity-disease-private", Attrs: []string{"identity", "disease"}, Class: privacy.Private,
+	}); err != nil {
+		return err
+	}
+	return w.Inference().AddRule(&inference.Rule{
+		Name: "reidentification", Body: []string{"name", "zip"}, Head: "identity",
+	})
+}

@@ -1,0 +1,94 @@
+// Command uddiserver runs a UDDI registry as an HTTP web service in one of
+// the paper's three deployment models (§2.2, §4.1):
+//
+//	-mode two-party    the provider hosts its own registry (default)
+//	-mode trusted      a trusted third-party discovery agency
+//	-mode untrusted    an untrusted agency serving Merkle-authenticated
+//	                   views signed by a built-in demo provider
+//
+// The server speaks the envelope protocol of internal/wsa on a single POST
+// endpoint; GET /describe returns the service description. With -demo, the
+// registry is pre-populated with synthetic entries.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+
+	"webdbsec/internal/policy"
+	"webdbsec/internal/synth"
+	"webdbsec/internal/uddi"
+	"webdbsec/internal/wsa"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	mode := flag.String("mode", "two-party", "deployment: two-party | trusted | untrusted")
+	demo := flag.Int("demo", 25, "number of synthetic demo entries (0 = none)")
+	flag.Parse()
+
+	srv := &wsa.RegistryServer{Registry: uddi.NewRegistry(nil)}
+
+	switch *mode {
+	case "two-party", "trusted":
+		// Both are served by the plain registry; in a real deployment they
+		// differ in who operates the process, not in the code path.
+	case "untrusted":
+		base := policy.NewBase(nil)
+		base.MustAdd(&policy.Policy{
+			Name:    "entries-public",
+			Subject: policy.SubjectSpec{IDs: []string{"*"}},
+			Object:  policy.ObjectSpec{Doc: "*"},
+			Priv:    policy.Read,
+			Sign:    policy.Permit,
+			Prop:    policy.Cascade,
+		})
+		base.MustAdd(&policy.Policy{
+			Name:    "bindings-partner-only",
+			Subject: policy.SubjectSpec{NotRoles: []string{"partner"}},
+			Object:  policy.ObjectSpec{Doc: "*", Path: "//bindingTemplate"},
+			Priv:    policy.Read,
+			Sign:    policy.Deny,
+			Prop:    policy.Cascade,
+		})
+		agency := uddi.NewUntrustedAgency(base)
+		prov, err := uddi.NewProvider("demo-provider")
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < *demo; i++ {
+			e := synth.Entity(fmt.Sprintf("be-%05d", i), "logistics", 2)
+			entry, err := prov.Sign(e)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := agency.Publish(entry); err != nil {
+				log.Fatal(err)
+			}
+		}
+		srv.Agency = agency
+		fmt.Printf("untrusted agency: %d signed entries; provider key (hex) for requestor key directories:\n%x\n",
+			*demo, prov.Signer().PublicKey())
+	default:
+		fmt.Fprintf(os.Stderr, "uddiserver: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	if *mode != "untrusted" && *demo > 0 {
+		synth.Registry(1, srv.Registry, *demo)
+		log.Printf("registry pre-populated with %d entries", *demo)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv)
+	mux.HandleFunc("/describe", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/xml")
+		io.WriteString(w, srv.Describe("http://"+r.Host+"/").ToXML().Canonical())
+	})
+	log.Printf("uddiserver (%s mode) listening on %s", *mode, *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

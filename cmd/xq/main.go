@@ -1,0 +1,84 @@
+// Command xq runs a FLWOR query (internal/xquery) against an XML file,
+// optionally through an access control policy so the query sees only an
+// authorized view.
+//
+// Usage:
+//
+//	xq -file records.xml "FOR $p IN //patient RETURN $p/name"
+//	xq -file records.xml -subject nina -roles staff \
+//	   -permit "//patient" "FOR $p IN //patient RETURN $p/name"
+//
+// With -permit, a single cascade read policy for the given subject/roles
+// is installed on the given path and the query runs over the resulting
+// view — a command-line demonstration of query-over-view semantics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"webdbsec/internal/accessctl"
+	"webdbsec/internal/policy"
+	"webdbsec/internal/xmldoc"
+	"webdbsec/internal/xquery"
+)
+
+func main() {
+	file := flag.String("file", "", "XML file to query")
+	subject := flag.String("subject", "", "subject id (enables policy mode)")
+	roles := flag.String("roles", "", "comma-separated subject roles")
+	permit := flag.String("permit", "", "path the subject may read (cascade)")
+	flag.Parse()
+	if *file == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: xq -file doc.xml [-subject id -permit path] 'FOR $x IN ... RETURN ...'")
+		os.Exit(2)
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	doc, err := xmldoc.Parse(*file, f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := xquery.Compile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var rows []xquery.Row
+	if *subject != "" {
+		if *permit == "" {
+			log.Fatal("xq: -subject needs -permit")
+		}
+		store := xmldoc.NewStore()
+		store.Put(doc)
+		base := policy.NewBase(nil)
+		p := &policy.Policy{
+			Name:    "cli-permit",
+			Subject: policy.SubjectSpec{IDs: []string{*subject}},
+			Object:  policy.ObjectSpec{Doc: doc.Name, Path: *permit},
+			Priv:    policy.Read,
+			Sign:    policy.Permit,
+			Prop:    policy.Cascade,
+		}
+		if err := base.Add(p); err != nil {
+			log.Fatal(err)
+		}
+		engine := accessctl.NewEngine(store, base)
+		s := &policy.Subject{ID: *subject}
+		if *roles != "" {
+			s.Roles = strings.Split(*roles, ",")
+		}
+		rows = q.SecureEval(engine, doc.Name, s)
+	} else {
+		rows = q.Eval(doc)
+	}
+	for _, r := range rows {
+		fmt.Println(strings.Join(r, "\t"))
+	}
+}

@@ -1,0 +1,101 @@
+// Secure database interoperation (§5): two autonomous hospitals — one
+// civilian, one military (Secret) — federate their case tables under
+// per-source export policies. Requestors at different clearances see
+// different unions; unexported columns never cross the federation
+// boundary, and the privacy controller gates what leaves toward the
+// public.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"webdbsec/internal/federation"
+	"webdbsec/internal/policy"
+	"webdbsec/internal/privacy"
+	"webdbsec/internal/rdf"
+	"webdbsec/internal/reldb"
+	"webdbsec/internal/synth"
+)
+
+func main() {
+	// Source 1: the civilian hospital exports patient+disease.
+	cityDB := reldb.NewDatabase()
+	if _, err := cityDB.Exec("CREATE TABLE cases (patient TEXT, zip TEXT, disease TEXT)"); err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range synth.People(1, 8) {
+		cityDB.Exec(fmt.Sprintf("INSERT INTO cases VALUES ('%s', '%s', '%s')", p.Name, p.Zip, p.Disease))
+	}
+	city := federation.NewSource("city-hospital", cityDB, rdf.Unclassified)
+	if err := city.ExportTable(&federation.Export{
+		Virtual: "cases", Local: "cases", Columns: []string{"patient", "disease"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Source 2: the military hospital (Secret) uses a different local
+	// schema name and exports only enlisted personnel.
+	milDB := reldb.NewDatabase()
+	milDB.Exec("CREATE TABLE mil_cases (patient TEXT, rank TEXT, disease TEXT)")
+	milDB.Exec("INSERT INTO mil_cases VALUES ('sgt-harris', 'enlisted', 'flu')")
+	milDB.Exec("INSERT INTO mil_cases VALUES ('gen-okafor', 'officer', 'asthma')")
+	mil := federation.NewSource("military-hospital", milDB, rdf.Secret)
+	pred := reldb.MustParse("SELECT * FROM mil_cases WHERE rank = 'enlisted'").(*reldb.SelectStmt).Where
+	if err := mil.ExportTable(&federation.Export{
+		Virtual: "cases", Local: "mil_cases", Columns: []string{"patient", "disease"}, Pred: pred,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	fed := federation.New()
+	if err := fed.AddSource(city); err != nil {
+		log.Fatal(err)
+	}
+	if err := fed.AddSource(mil); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("federation virtual tables: %v\n\n", fed.VirtualTables())
+
+	show := func(label string, req *federation.Requestor, q string) *reldb.Result {
+		res, err := fed.Query(req, q)
+		if err != nil {
+			fmt.Printf("%s: REFUSED: %v\n\n", label, err)
+			return nil
+		}
+		fmt.Printf("%s (%d rows):\n", label, len(res.Rows))
+		for _, r := range res.Rows {
+			fmt.Printf("  %-18s %-14s %s\n", r[0].S, r[1].S, r[2].S)
+		}
+		fmt.Println()
+		return res
+	}
+
+	lowReq := &federation.Requestor{Subject: &policy.Subject{ID: "journalist"}, Clearance: rdf.Unclassified}
+	highReq := &federation.Requestor{Subject: &policy.Subject{ID: "army-doc"}, Clearance: rdf.Secret}
+
+	show("journalist (unclassified clearance)", lowReq, "SELECT patient, disease FROM cases")
+	res := show("army doctor (secret clearance)", highReq, "SELECT patient, disease FROM cases")
+
+	// The officer's row never left the military source — its export
+	// predicate ran inside the source.
+	for _, r := range res.Rows {
+		if r[1].S == "gen-okafor" {
+			log.Fatal("export policy violated")
+		}
+	}
+	fmt.Println("officer row never crossed the federation boundary (export predicate)")
+
+	// Unexported columns are refused outright.
+	if _, err := fed.Query(highReq, "SELECT rank FROM cases"); err != nil {
+		fmt.Printf("unexported column refused: %v\n\n", err)
+	}
+
+	// Privacy constraints still apply before anything goes public: the
+	// {patient, disease} combination is private.
+	pc := privacy.NewController()
+	pc.Add(&privacy.Constraint{Name: "pd", Attrs: []string{"patient", "disease"}, Class: privacy.Private})
+	masked := pc.FilterResult(lowReq.Subject, res)
+	fmt.Printf("privacy controller masked %v before public release; first row now: %v\n",
+		masked, res.Rows[0])
+}

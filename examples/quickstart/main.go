@@ -1,0 +1,128 @@
+// Quickstart: protect an XML document with Author-X style policies,
+// qualify subjects by identity, role and signed credential, and compute
+// each subject's authorized view — the core §3.1/§3.2 workflow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"webdbsec/internal/accessctl"
+	"webdbsec/internal/credential"
+	"webdbsec/internal/policy"
+	"webdbsec/internal/xmldoc"
+	"webdbsec/internal/xquery"
+)
+
+const records = `
+<hospital>
+  <patient id="p1" ward="3">
+    <name>Alice</name>
+    <ssn>111-22-3333</ssn>
+    <diagnosis severity="high">flu</diagnosis>
+  </patient>
+  <patient id="p2" ward="5">
+    <name>Bob</name>
+    <ssn>444-55-6666</ssn>
+    <diagnosis severity="low">cold</diagnosis>
+  </patient>
+  <stats>2 admissions this week</stats>
+</hospital>`
+
+func main() {
+	// 1. A document store with one document.
+	store := xmldoc.NewStore()
+	doc, err := xmldoc.ParseString("records.xml", records)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store.Put(doc)
+
+	// 2. A credential authority issues ward-scoped physician credentials;
+	// the policy base trusts it.
+	ca, err := credential.NewAuthority("hospital-ca")
+	if err != nil {
+		log.Fatal(err)
+	}
+	verifier := credential.NewVerifier()
+	verifier.TrustAuthority(ca)
+
+	// 3. Policies: stats are public; staff read everything except SSNs;
+	// ward-3 physicians (by credential) also read ward-3 SSNs.
+	base := policy.NewBase(verifier)
+	base.MustAdd(&policy.Policy{
+		Name:    "stats-public",
+		Subject: policy.SubjectSpec{IDs: []string{"*"}},
+		Object:  policy.ObjectSpec{Doc: "records.xml", Path: "/hospital/stats"},
+		Priv:    policy.Read, Sign: policy.Permit, Prop: policy.Cascade,
+	})
+	base.MustAdd(&policy.Policy{
+		Name:    "staff-read",
+		Subject: policy.SubjectSpec{Roles: []string{"staff"}},
+		Object:  policy.ObjectSpec{Doc: "records.xml"},
+		Priv:    policy.Read, Sign: policy.Permit, Prop: policy.Cascade,
+	})
+	base.MustAdd(&policy.Policy{
+		Name:    "ssn-hidden",
+		Subject: policy.SubjectSpec{Roles: []string{"staff"}},
+		Object:  policy.ObjectSpec{Doc: "records.xml", Path: "//ssn"},
+		Priv:    policy.Read, Sign: policy.Deny, Prop: policy.Cascade,
+	})
+	base.MustAdd(&policy.Policy{
+		Name:    "ward3-physician-ssn",
+		Subject: policy.SubjectSpec{CredExpr: credential.MustCompile("physician.ward = '3'")},
+		Object:  policy.ObjectSpec{Doc: "records.xml", Path: "/hospital/patient[@ward='3']/ssn"},
+		Priv:    policy.Read, Sign: policy.Permit, Prop: policy.Cascade,
+	})
+
+	engine := accessctl.NewEngine(store, base)
+
+	// 4. Three subjects.
+	visitor := &policy.Subject{ID: "visitor"}
+	nurse := &policy.Subject{ID: "nina", Roles: []string{"staff"}}
+	wallet := credential.NewWallet("drho")
+	if err := wallet.Add(ca.Issue("physician", "drho", map[string]string{"ward": "3"})); err != nil {
+		log.Fatal(err)
+	}
+	physician := &policy.Subject{ID: "drho", Roles: []string{"staff"}, Wallet: wallet}
+
+	for _, s := range []*policy.Subject{visitor, nurse, physician} {
+		fmt.Printf("--- view for %s ---\n", s.ID)
+		v := engine.View("records.xml", s, policy.Read)
+		if v == nil {
+			fmt.Println("(no access)")
+			continue
+		}
+		fmt.Println(v.Canonical())
+	}
+
+	// 5. Queries run against the subject's VIEW, never the raw document:
+	// the nurse's query cannot touch SSNs however it is phrased.
+	q := xquery.MustCompile(
+		`FOR $p IN //patient WHERE $p/@ward = '3' RETURN $p/name, $p/ssn, $p/diagnosis`)
+	fmt.Println("--- FLWOR query as nurse (ssn column stays empty) ---")
+	for _, row := range q.SecureEval(engine, "records.xml", nurse) {
+		fmt.Printf("name=%q ssn=%q diagnosis=%q\n", row[0], row[1], row[2])
+	}
+	fmt.Println("--- same query as ward-3 physician ---")
+	for _, row := range q.SecureEval(engine, "records.xml", physician) {
+		fmt.Printf("name=%q ssn=%q diagnosis=%q\n", row[0], row[1], row[2])
+	}
+
+	// 6. Point decisions.
+	fmt.Println("--- point checks ---")
+	for _, check := range []struct {
+		who  *policy.Subject
+		path string
+	}{
+		{visitor, "/hospital/stats"},
+		{visitor, "/hospital/patient"},
+		{nurse, "/hospital/patient/name"},
+		{nurse, "/hospital/patient/ssn"},
+		{physician, "/hospital/patient[@ward='3']/ssn"},
+		{physician, "/hospital/patient[@ward='5']/ssn"},
+	} {
+		ok := engine.Check("records.xml", check.path, check.who, policy.Read)
+		fmt.Printf("%-8s read %-40s -> %v\n", check.who.ID, check.path, ok)
+	}
+}

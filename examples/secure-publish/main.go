@@ -1,0 +1,110 @@
+// Secure third-party publishing (§3.2 [3], §4.1 [4]): the owner signs a
+// Merkle summary of a document and hands it to an UNTRUSTED publisher.
+// Subjects receive pruned views with proofs and verify authenticity and
+// completeness locally — then the demo shows a tampering and an omitting
+// publisher being caught.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"webdbsec/internal/merkle"
+	"webdbsec/internal/wsig"
+	"webdbsec/internal/xmldoc"
+)
+
+const catalog = `
+<catalog vendor="Acme">
+  <product sku="A1">
+    <name>widget</name>
+    <price>10</price>
+    <cost confidential="true">4</cost>
+  </product>
+  <product sku="A2">
+    <name>gadget</name>
+    <price>25</price>
+    <cost confidential="true">11</cost>
+  </product>
+</catalog>`
+
+func main() {
+	doc, err := xmldoc.ParseString("catalog.xml", catalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The OWNER signs once, out of band.
+	owner, err := wsig.NewSigner("acme-owner")
+	if err != nil {
+		log.Fatal(err)
+	}
+	summary := merkle.Sign(doc, owner)
+	dir := wsig.NewKeyDirectory()
+	dir.RegisterSigner(owner)
+	fmt.Println("owner signed the Merkle summary; publisher receives doc + signature")
+
+	// The PUBLISHER (untrusted) serves a customer view without internal
+	// costs, attaching the proof for the pruned portions.
+	view, proof := merkle.PruneWithProof(doc, func(n *xmldoc.Node) bool {
+		for p := n; p != nil; p = p.Parent {
+			if p.Kind == xmldoc.KindElement && p.Name == "cost" {
+				return false
+			}
+		}
+		return true
+	})
+	fmt.Printf("\npublisher serves customer view (%d auxiliary hashes for pruned costs):\n%s\n",
+		proof.NumAuxHashes(), view.Canonical())
+
+	// The CUSTOMER verifies against the owner's key only.
+	if err := merkle.VerifyView(view, proof, summary, dir); err != nil {
+		log.Fatalf("honest view rejected: %v", err)
+	}
+	fmt.Println("\ncustomer verification: OK — authentic and complete, publisher not trusted")
+
+	// Attack 1: the publisher inflates a price.
+	evil := view.Clone()
+	xmldoc.MustCompilePath("//price").Select(evil)[0].Children[0].Value = "99"
+	if err := merkle.VerifyView(evil, proof, summary, dir); err != nil {
+		fmt.Printf("\nattack 1 (price tampering) detected: %v\n", err)
+	} else {
+		log.Fatal("tampering NOT detected")
+	}
+
+	// Attack 2: the publisher silently drops a competitor-relevant product
+	// (same proof, fewer elements).
+	omitted := view.Clone()
+	root := omitted.Root
+	for i, c := range root.Children {
+		if c.Kind == xmldoc.KindElement && c.Name == "product" {
+			root.Children = append(root.Children[:i], root.Children[i+1:]...)
+			break
+		}
+	}
+	if err := merkle.VerifyView(omitted, proof, summary, dir); err != nil {
+		fmt.Printf("attack 2 (silent omission) detected: %v\n", err)
+	} else {
+		log.Fatal("omission NOT detected")
+	}
+
+	// Honest pruning of the same product, with a fresh proof, verifies:
+	// omissions are fine exactly when they are disclosed.
+	view2, proof2 := merkle.PruneWithProof(doc, func(n *xmldoc.Node) bool {
+		for p := n; p != nil; p = p.Parent {
+			if p.Kind == xmldoc.KindElement && p.Name == "product" {
+				if sku, _ := p.Attr("sku"); sku == "A2" {
+					return false
+				}
+			}
+			if p.Kind == xmldoc.KindElement && p.Name == "cost" {
+				return false
+			}
+		}
+		return true
+	})
+	if err := merkle.VerifyView(view2, proof2, summary, dir); err != nil {
+		log.Fatalf("disclosed pruning rejected: %v", err)
+	}
+	fmt.Println("\ndisclosed pruning of product A2 verifies: completeness means no SILENT omission")
+}

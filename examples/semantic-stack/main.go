@@ -1,0 +1,127 @@
+// The §5 layered secure semantic web, end to end: a secure channel at the
+// bottom, XML views above it, semantic RDF protection with
+// context-dependent declassification ("once the war is over"), ontology
+// alignment checked for secure interoperation, and the flexible security
+// policy dialing the whole stack between 30% and 100%.
+package main
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"log"
+	"net"
+
+	"webdbsec/internal/accessctl"
+	"webdbsec/internal/core"
+	"webdbsec/internal/ontology"
+	"webdbsec/internal/policy"
+	"webdbsec/internal/rdf"
+	"webdbsec/internal/secchan"
+	"webdbsec/internal/xmldoc"
+)
+
+func main() {
+	// --- Layer 1: secure transport ---
+	pub, priv, _ := ed25519.GenerateKey(nil)
+	cConn, sConn := net.Pipe()
+	go func() {
+		ch, err := secchan.Server(sConn, priv)
+		if err != nil {
+			return
+		}
+		msg, _ := ch.Receive()
+		ch.Send(append([]byte("ack: "), msg...))
+	}()
+	ch, err := secchan.Client(cConn, pub)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ch.Send([]byte("hello over authenticated encrypted channel"))
+	reply, _ := ch.Receive()
+	fmt.Printf("layer 1 (secure transport): %s\n", reply)
+	ch.Close()
+
+	// --- Layer 2: secure XML ---
+	store := xmldoc.NewStore()
+	doc := xmldoc.MustParseString("ops.xml",
+		`<ops><brief>daily brief</brief><plan codename="neptune">landing at dawn</plan></ops>`)
+	store.Put(doc)
+	base := policy.NewBase(nil)
+	base.MustAdd(&policy.Policy{
+		Name:    "brief-public",
+		Subject: policy.SubjectSpec{IDs: []string{"*"}},
+		Object:  policy.ObjectSpec{Doc: "ops.xml", Path: "/ops/brief"},
+		Priv:    policy.Read, Sign: policy.Permit, Prop: policy.Cascade,
+	})
+	xmlEngine := accessctl.NewEngine(store, base)
+
+	// --- Layer 3: secure RDF with contexts ---
+	triples := rdf.NewStore()
+	plan := rdf.Triple{S: rdf.NewIRI("op-neptune"), P: rdf.NewIRI("targets"), O: rdf.NewIRI("objective-x")}
+	triples.Add(plan)
+	guard := rdf.NewGuard(triples)
+	guard.AddClassRule(&rdf.ClassRule{
+		Name:    "wartime-secrecy",
+		Pattern: rdf.Pattern{S: rdf.T(rdf.NewIRI("op-neptune"))},
+		Level:   rdf.Secret,
+		Context: "wartime",
+	})
+
+	// --- Layer 4: ontologies and secure interoperation ---
+	mil := ontology.New("military")
+	mil.AddClass("Asset")
+	mil.AddClass("OperationPlan", "Asset")
+	mil.SetLevel("OperationPlan", rdf.Secret)
+	civ := ontology.New("civilian")
+	civ.AddClass("Document")
+	med := ontology.NewMediator(mil, triples)
+
+	stack := core.NewSemanticStack(xmlEngine, guard, med)
+	analyst := rdf.NewClearance(&policy.Subject{ID: "analyst"}, rdf.Unclassified)
+
+	// Full strength, wartime: the plan is invisible at low clearance.
+	stack.SetStrength(100)
+	guard.SetContext("wartime")
+	fmt.Printf("\nlayer 3 (wartime, strength 100): analyst sees %d triple(s)\n",
+		len(stack.RDFQuery(analyst, rdf.Pattern{})))
+
+	// The war ends: context-dependent declassification (§5's example).
+	guard.SetContext("peacetime")
+	fmt.Printf("layer 3 (peacetime, declassified):  analyst sees %d triple(s)\n",
+		len(stack.RDFQuery(analyst, rdf.Pattern{})))
+
+	// Secure interoperation: mapping OperationPlan onto a civilian
+	// "Document" concept would declassify — always rejected.
+	align := ontology.NewAlignment(mil, civ)
+	align.Map("OperationPlan", "Document")
+	if err := stack.CheckInteroperation(align); err != nil {
+		fmt.Printf("layer 4 (interoperation check): %v\n", err)
+	}
+	civ.AddClass("ClassifiedDocument", "Document")
+	civ.SetLevel("ClassifiedDocument", rdf.Secret)
+	align2 := ontology.NewAlignment(mil, civ)
+	align2.Map("OperationPlan", "ClassifiedDocument")
+	if err := stack.CheckInteroperation(align2); err == nil {
+		fmt.Println("layer 4: level-preserving alignment accepted")
+	}
+
+	// --- The flexible security policy (§5) ---
+	fmt.Println("\nflexible security policy sweep:")
+	user := &policy.Subject{ID: "user"}
+	_ = user
+	for _, s := range []core.Strength{30, 70, 100} {
+		stack.SetStrength(s)
+		cfg := stack.Config()
+		fmt.Printf("  strength %3d%%: transport=%v xml-views=%v credentials=%v rdf=%v inference=%v\n",
+			s, cfg.EncryptTransport, cfg.EnforceXMLViews, cfg.VerifyCredentials,
+			cfg.EnforceRDFLevels, cfg.InferenceControl)
+	}
+
+	// At 100%, an anonymous subject sees only the public brief.
+	stack.SetStrength(100)
+	v, err := stack.XMLView("ops.xml", &policy.Subject{ID: "anyone"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlayer 2 (strength 100, anonymous subject): %s\n", v.Canonical())
+}

@@ -1,0 +1,97 @@
+// Third-party UDDI over the wire (§2.2, §4.1): a provider signs its
+// registry entry, an untrusted discovery agency serves it over HTTP with
+// policy-based pruning and Merkle proofs, and two requestors — a visitor
+// and a partner — fetch and verify different views through the WSA
+// envelope protocol.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"webdbsec/internal/policy"
+	"webdbsec/internal/uddi"
+	"webdbsec/internal/wsa"
+	"webdbsec/internal/wsig"
+)
+
+func main() {
+	// The provider and its signed entry.
+	prov, err := uddi.NewProvider("acme-provider")
+	if err != nil {
+		log.Fatal(err)
+	}
+	entity := &uddi.BusinessEntity{
+		BusinessKey: "be-acme",
+		Name:        "Acme Logistics",
+		Description: "Shipping services",
+		Services: []uddi.BusinessService{{
+			ServiceKey: "svc-ship",
+			Name:       "shipping",
+			Bindings: []uddi.BindingTemplate{{
+				BindingKey:  "bind-1",
+				AccessPoint: "https://acme.example/ship",
+				TModelKeys:  []string{"tm-soap"},
+			}},
+		}},
+	}
+	entry, err := prov.Sign(entity)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The discovery agency: untrusted, enforcing the provider's policies —
+	// binding templates only for partners.
+	base := policy.NewBase(nil)
+	base.MustAdd(&policy.Policy{
+		Name:    "entry-public",
+		Subject: policy.SubjectSpec{IDs: []string{"*"}},
+		Object:  policy.ObjectSpec{Doc: uddi.DocName("be-acme")},
+		Priv:    policy.Read, Sign: policy.Permit, Prop: policy.Cascade,
+	})
+	base.MustAdd(&policy.Policy{
+		Name:    "bindings-partners-only",
+		Subject: policy.SubjectSpec{NotRoles: []string{"partner"}},
+		Object:  policy.ObjectSpec{Doc: uddi.DocName("be-acme"), Path: "//bindingTemplate"},
+		Priv:    policy.Read, Sign: policy.Deny, Prop: policy.Cascade,
+	})
+	agency := uddi.NewUntrustedAgency(base)
+	if err := agency.Publish(entry); err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve the agency over HTTP (httptest keeps the example
+	// self-contained; cmd/uddiserver is the standalone binary).
+	server := httptest.NewServer(&wsa.RegistryServer{Registry: uddi.NewRegistry(nil), Agency: agency})
+	defer server.Close()
+	fmt.Printf("untrusted discovery agency serving at %s\n\n", server.URL)
+
+	// Requestors trust only the provider's key, never the agency.
+	dir := wsig.NewKeyDirectory()
+	dir.RegisterSigner(prov.Signer())
+
+	for _, who := range []struct {
+		name  string
+		roles []string
+	}{
+		{"visitor", nil},
+		{"partner-corp", []string{"partner"}},
+	} {
+		client := &wsa.Client{Endpoint: server.URL, Sender: who.name, Roles: who.roles}
+		res, err := client.QueryAuthenticated("be-acme", dir)
+		if err != nil {
+			log.Fatalf("%s: %v", who.name, err)
+		}
+		fmt.Printf("--- %s fetched and VERIFIED (aux hashes: %d) ---\n%s\n\n",
+			who.name, res.Proof.NumAuxHashes(), res.View.Canonical())
+	}
+
+	// A requestor that trusts nobody rejects the answer outright.
+	skeptic := &wsa.Client{Endpoint: server.URL, Sender: "skeptic"}
+	if _, err := skeptic.QueryAuthenticated("be-acme", wsig.NewKeyDirectory()); err != nil {
+		fmt.Printf("requestor with empty key directory correctly rejects: %v\n", err)
+	} else {
+		log.Fatal("unverifiable answer accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module webdbsec
+
+go 1.22

@@ -1,0 +1,390 @@
+package accessctl
+
+import (
+	"strings"
+	"testing"
+
+	"webdbsec/internal/policy"
+	"webdbsec/internal/xmldoc"
+)
+
+const recordsXML = `
+<hospital>
+  <patient id="p1" ward="3">
+    <name>Alice</name>
+    <ssn>111-22-3333</ssn>
+    <diagnosis severity="high">flu</diagnosis>
+  </patient>
+  <patient id="p2" ward="5">
+    <name>Bob</name>
+    <ssn>444-55-6666</ssn>
+    <diagnosis severity="low">cold</diagnosis>
+  </patient>
+  <stats>public statistics</stats>
+</hospital>`
+
+func newEngine(t *testing.T, ps ...*policy.Policy) (*Engine, *xmldoc.Document) {
+	t.Helper()
+	store := xmldoc.NewStore()
+	doc, err := xmldoc.ParseString("records.xml", recordsXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Put(doc)
+	store.AddToSet("medical", doc.Name)
+	base := policy.NewBase(nil)
+	for _, p := range ps {
+		base.MustAdd(p)
+	}
+	return NewEngine(store, base), doc
+}
+
+func permitAll(name, who string) *policy.Policy {
+	return &policy.Policy{
+		Name:    name,
+		Subject: policy.SubjectSpec{IDs: []string{who}},
+		Object:  policy.ObjectSpec{Doc: "records.xml"},
+		Priv:    policy.Read,
+		Sign:    policy.Permit,
+		Prop:    policy.Cascade,
+	}
+}
+
+func TestClosedSystemDeniesByDefault(t *testing.T) {
+	e, _ := newEngine(t)
+	s := &policy.Subject{ID: "alice"}
+	if e.Check("records.xml", "/hospital", s, policy.Read) {
+		t.Error("closed system granted access with no policies")
+	}
+	if v := e.View("records.xml", s, policy.Read); v != nil {
+		t.Error("view nonempty with no policies")
+	}
+}
+
+func TestCascadePermitWholeDoc(t *testing.T) {
+	e, doc := newEngine(t, permitAll("p", "alice"))
+	s := &policy.Subject{ID: "alice"}
+	v := e.View("records.xml", s, policy.Read)
+	if v == nil {
+		t.Fatal("nil view")
+	}
+	if v.Canonical() != doc.Canonical() {
+		t.Error("full-permit view differs from source")
+	}
+	if !e.Check("records.xml", "/hospital/patient/ssn", s, policy.Read) {
+		t.Error("check denies under cascade permit")
+	}
+}
+
+func TestDenyOverridesAtFinerGranularity(t *testing.T) {
+	e, _ := newEngine(t,
+		permitAll("permit-all", "alice"),
+		&policy.Policy{
+			Name:    "hide-ssn",
+			Subject: policy.SubjectSpec{IDs: []string{"alice"}},
+			Object:  policy.ObjectSpec{Doc: "records.xml", Path: "//ssn"},
+			Priv:    policy.Read,
+			Sign:    policy.Deny,
+			Prop:    policy.Cascade,
+		},
+	)
+	s := &policy.Subject{ID: "alice"}
+	v := e.View("records.xml", s, policy.Read)
+	if v == nil {
+		t.Fatal("nil view")
+	}
+	if len(xmldoc.MustCompilePath("//ssn").Select(v)) != 0 {
+		t.Error("ssn visible despite deny")
+	}
+	if len(xmldoc.MustCompilePath("//name").Select(v)) != 2 {
+		t.Error("names should remain visible")
+	}
+	if e.Check("records.xml", "/hospital/patient/ssn", s, policy.Read) {
+		t.Error("check permits denied path")
+	}
+	if !e.Check("records.xml", "/hospital/patient/name", s, policy.Read) {
+		t.Error("check denies permitted path")
+	}
+}
+
+func TestPermitAtFinerGranularityOverridesDeny(t *testing.T) {
+	// Deny the whole document, but permit the public stats element.
+	e, _ := newEngine(t,
+		&policy.Policy{
+			Name:    "deny-all",
+			Subject: policy.SubjectSpec{IDs: []string{"bob"}},
+			Object:  policy.ObjectSpec{Doc: "records.xml"},
+			Priv:    policy.Read,
+			Sign:    policy.Deny,
+			Prop:    policy.Cascade,
+		},
+		&policy.Policy{
+			Name:    "stats-public",
+			Subject: policy.SubjectSpec{IDs: []string{"bob"}},
+			Object:  policy.ObjectSpec{Doc: "records.xml", Path: "/hospital/stats"},
+			Priv:    policy.Read,
+			Sign:    policy.Permit,
+			Prop:    policy.Cascade,
+		},
+	)
+	s := &policy.Subject{ID: "bob"}
+	v := e.View("records.xml", s, policy.Read)
+	if v == nil {
+		t.Fatal("nil view")
+	}
+	if got := len(xmldoc.MustCompilePath("/hospital/stats").Select(v)); got != 1 {
+		t.Errorf("stats elements in view = %d, want 1", got)
+	}
+	if got := len(xmldoc.MustCompilePath("//patient").Select(v)); got != 0 {
+		t.Errorf("patients leaked: %d", got)
+	}
+}
+
+func TestContentDependentPolicy(t *testing.T) {
+	// Ward-3 staff see only ward-3 patients.
+	e, _ := newEngine(t, &policy.Policy{
+		Name:    "ward3",
+		Subject: policy.SubjectSpec{Roles: []string{"ward3-staff"}},
+		Object:  policy.ObjectSpec{Doc: "records.xml", Path: "/hospital/patient[@ward='3']"},
+		Priv:    policy.Read,
+		Sign:    policy.Permit,
+		Prop:    policy.Cascade,
+	})
+	s := &policy.Subject{ID: "nina", Roles: []string{"ward3-staff"}}
+	v := e.View("records.xml", s, policy.Read)
+	if v == nil {
+		t.Fatal("nil view")
+	}
+	pats := xmldoc.MustCompilePath("//patient").Select(v)
+	if len(pats) != 1 {
+		t.Fatalf("patients = %d, want 1", len(pats))
+	}
+	if w, _ := pats[0].Attr("ward"); w != "3" {
+		t.Errorf("wrong patient visible: ward=%s", w)
+	}
+}
+
+func TestNoPropLimitsScope(t *testing.T) {
+	e, _ := newEngine(t, &policy.Policy{
+		Name:    "patient-shell",
+		Subject: policy.SubjectSpec{IDs: []string{"carol"}},
+		Object:  policy.ObjectSpec{Doc: "records.xml", Path: "//patient"},
+		Priv:    policy.Read,
+		Sign:    policy.Permit,
+		Prop:    policy.NoProp,
+	})
+	s := &policy.Subject{ID: "carol"}
+	v := e.View("records.xml", s, policy.Read)
+	if v == nil {
+		t.Fatal("nil view")
+	}
+	// Patient elements with attributes, but no children elements.
+	if got := len(xmldoc.MustCompilePath("//patient").Select(v)); got != 2 {
+		t.Errorf("patients = %d, want 2", got)
+	}
+	if got := len(xmldoc.MustCompilePath("//name").Select(v)); got != 0 {
+		t.Errorf("names visible under NoProp: %d", got)
+	}
+	if got := len(xmldoc.MustCompilePath("//@ward").Select(v)); got != 2 {
+		t.Errorf("ward attrs = %d, want 2 (attrs travel with element)", got)
+	}
+}
+
+func TestFirstLevelPropagation(t *testing.T) {
+	e, _ := newEngine(t, &policy.Policy{
+		Name:    "first",
+		Subject: policy.SubjectSpec{IDs: []string{"dan"}},
+		Object:  policy.ObjectSpec{Doc: "records.xml", Path: "/hospital"},
+		Priv:    policy.Read,
+		Sign:    policy.Permit,
+		Prop:    policy.FirstLevel,
+	})
+	s := &policy.Subject{ID: "dan"}
+	v := e.View("records.xml", s, policy.Read)
+	if v == nil {
+		t.Fatal("nil view")
+	}
+	if got := len(xmldoc.MustCompilePath("//patient").Select(v)); got != 2 {
+		t.Errorf("patients = %d, want 2", got)
+	}
+	// Grandchildren (name, ssn, ...) are not covered.
+	if got := len(xmldoc.MustCompilePath("//name").Select(v)); got != 0 {
+		t.Errorf("grandchildren visible under FirstLevel: %d", got)
+	}
+	// Stats text is a child's text: distance 2, included via element text rule.
+	if got := xmldoc.MustCompilePath("/hospital/stats").Select(v); len(got) != 1 || got[0].Text() != "public statistics" {
+		t.Errorf("stats text not carried with first-level element")
+	}
+}
+
+func TestSetLevelPolicy(t *testing.T) {
+	e, _ := newEngine(t, &policy.Policy{
+		Name:    "set-read",
+		Subject: policy.SubjectSpec{IDs: []string{"eve"}},
+		Object:  policy.ObjectSpec{Set: "medical"},
+		Priv:    policy.Read,
+		Sign:    policy.Permit,
+		Prop:    policy.Cascade,
+	})
+	s := &policy.Subject{ID: "eve"}
+	if !e.Check("records.xml", "/hospital/patient/name", s, policy.Read) {
+		t.Error("set-level policy not applied")
+	}
+	// Doc-level deny overrides set-level permit.
+	e.Base().MustAdd(&policy.Policy{
+		Name:    "doc-deny",
+		Subject: policy.SubjectSpec{IDs: []string{"eve"}},
+		Object:  policy.ObjectSpec{Doc: "records.xml"},
+		Priv:    policy.Read,
+		Sign:    policy.Deny,
+		Prop:    policy.Cascade,
+	})
+	if e.Check("records.xml", "/hospital/patient/name", s, policy.Read) {
+		t.Error("doc-level deny did not override set-level permit")
+	}
+}
+
+func TestBrowseBlanksContent(t *testing.T) {
+	e, _ := newEngine(t, &policy.Policy{
+		Name:    "browse",
+		Subject: policy.SubjectSpec{IDs: []string{"guest"}},
+		Object:  policy.ObjectSpec{Doc: "records.xml"},
+		Priv:    policy.Browse,
+		Sign:    policy.Permit,
+		Prop:    policy.Cascade,
+	})
+	s := &policy.Subject{ID: "guest"}
+	v := e.View("records.xml", s, policy.Browse)
+	if v == nil {
+		t.Fatal("nil browse view")
+	}
+	if got := len(xmldoc.MustCompilePath("//ssn").Select(v)); got != 2 {
+		t.Errorf("structure hidden in browse view: ssn elements = %d", got)
+	}
+	if c := v.Canonical(); strings.Contains(c, "111-22-3333") || strings.Contains(c, "Alice") {
+		t.Errorf("browse view leaks content: %s", c)
+	}
+	// Browse privilege doesn't grant read.
+	if rv := e.View("records.xml", s, policy.Read); rv != nil {
+		t.Error("browse policy granted read view")
+	}
+}
+
+func TestWriteSeparateFromRead(t *testing.T) {
+	e, _ := newEngine(t, &policy.Policy{
+		Name:    "w",
+		Subject: policy.SubjectSpec{IDs: []string{"alice"}},
+		Object:  policy.ObjectSpec{Doc: "records.xml"},
+		Priv:    policy.Write,
+		Sign:    policy.Permit,
+		Prop:    policy.Cascade,
+	})
+	s := &policy.Subject{ID: "alice"}
+	if !e.Check("records.xml", "/hospital", s, policy.Write) {
+		t.Error("write denied")
+	}
+	if e.Check("records.xml", "/hospital", s, policy.Read) {
+		t.Error("write policy granted read")
+	}
+}
+
+func TestCheckUnknownDocAndPath(t *testing.T) {
+	e, _ := newEngine(t, permitAll("p", "alice"))
+	s := &policy.Subject{ID: "alice"}
+	if e.Check("ghost.xml", "/hospital", s, policy.Read) {
+		t.Error("unknown doc permitted")
+	}
+	if e.Check("records.xml", "//nonexistent", s, policy.Read) {
+		t.Error("empty path match permitted")
+	}
+	if e.Check("records.xml", "not-a-path[", s, policy.Read) {
+		t.Error("invalid path permitted")
+	}
+}
+
+func TestConfigurations(t *testing.T) {
+	e, doc := newEngine(t,
+		&policy.Policy{
+			Name:    "pub",
+			Subject: policy.SubjectSpec{IDs: []string{"*"}},
+			Object:  policy.ObjectSpec{Doc: "records.xml", Path: "/hospital/stats"},
+			Priv:    policy.Read,
+			Sign:    policy.Permit,
+			Prop:    policy.Cascade,
+		},
+		&policy.Policy{
+			Name:    "staff",
+			Subject: policy.SubjectSpec{Roles: []string{"staff"}},
+			Object:  policy.ObjectSpec{Doc: "records.xml", Path: "//patient"},
+			Priv:    policy.Read,
+			Sign:    policy.Permit,
+			Prop:    policy.Cascade,
+		},
+		&policy.Policy{
+			Name:    "hr",
+			Subject: policy.SubjectSpec{Roles: []string{"hr"}},
+			Object:  policy.ObjectSpec{Doc: "records.xml", Path: "//ssn"},
+			Priv:    policy.Read,
+			Sign:    policy.Permit,
+			Prop:    policy.Cascade,
+		},
+	)
+	pc := e.Configurations(doc)
+	// Classes: unmarked, stats-only, patient-only, patient+hr(ssn).
+	if pc.NumClasses != 4 {
+		t.Fatalf("classes = %d, want 4", pc.NumClasses)
+	}
+	// All ssn subtree nodes share one class.
+	ssns := xmldoc.MustCompilePath("//ssn").Select(doc)
+	if pc.Class[ssns[0].ID()] != pc.Class[ssns[1].ID()] {
+		t.Error("equal-policy nodes in different classes")
+	}
+	names := xmldoc.MustCompilePath("//name").Select(doc)
+	if pc.Class[ssns[0].ID()] == pc.Class[names[0].ID()] {
+		t.Error("different-policy nodes share a class")
+	}
+}
+
+func TestMoreSpecificPathOverridesGenericDeny(t *testing.T) {
+	// A blanket deny on //ssn is overridden by a precise permit on one
+	// ward's ssn path — the path-precision part of conflict resolution.
+	e, _ := newEngine(t,
+		permitAll("all", "drho"),
+		&policy.Policy{
+			Name:    "ssn-hidden",
+			Subject: policy.SubjectSpec{IDs: []string{"drho"}},
+			Object:  policy.ObjectSpec{Doc: "records.xml", Path: "//ssn"},
+			Priv:    policy.Read,
+			Sign:    policy.Deny,
+			Prop:    policy.Cascade,
+		},
+		&policy.Policy{
+			Name:    "ward3-ssn",
+			Subject: policy.SubjectSpec{IDs: []string{"drho"}},
+			Object:  policy.ObjectSpec{Doc: "records.xml", Path: "/hospital/patient[@ward='3']/ssn"},
+			Priv:    policy.Read,
+			Sign:    policy.Permit,
+			Prop:    policy.Cascade,
+		},
+	)
+	s := &policy.Subject{ID: "drho"}
+	if !e.Check("records.xml", "/hospital/patient[@ward='3']/ssn", s, policy.Read) {
+		t.Error("specific permit lost to generic deny")
+	}
+	if e.Check("records.xml", "/hospital/patient[@ward='5']/ssn", s, policy.Read) {
+		t.Error("generic deny not applied outside the specific permit")
+	}
+}
+
+func TestLabelsVectorShape(t *testing.T) {
+	e, doc := newEngine(t, permitAll("p", "alice"))
+	labels := e.Labels(doc, &policy.Subject{ID: "alice"}, policy.Read)
+	if len(labels) != doc.NumNodes() {
+		t.Fatalf("labels len = %d, want %d", len(labels), doc.NumNodes())
+	}
+	for id, ok := range labels {
+		if !ok {
+			t.Fatalf("node %d denied under cascade permit", id)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package accessctl
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"webdbsec/internal/policy"
+	"webdbsec/internal/xmldoc"
+)
+
+// randomSetup builds a random document and a random policy base over it.
+func randomSetup(seed int64) (*Engine, *xmldoc.Document, []*policy.Subject) {
+	rng := rand.New(rand.NewSource(seed))
+	b := xmldoc.NewBuilder("r.xml", "root")
+	names := []string{"a", "b", "c", "d"}
+	depth := 0
+	for i := 0; i < 60; i++ {
+		switch op := rng.Intn(4); {
+		case op == 0 && depth > 0:
+			b.End()
+			depth--
+		case op <= 1:
+			b.Begin(names[rng.Intn(len(names))])
+			depth++
+		case op == 2:
+			b.Text(fmt.Sprintf("t%d", rng.Intn(10)))
+		default:
+			b.Attrib("k", fmt.Sprintf("%d", rng.Intn(4)))
+		}
+	}
+	doc := b.Freeze()
+	store := xmldoc.NewStore()
+	store.Put(doc)
+
+	base := policy.NewBase(nil)
+	paths := []string{"", "//a", "//b", "//c", "/root/a", "//a/b", "//d[@k='1']"}
+	roles := []string{"r1", "r2", "r3"}
+	nPol := 1 + rng.Intn(8)
+	for i := 0; i < nPol; i++ {
+		p := &policy.Policy{
+			Name:    fmt.Sprintf("p%d", i),
+			Subject: policy.SubjectSpec{Roles: []string{roles[rng.Intn(len(roles))]}},
+			Object:  policy.ObjectSpec{Doc: "r.xml", Path: paths[rng.Intn(len(paths))]},
+			Priv:    policy.Read,
+			Sign:    policy.Sign(rng.Intn(2)),
+			Prop:    policy.Propagation(rng.Intn(3)),
+		}
+		base.MustAdd(p)
+	}
+	subjects := []*policy.Subject{
+		{ID: "u1", Roles: []string{"r1"}},
+		{ID: "u2", Roles: []string{"r2", "r3"}},
+		{ID: "u3"},
+	}
+	return NewEngine(store, base), doc, subjects
+}
+
+func TestQuickViewAgreesWithLabels(t *testing.T) {
+	// Invariant: the computed view contains text/attribute content exactly
+	// when Labels permits the corresponding node; no denied text or
+	// attribute value ever appears in the view.
+	f := func(seed int64) bool {
+		eng, doc, subjects := randomSetup(seed)
+		for _, s := range subjects {
+			labels := eng.Labels(doc, s, policy.Read)
+			v := eng.View(doc.Name, s, policy.Read)
+			denied := map[string]int{}
+			for _, n := range doc.Nodes() {
+				if !labels[n.ID()] && n.Kind != xmldoc.KindElement && n.Value != "" {
+					denied[n.Value]++
+				}
+				if labels[n.ID()] && n.Kind != xmldoc.KindElement && n.Value != "" {
+					// Permitted values may legitimately equal denied ones;
+					// remove from the denied set to avoid false alarms on
+					// duplicates.
+					if denied[n.Value] > 0 {
+						denied[n.Value]--
+					}
+				}
+			}
+			if v == nil {
+				continue
+			}
+			// Count value occurrences in the view; they must not exceed
+			// the number of permitted occurrences in the source.
+			permittedCount := map[string]int{}
+			for _, n := range doc.Nodes() {
+				if labels[n.ID()] && n.Kind != xmldoc.KindElement {
+					permittedCount[n.Value]++
+				}
+			}
+			ok := true
+			v.Walk(func(n *xmldoc.Node) bool {
+				if n.Kind == xmldoc.KindElement {
+					return true
+				}
+				if permittedCount[n.Value] == 0 {
+					ok = false
+					return false
+				}
+				permittedCount[n.Value]--
+				return true
+			})
+			if !ok {
+				t.Logf("seed %d subject %s: view contains more of a value than permitted", seed, s.ID)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDenyMonotone(t *testing.T) {
+	// Adding a deny policy never enlarges any subject's permitted set.
+	f := func(seed int64) bool {
+		eng, doc, subjects := randomSetup(seed)
+		countPermitted := func() map[string]int {
+			out := map[string]int{}
+			for _, s := range subjects {
+				n := 0
+				for _, ok := range eng.Labels(doc, s, policy.Read) {
+					if ok {
+						n++
+					}
+				}
+				out[s.ID] = n
+			}
+			return out
+		}
+		before := countPermitted()
+		eng.Base().MustAdd(&policy.Policy{
+			Name:    "extra-deny",
+			Subject: policy.SubjectSpec{Roles: []string{"r1", "r2", "r3"}},
+			Object:  policy.ObjectSpec{Doc: "r.xml", Path: "//b"},
+			Priv:    policy.Read,
+			Sign:    policy.Deny,
+			Prop:    policy.Cascade,
+		})
+		after := countPermitted()
+		for id := range before {
+			if after[id] > before[id] {
+				t.Logf("seed %d: deny enlarged %s's set %d -> %d", seed, id, before[id], after[id])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickConfigurationsPartitionAllNodes(t *testing.T) {
+	// The configuration partition covers every node with a valid class id,
+	// and the number of distinct classes matches NumClasses.
+	f := func(seed int64) bool {
+		eng, doc, _ := randomSetup(seed)
+		pc := eng.Configurations(doc)
+		if len(pc.Class) != doc.NumNodes() {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, c := range pc.Class {
+			if c < 0 || c >= pc.NumClasses {
+				return false
+			}
+			seen[c] = true
+		}
+		// Every class id below NumClasses need not be inhabited (class 0
+		// may be empty when every node is covered), but none may exceed it.
+		return len(seen) <= pc.NumClasses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,190 @@
+package accessctl
+
+import (
+	"fmt"
+
+	"webdbsec/internal/policy"
+	"webdbsec/internal/xmldoc"
+)
+
+// Write operations: §5 requires that "access must be controlled to various
+// portions of the document for reading, browsing and modifications". The
+// engine gates three mutations — text update, subtree append, subtree
+// delete — on Write-privilege labels computed the same way as read labels.
+// Mutations go through the store (documents are re-frozen), so node ids
+// stay dense and indexes current.
+
+// UpdateText replaces the text content of the elements matched by path,
+// provided the subject holds Write on every matched node.
+func (e *Engine) UpdateText(docName, path string, s *policy.Subject, newText string) error {
+	doc, pe, nodes, err := e.resolveWrite(docName, path, s)
+	if err != nil {
+		return err
+	}
+	_ = pe
+	for _, n := range nodes {
+		if n.Kind != xmldoc.KindElement {
+			return fmt.Errorf("accessctl: UpdateText targets must be elements, got %v", n.Kind)
+		}
+	}
+	// Rebuild the document with the replacement applied.
+	targets := map[int]bool{}
+	for _, n := range nodes {
+		targets[n.ID()] = true
+	}
+	updated := rebuild(doc, func(b *xmldoc.Builder, n *xmldoc.Node) bool {
+		if n.Kind == xmldoc.KindElement && targets[n.ID()] {
+			copyElementShell(b, n)
+			b.Text(newText)
+			for _, c := range n.Children {
+				if c.Kind == xmldoc.KindElement {
+					copySubtree(b, c)
+				}
+			}
+			b.End()
+			return true
+		}
+		return false
+	})
+	e.store.Put(updated)
+	return nil
+}
+
+// Append adds a new child subtree under the elements matched by path,
+// provided the subject holds Write on each.
+func (e *Engine) Append(docName, path string, s *policy.Subject, child *xmldoc.Document) error {
+	doc, _, nodes, err := e.resolveWrite(docName, path, s)
+	if err != nil {
+		return err
+	}
+	targets := map[int]bool{}
+	for _, n := range nodes {
+		if n.Kind != xmldoc.KindElement {
+			return fmt.Errorf("accessctl: Append targets must be elements")
+		}
+		targets[n.ID()] = true
+	}
+	updated := rebuild(doc, func(b *xmldoc.Builder, n *xmldoc.Node) bool {
+		if n.Kind == xmldoc.KindElement && targets[n.ID()] {
+			copyElementShell(b, n)
+			for _, c := range n.Children {
+				copyNode(b, c)
+			}
+			copySubtree(b, child.Root)
+			b.End()
+			return true
+		}
+		return false
+	})
+	e.store.Put(updated)
+	return nil
+}
+
+// Delete removes the subtrees matched by path, provided the subject holds
+// Write on each matched node. Deleting the root is rejected.
+func (e *Engine) Delete(docName, path string, s *policy.Subject) error {
+	doc, _, nodes, err := e.resolveWrite(docName, path, s)
+	if err != nil {
+		return err
+	}
+	targets := map[int]bool{}
+	for _, n := range nodes {
+		if n.Parent == nil {
+			return fmt.Errorf("accessctl: cannot delete the document root")
+		}
+		targets[n.ID()] = true
+	}
+	updated := doc.Prune(func(n *xmldoc.Node) bool {
+		for p := n; p != nil; p = p.Parent {
+			if targets[p.ID()] {
+				return false
+			}
+		}
+		return true
+	})
+	if updated == nil {
+		return fmt.Errorf("accessctl: delete would empty the document")
+	}
+	e.store.Put(updated)
+	return nil
+}
+
+// resolveWrite locates the target nodes and checks Write authorization on
+// each.
+func (e *Engine) resolveWrite(docName, path string, s *policy.Subject) (*xmldoc.Document, *xmldoc.PathExpr, []*xmldoc.Node, error) {
+	doc, ok := e.store.Get(docName)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("accessctl: unknown document %s", docName)
+	}
+	pe, err := xmldoc.CompilePath(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	nodes := pe.Select(doc)
+	if len(nodes) == 0 {
+		return nil, nil, nil, fmt.Errorf("accessctl: path %s matches nothing in %s", path, docName)
+	}
+	labels := e.Labels(doc, s, policy.Write)
+	for _, n := range nodes {
+		if !labels[n.ID()] {
+			return nil, nil, nil, fmt.Errorf("accessctl: %s may not write %s in %s", s.ID, n.Path(), docName)
+		}
+	}
+	return doc, pe, nodes, nil
+}
+
+// rebuild copies a document through a Builder; mutate may take over the
+// emission of a node (returning true when it did).
+func rebuild(doc *xmldoc.Document, mutate func(*xmldoc.Builder, *xmldoc.Node) bool) *xmldoc.Document {
+	b := xmldoc.NewBuilder(doc.Name, doc.Root.Name)
+	for _, a := range doc.Root.Attrs {
+		b.Attrib(a.Name, a.Value)
+	}
+	for _, c := range doc.Root.Children {
+		emit(b, c, mutate)
+	}
+	return b.Freeze()
+}
+
+func emit(b *xmldoc.Builder, n *xmldoc.Node, mutate func(*xmldoc.Builder, *xmldoc.Node) bool) {
+	if mutate(b, n) {
+		return
+	}
+	switch n.Kind {
+	case xmldoc.KindText:
+		b.Text(n.Value)
+	case xmldoc.KindElement:
+		copyElementShell(b, n)
+		for _, c := range n.Children {
+			emit(b, c, mutate)
+		}
+		b.End()
+	}
+}
+
+// copyElementShell begins an element with its attributes (caller must End).
+func copyElementShell(b *xmldoc.Builder, n *xmldoc.Node) {
+	b.Begin(n.Name)
+	for _, a := range n.Attrs {
+		b.Attrib(a.Name, a.Value)
+	}
+}
+
+// copyNode copies one child node verbatim.
+func copyNode(b *xmldoc.Builder, n *xmldoc.Node) {
+	switch n.Kind {
+	case xmldoc.KindText:
+		b.Text(n.Value)
+	case xmldoc.KindElement:
+		copySubtree(b, n)
+	}
+}
+
+// copySubtree copies a whole element subtree.
+func copySubtree(b *xmldoc.Builder, n *xmldoc.Node) {
+	copyElementShell(b, n)
+	for _, c := range n.Children {
+		copyNode(b, c)
+	}
+	b.End()
+}

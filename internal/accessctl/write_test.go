@@ -1,0 +1,132 @@
+package accessctl
+
+import (
+	"strings"
+	"testing"
+
+	"webdbsec/internal/policy"
+	"webdbsec/internal/xmldoc"
+)
+
+func writeEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, _ := newEngine(t,
+		&policy.Policy{
+			Name:    "editors-write-diagnosis",
+			Subject: policy.SubjectSpec{Roles: []string{"editor"}},
+			Object:  policy.ObjectSpec{Doc: "records.xml", Path: "//diagnosis"},
+			Priv:    policy.Write,
+			Sign:    policy.Permit,
+			Prop:    policy.Cascade,
+		},
+		&policy.Policy{
+			Name:    "admins-write-all",
+			Subject: policy.SubjectSpec{Roles: []string{"admin"}},
+			Object:  policy.ObjectSpec{Doc: "records.xml"},
+			Priv:    policy.Write,
+			Sign:    policy.Permit,
+			Prop:    policy.Cascade,
+		},
+	)
+	return e
+}
+
+func TestUpdateTextAuthorized(t *testing.T) {
+	e := writeEngine(t)
+	editor := &policy.Subject{ID: "ed", Roles: []string{"editor"}}
+	if err := e.UpdateText("records.xml", "/hospital/patient[@ward='3']/diagnosis", editor, "pneumonia"); err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := e.Store().Get("records.xml")
+	got := xmldoc.MustCompilePath("/hospital/patient[@ward='3']/diagnosis").Select(doc)
+	if len(got) != 1 || got[0].Text() != "pneumonia" {
+		t.Errorf("diagnosis = %q", got[0].Text())
+	}
+	// Attributes survive the rewrite.
+	if sev, _ := got[0].Attr("severity"); sev != "high" {
+		t.Errorf("severity lost: %q", sev)
+	}
+	// Unrelated content untouched.
+	if ssn := xmldoc.MustCompilePath("/hospital/patient[@ward='3']/ssn").Select(doc); len(ssn) != 1 || ssn[0].Text() != "111-22-3333" {
+		t.Error("sibling content damaged")
+	}
+}
+
+func TestUpdateTextDeniedOutsideGrant(t *testing.T) {
+	e := writeEngine(t)
+	editor := &policy.Subject{ID: "ed", Roles: []string{"editor"}}
+	if err := e.UpdateText("records.xml", "//name", editor, "Mallory"); err == nil {
+		t.Error("editor rewrote names without write privilege")
+	}
+	nobody := &policy.Subject{ID: "x"}
+	if err := e.UpdateText("records.xml", "//diagnosis", nobody, "nope"); err == nil {
+		t.Error("unprivileged write accepted")
+	}
+}
+
+func TestAppendAndDelete(t *testing.T) {
+	e := writeEngine(t)
+	admin := &policy.Subject{ID: "root", Roles: []string{"admin"}}
+	child := xmldoc.MustParseString("frag", `<note author="root">checked</note>`)
+	if err := e.Append("records.xml", "/hospital/patient[@ward='5']", admin, child); err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := e.Store().Get("records.xml")
+	notes := xmldoc.MustCompilePath("//note").Select(doc)
+	if len(notes) != 1 || notes[0].Text() != "checked" {
+		t.Fatalf("appended note = %v", notes)
+	}
+	if err := e.Delete("records.xml", "//note", admin); err != nil {
+		t.Fatal(err)
+	}
+	doc, _ = e.Store().Get("records.xml")
+	if len(xmldoc.MustCompilePath("//note").Select(doc)) != 0 {
+		t.Error("note survives delete")
+	}
+}
+
+func TestDeleteGuards(t *testing.T) {
+	e := writeEngine(t)
+	admin := &policy.Subject{ID: "root", Roles: []string{"admin"}}
+	if err := e.Delete("records.xml", "/hospital", admin); err == nil {
+		t.Error("root deletion accepted")
+	}
+	editor := &policy.Subject{ID: "ed", Roles: []string{"editor"}}
+	if err := e.Delete("records.xml", "//patient", editor); err == nil {
+		t.Error("editor deleted outside write grant")
+	}
+	if err := e.Delete("ghost.xml", "//x", admin); err == nil {
+		t.Error("unknown doc accepted")
+	}
+	if err := e.Delete("records.xml", "//nomatch", admin); err == nil {
+		t.Error("empty match accepted")
+	}
+	if err := e.Delete("records.xml", "bad[path", admin); err == nil {
+		t.Error("bad path accepted")
+	}
+}
+
+func TestWriteDoesNotGrantRead(t *testing.T) {
+	e := writeEngine(t)
+	editor := &policy.Subject{ID: "ed", Roles: []string{"editor"}}
+	if v := e.View("records.xml", editor, policy.Read); v != nil {
+		t.Error("write policy granted a read view")
+	}
+}
+
+func TestRebuildPreservesDocument(t *testing.T) {
+	e := writeEngine(t)
+	doc, _ := e.Store().Get("records.xml")
+	before := doc.Canonical()
+	admin := &policy.Subject{ID: "root", Roles: []string{"admin"}}
+	// An update that rewrites a diagnosis to its existing value must keep
+	// everything else byte-identical.
+	cur := xmldoc.MustCompilePath("/hospital/patient[@ward='5']/diagnosis").Select(doc)[0].Text()
+	if err := e.UpdateText("records.xml", "/hospital/patient[@ward='5']/diagnosis", admin, cur); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := e.Store().Get("records.xml")
+	if !strings.EqualFold(before, after.Canonical()) {
+		t.Errorf("no-op rewrite changed document:\n before %s\n after  %s", before, after.Canonical())
+	}
+}

@@ -1,0 +1,67 @@
+package audit
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestChainIntact(t *testing.T) {
+	l := NewLog()
+	l.Append("alice", "read", "/doc1", "permit")
+	l.Append("bob", "write", "/doc1", "deny")
+	l.Append("alice", "read", "/doc2", "permit")
+	if got := l.Verify(); got != -1 {
+		t.Fatalf("fresh log corrupt at %d", got)
+	}
+	if l.Len() != 3 {
+		t.Errorf("len = %d", l.Len())
+	}
+	recs := l.Records()
+	if recs[1].PrevHash != recs[0].Hash {
+		t.Error("chain not linked")
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	l := NewLog()
+	l.Append("alice", "read", "/doc1", "deny")
+	l.Append("alice", "read", "/doc1", "deny")
+	l.Append("alice", "read", "/doc1", "deny")
+	// The attacker flips a denial into a permit.
+	if !l.Tamper(1, "permit") {
+		t.Fatal("tamper hook failed")
+	}
+	if got := l.Verify(); got != 1 {
+		t.Errorf("Verify = %d, want 1", got)
+	}
+	if l.Tamper(99, "x") {
+		t.Error("tamper out of range succeeded")
+	}
+}
+
+func TestEmptyLogVerifies(t *testing.T) {
+	if got := NewLog().Verify(); got != -1 {
+		t.Errorf("empty log corrupt at %d", got)
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	l := NewLog()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				l.Append("w", "op", "obj", "ok")
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 800 {
+		t.Errorf("len = %d", l.Len())
+	}
+	if got := l.Verify(); got != -1 {
+		t.Errorf("concurrent log corrupt at %d", got)
+	}
+}

@@ -1,0 +1,254 @@
+// Package authorx implements the Author-X secure dissemination approach [5]
+// the paper describes in §3.2 and §4.1: instead of trusting the server (or
+// discovery agency) that hands out documents, "the service provider
+// encrypts the entries to be published ... according to its access control
+// policies: all the entry portions to which the same policies apply are
+// encrypted with the same key. Then, it publishes the encrypted copy ...
+// Additionally, the service provider is responsible for distributing keys
+// to the service requestors in such a way that each service requestor
+// receives all and only the keys corresponding to the information it is
+// entitled to access."
+//
+// The policy-configuration partition comes from accessctl.Configurations:
+// two nodes share an encryption key iff exactly the same read policies
+// apply to them ("well-formed encryption"). A subject is handed the key of
+// a configuration class iff every node of that class is readable by the
+// subject — the conservative rule that can never over-grant even when
+// denials interleave with permissions at different depths.
+package authorx
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"webdbsec/internal/accessctl"
+	"webdbsec/internal/policy"
+	"webdbsec/internal/wenc"
+	"webdbsec/internal/xmldoc"
+)
+
+// EncryptedNode is one node of a broadcast document: the tree position and
+// configuration class are public; the node's own content (kind, name,
+// value) is sealed under the class key.
+type EncryptedNode struct {
+	ID       int
+	ParentID int // -1 for the root
+	Class    string
+	Blob     []byte
+}
+
+// EncryptedDocument is the publishable ciphertext form of a document. The
+// skeleton (node ids and parent links) is visible; everything else is
+// encrypted. It can be handed to an untrusted publisher or broadcast.
+type EncryptedDocument struct {
+	Name       string
+	Nodes      []EncryptedNode
+	NumClasses int
+}
+
+// Publisher is the document owner: it holds the policy engine and the
+// per-document class keys, encrypts documents, and hands subjects exactly
+// the keys they are entitled to.
+type Publisher struct {
+	engine *accessctl.Engine
+	// keys maps document name -> class id -> key.
+	keys map[string]map[string]wenc.Key
+	// classes caches the configuration partition per document.
+	classes map[string]*accessctl.PolicyConfiguration
+}
+
+// NewPublisher returns a publisher over the given engine.
+func NewPublisher(engine *accessctl.Engine) *Publisher {
+	return &Publisher{
+		engine:  engine,
+		keys:    make(map[string]map[string]wenc.Key),
+		classes: make(map[string]*accessctl.PolicyConfiguration),
+	}
+}
+
+// classID names a configuration class in key rings and encrypted nodes.
+func classID(doc string, class int) string {
+	return fmt.Sprintf("%s#%d", doc, class)
+}
+
+// Encrypt produces the broadcastable encrypted form of the named document,
+// generating one fresh key per policy-configuration class.
+func (p *Publisher) Encrypt(docName string) (*EncryptedDocument, error) {
+	doc, ok := p.engine.Store().Get(docName)
+	if !ok {
+		return nil, fmt.Errorf("authorx: unknown document %q", docName)
+	}
+	pc := p.engine.Configurations(doc)
+	p.classes[docName] = pc
+	km := make(map[string]wenc.Key, pc.NumClasses)
+	for c := 0; c < pc.NumClasses; c++ {
+		k, err := wenc.NewKey()
+		if err != nil {
+			return nil, err
+		}
+		km[classID(docName, c)] = k
+	}
+	p.keys[docName] = km
+
+	enc := &EncryptedDocument{Name: docName, NumClasses: pc.NumClasses}
+	for _, n := range doc.Nodes() {
+		parent := -1
+		if n.Parent != nil {
+			parent = n.Parent.ID()
+		}
+		cid := classID(docName, pc.Class[n.ID()])
+		blob, err := wenc.Seal(km[cid], encodeNode(n), aad(docName, n.ID()))
+		if err != nil {
+			return nil, err
+		}
+		enc.Nodes = append(enc.Nodes, EncryptedNode{
+			ID: n.ID(), ParentID: parent, Class: cid, Blob: blob,
+		})
+	}
+	return enc, nil
+}
+
+// GrantKeys returns the key ring for a subject: the keys of every
+// configuration class of the document whose nodes are all readable by the
+// subject. Encrypt must have been called for the document first.
+func (p *Publisher) GrantKeys(docName string, s *policy.Subject) (*wenc.KeyRing, error) {
+	doc, ok := p.engine.Store().Get(docName)
+	if !ok {
+		return nil, fmt.Errorf("authorx: unknown document %q", docName)
+	}
+	pc, ok := p.classes[docName]
+	if !ok {
+		return nil, fmt.Errorf("authorx: document %q not encrypted yet", docName)
+	}
+	labels := p.engine.Labels(doc, s, policy.Read)
+	allowed := make([]bool, pc.NumClasses)
+	seen := make([]bool, pc.NumClasses)
+	for i := range allowed {
+		allowed[i] = true
+	}
+	for id, class := range pc.Class {
+		seen[class] = true
+		if !labels[id] {
+			allowed[class] = false
+		}
+	}
+	ring := wenc.NewKeyRing()
+	for c := 0; c < pc.NumClasses; c++ {
+		if seen[c] && allowed[c] {
+			cid := classID(docName, c)
+			ring.Add(cid, p.keys[docName][cid])
+		}
+	}
+	return ring, nil
+}
+
+// NumKeys returns the number of class keys generated for the document —
+// the key-management cost experiment E3 tracks.
+func (p *Publisher) NumKeys(docName string) int {
+	return len(p.keys[docName])
+}
+
+// Decrypt reconstructs a subject's view from an encrypted document and the
+// subject's key ring: a node appears in the view iff its key is held and
+// all its ancestors are decryptable too (otherwise its position in the
+// document cannot be established). It returns nil when not even the root
+// is decryptable.
+func Decrypt(enc *EncryptedDocument, ring *wenc.KeyRing) (*xmldoc.Document, error) {
+	type plain struct {
+		kind  xmldoc.NodeKind
+		name  string
+		value string
+		ok    bool
+	}
+	nodes := make([]plain, len(enc.Nodes))
+	children := make(map[int][]int)
+	root := -1
+	for i, en := range enc.Nodes {
+		if en.ParentID < 0 {
+			root = i
+		} else {
+			children[en.ParentID] = append(children[en.ParentID], i)
+		}
+		key, held := ring.Get(en.Class)
+		if !held {
+			continue
+		}
+		pt, err := wenc.Open(key, en.Blob, aad(enc.Name, en.ID))
+		if err != nil {
+			return nil, fmt.Errorf("authorx: node %d: %w", en.ID, err)
+		}
+		kind, name, value, err := decodeNode(pt)
+		if err != nil {
+			return nil, fmt.Errorf("authorx: node %d: %w", en.ID, err)
+		}
+		nodes[i] = plain{kind: kind, name: name, value: value, ok: true}
+	}
+	if root < 0 || !nodes[root].ok {
+		return nil, nil
+	}
+	b := xmldoc.NewBuilder(enc.Name, nodes[root].name)
+	var build func(idx int)
+	build = func(idx int) {
+		for _, ci := range children[idx] {
+			c := nodes[ci]
+			if !c.ok {
+				continue
+			}
+			switch c.kind {
+			case xmldoc.KindAttr:
+				b.Attrib(c.name, c.value)
+			case xmldoc.KindText:
+				b.Text(c.value)
+			case xmldoc.KindElement:
+				b.Begin(c.name)
+				build(ci)
+				b.End()
+			}
+		}
+	}
+	build(root)
+	return b.Freeze(), nil
+}
+
+func aad(doc string, nodeID int) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(nodeID))
+	return append([]byte(doc+"|"), buf[:]...)
+}
+
+// encodeNode serializes a node's own content: kind byte, then
+// length-prefixed name and value.
+func encodeNode(n *xmldoc.Node) []byte {
+	name, value := []byte(n.Name), []byte(n.Value)
+	out := make([]byte, 0, 1+8+len(name)+len(value))
+	out = append(out, byte(n.Kind))
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(name)))
+	out = append(out, l[:]...)
+	out = append(out, name...)
+	binary.BigEndian.PutUint32(l[:], uint32(len(value)))
+	out = append(out, l[:]...)
+	out = append(out, value...)
+	return out
+}
+
+func decodeNode(b []byte) (xmldoc.NodeKind, string, string, error) {
+	if len(b) < 5 {
+		return 0, "", "", fmt.Errorf("authorx: truncated node encoding")
+	}
+	kind := xmldoc.NodeKind(b[0])
+	b = b[1:]
+	nameLen := binary.BigEndian.Uint32(b[:4])
+	b = b[4:]
+	if uint32(len(b)) < nameLen+4 {
+		return 0, "", "", fmt.Errorf("authorx: truncated node name")
+	}
+	name := string(b[:nameLen])
+	b = b[nameLen:]
+	valLen := binary.BigEndian.Uint32(b[:4])
+	b = b[4:]
+	if uint32(len(b)) != valLen {
+		return 0, "", "", fmt.Errorf("authorx: truncated node value")
+	}
+	return kind, name, string(b), nil
+}

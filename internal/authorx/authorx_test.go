@@ -1,0 +1,230 @@
+package authorx
+
+import (
+	"strings"
+	"testing"
+
+	"webdbsec/internal/accessctl"
+	"webdbsec/internal/policy"
+	"webdbsec/internal/wenc"
+	"webdbsec/internal/xmldoc"
+)
+
+const reportXML = `
+<report>
+  <public>
+    <summary>quarterly numbers fine</summary>
+  </public>
+  <internal>
+    <forecast>down 10 percent</forecast>
+  </internal>
+  <board>
+    <merger target="Initech"/>
+  </board>
+</report>`
+
+// setup builds a store with three audience levels: everyone reads public,
+// staff read public+internal, board read everything.
+func setup(t *testing.T) (*Publisher, *accessctl.Engine) {
+	t.Helper()
+	store := xmldoc.NewStore()
+	doc, err := xmldoc.ParseString("report.xml", reportXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Put(doc)
+	base := policy.NewBase(nil)
+	add := func(name, path string, roles []string, ids []string) {
+		base.MustAdd(&policy.Policy{
+			Name:    name,
+			Subject: policy.SubjectSpec{Roles: roles, IDs: ids},
+			Object:  policy.ObjectSpec{Doc: "report.xml", Path: path},
+			Priv:    policy.Read,
+			Sign:    policy.Permit,
+			Prop:    policy.Cascade,
+		})
+	}
+	add("pub", "/report/public", nil, []string{"*"})
+	add("pub-root", "/report", nil, []string{"*"}) // root shell visible to all
+	add("int", "/report/internal", []string{"staff", "board"}, nil)
+	add("brd", "/report/board", []string{"board"}, nil)
+	// Root-shell permit must not cascade: restrict with NoProp.
+	for _, p := range base.All() {
+		if p.Name == "pub-root" {
+			p.Prop = policy.NoProp
+		}
+	}
+	engine := accessctl.NewEngine(store, base)
+	return NewPublisher(engine), engine
+}
+
+func TestEncryptProducesOneKeyPerClass(t *testing.T) {
+	pub, engine := setup(t)
+	enc, err := pub.Encrypt("report.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := engine.Store().Get("report.xml")
+	pc := engine.Configurations(doc)
+	if enc.NumClasses != pc.NumClasses {
+		t.Errorf("enc classes = %d, partition classes = %d", enc.NumClasses, pc.NumClasses)
+	}
+	if pub.NumKeys("report.xml") != pc.NumClasses {
+		t.Errorf("keys = %d, want %d", pub.NumKeys("report.xml"), pc.NumClasses)
+	}
+	if len(enc.Nodes) != doc.NumNodes() {
+		t.Errorf("encrypted nodes = %d, want %d", len(enc.Nodes), doc.NumNodes())
+	}
+	// No plaintext leaks into the encrypted form.
+	for _, en := range enc.Nodes {
+		if strings.Contains(string(en.Blob), "Initech") || strings.Contains(string(en.Blob), "forecast") {
+			t.Fatal("plaintext visible in encrypted node")
+		}
+	}
+}
+
+func TestKeyDistributionMatchesEntitlement(t *testing.T) {
+	pub, _ := setup(t)
+	if _, err := pub.Encrypt("report.xml"); err != nil {
+		t.Fatal(err)
+	}
+	anon := &policy.Subject{ID: "visitor"}
+	staff := &policy.Subject{ID: "s1", Roles: []string{"staff"}}
+	board := &policy.Subject{ID: "b1", Roles: []string{"board"}}
+
+	rAnon, err := pub.GrantKeys("report.xml", anon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rStaff, _ := pub.GrantKeys("report.xml", staff)
+	rBoard, _ := pub.GrantKeys("report.xml", board)
+	if !(rAnon.Len() < rStaff.Len() && rStaff.Len() < rBoard.Len()) {
+		t.Errorf("key monotonicity broken: anon=%d staff=%d board=%d",
+			rAnon.Len(), rStaff.Len(), rBoard.Len())
+	}
+}
+
+func TestDecryptViewMatchesTrustedServerView(t *testing.T) {
+	pub, engine := setup(t)
+	enc, err := pub.Encrypt("report.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*policy.Subject{
+		{ID: "visitor"},
+		{ID: "s1", Roles: []string{"staff"}},
+		{ID: "b1", Roles: []string{"board"}},
+	} {
+		ring, err := pub.GrantKeys("report.xml", s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decrypt(enc, ring)
+		if err != nil {
+			t.Fatalf("subject %s: decrypt: %v", s.ID, err)
+		}
+		want := engine.View("report.xml", s, policy.Read)
+		switch {
+		case want == nil && got != nil:
+			t.Errorf("subject %s: decrypted a view the trusted server denies", s.ID)
+		case want != nil && got == nil:
+			t.Errorf("subject %s: no view though trusted server grants one", s.ID)
+		case want != nil && got != nil && got.Canonical() != want.Canonical():
+			t.Errorf("subject %s: views differ:\n enc: %s\n srv: %s",
+				s.ID, got.Canonical(), want.Canonical())
+		}
+	}
+}
+
+func TestAnonCannotDecryptSecrets(t *testing.T) {
+	pub, _ := setup(t)
+	enc, _ := pub.Encrypt("report.xml")
+	ring, _ := pub.GrantKeys("report.xml", &policy.Subject{ID: "visitor"})
+	v, err := Decrypt(enc, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("visitor should at least see the public part")
+	}
+	c := v.Canonical()
+	if strings.Contains(c, "Initech") || strings.Contains(c, "down 10 percent") {
+		t.Fatalf("secret content decrypted by visitor: %s", c)
+	}
+	if !strings.Contains(c, "quarterly numbers fine") {
+		t.Errorf("public content missing: %s", c)
+	}
+}
+
+func TestDecryptWithEmptyRing(t *testing.T) {
+	pub, _ := setup(t)
+	enc, _ := pub.Encrypt("report.xml")
+	v, err := Decrypt(enc, wenc.NewKeyRing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Error("view reconstructed with no keys")
+	}
+}
+
+func TestDecryptRejectsSwappedBlobs(t *testing.T) {
+	// A malicious publisher swaps two encrypted nodes of the same class;
+	// the AAD (doc, node id) binding must catch it.
+	pub, _ := setup(t)
+	enc, _ := pub.Encrypt("report.xml")
+	ring, _ := pub.GrantKeys("report.xml", &policy.Subject{ID: "b1", Roles: []string{"board"}})
+
+	// Find two distinct nodes in the same class.
+	var i, j = -1, -1
+	for a := range enc.Nodes {
+		for b := a + 1; b < len(enc.Nodes); b++ {
+			if enc.Nodes[a].Class == enc.Nodes[b].Class {
+				i, j = a, b
+				break
+			}
+		}
+		if i >= 0 {
+			break
+		}
+	}
+	if i < 0 {
+		t.Skip("no same-class pair in fixture")
+	}
+	enc.Nodes[i].Blob, enc.Nodes[j].Blob = enc.Nodes[j].Blob, enc.Nodes[i].Blob
+	if _, err := Decrypt(enc, ring); err == nil {
+		t.Error("swapped blobs decrypted cleanly: AAD binding missing")
+	}
+}
+
+func TestEncryptUnknownDocument(t *testing.T) {
+	pub, _ := setup(t)
+	if _, err := pub.Encrypt("ghost.xml"); err == nil {
+		t.Error("unknown document encrypted")
+	}
+	if _, err := pub.GrantKeys("ghost.xml", &policy.Subject{ID: "x"}); err == nil {
+		t.Error("keys granted for unknown document")
+	}
+	if _, err := pub.GrantKeys("report.xml", &policy.Subject{ID: "x"}); err == nil {
+		t.Error("keys granted before Encrypt")
+	}
+}
+
+func TestNodeEncodingRoundTrip(t *testing.T) {
+	doc := xmldoc.MustParseString("d", `<a k="v">text</a>`)
+	for _, n := range doc.Nodes() {
+		kind, name, value, err := decodeNode(encodeNode(n))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if kind != n.Kind || name != n.Name || value != n.Value {
+			t.Errorf("roundtrip mismatch for node %d", n.ID())
+		}
+	}
+	// Corrupt encodings are rejected.
+	for _, b := range [][]byte{nil, {0}, {0, 0, 0, 0, 9}, {9, 0, 0, 0, 1, 'x', 0, 0, 0, 9}} {
+		if _, _, _, err := decodeNode(b); err == nil {
+			t.Errorf("corrupt encoding %v accepted", b)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package authorx
+
+import (
+	"fmt"
+	"sort"
+
+	"webdbsec/internal/policy"
+	"webdbsec/internal/wenc"
+	"webdbsec/internal/xmldoc"
+)
+
+// Dissemination is the push/pull distribution layer of Author-X [5]: the
+// publisher maintains subscriptions, broadcasts one encrypted copy of each
+// document, and delivers each subscriber exactly the keys for its
+// authorized portions. Document updates and policy changes re-encrypt
+// under fresh keys (re-keying), so removed subjects cannot decrypt future
+// versions with stale keys — forward protection.
+type Dissemination struct {
+	pub  *Publisher
+	subs map[string]*policy.Subject
+	// current holds the latest broadcast per document.
+	current map[string]*EncryptedDocument
+}
+
+// NewDissemination wraps a publisher.
+func NewDissemination(pub *Publisher) *Dissemination {
+	return &Dissemination{
+		pub:     pub,
+		subs:    make(map[string]*policy.Subject),
+		current: make(map[string]*EncryptedDocument),
+	}
+}
+
+// Subscribe registers a subject for push delivery. Re-subscribing updates
+// the stored subject (e.g. new roles/credentials).
+func (d *Dissemination) Subscribe(s *policy.Subject) {
+	d.subs[s.ID] = s
+}
+
+// Unsubscribe removes a subject. Already-delivered keys still open the
+// current version; the next Push re-keys and locks the subject out.
+func (d *Dissemination) Unsubscribe(subjectID string) {
+	delete(d.subs, subjectID)
+}
+
+// Subscribers returns the subscriber ids, sorted.
+func (d *Dissemination) Subscribers() []string {
+	out := make([]string, 0, len(d.subs))
+	for id := range d.subs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Delivery is one subscriber's share of a push: the common ciphertext plus
+// the subject's personal key ring.
+type Delivery struct {
+	SubjectID string
+	Doc       *EncryptedDocument
+	Ring      *wenc.KeyRing
+}
+
+// Push (re-)encrypts the named document under fresh keys and produces one
+// delivery per subscriber. The ciphertext is shared (broadcast); only the
+// key rings differ — the bandwidth model of secure broadcasting.
+func (d *Dissemination) Push(docName string) ([]Delivery, error) {
+	enc, err := d.pub.Encrypt(docName)
+	if err != nil {
+		return nil, err
+	}
+	d.current[docName] = enc
+	out := make([]Delivery, 0, len(d.subs))
+	for _, id := range d.Subscribers() {
+		ring, err := d.pub.GrantKeys(docName, d.subs[id])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Delivery{SubjectID: id, Doc: enc, Ring: ring})
+	}
+	return out, nil
+}
+
+// UpdateDocument replaces the document in the store and pushes the new
+// version — the paper's document-update path: subscribers holding old keys
+// cannot decrypt the new version unless still authorized.
+func (d *Dissemination) UpdateDocument(doc *xmldoc.Document) ([]Delivery, error) {
+	d.pub.engine.Store().Put(doc)
+	return d.Push(doc.Name)
+}
+
+// Pull serves the current encrypted version plus the requesting subject's
+// key ring on demand. The subject need not be subscribed (pull mode), but
+// the document must have been pushed at least once.
+func (d *Dissemination) Pull(docName string, s *policy.Subject) (*Delivery, error) {
+	enc, ok := d.current[docName]
+	if !ok {
+		return nil, fmt.Errorf("authorx: document %q has not been disseminated", docName)
+	}
+	ring, err := d.pub.GrantKeys(docName, s)
+	if err != nil {
+		return nil, err
+	}
+	return &Delivery{SubjectID: s.ID, Doc: enc, Ring: ring}, nil
+}
+
+// Open decrypts the delivery into the subject's authorized view.
+func (del Delivery) Open() (*xmldoc.Document, error) {
+	return Decrypt(del.Doc, del.Ring)
+}

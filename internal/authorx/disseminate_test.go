@@ -1,0 +1,137 @@
+package authorx
+
+import (
+	"strings"
+	"testing"
+
+	"webdbsec/internal/policy"
+	"webdbsec/internal/xmldoc"
+)
+
+func dissemination(t *testing.T) (*Dissemination, *Publisher) {
+	t.Helper()
+	pub, _ := setup(t)
+	return NewDissemination(pub), pub
+}
+
+func TestPushDeliversPerSubscriberKeys(t *testing.T) {
+	d, _ := dissemination(t)
+	d.Subscribe(&policy.Subject{ID: "visitor"})
+	d.Subscribe(&policy.Subject{ID: "b1", Roles: []string{"board"}})
+	dels, err := d.Push("report.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dels) != 2 {
+		t.Fatalf("deliveries = %d", len(dels))
+	}
+	// Shared ciphertext, distinct rings.
+	if dels[0].Doc != dels[1].Doc {
+		t.Error("ciphertext not shared across subscribers")
+	}
+	byID := map[string]Delivery{}
+	for _, del := range dels {
+		byID[del.SubjectID] = del
+	}
+	if byID["visitor"].Ring.Len() >= byID["b1"].Ring.Len() {
+		t.Error("visitor holds at least as many keys as board member")
+	}
+	vView, err := byID["visitor"].Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(vView.Canonical(), "Initech") {
+		t.Error("visitor decrypted board content")
+	}
+	bView, err := byID["b1"].Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(bView.Canonical(), "Initech") {
+		t.Error("board member cannot decrypt board content")
+	}
+}
+
+func TestPullWithoutSubscription(t *testing.T) {
+	d, _ := dissemination(t)
+	if _, err := d.Pull("report.xml", &policy.Subject{ID: "x"}); err == nil {
+		t.Error("pull before any push accepted")
+	}
+	if _, err := d.Push("report.xml"); err != nil {
+		t.Fatal(err)
+	}
+	del, err := d.Pull("report.xml", &policy.Subject{ID: "s1", Roles: []string{"staff"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := del.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(v.Canonical(), "down 10 percent") {
+		t.Error("staff pull missing internal section")
+	}
+}
+
+func TestRekeyOnPushLocksOutStaleKeys(t *testing.T) {
+	d, _ := dissemination(t)
+	board := &policy.Subject{ID: "b1", Roles: []string{"board"}}
+	d.Subscribe(board)
+	dels, err := d.Push("report.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldRing := dels[0].Ring
+
+	// Second push re-keys; the old ring no longer opens the new version.
+	dels2, err := d.Push("report.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := Delivery{SubjectID: "b1", Doc: dels2[0].Doc, Ring: oldRing}
+	if v, err := stale.Open(); err == nil && v != nil {
+		t.Error("stale keys decrypt the re-keyed broadcast")
+	}
+	if v, err := dels2[0].Open(); err != nil || v == nil {
+		t.Errorf("fresh keys fail: %v", err)
+	}
+}
+
+func TestUnsubscribeStopsDeliveries(t *testing.T) {
+	d, _ := dissemination(t)
+	d.Subscribe(&policy.Subject{ID: "a"})
+	d.Subscribe(&policy.Subject{ID: "b"})
+	d.Unsubscribe("a")
+	if got := d.Subscribers(); len(got) != 1 || got[0] != "b" {
+		t.Errorf("subscribers = %v", got)
+	}
+	dels, err := d.Push("report.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dels) != 1 || dels[0].SubjectID != "b" {
+		t.Errorf("deliveries = %+v", dels)
+	}
+}
+
+func TestUpdateDocumentPropagates(t *testing.T) {
+	d, _ := dissemination(t)
+	staff := &policy.Subject{ID: "s1", Roles: []string{"staff"}}
+	d.Subscribe(staff)
+	if _, err := d.Push("report.xml"); err != nil {
+		t.Fatal(err)
+	}
+	// The owner revises the forecast.
+	updated := xmldoc.MustParseString("report.xml", strings.Replace(reportXML, "down 10 percent", "up 5 percent", 1))
+	dels, err := d.UpdateDocument(updated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := dels[0].Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(v.Canonical(), "up 5 percent") {
+		t.Error("update not visible after push")
+	}
+}

@@ -1,0 +1,117 @@
+package authorx
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"webdbsec/internal/accessctl"
+	"webdbsec/internal/policy"
+	"webdbsec/internal/xmldoc"
+)
+
+// randomPublisher builds a random document and random read policies.
+func randomPublisher(seed int64) (*Publisher, *accessctl.Engine, *xmldoc.Document, []*policy.Subject) {
+	rng := rand.New(rand.NewSource(seed))
+	b := xmldoc.NewBuilder("r.xml", "root")
+	names := []string{"a", "b", "c"}
+	depth := 0
+	for i := 0; i < 50; i++ {
+		switch op := rng.Intn(4); {
+		case op == 0 && depth > 0:
+			b.End()
+			depth--
+		case op <= 1:
+			b.Begin(names[rng.Intn(len(names))])
+			depth++
+		case op == 2:
+			b.Text(fmt.Sprintf("secret-%d", rng.Intn(100)))
+		default:
+			b.Attrib("k", fmt.Sprintf("%d", rng.Intn(3)))
+		}
+	}
+	doc := b.Freeze()
+	store := xmldoc.NewStore()
+	store.Put(doc)
+	base := policy.NewBase(nil)
+	paths := []string{"", "//a", "//b", "//c", "//a/b"}
+	roles := []string{"r1", "r2"}
+	for i := 0; i < 1+rng.Intn(6); i++ {
+		base.MustAdd(&policy.Policy{
+			Name:    fmt.Sprintf("p%d", i),
+			Subject: policy.SubjectSpec{Roles: []string{roles[rng.Intn(len(roles))]}},
+			Object:  policy.ObjectSpec{Doc: "r.xml", Path: paths[rng.Intn(len(paths))]},
+			Priv:    policy.Read,
+			Sign:    policy.Sign(rng.Intn(2)),
+			Prop:    policy.Cascade,
+		})
+	}
+	eng := accessctl.NewEngine(store, base)
+	subjects := []*policy.Subject{
+		{ID: "u1", Roles: []string{"r1"}},
+		{ID: "u2", Roles: []string{"r2"}},
+		{ID: "u3", Roles: []string{"r1", "r2"}},
+		{ID: "u4"},
+	}
+	return NewPublisher(eng), eng, doc, subjects
+}
+
+func TestQuickBroadcastNeverOverGrants(t *testing.T) {
+	// Soundness: whatever a subject decrypts from the broadcast is a
+	// (possibly strict) sub-view of what the trusted server would give it.
+	// Checked by value-multiset containment on text and attributes.
+	f := func(seed int64) bool {
+		pub, eng, doc, subjects := randomPublisher(seed)
+		enc, err := pub.Encrypt(doc.Name)
+		if err != nil {
+			return false
+		}
+		for _, s := range subjects {
+			ring, err := pub.GrantKeys(doc.Name, s)
+			if err != nil {
+				return false
+			}
+			got, err := Decrypt(enc, ring)
+			if err != nil {
+				return false
+			}
+			want := eng.View(doc.Name, s, policy.Read)
+			if got == nil {
+				continue // nothing decrypted: trivially sound
+			}
+			if want == nil {
+				t.Logf("seed %d subject %s: decrypted view though trusted server denies", seed, s.ID)
+				return false
+			}
+			// Multiset containment of non-element values.
+			allowed := map[string]int{}
+			want.Walk(func(n *xmldoc.Node) bool {
+				if n.Kind != xmldoc.KindElement {
+					allowed[n.Value]++
+				}
+				return true
+			})
+			sound := true
+			got.Walk(func(n *xmldoc.Node) bool {
+				if n.Kind == xmldoc.KindElement {
+					return true
+				}
+				if allowed[n.Value] == 0 {
+					sound = false
+					return false
+				}
+				allowed[n.Value]--
+				return true
+			})
+			if !sound {
+				t.Logf("seed %d subject %s: broadcast over-grants", seed, s.ID)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package core assembles the paper's contribution out of the substrates:
+// a secure web database front end (access control + privacy constraints +
+// inference control + audit, §3), and the layered secure-semantic-web
+// stack with the flexible security policy of §5 (stack.go).
+package core
+
+import (
+	"fmt"
+
+	"webdbsec/internal/audit"
+	"webdbsec/internal/inference"
+	"webdbsec/internal/policy"
+	"webdbsec/internal/privacy"
+	"webdbsec/internal/reldb"
+)
+
+// SecureWebDB is the full §3.1+§3.3 pipeline in front of the relational
+// substrate. A query passes, in order:
+//
+//  1. System R privilege check and row/column policy rewrite
+//     (reldb.SecureDB) — discretionary access control;
+//  2. privacy-constraint filtering of the result columns
+//     (privacy.Controller) — the privacy controller;
+//  3. the inference controller (inference.Controller) — the released
+//     attribute set, combined with the requestor's history, must not let
+//     it derive anything the constraints protect;
+//  4. the audit log records the decision either way.
+type SecureWebDB struct {
+	sec   *reldb.SecureDB
+	priv  *privacy.Controller
+	infer *inference.Controller
+	log   *audit.Log
+}
+
+// Config carries the components; zero fields get fresh defaults.
+type Config struct {
+	DB      *reldb.SecureDB
+	Privacy *privacy.Controller
+	Infer   *inference.Controller
+	Audit   *audit.Log
+}
+
+// NewSecureWebDB assembles the pipeline.
+func NewSecureWebDB(cfg Config) *SecureWebDB {
+	if cfg.DB == nil {
+		cfg.DB = reldb.NewSecureDB(reldb.NewDatabase(), nil)
+	}
+	if cfg.Privacy == nil {
+		cfg.Privacy = privacy.NewController()
+	}
+	if cfg.Infer == nil {
+		cfg.Infer = inference.NewController(cfg.Privacy)
+	}
+	if cfg.Audit == nil {
+		cfg.Audit = audit.NewLog()
+	}
+	return &SecureWebDB{sec: cfg.DB, priv: cfg.Privacy, infer: cfg.Infer, log: cfg.Audit}
+}
+
+// DB exposes the secure relational layer for administration (grants,
+// policies, table creation).
+func (w *SecureWebDB) DB() *reldb.SecureDB { return w.sec }
+
+// Privacy exposes the privacy controller for constraint administration.
+func (w *SecureWebDB) Privacy() *privacy.Controller { return w.priv }
+
+// Inference exposes the inference controller for rule administration.
+func (w *SecureWebDB) Inference() *inference.Controller { return w.infer }
+
+// Audit exposes the audit log.
+func (w *SecureWebDB) Audit() *audit.Log { return w.log }
+
+// QueryOutcome is the result of a gated query.
+type QueryOutcome struct {
+	Result *reldb.Result
+	// MaskedColumns lists columns blanked by privacy constraints.
+	MaskedColumns []string
+	// Derived lists attributes the inference controller determined the
+	// subject can now deduce.
+	Derived []string
+}
+
+// Query runs a SELECT through the whole pipeline.
+func (w *SecureWebDB) Query(s *policy.Subject, sql string) (*QueryOutcome, error) {
+	res, err := w.sec.Exec(s, sql)
+	if err != nil {
+		w.log.Append(s.ID, "query", sql, "deny:access")
+		return nil, err
+	}
+	masked := w.priv.FilterResult(s, res)
+	// Only columns that actually flow to the subject count for inference.
+	var released []string
+	maskedSet := map[string]bool{}
+	for _, m := range masked {
+		maskedSet[m] = true
+	}
+	for _, c := range res.Columns {
+		if !maskedSet[c] {
+			released = append(released, c)
+		}
+	}
+	dec := w.infer.Check(s, released)
+	if !dec.Allowed {
+		w.log.Append(s.ID, "query", sql, "deny:inference:"+dec.Violation)
+		return nil, fmt.Errorf("core: query refused: releasing %v would let %s infer protected information (constraint %s)",
+			released, s.ID, dec.Violation)
+	}
+	w.log.Append(s.ID, "query", sql, "permit")
+	return &QueryOutcome{Result: res, MaskedColumns: masked, Derived: dec.Derived}, nil
+}
+
+// Execute runs non-SELECT DML through the access control layer with
+// auditing.
+func (w *SecureWebDB) Execute(s *policy.Subject, sql string) (*reldb.Result, error) {
+	res, err := w.sec.Exec(s, sql)
+	if err != nil {
+		w.log.Append(s.ID, "execute", sql, "deny")
+		return nil, err
+	}
+	w.log.Append(s.ID, "execute", sql, "permit")
+	return res, nil
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+
+	"webdbsec/internal/accessctl"
+	"webdbsec/internal/ontology"
+	"webdbsec/internal/policy"
+	"webdbsec/internal/rdf"
+	"webdbsec/internal/xmldoc"
+)
+
+// This file implements §5: "For the semantic web to be secure all of its
+// components have to be secure ... Security cuts across all layers and
+// this is a challenge. That is, we need security for each of the layer and
+// we must also ensure secure interoperability."
+//
+// The stack's layers, bottom-up: secure transport (internal/secchan,
+// composed by callers around the stack), secure XML (accessctl views),
+// secure RDF (rdf.Guard), secure ontologies/interoperation
+// (ontology.Mediator and Alignment), and the inference problem at the top
+// (inference.Controller, wired in by SecureWebDB).
+//
+// The flexible security policy is the paper's closing §5 idea: "we cannot
+// also make the system inefficient if we must guarantee one hundred
+// percent security at all times. What is needed is a flexible security
+// policy. During some situations we may need one hundred percent security
+// while during some other situations say thirty percent security
+// (whatever that means) may be sufficient." Strength makes "whatever that
+// means" concrete: a percentage maps to which layers actually enforce.
+
+// Strength is a security strength percentage in [0, 100].
+type Strength int
+
+// LayerConfig says which protections a given strength enforces.
+type LayerConfig struct {
+	// VerifyCredentials: check credential signatures during subject
+	// qualification (below, policies match unverified claims).
+	VerifyCredentials bool
+	// EnforceXMLViews: compute pruned views (below, whole documents flow
+	// to privilege holders).
+	EnforceXMLViews bool
+	// EnforceRDFLevels: apply semantic classification rules.
+	EnforceRDFLevels bool
+	// InferenceControl: run the inference controller on releases.
+	InferenceControl bool
+	// EncryptTransport: require the secure channel instead of plaintext.
+	EncryptTransport bool
+}
+
+// Profile maps a strength to its layer configuration. Protections switch
+// on in order of the damage their absence causes — transport first (the
+// paper's "one cannot just have secure TCP/IP built on untrusted
+// communication layers" makes it the floor), inference control last (it is
+// the most expensive and the subtlest threat).
+func Profile(s Strength) LayerConfig {
+	if s < 0 {
+		s = 0
+	}
+	if s > 100 {
+		s = 100
+	}
+	return LayerConfig{
+		EncryptTransport:  s >= 20,
+		EnforceXMLViews:   s >= 40,
+		VerifyCredentials: s >= 60,
+		EnforceRDFLevels:  s >= 80,
+		InferenceControl:  s >= 100,
+	}
+}
+
+// SemanticStack wires the XML, RDF and ontology layers under one flexible
+// policy.
+type SemanticStack struct {
+	XML      *accessctl.Engine
+	RDF      *rdf.Guard
+	Ontology *ontology.Mediator
+	strength Strength
+	config   LayerConfig
+}
+
+// NewSemanticStack builds a stack at full strength.
+func NewSemanticStack(xml *accessctl.Engine, guard *rdf.Guard, med *ontology.Mediator) *SemanticStack {
+	st := &SemanticStack{XML: xml, RDF: guard, Ontology: med}
+	st.SetStrength(100)
+	return st
+}
+
+// SetStrength reconfigures every layer for the new situation.
+func (st *SemanticStack) SetStrength(s Strength) {
+	st.strength = s
+	st.config = Profile(s)
+}
+
+// Strength returns the active strength.
+func (st *SemanticStack) Strength() Strength { return st.strength }
+
+// Config returns the active layer configuration.
+func (st *SemanticStack) Config() LayerConfig { return st.config }
+
+// XMLView serves a document under the active strength: a pruned view when
+// XML enforcement is on, the whole document (for any subject holding at
+// least one applicable permit) when it is off.
+func (st *SemanticStack) XMLView(docName string, s *policy.Subject) (*xmldoc.Document, error) {
+	if st.XML == nil {
+		return nil, fmt.Errorf("core: stack has no XML layer")
+	}
+	if st.config.EnforceXMLViews {
+		v := st.XML.View(docName, s, policy.Read)
+		if v == nil {
+			return nil, fmt.Errorf("core: access denied to %s", docName)
+		}
+		return v, nil
+	}
+	doc, ok := st.XML.Store().Get(docName)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown document %s", docName)
+	}
+	// Reduced strength still requires SOME applicable permit — it relaxes
+	// granularity, not authentication.
+	if len(st.XML.Base().Applicable(st.XML.Store(), docName, s, policy.Read)) == 0 {
+		return nil, fmt.Errorf("core: access denied to %s", docName)
+	}
+	return doc, nil
+}
+
+// RDFQuery serves a triple query under the active strength: guarded when
+// RDF enforcement is on, raw store otherwise.
+func (st *SemanticStack) RDFQuery(c *rdf.Clearance, p rdf.Pattern) []rdf.Triple {
+	if st.RDF == nil {
+		return nil
+	}
+	if st.config.EnforceRDFLevels {
+		return st.RDF.Query(c, p)
+	}
+	return st.RDF.Store().Query(p)
+}
+
+// CheckInteroperation verifies an ontology alignment before data flows
+// across it — §5's "the challenge is how does one use these ontologies for
+// secure information integration". It fails on any level violation
+// regardless of strength: declassification-by-integration is never
+// acceptable.
+func (st *SemanticStack) CheckInteroperation(a *ontology.Alignment) error {
+	if vs := a.Violations(); len(vs) > 0 {
+		return fmt.Errorf("core: alignment declassifies %d concept(s), first: %s (%v) -> %s (%v)",
+			len(vs), vs[0].From, vs[0].FromLevel, vs[0].To, vs[0].ToLevel)
+	}
+	return nil
+}

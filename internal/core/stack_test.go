@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+
+	"webdbsec/internal/accessctl"
+	"webdbsec/internal/ontology"
+	"webdbsec/internal/policy"
+	"webdbsec/internal/rdf"
+	"webdbsec/internal/xmldoc"
+)
+
+func TestProfileMonotone(t *testing.T) {
+	// Higher strength never switches a protection off.
+	count := func(c LayerConfig) int {
+		n := 0
+		for _, b := range []bool{
+			c.VerifyCredentials, c.EnforceXMLViews, c.EnforceRDFLevels,
+			c.InferenceControl, c.EncryptTransport,
+		} {
+			if b {
+				n++
+			}
+		}
+		return n
+	}
+	prev := -1
+	for s := 0; s <= 100; s += 10 {
+		n := count(Profile(Strength(s)))
+		if n < prev {
+			t.Fatalf("strength %d enables fewer layers than weaker setting", s)
+		}
+		prev = n
+	}
+	if count(Profile(0)) != 0 {
+		t.Error("strength 0 enforces something")
+	}
+	if count(Profile(100)) != 5 {
+		t.Error("strength 100 does not enforce everything")
+	}
+	// Clamping.
+	if Profile(-5) != Profile(0) || Profile(150) != Profile(100) {
+		t.Error("strength not clamped")
+	}
+}
+
+func stackFixture(t *testing.T) *SemanticStack {
+	t.Helper()
+	store := xmldoc.NewStore()
+	doc := xmldoc.MustParseString("r.xml", `<r><pub>ok</pub><sec>hidden</sec></r>`)
+	store.Put(doc)
+	base := policy.NewBase(nil)
+	base.MustAdd(&policy.Policy{
+		Name:    "pub-only",
+		Subject: policy.SubjectSpec{IDs: []string{"u"}},
+		Object:  policy.ObjectSpec{Doc: "r.xml", Path: "/r/pub"},
+		Priv:    policy.Read,
+		Sign:    policy.Permit,
+		Prop:    policy.Cascade,
+	})
+	xml := accessctl.NewEngine(store, base)
+
+	rstore := rdf.NewStore()
+	rstore.AddAll(
+		rdf.Triple{S: rdf.NewIRI("a"), P: rdf.NewIRI("p"), O: rdf.NewIRI("open")},
+		rdf.Triple{S: rdf.NewIRI("a"), P: rdf.NewIRI("loc"), O: rdf.NewIRI("grid")},
+	)
+	guard := rdf.NewGuard(rstore)
+	guard.AddClassRule(&rdf.ClassRule{Pattern: rdf.Pattern{P: rdf.T(rdf.NewIRI("loc"))}, Level: rdf.Secret})
+
+	onto := ontology.New("o")
+	onto.AddClass("Thing")
+	med := ontology.NewMediator(onto, rstore)
+	return NewSemanticStack(xml, guard, med)
+}
+
+func TestXMLViewStrengthDependent(t *testing.T) {
+	st := stackFixture(t)
+	u := &policy.Subject{ID: "u"}
+
+	st.SetStrength(100)
+	v, err := st.XMLView("r.xml", u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xmldoc.MustCompilePath("/r/sec").Select(v)) != 0 {
+		t.Error("secret element in full-strength view")
+	}
+	// At strength 30 (below the XML-view threshold) the whole document
+	// flows to permit holders.
+	st.SetStrength(30)
+	v, err = st.XMLView("r.xml", u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xmldoc.MustCompilePath("/r/sec").Select(v)) != 1 {
+		t.Error("reduced strength still pruned")
+	}
+	// But strangers are still rejected.
+	if _, err := st.XMLView("r.xml", &policy.Subject{ID: "stranger"}); err == nil {
+		t.Error("stranger served at reduced strength")
+	}
+	if _, err := st.XMLView("ghost.xml", u); err == nil {
+		t.Error("unknown doc served")
+	}
+}
+
+func TestRDFQueryStrengthDependent(t *testing.T) {
+	st := stackFixture(t)
+	low := rdf.NewClearance(&policy.Subject{ID: "u"}, rdf.Unclassified)
+
+	st.SetStrength(100)
+	got := st.RDFQuery(low, rdf.Pattern{})
+	if len(got) != 1 {
+		t.Errorf("full strength: %d triples, want 1", len(got))
+	}
+	st.SetStrength(50) // below RDF threshold (80)
+	got = st.RDFQuery(low, rdf.Pattern{})
+	if len(got) != 2 {
+		t.Errorf("reduced strength: %d triples, want 2", len(got))
+	}
+}
+
+func TestCheckInteroperationAlwaysStrict(t *testing.T) {
+	st := stackFixture(t)
+	mil := ontology.New("mil")
+	mil.AddClass("TroopPosition")
+	mil.SetLevel("TroopPosition", rdf.Secret)
+	civ := ontology.New("civ")
+	civ.AddClass("POI")
+	a := ontology.NewAlignment(mil, civ)
+	a.Map("TroopPosition", "POI")
+
+	for _, s := range []Strength{0, 50, 100} {
+		st.SetStrength(s)
+		if err := st.CheckInteroperation(a); err == nil {
+			t.Errorf("declassifying alignment accepted at strength %d", s)
+		}
+	}
+	civ.SetLevel("POI", rdf.Secret)
+	if err := st.CheckInteroperation(a); err != nil {
+		t.Errorf("safe alignment rejected: %v", err)
+	}
+}

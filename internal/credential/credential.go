@@ -1,0 +1,462 @@
+// Package credential implements the credential-based subject qualification
+// the paper calls for in §3.1: "traditional identity-based mechanisms for
+// performing access control are not enough. Rather a more flexible way of
+// qualifying subjects is needed, for instance based on the notion of role
+// or credential."
+//
+// Following the Author-X model [5], a credential is a typed bag of
+// attributes about a subject (e.g. type "physician" with attributes
+// ward="3", specialty="cardiology"), issued and signed by a credential
+// authority. Policies then qualify subjects with credential expressions —
+// boolean conditions over credential types and attributes — instead of (or
+// in addition to) identities and roles.
+package credential
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Type declares a credential type: its name and the attributes instances of
+// it may carry. Declaring types lets the policy compiler reject expressions
+// over unknown attributes.
+type Type struct {
+	Name  string
+	Attrs []string
+}
+
+// HasAttr reports whether the type declares the named attribute.
+func (t *Type) HasAttr(name string) bool {
+	for _, a := range t.Attrs {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Credential is an issued credential: a type instance bound to a subject.
+type Credential struct {
+	// Type is the credential type name.
+	Type string
+	// Subject is the identity the credential speaks about.
+	Subject string
+	// Issuer names the authority that issued the credential.
+	Issuer string
+	// Attrs are the attribute values.
+	Attrs map[string]string
+	// Signature is the issuer's Ed25519 signature over the canonical
+	// encoding; empty for unsigned (test-only) credentials.
+	Signature []byte
+}
+
+// canonical returns the deterministic byte encoding that is signed.
+func (c *Credential) canonical() []byte {
+	keys := make([]string, 0, len(c.Attrs))
+	for k := range c.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "credential|%s|%s|%s", c.Type, c.Subject, c.Issuer)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "|%s=%s", k, c.Attrs[k])
+	}
+	return []byte(b.String())
+}
+
+// Authority issues and verifies credentials.
+type Authority struct {
+	Name string
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// NewAuthority creates a credential authority with a fresh Ed25519 key pair
+// derived from crypto/rand.
+func NewAuthority(name string) (*Authority, error) {
+	pub, priv, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		return nil, fmt.Errorf("credential: generate key for %s: %w", name, err)
+	}
+	return &Authority{Name: name, pub: pub, priv: priv}, nil
+}
+
+// PublicKey returns the authority's verification key.
+func (a *Authority) PublicKey() ed25519.PublicKey { return a.pub }
+
+// Issue creates a signed credential of the given type for the subject.
+func (a *Authority) Issue(typ, subject string, attrs map[string]string) *Credential {
+	c := &Credential{Type: typ, Subject: subject, Issuer: a.Name, Attrs: attrs}
+	if c.Attrs == nil {
+		c.Attrs = map[string]string{}
+	}
+	c.Signature = ed25519.Sign(a.priv, c.canonical())
+	return c
+}
+
+// Verify checks the credential's signature against the issuer key.
+func Verify(c *Credential, issuerKey ed25519.PublicKey) bool {
+	if len(c.Signature) == 0 {
+		return false
+	}
+	return ed25519.Verify(issuerKey, c.canonical(), c.Signature)
+}
+
+// Wallet is the set of credentials a subject presents when requesting
+// access.
+type Wallet struct {
+	Subject     string
+	Credentials []*Credential
+}
+
+// NewWallet returns an empty wallet for the subject.
+func NewWallet(subject string) *Wallet { return &Wallet{Subject: subject} }
+
+// Add appends a credential. Credentials whose Subject differs from the
+// wallet's are rejected: a subject cannot present someone else's
+// credentials.
+func (w *Wallet) Add(c *Credential) error {
+	if c.Subject != w.Subject {
+		return fmt.Errorf("credential: %s cannot hold credential issued to %s", w.Subject, c.Subject)
+	}
+	w.Credentials = append(w.Credentials, c)
+	return nil
+}
+
+// OfType returns the credentials of the given type.
+func (w *Wallet) OfType(typ string) []*Credential {
+	var out []*Credential
+	for _, c := range w.Credentials {
+		if c.Type == typ {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Verifier resolves issuer names to public keys; wallets are checked
+// against it before expressions are evaluated.
+type Verifier struct {
+	keys map[string]ed25519.PublicKey
+}
+
+// NewVerifier returns an empty verifier.
+func NewVerifier() *Verifier { return &Verifier{keys: make(map[string]ed25519.PublicKey)} }
+
+// Trust registers an authority's public key.
+func (v *Verifier) Trust(issuer string, key ed25519.PublicKey) { v.keys[issuer] = key }
+
+// TrustAuthority registers the authority directly.
+func (v *Verifier) TrustAuthority(a *Authority) { v.Trust(a.Name, a.PublicKey()) }
+
+// Valid returns the subset of the wallet's credentials that verify against
+// a trusted issuer key.
+func (v *Verifier) Valid(w *Wallet) []*Credential {
+	var out []*Credential
+	for _, c := range w.Credentials {
+		key, ok := v.keys[c.Issuer]
+		if ok && Verify(c, key) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Expr is a compiled credential expression. The grammar:
+//
+//	expr   := orTerm
+//	orTerm := andTerm { "||" andTerm }
+//	andTerm:= atom { "&&" atom }
+//	atom   := "(" expr ")" | "!" atom | test
+//	test   := type                              — holds a credential of type
+//	        | type "." attr op value            — attribute comparison
+//	op     := "=" | "!=" | "<" | "<=" | ">" | ">="
+//
+// Values are compared numerically when both sides parse as numbers,
+// lexically otherwise. Examples:
+//
+//	physician
+//	physician.ward = '3'
+//	physician && !intern
+//	(nurse.ward = '3' || physician) && employee.years >= '2'
+type Expr struct {
+	raw  string
+	root exprNode
+}
+
+type exprNode interface {
+	eval(creds []*Credential) bool
+}
+
+type orNode struct{ kids []exprNode }
+type andNode struct{ kids []exprNode }
+type notNode struct{ kid exprNode }
+type testNode struct {
+	typ, attr, op, value string
+}
+
+func (n orNode) eval(cs []*Credential) bool {
+	for _, k := range n.kids {
+		if k.eval(cs) {
+			return true
+		}
+	}
+	return false
+}
+
+func (n andNode) eval(cs []*Credential) bool {
+	for _, k := range n.kids {
+		if !k.eval(cs) {
+			return false
+		}
+	}
+	return true
+}
+
+func (n notNode) eval(cs []*Credential) bool { return !n.kid.eval(cs) }
+
+func (n testNode) eval(cs []*Credential) bool {
+	for _, c := range cs {
+		if c.Type != n.typ {
+			continue
+		}
+		if n.attr == "" {
+			return true
+		}
+		v, ok := c.Attrs[n.attr]
+		if ok && compare(v, n.op, n.value) {
+			return true
+		}
+	}
+	return false
+}
+
+func compare(a, op, b string) bool {
+	if fa, errA := strconv.ParseFloat(a, 64); errA == nil {
+		if fb, errB := strconv.ParseFloat(b, 64); errB == nil {
+			switch op {
+			case "=":
+				return fa == fb
+			case "!=":
+				return fa != fb
+			case "<":
+				return fa < fb
+			case "<=":
+				return fa <= fb
+			case ">":
+				return fa > fb
+			case ">=":
+				return fa >= fb
+			}
+			return false
+		}
+	}
+	switch op {
+	case "=":
+		return a == b
+	case "!=":
+		return a != b
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	}
+	return false
+}
+
+// Compile parses a credential expression.
+func Compile(expr string) (*Expr, error) {
+	p := &exprParser{src: expr}
+	root, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("credential: expr %q: trailing input at %d", expr, p.pos)
+	}
+	return &Expr{raw: expr, root: root}, nil
+}
+
+// MustCompile is Compile that panics on error.
+func MustCompile(expr string) *Expr {
+	e, err := Compile(expr)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// String returns the source expression.
+func (e *Expr) String() string { return e.raw }
+
+// Eval evaluates the expression over a set of (already verified)
+// credentials.
+func (e *Expr) Eval(creds []*Credential) bool {
+	if e == nil || e.root == nil {
+		return false
+	}
+	return e.root.eval(creds)
+}
+
+// EvalWallet verifies the wallet against v and evaluates the expression
+// over the valid credentials only. A nil verifier skips signature checking
+// (useful in tests).
+func (e *Expr) EvalWallet(w *Wallet, v *Verifier) bool {
+	if w == nil {
+		return false
+	}
+	creds := w.Credentials
+	if v != nil {
+		creds = v.Valid(w)
+	}
+	return e.Eval(creds)
+}
+
+type exprParser struct {
+	src string
+	pos int
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) parseOr() (exprNode, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	kids := []exprNode{left}
+	for {
+		p.skipSpace()
+		if !p.consume("||") {
+			break
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return orNode{kids}, nil
+}
+
+func (p *exprParser) parseAnd() (exprNode, error) {
+	left, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	kids := []exprNode{left}
+	for {
+		p.skipSpace()
+		if !p.consume("&&") {
+			break
+		}
+		right, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return andNode{kids}, nil
+}
+
+func (p *exprParser) parseAtom() (exprNode, error) {
+	p.skipSpace()
+	if p.consume("!") {
+		kid, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		return notNode{kid}, nil
+	}
+	if p.consume("(") {
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if !p.consume(")") {
+			return nil, fmt.Errorf("credential: expr %q: missing ')' at %d", p.src, p.pos)
+		}
+		return inner, nil
+	}
+	return p.parseTest()
+}
+
+func (p *exprParser) parseTest() (exprNode, error) {
+	typ := p.ident()
+	if typ == "" {
+		return nil, fmt.Errorf("credential: expr %q: expected credential type at %d", p.src, p.pos)
+	}
+	t := testNode{typ: typ}
+	if !p.consume(".") {
+		return t, nil
+	}
+	t.attr = p.ident()
+	if t.attr == "" {
+		return nil, fmt.Errorf("credential: expr %q: expected attribute after '.' at %d", p.src, p.pos)
+	}
+	p.skipSpace()
+	for _, op := range []string{"!=", "<=", ">=", "=", "<", ">"} {
+		if p.consume(op) {
+			t.op = op
+			break
+		}
+	}
+	if t.op == "" {
+		return nil, fmt.Errorf("credential: expr %q: expected comparison operator at %d", p.src, p.pos)
+	}
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != '\'' {
+		return nil, fmt.Errorf("credential: expr %q: expected quoted value at %d", p.src, p.pos)
+	}
+	p.pos++
+	end := strings.IndexByte(p.src[p.pos:], '\'')
+	if end < 0 {
+		return nil, fmt.Errorf("credential: expr %q: unterminated value", p.src)
+	}
+	t.value = p.src[p.pos : p.pos+end]
+	p.pos += end + 1
+	return t, nil
+}
+
+func (p *exprParser) consume(tok string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *exprParser) ident() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return p.src[start:p.pos]
+}

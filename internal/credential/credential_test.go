@@ -1,0 +1,223 @@
+package credential
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newAuthority(t *testing.T, name string) *Authority {
+	t.Helper()
+	a, err := NewAuthority(name)
+	if err != nil {
+		t.Fatalf("NewAuthority(%s): %v", name, err)
+	}
+	return a
+}
+
+func TestIssueAndVerify(t *testing.T) {
+	a := newAuthority(t, "hospital-ca")
+	c := a.Issue("physician", "alice", map[string]string{"ward": "3"})
+	if !Verify(c, a.PublicKey()) {
+		t.Fatal("freshly issued credential does not verify")
+	}
+	// Tamper with an attribute.
+	c.Attrs["ward"] = "5"
+	if Verify(c, a.PublicKey()) {
+		t.Fatal("tampered credential verifies")
+	}
+}
+
+func TestVerifyWrongIssuer(t *testing.T) {
+	a := newAuthority(t, "ca-a")
+	b := newAuthority(t, "ca-b")
+	c := a.Issue("physician", "alice", nil)
+	if Verify(c, b.PublicKey()) {
+		t.Fatal("credential verifies under wrong issuer key")
+	}
+}
+
+func TestUnsignedCredentialDoesNotVerify(t *testing.T) {
+	a := newAuthority(t, "ca")
+	c := &Credential{Type: "physician", Subject: "alice", Issuer: "ca"}
+	if Verify(c, a.PublicKey()) {
+		t.Fatal("unsigned credential verifies")
+	}
+}
+
+func TestWalletRejectsForeignCredential(t *testing.T) {
+	a := newAuthority(t, "ca")
+	w := NewWallet("alice")
+	if err := w.Add(a.Issue("physician", "bob", nil)); err == nil {
+		t.Fatal("wallet accepted credential issued to another subject")
+	}
+	if err := w.Add(a.Issue("physician", "alice", nil)); err != nil {
+		t.Fatalf("wallet rejected own credential: %v", err)
+	}
+	if len(w.OfType("physician")) != 1 {
+		t.Fatal("OfType miscounts")
+	}
+	if len(w.OfType("nurse")) != 0 {
+		t.Fatal("OfType returns wrong type")
+	}
+}
+
+func TestVerifierFiltersUntrusted(t *testing.T) {
+	trusted := newAuthority(t, "trusted")
+	rogue := newAuthority(t, "rogue")
+	v := NewVerifier()
+	v.TrustAuthority(trusted)
+	w := NewWallet("alice")
+	w.Add(trusted.Issue("physician", "alice", nil))
+	w.Add(rogue.Issue("admin", "alice", nil))
+	valid := v.Valid(w)
+	if len(valid) != 1 || valid[0].Type != "physician" {
+		t.Fatalf("valid = %+v, want only physician", valid)
+	}
+}
+
+func creds(pairs ...map[string]string) []*Credential {
+	var out []*Credential
+	for _, p := range pairs {
+		c := &Credential{Type: p["_type"], Attrs: map[string]string{}}
+		for k, v := range p {
+			if k != "_type" {
+				c.Attrs[k] = v
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func TestExprEval(t *testing.T) {
+	cs := creds(
+		map[string]string{"_type": "physician", "ward": "3", "years": "10"},
+		map[string]string{"_type": "employee", "years": "2"},
+	)
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"physician", true},
+		{"nurse", false},
+		{"physician.ward = '3'", true},
+		{"physician.ward = '5'", false},
+		{"physician.ward != '5'", true},
+		{"physician.years >= '10'", true},
+		{"physician.years > '10'", false},
+		{"physician.years < '20'", true},
+		{"employee.years <= '2'", true},
+		{"physician && employee", true},
+		{"physician && nurse", false},
+		{"physician || nurse", true},
+		{"nurse || intern", false},
+		{"!nurse", true},
+		{"!physician", false},
+		{"(nurse || physician) && employee.years >= '2'", true},
+		{"physician.ward = '3' && !nurse", true},
+		{"physician.badattr = '3'", false},
+		// Numeric comparison: '10' > '9' numerically though lexically smaller.
+		{"physician.years > '9'", true},
+		// Lexical comparison when non-numeric.
+		{"physician.ward < 'z'", true},
+	}
+	for _, c := range cases {
+		e, err := Compile(c.expr)
+		if err != nil {
+			t.Fatalf("compile %q: %v", c.expr, err)
+		}
+		if got := e.Eval(cs); got != c.want {
+			t.Errorf("%q = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestExprCompileErrors(t *testing.T) {
+	for _, expr := range []string{
+		"",
+		"physician &&",
+		"physician.ward",
+		"physician.ward =",
+		"physician.ward = 3",
+		"physician.ward = 'open",
+		"(physician",
+		"physician.= '3'",
+		"physician || ",
+		"physician) extra",
+	} {
+		if _, err := Compile(expr); err == nil {
+			t.Errorf("compile %q: want error", expr)
+		}
+	}
+}
+
+func TestExprEvalWallet(t *testing.T) {
+	a := newAuthority(t, "ca")
+	rogue := newAuthority(t, "rogue")
+	v := NewVerifier()
+	v.TrustAuthority(a)
+	w := NewWallet("alice")
+	w.Add(a.Issue("employee", "alice", map[string]string{"years": "5"}))
+	w.Add(rogue.Issue("admin", "alice", nil))
+
+	if !MustCompile("employee.years >= '3'").EvalWallet(w, v) {
+		t.Error("trusted credential should satisfy expression")
+	}
+	if MustCompile("admin").EvalWallet(w, v) {
+		t.Error("untrusted credential satisfied expression")
+	}
+	// nil verifier skips signature checks.
+	if !MustCompile("admin").EvalWallet(w, nil) {
+		t.Error("nil verifier should accept unverified credentials")
+	}
+	if MustCompile("admin").EvalWallet(nil, v) {
+		t.Error("nil wallet should never satisfy")
+	}
+}
+
+func TestTypeHasAttr(t *testing.T) {
+	typ := &Type{Name: "physician", Attrs: []string{"ward", "specialty"}}
+	if !typ.HasAttr("ward") || typ.HasAttr("salary") {
+		t.Error("HasAttr wrong")
+	}
+}
+
+func TestQuickSignatureBindsAllFields(t *testing.T) {
+	a, err := NewAuthority("ca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(typ, subj, k, v, v2 string) bool {
+		c := a.Issue(typ, subj, map[string]string{k: v})
+		if !Verify(c, a.PublicKey()) {
+			return false
+		}
+		if v2 != v {
+			c2 := *c
+			c2.Attrs = map[string]string{k: v2}
+			if Verify(&c2, a.PublicKey()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickExprNotInvolution(t *testing.T) {
+	cs := creds(map[string]string{"_type": "x", "a": "1"})
+	exprs := []string{"x", "y", "x.a = '1'", "x.a = '2'"}
+	for _, e := range exprs {
+		base := MustCompile(e).Eval(cs)
+		neg := MustCompile("!(" + e + ")").Eval(cs)
+		if base == neg {
+			t.Errorf("double negation broken for %q", e)
+		}
+		doubleNeg := MustCompile("!(!(" + e + "))").Eval(cs)
+		if base != doubleNeg {
+			t.Errorf("!! not identity for %q", e)
+		}
+	}
+}

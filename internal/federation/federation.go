@@ -1,0 +1,230 @@
+// Package federation implements secure interoperation of autonomous
+// databases — §5's "researchers have done some work on the secure
+// interoperability of databases. We need to revisit this research and then
+// determine what else needs to be done so that the information on the web
+// can be managed, integrated and exchanged securely."
+//
+// Each member source keeps full autonomy: it decides which local tables it
+// exports into the federation (possibly under a different virtual name —
+// the heterogeneity case), which columns, under which row predicate, and
+// at which security level. A federated query fans out to the eligible
+// sources, applies each source's export policy INSIDE the source, and
+// unions the results with a provenance column, so the federation layer
+// never sees rows a source did not explicitly export and a requestor never
+// sees sources above its clearance.
+package federation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"webdbsec/internal/policy"
+	"webdbsec/internal/rdf"
+	"webdbsec/internal/reldb"
+)
+
+// Export declares one table a source contributes to the federation.
+type Export struct {
+	// Virtual is the federation-wide table name.
+	Virtual string
+	// Local is the source's own table name (heterogeneous naming).
+	Local string
+	// Columns are the exported columns in virtual order; they must exist
+	// locally. Every source exporting the same Virtual must export the
+	// same column list (the federated schema).
+	Columns []string
+	// Pred optionally restricts the exported rows.
+	Pred reldb.Expr
+}
+
+// Source is one autonomous member.
+type Source struct {
+	Name string
+	// Level classifies the source; requestors below it cannot reach it.
+	Level rdf.Level
+	db    *reldb.Database
+	// exports: virtual name -> export declaration.
+	exports map[string]*Export
+}
+
+// NewSource wraps a member database.
+func NewSource(name string, db *reldb.Database, level rdf.Level) *Source {
+	return &Source{Name: name, Level: level, db: db, exports: make(map[string]*Export)}
+}
+
+// ExportTable declares an export. The local table and every exported
+// column must exist.
+func (s *Source) ExportTable(e *Export) error {
+	if e.Virtual == "" || e.Local == "" {
+		return fmt.Errorf("federation: export needs virtual and local names")
+	}
+	t, ok := s.db.Table(e.Local)
+	if !ok {
+		return fmt.Errorf("federation: source %s has no table %s", s.Name, e.Local)
+	}
+	if len(e.Columns) == 0 {
+		return fmt.Errorf("federation: export of %s needs an explicit column list", e.Virtual)
+	}
+	for _, c := range e.Columns {
+		if t.Schema.ColIndex(c) < 0 {
+			return fmt.Errorf("federation: source %s table %s has no column %s", s.Name, e.Local, c)
+		}
+	}
+	s.exports[e.Virtual] = e
+	return nil
+}
+
+// Federation unions exported tables across sources.
+type Federation struct {
+	mu      sync.RWMutex
+	sources []*Source
+}
+
+// New returns an empty federation.
+func New() *Federation { return &Federation{} }
+
+// AddSource registers a member.
+func (f *Federation) AddSource(s *Source) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, existing := range f.sources {
+		if existing.Name == s.Name {
+			return fmt.Errorf("federation: duplicate source %s", s.Name)
+		}
+	}
+	// Schema compatibility: same virtual table ⇒ same column list.
+	for v, e := range s.exports {
+		for _, other := range f.sources {
+			oe, ok := other.exports[v]
+			if !ok {
+				continue
+			}
+			if !sameColumns(e.Columns, oe.Columns) {
+				return fmt.Errorf("federation: schema mismatch on %s between %s (%v) and %s (%v)",
+					v, s.Name, e.Columns, other.Name, oe.Columns)
+			}
+		}
+	}
+	f.sources = append(f.sources, s)
+	return nil
+}
+
+func sameColumns(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// VirtualTables returns the federation's virtual table names, sorted.
+func (f *Federation) VirtualTables() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	set := map[string]bool{}
+	for _, s := range f.sources {
+		for v := range s.exports {
+			set[v] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Requestor carries the federated caller's identity and clearance.
+type Requestor struct {
+	Subject   *policy.Subject
+	Clearance rdf.Level
+}
+
+// Query runs a federated SELECT over a virtual table: the statement is
+// parsed once, then per eligible source rewritten onto the local table
+// with the export predicate conjoined, executed locally, projected to the
+// exported columns, and unioned with a leading "_source" provenance
+// column. ORDER BY/LIMIT apply per source (the union is ordered by source
+// name, then source order).
+func (f *Federation) Query(req *Requestor, src string) (*reldb.Result, error) {
+	st, err := reldb.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*reldb.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("federation: only SELECT is federated")
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+
+	var contributing []*Source
+	var export *Export
+	for _, s := range f.sources {
+		e, ok := s.exports[sel.Table]
+		if !ok {
+			continue
+		}
+		export = e
+		if req.Clearance < s.Level {
+			continue // source above the requestor's clearance
+		}
+		contributing = append(contributing, s)
+	}
+	if export == nil {
+		return nil, fmt.Errorf("federation: unknown virtual table %s", sel.Table)
+	}
+	// Requested columns must be exported (closed: the federation cannot
+	// leak a column a source never exported).
+	want := sel.Columns
+	if want == nil {
+		want = export.Columns
+	}
+	for _, c := range want {
+		if !contains(export.Columns, c) {
+			return nil, fmt.Errorf("federation: column %s is not exported by %s", c, sel.Table)
+		}
+	}
+	out := &reldb.Result{Columns: append([]string{"_source"}, want...)}
+	sort.Slice(contributing, func(i, j int) bool { return contributing[i].Name < contributing[j].Name })
+	for _, s := range contributing {
+		e := s.exports[sel.Table]
+		local := *sel
+		local.Table = e.Local
+		local.Columns = want
+		if e.Pred != nil {
+			if local.Where == nil {
+				local.Where = e.Pred
+			} else {
+				local.Where = &reldb.AndExpr{L: local.Where, R: e.Pred}
+			}
+		}
+		res, err := s.db.ExecStmt(&local)
+		if err != nil {
+			return nil, fmt.Errorf("federation: source %s: %w", s.Name, err)
+		}
+		for _, r := range res.Rows {
+			row := make(reldb.Row, 0, len(r)+1)
+			row = append(row, reldb.Str(s.Name))
+			row = append(row, r...)
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	out.Affected = len(out.Rows)
+	return out, nil
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

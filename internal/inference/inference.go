@@ -1,0 +1,197 @@
+// Package inference implements the inference controller of Thuraisingham
+// and Ford [14], which the paper proposes as "one solution to achieve some
+// level of privacy" (§3.3) and revisits for the semantic web in §5:
+// "Inference is the process of posing queries and deducing new
+// information. It becomes a problem when the deduced information is
+// something the user is unauthorized to know."
+//
+// The controller holds Horn-style deduction rules over attribute names
+// ("name ∧ zip → identity", "identity ∧ diagnosis → medical-condition")
+// and a per-subject release history. Before answering a query it computes
+// the deductive closure of everything the subject will have seen — the
+// history plus the new attributes — and refuses the query if the closure
+// contains a combination the privacy controller classifies above the
+// subject's entitlement. Allowed releases are appended to the history, so
+// multi-query inference channels are caught, not just single-query ones.
+package inference
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"webdbsec/internal/policy"
+	"webdbsec/internal/privacy"
+)
+
+// Rule is a Horn clause over attribute names: knowing all of Body lets a
+// requestor derive Head.
+type Rule struct {
+	Name string
+	Body []string
+	Head string
+}
+
+// Validate checks well-formedness.
+func (r *Rule) Validate() error {
+	if len(r.Body) == 0 || r.Head == "" {
+		return fmt.Errorf("inference: rule %q needs a body and a head", r.Name)
+	}
+	return nil
+}
+
+// Decision records the outcome of a query check.
+type Decision struct {
+	Allowed bool
+	// Derived lists the attributes the closure added beyond the directly
+	// requested ones.
+	Derived []string
+	// Violation names the privacy constraint that would be violated (empty
+	// when allowed).
+	Violation string
+}
+
+// Controller is the inference controller. Methods are safe for concurrent
+// use.
+type Controller struct {
+	mu      sync.Mutex
+	rules   []*Rule
+	priv    *privacy.Controller
+	history map[string]map[string]bool // subject id -> released attrs
+}
+
+// NewController builds a controller over a privacy-constraint base.
+func NewController(priv *privacy.Controller) *Controller {
+	return &Controller{priv: priv, history: make(map[string]map[string]bool)}
+}
+
+// AddRule installs a deduction rule.
+func (c *Controller) AddRule(r *Rule) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rules = append(c.rules, r)
+	return nil
+}
+
+// closure computes the deductive closure of attrs under the rules.
+// Caller must hold the lock.
+func (c *Controller) closureLocked(attrs map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(attrs))
+	for a := range attrs {
+		out[a] = true
+	}
+	for {
+		grew := false
+		for _, r := range c.rules {
+			if out[norm(r.Head)] {
+				continue
+			}
+			all := true
+			for _, b := range r.Body {
+				if !out[norm(b)] {
+					all = false
+					break
+				}
+			}
+			if all {
+				out[norm(r.Head)] = true
+				grew = true
+			}
+		}
+		if !grew {
+			return out
+		}
+	}
+}
+
+func norm(a string) string { return strings.ToLower(a) }
+
+// Check decides whether releasing attrs to the subject is safe given
+// everything it has already received. On approval the attributes are
+// recorded in the history; on refusal nothing is recorded.
+func (c *Controller) Check(s *policy.Subject, attrs []string) Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hist := c.history[s.ID]
+	known := make(map[string]bool, len(hist)+len(attrs))
+	for a := range hist {
+		known[a] = true
+	}
+	direct := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		known[norm(a)] = true
+		direct[norm(a)] = true
+	}
+	closed := c.closureLocked(known)
+
+	// Collect what the closure adds beyond the directly requested attrs
+	// and the history.
+	var derived []string
+	for a := range closed {
+		if !known[a] {
+			derived = append(derived, a)
+		}
+	}
+	sort.Strings(derived)
+
+	// The subject must be entitled to the WHOLE closure: any protected
+	// combination inside it is a leak, whether direct or derived.
+	var closure []string
+	for a := range closed {
+		closure = append(closure, a)
+	}
+	if !c.priv.MayRelease(s, closure) {
+		_, con := c.priv.Classify(closure)
+		name := ""
+		if con != nil {
+			name = con.Name
+		}
+		return Decision{Allowed: false, Derived: derived, Violation: name}
+	}
+	// Record the release (direct attrs and what they let the subject
+	// derive).
+	if hist == nil {
+		hist = make(map[string]bool)
+		c.history[s.ID] = hist
+	}
+	for a := range closed {
+		hist[a] = true
+	}
+	return Decision{Allowed: true, Derived: derived}
+}
+
+// History returns the attributes recorded for a subject, sorted.
+func (c *Controller) History(subjectID string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for a := range c.history[subjectID] {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Forget clears a subject's history (e.g. after re-consent or at a privacy
+// boundary).
+func (c *Controller) Forget(subjectID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.history, subjectID)
+}
+
+// Rules returns the installed rule names, sorted.
+func (c *Controller) Rules() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.rules))
+	for _, r := range c.rules {
+		out = append(out, r.Name)
+	}
+	sort.Strings(out)
+	return out
+}

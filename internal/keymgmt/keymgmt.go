@@ -1,0 +1,247 @@
+// Package keymgmt is an XKMS-style XML key management service — the third
+// leg of the W3C XML security work the paper lists in §3.2 ("XML-Signature
+// Syntax and Processing, XML-Encryption Syntax and Processing, and XML Key
+// Management"). It is also the operational answer to a gap the third-party
+// experiments expose: requestors must obtain provider verification keys
+// "out of band". Here, the band is a service: providers register keys,
+// requestors locate and validate them, owners revoke them.
+//
+// Registration is first-come-first-served per name and subsequently
+// owner-locked; revocation is permanent for a (name, key) pair so a stolen
+// name cannot be silently re-bound by its thief.
+package keymgmt
+
+import (
+	"crypto/ed25519"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"webdbsec/internal/wsa"
+	"webdbsec/internal/wsig"
+	"webdbsec/internal/xmldoc"
+)
+
+// Status classifies a validation answer.
+type Status string
+
+// Validation statuses.
+const (
+	StatusValid   Status = "valid"
+	StatusRevoked Status = "revoked"
+	StatusUnknown Status = "unknown"
+)
+
+// Service is the key registry. Safe for concurrent use.
+type Service struct {
+	mu sync.RWMutex
+	// keys: name -> active public key.
+	keys map[string]ed25519.PublicKey
+	// owners: name -> registering principal.
+	owners map[string]string
+	// revoked: name|hex(key) pairs that must never validate again.
+	revoked map[string]bool
+}
+
+// NewService returns an empty key service.
+func NewService() *Service {
+	return &Service{
+		keys:    make(map[string]ed25519.PublicKey),
+		owners:  make(map[string]string),
+		revoked: make(map[string]bool),
+	}
+}
+
+func revKey(name string, pub ed25519.PublicKey) string {
+	return name + "|" + hex.EncodeToString(pub)
+}
+
+// Register binds a key to a name. The first registrant owns the name;
+// later re-registrations (key rotation) require the same owner. A revoked
+// key can never be re-registered for the name.
+func (s *Service) Register(owner, name string, pub ed25519.PublicKey) error {
+	if owner == "" || name == "" || len(pub) != ed25519.PublicKeySize {
+		return fmt.Errorf("keymgmt: register needs owner, name and a valid key")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.owners[name]; ok && cur != owner {
+		return fmt.Errorf("keymgmt: name %q is owned by %s", name, cur)
+	}
+	if s.revoked[revKey(name, pub)] {
+		return fmt.Errorf("keymgmt: key was revoked for %q and cannot be re-registered", name)
+	}
+	s.keys[name] = append(ed25519.PublicKey(nil), pub...)
+	s.owners[name] = owner
+	return nil
+}
+
+// Locate returns the active key bound to the name.
+func (s *Service) Locate(name string) (ed25519.PublicKey, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	k, ok := s.keys[name]
+	return k, ok
+}
+
+// Revoke withdraws the active key of a name. Only the owner may revoke.
+// The name stays owned (rotation: Register a fresh key afterwards).
+func (s *Service) Revoke(owner, name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.owners[name]; !ok || cur != owner {
+		return fmt.Errorf("keymgmt: %s does not own %q", owner, name)
+	}
+	k, ok := s.keys[name]
+	if !ok {
+		return fmt.Errorf("keymgmt: no active key for %q", name)
+	}
+	s.revoked[revKey(name, k)] = true
+	delete(s.keys, name)
+	return nil
+}
+
+// Validate checks a signature attributed to name over data: StatusValid
+// when the active key verifies it; StatusRevoked when a revoked key of the
+// name verifies it (the signature may predate revocation, but the service
+// reports the key's standing); StatusUnknown otherwise.
+func (s *Service) Validate(name string, data []byte, sig []byte) Status {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if k, ok := s.keys[name]; ok {
+		if wsig.VerifyBytes(data, wsig.Signature{Signer: name, Value: sig}, k) {
+			return StatusValid
+		}
+	}
+	// Check revoked keys of this name.
+	prefix := name + "|"
+	for rk := range s.revoked {
+		if len(rk) <= len(prefix) || rk[:len(prefix)] != prefix {
+			continue
+		}
+		raw, err := hex.DecodeString(rk[len(prefix):])
+		if err != nil {
+			continue
+		}
+		if wsig.VerifyBytes(data, wsig.Signature{Signer: name, Value: sig}, ed25519.PublicKey(raw)) {
+			return StatusRevoked
+		}
+	}
+	return StatusUnknown
+}
+
+// Names returns the registered names, sorted.
+func (s *Service) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.keys))
+	for n := range s.keys {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Directory materializes a wsig.KeyDirectory from the service's current
+// bindings — the hand-off point to the Merkle verification machinery.
+func (s *Service) Directory(names ...string) *wsig.KeyDirectory {
+	dir := wsig.NewKeyDirectory()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(names) == 0 {
+		for n, k := range s.keys {
+			dir.Register(n, k)
+		}
+		return dir
+	}
+	for _, n := range names {
+		if k, ok := s.keys[n]; ok {
+			dir.Register(n, k)
+		}
+	}
+	return dir
+}
+
+// Handler is the HTTP binding: one POST endpoint accepting wsa envelopes
+// with operations register_key, locate_key, revoke_key and validate_key.
+type Handler struct {
+	Service *Service
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	env, err := wsa.DecodeEnvelope(r.Body)
+	if err != nil {
+		h.fault(w, err.Error())
+		return
+	}
+	resp, err := h.dispatch(env)
+	if err != nil {
+		h.fault(w, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	io.WriteString(w, resp.Encode())
+}
+
+func (h *Handler) fault(w http.ResponseWriter, msg string) {
+	w.Header().Set("Content-Type", "application/xml")
+	io.WriteString(w, (&wsa.Envelope{Fault: msg}).Encode())
+}
+
+func (h *Handler) dispatch(env *wsa.Envelope) (*wsa.Envelope, error) {
+	attr := func(name string) string {
+		if env.Body == nil {
+			return ""
+		}
+		v, _ := env.Body.Root.Attr(name)
+		return v
+	}
+	switch env.Operation {
+	case "register_key":
+		raw, err := hex.DecodeString(attr("key"))
+		if err != nil {
+			return nil, fmt.Errorf("keymgmt: bad key encoding")
+		}
+		if err := h.Service.Register(env.Sender, attr("name"), ed25519.PublicKey(raw)); err != nil {
+			return nil, err
+		}
+		return ok(env.Operation, "registered"), nil
+	case "locate_key":
+		k, found := h.Service.Locate(attr("name"))
+		if !found {
+			return nil, fmt.Errorf("keymgmt: unknown name %q", attr("name"))
+		}
+		b := xmldoc.NewBuilder("resp", "keyBinding")
+		b.Attrib("name", attr("name"))
+		b.Attrib("key", hex.EncodeToString(k))
+		return &wsa.Envelope{Operation: env.Operation, Body: b.Freeze()}, nil
+	case "revoke_key":
+		if err := h.Service.Revoke(env.Sender, attr("name")); err != nil {
+			return nil, err
+		}
+		return ok(env.Operation, "revoked"), nil
+	case "validate_key":
+		data, err1 := hex.DecodeString(attr("data"))
+		sig, err2 := hex.DecodeString(attr("sig"))
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("keymgmt: bad hex encoding")
+		}
+		status := h.Service.Validate(attr("name"), data, sig)
+		return ok(env.Operation, string(status)), nil
+	}
+	return nil, fmt.Errorf("keymgmt: unknown operation %q", env.Operation)
+}
+
+func ok(op, status string) *wsa.Envelope {
+	b := xmldoc.NewBuilder("resp", "result")
+	b.Attrib("status", status)
+	return &wsa.Envelope{Operation: op, Body: b.Freeze()}
+}

@@ -1,0 +1,210 @@
+package keymgmt
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/hex"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"webdbsec/internal/wsa"
+	"webdbsec/internal/wsig"
+	"webdbsec/internal/xmldoc"
+)
+
+func keyPair(t *testing.T) (ed25519.PublicKey, ed25519.PrivateKey) {
+	t.Helper()
+	pub, priv, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pub, priv
+}
+
+// signFor produces a signature in the wsig scheme (over sha256 of data).
+func signFor(priv ed25519.PrivateKey, data []byte) []byte {
+	d := sha256.Sum256(data)
+	return ed25519.Sign(priv, d[:])
+}
+
+func TestRegisterLocateValidate(t *testing.T) {
+	s := NewService()
+	pub, priv := keyPair(t)
+	if err := s.Register("acme", "acme-provider", pub); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Locate("acme-provider")
+	if !ok || !bytes.Equal(got, pub) {
+		t.Fatal("locate mismatch")
+	}
+	data := []byte("signed payload")
+	sig := signFor(priv, data)
+	if st := s.Validate("acme-provider", data, sig); st != StatusValid {
+		t.Errorf("status = %v", st)
+	}
+	if st := s.Validate("acme-provider", []byte("other"), sig); st != StatusUnknown {
+		t.Errorf("forged status = %v", st)
+	}
+	if st := s.Validate("ghost", data, sig); st != StatusUnknown {
+		t.Errorf("unknown name status = %v", st)
+	}
+}
+
+func TestOwnershipAndRotation(t *testing.T) {
+	s := NewService()
+	pub1, _ := keyPair(t)
+	pub2, _ := keyPair(t)
+	if err := s.Register("acme", "prov", pub1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("mallory", "prov", pub2); err == nil {
+		t.Error("name takeover accepted")
+	}
+	// Rotation by owner is fine.
+	if err := s.Register("acme", "prov", pub2); err != nil {
+		t.Errorf("owner rotation rejected: %v", err)
+	}
+	got, _ := s.Locate("prov")
+	if !bytes.Equal(got, pub2) {
+		t.Error("rotation did not take effect")
+	}
+}
+
+func TestRevocation(t *testing.T) {
+	s := NewService()
+	pub, priv := keyPair(t)
+	s.Register("acme", "prov", pub)
+	if err := s.Revoke("mallory", "prov"); err == nil {
+		t.Error("non-owner revoke accepted")
+	}
+	if err := s.Revoke("acme", "prov"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Locate("prov"); ok {
+		t.Error("revoked key still located")
+	}
+	// Signatures under the revoked key validate as REVOKED, not valid and
+	// not unknown.
+	data := []byte("old message")
+	if st := s.Validate("prov", data, signFor(priv, data)); st != StatusRevoked {
+		t.Errorf("status = %v, want revoked", st)
+	}
+	// The same key cannot be re-registered for the name.
+	if err := s.Register("acme", "prov", pub); err == nil {
+		t.Error("revoked key re-registered")
+	}
+	// A fresh key can.
+	pub2, _ := keyPair(t)
+	if err := s.Register("acme", "prov", pub2); err != nil {
+		t.Errorf("fresh key after revocation rejected: %v", err)
+	}
+	if err := s.Revoke("acme", "ghost"); err == nil {
+		t.Error("revoking unowned name accepted")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	s := NewService()
+	pub, _ := keyPair(t)
+	if err := s.Register("", "n", pub); err == nil {
+		t.Error("empty owner accepted")
+	}
+	if err := s.Register("o", "", pub); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := s.Register("o", "n", []byte{1, 2}); err == nil {
+		t.Error("short key accepted")
+	}
+}
+
+func TestDirectoryHandoff(t *testing.T) {
+	s := NewService()
+	signer, err := wsig.NewSigner("prov")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Register("acme", "prov", signer.PublicKey())
+	dir := s.Directory("prov")
+	sig := signer.SignBytes([]byte("x"))
+	if !dir.Verify([]byte("x"), sig) {
+		t.Error("directory handoff broken")
+	}
+	all := s.Directory()
+	if !all.Verify([]byte("x"), sig) {
+		t.Error("full directory handoff broken")
+	}
+	if got := s.Names(); len(got) != 1 || got[0] != "prov" {
+		t.Errorf("names = %v", got)
+	}
+}
+
+func TestHTTPBinding(t *testing.T) {
+	svc := NewService()
+	ts := httptest.NewServer(&Handler{Service: svc})
+	defer ts.Close()
+
+	pub, priv := keyPair(t)
+	call := func(sender, op string, attrs map[string]string) (*wsa.Envelope, error) {
+		b := xmldoc.NewBuilder("req", "request")
+		for k, v := range attrs {
+			b.Attrib(k, v)
+		}
+		c := &wsa.Client{Endpoint: ts.URL, Sender: sender}
+		return c.Call(op, b.Freeze())
+	}
+	// Register over HTTP.
+	if _, err := call("acme", "register_key", map[string]string{
+		"name": "prov", "key": hex.EncodeToString(pub),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Locate.
+	env, err := call("anyone", "locate_key", map[string]string{"name": "prov"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, _ := env.Body.Root.Attr("key")
+	if k != hex.EncodeToString(pub) {
+		t.Error("located key mismatch")
+	}
+	// Validate.
+	data := []byte("payload")
+	env, err = call("anyone", "validate_key", map[string]string{
+		"name": "prov",
+		"data": hex.EncodeToString(data),
+		"sig":  hex.EncodeToString(signFor(priv, data)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := env.Body.Root.Attr("status"); st != "valid" {
+		t.Errorf("status = %q", st)
+	}
+	// Revoke by non-owner faults.
+	if _, err := call("mallory", "revoke_key", map[string]string{"name": "prov"}); err == nil {
+		t.Error("non-owner revoke over HTTP accepted")
+	}
+	// Owner revoke works; locate then faults.
+	if _, err := call("acme", "revoke_key", map[string]string{"name": "prov"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := call("anyone", "locate_key", map[string]string{"name": "prov"}); err == nil {
+		t.Error("revoked key located over HTTP")
+	}
+	// Unknown operation faults.
+	if _, err := call("x", "bogus", nil); err == nil || !strings.Contains(err.Error(), "unknown operation") {
+		t.Errorf("err = %v", err)
+	}
+	// GET rejected.
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", resp.StatusCode)
+	}
+}

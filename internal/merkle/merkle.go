@@ -1,0 +1,274 @@
+// Package merkle implements the Merkle-hash-tree authentication mechanism
+// of Bertino, Carminati and Ferrari [4], which the paper (§4.1) proposes
+// for untrusted third-party publishing: "the service provider sends the
+// discovery agency a summary signature, generated using a technique based
+// on Merkle hash trees, for each entry ... the requestor can locally
+// recompute the same hash value signed by the service provider ... since a
+// requestor may be returned only selected portions of an entry ... the
+// discovery agency sends the requestor a set of additional hash values,
+// referring to the missing portions, that make it able to locally perform
+// the computation of the summary signature."
+//
+// The Merkle hash of an XML node is defined structurally:
+//
+//	h(text)    = H(0x02 ‖ value)
+//	h(attr)    = H(0x01 ‖ name ‖ 0x00 ‖ value)
+//	h(element) = H(0x00 ‖ name ‖ 0x00 ‖ h(c₁) ‖ … ‖ h(cₖ))
+//
+// where c₁…cₖ are the element's components — attributes first (sorted, as
+// Freeze guarantees), then children — in order. The summary signature is a
+// wsig signature over the root hash.
+//
+// A Proof carries, for every element retained in a pruned view, the hashes
+// of the components the view dropped, tagged with their original positions.
+// The verifier re-computes the root hash bottom-up from the view plus the
+// proof and checks the summary signature: any tampering with retained
+// content, any reordering, and any silent omission (one not covered by a
+// disclosed hash) makes verification fail — authenticity AND completeness,
+// without trusting the publisher.
+package merkle
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+
+	"webdbsec/internal/wsig"
+	"webdbsec/internal/xmldoc"
+)
+
+// HashSize is the digest size in bytes.
+const HashSize = sha256.Size
+
+// Hash computes the Merkle hash of the subtree rooted at n.
+func Hash(n *xmldoc.Node) []byte {
+	h := sha256.New()
+	switch n.Kind {
+	case xmldoc.KindText:
+		h.Write([]byte{0x02})
+		h.Write([]byte(n.Value))
+	case xmldoc.KindAttr:
+		h.Write([]byte{0x01})
+		h.Write([]byte(n.Name))
+		h.Write([]byte{0x00})
+		h.Write([]byte(n.Value))
+	case xmldoc.KindElement:
+		h.Write([]byte{0x00})
+		h.Write([]byte(n.Name))
+		h.Write([]byte{0x00})
+		for _, a := range n.Attrs {
+			h.Write(Hash(a))
+		}
+		for _, c := range n.Children {
+			h.Write(Hash(c))
+		}
+	}
+	return h.Sum(nil)
+}
+
+// DocumentHash returns the Merkle hash of the document root.
+func DocumentHash(d *xmldoc.Document) []byte {
+	if d == nil || d.Root == nil {
+		return nil
+	}
+	return Hash(d.Root)
+}
+
+// SummarySignature is the provider's signature over a document's Merkle
+// root hash.
+type SummarySignature struct {
+	Sig wsig.Signature
+}
+
+// Sign produces the summary signature of a document under the signer's key.
+func Sign(d *xmldoc.Document, signer *wsig.Signer) SummarySignature {
+	return SummarySignature{Sig: signer.SignBytes(DocumentHash(d))}
+}
+
+// VerifyFull checks a summary signature against a complete document.
+func VerifyFull(d *xmldoc.Document, ss SummarySignature, dir *wsig.KeyDirectory) bool {
+	return dir.Verify(DocumentHash(d), ss.Sig)
+}
+
+// PosHash is the Merkle hash of a pruned component, tagged with its
+// position in the original element's component list (attributes first,
+// then children).
+type PosHash struct {
+	Pos  int
+	Hash []byte
+}
+
+// ElementProof lists the pruned components of one retained element.
+type ElementProof struct {
+	Missing []PosHash
+}
+
+// Proof is the auxiliary hash set for a pruned view. Elems holds one entry
+// per retained element, in document (pre-)order of the view.
+type Proof struct {
+	Elems []ElementProof
+}
+
+// NumAuxHashes returns the total number of auxiliary hashes in the proof —
+// the bandwidth overhead of untrusted publishing, which experiment E4
+// measures.
+func (p *Proof) NumAuxHashes() int {
+	n := 0
+	for _, e := range p.Elems {
+		n += len(e.Missing)
+	}
+	return n
+}
+
+// PruneWithProof prunes the document to the nodes accepted by keep (plus
+// ancestors, as xmldoc.Prune does) and builds the Merkle proof for the
+// resulting view. It returns (nil, nil) when nothing is retained.
+//
+// The publisher (discovery agency) runs this; it needs no signing key —
+// only the provider-signed summary signature accompanies the result.
+func PruneWithProof(d *xmldoc.Document, keep func(*xmldoc.Node) bool) (*xmldoc.Document, *Proof) {
+	// Evaluate keep exactly once per node (it may be stateful), then derive
+	// both the view and the retain set from the recorded answers. The
+	// retain rule mirrors xmldoc.Prune: a node is retained iff keep accepts
+	// it or it has an accepted descendant. Working on the original tree
+	// gives exact node identity, so identical-named siblings can never be
+	// confused.
+	accepted := make([]bool, d.NumNodes())
+	d.Walk(func(n *xmldoc.Node) bool {
+		accepted[n.ID()] = keep(n)
+		return true
+	})
+	view := d.Prune(func(n *xmldoc.Node) bool { return accepted[n.ID()] })
+	if view == nil {
+		return nil, nil
+	}
+	retain := make([]bool, d.NumNodes())
+	d.Walk(func(n *xmldoc.Node) bool {
+		if accepted[n.ID()] {
+			retain[n.ID()] = true
+			for p := n.Parent; p != nil; p = p.Parent {
+				retain[p.ID()] = true
+			}
+		}
+		return true
+	})
+	proof := &Proof{}
+	// Pre-order over retained elements of the original tree — the same
+	// order the view's elements appear in, which is how VerifyView consumes
+	// the proof.
+	var walk func(orig *xmldoc.Node)
+	walk = func(orig *xmldoc.Node) {
+		ep := ElementProof{}
+		var kept []*xmldoc.Node
+		for pos, oc := range components(orig) {
+			if retain[oc.ID()] {
+				kept = append(kept, oc)
+				continue
+			}
+			ep.Missing = append(ep.Missing, PosHash{Pos: pos, Hash: Hash(oc)})
+		}
+		proof.Elems = append(proof.Elems, ep)
+		for _, oc := range kept {
+			if oc.Kind == xmldoc.KindElement {
+				walk(oc)
+			}
+		}
+	}
+	walk(d.Root)
+	return view, proof
+}
+
+// components returns the component list of an element: attributes first,
+// then children, in order.
+func components(e *xmldoc.Node) []*xmldoc.Node {
+	out := make([]*xmldoc.Node, 0, len(e.Attrs)+len(e.Children))
+	out = append(out, e.Attrs...)
+	out = append(out, e.Children...)
+	return out
+}
+
+// VerifyView recomputes the Merkle root hash of the original document from
+// a pruned view and its proof, and checks it against the summary
+// signature. It returns nil on success and a descriptive error on any
+// authenticity or completeness failure.
+func VerifyView(view *xmldoc.Document, proof *Proof, ss SummarySignature, dir *wsig.KeyDirectory) error {
+	if view == nil || view.Root == nil {
+		return fmt.Errorf("merkle: empty view")
+	}
+	if proof == nil {
+		return fmt.Errorf("merkle: missing proof")
+	}
+	next := 0
+	var hashElem func(e *xmldoc.Node) ([]byte, error)
+	hashElem = func(e *xmldoc.Node) ([]byte, error) {
+		if next >= len(proof.Elems) {
+			return nil, fmt.Errorf("merkle: proof exhausted at element %q", e.Name)
+		}
+		ep := proof.Elems[next]
+		next++
+		comps := components(e)
+		total := len(comps) + len(ep.Missing)
+		// Place missing hashes at their recorded positions; fill the rest
+		// with the view components in order.
+		slot := make([][]byte, total)
+		for _, m := range ep.Missing {
+			if m.Pos < 0 || m.Pos >= total {
+				return nil, fmt.Errorf("merkle: proof position %d out of range for element %q", m.Pos, e.Name)
+			}
+			if slot[m.Pos] != nil {
+				return nil, fmt.Errorf("merkle: duplicate proof position %d in element %q", m.Pos, e.Name)
+			}
+			if len(m.Hash) != HashSize {
+				return nil, fmt.Errorf("merkle: malformed auxiliary hash in element %q", e.Name)
+			}
+			slot[m.Pos] = m.Hash
+		}
+		ci := 0
+		for pos := 0; pos < total; pos++ {
+			if slot[pos] != nil {
+				continue
+			}
+			if ci >= len(comps) {
+				return nil, fmt.Errorf("merkle: component/proof mismatch in element %q", e.Name)
+			}
+			c := comps[ci]
+			ci++
+			var h []byte
+			var err error
+			if c.Kind == xmldoc.KindElement {
+				h, err = hashElem(c)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				h = Hash(c)
+			}
+			slot[pos] = h
+		}
+		if ci != len(comps) {
+			return nil, fmt.Errorf("merkle: %d unmatched components in element %q", len(comps)-ci, e.Name)
+		}
+		h := sha256.New()
+		h.Write([]byte{0x00})
+		h.Write([]byte(e.Name))
+		h.Write([]byte{0x00})
+		for _, s := range slot {
+			h.Write(s)
+		}
+		return h.Sum(nil), nil
+	}
+	root, err := hashElem(view.Root)
+	if err != nil {
+		return err
+	}
+	if next != len(proof.Elems) {
+		return fmt.Errorf("merkle: proof has %d unused element entries", len(proof.Elems)-next)
+	}
+	if !dir.Verify(root, ss.Sig) {
+		return fmt.Errorf("merkle: summary signature does not verify (signer %q)", ss.Sig.Signer)
+	}
+	return nil
+}
+
+// Equal reports whether two hashes are equal.
+func Equal(a, b []byte) bool { return bytes.Equal(a, b) }

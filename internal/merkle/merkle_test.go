@@ -1,0 +1,305 @@
+package merkle
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"webdbsec/internal/wsig"
+	"webdbsec/internal/xmldoc"
+)
+
+const entryXML = `
+<businessEntity key="be1" name="Acme">
+  <contact>ceo@acme.example</contact>
+  <businessService key="bs1">
+    <name>shipping</name>
+    <bindingTemplate key="bt1" endpoint="https://acme.example/ship"/>
+    <price>100</price>
+  </businessService>
+  <businessService key="bs2">
+    <name>billing</name>
+    <bindingTemplate key="bt2" endpoint="https://acme.example/bill"/>
+    <price>200</price>
+  </businessService>
+</businessEntity>`
+
+func setup(t *testing.T) (*xmldoc.Document, *wsig.Signer, *wsig.KeyDirectory) {
+	t.Helper()
+	doc, err := xmldoc.ParseString("entry", entryXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := wsig.NewSigner("provider")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := wsig.NewKeyDirectory()
+	dir.RegisterSigner(signer)
+	return doc, signer, dir
+}
+
+func TestHashDeterministic(t *testing.T) {
+	d1 := xmldoc.MustParseString("a", `<r b="2" a="1"><c>x</c></r>`)
+	d2 := xmldoc.MustParseString("a", `<r a="1" b="2"><c>x</c></r>`)
+	if !Equal(DocumentHash(d1), DocumentHash(d2)) {
+		t.Error("hash depends on attribute order")
+	}
+	d3 := xmldoc.MustParseString("a", `<r a="1" b="2"><c>y</c></r>`)
+	if Equal(DocumentHash(d1), DocumentHash(d3)) {
+		t.Error("different content, same hash")
+	}
+}
+
+func TestHashDistinguishesStructure(t *testing.T) {
+	cases := []string{
+		`<a><b/><c/></a>`,
+		`<a><c/><b/></a>`, // reordered
+		`<a><b><c/></b></a>`,
+		`<a x="1"/>`,
+		`<a>1</a>`,
+		`<a><x>1</x></a>`,
+	}
+	seen := map[string]string{}
+	for _, src := range cases {
+		h := string(DocumentHash(xmldoc.MustParseString("d", src)))
+		if prev, dup := seen[h]; dup {
+			t.Errorf("hash collision between %q and %q", prev, src)
+		}
+		seen[h] = src
+	}
+}
+
+func TestFullDocumentSummarySignature(t *testing.T) {
+	doc, signer, dir := setup(t)
+	ss := Sign(doc, signer)
+	if !VerifyFull(doc, ss, dir) {
+		t.Error("full verification failed")
+	}
+	tampered := doc.Clone()
+	xmldoc.MustCompilePath("//price").Select(tampered)[0].Children[0].Value = "1"
+	if VerifyFull(tampered, ss, dir) {
+		t.Error("tampered document verified")
+	}
+}
+
+func TestPrunedViewVerifies(t *testing.T) {
+	doc, signer, dir := setup(t)
+	ss := Sign(doc, signer)
+
+	// The requestor is entitled to bs1 only, without prices.
+	keepIDs := map[int]bool{}
+	for _, n := range xmldoc.MustCompilePath("/businessEntity/businessService[@key='bs1']").Select(doc) {
+		var mark func(*xmldoc.Node)
+		mark = func(m *xmldoc.Node) {
+			if m.Kind == xmldoc.KindElement && m.Name == "price" {
+				return
+			}
+			keepIDs[m.ID()] = true
+			for _, a := range m.Attrs {
+				keepIDs[a.ID()] = true
+			}
+			for _, c := range m.Children {
+				mark(c)
+			}
+		}
+		mark(n)
+	}
+	view, proof := PruneWithProof(doc, func(n *xmldoc.Node) bool { return keepIDs[n.ID()] })
+	if view == nil {
+		t.Fatal("nil view")
+	}
+	if strings.Contains(view.Canonical(), "billing") || strings.Contains(view.Canonical(), "price") {
+		t.Fatalf("view leaks pruned content: %s", view.Canonical())
+	}
+	if proof.NumAuxHashes() == 0 {
+		t.Error("expected auxiliary hashes for pruned content")
+	}
+	if err := VerifyView(view, proof, ss, dir); err != nil {
+		t.Fatalf("honest pruned view rejected: %v", err)
+	}
+}
+
+func TestTamperedViewRejected(t *testing.T) {
+	doc, signer, dir := setup(t)
+	ss := Sign(doc, signer)
+	view, proof := PruneWithProof(doc, func(n *xmldoc.Node) bool { return true })
+	// Publisher alters a retained value.
+	xmldoc.MustCompilePath("//price").Select(view)[0].Children[0].Value = "1"
+	if err := VerifyView(view, proof, ss, dir); err == nil {
+		t.Error("tampered view verified")
+	}
+}
+
+func TestSilentOmissionRejected(t *testing.T) {
+	doc, signer, dir := setup(t)
+	ss := Sign(doc, signer)
+	// Publisher prunes bs2 but "forgets" to disclose the auxiliary hash —
+	// i.e. presents the view with a proof claiming nothing was removed
+	// there. Build an honest proof for the full doc, then present it with
+	// the pruned view.
+	fullView, fullProof := PruneWithProof(doc, func(n *xmldoc.Node) bool { return true })
+	_ = fullView
+	prunedView := doc.Prune(func(n *xmldoc.Node) bool {
+		for p := n; p != nil; p = p.Parent {
+			if p.Kind == xmldoc.KindElement && p.Name == "businessService" {
+				if k, _ := p.Attr("key"); k == "bs2" {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if err := VerifyView(prunedView, fullProof, ss, dir); err == nil {
+		t.Error("silent omission verified: completeness violated")
+	}
+}
+
+func TestReorderedSiblingsRejected(t *testing.T) {
+	doc, signer, dir := setup(t)
+	ss := Sign(doc, signer)
+	view, proof := PruneWithProof(doc, func(n *xmldoc.Node) bool { return true })
+	// Swap the two services in the view.
+	root := view.Root
+	var svcIdx []int
+	for i, c := range root.Children {
+		if c.Kind == xmldoc.KindElement && c.Name == "businessService" {
+			svcIdx = append(svcIdx, i)
+		}
+	}
+	root.Children[svcIdx[0]], root.Children[svcIdx[1]] = root.Children[svcIdx[1]], root.Children[svcIdx[0]]
+	if err := VerifyView(view, proof, ss, dir); err == nil {
+		t.Error("reordered view verified")
+	}
+}
+
+func TestForgedProofRejected(t *testing.T) {
+	doc, signer, dir := setup(t)
+	ss := Sign(doc, signer)
+	view, proof := PruneWithProof(doc, func(n *xmldoc.Node) bool {
+		// Drop the contact subtree entirely.
+		for p := n; p != nil; p = p.Parent {
+			if p.Kind == xmldoc.KindElement && p.Name == "contact" {
+				return false
+			}
+		}
+		return true
+	})
+	if proof.NumAuxHashes() == 0 {
+		t.Fatal("expected at least one auxiliary hash")
+	}
+	// Flip a byte in the first auxiliary hash.
+	for i := range proof.Elems {
+		if len(proof.Elems[i].Missing) > 0 {
+			proof.Elems[i].Missing[0].Hash[0] ^= 0xff
+			break
+		}
+	}
+	if err := VerifyView(view, proof, ss, dir); err == nil {
+		t.Error("forged auxiliary hash verified")
+	}
+}
+
+func TestVerifyViewMalformedProofs(t *testing.T) {
+	doc, signer, dir := setup(t)
+	ss := Sign(doc, signer)
+	view, proof := PruneWithProof(doc, func(n *xmldoc.Node) bool { return true })
+
+	if err := VerifyView(nil, proof, ss, dir); err == nil {
+		t.Error("nil view accepted")
+	}
+	if err := VerifyView(view, nil, ss, dir); err == nil {
+		t.Error("nil proof accepted")
+	}
+	// Proof with too few element entries.
+	short := &Proof{Elems: proof.Elems[:1]}
+	if err := VerifyView(view, short, ss, dir); err == nil {
+		t.Error("short proof accepted")
+	}
+	// Proof with extra entries.
+	long := &Proof{Elems: append(append([]ElementProof{}, proof.Elems...), ElementProof{})}
+	if err := VerifyView(view, long, ss, dir); err == nil {
+		t.Error("long proof accepted")
+	}
+	// Out-of-range position.
+	bad := &Proof{Elems: append([]ElementProof{}, proof.Elems...)}
+	bad.Elems[0] = ElementProof{Missing: []PosHash{{Pos: 99, Hash: make([]byte, HashSize)}}}
+	if err := VerifyView(view, bad, ss, dir); err == nil {
+		t.Error("out-of-range proof position accepted")
+	}
+	// Malformed hash length.
+	bad2 := &Proof{Elems: append([]ElementProof{}, proof.Elems...)}
+	bad2.Elems[0] = ElementProof{Missing: []PosHash{{Pos: 0, Hash: []byte{1}}}}
+	if err := VerifyView(view, bad2, ss, dir); err == nil {
+		t.Error("short auxiliary hash accepted")
+	}
+}
+
+func TestIdenticalSiblingsPruneCorrectly(t *testing.T) {
+	// Two structurally identical-named siblings with different content:
+	// keep only the second. The proof must bind to the right one.
+	doc := xmldoc.MustParseString("d", `<r><item>first</item><item>second</item></r>`)
+	signer, _ := wsig.NewSigner("p")
+	dir := wsig.NewKeyDirectory()
+	dir.RegisterSigner(signer)
+	ss := Sign(doc, signer)
+
+	second := xmldoc.MustCompilePath("/r/item").Select(doc)[1]
+	keep := map[int]bool{second.ID(): true}
+	for _, c := range second.Children {
+		keep[c.ID()] = true
+	}
+	view, proof := PruneWithProof(doc, func(n *xmldoc.Node) bool { return keep[n.ID()] })
+	if got := view.Root.Children[0].Text(); got != "second" {
+		t.Fatalf("view kept %q, want second", got)
+	}
+	if err := VerifyView(view, proof, ss, dir); err != nil {
+		t.Errorf("identical-sibling view rejected: %v", err)
+	}
+}
+
+func TestQuickRandomPrunesVerify(t *testing.T) {
+	signer, err := wsig.NewSigner("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := wsig.NewKeyDirectory()
+	dir.RegisterSigner(signer)
+	f := func(seed int64) bool {
+		doc := randomDoc(seed, 60)
+		ss := Sign(doc, signer)
+		rng := rand.New(rand.NewSource(seed ^ 0x7ea5))
+		view, proof := PruneWithProof(doc, func(n *xmldoc.Node) bool { return rng.Intn(3) != 0 })
+		if view == nil {
+			return true
+		}
+		return VerifyView(view, proof, ss, dir) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomDoc(seed int64, maxNodes int) *xmldoc.Document {
+	rng := rand.New(rand.NewSource(seed))
+	b := xmldoc.NewBuilder("rand", "root")
+	names := []string{"a", "b", "c"}
+	depth := 0
+	n := 1 + rng.Intn(maxNodes)
+	for i := 0; i < n; i++ {
+		switch op := rng.Intn(5); {
+		case op == 0 && depth > 0:
+			b.End()
+			depth--
+		case op <= 2:
+			b.Begin(names[rng.Intn(len(names))])
+			depth++
+		case op == 3:
+			b.Text("t")
+		default:
+			b.Attrib("k"+names[rng.Intn(len(names))], "v")
+		}
+	}
+	return b.Freeze()
+}

@@ -1,0 +1,232 @@
+// Package mining implements the data mining substrate of §3.3 — frequent
+// itemset and association rule mining — together with the two
+// privacy-preserving variants the paper cites: randomization-based mining
+// in the Agrawal–Srikant line [1] (private.go) and Clifton's multiparty
+// approach [7] (multiparty.go). The privacy controller of
+// internal/privacy filters what the miners may release.
+package mining
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FrequentItemset is an itemset with its (relative) support.
+type FrequentItemset struct {
+	Items   []int
+	Count   int
+	Support float64
+}
+
+// key encodes a sorted itemset for map lookups.
+func key(items []int) string {
+	parts := make([]string, len(items))
+	for i, it := range items {
+		parts[i] = strconv.Itoa(it)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Apriori mines the frequent itemsets of the baskets at the given minimum
+// relative support, up to maxLen items per set (0 means unlimited). It is
+// the classical levelwise algorithm: L1 from a counting pass, candidate
+// generation by self-join with subset pruning, then a counting pass per
+// level.
+func Apriori(baskets [][]int, minSupport float64, maxLen int) []FrequentItemset {
+	n := len(baskets)
+	if n == 0 {
+		return nil
+	}
+	minCount := int(minSupport * float64(n))
+	if minCount < 1 {
+		minCount = 1
+	}
+	// Normalize baskets: sorted unique items.
+	norm := make([][]int, n)
+	for i, b := range baskets {
+		s := append([]int(nil), b...)
+		sort.Ints(s)
+		norm[i] = dedupe(s)
+	}
+	// L1.
+	counts := map[int]int{}
+	for _, b := range norm {
+		for _, it := range b {
+			counts[it]++
+		}
+	}
+	var level [][]int
+	var out []FrequentItemset
+	for it, c := range counts {
+		if c >= minCount {
+			level = append(level, []int{it})
+			out = append(out, FrequentItemset{Items: []int{it}, Count: c, Support: float64(c) / float64(n)})
+		}
+	}
+	sortSets(level)
+	for k := 2; len(level) > 0 && (maxLen == 0 || k <= maxLen); k++ {
+		cands := candidates(level)
+		if len(cands) == 0 {
+			break
+		}
+		cnt := make([]int, len(cands))
+		for _, b := range norm {
+			for ci, c := range cands {
+				if containsAll(b, c) {
+					cnt[ci]++
+				}
+			}
+		}
+		level = level[:0]
+		for ci, c := range cands {
+			if cnt[ci] >= minCount {
+				level = append(level, c)
+				out = append(out, FrequentItemset{Items: c, Count: cnt[ci], Support: float64(cnt[ci]) / float64(n)})
+			}
+		}
+		sortSets(level)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Items) != len(out[j].Items) {
+			return len(out[i].Items) < len(out[j].Items)
+		}
+		return key(out[i].Items) < key(out[j].Items)
+	})
+	return out
+}
+
+// candidates self-joins the frequent (k-1)-sets into k-candidates and
+// prunes those with an infrequent (k-1)-subset.
+func candidates(level [][]int) [][]int {
+	freq := map[string]bool{}
+	for _, s := range level {
+		freq[key(s)] = true
+	}
+	seen := map[string]bool{}
+	var out [][]int
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i], level[j]
+			k := len(a)
+			// Join condition: first k-1 items equal, last differs.
+			joinable := true
+			for x := 0; x < k-1; x++ {
+				if a[x] != b[x] {
+					joinable = false
+					break
+				}
+			}
+			if !joinable || a[k-1] >= b[k-1] {
+				continue
+			}
+			cand := append(append([]int(nil), a...), b[k-1])
+			ck := key(cand)
+			if seen[ck] {
+				continue
+			}
+			seen[ck] = true
+			// Prune: every (k)-subset of cand must be frequent.
+			ok := true
+			for drop := 0; drop < len(cand); drop++ {
+				sub := make([]int, 0, len(cand)-1)
+				sub = append(sub, cand[:drop]...)
+				sub = append(sub, cand[drop+1:]...)
+				if !freq[key(sub)] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, cand)
+			}
+		}
+	}
+	sortSets(out)
+	return out
+}
+
+func sortSets(sets [][]int) {
+	sort.Slice(sets, func(i, j int) bool { return key(sets[i]) < key(sets[j]) })
+}
+
+func dedupe(sorted []int) []int {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// containsAll reports whether sorted basket b contains all of sorted set s.
+func containsAll(b, s []int) bool {
+	i := 0
+	for _, want := range s {
+		for i < len(b) && b[i] < want {
+			i++
+		}
+		if i >= len(b) || b[i] != want {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// Rule is an association rule A ⇒ C.
+type Rule struct {
+	Antecedent []int
+	Consequent []int
+	Support    float64
+	Confidence float64
+}
+
+func (r Rule) String() string {
+	return fmt.Sprintf("%v => %v (sup %.3f, conf %.3f)", r.Antecedent, r.Consequent, r.Support, r.Confidence)
+}
+
+// Rules derives association rules from frequent itemsets at the given
+// minimum confidence, splitting each set into every nonempty
+// antecedent/consequent partition.
+func Rules(freq []FrequentItemset, minConfidence float64) []Rule {
+	support := map[string]float64{}
+	for _, f := range freq {
+		support[key(f.Items)] = f.Support
+	}
+	var out []Rule
+	for _, f := range freq {
+		k := len(f.Items)
+		if k < 2 {
+			continue
+		}
+		// Enumerate nonempty proper subsets as antecedents.
+		for mask := 1; mask < (1<<k)-1; mask++ {
+			var ante, cons []int
+			for i := 0; i < k; i++ {
+				if mask&(1<<i) != 0 {
+					ante = append(ante, f.Items[i])
+				} else {
+					cons = append(cons, f.Items[i])
+				}
+			}
+			anteSup, ok := support[key(ante)]
+			if !ok || anteSup == 0 {
+				continue
+			}
+			conf := f.Support / anteSup
+			if conf >= minConfidence {
+				out = append(out, Rule{Antecedent: ante, Consequent: cons, Support: f.Support, Confidence: conf})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return key(out[i].Antecedent) < key(out[j].Antecedent)
+	})
+	return out
+}

@@ -1,0 +1,327 @@
+package mining
+
+import (
+	"math"
+	"testing"
+
+	"webdbsec/internal/synth"
+)
+
+// tiny fixture with known supports over 5 baskets:
+// {0,1} in 4/5, {2} in 3/5, {0,1,2} in 2/5.
+func tinyBaskets() [][]int {
+	return [][]int{
+		{0, 1},
+		{0, 1, 2},
+		{0, 1, 2},
+		{0, 1, 3},
+		{2, 4},
+	}
+}
+
+func findSet(fs []FrequentItemset, items ...int) *FrequentItemset {
+	k := key(items)
+	for i := range fs {
+		if key(fs[i].Items) == k {
+			return &fs[i]
+		}
+	}
+	return nil
+}
+
+func TestAprioriExactSupports(t *testing.T) {
+	fs := Apriori(tinyBaskets(), 0.4, 0)
+	if f := findSet(fs, 0); f == nil || f.Count != 4 {
+		t.Errorf("support(0) = %+v", f)
+	}
+	if f := findSet(fs, 0, 1); f == nil || f.Count != 4 || math.Abs(f.Support-0.8) > 1e-9 {
+		t.Errorf("support(0,1) = %+v", f)
+	}
+	if f := findSet(fs, 0, 1, 2); f == nil || f.Count != 2 {
+		t.Errorf("support(0,1,2) = %+v", f)
+	}
+	if f := findSet(fs, 4); f != nil {
+		t.Errorf("infrequent singleton reported: %+v", f)
+	}
+	if f := findSet(fs, 2, 4); f != nil {
+		t.Errorf("infrequent pair reported: %+v", f)
+	}
+}
+
+func TestAprioriMaxLen(t *testing.T) {
+	fs := Apriori(tinyBaskets(), 0.4, 2)
+	for _, f := range fs {
+		if len(f.Items) > 2 {
+			t.Errorf("maxLen violated: %v", f.Items)
+		}
+	}
+	if findSet(fs, 0, 1) == nil {
+		t.Error("pairs missing at maxLen 2")
+	}
+}
+
+func TestAprioriEmptyAndDuplicates(t *testing.T) {
+	if got := Apriori(nil, 0.5, 0); got != nil {
+		t.Errorf("nil baskets = %v", got)
+	}
+	// Duplicate items in one basket must not double-count.
+	fs := Apriori([][]int{{1, 1, 1}, {1}}, 0.5, 0)
+	if f := findSet(fs, 1); f == nil || f.Count != 2 {
+		t.Errorf("dup handling: %+v", f)
+	}
+}
+
+func TestAprioriDownwardClosure(t *testing.T) {
+	b := synth.NewBaskets(42, 2000, 50, 6)
+	fs := Apriori(b.Data, 0.1, 3)
+	sup := map[string]float64{}
+	for _, f := range fs {
+		sup[key(f.Items)] = f.Support
+	}
+	// Every subset of a frequent set must be frequent with >= support.
+	for _, f := range fs {
+		if len(f.Items) < 2 {
+			continue
+		}
+		for drop := range f.Items {
+			sub := append(append([]int(nil), f.Items[:drop]...), f.Items[drop+1:]...)
+			subSup, ok := sup[key(sub)]
+			if !ok {
+				t.Fatalf("downward closure violated: %v frequent, %v missing", f.Items, sub)
+			}
+			if subSup < f.Support-1e-9 {
+				t.Fatalf("monotonicity violated: sup%v=%f < sup%v=%f", sub, subSup, f.Items, f.Support)
+			}
+		}
+	}
+}
+
+func TestAprioriFindsPlantedSets(t *testing.T) {
+	b := synth.NewBaskets(7, 5000, 80, 6)
+	fs := Apriori(b.Data, 0.15, 3)
+	if findSet(fs, 0, 1) == nil {
+		t.Error("planted pair {0,1} not found")
+	}
+	if findSet(fs, 2, 3, 4) == nil {
+		t.Error("planted triple {2,3,4} not found")
+	}
+}
+
+func TestRules(t *testing.T) {
+	fs := Apriori(tinyBaskets(), 0.4, 0)
+	rules := Rules(fs, 0.9)
+	// 0 => 1 has confidence 4/4 = 1.0; 2 => 0 has confidence 2/3 < 0.9.
+	found := false
+	for _, r := range rules {
+		if key(r.Antecedent) == "0" && key(r.Consequent) == "1" {
+			found = true
+			if math.Abs(r.Confidence-1.0) > 1e-9 {
+				t.Errorf("conf(0=>1) = %f", r.Confidence)
+			}
+		}
+		if key(r.Antecedent) == "2" {
+			t.Errorf("low-confidence rule released: %v", r)
+		}
+	}
+	if !found {
+		t.Error("rule 0=>1 missing")
+	}
+	if s := rules[0].String(); s == "" {
+		t.Error("empty rule string")
+	}
+}
+
+func TestRandomizeChangesData(t *testing.T) {
+	b := synth.NewBaskets(1, 500, 40, 5)
+	r := Randomize(b.Data, 40, 0.8, 99)
+	if len(r) != len(b.Data) {
+		t.Fatal("basket count changed")
+	}
+	diff := 0
+	for i := range r {
+		if key(sortedCopy(r[i])) != key(sortedCopy(b.Data[i])) {
+			diff++
+		}
+	}
+	if diff < len(r)/2 {
+		t.Errorf("randomization barely changed data: %d/%d baskets differ", diff, len(r))
+	}
+}
+
+func sortedCopy(s []int) []int {
+	out := append([]int(nil), s...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+func TestEstimateSupportRecoversTruth(t *testing.T) {
+	const items = 30
+	b := synth.NewBaskets(3, 20000, items, 5)
+	truth := Apriori(b.Data, 0.0001, 2)
+	r := Randomize(b.Data, items, 0.9, 5)
+	for _, set := range [][]int{{0}, {5}, {0, 1}} {
+		want := findSet(truth, set...)
+		if want == nil {
+			t.Fatalf("ground truth missing for %v", set)
+		}
+		got, err := EstimateSupport(r, items, set, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want.Support) > 0.03 {
+			t.Errorf("estimate(%v) = %.4f, truth %.4f", set, got, want.Support)
+		}
+	}
+}
+
+func TestEstimateSupportErrors(t *testing.T) {
+	if _, err := EstimateSupport([][]int{{0}}, 5, []int{0}, 0.5); err == nil {
+		t.Error("p=0.5 accepted")
+	}
+	if _, err := EstimateSupport(nil, 5, []int{0}, 0.9); err == nil {
+		t.Error("empty data accepted")
+	}
+	if got, err := EstimateSupport([][]int{{0}}, 5, nil, 0.9); err != nil || got != 1 {
+		t.Errorf("empty itemset = %v, %v", got, err)
+	}
+}
+
+func TestPrivateAprioriQualityImprovesWithP(t *testing.T) {
+	const items = 40
+	b := synth.NewBaskets(11, 8000, items, 5)
+	truth := Apriori(b.Data, 0.15, 2)
+	if len(truth) == 0 {
+		t.Fatal("no ground truth")
+	}
+	qual := func(p float64) float64 {
+		r := Randomize(b.Data, items, p, 17)
+		got, err := PrivateApriori(r, items, p, 0.15, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := CompareMinings(truth, got)
+		return (q.Precision + q.Recall) / 2
+	}
+	low, high := qual(0.65), qual(0.95)
+	if high < low-0.05 {
+		t.Errorf("quality at p=0.95 (%.3f) worse than at p=0.65 (%.3f)", high, low)
+	}
+	if high < 0.7 {
+		t.Errorf("quality at p=0.95 too low: %.3f", high)
+	}
+}
+
+func TestSecureSumMatchesDirectSum(t *testing.T) {
+	b := synth.NewBaskets(5, 3000, 30, 5)
+	third := len(b.Data) / 3
+	parties := []*Party{
+		NewParty("a", b.Data[:third]),
+		NewParty("b", b.Data[third:2*third]),
+		NewParty("c", b.Data[2*third:]),
+	}
+	for _, set := range [][]int{{0}, {0, 1}, {2, 3, 4}} {
+		var want int64
+		for _, p := range parties {
+			want += p.localCount(set)
+		}
+		got, err := SecureSum(parties, set, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("secure sum(%v) = %d, want %d", set, got, want)
+		}
+	}
+}
+
+func TestSecureSumHidesPartialCounts(t *testing.T) {
+	// With a random mask, the wire values must not (except by rare
+	// coincidence across many runs) equal the raw running sums.
+	b := synth.NewBaskets(6, 999, 20, 5)
+	third := len(b.Data) / 3
+	parties := []*Party{
+		NewParty("a", b.Data[:third]),
+		NewParty("b", b.Data[third:2*third]),
+		NewParty("c", b.Data[2*third:]),
+	}
+	set := []int{0}
+	raw1 := parties[0].localCount(set)
+	raw12 := raw1 + parties[1].localCount(set)
+	leaks := 0
+	const runs = 30
+	for i := 0; i < runs; i++ {
+		tr := &SecureSumTranscript{}
+		if _, err := SecureSum(parties, set, tr); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Messages[0].Int64() == raw1 || tr.Messages[1].Int64() == raw12 {
+			leaks++
+		}
+	}
+	// A handful of random collisions is possible; systematic leakage is
+	// not.
+	if leaks > runs/3 {
+		t.Errorf("wire values equal raw counts in %d/%d runs", leaks, runs)
+	}
+}
+
+func TestMultipartyAprioriEqualsCentralized(t *testing.T) {
+	b := synth.NewBaskets(9, 4000, 40, 5)
+	half := len(b.Data) / 2
+	parties := []*Party{
+		NewParty("a", b.Data[:half]),
+		NewParty("b", b.Data[half:]),
+	}
+	central := Apriori(b.Data, 0.15, 3)
+	multi, err := MultipartyApriori(parties, 0.15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(central) != len(multi) {
+		t.Fatalf("itemset counts differ: central %d, multi %d", len(central), len(multi))
+	}
+	for i := range central {
+		if key(central[i].Items) != key(multi[i].Items) || central[i].Count != multi[i].Count {
+			t.Errorf("mismatch at %d: central %+v, multi %+v", i, central[i], multi[i])
+		}
+	}
+}
+
+func TestMultipartyErrors(t *testing.T) {
+	if _, err := MultipartyApriori(nil, 0.1, 0); err == nil {
+		t.Error("no parties accepted")
+	}
+	if _, err := SecureSum(nil, []int{0}, nil); err == nil {
+		t.Error("secure sum with no parties accepted")
+	}
+	empty := []*Party{NewParty("a", nil)}
+	got, err := MultipartyApriori(empty, 0.1, 0)
+	if err != nil || got != nil {
+		t.Errorf("empty party = %v, %v", got, err)
+	}
+}
+
+func TestCompareMinings(t *testing.T) {
+	want := []FrequentItemset{
+		{Items: []int{0}, Support: 0.5},
+		{Items: []int{1}, Support: 0.4},
+	}
+	got := []FrequentItemset{
+		{Items: []int{0}, Support: 0.45},
+		{Items: []int{9}, Support: 0.2},
+	}
+	q := CompareMinings(want, got)
+	if q.TruePositives != 1 || q.FalsePositives != 1 || q.FalseNegatives != 1 {
+		t.Errorf("q = %+v", q)
+	}
+	if math.Abs(q.Precision-0.5) > 1e-9 || math.Abs(q.Recall-0.5) > 1e-9 {
+		t.Errorf("p/r = %f/%f", q.Precision, q.Recall)
+	}
+	if math.Abs(q.MeanSupportErr-0.05) > 1e-9 {
+		t.Errorf("err = %f", q.MeanSupportErr)
+	}
+}

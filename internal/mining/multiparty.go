@@ -1,0 +1,164 @@
+package mining
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+	"sort"
+)
+
+// Multiparty privacy-preserving association mining after Clifton et al.
+// [7]: the database is horizontally partitioned across parties that do not
+// trust each other with their local counts, yet want the *global* frequent
+// itemsets. Global support counts are computed with the secure-sum
+// protocol: the initiator masks its count with a random value, each party
+// adds its own count modulo m, and the initiator finally removes the mask.
+// No party (and no wire observer) learns another party's count — only the
+// final sum becomes known.
+
+// Party holds one horizontal partition of the basket database. Its count
+// method is private to the protocol: the only thing a Party ever emits is
+// a masked partial sum.
+type Party struct {
+	Name    string
+	baskets [][]int
+}
+
+// NewParty creates a party over its local data.
+func NewParty(name string, baskets [][]int) *Party {
+	norm := make([][]int, len(baskets))
+	for i, b := range baskets {
+		s := append([]int(nil), b...)
+		sort.Ints(s)
+		norm[i] = dedupe(s)
+	}
+	return &Party{Name: name, baskets: norm}
+}
+
+// NumBaskets returns the party's partition size (public: needed for the
+// global support denominator).
+func (p *Party) NumBaskets() int { return len(p.baskets) }
+
+// localCount counts the baskets containing the itemset.
+func (p *Party) localCount(itemset []int) int64 {
+	var n int64
+	for _, b := range p.baskets {
+		if containsAll(b, itemset) {
+			n++
+		}
+	}
+	return n
+}
+
+// addShare is the party's protocol step: add the local count to the
+// running masked sum, modulo m.
+func (p *Party) addShare(masked *big.Int, itemset []int, m *big.Int) *big.Int {
+	out := new(big.Int).Add(masked, big.NewInt(p.localCount(itemset)))
+	return out.Mod(out, m)
+}
+
+// SecureSumTranscript records the values that crossed the wire, so tests
+// can verify no raw count leaked.
+type SecureSumTranscript struct {
+	Messages []*big.Int
+}
+
+// SecureSum runs the ring protocol for one itemset across the parties and
+// returns the global count. The modulus must exceed any possible sum.
+func SecureSum(parties []*Party, itemset []int, transcript *SecureSumTranscript) (int64, error) {
+	if len(parties) == 0 {
+		return 0, fmt.Errorf("mining: no parties")
+	}
+	total := 0
+	for _, p := range parties {
+		total += p.NumBaskets()
+	}
+	m := big.NewInt(int64(total) + 1)
+	// Initiator's mask: uniform in [0, m).
+	mask, err := rand.Int(rand.Reader, m)
+	if err != nil {
+		return 0, fmt.Errorf("mining: secure-sum mask: %w", err)
+	}
+	// Initiator starts the ring with mask + its own count.
+	running := parties[0].addShare(mask, itemset, m)
+	record(transcript, running)
+	for _, p := range parties[1:] {
+		running = p.addShare(running, itemset, m)
+		record(transcript, running)
+	}
+	// Initiator removes the mask.
+	sum := new(big.Int).Sub(running, mask)
+	sum.Mod(sum, m)
+	return sum.Int64(), nil
+}
+
+func record(t *SecureSumTranscript, v *big.Int) {
+	if t != nil {
+		t.Messages = append(t.Messages, new(big.Int).Set(v))
+	}
+}
+
+// MultipartyApriori mines globally frequent itemsets across the parties
+// using one secure sum per candidate. Only global counts are revealed.
+func MultipartyApriori(parties []*Party, minSupport float64, maxLen int) ([]FrequentItemset, error) {
+	if len(parties) == 0 {
+		return nil, fmt.Errorf("mining: no parties")
+	}
+	total := 0
+	maxItem := -1
+	for _, p := range parties {
+		total += p.NumBaskets()
+		for _, b := range p.baskets {
+			for _, it := range b {
+				if it > maxItem {
+					maxItem = it
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return nil, nil
+	}
+	minCount := int64(minSupport * float64(total))
+	if minCount < 1 {
+		minCount = 1
+	}
+	var level [][]int
+	var out []FrequentItemset
+	for it := 0; it <= maxItem; it++ {
+		c, err := SecureSum(parties, []int{it}, nil)
+		if err != nil {
+			return nil, err
+		}
+		if c >= minCount {
+			level = append(level, []int{it})
+			out = append(out, FrequentItemset{Items: []int{it}, Count: int(c), Support: float64(c) / float64(total)})
+		}
+	}
+	sortSets(level)
+	for k := 2; len(level) > 0 && (maxLen == 0 || k <= maxLen); k++ {
+		cands := candidates(level)
+		if len(cands) == 0 {
+			break
+		}
+		level = level[:0]
+		for _, cand := range cands {
+			c, err := SecureSum(parties, cand, nil)
+			if err != nil {
+				return nil, err
+			}
+			if c >= minCount {
+				level = append(level, cand)
+				out = append(out, FrequentItemset{Items: cand, Count: int(c), Support: float64(c) / float64(total)})
+			}
+		}
+		sortSets(level)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Items) != len(out[j].Items) {
+			return len(out[i].Items) < len(out[j].Items)
+		}
+		return key(out[i].Items) < key(out[j].Items)
+	})
+	return out, nil
+}

@@ -1,0 +1,205 @@
+package mining
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Randomization-based privacy-preserving mining in the Agrawal–Srikant
+// line [1] (specifically the MASK flavor for boolean market-basket data):
+// every item's presence bit is retained with probability p and flipped
+// with probability 1-p before the data leaves the individual. The miner
+// sees only the randomized data; supports of the original data are
+// *estimated* by inverting the known distortion. Privacy grows as p
+// approaches 0.5; accuracy grows as p approaches 1 — experiment E6 sweeps
+// this trade-off.
+
+// Randomize flips each item's membership bit with probability 1-p. The
+// output baskets list the items present after distortion.
+func Randomize(baskets [][]int, numItems int, p float64, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]int, len(baskets))
+	for i, b := range baskets {
+		present := make([]bool, numItems)
+		for _, it := range b {
+			if it >= 0 && it < numItems {
+				present[it] = true
+			}
+		}
+		var row []int
+		for it := 0; it < numItems; it++ {
+			bit := present[it]
+			if rng.Float64() > p {
+				bit = !bit
+			}
+			if bit {
+				row = append(row, it)
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// EstimateSupport reconstructs the true support of an itemset from
+// randomized baskets. For a k-itemset the observed joint distribution over
+// the 2^k presence patterns is the true distribution multiplied by the
+// k-fold tensor power of the per-bit distortion matrix
+//
+//	M = [ p    1-p ]
+//	    [ 1-p  p   ]
+//
+// so the true distribution is recovered by applying M⁻¹ along each of the
+// k axes. Estimates are clamped to [0,1]; p = 0.5 is rejected (the
+// distortion destroys all information).
+func EstimateSupport(randomized [][]int, numItems int, itemset []int, p float64) (float64, error) {
+	if p == 0.5 {
+		return 0, fmt.Errorf("mining: p=0.5 is not invertible")
+	}
+	k := len(itemset)
+	if k == 0 {
+		return 1, nil
+	}
+	if k > 20 {
+		return 0, fmt.Errorf("mining: itemset too large (%d items)", k)
+	}
+	items := append([]int(nil), itemset...)
+	sort.Ints(items)
+	size := 1 << k
+	counts := make([]float64, size)
+	for _, b := range randomized {
+		present := map[int]bool{}
+		for _, it := range b {
+			present[it] = true
+		}
+		idx := 0
+		for bit, it := range items {
+			if present[it] {
+				idx |= 1 << bit
+			}
+		}
+		counts[idx]++
+	}
+	n := float64(len(randomized))
+	if n == 0 {
+		return 0, fmt.Errorf("mining: no baskets")
+	}
+	for i := range counts {
+		counts[i] /= n
+	}
+	// Apply M^{-1} along each axis. M^{-1} = 1/(2p-1) [[p, -(1-p)], [-(1-p), p]].
+	d := 2*p - 1
+	a := p / d
+	bneg := -(1 - p) / d
+	for axis := 0; axis < k; axis++ {
+		stride := 1 << axis
+		next := make([]float64, size)
+		for i := 0; i < size; i++ {
+			if i&stride == 0 {
+				lo, hi := counts[i], counts[i|stride]
+				next[i] = a*lo + bneg*hi
+				next[i|stride] = bneg*lo + a*hi
+			}
+		}
+		counts = next
+	}
+	est := counts[size-1]
+	if est < 0 {
+		est = 0
+	}
+	if est > 1 {
+		est = 1
+	}
+	return est, nil
+}
+
+// PrivateApriori mines frequent itemsets from randomized data: the
+// levelwise search runs over support *estimates* instead of exact counts.
+// Candidates come from the same join-and-prune generation, seeded with the
+// estimated-frequent singletons.
+func PrivateApriori(randomized [][]int, numItems int, p, minSupport float64, maxLen int) ([]FrequentItemset, error) {
+	var level [][]int
+	var out []FrequentItemset
+	for it := 0; it < numItems; it++ {
+		est, err := EstimateSupport(randomized, numItems, []int{it}, p)
+		if err != nil {
+			return nil, err
+		}
+		if est >= minSupport {
+			level = append(level, []int{it})
+			out = append(out, FrequentItemset{Items: []int{it}, Support: est})
+		}
+	}
+	sortSets(level)
+	for k := 2; len(level) > 0 && (maxLen == 0 || k <= maxLen); k++ {
+		cands := candidates(level)
+		if len(cands) == 0 {
+			break
+		}
+		level = level[:0]
+		for _, c := range cands {
+			est, err := EstimateSupport(randomized, numItems, c, p)
+			if err != nil {
+				return nil, err
+			}
+			if est >= minSupport {
+				level = append(level, c)
+				out = append(out, FrequentItemset{Items: c, Support: est})
+			}
+		}
+		sortSets(level)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Items) != len(out[j].Items) {
+			return len(out[i].Items) < len(out[j].Items)
+		}
+		return key(out[i].Items) < key(out[j].Items)
+	})
+	return out, nil
+}
+
+// CompareMinings measures how well a private mining run recovered the true
+// frequent itemsets: precision/recall over itemsets and the mean absolute
+// support error on the intersection. Experiment E6 reports these.
+type MiningQuality struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+	Precision      float64
+	Recall         float64
+	MeanSupportErr float64
+}
+
+// CompareMinings computes quality of `got` against ground truth `want`.
+func CompareMinings(want, got []FrequentItemset) MiningQuality {
+	wantSup := map[string]float64{}
+	for _, f := range want {
+		wantSup[key(f.Items)] = f.Support
+	}
+	q := MiningQuality{}
+	var errSum float64
+	for _, f := range got {
+		if sup, ok := wantSup[key(f.Items)]; ok {
+			q.TruePositives++
+			d := f.Support - sup
+			if d < 0 {
+				d = -d
+			}
+			errSum += d
+		} else {
+			q.FalsePositives++
+		}
+	}
+	q.FalseNegatives = len(want) - q.TruePositives
+	if q.TruePositives+q.FalsePositives > 0 {
+		q.Precision = float64(q.TruePositives) / float64(q.TruePositives+q.FalsePositives)
+	}
+	if len(want) > 0 {
+		q.Recall = float64(q.TruePositives) / float64(len(want))
+	}
+	if q.TruePositives > 0 {
+		q.MeanSupportErr = errSum / float64(q.TruePositives)
+	}
+	return q
+}

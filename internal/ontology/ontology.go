@@ -1,0 +1,341 @@
+// Package ontology implements ontology management with security, covering
+// both directions the paper identifies in §3.2: "access to the ontologies
+// may depend on the roles of the user, and/or on the credentials he or she
+// may possess. On the other hand, one could use ontologies to specify
+// security policies. That is, ontologies may help in securing the semantic
+// web." — and §5: "ontologies may have security levels attached to them.
+// The challenge is how does one use these ontologies for secure
+// information integration."
+//
+// An Ontology is a class taxonomy with properties; concepts carry security
+// levels; concept policies grant access by ontological class (covering all
+// subclasses); and Alignment checks that mapping concepts across two
+// ontologies does not connect a higher-classified concept to a
+// lower-classified one (secure interoperation).
+package ontology
+
+import (
+	"fmt"
+	"sort"
+
+	"webdbsec/internal/policy"
+	"webdbsec/internal/rdf"
+)
+
+// Ontology is a named class taxonomy with typed properties and per-concept
+// security levels.
+type Ontology struct {
+	Name string
+
+	classes map[string]bool
+	// parents maps a class to its direct superclasses.
+	parents map[string][]string
+	// levels maps a class to its assigned security level (absent =
+	// Unclassified).
+	levels map[string]rdf.Level
+	// props maps a property name to its (domain, range) classes.
+	props map[string][2]string
+}
+
+// New returns an empty ontology.
+func New(name string) *Ontology {
+	return &Ontology{
+		Name:    name,
+		classes: make(map[string]bool),
+		parents: make(map[string][]string),
+		levels:  make(map[string]rdf.Level),
+		props:   make(map[string][2]string),
+	}
+}
+
+// AddClass declares a class with the given direct superclasses (declared
+// implicitly if new). Cycles are rejected.
+func (o *Ontology) AddClass(name string, parents ...string) error {
+	o.classes[name] = true
+	for _, p := range parents {
+		o.classes[p] = true
+		if p == name || o.IsSubClassOf(p, name) {
+			return fmt.Errorf("ontology: %s ⊑ %s would create a cycle", name, p)
+		}
+		o.parents[name] = append(o.parents[name], p)
+	}
+	return nil
+}
+
+// HasClass reports whether the class is declared.
+func (o *Ontology) HasClass(name string) bool { return o.classes[name] }
+
+// Classes returns the declared classes, sorted.
+func (o *Ontology) Classes() []string {
+	out := make([]string, 0, len(o.classes))
+	for c := range o.classes {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddProperty declares a property with its domain and range classes.
+func (o *Ontology) AddProperty(name, domain, rng string) error {
+	if !o.classes[domain] {
+		return fmt.Errorf("ontology: property %s: unknown domain %s", name, domain)
+	}
+	if !o.classes[rng] {
+		return fmt.Errorf("ontology: property %s: unknown range %s", name, rng)
+	}
+	o.props[name] = [2]string{domain, rng}
+	return nil
+}
+
+// Property returns the (domain, range) of a property.
+func (o *Ontology) Property(name string) (domain, rng string, ok bool) {
+	dr, ok := o.props[name]
+	return dr[0], dr[1], ok
+}
+
+// IsSubClassOf reports whether a ⊑ b (reflexive, transitive).
+func (o *Ontology) IsSubClassOf(a, b string) bool {
+	if a == b {
+		return o.classes[a]
+	}
+	seen := map[string]bool{}
+	stack := []string{a}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		for _, p := range o.parents[c] {
+			if p == b {
+				return true
+			}
+			stack = append(stack, p)
+		}
+	}
+	return false
+}
+
+// Subclasses returns every class c with c ⊑ root, sorted.
+func (o *Ontology) Subclasses(root string) []string {
+	var out []string
+	for c := range o.classes {
+		if o.IsSubClassOf(c, root) {
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetLevel attaches a security level to a class.
+func (o *Ontology) SetLevel(class string, l rdf.Level) error {
+	if !o.classes[class] {
+		return fmt.Errorf("ontology: unknown class %s", class)
+	}
+	o.levels[class] = l
+	return nil
+}
+
+// LevelOf returns the effective level of a class: the maximum of its own
+// and its ancestors' levels — an instance of a sensitive class does not
+// become readable by viewing it as its harmless superclass's sibling, but
+// subclasses of a sensitive class stay sensitive.
+func (o *Ontology) LevelOf(class string) rdf.Level {
+	level := o.levels[class]
+	seen := map[string]bool{}
+	stack := []string{class}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		if l := o.levels[c]; l > level {
+			level = l
+		}
+		stack = append(stack, o.parents[c]...)
+	}
+	return level
+}
+
+// ToRDF materializes the taxonomy into a triple store (rdfs:subClassOf,
+// rdfs:domain, rdfs:range), so the rdf machinery (inference, guards) can
+// operate on it.
+func (o *Ontology) ToRDF(s *rdf.Store) {
+	for c := range o.classes {
+		s.Add(rdf.Triple{S: rdf.NewIRI(c), P: rdf.NewIRI(rdf.RDFType), O: rdf.NewIRI(rdf.RDFSClass)})
+		for _, p := range o.parents[c] {
+			s.Add(rdf.Triple{S: rdf.NewIRI(c), P: rdf.NewIRI(rdf.RDFSSubClassOf), O: rdf.NewIRI(p)})
+		}
+	}
+	for name, dr := range o.props {
+		s.AddAll(
+			rdf.Triple{S: rdf.NewIRI(name), P: rdf.NewIRI(rdf.RDFType), O: rdf.NewIRI(rdf.RDFSProperty)},
+			rdf.Triple{S: rdf.NewIRI(name), P: rdf.NewIRI(rdf.RDFSDomain), O: rdf.NewIRI(dr[0])},
+			rdf.Triple{S: rdf.NewIRI(name), P: rdf.NewIRI(rdf.RDFSRange), O: rdf.NewIRI(dr[1])},
+		)
+	}
+}
+
+// ConceptPolicy grants or denies access to the instances of an ontology
+// concept — "one could use ontologies to specify security policies". The
+// policy covers every subclass of the concept.
+type ConceptPolicy struct {
+	Name    string
+	Subject policy.SubjectSpec
+	Concept string
+	Sign    policy.Sign
+}
+
+// Mediator evaluates concept policies over an RDF instance store: it knows
+// which resources are instances of which concepts (via rdf:type plus the
+// ontology's subsumption) and filters triples about them.
+type Mediator struct {
+	onto     *Ontology
+	store    *rdf.Store
+	policies []*ConceptPolicy
+}
+
+// NewMediator wraps an ontology and an instance store.
+func NewMediator(o *Ontology, s *rdf.Store) *Mediator {
+	return &Mediator{onto: o, store: s}
+}
+
+// AddPolicy installs a concept policy.
+func (m *Mediator) AddPolicy(p *ConceptPolicy) error {
+	if !m.onto.HasClass(p.Concept) {
+		return fmt.Errorf("ontology: policy %s: unknown concept %s", p.Name, p.Concept)
+	}
+	m.policies = append(m.policies, p)
+	return nil
+}
+
+// conceptsOf returns the declared classes of a resource (direct rdf:type
+// arcs only; subsumption happens in the policy check).
+func (m *Mediator) conceptsOf(res rdf.Term) []string {
+	var out []string
+	for _, t := range m.store.Query(rdf.Pattern{S: rdf.T(res), P: rdf.T(rdf.NewIRI(rdf.RDFType))}) {
+		if t.O.Kind == rdf.IRI {
+			out = append(out, t.O.Value)
+		}
+	}
+	return out
+}
+
+// MayAccess decides whether the subject may access resources of the given
+// direct class set: deny policies win; otherwise any applicable permit
+// grants; default deny (closed).
+func (m *Mediator) mayAccessClasses(s *policy.Subject, classes []string) bool {
+	permitted := false
+	for _, p := range m.policies {
+		applies := false
+		for _, c := range classes {
+			if m.onto.IsSubClassOf(c, p.Concept) {
+				applies = true
+				break
+			}
+		}
+		if !applies || !p.Subject.Matches(s, nil) {
+			continue
+		}
+		if p.Sign == policy.Deny {
+			return false
+		}
+		permitted = true
+	}
+	return permitted
+}
+
+// MayAccess decides access to one resource.
+func (m *Mediator) MayAccess(s *policy.Subject, res rdf.Term) bool {
+	classes := m.conceptsOf(res)
+	if len(classes) == 0 {
+		return false
+	}
+	return m.mayAccessClasses(s, classes)
+}
+
+// VisibleInstances returns the typed resources the subject may access,
+// sorted by IRI.
+func (m *Mediator) VisibleInstances(s *policy.Subject) []rdf.Term {
+	seen := map[rdf.Term]bool{}
+	var out []rdf.Term
+	for _, t := range m.store.Query(rdf.Pattern{P: rdf.T(rdf.NewIRI(rdf.RDFType))}) {
+		if seen[t.S] {
+			continue
+		}
+		seen[t.S] = true
+		if m.MayAccess(s, t.S) {
+			out = append(out, t.S)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	return out
+}
+
+// About returns the triples whose subject is the resource, filtered by the
+// concept policies.
+func (m *Mediator) About(s *policy.Subject, res rdf.Term) []rdf.Triple {
+	if !m.MayAccess(s, res) {
+		return nil
+	}
+	return m.store.Query(rdf.Pattern{S: rdf.T(res)})
+}
+
+// Alignment maps concepts of one ontology onto another for information
+// integration. Violations finds pairs that would leak: a source concept
+// mapped to a target concept with a strictly lower security level.
+type Alignment struct {
+	From  *Ontology
+	To    *Ontology
+	pairs map[string]string
+}
+
+// NewAlignment returns an empty alignment between two ontologies.
+func NewAlignment(from, to *Ontology) *Alignment {
+	return &Alignment{From: from, To: to, pairs: make(map[string]string)}
+}
+
+// Map aligns a source concept with a target concept.
+func (a *Alignment) Map(from, to string) error {
+	if !a.From.HasClass(from) {
+		return fmt.Errorf("ontology: alignment: unknown source concept %s", from)
+	}
+	if !a.To.HasClass(to) {
+		return fmt.Errorf("ontology: alignment: unknown target concept %s", to)
+	}
+	a.pairs[from] = to
+	return nil
+}
+
+// Violation is an alignment pair that would declassify data.
+type Violation struct {
+	From      string
+	To        string
+	FromLevel rdf.Level
+	ToLevel   rdf.Level
+}
+
+// Violations returns the alignment pairs where the source concept's
+// effective level exceeds the target's — the integration would let data
+// flow from a higher classification to a lower one.
+func (a *Alignment) Violations() []Violation {
+	var out []Violation
+	for from, to := range a.pairs {
+		fl, tl := a.From.LevelOf(from), a.To.LevelOf(to)
+		if fl > tl {
+			out = append(out, Violation{From: from, To: to, FromLevel: fl, ToLevel: tl})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
+	return out
+}
+
+// Translate maps a source concept to its aligned target concept.
+func (a *Alignment) Translate(from string) (string, bool) {
+	to, ok := a.pairs[from]
+	return to, ok
+}

@@ -1,0 +1,249 @@
+package ontology
+
+import (
+	"testing"
+
+	"webdbsec/internal/policy"
+	"webdbsec/internal/rdf"
+)
+
+// medOntology: Record ⊒ MedicalRecord ⊒ PsychRecord; Person ⊒ Patient.
+func medOntology(t *testing.T) *Ontology {
+	t.Helper()
+	o := New("medical")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(o.AddClass("Record"))
+	must(o.AddClass("MedicalRecord", "Record"))
+	must(o.AddClass("PsychRecord", "MedicalRecord"))
+	must(o.AddClass("Person"))
+	must(o.AddClass("Patient", "Person"))
+	must(o.AddProperty("recordOf", "MedicalRecord", "Patient"))
+	return o
+}
+
+func TestSubsumption(t *testing.T) {
+	o := medOntology(t)
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"PsychRecord", "Record", true},
+		{"PsychRecord", "MedicalRecord", true},
+		{"MedicalRecord", "PsychRecord", false},
+		{"Record", "Record", true},
+		{"Patient", "Record", false},
+		{"Ghost", "Record", false},
+		{"Ghost", "Ghost", false},
+	}
+	for _, c := range cases {
+		if got := o.IsSubClassOf(c.a, c.b); got != c.want {
+			t.Errorf("IsSubClassOf(%s,%s) = %v", c.a, c.b, got)
+		}
+	}
+	subs := o.Subclasses("Record")
+	if len(subs) != 3 || subs[0] != "MedicalRecord" {
+		t.Errorf("Subclasses(Record) = %v", subs)
+	}
+}
+
+func TestCycleRejected(t *testing.T) {
+	o := medOntology(t)
+	if err := o.AddClass("Record", "PsychRecord"); err == nil {
+		t.Error("cycle accepted")
+	}
+	if err := o.AddClass("X", "X"); err == nil {
+		t.Error("self-parent accepted")
+	}
+}
+
+func TestPropertyValidation(t *testing.T) {
+	o := medOntology(t)
+	if err := o.AddProperty("p", "Ghost", "Patient"); err == nil {
+		t.Error("unknown domain accepted")
+	}
+	if err := o.AddProperty("p", "Patient", "Ghost"); err == nil {
+		t.Error("unknown range accepted")
+	}
+	d, r, ok := o.Property("recordOf")
+	if !ok || d != "MedicalRecord" || r != "Patient" {
+		t.Errorf("Property = %s,%s,%v", d, r, ok)
+	}
+}
+
+func TestLevelsInheritUpward(t *testing.T) {
+	o := medOntology(t)
+	if err := o.SetLevel("MedicalRecord", rdf.Confidential); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetLevel("Ghost", rdf.Secret); err == nil {
+		t.Error("level on unknown class accepted")
+	}
+	// Subclass inherits (at least) the parent's level.
+	if got := o.LevelOf("PsychRecord"); got != rdf.Confidential {
+		t.Errorf("PsychRecord level = %v", got)
+	}
+	// Own higher level wins.
+	o.SetLevel("PsychRecord", rdf.Secret)
+	if got := o.LevelOf("PsychRecord"); got != rdf.Secret {
+		t.Errorf("PsychRecord level = %v", got)
+	}
+	// Parent level unaffected.
+	if got := o.LevelOf("MedicalRecord"); got != rdf.Confidential {
+		t.Errorf("MedicalRecord level = %v", got)
+	}
+	if got := o.LevelOf("Person"); got != rdf.Unclassified {
+		t.Errorf("Person level = %v", got)
+	}
+}
+
+func TestToRDFAndInference(t *testing.T) {
+	o := medOntology(t)
+	s := rdf.NewStore()
+	o.ToRDF(s)
+	s.Add(rdf.Triple{S: rdf.NewIRI("rec1"), P: rdf.NewIRI(rdf.RDFType), O: rdf.NewIRI("PsychRecord")})
+	s.InferRDFS()
+	want := rdf.Triple{S: rdf.NewIRI("rec1"), P: rdf.NewIRI(rdf.RDFType), O: rdf.NewIRI("Record")}
+	if !s.Has(want) {
+		t.Error("taxonomy did not drive RDFS inference")
+	}
+}
+
+func mediatorFixture(t *testing.T) (*Mediator, *rdf.Store) {
+	t.Helper()
+	o := medOntology(t)
+	s := rdf.NewStore()
+	s.AddAll(
+		rdf.Triple{S: rdf.NewIRI("rec1"), P: rdf.NewIRI(rdf.RDFType), O: rdf.NewIRI("PsychRecord")},
+		rdf.Triple{S: rdf.NewIRI("rec2"), P: rdf.NewIRI(rdf.RDFType), O: rdf.NewIRI("MedicalRecord")},
+		rdf.Triple{S: rdf.NewIRI("p1"), P: rdf.NewIRI(rdf.RDFType), O: rdf.NewIRI("Patient")},
+		rdf.Triple{S: rdf.NewIRI("rec1"), P: rdf.NewIRI("recordOf"), O: rdf.NewIRI("p1")},
+	)
+	return NewMediator(o, s), s
+}
+
+func TestConceptPolicySubsumption(t *testing.T) {
+	m, _ := mediatorFixture(t)
+	// Physicians may read medical records (and thus psych records, a
+	// subclass) — policy written once at the MedicalRecord concept.
+	if err := m.AddPolicy(&ConceptPolicy{
+		Name:    "phys-medrec",
+		Subject: policy.SubjectSpec{Roles: []string{"physician"}},
+		Concept: "MedicalRecord",
+		Sign:    policy.Permit,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	phys := &policy.Subject{ID: "d", Roles: []string{"physician"}}
+	nurse := &policy.Subject{ID: "n", Roles: []string{"nurse"}}
+
+	if !m.MayAccess(phys, rdf.NewIRI("rec1")) {
+		t.Error("physician denied psych record (subclass of permitted concept)")
+	}
+	if !m.MayAccess(phys, rdf.NewIRI("rec2")) {
+		t.Error("physician denied medical record")
+	}
+	if m.MayAccess(phys, rdf.NewIRI("p1")) {
+		t.Error("physician granted patient resource without policy")
+	}
+	if m.MayAccess(nurse, rdf.NewIRI("rec2")) {
+		t.Error("nurse granted without policy")
+	}
+	got := m.VisibleInstances(phys)
+	if len(got) != 2 || got[0].Value != "rec1" || got[1].Value != "rec2" {
+		t.Errorf("visible = %v", got)
+	}
+}
+
+func TestConceptDenyOverridesAtSubclass(t *testing.T) {
+	m, _ := mediatorFixture(t)
+	m.AddPolicy(&ConceptPolicy{
+		Name:    "phys-medrec",
+		Subject: policy.SubjectSpec{Roles: []string{"physician"}},
+		Concept: "MedicalRecord",
+		Sign:    policy.Permit,
+	})
+	m.AddPolicy(&ConceptPolicy{
+		Name:    "psych-locked",
+		Subject: policy.SubjectSpec{Roles: []string{"physician"}},
+		Concept: "PsychRecord",
+		Sign:    policy.Deny,
+	})
+	phys := &policy.Subject{ID: "d", Roles: []string{"physician"}}
+	if m.MayAccess(phys, rdf.NewIRI("rec1")) {
+		t.Error("deny at subclass ignored")
+	}
+	if !m.MayAccess(phys, rdf.NewIRI("rec2")) {
+		t.Error("deny leaked to superclass instances")
+	}
+}
+
+func TestAboutFiltered(t *testing.T) {
+	m, _ := mediatorFixture(t)
+	m.AddPolicy(&ConceptPolicy{
+		Name:    "phys-medrec",
+		Subject: policy.SubjectSpec{Roles: []string{"physician"}},
+		Concept: "MedicalRecord",
+		Sign:    policy.Permit,
+	})
+	phys := &policy.Subject{ID: "d", Roles: []string{"physician"}}
+	about := m.About(phys, rdf.NewIRI("rec1"))
+	if len(about) != 2 {
+		t.Errorf("about rec1 = %d triples", len(about))
+	}
+	nurse := &policy.Subject{ID: "n", Roles: []string{"nurse"}}
+	if got := m.About(nurse, rdf.NewIRI("rec1")); got != nil {
+		t.Errorf("nurse sees %v", got)
+	}
+}
+
+func TestPolicyUnknownConcept(t *testing.T) {
+	m, _ := mediatorFixture(t)
+	if err := m.AddPolicy(&ConceptPolicy{Name: "x", Concept: "Ghost"}); err == nil {
+		t.Error("policy on unknown concept accepted")
+	}
+}
+
+func TestAlignmentViolations(t *testing.T) {
+	mil := New("military")
+	mil.AddClass("Asset")
+	mil.AddClass("TroopPosition", "Asset")
+	mil.SetLevel("TroopPosition", rdf.Secret)
+
+	civ := New("civilian")
+	civ.AddClass("Location")
+	civ.AddClass("PointOfInterest", "Location")
+
+	a := NewAlignment(mil, civ)
+	if err := a.Map("TroopPosition", "PointOfInterest"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Map("Asset", "Location"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Map("Ghost", "Location"); err == nil {
+		t.Error("unknown source concept accepted")
+	}
+	if err := a.Map("Asset", "Ghost"); err == nil {
+		t.Error("unknown target concept accepted")
+	}
+	v := a.Violations()
+	if len(v) != 1 || v[0].From != "TroopPosition" || v[0].FromLevel != rdf.Secret {
+		t.Fatalf("violations = %+v", v)
+	}
+	// Raising the target's level resolves the violation.
+	civ.SetLevel("PointOfInterest", rdf.Secret)
+	if got := a.Violations(); len(got) != 0 {
+		t.Errorf("violations after fix = %+v", got)
+	}
+	if to, ok := a.Translate("Asset"); !ok || to != "Location" {
+		t.Errorf("Translate = %s,%v", to, ok)
+	}
+	if _, ok := a.Translate("Nope"); ok {
+		t.Error("Translate of unmapped concept")
+	}
+}

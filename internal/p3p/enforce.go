@@ -1,0 +1,131 @@
+package p3p
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Enforcer implements the W3C task-force rule the paper quotes in §4.2:
+// "collected personal information must not be used or disclosed for
+// purposes other than performing the operations for which it was
+// collected, except with the consent of the subject or as required by
+// law. Additionally, such information must be retained only as long as
+// necessary for performing the required operations."
+//
+// Time is a logical tick counter advanced by the caller, which keeps the
+// retention rule deterministic and testable.
+type Enforcer struct {
+	mu     sync.Mutex
+	policy *Policy
+	clock  int
+	items  map[string]*collected
+}
+
+type collected struct {
+	category Category
+	purposes map[Purpose]bool
+	expires  int // clock tick after which the item is gone
+	consent  map[Purpose]bool
+	erased   bool
+}
+
+// NewEnforcer builds an enforcer for the service's advertised policy.
+func NewEnforcer(p *Policy) (*Enforcer, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Enforcer{policy: p, items: make(map[string]*collected)}, nil
+}
+
+// Tick advances logical time, erasing items whose retention expired.
+func (e *Enforcer) Tick() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.clock++
+	for _, it := range e.items {
+		if !it.erased && e.clock > it.expires {
+			it.erased = true
+		}
+	}
+}
+
+// Clock returns the current logical time.
+func (e *Enforcer) Clock() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.clock
+}
+
+// Collect records that a data item of the category was collected for the
+// purposes. Collection must be covered by the advertised policy —
+// collecting outside the policy is itself a violation.
+func (e *Enforcer) Collect(key string, cat Category, purposes ...Purpose) error {
+	if len(purposes) == 0 {
+		return fmt.Errorf("p3p: collection of %q needs at least one purpose", key)
+	}
+	retention := -1
+	for _, pur := range purposes {
+		if !e.policy.collects(cat, pur) {
+			return fmt.Errorf("p3p: policy of %s does not cover collecting %s for %s",
+				e.policy.Entity, cat, pur)
+		}
+	}
+	for _, s := range e.policy.Statements {
+		if containsCat(s.Categories, cat) && s.Retention > retention {
+			retention = s.Retention
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ps := make(map[Purpose]bool, len(purposes))
+	for _, p := range purposes {
+		ps[p] = true
+	}
+	e.items[key] = &collected{
+		category: cat,
+		purposes: ps,
+		expires:  e.clock + retention,
+		consent:  make(map[Purpose]bool),
+	}
+	return nil
+}
+
+// Consent records the data subject's consent to an additional purpose for
+// one item — the "except with the consent of the subject" escape hatch.
+func (e *Enforcer) Consent(key string, pur Purpose) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	it, ok := e.items[key]
+	if !ok || it.erased {
+		return fmt.Errorf("p3p: no collected item %q", key)
+	}
+	it.consent[pur] = true
+	return nil
+}
+
+// Use authorizes one use of the item for the purpose: the purpose must be
+// among the collection purposes (or consented), and the item must still be
+// within retention.
+func (e *Enforcer) Use(key string, pur Purpose) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	it, ok := e.items[key]
+	if !ok {
+		return fmt.Errorf("p3p: no collected item %q", key)
+	}
+	if it.erased {
+		return fmt.Errorf("p3p: item %q passed its retention period", key)
+	}
+	if !it.purposes[pur] && !it.consent[pur] {
+		return fmt.Errorf("p3p: item %q was not collected for purpose %s", key, pur)
+	}
+	return nil
+}
+
+// Retained reports whether the item is still held.
+func (e *Enforcer) Retained(key string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	it, ok := e.items[key]
+	return ok && !it.erased
+}

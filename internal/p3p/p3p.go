@@ -1,0 +1,407 @@
+// Package p3p implements the privacy side of the Web Service Architecture
+// (§4.2). The paper lists the five W3C WSA privacy requirements: "the WSA
+// must enable privacy policy statements to be expressed about web
+// services; advertised web service privacy policies must be expressed in
+// P3P; the WSA must enable a consumer to access a web service's advertised
+// privacy policy statement; the WSA must enable delegation and propagation
+// of privacy policy; web services must not be precluded from supporting
+// interactions where one or more parties of the interaction are
+// anonymous."
+//
+// This package provides the P3P-style policy model, APPEL-like consumer
+// preferences and their evaluation, the restrictiveness order that makes
+// delegation checkable, a policy directory for services, and a usage
+// enforcer implementing the paper's retention/purpose rule: "collected
+// personal information must not be used or disclosed for purposes other
+// than performing the operations for which it was collected ... such
+// information must be retained only as long as necessary."
+package p3p
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"webdbsec/internal/xmldoc"
+)
+
+// Purpose is a data-use purpose.
+type Purpose string
+
+// Common purposes.
+const (
+	PurposeCurrent   Purpose = "current"   // the requested operation itself
+	PurposeAdmin     Purpose = "admin"     // system administration
+	PurposeDevelop   Purpose = "develop"   // research & development
+	PurposeMarketing Purpose = "marketing" // promotion
+	PurposeProfiling Purpose = "profiling" // building user profiles
+)
+
+// Recipient classifies who receives collected data.
+type Recipient string
+
+// Recipients, orderable by exposure.
+const (
+	RecipientOurs      Recipient = "ours"      // the service itself
+	RecipientDelivery  Recipient = "delivery"  // delivery partners
+	RecipientUnrelated Recipient = "unrelated" // unrelated third parties
+	RecipientPublic    Recipient = "public"    // public fora
+)
+
+// Category classifies collected data.
+type Category string
+
+// Data categories.
+const (
+	CategoryPhysical    Category = "physical" // name, address
+	CategoryOnline      Category = "online"   // email, identifiers
+	CategoryFinancial   Category = "financial"
+	CategoryHealth      Category = "health"
+	CategoryLocation    Category = "location"
+	CategoryClickstream Category = "clickstream"
+)
+
+// Statement is one P3P statement: the service collects data of the given
+// categories for the given purposes, shares it with the given recipients,
+// and retains it for Retention logical ticks (0 = not retained).
+type Statement struct {
+	Purposes   []Purpose
+	Recipients []Recipient
+	Categories []Category
+	Retention  int
+}
+
+// Policy is a service's privacy policy.
+type Policy struct {
+	// Entity names the service or agency the policy speaks for.
+	Entity string
+	// AllowsAnonymous declares that the service supports interactions
+	// where the requestor stays anonymous (WSA requirement five).
+	AllowsAnonymous bool
+	Statements      []Statement
+}
+
+// Validate checks well-formedness.
+func (p *Policy) Validate() error {
+	if p.Entity == "" {
+		return fmt.Errorf("p3p: policy missing entity")
+	}
+	for i, s := range p.Statements {
+		if len(s.Purposes) == 0 || len(s.Categories) == 0 {
+			return fmt.Errorf("p3p: statement %d of %s needs purposes and categories", i, p.Entity)
+		}
+		if s.Retention < 0 {
+			return fmt.Errorf("p3p: statement %d of %s has negative retention", i, p.Entity)
+		}
+	}
+	return nil
+}
+
+// collects reports whether the policy collects the category for the
+// purpose.
+func (p *Policy) collects(cat Category, pur Purpose) bool {
+	for _, s := range p.Statements {
+		if containsCat(s.Categories, cat) && containsPur(s.Purposes, pur) {
+			return true
+		}
+	}
+	return false
+}
+
+// ToXML renders the policy in an XML form (the paper's requirement two:
+// policies are advertised in P3P, an XML vocabulary).
+func (p *Policy) ToXML() *xmldoc.Document {
+	b := xmldoc.NewBuilder("p3p:"+p.Entity, "policy")
+	b.Attrib("entity", p.Entity)
+	if p.AllowsAnonymous {
+		b.Attrib("anonymous", "true")
+	}
+	for _, s := range p.Statements {
+		b.Begin("statement")
+		b.Attrib("retention", fmt.Sprintf("%d", s.Retention))
+		for _, x := range s.Purposes {
+			b.Begin("purpose").Attrib("v", string(x)).End()
+		}
+		for _, x := range s.Recipients {
+			b.Begin("recipient").Attrib("v", string(x)).End()
+		}
+		for _, x := range s.Categories {
+			b.Begin("category").Attrib("v", string(x)).End()
+		}
+		b.End()
+	}
+	return b.Freeze()
+}
+
+// FromXML parses a policy document.
+func FromXML(d *xmldoc.Document) (*Policy, error) {
+	if d == nil || d.Root == nil || d.Root.Name != "policy" {
+		return nil, fmt.Errorf("p3p: not a policy document")
+	}
+	p := &Policy{}
+	p.Entity, _ = d.Root.Attr("entity")
+	if v, ok := d.Root.Attr("anonymous"); ok && v == "true" {
+		p.AllowsAnonymous = true
+	}
+	for _, sn := range d.Root.ElementChildren() {
+		if sn.Name != "statement" {
+			continue
+		}
+		var s Statement
+		if r, ok := sn.Attr("retention"); ok {
+			fmt.Sscanf(r, "%d", &s.Retention)
+		}
+		for _, c := range sn.ElementChildren() {
+			v, _ := c.Attr("v")
+			switch c.Name {
+			case "purpose":
+				s.Purposes = append(s.Purposes, Purpose(v))
+			case "recipient":
+				s.Recipients = append(s.Recipients, Recipient(v))
+			case "category":
+				s.Categories = append(s.Categories, Category(v))
+			}
+		}
+		p.Statements = append(p.Statements, s)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// PreferenceRule is one APPEL-like consumer rule: block policies that use
+// any of Categories for any of Purposes or share them with any of
+// Recipients (empty lists are wildcards within the triggered dimension
+// only when another dimension is set).
+type PreferenceRule struct {
+	Name       string
+	Categories []Category
+	Purposes   []Purpose
+	Recipients []Recipient
+	// MaxRetention, when > 0, blocks statements retaining matched
+	// categories longer.
+	MaxRetention int
+}
+
+// Preference is the consumer's rule set plus a default stance.
+type Preference struct {
+	Rules []PreferenceRule
+	// RequireAnonymous blocks services that do not support anonymous
+	// interaction.
+	RequireAnonymous bool
+}
+
+// Verdict is the outcome of evaluating a preference against a policy.
+type Verdict struct {
+	Accept bool
+	// Reason names the violated rule when rejected.
+	Reason string
+}
+
+// Evaluate checks the policy against the preference.
+func (pref *Preference) Evaluate(p *Policy) Verdict {
+	if pref.RequireAnonymous && !p.AllowsAnonymous {
+		return Verdict{Accept: false, Reason: "anonymous interaction not supported"}
+	}
+	for _, r := range pref.Rules {
+		for _, s := range p.Statements {
+			if !overlapCats(s.Categories, r.Categories) {
+				continue
+			}
+			if len(r.Purposes) > 0 && !overlapPurs(s.Purposes, r.Purposes) &&
+				len(r.Recipients) == 0 && r.MaxRetention == 0 {
+				continue
+			}
+			if len(r.Purposes) > 0 && overlapPurs(s.Purposes, r.Purposes) {
+				return Verdict{Accept: false, Reason: r.Name}
+			}
+			if len(r.Recipients) > 0 && overlapRecs(s.Recipients, r.Recipients) {
+				return Verdict{Accept: false, Reason: r.Name}
+			}
+			if r.MaxRetention > 0 && s.Retention > r.MaxRetention {
+				return Verdict{Accept: false, Reason: r.Name}
+			}
+		}
+	}
+	return Verdict{Accept: true}
+}
+
+// AtMostAsPermissiveAs reports whether policy q could stand in for policy
+// p without weakening privacy: every statement of q must be covered by
+// some statement of p collecting the same categories for at least the
+// same purposes/recipients and retention. This is the propagation check
+// behind WSA requirement four: a delegatee must not use delegated data
+// more liberally than the policy the consumer accepted.
+func (q *Policy) AtMostAsPermissiveAs(p *Policy) bool {
+	for _, sq := range q.Statements {
+		for _, cat := range sq.Categories {
+			for _, pur := range sq.Purposes {
+				if !p.collects(cat, pur) {
+					return false
+				}
+			}
+			// Retention for this category must not exceed any covering
+			// statement's maximum in p.
+			maxRet := -1
+			for _, sp := range p.Statements {
+				if containsCat(sp.Categories, cat) && sp.Retention > maxRet {
+					maxRet = sp.Retention
+				}
+			}
+			if sq.Retention > maxRet {
+				return false
+			}
+			// Recipients must be a subset of the union p exposes for cat.
+			var allowed []Recipient
+			for _, sp := range p.Statements {
+				if containsCat(sp.Categories, cat) {
+					allowed = append(allowed, sp.Recipients...)
+				}
+			}
+			for _, r := range sq.Recipients {
+				if !containsRec(allowed, r) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Directory maps service names to their advertised policies — WSA
+// requirement three (consumer access) — and validates delegations.
+type Directory struct {
+	mu       sync.RWMutex
+	policies map[string]*Policy
+	// delegations: delegator -> delegatees.
+	delegations map[string][]string
+}
+
+// NewDirectory returns an empty policy directory.
+func NewDirectory() *Directory {
+	return &Directory{policies: make(map[string]*Policy), delegations: make(map[string][]string)}
+}
+
+// Advertise publishes a service's policy.
+func (d *Directory) Advertise(service string, p *Policy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.policies[service] = p
+	return nil
+}
+
+// PolicyFor returns a service's advertised policy.
+func (d *Directory) PolicyFor(service string) (*Policy, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	p, ok := d.policies[service]
+	return p, ok
+}
+
+// Delegate records that delegator passes collected data to delegatee,
+// enforcing propagation: the delegatee's policy must be at most as
+// permissive as the delegator's.
+func (d *Directory) Delegate(delegator, delegatee string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	from, ok := d.policies[delegator]
+	if !ok {
+		return fmt.Errorf("p3p: %s has no advertised policy", delegator)
+	}
+	to, ok := d.policies[delegatee]
+	if !ok {
+		return fmt.Errorf("p3p: %s has no advertised policy", delegatee)
+	}
+	if !to.AtMostAsPermissiveAs(from) {
+		return fmt.Errorf("p3p: delegation %s -> %s would weaken privacy", delegator, delegatee)
+	}
+	d.delegations[delegator] = append(d.delegations[delegator], delegatee)
+	return nil
+}
+
+// DelegationChain returns every service reachable from the given one
+// through delegations, sorted (the consumer can audit where data may
+// flow).
+func (d *Directory) DelegationChain(service string) []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	seen := map[string]bool{}
+	stack := []string{service}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, next := range d.delegations[s] {
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func containsCat(s []Category, v Category) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func containsPur(s []Purpose, v Purpose) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func containsRec(s []Recipient, v Recipient) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func overlapCats(a []Category, b []Category) bool {
+	if len(b) == 0 {
+		return true
+	}
+	for _, x := range b {
+		if containsCat(a, x) {
+			return true
+		}
+	}
+	return false
+}
+
+func overlapPurs(a []Purpose, b []Purpose) bool {
+	for _, x := range b {
+		if containsPur(a, x) {
+			return true
+		}
+	}
+	return false
+}
+
+func overlapRecs(a []Recipient, b []Recipient) bool {
+	for _, x := range b {
+		if containsRec(a, x) {
+			return true
+		}
+	}
+	return false
+}

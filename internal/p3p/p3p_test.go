@@ -1,0 +1,341 @@
+package p3p
+
+import (
+	"testing"
+)
+
+func shopPolicy() *Policy {
+	return &Policy{
+		Entity:          "shop.example",
+		AllowsAnonymous: false,
+		Statements: []Statement{
+			{
+				Purposes:   []Purpose{PurposeCurrent, PurposeAdmin},
+				Recipients: []Recipient{RecipientOurs, RecipientDelivery},
+				Categories: []Category{CategoryPhysical, CategoryOnline},
+				Retention:  30,
+			},
+			{
+				Purposes:   []Purpose{PurposeMarketing},
+				Recipients: []Recipient{RecipientOurs},
+				Categories: []Category{CategoryClickstream},
+				Retention:  90,
+			},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := shopPolicy().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Policy{
+		{Entity: ""},
+		{Entity: "x", Statements: []Statement{{}}},
+		{Entity: "x", Statements: []Statement{{Purposes: []Purpose{PurposeCurrent}}}},
+		{Entity: "x", Statements: []Statement{{
+			Purposes: []Purpose{PurposeCurrent}, Categories: []Category{CategoryHealth}, Retention: -1}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad policy %d accepted", i)
+		}
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	p := shopPolicy()
+	p.AllowsAnonymous = true
+	got, err := FromXML(p.ToXML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entity != p.Entity || !got.AllowsAnonymous {
+		t.Errorf("header lost: %+v", got)
+	}
+	if len(got.Statements) != 2 {
+		t.Fatalf("statements = %d", len(got.Statements))
+	}
+	s := got.Statements[0]
+	if len(s.Purposes) != 2 || s.Retention != 30 || len(s.Categories) != 2 {
+		t.Errorf("statement lost: %+v", s)
+	}
+	if _, err := FromXML(nil); err == nil {
+		t.Error("nil document accepted")
+	}
+}
+
+func TestPreferenceEvaluation(t *testing.T) {
+	p := shopPolicy()
+	cases := []struct {
+		name   string
+		pref   Preference
+		accept bool
+	}{
+		{
+			"no rules accepts",
+			Preference{},
+			true,
+		},
+		{
+			"blocks marketing on clickstream",
+			Preference{Rules: []PreferenceRule{{
+				Name: "no-marketing", Categories: []Category{CategoryClickstream},
+				Purposes: []Purpose{PurposeMarketing},
+			}}},
+			false,
+		},
+		{
+			"marketing rule on health does not fire",
+			Preference{Rules: []PreferenceRule{{
+				Name: "no-health-marketing", Categories: []Category{CategoryHealth},
+				Purposes: []Purpose{PurposeMarketing},
+			}}},
+			true,
+		},
+		{
+			"blocks third-party sharing",
+			Preference{Rules: []PreferenceRule{{
+				Name: "no-sharing", Recipients: []Recipient{RecipientDelivery},
+			}}},
+			false,
+		},
+		{
+			"blocks long retention",
+			Preference{Rules: []PreferenceRule{{
+				Name: "short-retention", Categories: []Category{CategoryClickstream}, MaxRetention: 30,
+			}}},
+			false,
+		},
+		{
+			"retention within bound accepted",
+			Preference{Rules: []PreferenceRule{{
+				Name: "short-retention", Categories: []Category{CategoryPhysical}, MaxRetention: 30,
+			}}},
+			true,
+		},
+		{
+			"requires anonymity",
+			Preference{RequireAnonymous: true},
+			false,
+		},
+	}
+	for _, c := range cases {
+		v := c.pref.Evaluate(p)
+		if v.Accept != c.accept {
+			t.Errorf("%s: accept = %v (reason %q), want %v", c.name, v.Accept, v.Reason, c.accept)
+		}
+		if !v.Accept && v.Reason == "" {
+			t.Errorf("%s: rejection without reason", c.name)
+		}
+	}
+}
+
+func TestAnonymousSupportAccepted(t *testing.T) {
+	p := shopPolicy()
+	p.AllowsAnonymous = true
+	v := (&Preference{RequireAnonymous: true}).Evaluate(p)
+	if !v.Accept {
+		t.Errorf("anonymous-supporting service rejected: %q", v.Reason)
+	}
+}
+
+func TestRestrictivenessOrder(t *testing.T) {
+	base := shopPolicy()
+	// Strictly tighter: fewer purposes, shorter retention, fewer recipients.
+	tight := &Policy{
+		Entity: "courier.example",
+		Statements: []Statement{{
+			Purposes:   []Purpose{PurposeCurrent},
+			Recipients: []Recipient{RecipientOurs},
+			Categories: []Category{CategoryPhysical},
+			Retention:  7,
+		}},
+	}
+	if !tight.AtMostAsPermissiveAs(base) {
+		t.Error("tighter policy judged more permissive")
+	}
+	// New purpose on the same category: more permissive.
+	loose := &Policy{
+		Entity: "adnet.example",
+		Statements: []Statement{{
+			Purposes:   []Purpose{PurposeProfiling},
+			Recipients: []Recipient{RecipientOurs},
+			Categories: []Category{CategoryPhysical},
+			Retention:  7,
+		}},
+	}
+	if loose.AtMostAsPermissiveAs(base) {
+		t.Error("new purpose not detected as weakening")
+	}
+	// Longer retention: more permissive.
+	longRet := &Policy{
+		Entity: "archive.example",
+		Statements: []Statement{{
+			Purposes:   []Purpose{PurposeCurrent},
+			Recipients: []Recipient{RecipientOurs},
+			Categories: []Category{CategoryPhysical},
+			Retention:  365,
+		}},
+	}
+	if longRet.AtMostAsPermissiveAs(base) {
+		t.Error("longer retention not detected")
+	}
+	// Broader recipients: more permissive.
+	shareAll := &Policy{
+		Entity: "broker.example",
+		Statements: []Statement{{
+			Purposes:   []Purpose{PurposeCurrent},
+			Recipients: []Recipient{RecipientPublic},
+			Categories: []Category{CategoryPhysical},
+			Retention:  7,
+		}},
+	}
+	if shareAll.AtMostAsPermissiveAs(base) {
+		t.Error("recipient broadening not detected")
+	}
+}
+
+func TestDirectoryAndDelegation(t *testing.T) {
+	d := NewDirectory()
+	base := shopPolicy()
+	if err := d.Advertise("shop", base); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.PolicyFor("shop"); !ok {
+		t.Fatal("advertised policy not retrievable")
+	}
+	if _, ok := d.PolicyFor("ghost"); ok {
+		t.Error("unknown service has a policy")
+	}
+	tight := &Policy{
+		Entity: "courier",
+		Statements: []Statement{{
+			Purposes:   []Purpose{PurposeCurrent},
+			Recipients: []Recipient{RecipientOurs},
+			Categories: []Category{CategoryPhysical},
+			Retention:  7,
+		}},
+	}
+	if err := d.Advertise("courier", tight); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delegate("shop", "courier"); err != nil {
+		t.Fatalf("valid delegation rejected: %v", err)
+	}
+	loose := &Policy{
+		Entity: "adnet",
+		Statements: []Statement{{
+			Purposes:   []Purpose{PurposeProfiling},
+			Recipients: []Recipient{RecipientPublic},
+			Categories: []Category{CategoryPhysical},
+			Retention:  999,
+		}},
+	}
+	d.Advertise("adnet", loose)
+	if err := d.Delegate("shop", "adnet"); err == nil {
+		t.Error("privacy-weakening delegation accepted")
+	}
+	if err := d.Delegate("ghost", "courier"); err == nil {
+		t.Error("delegation from unknown service accepted")
+	}
+	if err := d.Delegate("shop", "ghost"); err == nil {
+		t.Error("delegation to unknown service accepted")
+	}
+	chain := d.DelegationChain("shop")
+	if len(chain) != 1 || chain[0] != "courier" {
+		t.Errorf("chain = %v", chain)
+	}
+}
+
+func TestDelegationChainTransitive(t *testing.T) {
+	d := NewDirectory()
+	mk := func(entity string, ret int) *Policy {
+		return &Policy{Entity: entity, Statements: []Statement{{
+			Purposes: []Purpose{PurposeCurrent}, Recipients: []Recipient{RecipientOurs},
+			Categories: []Category{CategoryPhysical}, Retention: ret,
+		}}}
+	}
+	d.Advertise("a", mk("a", 30))
+	d.Advertise("b", mk("b", 20))
+	d.Advertise("c", mk("c", 10))
+	if err := d.Delegate("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delegate("b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	chain := d.DelegationChain("a")
+	if len(chain) != 2 || chain[0] != "b" || chain[1] != "c" {
+		t.Errorf("chain = %v", chain)
+	}
+}
+
+func TestEnforcerPurposeBinding(t *testing.T) {
+	e, err := NewEnforcer(shopPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Collect("addr-42", CategoryPhysical, PurposeCurrent); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Use("addr-42", PurposeCurrent); err != nil {
+		t.Errorf("declared use rejected: %v", err)
+	}
+	if err := e.Use("addr-42", PurposeMarketing); err == nil {
+		t.Error("undeclared purpose accepted")
+	}
+	if err := e.Use("ghost", PurposeCurrent); err == nil {
+		t.Error("unknown item usable")
+	}
+	// Consent opens the purpose.
+	if err := e.Consent("addr-42", PurposeMarketing); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Use("addr-42", PurposeMarketing); err != nil {
+		t.Errorf("consented use rejected: %v", err)
+	}
+}
+
+func TestEnforcerCollectionCoverage(t *testing.T) {
+	e, _ := NewEnforcer(shopPolicy())
+	// Health data is not in the policy at all.
+	if err := e.Collect("h1", CategoryHealth, PurposeCurrent); err == nil {
+		t.Error("collection outside policy accepted")
+	}
+	// Physical data for profiling is not declared either.
+	if err := e.Collect("a1", CategoryPhysical, PurposeProfiling); err == nil {
+		t.Error("undeclared purpose collection accepted")
+	}
+	if err := e.Collect("a1", CategoryPhysical); err == nil {
+		t.Error("purposeless collection accepted")
+	}
+}
+
+func TestEnforcerRetention(t *testing.T) {
+	p := shopPolicy()
+	p.Statements[0].Retention = 2
+	e, _ := NewEnforcer(p)
+	e.Collect("addr", CategoryPhysical, PurposeCurrent)
+	if !e.Retained("addr") {
+		t.Fatal("item gone immediately")
+	}
+	e.Tick()
+	e.Tick()
+	if err := e.Use("addr", PurposeCurrent); err != nil {
+		t.Errorf("use within retention rejected: %v", err)
+	}
+	e.Tick() // clock = 3 > expires = 2
+	if e.Retained("addr") {
+		t.Error("item retained past its period")
+	}
+	if err := e.Use("addr", PurposeCurrent); err == nil {
+		t.Error("use after retention accepted")
+	}
+	if err := e.Consent("addr", PurposeAdmin); err == nil {
+		t.Error("consent on erased item accepted")
+	}
+	if e.Clock() != 3 {
+		t.Errorf("clock = %d", e.Clock())
+	}
+}

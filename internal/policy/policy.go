@@ -1,0 +1,300 @@
+// Package policy defines the access control policy model used throughout
+// the repository, following the Author-X design [5] the paper describes in
+// §3.2: policies are specified over graph-structured XML at "a wide
+// spectrum of access granularity levels, ranging from sets of documents, to
+// single documents, to specific portions within a document", support "both
+// content-dependent and content-independent" protection, and qualify
+// subjects "by means of credentials" as well as identities and roles.
+//
+// A policy is (subject spec, object spec, privilege, sign, propagation).
+// Conflicts are resolved by the standard Author-X rules: the policy with
+// the more specific object wins; at equal specificity denials take
+// precedence; in the absence of any applicable policy the system is closed
+// (deny).
+package policy
+
+import (
+	"fmt"
+
+	"webdbsec/internal/credential"
+	"webdbsec/internal/xmldoc"
+)
+
+// Privilege is the kind of access a policy grants or denies.
+type Privilege string
+
+// Privileges. Browse reveals document structure only (element names);
+// Read additionally reveals content; Write permits modification and
+// subsumes nothing (writing does not imply reading).
+const (
+	Browse Privilege = "browse"
+	Read   Privilege = "read"
+	Write  Privilege = "write"
+)
+
+// Sign marks a policy as a permission or a prohibition.
+type Sign int
+
+// Signs.
+const (
+	Deny Sign = iota
+	Permit
+)
+
+func (s Sign) String() string {
+	if s == Permit {
+		return "permit"
+	}
+	return "deny"
+}
+
+// Propagation controls how far down the document tree an authorization on
+// an element extends.
+type Propagation int
+
+// Propagation options (Author-X: NO_PROP, FIRST_LEVEL, CASCADE).
+const (
+	// NoProp applies to the matched node only (plus its attributes and
+	// text, which have no independent protection granularity below their
+	// element for browse, but are matched individually for read).
+	NoProp Propagation = iota
+	// FirstLevel extends to the matched element's direct children.
+	FirstLevel
+	// Cascade extends to the whole subtree.
+	Cascade
+)
+
+func (p Propagation) String() string {
+	switch p {
+	case NoProp:
+		return "no-prop"
+	case FirstLevel:
+		return "first-level"
+	case Cascade:
+		return "cascade"
+	}
+	return fmt.Sprintf("Propagation(%d)", int(p))
+}
+
+// Subject is the access-requesting context a policy's subject spec is
+// matched against: an identity, the subject's active roles, and a wallet
+// of credentials.
+type Subject struct {
+	ID     string
+	Roles  []string
+	Wallet *credential.Wallet
+}
+
+// HasRole reports whether the subject has the role active.
+func (s *Subject) HasRole(role string) bool {
+	for _, r := range s.Roles {
+		if r == role {
+			return true
+		}
+	}
+	return false
+}
+
+// SubjectSpec qualifies the subjects a policy applies to. A spec matches if
+// ANY of its non-empty positive qualifiers matches — the subject's identity
+// is listed in IDs, one of the subject's roles is listed in Roles, or the
+// credential expression evaluates to true over the subject's wallet — AND
+// none of the exceptions applies (the subject holds no role in NotRoles).
+// The special ID "*" matches every subject (public policies). A spec with
+// only exceptions matches every subject the exceptions do not exclude,
+// which is how "deny X to everyone but partners" is written.
+type SubjectSpec struct {
+	IDs      []string
+	Roles    []string
+	CredExpr *credential.Expr
+	// NotRoles excludes subjects holding any of the listed roles.
+	NotRoles []string
+}
+
+// Matches evaluates the spec. verifier may be nil to skip credential
+// signature verification.
+func (ss *SubjectSpec) Matches(s *Subject, verifier *credential.Verifier) bool {
+	for _, r := range ss.NotRoles {
+		if s.HasRole(r) {
+			return false
+		}
+	}
+	if len(ss.IDs) == 0 && len(ss.Roles) == 0 && ss.CredExpr == nil {
+		// Exception-only spec: matches everyone not excluded above.
+		return len(ss.NotRoles) > 0
+	}
+	for _, id := range ss.IDs {
+		if id == "*" || id == s.ID {
+			return true
+		}
+	}
+	for _, r := range ss.Roles {
+		if s.HasRole(r) {
+			return true
+		}
+	}
+	if ss.CredExpr != nil && ss.CredExpr.EvalWallet(s.Wallet, verifier) {
+		return true
+	}
+	return false
+}
+
+// ObjectSpec designates the protected objects at one of three granularity
+// levels. Exactly one of Set or Doc should be non-empty; Path further
+// narrows a Doc (or every doc of a Set) to the matched portions. Doc "*"
+// matches every document in the store.
+type ObjectSpec struct {
+	// Set names a document set registered in the store.
+	Set string
+	// Doc names a single document, or "*" for all.
+	Doc string
+	// Path, when non-empty, selects portions within the matched documents.
+	Path string
+
+	compiled *xmldoc.PathExpr
+}
+
+// specificity ranks object specs for conflict resolution: a path-level spec
+// beats a document-level spec beats a set-level spec beats a wildcard;
+// among path-level specs, longer (deeper) node matches are resolved by the
+// engine using node depth, not here.
+func (os *ObjectSpec) specificity() int {
+	s := 0
+	switch {
+	case os.Doc != "" && os.Doc != "*":
+		s = 2
+	case os.Set != "":
+		s = 1
+	}
+	if os.Path != "" && os.Path != "/" {
+		s += 2
+	}
+	return s
+}
+
+// AppliesToDoc reports whether the spec covers the named document of the
+// store (ignoring Path).
+func (os *ObjectSpec) AppliesToDoc(store *xmldoc.Store, doc string) bool {
+	if os.Doc == "*" {
+		return true
+	}
+	if os.Doc != "" {
+		return os.Doc == doc
+	}
+	if os.Set != "" {
+		return store.SetContains(os.Set, doc)
+	}
+	return false
+}
+
+// Policy is one access control rule.
+type Policy struct {
+	// Name identifies the policy in audit records and error messages.
+	Name    string
+	Subject SubjectSpec
+	Object  ObjectSpec
+	Priv    Privilege
+	Sign    Sign
+	Prop    Propagation
+}
+
+// Validate compiles the object path and checks well-formedness.
+func (p *Policy) Validate() error {
+	if p.Priv == "" {
+		return fmt.Errorf("policy %q: missing privilege", p.Name)
+	}
+	if p.Object.Doc == "" && p.Object.Set == "" {
+		return fmt.Errorf("policy %q: object spec needs Doc or Set", p.Name)
+	}
+	if p.Object.Doc != "" && p.Object.Set != "" {
+		return fmt.Errorf("policy %q: object spec cannot have both Doc and Set", p.Name)
+	}
+	if len(p.Subject.IDs) == 0 && len(p.Subject.Roles) == 0 &&
+		p.Subject.CredExpr == nil && len(p.Subject.NotRoles) == 0 {
+		return fmt.Errorf("policy %q: empty subject spec", p.Name)
+	}
+	if p.Object.Path != "" {
+		pe, err := xmldoc.CompilePath(p.Object.Path)
+		if err != nil {
+			return fmt.Errorf("policy %q: %w", p.Name, err)
+		}
+		p.Object.compiled = pe
+	}
+	return nil
+}
+
+// PathExpr returns the compiled object path, or nil when the policy covers
+// whole documents.
+func (p *Policy) PathExpr() *xmldoc.PathExpr { return p.Object.compiled }
+
+// Base is a policy base: the set of policies governing a document store.
+// Concurrent READS (Applicable, All) are safe; installing or removing
+// policies is not synchronized — configure the base before serving
+// traffic, or serialize administration externally. The servers in cmd/
+// follow this rule.
+type Base struct {
+	policies []*Policy
+	verifier *credential.Verifier
+}
+
+// NewBase returns an empty policy base. verifier may be nil to skip
+// credential signature verification (policies then trust presented
+// credentials, which is only appropriate in tests).
+func NewBase(verifier *credential.Verifier) *Base {
+	return &Base{verifier: verifier}
+}
+
+// Add validates and installs a policy.
+func (b *Base) Add(p *Policy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	b.policies = append(b.policies, p)
+	return nil
+}
+
+// MustAdd is Add that panics on error; for tests and examples.
+func (b *Base) MustAdd(p *Policy) {
+	if err := b.Add(p); err != nil {
+		panic(err)
+	}
+}
+
+// Remove deletes the named policy and reports whether it existed.
+func (b *Base) Remove(name string) bool {
+	for i, p := range b.policies {
+		if p.Name == name {
+			b.policies = append(b.policies[:i], b.policies[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of installed policies.
+func (b *Base) Len() int { return len(b.policies) }
+
+// Verifier returns the credential verifier used for subject matching.
+func (b *Base) Verifier() *credential.Verifier { return b.verifier }
+
+// Applicable returns the policies whose subject spec matches s, whose
+// privilege equals priv, and whose object spec covers the named document.
+func (b *Base) Applicable(store *xmldoc.Store, doc string, s *Subject, priv Privilege) []*Policy {
+	var out []*Policy
+	for _, p := range b.policies {
+		if p.Priv != priv {
+			continue
+		}
+		if !p.Object.AppliesToDoc(store, doc) {
+			continue
+		}
+		if !p.Subject.Matches(s, b.verifier) {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// All returns the installed policies. The slice must not be modified.
+func (b *Base) All() []*Policy { return b.policies }

@@ -1,0 +1,203 @@
+package policy
+
+import (
+	"testing"
+
+	"webdbsec/internal/credential"
+	"webdbsec/internal/xmldoc"
+)
+
+func TestValidate(t *testing.T) {
+	ok := &Policy{
+		Name:    "p1",
+		Subject: SubjectSpec{IDs: []string{"alice"}},
+		Object:  ObjectSpec{Doc: "d.xml", Path: "/a/b"},
+		Priv:    Read,
+		Sign:    Permit,
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid policy rejected: %v", err)
+	}
+	if ok.PathExpr() == nil {
+		t.Error("path not compiled")
+	}
+
+	bad := []*Policy{
+		{Name: "no-priv", Subject: SubjectSpec{IDs: []string{"a"}}, Object: ObjectSpec{Doc: "d"}},
+		{Name: "no-obj", Subject: SubjectSpec{IDs: []string{"a"}}, Priv: Read},
+		{Name: "both-obj", Subject: SubjectSpec{IDs: []string{"a"}}, Object: ObjectSpec{Doc: "d", Set: "s"}, Priv: Read},
+		{Name: "no-subj", Object: ObjectSpec{Doc: "d"}, Priv: Read},
+		{Name: "bad-path", Subject: SubjectSpec{IDs: []string{"a"}}, Object: ObjectSpec{Doc: "d", Path: "rel"}, Priv: Read},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("policy %q: want validation error", p.Name)
+		}
+	}
+}
+
+func TestSubjectSpecMatching(t *testing.T) {
+	ca, err := credential.NewAuthority("ca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := credential.NewVerifier()
+	v.TrustAuthority(ca)
+	w := credential.NewWallet("alice")
+	w.Add(ca.Issue("physician", "alice", map[string]string{"ward": "3"}))
+
+	alice := &Subject{ID: "alice", Roles: []string{"staff"}, Wallet: w}
+	bob := &Subject{ID: "bob"}
+
+	cases := []struct {
+		name string
+		spec SubjectSpec
+		subj *Subject
+		want bool
+	}{
+		{"id match", SubjectSpec{IDs: []string{"alice"}}, alice, true},
+		{"id mismatch", SubjectSpec{IDs: []string{"alice"}}, bob, false},
+		{"wildcard", SubjectSpec{IDs: []string{"*"}}, bob, true},
+		{"role match", SubjectSpec{Roles: []string{"staff"}}, alice, true},
+		{"role mismatch", SubjectSpec{Roles: []string{"admin"}}, alice, false},
+		{"cred match", SubjectSpec{CredExpr: credential.MustCompile("physician.ward = '3'")}, alice, true},
+		{"cred mismatch", SubjectSpec{CredExpr: credential.MustCompile("physician.ward = '5'")}, alice, false},
+		{"cred no wallet", SubjectSpec{CredExpr: credential.MustCompile("physician")}, bob, false},
+		{"any-of qualifiers", SubjectSpec{IDs: []string{"zz"}, Roles: []string{"staff"}}, alice, true},
+		{"not-role excludes", SubjectSpec{IDs: []string{"*"}, NotRoles: []string{"staff"}}, alice, false},
+		{"not-role passes", SubjectSpec{IDs: []string{"*"}, NotRoles: []string{"admin"}}, alice, true},
+		{"exception-only spec matches others", SubjectSpec{NotRoles: []string{"staff"}}, bob, true},
+		{"exception-only spec excludes holders", SubjectSpec{NotRoles: []string{"staff"}}, alice, false},
+	}
+	for _, c := range cases {
+		if got := c.spec.Matches(c.subj, v); got != c.want {
+			t.Errorf("%s: Matches = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestObjectSpecAppliesToDoc(t *testing.T) {
+	store := xmldoc.NewStore()
+	store.AddToSet("medical", "h1.xml")
+	store.AddToSet("medical", "h2.xml")
+
+	cases := []struct {
+		spec ObjectSpec
+		doc  string
+		want bool
+	}{
+		{ObjectSpec{Doc: "h1.xml"}, "h1.xml", true},
+		{ObjectSpec{Doc: "h1.xml"}, "h2.xml", false},
+		{ObjectSpec{Doc: "*"}, "anything.xml", true},
+		{ObjectSpec{Set: "medical"}, "h2.xml", true},
+		{ObjectSpec{Set: "medical"}, "other.xml", false},
+		{ObjectSpec{}, "h1.xml", false},
+	}
+	for _, c := range cases {
+		if got := c.spec.AppliesToDoc(store, c.doc); got != c.want {
+			t.Errorf("spec %+v doc %s: %v, want %v", c.spec, c.doc, got, c.want)
+		}
+	}
+}
+
+func TestBaseAddRemoveApplicable(t *testing.T) {
+	store := xmldoc.NewStore()
+	b := NewBase(nil)
+	b.MustAdd(&Policy{
+		Name:    "read-all",
+		Subject: SubjectSpec{IDs: []string{"*"}},
+		Object:  ObjectSpec{Doc: "d.xml"},
+		Priv:    Read,
+		Sign:    Permit,
+	})
+	b.MustAdd(&Policy{
+		Name:    "write-alice",
+		Subject: SubjectSpec{IDs: []string{"alice"}},
+		Object:  ObjectSpec{Doc: "d.xml"},
+		Priv:    Write,
+		Sign:    Permit,
+	})
+	if b.Len() != 2 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	alice := &Subject{ID: "alice"}
+	bob := &Subject{ID: "bob"}
+	if got := len(b.Applicable(store, "d.xml", alice, Write)); got != 1 {
+		t.Errorf("alice write applicable = %d, want 1", got)
+	}
+	if got := len(b.Applicable(store, "d.xml", bob, Write)); got != 0 {
+		t.Errorf("bob write applicable = %d, want 0", got)
+	}
+	if got := len(b.Applicable(store, "other.xml", alice, Read)); got != 0 {
+		t.Errorf("other doc applicable = %d, want 0", got)
+	}
+	if !b.Remove("read-all") {
+		t.Error("remove failed")
+	}
+	if b.Remove("read-all") {
+		t.Error("double remove succeeded")
+	}
+	if b.Len() != 1 {
+		t.Errorf("len after remove = %d", b.Len())
+	}
+}
+
+func TestAddRejectsInvalid(t *testing.T) {
+	b := NewBase(nil)
+	if err := b.Add(&Policy{Name: "bad"}); err == nil {
+		t.Error("invalid policy accepted")
+	}
+}
+
+func TestMustAddPanicsOnInvalid(t *testing.T) {
+	b := NewBase(nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAdd did not panic on invalid policy")
+		}
+	}()
+	b.MustAdd(&Policy{Name: "bad"})
+}
+
+func TestBaseVerifierAccessor(t *testing.T) {
+	v := credential.NewVerifier()
+	b := NewBase(v)
+	if b.Verifier() != v {
+		t.Error("Verifier accessor wrong")
+	}
+	if NewBase(nil).Verifier() != nil {
+		t.Error("nil verifier not preserved")
+	}
+}
+
+func TestPathExprNilForWholeDocPolicies(t *testing.T) {
+	p := &Policy{
+		Name:    "whole",
+		Subject: SubjectSpec{IDs: []string{"*"}},
+		Object:  ObjectSpec{Doc: "d.xml"},
+		Priv:    Read,
+		Sign:    Permit,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.PathExpr() != nil {
+		t.Error("whole-document policy has a compiled path")
+	}
+}
+
+func TestHasRole(t *testing.T) {
+	s := &Subject{ID: "x", Roles: []string{"a", "b"}}
+	if !s.HasRole("a") || s.HasRole("c") {
+		t.Error("HasRole wrong")
+	}
+}
+
+func TestSignAndPropStrings(t *testing.T) {
+	if Permit.String() != "permit" || Deny.String() != "deny" {
+		t.Error("Sign strings wrong")
+	}
+	if NoProp.String() != "no-prop" || FirstLevel.String() != "first-level" || Cascade.String() != "cascade" {
+		t.Error("Propagation strings wrong")
+	}
+}

@@ -1,0 +1,18 @@
+package rbac
+
+import (
+	"webdbsec/internal/credential"
+	"webdbsec/internal/policy"
+)
+
+// SubjectFor bridges an RBAC session into the policy layer's subject
+// representation: the subject's roles are the session's ACTIVE roles (not
+// everything assigned — least privilege), optionally carrying a credential
+// wallet for policies that qualify subjects both ways.
+func SubjectFor(sess *Session, wallet *credential.Wallet) *policy.Subject {
+	return &policy.Subject{
+		ID:     sess.User,
+		Roles:  sess.ActiveRoles(),
+		Wallet: wallet,
+	}
+}

@@ -1,0 +1,32 @@
+package rbac
+
+import (
+	"testing"
+
+	"webdbsec/internal/credential"
+)
+
+func TestSubjectForUsesActiveRolesOnly(t *testing.T) {
+	s := newHospital(t)
+	mustNoErr(t, s.AssignUser("alice", "physician"))
+	mustNoErr(t, s.AssignUser("alice", "nurse"))
+	sess, err := s.CreateSession("alice")
+	mustNoErr(t, err)
+	mustNoErr(t, sess.Activate("physician"))
+
+	subj := SubjectFor(sess, nil)
+	if subj.ID != "alice" {
+		t.Errorf("id = %q", subj.ID)
+	}
+	if len(subj.Roles) != 1 || subj.Roles[0] != "physician" {
+		t.Errorf("roles = %v, want active roles only", subj.Roles)
+	}
+	if !subj.HasRole("physician") || subj.HasRole("nurse") {
+		t.Error("role predicate wrong")
+	}
+	w := credential.NewWallet("alice")
+	subj = SubjectFor(sess, w)
+	if subj.Wallet != w {
+		t.Error("wallet not attached")
+	}
+}

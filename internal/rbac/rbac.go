@@ -1,0 +1,402 @@
+// Package rbac implements role-based access control, the first of the two
+// "more flexible ways of qualifying subjects" the paper calls for in §3.1
+// (the other, credentials, lives in internal/credential).
+//
+// The model follows the NIST RBAC standard families: core RBAC (users,
+// roles, permissions, sessions), hierarchical RBAC (role inheritance with
+// cycle detection), and constrained RBAC (static and dynamic separation of
+// duty). Permission review operations are provided for administration.
+package rbac
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Permission is an (operation, object) pair, e.g. ("read", "/hospital/patient").
+type Permission struct {
+	Op     string
+	Object string
+}
+
+func (p Permission) String() string { return p.Op + " " + p.Object }
+
+// System is an RBAC policy base plus its live sessions. All methods are
+// safe for concurrent use.
+type System struct {
+	mu sync.RWMutex
+
+	roles map[string]bool
+	users map[string]bool
+
+	// userRoles: user -> assigned roles.
+	userRoles map[string]map[string]bool
+	// rolePerms: role -> directly granted permissions.
+	rolePerms map[string]map[Permission]bool
+	// parents: junior role -> senior roles that inherit its permissions.
+	// We store the conventional direction: inherits[senior][junior] = true,
+	// meaning senior inherits junior's permissions.
+	inherits map[string]map[string]bool
+
+	// ssd holds static separation-of-duty constraints: no user may be
+	// assigned n or more roles from the set.
+	ssd []sodConstraint
+	// dsd holds dynamic separation-of-duty constraints: no session may
+	// activate n or more roles from the set.
+	dsd []sodConstraint
+
+	sessions map[string]*Session
+	nextSess int
+}
+
+type sodConstraint struct {
+	name  string
+	roles map[string]bool
+	n     int
+}
+
+// Session is an activated subset of a user's roles.
+type Session struct {
+	ID     string
+	User   string
+	active map[string]bool
+	sys    *System
+}
+
+// NewSystem returns an empty RBAC system.
+func NewSystem() *System {
+	return &System{
+		roles:     make(map[string]bool),
+		users:     make(map[string]bool),
+		userRoles: make(map[string]map[string]bool),
+		rolePerms: make(map[string]map[Permission]bool),
+		inherits:  make(map[string]map[string]bool),
+		sessions:  make(map[string]*Session),
+	}
+}
+
+// AddRole registers a role. Adding an existing role is a no-op.
+func (s *System) AddRole(role string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.roles[role] = true
+}
+
+// AddUser registers a user.
+func (s *System) AddUser(user string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.users[user] = true
+}
+
+// Roles returns all roles, sorted.
+func (s *System) Roles() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.roles))
+	for r := range s.roles {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AssignUser assigns a role to a user, enforcing static separation of duty.
+func (s *System) AssignUser(user, role string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.users[user] {
+		return fmt.Errorf("rbac: unknown user %q", user)
+	}
+	if !s.roles[role] {
+		return fmt.Errorf("rbac: unknown role %q", role)
+	}
+	cur := s.userRoles[user]
+	if cur == nil {
+		cur = make(map[string]bool)
+		s.userRoles[user] = cur
+	}
+	cur[role] = true
+	if c := s.violatedSoD(s.ssd, cur); c != "" {
+		delete(cur, role)
+		return fmt.Errorf("rbac: assigning %q to %q violates SSD constraint %q", role, user, c)
+	}
+	return nil
+}
+
+// DeassignUser removes a role assignment and deactivates it in any session.
+func (s *System) DeassignUser(user, role string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.userRoles[user], role)
+	for _, sess := range s.sessions {
+		if sess.User == user {
+			delete(sess.active, role)
+		}
+	}
+}
+
+// GrantPermission grants a permission directly to a role.
+func (s *System) GrantPermission(role string, p Permission) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.roles[role] {
+		return fmt.Errorf("rbac: unknown role %q", role)
+	}
+	m := s.rolePerms[role]
+	if m == nil {
+		m = make(map[Permission]bool)
+		s.rolePerms[role] = m
+	}
+	m[p] = true
+	return nil
+}
+
+// RevokePermission removes a direct permission from a role.
+func (s *System) RevokePermission(role string, p Permission) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.rolePerms[role], p)
+}
+
+// AddInheritance makes senior inherit all permissions of junior
+// (senior ≥ junior in the role hierarchy). Cycles are rejected.
+func (s *System) AddInheritance(senior, junior string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.roles[senior] {
+		return fmt.Errorf("rbac: unknown role %q", senior)
+	}
+	if !s.roles[junior] {
+		return fmt.Errorf("rbac: unknown role %q", junior)
+	}
+	if senior == junior || s.reachable(junior, senior) {
+		return fmt.Errorf("rbac: inheritance %s ≥ %s would create a cycle", senior, junior)
+	}
+	m := s.inherits[senior]
+	if m == nil {
+		m = make(map[string]bool)
+		s.inherits[senior] = m
+	}
+	m[junior] = true
+	return nil
+}
+
+// reachable reports whether from inherits (transitively) to.
+// Caller must hold the lock.
+func (s *System) reachable(from, to string) bool {
+	seen := map[string]bool{}
+	stack := []string{from}
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if r == to {
+			return true
+		}
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		for j := range s.inherits[r] {
+			stack = append(stack, j)
+		}
+	}
+	return false
+}
+
+// juniorsOf returns role plus every role it transitively inherits from.
+// Caller must hold the lock.
+func (s *System) juniorsOf(role string) map[string]bool {
+	out := map[string]bool{}
+	stack := []string{role}
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if out[r] {
+			continue
+		}
+		out[r] = true
+		for j := range s.inherits[r] {
+			stack = append(stack, j)
+		}
+	}
+	return out
+}
+
+// AddSSD adds a static separation-of-duty constraint: no user may hold n or
+// more of the given roles.
+func (s *System) AddSSD(name string, roles []string, n int) error {
+	return s.addSoD(&s.ssd, name, roles, n)
+}
+
+// AddDSD adds a dynamic separation-of-duty constraint: no session may
+// activate n or more of the given roles.
+func (s *System) AddDSD(name string, roles []string, n int) error {
+	return s.addSoD(&s.dsd, name, roles, n)
+}
+
+func (s *System) addSoD(dst *[]sodConstraint, name string, roles []string, n int) error {
+	if n < 2 {
+		return fmt.Errorf("rbac: SoD constraint %q: cardinality must be >= 2", name)
+	}
+	if len(roles) < n {
+		return fmt.Errorf("rbac: SoD constraint %q: needs at least %d roles", name, n)
+	}
+	set := make(map[string]bool, len(roles))
+	for _, r := range roles {
+		set[r] = true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	*dst = append(*dst, sodConstraint{name: name, roles: set, n: n})
+	return nil
+}
+
+// violatedSoD returns the name of the first constraint in cs violated by
+// holding/activating the given role set, or "".
+func (s *System) violatedSoD(cs []sodConstraint, held map[string]bool) string {
+	for _, c := range cs {
+		count := 0
+		for r := range held {
+			if c.roles[r] {
+				count++
+			}
+		}
+		if count >= c.n {
+			return c.name
+		}
+	}
+	return ""
+}
+
+// CreateSession opens a session for the user with no roles active.
+func (s *System) CreateSession(user string) (*Session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.users[user] {
+		return nil, fmt.Errorf("rbac: unknown user %q", user)
+	}
+	s.nextSess++
+	sess := &Session{
+		ID:     fmt.Sprintf("s%d", s.nextSess),
+		User:   user,
+		active: make(map[string]bool),
+		sys:    s,
+	}
+	s.sessions[sess.ID] = sess
+	return sess, nil
+}
+
+// CloseSession drops the session.
+func (s *System) CloseSession(sess *Session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.sessions, sess.ID)
+}
+
+// Activate adds a role to the session's active set, enforcing assignment
+// and dynamic separation of duty.
+func (sess *Session) Activate(role string) error {
+	s := sess.sys
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.userRoles[sess.User][role] {
+		return fmt.Errorf("rbac: role %q not assigned to user %q", role, sess.User)
+	}
+	sess.active[role] = true
+	if c := s.violatedSoD(s.dsd, sess.active); c != "" {
+		delete(sess.active, role)
+		return fmt.Errorf("rbac: activating %q violates DSD constraint %q", role, c)
+	}
+	return nil
+}
+
+// Deactivate removes a role from the session's active set.
+func (sess *Session) Deactivate(role string) {
+	s := sess.sys
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(sess.active, role)
+}
+
+// ActiveRoles returns the sorted active roles of the session.
+func (sess *Session) ActiveRoles() []string {
+	s := sess.sys
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(sess.active))
+	for r := range sess.active {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckAccess reports whether the session may perform the operation on the
+// object: some active role (or a role it inherits) must hold the
+// permission.
+func (sess *Session) CheckAccess(op, object string) bool {
+	s := sess.sys
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p := Permission{Op: op, Object: object}
+	for r := range sess.active {
+		for j := range s.juniorsOf(r) {
+			if s.rolePerms[j][p] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RolePermissions returns the effective permissions of a role, including
+// inherited ones, sorted.
+func (s *System) RolePermissions(role string) []Permission {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := map[Permission]bool{}
+	for j := range s.juniorsOf(role) {
+		for p := range s.rolePerms[j] {
+			set[p] = true
+		}
+	}
+	out := make([]Permission, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Op != out[j].Op {
+			return out[i].Op < out[j].Op
+		}
+		return out[i].Object < out[j].Object
+	})
+	return out
+}
+
+// UserRoles returns the roles assigned to a user, sorted.
+func (s *System) UserRoles(user string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.userRoles[user]))
+	for r := range s.userRoles[user] {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AuthorizedUsers returns the users that hold the role, directly, sorted.
+func (s *System) AuthorizedUsers(role string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for u, rs := range s.userRoles {
+		if rs[role] {
+			out = append(out, u)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,248 @@
+package rbac
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func newHospital(t *testing.T) *System {
+	t.Helper()
+	s := NewSystem()
+	for _, r := range []string{"employee", "nurse", "physician", "chief"} {
+		s.AddRole(r)
+	}
+	for _, u := range []string{"alice", "bob", "carol"} {
+		s.AddUser(u)
+	}
+	// chief ≥ physician ≥ employee; nurse ≥ employee.
+	mustNoErr(t, s.AddInheritance("physician", "employee"))
+	mustNoErr(t, s.AddInheritance("chief", "physician"))
+	mustNoErr(t, s.AddInheritance("nurse", "employee"))
+	mustNoErr(t, s.GrantPermission("employee", Permission{"read", "/hospital"}))
+	mustNoErr(t, s.GrantPermission("physician", Permission{"read", "/hospital/patient"}))
+	mustNoErr(t, s.GrantPermission("chief", Permission{"write", "/hospital/policy"}))
+	return s
+}
+
+func mustNoErr(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionAccessWithInheritance(t *testing.T) {
+	s := newHospital(t)
+	mustNoErr(t, s.AssignUser("alice", "chief"))
+	sess, err := s.CreateSession("alice")
+	mustNoErr(t, err)
+	mustNoErr(t, sess.Activate("chief"))
+
+	for _, c := range []struct {
+		op, obj string
+		want    bool
+	}{
+		{"read", "/hospital", true},         // inherited via physician->employee
+		{"read", "/hospital/patient", true}, // inherited via physician
+		{"write", "/hospital/policy", true}, // direct
+		{"write", "/hospital/patient", false},
+	} {
+		if got := sess.CheckAccess(c.op, c.obj); got != c.want {
+			t.Errorf("CheckAccess(%s,%s) = %v, want %v", c.op, c.obj, got, c.want)
+		}
+	}
+}
+
+func TestNoAccessWithoutActivation(t *testing.T) {
+	s := newHospital(t)
+	mustNoErr(t, s.AssignUser("bob", "physician"))
+	sess, err := s.CreateSession("bob")
+	mustNoErr(t, err)
+	if sess.CheckAccess("read", "/hospital") {
+		t.Error("access granted with no active roles")
+	}
+	mustNoErr(t, sess.Activate("physician"))
+	if !sess.CheckAccess("read", "/hospital") {
+		t.Error("access denied after activation")
+	}
+	sess.Deactivate("physician")
+	if sess.CheckAccess("read", "/hospital") {
+		t.Error("access survives deactivation")
+	}
+}
+
+func TestActivateUnassignedRole(t *testing.T) {
+	s := newHospital(t)
+	sess, err := s.CreateSession("carol")
+	mustNoErr(t, err)
+	if err := sess.Activate("chief"); err == nil {
+		t.Error("activated a role never assigned")
+	}
+}
+
+func TestInheritanceCycleRejected(t *testing.T) {
+	s := newHospital(t)
+	if err := s.AddInheritance("employee", "chief"); err == nil {
+		t.Error("cycle employee>=chief accepted (chief already >= employee)")
+	}
+	if err := s.AddInheritance("chief", "chief"); err == nil {
+		t.Error("self-inheritance accepted")
+	}
+}
+
+func TestUnknownEntities(t *testing.T) {
+	s := NewSystem()
+	s.AddRole("r")
+	s.AddUser("u")
+	if err := s.AssignUser("ghost", "r"); err == nil {
+		t.Error("assigned to unknown user")
+	}
+	if err := s.AssignUser("u", "ghost"); err == nil {
+		t.Error("assigned unknown role")
+	}
+	if err := s.GrantPermission("ghost", Permission{"read", "x"}); err == nil {
+		t.Error("granted to unknown role")
+	}
+	if _, err := s.CreateSession("ghost"); err == nil {
+		t.Error("session for unknown user")
+	}
+	if err := s.AddInheritance("ghost", "r"); err == nil {
+		t.Error("inheritance with unknown senior")
+	}
+	if err := s.AddInheritance("r", "ghost"); err == nil {
+		t.Error("inheritance with unknown junior")
+	}
+}
+
+func TestStaticSeparationOfDuty(t *testing.T) {
+	s := NewSystem()
+	s.AddRole("cashier")
+	s.AddRole("auditor")
+	s.AddUser("mallory")
+	mustNoErr(t, s.AddSSD("cashier-auditor", []string{"cashier", "auditor"}, 2))
+	mustNoErr(t, s.AssignUser("mallory", "cashier"))
+	if err := s.AssignUser("mallory", "auditor"); err == nil {
+		t.Fatal("SSD violation accepted")
+	}
+	// The failed assignment must not stick.
+	if rs := s.UserRoles("mallory"); len(rs) != 1 || rs[0] != "cashier" {
+		t.Errorf("roles after failed assign = %v", rs)
+	}
+}
+
+func TestDynamicSeparationOfDuty(t *testing.T) {
+	s := NewSystem()
+	s.AddRole("submitter")
+	s.AddRole("approver")
+	s.AddUser("dave")
+	mustNoErr(t, s.AddDSD("submit-approve", []string{"submitter", "approver"}, 2))
+	mustNoErr(t, s.AssignUser("dave", "submitter"))
+	mustNoErr(t, s.AssignUser("dave", "approver"))
+	sess, err := s.CreateSession("dave")
+	mustNoErr(t, err)
+	mustNoErr(t, sess.Activate("submitter"))
+	if err := sess.Activate("approver"); err == nil {
+		t.Fatal("DSD violation accepted")
+	}
+	if got := sess.ActiveRoles(); len(got) != 1 || got[0] != "submitter" {
+		t.Errorf("active roles = %v", got)
+	}
+	// Deactivate, then the other role becomes activatable.
+	sess.Deactivate("submitter")
+	mustNoErr(t, sess.Activate("approver"))
+}
+
+func TestSoDConstraintValidation(t *testing.T) {
+	s := NewSystem()
+	if err := s.AddSSD("bad", []string{"a", "b"}, 1); err == nil {
+		t.Error("cardinality 1 accepted")
+	}
+	if err := s.AddSSD("bad", []string{"a"}, 2); err == nil {
+		t.Error("constraint with fewer roles than n accepted")
+	}
+}
+
+func TestPermissionReview(t *testing.T) {
+	s := newHospital(t)
+	perms := s.RolePermissions("chief")
+	if len(perms) != 3 {
+		t.Fatalf("chief permissions = %v, want 3", perms)
+	}
+	perms = s.RolePermissions("nurse")
+	if len(perms) != 1 || perms[0].Object != "/hospital" {
+		t.Fatalf("nurse permissions = %v", perms)
+	}
+	mustNoErr(t, s.AssignUser("alice", "chief"))
+	mustNoErr(t, s.AssignUser("bob", "chief"))
+	if got := s.AuthorizedUsers("chief"); len(got) != 2 || got[0] != "alice" {
+		t.Errorf("authorized users = %v", got)
+	}
+}
+
+func TestRevokePermission(t *testing.T) {
+	s := newHospital(t)
+	mustNoErr(t, s.AssignUser("bob", "physician"))
+	sess, _ := s.CreateSession("bob")
+	mustNoErr(t, sess.Activate("physician"))
+	if !sess.CheckAccess("read", "/hospital/patient") {
+		t.Fatal("expected access before revoke")
+	}
+	s.RevokePermission("physician", Permission{"read", "/hospital/patient"})
+	if sess.CheckAccess("read", "/hospital/patient") {
+		t.Error("access survives revoke")
+	}
+}
+
+func TestDeassignKillsSessionRole(t *testing.T) {
+	s := newHospital(t)
+	mustNoErr(t, s.AssignUser("bob", "physician"))
+	sess, _ := s.CreateSession("bob")
+	mustNoErr(t, sess.Activate("physician"))
+	s.DeassignUser("bob", "physician")
+	if sess.CheckAccess("read", "/hospital") {
+		t.Error("access survives deassignment")
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	s := newHospital(t)
+	mustNoErr(t, s.AssignUser("alice", "physician"))
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess, err := s.CreateSession("alice")
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := sess.Activate("physician"); err != nil {
+				errs <- err
+				return
+			}
+			if !sess.CheckAccess("read", "/hospital/patient") {
+				errs <- fmt.Errorf("concurrent access denied")
+			}
+			s.CloseSession(sess)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestRolesSorted(t *testing.T) {
+	s := NewSystem()
+	s.AddRole("zeta")
+	s.AddRole("alpha")
+	s.AddRole("alpha") // duplicate is a no-op
+	got := s.Roles()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Errorf("Roles() = %v", got)
+	}
+}

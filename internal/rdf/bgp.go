@@ -1,0 +1,159 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Basic graph pattern (BGP) queries — the SPARQL core — over the triple
+// store, with a guard-filtered variant so that semantic access control
+// composes with real queries, not just single-pattern lookups. The paper's
+// semantic web needs queries that join across triples ("RDF ... describes
+// contents of documents as well as relationships between various
+// entities", §3.2); joining is also exactly where protected triples would
+// leak if filtering were applied after the fact, so the guarded evaluator
+// filters per scan, not per result.
+
+// Var is a query variable, e.g. Var("x").
+type Var string
+
+// TPItem is one position of a triple pattern: a concrete Term or a Var.
+type TPItem struct {
+	Term  Term
+	Var   Var
+	isVar bool
+}
+
+// T2 wraps a concrete term for use in a pattern.
+func T2(t Term) TPItem { return TPItem{Term: t} }
+
+// V wraps a variable.
+func V(name string) TPItem { return TPItem{Var: Var(name), isVar: true} }
+
+// TriplePattern is a triple with variables.
+type TriplePattern struct {
+	S, P, O TPItem
+}
+
+// BGP is a conjunction of triple patterns sharing variables.
+type BGP []TriplePattern
+
+// Binding maps variables to terms.
+type Binding map[Var]Term
+
+// clone copies a binding.
+func (b Binding) clone() Binding {
+	out := make(Binding, len(b)+1)
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders a binding deterministically, for tests and logs.
+func (b Binding) String() string {
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("?%s=%s", k, b[Var(k)])
+	}
+	return strings.Join(parts, " ")
+}
+
+// resolve instantiates a pattern item under a binding: a concrete pointer
+// for bound positions, nil (wildcard) for unbound variables.
+func (it TPItem) resolve(b Binding) (*Term, *Var) {
+	if !it.isVar {
+		t := it.Term
+		return &t, nil
+	}
+	if t, ok := b[it.Var]; ok {
+		return &t, nil
+	}
+	v := it.Var
+	return nil, &v
+}
+
+// boundness counts the concrete positions of a pattern under a binding —
+// the join-order heuristic (most selective first).
+func (tp TriplePattern) boundness(b Binding) int {
+	n := 0
+	for _, it := range []TPItem{tp.S, tp.P, tp.O} {
+		if t, _ := it.resolve(b); t != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Select evaluates the BGP over the raw store and returns all solution
+// bindings, deterministically ordered by their String form.
+func (s *Store) Select(bgp BGP) []Binding {
+	return evalBGP(bgp, func(p Pattern) []Triple { return s.Query(p) })
+}
+
+// Select evaluates the BGP over the triples visible to the clearance:
+// protected triples cannot contribute to any join, so no solution reveals
+// them even indirectly.
+func (g *Guard) Select(c *Clearance, bgp BGP) []Binding {
+	return evalBGP(bgp, func(p Pattern) []Triple { return g.Query(c, p) })
+}
+
+// evalBGP is a backtracking join: repeatedly pick the most-bound remaining
+// pattern, scan it, extend the binding.
+func evalBGP(bgp BGP, scan func(Pattern) []Triple) []Binding {
+	var out []Binding
+	remaining := append(BGP(nil), bgp...)
+	var recurse func(rem BGP, b Binding)
+	recurse = func(rem BGP, b Binding) {
+		if len(rem) == 0 {
+			out = append(out, b.clone())
+			return
+		}
+		// Pick the most-bound pattern.
+		best := 0
+		for i := 1; i < len(rem); i++ {
+			if rem[i].boundness(b) > rem[best].boundness(b) {
+				best = i
+			}
+		}
+		tp := rem[best]
+		rest := make(BGP, 0, len(rem)-1)
+		rest = append(rest, rem[:best]...)
+		rest = append(rest, rem[best+1:]...)
+
+		st, sv := tp.S.resolve(b)
+		pt, pv := tp.P.resolve(b)
+		ot, ov := tp.O.resolve(b)
+		for _, tr := range scan(Pattern{S: st, P: pt, O: ot}) {
+			b2 := b
+			cloned := false
+			bind := func(v *Var, t Term) bool {
+				if v == nil {
+					return true
+				}
+				if bound, ok := b2[*v]; ok {
+					return bound == t
+				}
+				if !cloned {
+					b2 = b2.clone()
+					cloned = true
+				}
+				b2[*v] = t
+				return true
+			}
+			if !bind(sv, tr.S) || !bind(pv, tr.P) || !bind(ov, tr.O) {
+				continue
+			}
+			recurse(rest, b2)
+		}
+	}
+	recurse(remaining, Binding{})
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}

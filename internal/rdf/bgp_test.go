@@ -1,0 +1,155 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+
+	"webdbsec/internal/policy"
+)
+
+func socialStore() *Store {
+	s := NewStore()
+	s.AddAll(
+		tr("alice", "knows", "bob"),
+		tr("bob", "knows", "carol"),
+		tr("alice", "knows", "dave"),
+		tr("dave", "knows", "carol"),
+		tr("carol", "worksAt", "acme"),
+		tr("bob", "worksAt", "acme"),
+		tr("dave", "worksAt", "globex"),
+	)
+	return s
+}
+
+func TestBGPSinglePattern(t *testing.T) {
+	s := socialStore()
+	out := s.Select(BGP{{S: T2(NewIRI("alice")), P: T2(NewIRI("knows")), O: V("who")}})
+	if len(out) != 2 {
+		t.Fatalf("solutions = %d", len(out))
+	}
+	if out[0][Var("who")].Value != "bob" || out[1][Var("who")].Value != "dave" {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestBGPJoin(t *testing.T) {
+	// Who do alice's acquaintances know? alice knows ?x, ?x knows ?y.
+	s := socialStore()
+	out := s.Select(BGP{
+		{S: T2(NewIRI("alice")), P: T2(NewIRI("knows")), O: V("x")},
+		{S: V("x"), P: T2(NewIRI("knows")), O: V("y")},
+	})
+	if len(out) != 2 {
+		t.Fatalf("solutions = %v", out)
+	}
+	for _, b := range out {
+		if b[Var("y")].Value != "carol" {
+			t.Errorf("unexpected second hop: %v", b)
+		}
+	}
+}
+
+func TestBGPThreeWayJoin(t *testing.T) {
+	// Friends-of-alice who work at acme.
+	s := socialStore()
+	out := s.Select(BGP{
+		{S: T2(NewIRI("alice")), P: T2(NewIRI("knows")), O: V("x")},
+		{S: V("x"), P: T2(NewIRI("worksAt")), O: T2(NewIRI("acme"))},
+	})
+	if len(out) != 1 || out[0][Var("x")].Value != "bob" {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestBGPSharedVariableWithinPattern(t *testing.T) {
+	s := NewStore()
+	s.AddAll(
+		tr("a", "likes", "a"), // self-loop
+		tr("a", "likes", "b"),
+	)
+	out := s.Select(BGP{{S: V("x"), P: T2(NewIRI("likes")), O: V("x")}})
+	if len(out) != 1 || out[0][Var("x")].Value != "a" {
+		t.Fatalf("self-loop join = %v", out)
+	}
+}
+
+func TestBGPNoSolutions(t *testing.T) {
+	s := socialStore()
+	out := s.Select(BGP{
+		{S: T2(NewIRI("carol")), P: T2(NewIRI("knows")), O: V("x")},
+	})
+	if len(out) != 0 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestBGPEmptyPatternListYieldsEmptyBinding(t *testing.T) {
+	s := socialStore()
+	out := s.Select(BGP{})
+	if len(out) != 1 || len(out[0]) != 0 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestBGPAllVariables(t *testing.T) {
+	s := socialStore()
+	out := s.Select(BGP{{S: V("s"), P: V("p"), O: V("o")}})
+	if len(out) != s.Len() {
+		t.Errorf("solutions = %d, want %d", len(out), s.Len())
+	}
+}
+
+func TestGuardedBGPDoesNotJoinThroughHiddenTriples(t *testing.T) {
+	s := socialStore()
+	g := NewGuard(s)
+	// bob's employment is secret.
+	g.AddClassRule(&ClassRule{
+		Pattern: Pattern{S: T(NewIRI("bob")), P: T(NewIRI("worksAt"))},
+		Level:   Secret,
+	})
+	low := NewClearance(&policy.Subject{ID: "u"}, Unclassified)
+	out := g.Select(low, BGP{
+		{S: T2(NewIRI("alice")), P: T2(NewIRI("knows")), O: V("x")},
+		{S: V("x"), P: T2(NewIRI("worksAt")), O: V("org")},
+	})
+	// Without the guard, bob@acme and dave@globex both answer; with it,
+	// only dave survives: the hidden triple cannot contribute to a join.
+	if len(out) != 1 || out[0][Var("x")].Value != "dave" {
+		t.Fatalf("guarded join leaked: %v", out)
+	}
+	high := NewClearance(&policy.Subject{ID: "u", Roles: []string{"analyst"}}, Secret)
+	g.AddPolicy(&TriplePolicy{
+		Name:    "analysts",
+		Subject: policy.SubjectSpec{Roles: []string{"analyst"}},
+		Pattern: Pattern{P: T(NewIRI("worksAt"))},
+		Sign:    policy.Permit,
+	})
+	out = g.Select(high, BGP{
+		{S: V("x"), P: T2(NewIRI("worksAt")), O: T2(NewIRI("acme"))},
+	})
+	if len(out) != 2 {
+		t.Errorf("cleared join = %v", out)
+	}
+}
+
+func TestBindingString(t *testing.T) {
+	b := Binding{"z": NewIRI("v"), "a": NewLiteral("x")}
+	s := b.String()
+	if !strings.HasPrefix(s, "?a=") || !strings.Contains(s, "?z=") {
+		t.Errorf("binding string = %q", s)
+	}
+}
+
+func TestBGPDeterministicOrder(t *testing.T) {
+	s := socialStore()
+	a := s.Select(BGP{{S: V("s"), P: T2(NewIRI("knows")), O: V("o")}})
+	b := s.Select(BGP{{S: V("s"), P: T2(NewIRI("knows")), O: V("o")}})
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic count")
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatal("nondeterministic order")
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package rdf
+
+// Provenance-aware inference control. §5: "We also need to examine the
+// inference problem for the semantic web. Inference is the process of
+// posing queries and deducing new information. It becomes a problem when
+// the deduced information is something the user is unauthorized to know.
+// ... the semantic web exacerbates the inference problem."
+//
+// Plain Store.InferRDFS materializes entailments with no idea where they
+// came from: a Secret subClassOf axiom plus an Unclassified rdf:type
+// triple entail a new rdf:type triple that, unlabeled, would hand a
+// low-cleared subject exactly the conclusion the axiom was protecting.
+// Guard.InferRDFS tracks each entailment's premises and pins the derived
+// triple at the MAXIMUM level over every premise of its cheapest
+// derivation — no inference step may declassify.
+
+// derivation records the premises a derived triple came from.
+type derivation struct {
+	derived  Triple
+	premises []Triple
+}
+
+// InferRDFS materializes the RDFS entailments into the guarded store,
+// installing an exact-match classification rule for every derived triple
+// at the max level of its premises (evaluated in the CURRENT context —
+// rules are pinned, so derive after setting the operative context). It
+// returns the number of triples added.
+func (g *Guard) InferRDFS() int {
+	s := g.store
+	added := 0
+	for {
+		var ds []derivation
+		typeIRI := NewIRI(RDFType)
+		// rdfs11: subClassOf transitivity.
+		for _, ab := range s.Query(Pattern{P: T(NewIRI(RDFSSubClassOf))}) {
+			for _, bc := range s.Query(Pattern{S: T(ab.O), P: T(NewIRI(RDFSSubClassOf))}) {
+				ds = append(ds, derivation{
+					derived:  Triple{S: ab.S, P: NewIRI(RDFSSubClassOf), O: bc.O},
+					premises: []Triple{ab, bc},
+				})
+			}
+		}
+		// rdfs5: subPropertyOf transitivity.
+		for _, ab := range s.Query(Pattern{P: T(NewIRI(RDFSSubPropertyOf))}) {
+			for _, bc := range s.Query(Pattern{S: T(ab.O), P: T(NewIRI(RDFSSubPropertyOf))}) {
+				ds = append(ds, derivation{
+					derived:  Triple{S: ab.S, P: NewIRI(RDFSSubPropertyOf), O: bc.O},
+					premises: []Triple{ab, bc},
+				})
+			}
+		}
+		// rdfs9: type propagation.
+		for _, sub := range s.Query(Pattern{P: T(NewIRI(RDFSSubClassOf))}) {
+			for _, inst := range s.Query(Pattern{P: T(typeIRI), O: T(sub.S)}) {
+				ds = append(ds, derivation{
+					derived:  Triple{S: inst.S, P: typeIRI, O: sub.O},
+					premises: []Triple{sub, inst},
+				})
+			}
+		}
+		// rdfs7: property subsumption.
+		for _, sp := range s.Query(Pattern{P: T(NewIRI(RDFSSubPropertyOf))}) {
+			for _, use := range s.Query(Pattern{P: T(sp.S)}) {
+				ds = append(ds, derivation{
+					derived:  Triple{S: use.S, P: sp.O, O: use.O},
+					premises: []Triple{sp, use},
+				})
+			}
+		}
+		// rdfs2/rdfs3: domain and range typing.
+		for _, dom := range s.Query(Pattern{P: T(NewIRI(RDFSDomain))}) {
+			for _, use := range s.Query(Pattern{P: T(dom.S)}) {
+				ds = append(ds, derivation{
+					derived:  Triple{S: use.S, P: typeIRI, O: dom.O},
+					premises: []Triple{dom, use},
+				})
+			}
+		}
+		for _, rng := range s.Query(Pattern{P: T(NewIRI(RDFSRange))}) {
+			for _, use := range s.Query(Pattern{P: T(rng.S)}) {
+				if use.O.Kind == Literal {
+					continue
+				}
+				ds = append(ds, derivation{
+					derived:  Triple{S: use.O, P: typeIRI, O: rng.O},
+					premises: []Triple{rng, use},
+				})
+			}
+		}
+
+		n := 0
+		for _, d := range ds {
+			if s.Has(d.derived) {
+				// Already present (asserted or derived earlier): keep the
+				// LOWEST pin across derivations? No — security requires the
+				// level of information content; an independently asserted
+				// triple keeps its own classification, and a cheaper
+				// derivation may lower the pin to its own premise max,
+				// because the subject could reach the conclusion that way.
+				g.maybeLowerPin(d)
+				continue
+			}
+			lvl := g.premiseLevel(d.premises)
+			s.Add(d.derived)
+			if lvl > Unclassified {
+				g.AddClassRule(&ClassRule{
+					Name:    "inferred",
+					Pattern: exactPattern(d.derived),
+					Level:   lvl,
+				})
+				g.rememberPin(d.derived, lvl)
+			}
+			n++
+		}
+		if n == 0 {
+			return added
+		}
+		added += n
+	}
+}
+
+// premiseLevel is the max effective level over the premises.
+func (g *Guard) premiseLevel(premises []Triple) Level {
+	lvl := Unclassified
+	for _, p := range premises {
+		if l := g.LevelOf(p); l > lvl {
+			lvl = l
+		}
+	}
+	return lvl
+}
+
+func exactPattern(t Triple) Pattern {
+	return Pattern{S: T(t.S), P: T(t.P), O: T(t.O)}
+}
+
+// pins tracks the rules installed for derived triples so a cheaper
+// derivation can lower them. Stored on the guard lazily.
+func (g *Guard) rememberPin(t Triple, lvl Level) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.inferredPins == nil {
+		g.inferredPins = make(map[Triple]*ClassRule)
+	}
+	for _, r := range g.rules {
+		if r.Name == "inferred" && r.Pattern.Matches(t) {
+			g.inferredPins[t] = r
+		}
+	}
+}
+
+// maybeLowerPin lowers an inferred triple's pinned level when a derivation
+// with cheaper premises exists (the conclusion is reachable at that lower
+// level, so pinning it higher protects nothing).
+func (g *Guard) maybeLowerPin(d derivation) {
+	lvl := g.premiseLevel(d.premises)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.inferredPins[d.derived]
+	if ok && lvl < r.Level {
+		r.Level = lvl
+	}
+}

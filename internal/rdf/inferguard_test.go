@@ -1,0 +1,156 @@
+package rdf
+
+import (
+	"testing"
+
+	"webdbsec/internal/policy"
+)
+
+// TestInferenceDoesNotDeclassify: the §5 scenario. The axiom
+// "CovertAsset ⊑ MilitaryAsset" is Secret; "drone-7 type CovertAsset" is
+// visible. Plain inference would hand a low-cleared subject the derived
+// "drone-7 type MilitaryAsset"... revealing that the covert class sits
+// under MilitaryAsset. Guarded inference pins the conclusion at the
+// premise level.
+func TestInferenceDoesNotDeclassify(t *testing.T) {
+	s := NewStore()
+	axiom := tr("CovertAsset", RDFSSubClassOf, "MilitaryAsset")
+	fact := tr("drone-7", RDFType, "CovertAsset")
+	s.AddAll(axiom, fact)
+	g := NewGuard(s)
+	g.AddClassRule(&ClassRule{
+		Name:    "covert-taxonomy",
+		Pattern: Pattern{S: T(NewIRI("CovertAsset")), P: T(NewIRI(RDFSSubClassOf))},
+		Level:   Secret,
+	})
+	// Facts and derived conclusions need a discretionary permit for
+	// cleared analysts.
+	g.AddPolicy(&TriplePolicy{
+		Name:    "analysts",
+		Subject: policy.SubjectSpec{Roles: []string{"analyst"}},
+		Pattern: Pattern{},
+		Sign:    policy.Permit,
+	})
+
+	added := g.InferRDFS()
+	if added == 0 {
+		t.Fatal("no entailments")
+	}
+	derived := tr("drone-7", RDFType, "MilitaryAsset")
+	if !s.Has(derived) {
+		t.Fatal("entailment missing")
+	}
+	if got := g.LevelOf(derived); got != Secret {
+		t.Fatalf("derived level = %v, want secret (premise max)", got)
+	}
+	low := NewClearance(&policy.Subject{ID: "u", Roles: []string{"analyst"}}, Unclassified)
+	high := NewClearance(&policy.Subject{ID: "a", Roles: []string{"analyst"}}, Secret)
+	if g.Readable(low, derived) {
+		t.Error("derived conclusion readable below premise level: inference declassified")
+	}
+	if !g.Readable(high, derived) {
+		t.Error("cleared analyst denied the derived conclusion")
+	}
+	// The original fact stays readable at low clearance.
+	if !g.Readable(low, fact) {
+		t.Error("unclassified premise over-classified")
+	}
+}
+
+func TestInferenceUnclassifiedPremisesStayOpen(t *testing.T) {
+	s := NewStore()
+	s.AddAll(
+		tr("Cardiologist", RDFSSubClassOf, "Physician"),
+		tr("drho", RDFType, "Cardiologist"),
+	)
+	g := NewGuard(s)
+	g.InferRDFS()
+	derived := tr("drho", RDFType, "Physician")
+	if !s.Has(derived) {
+		t.Fatal("entailment missing")
+	}
+	if got := g.LevelOf(derived); got != Unclassified {
+		t.Errorf("derived level = %v, want unclassified", got)
+	}
+	low := NewClearance(&policy.Subject{ID: "u"}, Unclassified)
+	if !g.Readable(low, derived) {
+		t.Error("fully-unclassified entailment hidden")
+	}
+}
+
+func TestInferenceChainedPremisesPropagateLevel(t *testing.T) {
+	// A ⊑ B (secret), B ⊑ C (open), x type A (open):
+	// x type B is Secret; x type C derived from (B⊑C, x type B) inherits
+	// Secret through the chain.
+	s := NewStore()
+	s.AddAll(
+		tr("A", RDFSSubClassOf, "B"),
+		tr("B", RDFSSubClassOf, "C"),
+		tr("x", RDFType, "A"),
+	)
+	g := NewGuard(s)
+	g.AddClassRule(&ClassRule{
+		Name:    "ab-secret",
+		Pattern: Pattern{S: T(NewIRI("A")), P: T(NewIRI(RDFSSubClassOf)), O: T(NewIRI("B"))},
+		Level:   Secret,
+	})
+	g.InferRDFS()
+	for _, want := range []Triple{
+		tr("x", RDFType, "B"),
+		tr("x", RDFType, "C"),
+		tr("A", RDFSSubClassOf, "C"),
+	} {
+		if !s.Has(want) {
+			t.Fatalf("missing entailment %v", want)
+		}
+		if got := g.LevelOf(want); got != Secret {
+			t.Errorf("level(%v) = %v, want secret", want, got)
+		}
+	}
+}
+
+func TestCheaperDerivationLowersPin(t *testing.T) {
+	// The same conclusion is derivable two ways: through a secret axiom
+	// and through an open one. The open path means the conclusion protects
+	// nothing — the pin must come down to Unclassified.
+	s := NewStore()
+	s.AddAll(
+		tr("A", RDFSSubClassOf, "C"), // secret path
+		tr("x", RDFType, "A"),
+	)
+	g := NewGuard(s)
+	g.AddClassRule(&ClassRule{
+		Name:    "ac-secret",
+		Pattern: Pattern{S: T(NewIRI("A")), P: T(NewIRI(RDFSSubClassOf)), O: T(NewIRI("C"))},
+		Level:   Secret,
+	})
+	g.InferRDFS()
+	derived := tr("x", RDFType, "C")
+	if got := g.LevelOf(derived); got != Secret {
+		t.Fatalf("level = %v, want secret before the open path exists", got)
+	}
+	// Now an open derivation appears: B ⊑ C with x type B.
+	s.AddAll(
+		tr("B", RDFSSubClassOf, "C"),
+		tr("x", RDFType, "B"),
+	)
+	g.InferRDFS()
+	if got := g.LevelOf(derived); got != Unclassified {
+		t.Errorf("level = %v, want unclassified after open derivation", got)
+	}
+}
+
+func TestGuardedInferenceIdempotent(t *testing.T) {
+	s := NewStore()
+	s.AddAll(
+		tr("A", RDFSSubClassOf, "B"),
+		tr("x", RDFType, "A"),
+	)
+	g := NewGuard(s)
+	if g.InferRDFS() == 0 {
+		t.Fatal("first run added nothing")
+	}
+	if again := g.InferRDFS(); again != 0 {
+		t.Errorf("second run added %d", again)
+	}
+}

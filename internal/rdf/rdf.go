@@ -1,0 +1,437 @@
+// Package rdf implements the RDF substrate the paper calls "fundamental to
+// the semantic web" (§3.2) together with the semantic-level protection it
+// asks for: "with RDF we also need to ensure that security is preserved at
+// the semantic level. The issues include the security implications of the
+// concepts resource, properties and statements ... What are the security
+// properties of the container model? How can bags, lists and alternatives
+// be protected? ... What are the security implications of statements about
+// statements? How can we protect RDF schemas?"
+//
+// This file holds the data model: terms, triples, an indexed store with
+// pattern queries, the container model (bag/seq/alt), statement
+// reification, and an RDFS-subset inference closure. Access control lives
+// in security.go.
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Well-known vocabulary IRIs (shortened; no namespace machinery needed).
+const (
+	RDFType      = "rdf:type"
+	RDFSubject   = "rdf:subject"
+	RDFPredicate = "rdf:predicate"
+	RDFObject    = "rdf:object"
+	RDFStatement = "rdf:Statement"
+	RDFBag       = "rdf:Bag"
+	RDFSeq       = "rdf:Seq"
+	RDFAlt       = "rdf:Alt"
+
+	RDFSSubClassOf    = "rdfs:subClassOf"
+	RDFSSubPropertyOf = "rdfs:subPropertyOf"
+	RDFSDomain        = "rdfs:domain"
+	RDFSRange         = "rdfs:range"
+	RDFSClass         = "rdfs:Class"
+	RDFSProperty      = "rdf:Property"
+)
+
+// TermKind discriminates term variants.
+type TermKind int
+
+// Term kinds.
+const (
+	IRI TermKind = iota
+	Literal
+	Blank
+)
+
+// Term is an RDF term: an IRI reference, a literal, or a blank node.
+type Term struct {
+	Kind  TermKind
+	Value string
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(v string) Term { return Term{Kind: IRI, Value: v} }
+
+// NewLiteral returns a literal term.
+func NewLiteral(v string) Term { return Term{Kind: Literal, Value: v} }
+
+// NewBlank returns a blank-node term.
+func NewBlank(v string) Term { return Term{Kind: Blank, Value: v} }
+
+func (t Term) String() string {
+	switch t.Kind {
+	case Literal:
+		return fmt.Sprintf("%q", t.Value)
+	case Blank:
+		return "_:" + t.Value
+	default:
+		return "<" + t.Value + ">"
+	}
+}
+
+// Triple is one RDF statement.
+type Triple struct {
+	S Term
+	P Term
+	O Term
+}
+
+func (t Triple) String() string {
+	return fmt.Sprintf("%s %s %s .", t.S, t.P, t.O)
+}
+
+// Pattern is a triple pattern: nil positions are wildcards.
+type Pattern struct {
+	S *Term
+	P *Term
+	O *Term
+}
+
+// Matches reports whether the pattern matches a triple.
+func (p Pattern) Matches(t Triple) bool {
+	if p.S != nil && *p.S != t.S {
+		return false
+	}
+	if p.P != nil && *p.P != t.P {
+		return false
+	}
+	if p.O != nil && *p.O != t.O {
+		return false
+	}
+	return true
+}
+
+// T is a convenience pointer constructor for patterns.
+func T(t Term) *Term { return &t }
+
+// Store is an indexed triple store. All methods are safe for concurrent
+// use.
+type Store struct {
+	mu      sync.RWMutex
+	triples map[Triple]bool
+	// Indexes: by subject, by predicate, by object.
+	bySubject   map[Term][]Triple
+	byPredicate map[Term][]Triple
+	byObject    map[Term][]Triple
+	blankSeq    int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		triples:     make(map[Triple]bool),
+		bySubject:   make(map[Term][]Triple),
+		byPredicate: make(map[Term][]Triple),
+		byObject:    make(map[Term][]Triple),
+	}
+}
+
+// Add inserts a triple; duplicates are ignored. It reports whether the
+// triple was new.
+func (s *Store) Add(t Triple) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addLocked(t)
+}
+
+func (s *Store) addLocked(t Triple) bool {
+	if s.triples[t] {
+		return false
+	}
+	s.triples[t] = true
+	s.bySubject[t.S] = append(s.bySubject[t.S], t)
+	s.byPredicate[t.P] = append(s.byPredicate[t.P], t)
+	s.byObject[t.O] = append(s.byObject[t.O], t)
+	return true
+}
+
+// AddAll inserts multiple triples.
+func (s *Store) AddAll(ts ...Triple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range ts {
+		s.addLocked(t)
+	}
+}
+
+// Remove deletes a triple; it reports whether it was present.
+func (s *Store) Remove(t Triple) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.triples[t] {
+		return false
+	}
+	delete(s.triples, t)
+	s.bySubject[t.S] = dropTriple(s.bySubject[t.S], t)
+	s.byPredicate[t.P] = dropTriple(s.byPredicate[t.P], t)
+	s.byObject[t.O] = dropTriple(s.byObject[t.O], t)
+	return true
+}
+
+func dropTriple(ts []Triple, t Triple) []Triple {
+	for i := range ts {
+		if ts[i] == t {
+			return append(ts[:i], ts[i+1:]...)
+		}
+	}
+	return ts
+}
+
+// Has reports whether the store contains the triple.
+func (s *Store) Has(t Triple) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.triples[t]
+}
+
+// Len returns the number of triples.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.triples)
+}
+
+// Query returns the triples matching the pattern, in deterministic order.
+// It uses the most selective available index.
+func (s *Store) Query(p Pattern) []Triple {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var candidates []Triple
+	switch {
+	case p.S != nil:
+		candidates = s.bySubject[*p.S]
+	case p.O != nil:
+		candidates = s.byObject[*p.O]
+	case p.P != nil:
+		candidates = s.byPredicate[*p.P]
+	default:
+		candidates = make([]Triple, 0, len(s.triples))
+		for t := range s.triples {
+			candidates = append(candidates, t)
+		}
+	}
+	var out []Triple
+	for _, t := range candidates {
+		if p.Matches(t) {
+			out = append(out, t)
+		}
+	}
+	sortTriples(out)
+	return out
+}
+
+// All returns every triple in deterministic order.
+func (s *Store) All() []Triple { return s.Query(Pattern{}) }
+
+func sortTriples(ts []Triple) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if a.S != b.S {
+			return termLess(a.S, b.S)
+		}
+		if a.P != b.P {
+			return termLess(a.P, b.P)
+		}
+		return termLess(a.O, b.O)
+	})
+}
+
+func termLess(a, b Term) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.Value < b.Value
+}
+
+// freshBlank returns a new unique blank node.
+func (s *Store) freshBlank(prefix string) Term {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blankSeq++
+	return NewBlank(fmt.Sprintf("%s%d", prefix, s.blankSeq))
+}
+
+// Reify records a statement about a statement: it mints a statement node
+// typed rdf:Statement with rdf:subject/predicate/object arcs pointing at
+// the reified triple's terms, and returns the node so callers can attach
+// further assertions (provenance, certainty, classification...). The
+// reified triple itself is NOT asserted — per RDF semantics reification
+// does not imply assertion.
+func (s *Store) Reify(t Triple) Term {
+	stmt := s.freshBlank("stmt")
+	s.AddAll(
+		Triple{S: stmt, P: NewIRI(RDFType), O: NewIRI(RDFStatement)},
+		Triple{S: stmt, P: NewIRI(RDFSubject), O: t.S},
+		Triple{S: stmt, P: NewIRI(RDFPredicate), O: t.P},
+		Triple{S: stmt, P: NewIRI(RDFObject), O: t.O},
+	)
+	return stmt
+}
+
+// ReifiedTriple reconstructs the triple described by a statement node.
+func (s *Store) ReifiedTriple(stmt Term) (Triple, bool) {
+	get := func(pred string) (Term, bool) {
+		ts := s.Query(Pattern{S: T(stmt), P: T(NewIRI(pred))})
+		if len(ts) != 1 {
+			return Term{}, false
+		}
+		return ts[0].O, true
+	}
+	sub, ok1 := get(RDFSubject)
+	pred, ok2 := get(RDFPredicate)
+	obj, ok3 := get(RDFObject)
+	if !ok1 || !ok2 || !ok3 {
+		return Triple{}, false
+	}
+	return Triple{S: sub, P: pred, O: obj}, true
+}
+
+// Statements returns all reified statement nodes.
+func (s *Store) Statements() []Term {
+	var out []Term
+	for _, t := range s.Query(Pattern{P: T(NewIRI(RDFType)), O: T(NewIRI(RDFStatement))}) {
+		out = append(out, t.S)
+	}
+	return out
+}
+
+// NewContainer creates a container (RDFBag, RDFSeq or RDFAlt) holding the
+// members in order, returning the container node. Members are linked with
+// rdf:_1, rdf:_2, ...
+func (s *Store) NewContainer(kind string, members ...Term) (Term, error) {
+	switch kind {
+	case RDFBag, RDFSeq, RDFAlt:
+	default:
+		return Term{}, fmt.Errorf("rdf: unknown container kind %q", kind)
+	}
+	c := s.freshBlank("container")
+	s.Add(Triple{S: c, P: NewIRI(RDFType), O: NewIRI(kind)})
+	for i, m := range members {
+		s.Add(Triple{S: c, P: NewIRI(fmt.Sprintf("rdf:_%d", i+1)), O: m})
+	}
+	return c, nil
+}
+
+// ContainerMembers returns the members of a container in index order.
+func (s *Store) ContainerMembers(c Term) []Term {
+	type entry struct {
+		idx int
+		m   Term
+	}
+	var entries []entry
+	for _, t := range s.Query(Pattern{S: T(c)}) {
+		if !strings.HasPrefix(t.P.Value, "rdf:_") {
+			continue
+		}
+		var idx int
+		if _, err := fmt.Sscanf(t.P.Value, "rdf:_%d", &idx); err != nil {
+			continue
+		}
+		entries = append(entries, entry{idx, t.O})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].idx < entries[j].idx })
+	out := make([]Term, len(entries))
+	for i, e := range entries {
+		out[i] = e.m
+	}
+	return out
+}
+
+// ContainerKind returns the container type of a node ("" if none).
+func (s *Store) ContainerKind(c Term) string {
+	for _, t := range s.Query(Pattern{S: T(c), P: T(NewIRI(RDFType))}) {
+		switch t.O.Value {
+		case RDFBag, RDFSeq, RDFAlt:
+			return t.O.Value
+		}
+	}
+	return ""
+}
+
+// InferRDFS materializes the RDFS-subset entailments into the store and
+// returns the number of triples added. Rules applied to fixpoint:
+//
+//	rdfs5  (subPropertyOf transitivity)
+//	rdfs7  (x p y, p subPropertyOf q  ⇒  x q y)
+//	rdfs9  (x type C, C subClassOf D  ⇒  x type D)
+//	rdfs11 (subClassOf transitivity)
+//	rdfs2  (x p y, p domain C  ⇒  x type C)
+//	rdfs3  (x p y, p range C   ⇒  y type C)
+func (s *Store) InferRDFS() int {
+	added := 0
+	typeIRI := NewIRI(RDFType)
+	for {
+		var newTriples []Triple
+		// rdfs11: subClassOf transitivity.
+		for _, ab := range s.Query(Pattern{P: T(NewIRI(RDFSSubClassOf))}) {
+			for _, bc := range s.Query(Pattern{S: T(ab.O), P: T(NewIRI(RDFSSubClassOf))}) {
+				newTriples = append(newTriples, Triple{S: ab.S, P: NewIRI(RDFSSubClassOf), O: bc.O})
+			}
+		}
+		// rdfs5: subPropertyOf transitivity.
+		for _, ab := range s.Query(Pattern{P: T(NewIRI(RDFSSubPropertyOf))}) {
+			for _, bc := range s.Query(Pattern{S: T(ab.O), P: T(NewIRI(RDFSSubPropertyOf))}) {
+				newTriples = append(newTriples, Triple{S: ab.S, P: NewIRI(RDFSSubPropertyOf), O: bc.O})
+			}
+		}
+		// rdfs9: type propagation up the class hierarchy.
+		for _, sub := range s.Query(Pattern{P: T(NewIRI(RDFSSubClassOf))}) {
+			for _, inst := range s.Query(Pattern{P: T(typeIRI), O: T(sub.S)}) {
+				newTriples = append(newTriples, Triple{S: inst.S, P: typeIRI, O: sub.O})
+			}
+		}
+		// rdfs7: property subsumption.
+		for _, sp := range s.Query(Pattern{P: T(NewIRI(RDFSSubPropertyOf))}) {
+			for _, use := range s.Query(Pattern{P: T(sp.S)}) {
+				newTriples = append(newTriples, Triple{S: use.S, P: sp.O, O: use.O})
+			}
+		}
+		// rdfs2/rdfs3: domain and range typing.
+		for _, dom := range s.Query(Pattern{P: T(NewIRI(RDFSDomain))}) {
+			for _, use := range s.Query(Pattern{P: T(dom.S)}) {
+				newTriples = append(newTriples, Triple{S: use.S, P: typeIRI, O: dom.O})
+			}
+		}
+		for _, rng := range s.Query(Pattern{P: T(NewIRI(RDFSRange))}) {
+			for _, use := range s.Query(Pattern{P: T(rng.S)}) {
+				if use.O.Kind == Literal {
+					continue
+				}
+				newTriples = append(newTriples, Triple{S: use.O, P: typeIRI, O: rng.O})
+			}
+		}
+		n := 0
+		for _, t := range newTriples {
+			if s.Add(t) {
+				n++
+			}
+		}
+		if n == 0 {
+			return added
+		}
+		added += n
+	}
+}
+
+// IsSchemaTriple reports whether a triple belongs to the schema layer
+// (class/property definitions) rather than instance data — the distinction
+// behind the paper's "how can we protect RDF schemas?".
+func IsSchemaTriple(t Triple) bool {
+	switch t.P.Value {
+	case RDFSSubClassOf, RDFSSubPropertyOf, RDFSDomain, RDFSRange:
+		return true
+	}
+	if t.P.Value == RDFType {
+		switch t.O.Value {
+		case RDFSClass, RDFSProperty:
+			return true
+		}
+	}
+	return false
+}

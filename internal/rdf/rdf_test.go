@@ -1,0 +1,241 @@
+package rdf
+
+import (
+	"testing"
+)
+
+func tr(s, p, o string) Triple {
+	return Triple{S: NewIRI(s), P: NewIRI(p), O: NewIRI(o)}
+}
+
+func trLit(s, p, lit string) Triple {
+	return Triple{S: NewIRI(s), P: NewIRI(p), O: NewLiteral(lit)}
+}
+
+func TestAddQueryRemove(t *testing.T) {
+	s := NewStore()
+	t1 := tr("alice", "knows", "bob")
+	t2 := tr("alice", "knows", "carol")
+	t3 := tr("bob", "knows", "carol")
+	if !s.Add(t1) {
+		t.Error("fresh add returned false")
+	}
+	if s.Add(t1) {
+		t.Error("duplicate add returned true")
+	}
+	s.AddAll(t2, t3)
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if got := s.Query(Pattern{S: T(NewIRI("alice"))}); len(got) != 2 {
+		t.Errorf("by subject = %d", len(got))
+	}
+	if got := s.Query(Pattern{O: T(NewIRI("carol"))}); len(got) != 2 {
+		t.Errorf("by object = %d", len(got))
+	}
+	if got := s.Query(Pattern{P: T(NewIRI("knows"))}); len(got) != 3 {
+		t.Errorf("by predicate = %d", len(got))
+	}
+	if got := s.Query(Pattern{S: T(NewIRI("alice")), O: T(NewIRI("bob"))}); len(got) != 1 {
+		t.Errorf("s+o = %d", len(got))
+	}
+	if !s.Remove(t1) || s.Remove(t1) {
+		t.Error("remove semantics wrong")
+	}
+	if s.Has(t1) {
+		t.Error("removed triple still present")
+	}
+	if got := s.Query(Pattern{S: T(NewIRI("alice"))}); len(got) != 1 {
+		t.Errorf("index stale after remove: %d", len(got))
+	}
+}
+
+func TestQueryDeterministicOrder(t *testing.T) {
+	s := NewStore()
+	s.AddAll(tr("c", "p", "x"), tr("a", "p", "x"), tr("b", "p", "x"))
+	got := s.All()
+	if got[0].S.Value != "a" || got[1].S.Value != "b" || got[2].S.Value != "c" {
+		t.Errorf("order = %v", got)
+	}
+}
+
+func TestTermKindsDistinct(t *testing.T) {
+	s := NewStore()
+	s.Add(Triple{S: NewIRI("x"), P: NewIRI("p"), O: NewIRI("v")})
+	s.Add(Triple{S: NewIRI("x"), P: NewIRI("p"), O: NewLiteral("v")})
+	if s.Len() != 2 {
+		t.Error("IRI and literal with same value conflated")
+	}
+}
+
+func TestReification(t *testing.T) {
+	s := NewStore()
+	claim := tr("bob", "salary", "100k")
+	stmt := s.Reify(claim)
+	// Reification does not assert.
+	if s.Has(claim) {
+		t.Error("reified triple was asserted")
+	}
+	got, ok := s.ReifiedTriple(stmt)
+	if !ok || got != claim {
+		t.Fatalf("reified triple = %v, %v", got, ok)
+	}
+	// Attach provenance to the statement node.
+	s.Add(Triple{S: stmt, P: NewIRI("source"), O: NewLiteral("hr-db")})
+	if len(s.Statements()) != 1 {
+		t.Errorf("statements = %d", len(s.Statements()))
+	}
+	if _, ok := s.ReifiedTriple(NewBlank("nope")); ok {
+		t.Error("ReifiedTriple of non-statement succeeded")
+	}
+}
+
+func TestContainers(t *testing.T) {
+	s := NewStore()
+	members := []Term{NewIRI("m1"), NewIRI("m2"), NewIRI("m3")}
+	bag, err := s.NewContainer(RDFBag, members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ContainerKind(bag) != RDFBag {
+		t.Errorf("kind = %q", s.ContainerKind(bag))
+	}
+	got := s.ContainerMembers(bag)
+	if len(got) != 3 || got[0] != members[0] || got[2] != members[2] {
+		t.Errorf("members = %v", got)
+	}
+	if _, err := s.NewContainer("rdf:Nope"); err == nil {
+		t.Error("unknown container kind accepted")
+	}
+	seq, _ := s.NewContainer(RDFSeq, NewLiteral("a"))
+	if s.ContainerKind(seq) != RDFSeq {
+		t.Error("seq kind wrong")
+	}
+	if s.ContainerKind(NewIRI("not-a-container")) != "" {
+		t.Error("kind of non-container")
+	}
+}
+
+func TestContainerOrderWithManyMembers(t *testing.T) {
+	s := NewStore()
+	var members []Term
+	for i := 0; i < 12; i++ {
+		members = append(members, NewLiteral(string(rune('a'+i))))
+	}
+	seq, _ := s.NewContainer(RDFSeq, members...)
+	got := s.ContainerMembers(seq)
+	if len(got) != 12 {
+		t.Fatalf("members = %d", len(got))
+	}
+	// rdf:_10 must sort after rdf:_9 (numeric, not lexicographic).
+	for i, m := range members {
+		if got[i] != m {
+			t.Fatalf("member %d = %v, want %v", i, got[i], m)
+		}
+	}
+}
+
+func TestInferRDFSSubclassChain(t *testing.T) {
+	s := NewStore()
+	s.AddAll(
+		tr("Cardiologist", RDFSSubClassOf, "Physician"),
+		tr("Physician", RDFSSubClassOf, "Employee"),
+		tr("drho", RDFType, "Cardiologist"),
+	)
+	added := s.InferRDFS()
+	if added == 0 {
+		t.Fatal("no entailments")
+	}
+	for _, want := range []Triple{
+		tr("drho", RDFType, "Physician"),
+		tr("drho", RDFType, "Employee"),
+		tr("Cardiologist", RDFSSubClassOf, "Employee"),
+	} {
+		if !s.Has(want) {
+			t.Errorf("missing entailment %v", want)
+		}
+	}
+	// Fixpoint: second run adds nothing.
+	if again := s.InferRDFS(); again != 0 {
+		t.Errorf("second inference added %d", again)
+	}
+}
+
+func TestInferRDFSPropertiesDomainRange(t *testing.T) {
+	s := NewStore()
+	s.AddAll(
+		tr("treats", RDFSSubPropertyOf, "caresFor"),
+		tr("caresFor", RDFSDomain, "Physician"),
+		tr("caresFor", RDFSRange, "Patient"),
+		tr("drho", "treats", "p42"),
+	)
+	s.InferRDFS()
+	for _, want := range []Triple{
+		tr("drho", "caresFor", "p42"),
+		tr("drho", RDFType, "Physician"),
+		tr("p42", RDFType, "Patient"),
+	} {
+		if !s.Has(want) {
+			t.Errorf("missing entailment %v", want)
+		}
+	}
+}
+
+func TestInferRDFSRangeSkipsLiterals(t *testing.T) {
+	s := NewStore()
+	s.AddAll(
+		tr("name", RDFSRange, "Name"),
+		trLit("p42", "name", "Bob"),
+	)
+	s.InferRDFS()
+	if s.Has(Triple{S: NewLiteral("Bob"), P: NewIRI(RDFType), O: NewIRI("Name")}) {
+		t.Error("literal got typed")
+	}
+}
+
+func TestIsSchemaTriple(t *testing.T) {
+	cases := []struct {
+		t    Triple
+		want bool
+	}{
+		{tr("A", RDFSSubClassOf, "B"), true},
+		{tr("p", RDFSSubPropertyOf, "q"), true},
+		{tr("p", RDFSDomain, "A"), true},
+		{tr("p", RDFSRange, "A"), true},
+		{tr("A", RDFType, RDFSClass), true},
+		{tr("p", RDFType, RDFSProperty), true},
+		{tr("x", RDFType, "A"), false},
+		{tr("x", "knows", "y"), false},
+	}
+	for _, c := range cases {
+		if got := IsSchemaTriple(c.t); got != c.want {
+			t.Errorf("IsSchemaTriple(%v) = %v", c.t, got)
+		}
+	}
+}
+
+func TestPatternMatching(t *testing.T) {
+	t1 := tr("a", "p", "b")
+	if !(Pattern{}).Matches(t1) {
+		t.Error("empty pattern should match")
+	}
+	if !(Pattern{S: T(NewIRI("a"))}).Matches(t1) {
+		t.Error("subject pattern should match")
+	}
+	if (Pattern{S: T(NewIRI("z"))}).Matches(t1) {
+		t.Error("wrong subject matched")
+	}
+	if (Pattern{O: T(NewLiteral("b"))}).Matches(t1) {
+		t.Error("literal matched IRI")
+	}
+}
+
+func TestTripleString(t *testing.T) {
+	got := Triple{S: NewIRI("a"), P: NewIRI("p"), O: NewLiteral("v")}.String()
+	if got != `<a> <p> "v" .` {
+		t.Errorf("String = %q", got)
+	}
+	if NewBlank("b1").String() != "_:b1" {
+		t.Error("blank node format")
+	}
+}

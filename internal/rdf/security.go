@@ -1,0 +1,282 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"webdbsec/internal/policy"
+)
+
+// This file implements semantic-level access control over RDF: pattern
+// policies on triples, multilevel classification with context-dependent
+// declassification ("under certain contexts, portions of the document may
+// be Unclassified while under certain other context the document may be
+// Classified. As an example, one could declassify an RDF document, once
+// the war is over", §5), protection of reified statements, containers and
+// schemas, and a filtering view engine.
+
+// Level is a multilevel-security classification level.
+type Level int
+
+// Levels, ordered.
+const (
+	Unclassified Level = iota
+	Confidential
+	Secret
+	TopSecret
+)
+
+func (l Level) String() string {
+	switch l {
+	case Unclassified:
+		return "unclassified"
+	case Confidential:
+		return "confidential"
+	case Secret:
+		return "secret"
+	case TopSecret:
+		return "top-secret"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// TriplePolicy grants or denies access to the triples matching a pattern
+// for the subjects matching the spec.
+type TriplePolicy struct {
+	Name    string
+	Subject policy.SubjectSpec
+	Pattern Pattern
+	Sign    policy.Sign
+}
+
+// ClassRule assigns a classification level to the triples matching a
+// pattern, optionally only within a named context. Rules for the current
+// context override context-free rules; among applicable rules the highest
+// level wins (no write-down by rule interleaving).
+type ClassRule struct {
+	Name    string
+	Pattern Pattern
+	Level   Level
+	// Context restricts the rule to a named situation; empty means always.
+	Context string
+}
+
+// Guard is the semantic access control engine for a store.
+type Guard struct {
+	mu       sync.RWMutex
+	store    *Store
+	policies []*TriplePolicy
+	rules    []*ClassRule
+	context  string
+	// protectSchema, when set, denies schema triples to subjects without
+	// the schema-reader role regardless of pattern policies.
+	protectSchema bool
+
+	// inferredPins indexes the classification rules installed by guarded
+	// inference, so cheaper derivations can lower them (inferguard.go).
+	inferredPins map[Triple]*ClassRule
+}
+
+// NewGuard wraps a store.
+func NewGuard(store *Store) *Guard { return &Guard{store: store} }
+
+// Store returns the guarded store.
+func (g *Guard) Store() *Store { return g.store }
+
+// AddPolicy installs a triple policy.
+func (g *Guard) AddPolicy(p *TriplePolicy) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.policies = append(g.policies, p)
+}
+
+// AddClassRule installs a classification rule.
+func (g *Guard) AddClassRule(r *ClassRule) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.rules = append(g.rules, r)
+}
+
+// SetContext switches the active situation (e.g. "wartime" → "peacetime"),
+// re-evaluating every context-dependent classification.
+func (g *Guard) SetContext(ctx string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.context = ctx
+}
+
+// Context returns the active situation.
+func (g *Guard) Context() string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.context
+}
+
+// ProtectSchema toggles schema protection: when on, schema triples are
+// visible only to subjects holding the "schema-reader" role.
+func (g *Guard) ProtectSchema(on bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.protectSchema = on
+}
+
+// LevelOf computes the effective classification of a triple in the active
+// context: the maximum level over all applicable rules (context-specific
+// and context-free). Unruled triples are Unclassified.
+func (g *Guard) LevelOf(t Triple) Level {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.levelOfLocked(t)
+}
+
+func (g *Guard) levelOfLocked(t Triple) Level {
+	level := Unclassified
+	for _, r := range g.rules {
+		if r.Context != "" && r.Context != g.context {
+			continue
+		}
+		if r.Pattern.Matches(t) && r.Level > level {
+			level = r.Level
+		}
+	}
+	return level
+}
+
+// Clearance pairs a subject with its clearance level.
+type Clearance struct {
+	Subject   *policy.Subject
+	Level     Level
+	SchemaRdr bool
+}
+
+// NewClearance builds a clearance; SchemaRdr is derived from the subject's
+// roles.
+func NewClearance(s *policy.Subject, level Level) *Clearance {
+	return &Clearance{Subject: s, Level: level, SchemaRdr: s != nil && s.HasRole("schema-reader")}
+}
+
+// Readable decides whether the cleared subject may read the triple:
+//
+//  1. its classification in the active context must not exceed the
+//     clearance (mandatory, Bell–LaPadula simple security);
+//  2. schema triples additionally require the schema-reader role when
+//     schema protection is on;
+//  3. pattern policies then apply discretionarily: an applicable deny
+//     hides the triple; with no applicable permit the default is permit
+//     at Unclassified and deny above (classified data is closed).
+//  4. a triple REIFYING a hidden statement is hidden too (statements
+//     about statements must not leak the statement).
+func (g *Guard) Readable(c *Clearance, t Triple) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.readableLocked(c, t, 0)
+}
+
+const maxReifyDepth = 8
+
+func (g *Guard) readableLocked(c *Clearance, t Triple, depth int) bool {
+	lvl := g.levelOfLocked(t)
+	if lvl > c.Level {
+		return false
+	}
+	if g.protectSchema && IsSchemaTriple(t) && !c.SchemaRdr {
+		return false
+	}
+	permitted := lvl == Unclassified // open below classification, closed above
+	for _, p := range g.policies {
+		if !p.Pattern.Matches(t) {
+			continue
+		}
+		if c.Subject == nil || !p.Subject.Matches(c.Subject, nil) {
+			continue
+		}
+		if p.Sign == policy.Deny {
+			return false
+		}
+		permitted = true
+	}
+	if !permitted {
+		return false
+	}
+	// Reification guard: rdf:subject/predicate/object arcs of a statement
+	// node leak the reified triple — hide them when that triple would be
+	// hidden.
+	if depth < maxReifyDepth {
+		switch t.P.Value {
+		case RDFSubject, RDFPredicate, RDFObject:
+			if rt, ok := g.store.ReifiedTriple(t.S); ok {
+				if !g.readableLocked(c, rt, depth+1) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// View returns the triples of the store visible to the clearance, in
+// deterministic order.
+func (g *Guard) View(c *Clearance) []Triple {
+	all := g.store.All()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []Triple
+	for _, t := range all {
+		if g.readableLocked(c, t, 0) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Query answers a pattern query under the clearance: matching triples the
+// subject may read.
+func (g *Guard) Query(c *Clearance, p Pattern) []Triple {
+	matches := g.store.Query(p)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []Triple
+	for _, t := range matches {
+		if g.readableLocked(c, t, 0) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// VisibleContainerMembers returns the container members the clearance may
+// see — the paper's "how can bags, lists and alternatives be protected?":
+// a member is hidden when its membership triple is hidden.
+func (g *Guard) VisibleContainerMembers(c *Clearance, container Term) []Term {
+	members := g.store.ContainerMembers(container)
+	arcs := g.store.Query(Pattern{S: T(container)})
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	visible := map[Term]bool{}
+	for _, t := range arcs {
+		if g.readableLocked(c, t, 0) {
+			visible[t.O] = true
+		}
+	}
+	var out []Term
+	for _, m := range members {
+		if visible[m] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// PolicyNames returns the installed policy names, sorted (for admin UIs
+// and tests).
+func (g *Guard) PolicyNames() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, 0, len(g.policies))
+	for _, p := range g.policies {
+		out = append(out, p.Name)
+	}
+	sort.Strings(out)
+	return out
+}

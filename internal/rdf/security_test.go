@@ -1,0 +1,268 @@
+package rdf
+
+import (
+	"testing"
+
+	"webdbsec/internal/policy"
+)
+
+func analystClearance(lvl Level) *Clearance {
+	return NewClearance(&policy.Subject{ID: "analyst", Roles: []string{"analyst"}}, lvl)
+}
+
+func TestMandatoryLevels(t *testing.T) {
+	s := NewStore()
+	troop := tr("unit7", "locatedAt", "grid-42")
+	weather := trLit("grid-42", "weather", "sunny")
+	s.AddAll(troop, weather)
+	g := NewGuard(s)
+	g.AddClassRule(&ClassRule{
+		Name:    "troop-movements",
+		Pattern: Pattern{P: T(NewIRI("locatedAt"))},
+		Level:   Secret,
+	})
+	// Classified data is closed: clearance alone is not enough, the
+	// analyst role also needs a discretionary permit.
+	g.AddPolicy(&TriplePolicy{
+		Name:    "analysts-read-movements",
+		Subject: policy.SubjectSpec{Roles: []string{"analyst"}},
+		Pattern: Pattern{P: T(NewIRI("locatedAt"))},
+		Sign:    policy.Permit,
+	})
+
+	low := analystClearance(Unclassified)
+	high := analystClearance(Secret)
+	if g.Readable(low, troop) {
+		t.Error("secret triple readable at unclassified")
+	}
+	if !g.Readable(high, troop) {
+		t.Error("secret triple unreadable at secret clearance")
+	}
+	if !g.Readable(low, weather) {
+		t.Error("unclassified triple unreadable")
+	}
+	if got := g.View(low); len(got) != 1 {
+		t.Errorf("low view = %d triples", len(got))
+	}
+	if got := g.View(high); len(got) != 2 {
+		t.Errorf("high view = %d triples", len(got))
+	}
+}
+
+func TestContextDependentDeclassification(t *testing.T) {
+	// The paper's example: "one could declassify an RDF document, once the
+	// war is over."
+	s := NewStore()
+	plan := tr("op-neptune", "targets", "objective-x")
+	s.Add(plan)
+	g := NewGuard(s)
+	g.AddClassRule(&ClassRule{
+		Name:    "wartime-secrecy",
+		Pattern: Pattern{S: T(NewIRI("op-neptune"))},
+		Level:   Secret,
+		Context: "wartime",
+	})
+	low := analystClearance(Unclassified)
+
+	g.SetContext("wartime")
+	if g.Readable(low, plan) {
+		t.Error("plan readable during wartime")
+	}
+	if g.LevelOf(plan) != Secret {
+		t.Errorf("wartime level = %v", g.LevelOf(plan))
+	}
+	g.SetContext("peacetime")
+	if !g.Readable(low, plan) {
+		t.Error("plan not declassified after the war")
+	}
+	if g.LevelOf(plan) != Unclassified {
+		t.Errorf("peacetime level = %v", g.LevelOf(plan))
+	}
+}
+
+func TestHighestApplicableLevelWins(t *testing.T) {
+	s := NewStore()
+	tt := tr("x", "p", "y")
+	s.Add(tt)
+	g := NewGuard(s)
+	g.AddClassRule(&ClassRule{Pattern: Pattern{S: T(NewIRI("x"))}, Level: Confidential})
+	g.AddClassRule(&ClassRule{Pattern: Pattern{P: T(NewIRI("p"))}, Level: TopSecret})
+	if g.LevelOf(tt) != TopSecret {
+		t.Errorf("level = %v, want top-secret", g.LevelOf(tt))
+	}
+}
+
+func TestDiscretionaryPolicies(t *testing.T) {
+	s := NewStore()
+	salary := trLit("bob", "salary", "100k")
+	email := trLit("bob", "email", "bob@x")
+	s.AddAll(salary, email)
+	g := NewGuard(s)
+	// Classify salaries confidential; HR may read them; interns explicitly
+	// denied emails.
+	g.AddClassRule(&ClassRule{Pattern: Pattern{P: T(NewIRI("salary"))}, Level: Confidential})
+	g.AddPolicy(&TriplePolicy{
+		Name:    "hr-reads-salaries",
+		Subject: policy.SubjectSpec{Roles: []string{"hr"}},
+		Pattern: Pattern{P: T(NewIRI("salary"))},
+		Sign:    policy.Permit,
+	})
+	g.AddPolicy(&TriplePolicy{
+		Name:    "interns-no-email",
+		Subject: policy.SubjectSpec{Roles: []string{"intern"}},
+		Pattern: Pattern{P: T(NewIRI("email"))},
+		Sign:    policy.Deny,
+	})
+
+	hr := NewClearance(&policy.Subject{ID: "h", Roles: []string{"hr"}}, Confidential)
+	intern := NewClearance(&policy.Subject{ID: "i", Roles: []string{"intern"}}, Confidential)
+
+	if !g.Readable(hr, salary) {
+		t.Error("hr cannot read salary")
+	}
+	// Intern has the clearance but no discretionary permit above
+	// Unclassified: closed.
+	if g.Readable(intern, salary) {
+		t.Error("intern reads salary without permit")
+	}
+	if g.Readable(intern, email) {
+		t.Error("deny policy ignored")
+	}
+	if !g.Readable(hr, email) {
+		t.Error("hr denied email (deny should only hit interns)")
+	}
+}
+
+func TestSchemaProtection(t *testing.T) {
+	s := NewStore()
+	schema := tr("Physician", RDFSSubClassOf, "Employee")
+	inst := tr("drho", RDFType, "Physician")
+	s.AddAll(schema, inst)
+	g := NewGuard(s)
+	g.ProtectSchema(true)
+
+	plain := NewClearance(&policy.Subject{ID: "u"}, TopSecret)
+	reader := NewClearance(&policy.Subject{ID: "r", Roles: []string{"schema-reader"}}, TopSecret)
+	if g.Readable(plain, schema) {
+		t.Error("schema triple visible without schema-reader role")
+	}
+	if !g.Readable(reader, schema) {
+		t.Error("schema-reader denied schema")
+	}
+	if !g.Readable(plain, inst) {
+		t.Error("instance triple wrongly hidden")
+	}
+	g.ProtectSchema(false)
+	if !g.Readable(plain, schema) {
+		t.Error("schema still protected after toggle off")
+	}
+}
+
+func TestReifiedStatementDoesNotLeak(t *testing.T) {
+	// "What are the security implications of statements about statements?"
+	// If the base triple is secret, its reification arcs must be too.
+	s := NewStore()
+	secret := tr("unit7", "locatedAt", "grid-42")
+	s.Add(secret)
+	stmt := s.Reify(secret)
+	s.Add(Triple{S: stmt, P: NewIRI("assertedBy"), O: NewIRI("hq")})
+
+	g := NewGuard(s)
+	g.AddClassRule(&ClassRule{Pattern: Pattern{P: T(NewIRI("locatedAt"))}, Level: Secret})
+	g.AddPolicy(&TriplePolicy{
+		Name:    "analysts-read-movements",
+		Subject: policy.SubjectSpec{Roles: []string{"analyst"}},
+		Pattern: Pattern{P: T(NewIRI("locatedAt"))},
+		Sign:    policy.Permit,
+	})
+
+	low := analystClearance(Unclassified)
+	view := g.View(low)
+	for _, tt := range view {
+		switch tt.P.Value {
+		case RDFSubject, RDFPredicate, RDFObject:
+			t.Errorf("reification arc leaked: %v", tt)
+		}
+	}
+	// The provenance arc and the type arc don't reveal the triple's terms.
+	found := false
+	for _, tt := range view {
+		if tt.P.Value == "assertedBy" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("harmless provenance arc over-hidden")
+	}
+	// With clearance everything is visible.
+	high := analystClearance(Secret)
+	if got := len(g.View(high)); got != s.Len() {
+		t.Errorf("high view = %d, want %d", got, s.Len())
+	}
+}
+
+func TestContainerMemberProtection(t *testing.T) {
+	s := NewStore()
+	g := NewGuard(s)
+	m1, m2, m3 := NewIRI("doc-pub"), NewIRI("doc-secret"), NewIRI("doc-other")
+	bag, _ := s.NewContainer(RDFBag, m1, m2, m3)
+	// Hide the membership arc pointing at doc-secret; analysts with
+	// clearance may still see it.
+	g.AddClassRule(&ClassRule{Pattern: Pattern{O: T(m2)}, Level: Secret})
+	g.AddPolicy(&TriplePolicy{
+		Name:    "analysts-read-secret-doc",
+		Subject: policy.SubjectSpec{Roles: []string{"analyst"}},
+		Pattern: Pattern{O: T(m2)},
+		Sign:    policy.Permit,
+	})
+
+	low := analystClearance(Unclassified)
+	got := g.VisibleContainerMembers(low, bag)
+	if len(got) != 2 || got[0] != m1 || got[1] != m3 {
+		t.Errorf("visible members = %v", got)
+	}
+	high := analystClearance(Secret)
+	if got := g.VisibleContainerMembers(high, bag); len(got) != 3 {
+		t.Errorf("cleared members = %v", got)
+	}
+}
+
+func TestGuardQueryFilters(t *testing.T) {
+	s := NewStore()
+	s.AddAll(
+		tr("a", "p", "pub"),
+		tr("a", "p", "sec"),
+	)
+	g := NewGuard(s)
+	g.AddClassRule(&ClassRule{Pattern: Pattern{O: T(NewIRI("sec"))}, Level: Secret})
+	low := analystClearance(Unclassified)
+	got := g.Query(low, Pattern{S: T(NewIRI("a"))})
+	if len(got) != 1 || got[0].O.Value != "pub" {
+		t.Errorf("filtered query = %v", got)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	g := NewGuard(NewStore())
+	g.AddPolicy(&TriplePolicy{Name: "zz"})
+	g.AddPolicy(&TriplePolicy{Name: "aa"})
+	got := g.PolicyNames()
+	if len(got) != 2 || got[0] != "aa" {
+		t.Errorf("names = %v", got)
+	}
+}
+
+func TestNilSubjectClearance(t *testing.T) {
+	s := NewStore()
+	pub := tr("a", "p", "b")
+	s.Add(pub)
+	g := NewGuard(s)
+	c := NewClearance(nil, Unclassified)
+	if !g.Readable(c, pub) {
+		t.Error("anonymous cannot read unclassified open triple")
+	}
+	g.AddClassRule(&ClassRule{Pattern: Pattern{}, Level: Confidential})
+	if g.Readable(c, pub) {
+		t.Error("anonymous reads classified triple")
+	}
+}

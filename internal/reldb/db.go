@@ -1,0 +1,288 @@
+package reldb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Result is the outcome of executing a statement.
+type Result struct {
+	Columns  []string
+	Rows     []Row
+	Affected int
+}
+
+// Database is the engine: tables, the metadata catalog, and the recovery
+// log. Statement execution is autocommit via Exec; multi-statement
+// transactions go through Begin (txn.go).
+type Database struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	log    *Log
+
+	lockMgr *lockManager
+	txnSeq  int64
+	cons    *constraintSet
+}
+
+// NewDatabase returns an empty database with a fresh log.
+func NewDatabase() *Database {
+	return &Database{
+		tables:  make(map[string]*Table),
+		log:     NewLog(),
+		lockMgr: newLockManager(),
+	}
+}
+
+// Log returns the database's recovery log.
+func (db *Database) Log() *Log { return db.log }
+
+// Table returns a table by name.
+func (db *Database) Table(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// Tables returns the table names, sorted — the catalog listing.
+func (db *Database) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Exec parses and executes one statement in autocommit mode.
+func (db *Database) Exec(src string) (*Result, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStmt(st)
+}
+
+// ExecStmt executes a parsed statement in autocommit mode: DML runs inside
+// an implicit transaction.
+func (db *Database) ExecStmt(st Stmt) (*Result, error) {
+	switch s := st.(type) {
+	case *CreateTableStmt, *CreateIndexStmt:
+		return db.execDDL(st)
+	case *SelectStmt:
+		return db.execSelect(s)
+	default:
+		txn := db.Begin()
+		res, err := txn.ExecStmt(st)
+		if err != nil {
+			txn.Abort()
+			return nil, err
+		}
+		if err := txn.Commit(); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+}
+
+func (db *Database) execDDL(st Stmt) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	switch s := st.(type) {
+	case *CreateTableStmt:
+		if _, exists := db.tables[s.Table]; exists {
+			return nil, fmt.Errorf("reldb: table %s already exists", s.Table)
+		}
+		if len(s.Schema.Columns) == 0 {
+			return nil, fmt.Errorf("reldb: table %s needs at least one column", s.Table)
+		}
+		db.tables[s.Table] = NewTable(s.Table, s.Schema)
+		db.log.Append(LogRecord{Op: OpCreateTable, Table: s.Table, Schema: &s.Schema})
+		return &Result{}, nil
+	case *CreateIndexStmt:
+		t, ok := db.tables[s.Table]
+		if !ok {
+			return nil, fmt.Errorf("reldb: unknown table %s", s.Table)
+		}
+		var err error
+		if s.Ordered {
+			err = t.CreateOrderedIndex(s.Column)
+		} else {
+			err = t.CreateHashIndex(s.Column)
+		}
+		if err != nil {
+			return nil, err
+		}
+		db.log.Append(LogRecord{Op: OpCreateIndex, Table: s.Table, Column: s.Column, Ordered: s.Ordered})
+		return &Result{}, nil
+	}
+	return nil, fmt.Errorf("reldb: not DDL")
+}
+
+// execSelect plans and runs a read-only query without transaction
+// overhead (reads see committed state; Scan snapshots under the table
+// lock).
+func (db *Database) execSelect(s *SelectStmt) (*Result, error) {
+	t, ok := db.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("reldb: unknown table %s", s.Table)
+	}
+	ids, rows, err := planScan(t, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	_ = ids
+	// Order: multi-key lexicographic, per-key direction.
+	if len(s.OrderBy) > 0 {
+		keys := make([]int, len(s.OrderBy))
+		for i, k := range s.OrderBy {
+			ci := t.Schema.ColIndex(k.Col)
+			if ci < 0 {
+				return nil, fmt.Errorf("reldb: unknown ORDER BY column %s", k.Col)
+			}
+			keys[i] = ci
+		}
+		sort.SliceStable(rows, func(i, j int) bool {
+			for ki, ci := range keys {
+				c := Compare(rows[i][ci], rows[j][ci])
+				if c == 0 {
+					continue
+				}
+				if s.OrderBy[ki].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	// Limit.
+	if s.Limit >= 0 && len(rows) > s.Limit {
+		rows = rows[:s.Limit]
+	}
+	// Project.
+	return project(&t.Schema, rows, s.Columns)
+}
+
+// project selects the named columns (nil = all) out of rows.
+func project(schema *Schema, rows []Row, cols []string) (*Result, error) {
+	if cols == nil {
+		names := make([]string, len(schema.Columns))
+		for i, c := range schema.Columns {
+			names[i] = c.Name
+		}
+		return &Result{Columns: names, Rows: rows, Affected: len(rows)}, nil
+	}
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		ci := schema.ColIndex(c)
+		if ci < 0 {
+			return nil, fmt.Errorf("reldb: unknown column %s", c)
+		}
+		idx[i] = ci
+	}
+	out := make([]Row, len(rows))
+	for i, r := range rows {
+		pr := make(Row, len(idx))
+		for j, ci := range idx {
+			pr[j] = r[ci]
+		}
+		out[i] = pr
+	}
+	return &Result{Columns: append([]string(nil), cols...), Rows: out, Affected: len(out)}, nil
+}
+
+// planScan chooses an access path for the predicate: an equality on a
+// hash-indexed column or a comparison on an ordered-indexed column is
+// served from the index; everything else is a full scan. The full
+// predicate is always re-applied to the candidates.
+func planScan(t *Table, where Expr) ([]int64, []Row, error) {
+	var candIDs []int64
+	usedIndex := false
+	if cmp := indexableCmp(t, where); cmp != nil {
+		switch cmp.Op {
+		case "=":
+			if ids, ok := t.LookupEq(cmp.Col, cmp.Val); ok {
+				candIDs, usedIndex = ids, true
+			}
+		case "<", "<=":
+			hi := cmp.Val
+			if ids, ok := t.LookupRange(cmp.Col, nil, &hi); ok {
+				candIDs, usedIndex = ids, true
+			}
+		case ">", ">=":
+			lo := cmp.Val
+			if ids, ok := t.LookupRange(cmp.Col, &lo, nil); ok {
+				candIDs, usedIndex = ids, true
+			}
+		}
+	}
+	var ids []int64
+	var rows []Row
+	check := func(id int64, r Row) (bool, error) {
+		if where == nil {
+			return true, nil
+		}
+		return where.Eval(&t.Schema, r)
+	}
+	if usedIndex {
+		for _, id := range candIDs {
+			r, ok := t.Get(id)
+			if !ok {
+				continue
+			}
+			ok2, err := check(id, r)
+			if err != nil {
+				return nil, nil, err
+			}
+			if ok2 {
+				ids = append(ids, id)
+				rows = append(rows, r)
+			}
+		}
+		return ids, rows, nil
+	}
+	var scanErr error
+	t.Scan(func(id int64, r Row) bool {
+		ok, err := check(id, r)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if ok {
+			ids = append(ids, id)
+			rows = append(rows, r.Clone())
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, nil, scanErr
+	}
+	return ids, rows, nil
+}
+
+// indexableCmp digs a comparison usable as an access path out of the
+// predicate: the expression itself, or a conjunct of a top-level AND
+// chain, whose column carries a suitable index. Strict operators <, <=,
+// >, >= need an ordered index; = needs a hash index.
+func indexableCmp(t *Table, where Expr) *CmpExpr {
+	switch e := where.(type) {
+	case *CmpExpr:
+		if e.Op == "=" && t.HasHashIndex(e.Col) {
+			return e
+		}
+		if e.Op != "=" && e.Op != "!=" && t.HasOrderedIndex(e.Col) {
+			return e
+		}
+	case *AndExpr:
+		if c := indexableCmp(t, e.L); c != nil {
+			return c
+		}
+		return indexableCmp(t, e.R)
+	}
+	return nil
+}

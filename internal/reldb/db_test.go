@@ -1,0 +1,176 @@
+package reldb
+
+import (
+	"fmt"
+	"testing"
+)
+
+func empDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase()
+	mustExec(t, db, "CREATE TABLE emp (id INT, name TEXT, dept TEXT, salary INT)")
+	rows := []string{
+		"(1, 'Ada', 'eng', 120)",
+		"(2, 'Bob', 'eng', 90)",
+		"(3, 'Cyd', 'hr', 80)",
+		"(4, 'Dee', 'hr', 85)",
+		"(5, 'Eli', 'ops', 70)",
+	}
+	for _, r := range rows {
+		mustExec(t, db, "INSERT INTO emp VALUES "+r)
+	}
+	return db
+}
+
+func mustExec(t *testing.T, db *Database, src string) *Result {
+	t.Helper()
+	res, err := db.Exec(src)
+	if err != nil {
+		t.Fatalf("%s: %v", src, err)
+	}
+	return res
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := empDB(t)
+	res := mustExec(t, db, "SELECT * FROM emp")
+	if len(res.Rows) != 5 || len(res.Columns) != 4 {
+		t.Fatalf("rows=%d cols=%d", len(res.Rows), len(res.Columns))
+	}
+}
+
+func TestSelectWhereProjection(t *testing.T) {
+	db := empDB(t)
+	res := mustExec(t, db, "SELECT name FROM emp WHERE dept = 'eng' AND salary > 100")
+	if len(res.Rows) != 1 || res.Rows[0][0] != Str("Ada") {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if len(res.Columns) != 1 || res.Columns[0] != "name" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+}
+
+func TestSelectOrderLimit(t *testing.T) {
+	db := empDB(t)
+	res := mustExec(t, db, "SELECT name, salary FROM emp ORDER BY salary DESC LIMIT 2")
+	if len(res.Rows) != 2 || res.Rows[0][0] != Str("Ada") || res.Rows[1][0] != Str("Bob") {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = mustExec(t, db, "SELECT name FROM emp ORDER BY salary LIMIT 1")
+	if res.Rows[0][0] != Str("Eli") {
+		t.Fatalf("asc order wrong: %v", res.Rows)
+	}
+}
+
+func TestUpdateAndDelete(t *testing.T) {
+	db := empDB(t)
+	res := mustExec(t, db, "UPDATE emp SET salary = 95 WHERE name = 'Bob'")
+	if res.Affected != 1 {
+		t.Fatalf("affected = %d", res.Affected)
+	}
+	res = mustExec(t, db, "SELECT salary FROM emp WHERE name = 'Bob'")
+	if res.Rows[0][0] != Int(95) {
+		t.Errorf("salary = %v", res.Rows[0][0])
+	}
+	res = mustExec(t, db, "DELETE FROM emp WHERE dept = 'hr'")
+	if res.Affected != 2 {
+		t.Fatalf("deleted = %d", res.Affected)
+	}
+	res = mustExec(t, db, "SELECT * FROM emp")
+	if len(res.Rows) != 3 {
+		t.Errorf("remaining = %d", len(res.Rows))
+	}
+}
+
+func TestIndexesGiveSameAnswers(t *testing.T) {
+	plain := empDB(t)
+	indexed := empDB(t)
+	mustExec(t, indexed, "CREATE HASH INDEX ON emp (dept)")
+	mustExec(t, indexed, "CREATE ORDERED INDEX ON emp (salary)")
+
+	queries := []string{
+		"SELECT name FROM emp WHERE dept = 'eng' ORDER BY name",
+		"SELECT name FROM emp WHERE salary >= 85 ORDER BY name",
+		"SELECT name FROM emp WHERE salary < 85 ORDER BY name",
+		"SELECT name FROM emp WHERE dept = 'hr' AND salary > 82 ORDER BY name",
+		"SELECT name FROM emp WHERE dept = 'nope'",
+	}
+	for _, q := range queries {
+		a := mustExec(t, plain, q)
+		b := mustExec(t, indexed, q)
+		if fmt.Sprint(a.Rows) != fmt.Sprint(b.Rows) {
+			t.Errorf("%s:\n plain  %v\n indexed %v", q, a.Rows, b.Rows)
+		}
+	}
+}
+
+func TestIndexMaintainedAcrossDML(t *testing.T) {
+	db := empDB(t)
+	mustExec(t, db, "CREATE HASH INDEX ON emp (dept)")
+	mustExec(t, db, "UPDATE emp SET dept = 'ops' WHERE name = 'Cyd'")
+	res := mustExec(t, db, "SELECT name FROM emp WHERE dept = 'ops' ORDER BY name")
+	if len(res.Rows) != 2 {
+		t.Fatalf("ops rows = %v", res.Rows)
+	}
+	res = mustExec(t, db, "SELECT name FROM emp WHERE dept = 'hr'")
+	if len(res.Rows) != 1 {
+		t.Fatalf("hr rows = %v", res.Rows)
+	}
+	mustExec(t, db, "DELETE FROM emp WHERE dept = 'ops'")
+	res = mustExec(t, db, "SELECT name FROM emp WHERE dept = 'ops'")
+	if len(res.Rows) != 0 {
+		t.Errorf("stale index rows = %v", res.Rows)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := empDB(t)
+	for _, src := range []string{
+		"CREATE TABLE emp (x INT)",                  // duplicate
+		"SELECT * FROM ghost",                       // unknown table
+		"SELECT ghostcol FROM emp",                  // unknown column
+		"SELECT * FROM emp WHERE ghost = 1",         // unknown column in where
+		"SELECT * FROM emp ORDER BY ghost",          // unknown order col
+		"INSERT INTO emp VALUES (1, 'x')",           // arity
+		"INSERT INTO emp VALUES ('x', 1, 'y', 'z')", // kinds
+		"UPDATE emp SET ghost = 1",                  // unknown set col
+		"CREATE HASH INDEX ON ghost (x)",            // unknown table
+		"CREATE HASH INDEX ON emp (ghost)",          // unknown column
+	} {
+		if _, err := db.Exec(src); err == nil {
+			t.Errorf("%s: want error", src)
+		}
+	}
+}
+
+func TestTablesListing(t *testing.T) {
+	db := empDB(t)
+	mustExec(t, db, "CREATE TABLE zz (a INT)")
+	got := db.Tables()
+	if len(got) != 2 || got[0] != "emp" || got[1] != "zz" {
+		t.Errorf("Tables = %v", got)
+	}
+}
+
+func TestRangeScanViaOrderedIndex(t *testing.T) {
+	db := empDB(t)
+	mustExec(t, db, "CREATE ORDERED INDEX ON emp (salary)")
+	res := mustExec(t, db, "SELECT name FROM emp WHERE salary >= 80 AND salary <= 90 ORDER BY salary")
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0] != Str("Cyd") || res.Rows[2][0] != Str("Bob") {
+		t.Errorf("order = %v", res.Rows)
+	}
+}
+
+func TestFloatIntHashEquality(t *testing.T) {
+	db := NewDatabase()
+	mustExec(t, db, "CREATE TABLE m (v FLOAT)")
+	mustExec(t, db, "CREATE HASH INDEX ON m (v)")
+	mustExec(t, db, "INSERT INTO m VALUES (1)") // int into float column
+	res := mustExec(t, db, "SELECT * FROM m WHERE v = 1.0")
+	if len(res.Rows) != 1 {
+		t.Errorf("int/float hash equality broken: %v", res.Rows)
+	}
+}

@@ -1,0 +1,117 @@
+package reldb
+
+import (
+	"strings"
+	"testing"
+
+	"webdbsec/internal/policy"
+	"webdbsec/internal/sysr"
+)
+
+func TestExplainChoosesAccessPath(t *testing.T) {
+	db := empDB(t)
+	mustExec(t, db, "CREATE HASH INDEX ON emp (dept)")
+	mustExec(t, db, "CREATE ORDERED INDEX ON emp (salary)")
+
+	p, err := db.Explain("SELECT * FROM emp WHERE dept = 'eng'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Access != "index-eq" || p.IndexColumn != "dept" || p.EstRows != 2 {
+		t.Errorf("plan = %+v", p)
+	}
+	p, err = db.Explain("SELECT * FROM emp WHERE salary >= 85")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Access != "index-range" || p.IndexColumn != "salary" || p.EstRows != 3 {
+		t.Errorf("plan = %+v", p)
+	}
+	p, err = db.Explain("SELECT * FROM emp WHERE name = 'Ada'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Access != "full-scan" || p.EstRows != 5 {
+		t.Errorf("plan = %+v", p)
+	}
+	if !strings.Contains(p.String(), "FULL SCAN") {
+		t.Errorf("plan string = %q", p.String())
+	}
+}
+
+func TestExplainCostOrdersAlternatives(t *testing.T) {
+	// The cost model must rank the indexed plan cheaper than the scan for
+	// a selective predicate.
+	plain := empDB(t)
+	indexed := empDB(t)
+	mustExec(t, indexed, "CREATE HASH INDEX ON emp (dept)")
+	q := "SELECT * FROM emp WHERE dept = 'ops'"
+	pScan, err := plain.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pIdx, err := indexed.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pIdx.EstCost >= pScan.EstCost {
+		t.Errorf("index cost %d !< scan cost %d", pIdx.EstCost, pScan.EstCost)
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	db := empDB(t)
+	if _, err := db.Explain("DELETE FROM emp"); err == nil {
+		t.Error("EXPLAIN of DML accepted")
+	}
+	if _, err := db.Explain("SELECT * FROM ghost"); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := db.Explain("garbage"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	db := empDB(t)
+	mustExec(t, db, "CREATE HASH INDEX ON emp (dept)")
+	mustExec(t, db, "CREATE ORDERED INDEX ON emp (salary)")
+	info, err := db.Describe("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Rows != 5 || len(info.Columns) != 4 {
+		t.Errorf("info = %+v", info)
+	}
+	if len(info.Hash) != 1 || info.Hash[0] != "dept" {
+		t.Errorf("hash indexes = %v", info.Hash)
+	}
+	if len(info.Ordered) != 1 || info.Ordered[0] != "salary" {
+		t.Errorf("ordered indexes = %v", info.Ordered)
+	}
+	if _, err := db.Describe("ghost"); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+func TestSecurityMetadata(t *testing.T) {
+	sdb := NewSecureDB(NewDatabase(), nil)
+	dba := &policy.Subject{ID: "dba"}
+	if err := sdb.CreateTable(dba, "CREATE TABLE t (a INT)"); err != nil {
+		t.Fatal(err)
+	}
+	sdb.Grants().Grant("dba", "u", sysr.Select, "t", false)
+	pred := MustParse("SELECT * FROM t WHERE a >= 0").(*SelectStmt).Where
+	sdb.AddRowPolicy(&RowPolicy{Name: "rp", Table: "t", Subject: policy.SubjectSpec{IDs: []string{"u"}}, Pred: pred})
+	sdb.AddColPolicy(&ColPolicy{Name: "cp", Table: "t", Subject: policy.SubjectSpec{IDs: []string{"u"}}, Columns: []string{"a"}})
+	md := sdb.Metadata()
+	if len(md.Grants["t"]) != 2 { // dba (owner) + u
+		t.Errorf("grants = %v", md.Grants)
+	}
+	if len(md.RowPolicies["t"]) != 1 || md.RowPolicies["t"][0] != "rp" {
+		t.Errorf("row policies = %v", md.RowPolicies)
+	}
+	if len(md.ColPolicies["t"]) != 1 || md.ColPolicies["t"][0] != "cp" {
+		t.Errorf("col policies = %v", md.ColPolicies)
+	}
+}

@@ -1,0 +1,89 @@
+package reldb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckConstraintEnforced(t *testing.T) {
+	db := empDB(t)
+	pred := MustParse("SELECT * FROM emp WHERE salary >= 0").(*SelectStmt).Where
+	if err := db.AddCheck(&CheckConstraint{Name: "salary-nonneg", Table: "emp", Check: pred}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO emp VALUES (9, 'Neg', 'eng', -5)"); err == nil {
+		t.Error("violating insert accepted")
+	}
+	if _, err := db.Exec("INSERT INTO emp VALUES (9, 'Pos', 'eng', 5)"); err != nil {
+		t.Errorf("valid insert rejected: %v", err)
+	}
+	if _, err := db.Exec("UPDATE emp SET salary = -1 WHERE name = 'Ada'"); err == nil {
+		t.Error("violating update accepted")
+	}
+	raw := mustExec(t, db, "SELECT salary FROM emp WHERE name = 'Ada'")
+	if raw.Rows[0][0] != Int(120) {
+		t.Error("violating update partially applied")
+	}
+}
+
+func TestCheckRejectedWhenExistingDataViolates(t *testing.T) {
+	db := empDB(t)
+	pred := MustParse("SELECT * FROM emp WHERE salary > 100").(*SelectStmt).Where
+	if err := db.AddCheck(&CheckConstraint{Name: "too-strict", Table: "emp", Check: pred}); err == nil {
+		t.Error("constraint violated by existing data accepted")
+	}
+	if err := db.AddCheck(&CheckConstraint{Name: "x", Table: "ghost", Check: pred}); err == nil {
+		t.Error("constraint on unknown table accepted")
+	}
+	if err := db.AddCheck(&CheckConstraint{Name: "", Table: "emp", Check: pred}); err == nil {
+		t.Error("anonymous constraint accepted")
+	}
+}
+
+func TestNotNullConstraint(t *testing.T) {
+	db := empDB(t)
+	if err := db.AddNotNull("emp", "name"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO emp VALUES (9, NULL, 'eng', 5)"); err == nil {
+		t.Error("NULL insert accepted")
+	}
+	if _, err := db.Exec("UPDATE emp SET name = NULL"); err == nil {
+		t.Error("NULL update accepted")
+	}
+	if err := db.AddNotNull("emp", "ghost"); err == nil {
+		t.Error("NOT NULL on unknown column accepted")
+	}
+	if err := db.AddNotNull("ghost", "x"); err == nil {
+		t.Error("NOT NULL on unknown table accepted")
+	}
+	// Existing NULLs block installation.
+	mustExec(t, db, "INSERT INTO emp VALUES (10, 'X', NULL, 1)")
+	if err := db.AddNotNull("emp", "dept"); err == nil || !strings.Contains(err.Error(), "NULL") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestConstraintsInsideTransactions(t *testing.T) {
+	db := empDB(t)
+	pred := MustParse("SELECT * FROM emp WHERE salary >= 0").(*SelectStmt).Where
+	if err := db.AddCheck(&CheckConstraint{Name: "nonneg", Table: "emp", Check: pred}); err != nil {
+		t.Fatal(err)
+	}
+	txn := db.Begin()
+	if _, err := txn.Exec("INSERT INTO emp VALUES (20, 'Ok', 'eng', 1)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txn.Exec("INSERT INTO emp VALUES (21, 'Bad', 'eng', -1)"); err == nil {
+		t.Fatal("violating insert inside txn accepted")
+	}
+	// The failed statement did not poison the valid one.
+	txn.Commit()
+	res := mustExec(t, db, "SELECT * FROM emp WHERE name = 'Ok'")
+	if len(res.Rows) != 1 {
+		t.Error("valid insert lost")
+	}
+	if got := mustExec(t, db, "SELECT * FROM emp WHERE name = 'Bad'"); len(got.Rows) != 0 {
+		t.Error("violating insert present")
+	}
+}

@@ -1,0 +1,151 @@
+package reldb
+
+import (
+	"fmt"
+	"sync"
+)
+
+// LogOp is the kind of a log record.
+type LogOp int
+
+// Log operations.
+const (
+	OpCreateTable LogOp = iota
+	OpCreateIndex
+	OpBegin
+	OpCommit
+	OpAbort
+	OpInsert
+	OpUpdate
+	OpDelete
+)
+
+// LogRecord is one entry of the write-ahead log. DML records carry enough
+// state to redo (After) the change; Before is kept for auditing and undo
+// inspection.
+type LogRecord struct {
+	LSN     int64
+	Txn     int64
+	Op      LogOp
+	Table   string
+	Column  string
+	Ordered bool
+	Schema  *Schema
+	RowID   int64
+	Before  Row
+	After   Row
+}
+
+// Log is an in-memory write-ahead log ("the paper's recovery techniques
+// have to be developed for the transaction models", §2.1). It is the
+// durability stand-in for this in-memory engine: Recover rebuilds a
+// database from it, redoing exactly the committed transactions.
+type Log struct {
+	mu      sync.Mutex
+	records []LogRecord
+	nextLSN int64
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Append adds a record, assigning its LSN.
+func (l *Log) Append(rec LogRecord) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextLSN++
+	rec.LSN = l.nextLSN
+	l.records = append(l.records, rec)
+	return rec.LSN
+}
+
+// Len returns the number of records.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// Records returns a snapshot of the log.
+func (l *Log) Records() []LogRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]LogRecord(nil), l.records...)
+}
+
+// Recover rebuilds a fresh database from the log: DDL is replayed
+// unconditionally; DML is redone only for transactions with a Commit
+// record (uncommitted and aborted work disappears, which is exactly the
+// atomicity contract).
+func Recover(l *Log) (*Database, error) {
+	recs := l.Records()
+	committed := map[int64]bool{}
+	for _, r := range recs {
+		if r.Op == OpCommit {
+			committed[r.Txn] = true
+		}
+	}
+	db := NewDatabase()
+	for _, r := range recs {
+		switch r.Op {
+		case OpCreateTable:
+			if r.Schema == nil {
+				return nil, fmt.Errorf("reldb: recover: CreateTable without schema")
+			}
+			db.mu.Lock()
+			db.tables[r.Table] = NewTable(r.Table, *r.Schema)
+			db.mu.Unlock()
+		case OpCreateIndex:
+			t, ok := db.Table(r.Table)
+			if !ok {
+				return nil, fmt.Errorf("reldb: recover: index on unknown table %s", r.Table)
+			}
+			var err error
+			if r.Ordered {
+				err = t.CreateOrderedIndex(r.Column)
+			} else {
+				err = t.CreateHashIndex(r.Column)
+			}
+			if err != nil {
+				return nil, err
+			}
+		case OpInsert:
+			if !committed[r.Txn] {
+				continue
+			}
+			t, ok := db.Table(r.Table)
+			if !ok {
+				return nil, fmt.Errorf("reldb: recover: insert into unknown table %s", r.Table)
+			}
+			t.insertAt(r.RowID, r.After)
+		case OpUpdate:
+			if !committed[r.Txn] {
+				continue
+			}
+			t, ok := db.Table(r.Table)
+			if !ok {
+				return nil, fmt.Errorf("reldb: recover: update of unknown table %s", r.Table)
+			}
+			if _, err := t.Update(r.RowID, r.After); err != nil {
+				return nil, fmt.Errorf("reldb: recover: %w", err)
+			}
+		case OpDelete:
+			if !committed[r.Txn] {
+				continue
+			}
+			t, ok := db.Table(r.Table)
+			if !ok {
+				return nil, fmt.Errorf("reldb: recover: delete from unknown table %s", r.Table)
+			}
+			if _, err := t.Delete(r.RowID); err != nil {
+				return nil, fmt.Errorf("reldb: recover: %w", err)
+			}
+		}
+	}
+	// The recovered database continues the same history.
+	db.log.mu.Lock()
+	db.log.records = recs
+	db.log.nextLSN = int64(len(recs))
+	db.log.mu.Unlock()
+	return db, nil
+}

@@ -1,0 +1,688 @@
+package reldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The SQL subset:
+//
+//	CREATE TABLE t (col TYPE, ...)            TYPE ∈ INT | FLOAT | TEXT | BOOL
+//	CREATE HASH INDEX ON t (col)
+//	CREATE ORDERED INDEX ON t (col)
+//	INSERT INTO t VALUES (v, ...)
+//	SELECT * | col, ... FROM t [WHERE expr] [ORDER BY col [DESC]] [LIMIT n]
+//	UPDATE t SET col = value, ... [WHERE expr]
+//	DELETE FROM t [WHERE expr]
+//
+// Expressions: column refs, literals (42, 3.5, 'text', TRUE, FALSE, NULL),
+// comparisons (=, !=, <, <=, >, >=), AND, OR, NOT, parentheses.
+
+// Stmt is a parsed statement.
+type Stmt interface{ stmt() }
+
+// CreateTableStmt creates a table.
+type CreateTableStmt struct {
+	Table  string
+	Schema Schema
+}
+
+// CreateIndexStmt creates an index.
+type CreateIndexStmt struct {
+	Table   string
+	Column  string
+	Ordered bool
+}
+
+// InsertStmt inserts one row.
+type InsertStmt struct {
+	Table  string
+	Values []Value
+}
+
+// OrderKey is one ORDER BY term.
+type OrderKey struct {
+	Col  string
+	Desc bool
+}
+
+// SelectStmt reads rows.
+type SelectStmt struct {
+	Table   string
+	Columns []string // nil means *
+	Where   Expr
+	OrderBy []OrderKey
+	Limit   int // -1 means no limit
+}
+
+// UpdateStmt modifies rows.
+type UpdateStmt struct {
+	Table string
+	Set   map[string]Value
+	Where Expr
+}
+
+// DeleteStmt removes rows.
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (*CreateTableStmt) stmt() {}
+func (*CreateIndexStmt) stmt() {}
+func (*InsertStmt) stmt()      {}
+func (*SelectStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+
+// Expr is a boolean expression over a row.
+type Expr interface {
+	Eval(s *Schema, r Row) (bool, error)
+	String() string
+}
+
+// CmpExpr compares a column with a literal.
+type CmpExpr struct {
+	Col string
+	Op  string
+	Val Value
+}
+
+// Eval implements Expr.
+func (e *CmpExpr) Eval(s *Schema, r Row) (bool, error) {
+	ci := s.ColIndex(e.Col)
+	if ci < 0 {
+		return false, fmt.Errorf("reldb: unknown column %s", e.Col)
+	}
+	v := r[ci]
+	if v.IsNull() || e.Val.IsNull() {
+		return false, nil // three-valued logic collapsed to false
+	}
+	c := Compare(v, e.Val)
+	switch e.Op {
+	case "=":
+		return c == 0, nil
+	case "!=":
+		return c != 0, nil
+	case "<":
+		return c < 0, nil
+	case "<=":
+		return c <= 0, nil
+	case ">":
+		return c > 0, nil
+	case ">=":
+		return c >= 0, nil
+	}
+	return false, fmt.Errorf("reldb: unknown operator %s", e.Op)
+}
+
+func (e *CmpExpr) String() string {
+	v := e.Val.String()
+	if e.Val.Kind == KindString {
+		v = "'" + v + "'"
+	}
+	return fmt.Sprintf("%s %s %s", e.Col, e.Op, v)
+}
+
+// AndExpr is a conjunction.
+type AndExpr struct{ L, R Expr }
+
+// Eval implements Expr.
+func (e *AndExpr) Eval(s *Schema, r Row) (bool, error) {
+	l, err := e.L.Eval(s, r)
+	if err != nil || !l {
+		return false, err
+	}
+	return e.R.Eval(s, r)
+}
+
+func (e *AndExpr) String() string { return "(" + e.L.String() + " AND " + e.R.String() + ")" }
+
+// OrExpr is a disjunction.
+type OrExpr struct{ L, R Expr }
+
+// Eval implements Expr.
+func (e *OrExpr) Eval(s *Schema, r Row) (bool, error) {
+	l, err := e.L.Eval(s, r)
+	if err != nil {
+		return false, err
+	}
+	if l {
+		return true, nil
+	}
+	return e.R.Eval(s, r)
+}
+
+func (e *OrExpr) String() string { return "(" + e.L.String() + " OR " + e.R.String() + ")" }
+
+// NotExpr is a negation.
+type NotExpr struct{ E Expr }
+
+// Eval implements Expr.
+func (e *NotExpr) Eval(s *Schema, r Row) (bool, error) {
+	v, err := e.E.Eval(s, r)
+	return !v, err
+}
+
+func (e *NotExpr) String() string { return "NOT (" + e.E.String() + ")" }
+
+// TrueExpr always holds; used as the neutral element when composing
+// security predicates.
+type TrueExpr struct{}
+
+// Eval implements Expr.
+func (TrueExpr) Eval(*Schema, Row) (bool, error) { return true, nil }
+func (TrueExpr) String() string                  { return "TRUE" }
+
+// --- Lexer ---
+
+type token struct {
+	kind string // "ident", "num", "str", "op", "punct", "eof"
+	text string
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c >= '0' && c <= '9' || c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{"num", l.src[start:l.pos]})
+		case c == '\'':
+			l.pos++
+			start := l.pos
+			for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("reldb: unterminated string literal")
+			}
+			l.toks = append(l.toks, token{"str", l.src[start:l.pos]})
+			l.pos++
+		case isIdentStart(c):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{"ident", l.src[start:l.pos]})
+		case strings.ContainsRune("=<>!", rune(c)):
+			start := l.pos
+			l.pos++
+			if l.pos < len(l.src) && l.src[l.pos] == '=' {
+				l.pos++
+			}
+			op := l.src[start:l.pos]
+			if op == "!" || op == "<>" {
+				return nil, fmt.Errorf("reldb: unknown operator %q", op)
+			}
+			l.toks = append(l.toks, token{"op", op})
+		case strings.ContainsRune("(),*", rune(c)):
+			l.toks = append(l.toks, token{"punct", string(c)})
+			l.pos++
+		default:
+			return nil, fmt.Errorf("reldb: unexpected character %q at %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{"eof", ""})
+	return l.toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '.'
+}
+
+// --- Parser ---
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+// Parse parses one statement.
+func Parse(src string) (Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	st, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atKeyword("") && p.cur().kind != "eof" {
+		return nil, fmt.Errorf("reldb: trailing input %q in %q", p.cur().text, src)
+	}
+	return st, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) Stmt {
+	st, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != "eof" {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == "ident" && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return fmt.Errorf("reldb: expected %s near %q in %q", kw, p.cur().text, p.src)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.cur()
+	if t.kind != "punct" || t.text != s {
+		return fmt.Errorf("reldb: expected %q near %q in %q", s, t.text, p.src)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	if t.kind != "ident" {
+		return "", fmt.Errorf("reldb: expected identifier near %q in %q", t.text, p.src)
+	}
+	p.next()
+	return t.text, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.atKeyword("CREATE"):
+		return p.parseCreate()
+	case p.atKeyword("INSERT"):
+		return p.parseInsert()
+	case p.atKeyword("SELECT"):
+		return p.parseSelect()
+	case p.atKeyword("UPDATE"):
+		return p.parseUpdate()
+	case p.atKeyword("DELETE"):
+		return p.parseDelete()
+	}
+	return nil, fmt.Errorf("reldb: unknown statement %q", p.src)
+}
+
+func (p *parser) parseCreate() (Stmt, error) {
+	p.next() // CREATE
+	switch {
+	case p.atKeyword("TABLE"):
+		p.next()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var schema Schema
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			typ, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			var k Kind
+			switch strings.ToUpper(typ) {
+			case "INT":
+				k = KindInt
+			case "FLOAT":
+				k = KindFloat
+			case "TEXT":
+				k = KindString
+			case "BOOL":
+				k = KindBool
+			default:
+				return nil, fmt.Errorf("reldb: unknown type %s", typ)
+			}
+			schema.Columns = append(schema.Columns, Column{Name: col, Kind: k})
+			if p.cur().kind == "punct" && p.cur().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &CreateTableStmt{Table: name, Schema: schema}, nil
+
+	case p.atKeyword("HASH"), p.atKeyword("ORDERED"):
+		ordered := p.atKeyword("ORDERED")
+		p.next()
+		if err := p.expectKeyword("INDEX"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		table, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &CreateIndexStmt{Table: table, Column: col, Ordered: ordered}, nil
+	}
+	return nil, fmt.Errorf("reldb: CREATE must be followed by TABLE, HASH INDEX or ORDERED INDEX")
+}
+
+func (p *parser) parseInsert() (Stmt, error) {
+	p.next() // INSERT
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var vals []Value
+	for {
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+		if p.cur().kind == "punct" && p.cur().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return &InsertStmt{Table: table, Values: vals}, nil
+}
+
+func (p *parser) parseSelect() (Stmt, error) {
+	p.next() // SELECT
+	st := &SelectStmt{Limit: -1}
+	if p.cur().kind == "punct" && p.cur().text == "*" {
+		p.next()
+	} else {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, col)
+			if p.cur().kind == "punct" && p.cur().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = table
+	if p.atKeyword("WHERE") {
+		p.next()
+		st.Where, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.atKeyword("ORDER") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Col: col}
+			if p.atKeyword("DESC") {
+				p.next()
+				key.Desc = true
+			} else if p.atKeyword("ASC") {
+				p.next()
+			}
+			st.OrderBy = append(st.OrderBy, key)
+			if p.cur().kind == "punct" && p.cur().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.atKeyword("LIMIT") {
+		p.next()
+		t := p.next()
+		if t.kind != "num" {
+			return nil, fmt.Errorf("reldb: LIMIT needs a number")
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("reldb: bad LIMIT %q", t.text)
+		}
+		st.Limit = n
+	}
+	return st, nil
+}
+
+func (p *parser) parseUpdate() (Stmt, error) {
+	p.next() // UPDATE
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	set := make(map[string]Value)
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		t := p.next()
+		if t.kind != "op" || t.text != "=" {
+			return nil, fmt.Errorf("reldb: expected = in SET")
+		}
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		set[col] = v
+		if p.cur().kind == "punct" && p.cur().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	st := &UpdateStmt{Table: table, Set: set}
+	if p.atKeyword("WHERE") {
+		p.next()
+		st.Where, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseDelete() (Stmt, error) {
+	p.next() // DELETE
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: table}
+	if p.atKeyword("WHERE") {
+		p.next()
+		st.Where, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// parseExpr: OR-level.
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("OR") {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &OrExpr{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("AND") {
+		p.next()
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &AndExpr{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.atKeyword("NOT") {
+		p.next()
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e}, nil
+	}
+	if p.cur().kind == "punct" && p.cur().text == "(" {
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	t := p.next()
+	if t.kind != "op" {
+		return nil, fmt.Errorf("reldb: expected comparison operator near %q", t.text)
+	}
+	v, err := p.literal()
+	if err != nil {
+		return nil, err
+	}
+	return &CmpExpr{Col: col, Op: t.text, Val: v}, nil
+}
+
+func (p *parser) literal() (Value, error) {
+	t := p.next()
+	switch t.kind {
+	case "num":
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return Null(), fmt.Errorf("reldb: bad float %q", t.text)
+			}
+			return Float(f), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("reldb: bad int %q", t.text)
+		}
+		return Int(i), nil
+	case "str":
+		return Str(t.text), nil
+	case "ident":
+		switch strings.ToUpper(t.text) {
+		case "TRUE":
+			return Bool(true), nil
+		case "FALSE":
+			return Bool(false), nil
+		case "NULL":
+			return Null(), nil
+		}
+	}
+	return Null(), fmt.Errorf("reldb: expected literal near %q", t.text)
+}

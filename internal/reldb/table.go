@@ -1,0 +1,299 @@
+package reldb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Table is a heap of rows with optional hash and ordered indexes. Rows are
+// addressed by a stable rowID (never reused), which the transaction layer
+// uses for undo records and locks.
+type Table struct {
+	Name   string
+	Schema Schema
+
+	mu     sync.RWMutex
+	rows   map[int64]Row
+	nextID int64
+
+	hashIdx map[string]*hashIndex
+	ordIdx  map[string]*orderedIndex
+}
+
+// hashIndex maps a column value key to the rowIDs holding it.
+type hashIndex struct {
+	col  int
+	rows map[string]map[int64]bool
+}
+
+// orderedIndex keeps (value, rowID) pairs sorted for range scans — the
+// B-tree stand-in (same asymptotics for lookup via binary search; inserts
+// are O(n) moves, acceptable for the in-memory scale this engine targets).
+type orderedIndex struct {
+	col     int
+	entries []ordEntry
+}
+
+type ordEntry struct {
+	v  Value
+	id int64
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, schema Schema) *Table {
+	return &Table{
+		Name:    name,
+		Schema:  schema,
+		rows:    make(map[int64]Row),
+		hashIdx: make(map[string]*hashIndex),
+		ordIdx:  make(map[string]*orderedIndex),
+	}
+}
+
+// CreateHashIndex builds a hash index on the column, indexing existing
+// rows.
+func (t *Table) CreateHashIndex(col string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ci := t.Schema.ColIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("reldb: table %s has no column %s", t.Name, col)
+	}
+	idx := &hashIndex{col: ci, rows: make(map[string]map[int64]bool)}
+	for id, r := range t.rows {
+		idx.add(r[ci], id)
+	}
+	t.hashIdx[col] = idx
+	return nil
+}
+
+// CreateOrderedIndex builds an ordered index on the column.
+func (t *Table) CreateOrderedIndex(col string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ci := t.Schema.ColIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("reldb: table %s has no column %s", t.Name, col)
+	}
+	idx := &orderedIndex{col: ci}
+	for id, r := range t.rows {
+		idx.entries = append(idx.entries, ordEntry{r[ci], id})
+	}
+	sort.Slice(idx.entries, func(i, j int) bool { return less(idx.entries[i], idx.entries[j]) })
+	t.ordIdx[col] = idx
+	return nil
+}
+
+func less(a, b ordEntry) bool {
+	if c := Compare(a.v, b.v); c != 0 {
+		return c < 0
+	}
+	return a.id < b.id
+}
+
+func (h *hashIndex) add(v Value, id int64) {
+	k := v.Key()
+	m := h.rows[k]
+	if m == nil {
+		m = make(map[int64]bool)
+		h.rows[k] = m
+	}
+	m[id] = true
+}
+
+func (h *hashIndex) remove(v Value, id int64) {
+	k := v.Key()
+	delete(h.rows[k], id)
+	if len(h.rows[k]) == 0 {
+		delete(h.rows, k)
+	}
+}
+
+func (o *orderedIndex) add(v Value, id int64) {
+	e := ordEntry{v, id}
+	i := sort.Search(len(o.entries), func(i int) bool { return !less(o.entries[i], e) })
+	o.entries = append(o.entries, ordEntry{})
+	copy(o.entries[i+1:], o.entries[i:])
+	o.entries[i] = e
+}
+
+func (o *orderedIndex) remove(v Value, id int64) {
+	e := ordEntry{v, id}
+	i := sort.Search(len(o.entries), func(i int) bool { return !less(o.entries[i], e) })
+	if i < len(o.entries) && o.entries[i].id == id {
+		o.entries = append(o.entries[:i], o.entries[i+1:]...)
+	}
+}
+
+// Insert adds a row and returns its rowID.
+func (t *Table) Insert(r Row) (int64, error) {
+	if err := t.Schema.CheckRow(r); err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	id := t.nextID
+	t.rows[id] = r.Clone()
+	for _, idx := range t.hashIdx {
+		idx.add(r[idx.col], id)
+	}
+	for _, idx := range t.ordIdx {
+		idx.add(r[idx.col], id)
+	}
+	return id, nil
+}
+
+// insertAt restores a row under a specific id (recovery/undo path).
+func (t *Table) insertAt(id int64, r Row) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows[id] = r.Clone()
+	if id > t.nextID {
+		t.nextID = id
+	}
+	for _, idx := range t.hashIdx {
+		idx.add(r[idx.col], id)
+	}
+	for _, idx := range t.ordIdx {
+		idx.add(r[idx.col], id)
+	}
+}
+
+// Get returns a copy of the row with the given id.
+func (t *Table) Get(id int64) (Row, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r, ok := t.rows[id]
+	if !ok {
+		return nil, false
+	}
+	return r.Clone(), true
+}
+
+// Update replaces the row with the given id, returning the old row.
+func (t *Table) Update(id int64, r Row) (Row, error) {
+	if err := t.Schema.CheckRow(r); err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, ok := t.rows[id]
+	if !ok {
+		return nil, fmt.Errorf("reldb: table %s has no row %d", t.Name, id)
+	}
+	for _, idx := range t.hashIdx {
+		idx.remove(old[idx.col], id)
+		idx.add(r[idx.col], id)
+	}
+	for _, idx := range t.ordIdx {
+		idx.remove(old[idx.col], id)
+		idx.add(r[idx.col], id)
+	}
+	t.rows[id] = r.Clone()
+	return old, nil
+}
+
+// Delete removes the row with the given id, returning the old row.
+func (t *Table) Delete(id int64) (Row, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, ok := t.rows[id]
+	if !ok {
+		return nil, fmt.Errorf("reldb: table %s has no row %d", t.Name, id)
+	}
+	for _, idx := range t.hashIdx {
+		idx.remove(old[idx.col], id)
+	}
+	for _, idx := range t.ordIdx {
+		idx.remove(old[idx.col], id)
+	}
+	delete(t.rows, id)
+	return old, nil
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Scan calls fn for every (rowID, row) pair; fn must not mutate the row.
+// Iteration order is by rowID for determinism.
+func (t *Table) Scan(fn func(id int64, r Row) bool) {
+	t.mu.RLock()
+	ids := make([]int64, 0, len(t.rows))
+	for id := range t.rows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	rows := make([]Row, len(ids))
+	for i, id := range ids {
+		rows[i] = t.rows[id]
+	}
+	t.mu.RUnlock()
+	for i, id := range ids {
+		if !fn(id, rows[i]) {
+			return
+		}
+	}
+}
+
+// LookupEq uses a hash index (if present) to find rowIDs whose column
+// equals v; ok is false when no usable index exists.
+func (t *Table) LookupEq(col string, v Value) (ids []int64, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx, exists := t.hashIdx[col]
+	if !exists {
+		return nil, false
+	}
+	for id := range idx.rows[v.Key()] {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, true
+}
+
+// LookupRange uses an ordered index to find rowIDs with lo <= col <= hi;
+// nil bounds are open. ok is false when no ordered index exists.
+func (t *Table) LookupRange(col string, lo, hi *Value) (ids []int64, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx, exists := t.ordIdx[col]
+	if !exists {
+		return nil, false
+	}
+	start := 0
+	if lo != nil {
+		start = sort.Search(len(idx.entries), func(i int) bool {
+			return Compare(idx.entries[i].v, *lo) >= 0
+		})
+	}
+	for i := start; i < len(idx.entries); i++ {
+		if hi != nil && Compare(idx.entries[i].v, *hi) > 0 {
+			break
+		}
+		ids = append(ids, idx.entries[i].id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, true
+}
+
+// HasHashIndex reports whether the column has a hash index.
+func (t *Table) HasHashIndex(col string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.hashIdx[col]
+	return ok
+}
+
+// HasOrderedIndex reports whether the column has an ordered index.
+func (t *Table) HasOrderedIndex(col string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.ordIdx[col]
+	return ok
+}

@@ -1,0 +1,301 @@
+package reldb
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// lockManager implements table-granularity shared/exclusive locking with a
+// wait timeout as the deadlock breaker (two-phase locking: transactions
+// acquire as they go and release everything at commit/abort).
+type lockManager struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	locks map[string]*lockState
+	// Timeout bounds lock waits; a transaction that cannot acquire within
+	// it aborts with ErrLockTimeout (deadlock victim).
+	Timeout time.Duration
+}
+
+type lockState struct {
+	readers map[int64]bool
+	writer  int64 // 0 = none
+}
+
+// ErrLockTimeout is returned when a lock cannot be acquired in time —
+// the engine's deadlock resolution.
+var ErrLockTimeout = fmt.Errorf("reldb: lock wait timeout (possible deadlock)")
+
+func newLockManager() *lockManager {
+	lm := &lockManager{locks: make(map[string]*lockState), Timeout: 2 * time.Second}
+	lm.cond = sync.NewCond(&lm.mu)
+	return lm
+}
+
+func (lm *lockManager) state(table string) *lockState {
+	st := lm.locks[table]
+	if st == nil {
+		st = &lockState{readers: make(map[int64]bool)}
+		lm.locks[table] = st
+	}
+	return st
+}
+
+// acquireShared takes a read lock for the transaction.
+func (lm *lockManager) acquireShared(txn int64, table string) error {
+	deadline := time.Now().Add(lm.Timeout)
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	st := lm.state(table)
+	for st.writer != 0 && st.writer != txn {
+		if !lm.waitUntil(deadline) {
+			return ErrLockTimeout
+		}
+		st = lm.state(table)
+	}
+	st.readers[txn] = true
+	return nil
+}
+
+// acquireExclusive takes (or upgrades to) a write lock.
+func (lm *lockManager) acquireExclusive(txn int64, table string) error {
+	deadline := time.Now().Add(lm.Timeout)
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	st := lm.state(table)
+	for {
+		othersReading := false
+		for r := range st.readers {
+			if r != txn {
+				othersReading = true
+				break
+			}
+		}
+		if (st.writer == 0 || st.writer == txn) && !othersReading {
+			break
+		}
+		if !lm.waitUntil(deadline) {
+			return ErrLockTimeout
+		}
+		st = lm.state(table)
+	}
+	st.writer = txn
+	delete(st.readers, txn)
+	return nil
+}
+
+// waitUntil waits on the condition with a deadline; it reports false when
+// the deadline passed. The lock is held on entry and exit.
+func (lm *lockManager) waitUntil(deadline time.Time) bool {
+	if time.Now().After(deadline) {
+		return false
+	}
+	// cond.Wait with timeout: wake the whole queue periodically. Coarse but
+	// simple and safe.
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+		case <-time.After(time.Until(deadline) + time.Millisecond):
+			lm.cond.Broadcast()
+		}
+	}()
+	lm.cond.Wait()
+	close(done)
+	return !time.Now().After(deadline)
+}
+
+// releaseAll drops every lock the transaction holds.
+func (lm *lockManager) releaseAll(txn int64) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for _, st := range lm.locks {
+		delete(st.readers, txn)
+		if st.writer == txn {
+			st.writer = 0
+		}
+	}
+	lm.cond.Broadcast()
+}
+
+// Txn is an explicit transaction: strict two-phase locking at table
+// granularity, undo on abort, commit record in the log.
+type Txn struct {
+	id     int64
+	db     *Database
+	undo   []undoRec
+	done   bool
+	tables map[string]bool // tables touched (for lock release accounting)
+}
+
+type undoRec struct {
+	op    LogOp
+	table string
+	rowID int64
+	row   Row // before-image for update/delete
+}
+
+// Begin starts a transaction.
+func (db *Database) Begin() *Txn {
+	id := atomic.AddInt64(&db.txnSeq, 1)
+	db.log.Append(LogRecord{Txn: id, Op: OpBegin})
+	return &Txn{id: id, db: db, tables: make(map[string]bool)}
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() int64 { return t.id }
+
+// Exec parses and executes a statement inside the transaction.
+func (t *Txn) Exec(src string) (*Result, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return t.ExecStmt(st)
+}
+
+// ExecStmt executes a parsed statement inside the transaction. DDL is not
+// transactional and is rejected here.
+func (t *Txn) ExecStmt(st Stmt) (*Result, error) {
+	if t.done {
+		return nil, fmt.Errorf("reldb: transaction %d already finished", t.id)
+	}
+	switch s := st.(type) {
+	case *SelectStmt:
+		if err := t.db.lockMgr.acquireShared(t.id, s.Table); err != nil {
+			return nil, err
+		}
+		t.tables[s.Table] = true
+		return t.db.execSelect(s)
+
+	case *InsertStmt:
+		tbl, ok := t.db.Table(s.Table)
+		if !ok {
+			return nil, fmt.Errorf("reldb: unknown table %s", s.Table)
+		}
+		if err := t.db.lockMgr.acquireExclusive(t.id, s.Table); err != nil {
+			return nil, err
+		}
+		t.tables[s.Table] = true
+		if err := t.db.validateRow(s.Table, &tbl.Schema, Row(s.Values)); err != nil {
+			return nil, err
+		}
+		id, err := tbl.Insert(Row(s.Values))
+		if err != nil {
+			return nil, err
+		}
+		t.db.log.Append(LogRecord{Txn: t.id, Op: OpInsert, Table: s.Table, RowID: id, After: Row(s.Values).Clone()})
+		t.undo = append(t.undo, undoRec{op: OpInsert, table: s.Table, rowID: id})
+		return &Result{Affected: 1}, nil
+
+	case *UpdateStmt:
+		tbl, ok := t.db.Table(s.Table)
+		if !ok {
+			return nil, fmt.Errorf("reldb: unknown table %s", s.Table)
+		}
+		if err := t.db.lockMgr.acquireExclusive(t.id, s.Table); err != nil {
+			return nil, err
+		}
+		t.tables[s.Table] = true
+		ids, rows, err := planScan(tbl, s.Where)
+		if err != nil {
+			return nil, err
+		}
+		// Pre-resolve SET columns.
+		type setCol struct {
+			idx int
+			val Value
+		}
+		var sets []setCol
+		for col, v := range s.Set {
+			ci := tbl.Schema.ColIndex(col)
+			if ci < 0 {
+				return nil, fmt.Errorf("reldb: unknown column %s", col)
+			}
+			sets = append(sets, setCol{ci, v})
+		}
+		n := 0
+		for i, id := range ids {
+			newRow := rows[i].Clone()
+			for _, sc := range sets {
+				newRow[sc.idx] = sc.val
+			}
+			if err := t.db.validateRow(s.Table, &tbl.Schema, newRow); err != nil {
+				return nil, err
+			}
+			before, err := tbl.Update(id, newRow)
+			if err != nil {
+				return nil, err
+			}
+			t.db.log.Append(LogRecord{Txn: t.id, Op: OpUpdate, Table: s.Table, RowID: id, Before: before.Clone(), After: newRow})
+			t.undo = append(t.undo, undoRec{op: OpUpdate, table: s.Table, rowID: id, row: before.Clone()})
+			n++
+		}
+		return &Result{Affected: n}, nil
+
+	case *DeleteStmt:
+		tbl, ok := t.db.Table(s.Table)
+		if !ok {
+			return nil, fmt.Errorf("reldb: unknown table %s", s.Table)
+		}
+		if err := t.db.lockMgr.acquireExclusive(t.id, s.Table); err != nil {
+			return nil, err
+		}
+		t.tables[s.Table] = true
+		ids, _, err := planScan(tbl, s.Where)
+		if err != nil {
+			return nil, err
+		}
+		n := 0
+		for _, id := range ids {
+			before, err := tbl.Delete(id)
+			if err != nil {
+				return nil, err
+			}
+			t.db.log.Append(LogRecord{Txn: t.id, Op: OpDelete, Table: s.Table, RowID: id, Before: before.Clone()})
+			t.undo = append(t.undo, undoRec{op: OpDelete, table: s.Table, rowID: id, row: before.Clone()})
+			n++
+		}
+		return &Result{Affected: n}, nil
+	}
+	return nil, fmt.Errorf("reldb: statement not allowed in a transaction")
+}
+
+// Commit makes the transaction's changes durable and releases its locks.
+func (t *Txn) Commit() error {
+	if t.done {
+		return fmt.Errorf("reldb: transaction %d already finished", t.id)
+	}
+	t.done = true
+	t.db.log.Append(LogRecord{Txn: t.id, Op: OpCommit})
+	t.db.lockMgr.releaseAll(t.id)
+	return nil
+}
+
+// Abort rolls the transaction back by applying its undo records in
+// reverse, then releases its locks.
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		u := t.undo[i]
+		tbl, ok := t.db.Table(u.table)
+		if !ok {
+			continue
+		}
+		switch u.op {
+		case OpInsert:
+			tbl.Delete(u.rowID)
+		case OpUpdate:
+			tbl.Update(u.rowID, u.row)
+		case OpDelete:
+			tbl.insertAt(u.rowID, u.row)
+		}
+	}
+	t.db.log.Append(LogRecord{Txn: t.id, Op: OpAbort})
+	t.db.lockMgr.releaseAll(t.id)
+}

@@ -1,0 +1,224 @@
+// Package reldb is the relational substrate: an in-memory web database
+// engine with a SQL subset, transactions, indexes, a recovery log, a
+// metadata catalog, and — the reason it exists in this repository —
+// security hooks in every function the paper says needs them (§2.1, §3.1):
+// query processing that "take[s] into consideration the access control
+// policies", transaction management that ensures "integrity as well as
+// security constraints are satisfied", the auction ("open bid") transaction
+// model, and metadata that "includes security policies".
+package reldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind is the type of a Value.
+type Kind int
+
+// Value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "TEXT"
+	case KindBool:
+		return "BOOL"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Value is a typed SQL value.
+type Value struct {
+	Kind Kind
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+// Null, Int, Float, Str and Bool construct values.
+func Null() Value           { return Value{Kind: KindNull} }
+func Int(i int64) Value     { return Value{Kind: KindInt, I: i} }
+func Float(f float64) Value { return Value{Kind: KindFloat, F: f} }
+func Str(s string) Value    { return Value{Kind: KindString, S: s} }
+func Bool(b bool) Value     { return Value{Kind: KindBool, B: b} }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	case KindBool:
+		if v.B {
+			return "true"
+		}
+		return "false"
+	}
+	return "?"
+}
+
+// asFloat coerces numeric values for cross-kind comparison.
+func (v Value) asFloat() (float64, bool) {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.I), true
+	case KindFloat:
+		return v.F, true
+	}
+	return 0, false
+}
+
+// Compare orders two values: -1, 0 or +1. NULL sorts first; numeric kinds
+// compare numerically across int/float; mismatched non-numeric kinds
+// compare by kind. The boolean false sorts before true.
+func Compare(a, b Value) int {
+	if a.Kind == KindNull || b.Kind == KindNull {
+		switch {
+		case a.Kind == b.Kind:
+			return 0
+		case a.Kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if af, ok := a.asFloat(); ok {
+		if bf, ok2 := b.asFloat(); ok2 {
+			switch {
+			case af < bf:
+				return -1
+			case af > bf:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	if a.Kind != b.Kind {
+		if a.Kind < b.Kind {
+			return -1
+		}
+		return 1
+	}
+	switch a.Kind {
+	case KindString:
+		return strings.Compare(a.S, b.S)
+	case KindBool:
+		switch {
+		case a.B == b.B:
+			return 0
+		case !a.B:
+			return -1
+		default:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Equal reports value equality under Compare semantics, except that NULL
+// never equals anything (SQL three-valued logic collapsed to false).
+func Equal(a, b Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	return Compare(a, b) == 0
+}
+
+// Key returns a map key string for hash indexing.
+func (v Value) Key() string {
+	switch v.Kind {
+	case KindNull:
+		return "\x00"
+	case KindInt:
+		return "i" + strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		// Normalize integral floats onto the int keyspace so 1 and 1.0
+		// hash together, matching Compare.
+		if v.F == float64(int64(v.F)) {
+			return "i" + strconv.FormatInt(int64(v.F), 10)
+		}
+		return "f" + strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return "s" + v.S
+	case KindBool:
+		if v.B {
+			return "b1"
+		}
+		return "b0"
+	}
+	return "?"
+}
+
+// Row is one tuple.
+type Row []Value
+
+// Clone deep-copies a row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Column describes one attribute of a table schema.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered column list.
+type Schema struct {
+	Columns []Column
+}
+
+// ColIndex returns the position of a column by name, or -1.
+func (s *Schema) ColIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// CheckRow validates a row's arity and kinds (NULL is accepted anywhere;
+// ints are accepted where floats are expected).
+func (s *Schema) CheckRow(r Row) error {
+	if len(r) != len(s.Columns) {
+		return fmt.Errorf("reldb: row has %d values, schema has %d columns", len(r), len(s.Columns))
+	}
+	for i, v := range r {
+		want := s.Columns[i].Kind
+		if v.Kind == KindNull || v.Kind == want {
+			continue
+		}
+		if want == KindFloat && v.Kind == KindInt {
+			continue
+		}
+		return fmt.Errorf("reldb: column %s wants %v, got %v", s.Columns[i].Name, want, v.Kind)
+	}
+	return nil
+}

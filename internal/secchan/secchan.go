@@ -1,0 +1,251 @@
+// Package secchan implements the secure transport the paper's layered
+// semantic-web stack rests on (§5): "consider the lowest layer. One needs
+// secure TCP/IP, secure sockets, and secure HTTP ... One needs end-to-end
+// security. That is, one cannot just have secure TCP/IP built on untrusted
+// communication layers."
+//
+// The channel is a compact TLS-like construction from stdlib crypto:
+// X25519 ephemeral key agreement authenticated by the server's Ed25519
+// identity signature over the handshake transcript, SHA-256-based key
+// derivation into two directional AES-256-GCM keys, and a strictly
+// monotone record sequence number that doubles as the GCM nonce — so
+// replayed, reordered or dropped records are rejected.
+package secchan
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+)
+
+// MaxRecord is the maximum payload size of one record.
+const MaxRecord = 1 << 24
+
+// Channel is an established secure channel. It is NOT safe for concurrent
+// use by multiple goroutines on the same direction; use one writer and one
+// reader.
+type Channel struct {
+	conn    net.Conn
+	sendKey cipher.AEAD
+	recvKey cipher.AEAD
+	sendSeq uint64
+	recvSeq uint64
+}
+
+// Server performs the responder side of the handshake: it receives the
+// client's ephemeral public key, replies with its own plus an identity
+// signature over the transcript, and derives the record keys.
+func Server(conn net.Conn, identity ed25519.PrivateKey) (*Channel, error) {
+	curve := ecdh.X25519()
+	priv, err := curve.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: keygen: %w", err)
+	}
+	clientPub := make([]byte, 32)
+	if _, err := io.ReadFull(conn, clientPub); err != nil {
+		return nil, fmt.Errorf("secchan: read client key: %w", err)
+	}
+	remote, err := curve.NewPublicKey(clientPub)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: client key: %w", err)
+	}
+	serverPub := priv.PublicKey().Bytes()
+	transcript := transcriptHash(clientPub, serverPub)
+	sig := ed25519.Sign(identity, transcript)
+	if _, err := conn.Write(serverPub); err != nil {
+		return nil, fmt.Errorf("secchan: write server key: %w", err)
+	}
+	if _, err := conn.Write(sig); err != nil {
+		return nil, fmt.Errorf("secchan: write signature: %w", err)
+	}
+	secret, err := priv.ECDH(remote)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: ecdh: %w", err)
+	}
+	return newChannel(conn, secret, transcript, false)
+}
+
+// Client performs the initiator side, verifying the server's identity
+// signature against serverID before trusting the channel.
+func Client(conn net.Conn, serverID ed25519.PublicKey) (*Channel, error) {
+	curve := ecdh.X25519()
+	priv, err := curve.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: keygen: %w", err)
+	}
+	clientPub := priv.PublicKey().Bytes()
+	if _, err := conn.Write(clientPub); err != nil {
+		return nil, fmt.Errorf("secchan: write client key: %w", err)
+	}
+	serverPub := make([]byte, 32)
+	if _, err := io.ReadFull(conn, serverPub); err != nil {
+		return nil, fmt.Errorf("secchan: read server key: %w", err)
+	}
+	sig := make([]byte, ed25519.SignatureSize)
+	if _, err := io.ReadFull(conn, sig); err != nil {
+		return nil, fmt.Errorf("secchan: read signature: %w", err)
+	}
+	transcript := transcriptHash(clientPub, serverPub)
+	if !ed25519.Verify(serverID, transcript, sig) {
+		return nil, fmt.Errorf("secchan: server identity verification failed")
+	}
+	remote, err := curve.NewPublicKey(serverPub)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: server key: %w", err)
+	}
+	secret, err := priv.ECDH(remote)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: ecdh: %w", err)
+	}
+	return newChannel(conn, secret, transcript, true)
+}
+
+func transcriptHash(clientPub, serverPub []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("secchan-v1"))
+	h.Write(clientPub)
+	h.Write(serverPub)
+	return h.Sum(nil)
+}
+
+// deriveKey expands the shared secret into a directional key.
+func deriveKey(secret, transcript []byte, label string) ([]byte, error) {
+	h := sha256.New()
+	h.Write(secret)
+	h.Write(transcript)
+	h.Write([]byte(label))
+	return h.Sum(nil), nil
+}
+
+func newChannel(conn net.Conn, secret, transcript []byte, isClient bool) (*Channel, error) {
+	c2s, err := deriveKey(secret, transcript, "client-to-server")
+	if err != nil {
+		return nil, err
+	}
+	s2c, err := deriveKey(secret, transcript, "server-to-client")
+	if err != nil {
+		return nil, err
+	}
+	mk := func(key []byte) (cipher.AEAD, error) {
+		block, err := aes.NewCipher(key)
+		if err != nil {
+			return nil, err
+		}
+		return cipher.NewGCM(block)
+	}
+	c2sAEAD, err := mk(c2s)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: %w", err)
+	}
+	s2cAEAD, err := mk(s2c)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: %w", err)
+	}
+	ch := &Channel{conn: conn}
+	if isClient {
+		ch.sendKey, ch.recvKey = c2sAEAD, s2cAEAD
+	} else {
+		ch.sendKey, ch.recvKey = s2cAEAD, c2sAEAD
+	}
+	return ch, nil
+}
+
+// nonce builds the 12-byte GCM nonce from the record sequence number.
+func nonce(seq uint64) []byte {
+	n := make([]byte, 12)
+	binary.BigEndian.PutUint64(n[4:], seq)
+	return n
+}
+
+// Send encrypts and writes one record.
+func (c *Channel) Send(payload []byte) error {
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("secchan: record too large (%d bytes)", len(payload))
+	}
+	seq := c.sendSeq
+	c.sendSeq++
+	var seqBuf [8]byte
+	binary.BigEndian.PutUint64(seqBuf[:], seq)
+	ct := c.sendKey.Seal(nil, nonce(seq), payload, seqBuf[:])
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(ct)))
+	if _, err := c.conn.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("secchan: send: %w", err)
+	}
+	if _, err := c.conn.Write(ct); err != nil {
+		return fmt.Errorf("secchan: send: %w", err)
+	}
+	return nil
+}
+
+// Receive reads and decrypts one record, enforcing the sequence number: a
+// replayed, reordered or injected record fails authentication.
+func (c *Channel) Receive() ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(c.conn, lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("secchan: receive: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > MaxRecord+64 {
+		return nil, fmt.Errorf("secchan: oversized record (%d bytes)", n)
+	}
+	ct := make([]byte, n)
+	if _, err := io.ReadFull(c.conn, ct); err != nil {
+		return nil, fmt.Errorf("secchan: receive: %w", err)
+	}
+	seq := c.recvSeq
+	var seqBuf [8]byte
+	binary.BigEndian.PutUint64(seqBuf[:], seq)
+	pt, err := c.recvKey.Open(nil, nonce(seq), ct, seqBuf[:])
+	if err != nil {
+		return nil, fmt.Errorf("secchan: record %d: authentication failed", seq)
+	}
+	c.recvSeq++
+	return pt, nil
+}
+
+// Close closes the underlying connection.
+func (c *Channel) Close() error { return c.conn.Close() }
+
+// PlainChannel is the no-security baseline used by experiment E11: the
+// same length-prefixed framing with no confidentiality or integrity.
+type PlainChannel struct {
+	conn net.Conn
+}
+
+// NewPlainChannel wraps a connection without any protection.
+func NewPlainChannel(conn net.Conn) *PlainChannel { return &PlainChannel{conn: conn} }
+
+// Send writes one frame.
+func (c *PlainChannel) Send(payload []byte) error {
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+	if _, err := c.conn.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := c.conn.Write(payload)
+	return err
+}
+
+// Receive reads one frame.
+func (c *PlainChannel) Receive() ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(c.conn, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, binary.BigEndian.Uint32(lenBuf[:]))
+	if _, err := io.ReadFull(c.conn, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Close closes the underlying connection.
+func (c *PlainChannel) Close() error { return c.conn.Close() }

@@ -1,0 +1,94 @@
+package secchan
+
+import (
+	"crypto/ed25519"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestHandshakeAgainstClosedPeer(t *testing.T) {
+	pub, priv, _ := ed25519.GenerateKey(nil)
+	// Client side: the server vanishes before replying.
+	cConn, sConn := net.Pipe()
+	go func() {
+		buf := make([]byte, 32)
+		sConn.Read(buf) // consume client key
+		sConn.Close()   // die before answering
+	}()
+	if _, err := Client(cConn, pub); err == nil {
+		t.Error("client handshake succeeded against dead server")
+	}
+	// Server side: the client vanishes immediately.
+	cConn2, sConn2 := net.Pipe()
+	cConn2.Close()
+	if _, err := Server(sConn2, priv); err == nil {
+		t.Error("server handshake succeeded against dead client")
+	}
+}
+
+func TestReceiveAfterPeerClose(t *testing.T) {
+	client, server := pair(t)
+	go func() {
+		client.Send([]byte("last"))
+		client.Close()
+	}()
+	if _, err := server.Receive(); err != nil {
+		t.Fatalf("first receive: %v", err)
+	}
+	if _, err := server.Receive(); err == nil {
+		t.Error("receive after close succeeded")
+	}
+}
+
+func TestTruncatedRecordLengthHeader(t *testing.T) {
+	pub, priv, _ := ed25519.GenerateKey(nil)
+	cConn, sConn := net.Pipe()
+	srvCh := make(chan *Channel, 1)
+	go func() {
+		ch, err := Server(sConn, priv)
+		if err == nil {
+			srvCh <- ch
+		}
+	}()
+	client, err := Client(cConn, pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-srvCh
+	// Write a huge claimed length then close: Receive must error, not hang
+	// or allocate unboundedly.
+	go func() {
+		cConn.Write([]byte{0xff, 0xff, 0xff, 0xff})
+		cConn.Close()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := server.Receive()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("oversized length header accepted")
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("Receive hung on oversized length header")
+	}
+	_ = client
+}
+
+func TestGarbageInsteadOfHandshake(t *testing.T) {
+	pub, _, _ := ed25519.GenerateKey(nil)
+	cConn, sConn := net.Pipe()
+	go func() {
+		buf := make([]byte, 32)
+		sConn.Read(buf)
+		// Reply with a non-curve-point server key + garbage signature.
+		junk := make([]byte, 32+ed25519.SignatureSize)
+		sConn.Write(junk)
+	}()
+	if _, err := Client(cConn, pub); err == nil {
+		t.Error("client accepted garbage handshake")
+	}
+}

@@ -1,0 +1,168 @@
+// Package synth generates the synthetic workloads the experiment suite
+// runs on. The paper's privacy mechanisms were motivated by production
+// data about individuals (medical records, web clickstreams) that this
+// reproduction cannot ship; these generators produce data with the same
+// statistical structure the mechanisms act on — skewed categorical
+// microdata for inference and privacy control, market baskets with planted
+// frequent itemsets for association mining, and sized XML documents and
+// UDDI registries for the access control and authentication benches. All
+// generators are deterministic in their seed.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"webdbsec/internal/uddi"
+	"webdbsec/internal/xmldoc"
+)
+
+// Baskets generates market-basket data over items 0..numItems-1. A set of
+// planted frequent itemsets appears with the given frequency; remaining
+// items fill baskets with Zipf-like skew.
+type Baskets struct {
+	NumItems int
+	Data     [][]int
+	// Planted lists the itemsets embedded with high frequency.
+	Planted [][]int
+}
+
+// NewBaskets generates n baskets.
+func NewBaskets(seed int64, n, numItems, avgSize int) *Baskets {
+	rng := rand.New(rand.NewSource(seed))
+	b := &Baskets{NumItems: numItems}
+	// Plant a handful of frequent itemsets among the low item ids.
+	b.Planted = [][]int{
+		{0, 1},
+		{2, 3, 4},
+		{5},
+	}
+	for i := 0; i < n; i++ {
+		basket := map[int]bool{}
+		// Each planted set appears in ~30%/20%/40% of baskets.
+		if rng.Float64() < 0.30 {
+			for _, it := range b.Planted[0] {
+				basket[it] = true
+			}
+		}
+		if rng.Float64() < 0.20 {
+			for _, it := range b.Planted[1] {
+				basket[it] = true
+			}
+		}
+		if rng.Float64() < 0.40 {
+			for _, it := range b.Planted[2] {
+				basket[it] = true
+			}
+		}
+		// Fill up with skewed singletons.
+		for len(basket) < avgSize {
+			// Zipf-ish: quadratic skew toward low ids.
+			f := rng.Float64()
+			item := int(f * f * float64(numItems))
+			if item >= numItems {
+				item = numItems - 1
+			}
+			basket[item] = true
+		}
+		row := make([]int, 0, len(basket))
+		for it := range basket {
+			row = append(row, it)
+		}
+		b.Data = append(b.Data, row)
+	}
+	return b
+}
+
+// Person is one census-like microdata record.
+type Person struct {
+	ID      int
+	Name    string
+	Age     int
+	Zip     string
+	Disease string
+	Income  int
+}
+
+// Diseases used by the microdata generator, skewed toward the front.
+var Diseases = []string{"healthy", "flu", "cold", "diabetes", "asthma", "cancer", "hiv"}
+
+// People generates n microdata records.
+func People(seed int64, n int) []Person {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Person, n)
+	for i := range out {
+		d := rng.Float64()
+		out[i] = Person{
+			ID:      i + 1,
+			Name:    fmt.Sprintf("person-%04d", i+1),
+			Age:     18 + rng.Intn(70),
+			Zip:     fmt.Sprintf("%05d", 10000+rng.Intn(90)*100+rng.Intn(10)),
+			Disease: Diseases[int(d*d*float64(len(Diseases)))],
+			Income:  20000 + rng.Intn(180000),
+		}
+	}
+	return out
+}
+
+// Hospital generates a hospital-records document with the given number of
+// patients; each patient contributes ~8 nodes, giving controllable
+// document sizes for the view-computation experiments.
+func Hospital(seed int64, patients int) *xmldoc.Document {
+	rng := rand.New(rand.NewSource(seed))
+	b := xmldoc.NewBuilder(fmt.Sprintf("hospital-%d.xml", patients), "hospital")
+	b.Attrib("name", "Synthetic General")
+	for i := 0; i < patients; i++ {
+		b.Begin("patient").
+			Attrib("id", fmt.Sprintf("p%d", i)).
+			Attrib("ward", fmt.Sprintf("%d", rng.Intn(8)))
+		b.Element("name", fmt.Sprintf("person-%04d", i))
+		b.Element("ssn", fmt.Sprintf("%03d-%02d-%04d", rng.Intn(1000), rng.Intn(100), rng.Intn(10000)))
+		b.Begin("diagnosis").
+			Attrib("severity", []string{"low", "mid", "high"}[rng.Intn(3)]).
+			Text(Diseases[rng.Intn(len(Diseases))]).
+			End()
+		b.End()
+	}
+	return b.Freeze()
+}
+
+// Registry populates a UDDI registry with n business entities, each with
+// a couple of services and bindings. Returns the entity keys.
+func Registry(seed int64, r *uddi.Registry, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]string, 0, n)
+	sectors := []string{"logistics", "finance", "retail", "media", "health"}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("be-%05d", i)
+		e := Entity(key, sectors[rng.Intn(len(sectors))], 2)
+		if err := r.SaveBusiness(fmt.Sprintf("pub-%d", i%17), e); err != nil {
+			panic(err) // generator bug, not runtime input
+		}
+		keys = append(keys, key)
+	}
+	return keys
+}
+
+// Entity builds one business entity with the given number of services.
+func Entity(key, sector string, services int) *uddi.BusinessEntity {
+	e := &uddi.BusinessEntity{
+		BusinessKey: key,
+		Name:        fmt.Sprintf("%s %s Corp", sector, key),
+		Description: "synthetic registry entry",
+		Contacts:    []uddi.Contact{{Name: "ops", Email: "ops@" + key + ".example"}},
+		CategoryBag: []uddi.KeyedReference{{TModelKey: "tm-sector", KeyName: "sector", KeyValue: sector}},
+	}
+	for s := 0; s < services; s++ {
+		e.Services = append(e.Services, uddi.BusinessService{
+			ServiceKey: fmt.Sprintf("%s-svc%d", key, s),
+			Name:       fmt.Sprintf("%s-service-%d", sector, s),
+			Bindings: []uddi.BindingTemplate{{
+				BindingKey:  fmt.Sprintf("%s-bind%d", key, s),
+				AccessPoint: fmt.Sprintf("https://%s.example/s%d", key, s),
+				TModelKeys:  []string{"tm-soap"},
+			}},
+		})
+	}
+	return e
+}

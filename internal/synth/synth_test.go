@@ -1,0 +1,111 @@
+package synth
+
+import (
+	"testing"
+
+	"webdbsec/internal/uddi"
+	"webdbsec/internal/xmldoc"
+)
+
+func TestBasketsDeterministic(t *testing.T) {
+	a := NewBaskets(42, 100, 50, 5)
+	b := NewBaskets(42, 100, 50, 5)
+	if len(a.Data) != 100 || len(b.Data) != 100 {
+		t.Fatalf("sizes: %d, %d", len(a.Data), len(b.Data))
+	}
+	for i := range a.Data {
+		if len(a.Data[i]) != len(b.Data[i]) {
+			t.Fatal("same seed, different data")
+		}
+	}
+	c := NewBaskets(43, 100, 50, 5)
+	same := true
+	for i := range a.Data {
+		if len(a.Data[i]) != len(c.Data[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Log("different seeds produced same shape (possible but unlikely)")
+	}
+}
+
+func TestBasketsItemsInRange(t *testing.T) {
+	b := NewBaskets(7, 200, 30, 6)
+	for _, row := range b.Data {
+		if len(row) == 0 {
+			t.Fatal("empty basket")
+		}
+		for _, it := range row {
+			if it < 0 || it >= 30 {
+				t.Fatalf("item %d out of range", it)
+			}
+		}
+	}
+	if len(b.Planted) == 0 {
+		t.Error("no planted itemsets")
+	}
+}
+
+func TestPeople(t *testing.T) {
+	ps := People(1, 500)
+	if len(ps) != 500 {
+		t.Fatalf("people = %d", len(ps))
+	}
+	diseases := map[string]bool{}
+	for _, p := range ps {
+		if p.Age < 18 || p.Age >= 88 {
+			t.Fatalf("age out of range: %d", p.Age)
+		}
+		if len(p.Zip) != 5 {
+			t.Fatalf("zip = %q", p.Zip)
+		}
+		diseases[p.Disease] = true
+	}
+	if len(diseases) < 3 {
+		t.Errorf("disease variety too low: %v", diseases)
+	}
+}
+
+func TestHospitalSizes(t *testing.T) {
+	small := Hospital(1, 10)
+	big := Hospital(1, 100)
+	if small.NumNodes() >= big.NumNodes() {
+		t.Error("document size not controlled by patient count")
+	}
+	if got := len(xmldoc.MustCompilePath("//patient").Select(big)); got != 100 {
+		t.Errorf("patients = %d", got)
+	}
+	if got := len(xmldoc.MustCompilePath("//ssn").Select(big)); got != 100 {
+		t.Errorf("ssns = %d", got)
+	}
+}
+
+func TestRegistryPopulation(t *testing.T) {
+	r := uddi.NewRegistry(nil)
+	keys := Registry(3, r, 50)
+	if len(keys) != 50 || r.Len() != 50 {
+		t.Fatalf("keys=%d len=%d", len(keys), r.Len())
+	}
+	got, err := r.GetBusinessDetail(nil, keys[0])
+	if err != nil || len(got) != 1 {
+		t.Fatalf("detail: %v %v", got, err)
+	}
+	if len(got[0].Services) != 2 {
+		t.Errorf("services = %d", len(got[0].Services))
+	}
+	if infos := r.FindBusiness(nil, "", nil); len(infos) != 50 {
+		t.Errorf("browse = %d", len(infos))
+	}
+}
+
+func TestEntityValid(t *testing.T) {
+	e := Entity("be-x", "retail", 3)
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Services) != 3 {
+		t.Errorf("services = %d", len(e.Services))
+	}
+}

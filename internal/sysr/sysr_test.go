@@ -1,0 +1,163 @@
+package sysr
+
+import "testing"
+
+func newCat(t *testing.T) *Catalog {
+	t.Helper()
+	c := NewCatalog()
+	if err := c.CreateObject("emp", "owner"); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestOwnerImplicitPrivileges(t *testing.T) {
+	c := newCat(t)
+	if !c.HasPrivilege("owner", Select, "emp") {
+		t.Error("owner lacks SELECT")
+	}
+	if !c.HasPrivilege("owner", Delete, "emp") {
+		t.Error("owner lacks DELETE")
+	}
+	if c.HasPrivilege("alice", Select, "emp") {
+		t.Error("stranger holds SELECT")
+	}
+}
+
+func TestGrantChain(t *testing.T) {
+	c := newCat(t)
+	must(t, c.Grant("owner", "alice", Select, "emp", true))
+	must(t, c.Grant("alice", "bob", Select, "emp", false))
+	if !c.HasPrivilege("bob", Select, "emp") {
+		t.Error("bob lacks SELECT after chain grant")
+	}
+	// bob has no grant option.
+	if err := c.Grant("bob", "carol", Select, "emp", false); err == nil {
+		t.Error("grant without grant option accepted")
+	}
+}
+
+func TestGrantRequiresPrivilege(t *testing.T) {
+	c := newCat(t)
+	if err := c.Grant("mallory", "bob", Select, "emp", false); err == nil {
+		t.Error("grant from non-holder accepted")
+	}
+	if err := c.Grant("owner", "bob", Select, "ghost", false); err == nil {
+		t.Error("grant on unknown object accepted")
+	}
+	if err := c.Grant("owner", "owner", Select, "emp", false); err == nil {
+		t.Error("self-grant accepted")
+	}
+}
+
+func TestSimpleRevoke(t *testing.T) {
+	c := newCat(t)
+	must(t, c.Grant("owner", "alice", Select, "emp", false))
+	must(t, c.Revoke("owner", "alice", Select, "emp"))
+	if c.HasPrivilege("alice", Select, "emp") {
+		t.Error("privilege survives revoke")
+	}
+	if err := c.Revoke("owner", "alice", Select, "emp"); err == nil {
+		t.Error("revoking nonexistent grant accepted")
+	}
+}
+
+func TestRecursiveRevoke(t *testing.T) {
+	c := newCat(t)
+	// owner -> alice(go) -> bob(go) -> carol
+	must(t, c.Grant("owner", "alice", Select, "emp", true))
+	must(t, c.Grant("alice", "bob", Select, "emp", true))
+	must(t, c.Grant("bob", "carol", Select, "emp", false))
+	must(t, c.Revoke("owner", "alice", Select, "emp"))
+	for _, u := range []string{"alice", "bob", "carol"} {
+		if c.HasPrivilege(u, Select, "emp") {
+			t.Errorf("%s retains SELECT after recursive revoke", u)
+		}
+	}
+}
+
+func TestRevokeKeepsIndependentlySupportedGrants(t *testing.T) {
+	c := newCat(t)
+	// Two independent grant-option paths to bob; revoke one, bob's regrant
+	// to carol survives because the other path is older or equal support.
+	must(t, c.Grant("owner", "alice", Select, "emp", true)) // ts1
+	must(t, c.Grant("owner", "bob", Select, "emp", true))   // ts2
+	must(t, c.Grant("alice", "bob", Select, "emp", true))   // ts3
+	must(t, c.Grant("bob", "carol", Select, "emp", false))  // ts4
+	must(t, c.Revoke("alice", "bob", Select, "emp"))
+	if !c.HasPrivilege("bob", Select, "emp") {
+		t.Error("bob lost privilege despite direct owner grant")
+	}
+	if !c.HasPrivilege("carol", Select, "emp") {
+		t.Error("carol lost privilege though bob still has older grant option")
+	}
+}
+
+func TestGriffithsWadeTimestampSemantics(t *testing.T) {
+	c := newCat(t)
+	// bob is granted WITH GRANT OPTION at ts3, *after* he granted nothing.
+	// Sequence: owner->alice(go) ts1; alice->bob(go) ts2; bob->carol ts3;
+	// owner->bob(go) ts4. Revoking alice->bob must revoke carol because
+	// bob's surviving grant (ts4) is NOT older than his grant to carol (ts3).
+	must(t, c.Grant("owner", "alice", Select, "emp", true)) // ts1
+	must(t, c.Grant("alice", "bob", Select, "emp", true))   // ts2
+	must(t, c.Grant("bob", "carol", Select, "emp", false))  // ts3
+	must(t, c.Grant("owner", "bob", Select, "emp", true))   // ts4
+	must(t, c.Revoke("alice", "bob", Select, "emp"))
+	if !c.HasPrivilege("bob", Select, "emp") {
+		t.Error("bob should retain privilege from ts4 grant")
+	}
+	if c.HasPrivilege("carol", Select, "emp") {
+		t.Error("carol's grant should cascade: bob's remaining support is newer")
+	}
+}
+
+func TestRevokeScopedToPrivilege(t *testing.T) {
+	c := newCat(t)
+	must(t, c.Grant("owner", "alice", Select, "emp", false))
+	must(t, c.Grant("owner", "alice", Insert, "emp", false))
+	must(t, c.Revoke("owner", "alice", Select, "emp"))
+	if c.HasPrivilege("alice", Select, "emp") {
+		t.Error("SELECT survives")
+	}
+	if !c.HasPrivilege("alice", Insert, "emp") {
+		t.Error("INSERT wrongly revoked")
+	}
+}
+
+func TestSubjectsAndGrantsOn(t *testing.T) {
+	c := newCat(t)
+	must(t, c.Grant("owner", "bob", Select, "emp", false))
+	must(t, c.Grant("owner", "alice", Select, "emp", false))
+	got := c.Subjects(Select, "emp")
+	want := []string{"alice", "bob", "owner"}
+	if len(got) != len(want) {
+		t.Fatalf("Subjects = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Subjects = %v, want %v", got, want)
+		}
+	}
+	gs := c.GrantsOn("emp")
+	if len(gs) != 2 || gs[0].TS >= gs[1].TS {
+		t.Errorf("GrantsOn not ordered by TS: %v", gs)
+	}
+}
+
+func TestDuplicateObject(t *testing.T) {
+	c := newCat(t)
+	if err := c.CreateObject("emp", "other"); err == nil {
+		t.Error("duplicate object accepted")
+	}
+	if o, ok := c.Owner("emp"); !ok || o != "owner" {
+		t.Errorf("Owner = %q, %v", o, ok)
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

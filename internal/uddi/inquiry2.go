@@ -1,0 +1,120 @@
+package uddi
+
+import (
+	"fmt"
+	"sort"
+
+	"webdbsec/internal/policy"
+)
+
+// Additional publish/inquiry operations from the UDDI v3 API surface:
+// find_business by tModel reference, get_registeredInfo, delete_service,
+// and delete_tModel with the spec's "hidden, not destroyed" semantics
+// (a deleted tModel disappears from find_tModel but stays resolvable by
+// key, because published bindings may still reference it).
+
+// FindBusinessByTModel returns overview info for the visible entities with
+// at least one binding template referencing the tModel.
+func (r *Registry) FindBusinessByTModel(req *policy.Subject, tModelKey string) []BusinessInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []BusinessInfo
+	for key, e := range r.entities {
+		if !r.visibleLocked(key, req) {
+			continue
+		}
+		if !entityReferencesTModel(e, tModelKey) {
+			continue
+		}
+		out = append(out, BusinessInfo{BusinessKey: e.BusinessKey, Name: e.Name, Description: e.Description})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func entityReferencesTModel(e *BusinessEntity, tModelKey string) bool {
+	for _, s := range e.Services {
+		for _, b := range s.Bindings {
+			for _, tk := range b.TModelKeys {
+				if tk == tModelKey {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// RegisteredInfo summarizes what one publisher has registered.
+type RegisteredInfo struct {
+	BusinessKeys []string
+	TModelKeys   []string
+}
+
+// GetRegisteredInfo returns the keys a publisher owns — the publish-side
+// inventory call.
+func (r *Registry) GetRegisteredInfo(publisher string) RegisteredInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var info RegisteredInfo
+	for key, owner := range r.owners {
+		if owner == publisher {
+			info.BusinessKeys = append(info.BusinessKeys, key)
+		}
+	}
+	for key, owner := range r.towners {
+		if owner == publisher {
+			info.TModelKeys = append(info.TModelKeys, key)
+		}
+	}
+	sort.Strings(info.BusinessKeys)
+	sort.Strings(info.TModelKeys)
+	return info
+}
+
+// DeleteService removes one service (and its bindings) from its entity.
+// Only the entity owner may do it.
+func (r *Registry) DeleteService(publisher, serviceKey string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bk, ok := r.svcIndex[serviceKey]
+	if !ok {
+		return fmt.Errorf("uddi: unknown serviceKey %s", serviceKey)
+	}
+	if r.owners[bk] != publisher {
+		return fmt.Errorf("uddi: businessEntity %s is owned by %s", bk, r.owners[bk])
+	}
+	e := r.entities[bk]
+	for i := range e.Services {
+		if e.Services[i].ServiceKey != serviceKey {
+			continue
+		}
+		for _, b := range e.Services[i].Bindings {
+			delete(r.bindIndex, b.BindingKey)
+		}
+		e.Services = append(e.Services[:i], e.Services[i+1:]...)
+		delete(r.svcIndex, serviceKey)
+		return nil
+	}
+	return fmt.Errorf("uddi: serviceKey %s not found in entity %s", serviceKey, bk)
+}
+
+// DeleteTModel hides a tModel: it no longer appears in find_tModel but
+// remains resolvable through get_tModelDetail, per the UDDI specification
+// (published bindings may still reference it).
+func (r *Registry) DeleteTModel(publisher, tModelKey string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	owner, ok := r.towners[tModelKey]
+	if !ok {
+		return fmt.Errorf("uddi: unknown tModelKey %s", tModelKey)
+	}
+	if owner != publisher {
+		return fmt.Errorf("uddi: tModel %s is owned by %s", tModelKey, owner)
+	}
+	if r.hiddenTModels == nil {
+		r.hiddenTModels = make(map[string]bool)
+	}
+	r.hiddenTModels[tModelKey] = true
+	return nil
+}

@@ -1,0 +1,84 @@
+package uddi
+
+import "testing"
+
+func TestFindBusinessByTModel(t *testing.T) {
+	r := regWithAcme(t)
+	got := r.FindBusinessByTModel(nil, "tm-soap")
+	if len(got) != 1 || got[0].BusinessKey != "be-acme" {
+		t.Fatalf("by tModel = %+v", got)
+	}
+	if got := r.FindBusinessByTModel(nil, "tm-ghost"); len(got) != 0 {
+		t.Errorf("unknown tModel matched: %+v", got)
+	}
+}
+
+func TestGetRegisteredInfo(t *testing.T) {
+	r := regWithAcme(t)
+	if err := r.SaveTModel("acme-pub", &TModel{TModelKey: "tm-acme", Name: "acme iface"}); err != nil {
+		t.Fatal(err)
+	}
+	info := r.GetRegisteredInfo("acme-pub")
+	if len(info.BusinessKeys) != 1 || info.BusinessKeys[0] != "be-acme" {
+		t.Errorf("business keys = %v", info.BusinessKeys)
+	}
+	if len(info.TModelKeys) != 1 || info.TModelKeys[0] != "tm-acme" {
+		t.Errorf("tModel keys = %v", info.TModelKeys)
+	}
+	empty := r.GetRegisteredInfo("stranger")
+	if len(empty.BusinessKeys) != 0 || len(empty.TModelKeys) != 0 {
+		t.Errorf("stranger info = %+v", empty)
+	}
+}
+
+func TestDeleteService(t *testing.T) {
+	r := regWithAcme(t)
+	if err := r.DeleteService("other", "svc-ship"); err == nil {
+		t.Error("non-owner service delete accepted")
+	}
+	if err := r.DeleteService("acme-pub", "svc-ghost"); err == nil {
+		t.Error("unknown service delete accepted")
+	}
+	if err := r.DeleteService("acme-pub", "svc-ship"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.GetServiceDetail(nil, "svc-ship"); err == nil {
+		t.Error("deleted service still resolvable")
+	}
+	if _, err := r.GetBindingDetail(nil, "bind-ship-1"); err == nil {
+		t.Error("deleted service's binding still resolvable")
+	}
+	// The other service survives.
+	if _, err := r.GetServiceDetail(nil, "svc-bill"); err != nil {
+		t.Errorf("sibling service lost: %v", err)
+	}
+	ents, err := r.GetBusinessDetail(nil, "be-acme")
+	if err != nil || len(ents[0].Services) != 1 {
+		t.Errorf("entity services = %+v, %v", ents, err)
+	}
+}
+
+func TestDeleteTModelHidesButResolves(t *testing.T) {
+	r := NewRegistry(nil)
+	if err := r.SaveTModel("pub", &TModel{TModelKey: "tm-x", Name: "x-spec"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DeleteTModel("other", "tm-x"); err == nil {
+		t.Error("non-owner tModel delete accepted")
+	}
+	if err := r.DeleteTModel("pub", "tm-ghost"); err == nil {
+		t.Error("unknown tModel delete accepted")
+	}
+	if err := r.DeleteTModel("pub", "tm-x"); err != nil {
+		t.Fatal(err)
+	}
+	// Hidden from browse...
+	if got := r.FindTModel(nil, "x-spec"); len(got) != 0 {
+		t.Errorf("hidden tModel browsable: %+v", got)
+	}
+	// ...but still resolvable by key (bindings may reference it).
+	got, err := r.GetTModelDetail(nil, "tm-x")
+	if err != nil || len(got) != 1 {
+		t.Errorf("hidden tModel not resolvable: %v, %v", got, err)
+	}
+}

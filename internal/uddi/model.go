@@ -1,0 +1,298 @@
+// Package uddi implements the UDDI registry the paper's Web Service
+// Architecture rests on (§2.2): "an UDDI registry is a collection of
+// entries, each of one providing information on a specific web service.
+// Each entry is in turn composed by five main data structures —
+// businessEntity, businessService, bindingTemplate, publisherAssertion,
+// and tModel", with the two inquiry styles the paper names: "drill-down
+// pattern inquiries (i.e., get_xxx API functions), which return a whole
+// core data structure ... and browse pattern inquiries (i.e., find_xxx API
+// functions), which return overview information about the registered
+// data."
+//
+// Registries can be deployed two-party (the provider manages its own
+// registry) or third-party (a separate discovery agency), and in the
+// third-party case either trusted — enforcing the provider's access
+// control policies itself — or untrusted, serving Merkle-authenticated
+// views the requestor verifies against provider-signed summary signatures
+// (see thirdparty.go and §4.1 of the paper).
+package uddi
+
+import (
+	"fmt"
+	"strings"
+
+	"webdbsec/internal/xmldoc"
+)
+
+// KeyedReference categorizes an entity against a taxonomy tModel.
+type KeyedReference struct {
+	TModelKey string
+	KeyName   string
+	KeyValue  string
+}
+
+// Contact is a point of contact of a business entity.
+type Contact struct {
+	Name  string
+	Email string
+	Phone string
+}
+
+// BindingTemplate carries the technical access information of a service.
+type BindingTemplate struct {
+	BindingKey  string
+	ServiceKey  string
+	AccessPoint string
+	// TModelKeys reference the interface specifications (tModels) the
+	// binding implements.
+	TModelKeys []string
+}
+
+// BusinessService describes one service offered by a business entity.
+type BusinessService struct {
+	ServiceKey  string
+	BusinessKey string
+	Name        string
+	Description string
+	Bindings    []BindingTemplate
+	CategoryBag []KeyedReference
+}
+
+// BusinessEntity provides "overall information about the organization
+// providing the web service" (§2.2). It is the root of a registry entry.
+type BusinessEntity struct {
+	BusinessKey string
+	Name        string
+	Description string
+	Contacts    []Contact
+	Services    []BusinessService
+	CategoryBag []KeyedReference
+}
+
+// TModel is a reusable technical specification ("technical model").
+type TModel struct {
+	TModelKey   string
+	Name        string
+	Description string
+	OverviewURL string
+}
+
+// PublisherAssertion records a relationship asserted between two business
+// entities (e.g. parent/subsidiary). UDDI only exposes an assertion once
+// both sides have asserted it; the registry enforces that.
+type PublisherAssertion struct {
+	FromKey      string
+	ToKey        string
+	Relationship string
+}
+
+// Validate checks that an entity is well-formed for publication.
+func (e *BusinessEntity) Validate() error {
+	if e.BusinessKey == "" {
+		return fmt.Errorf("uddi: businessEntity missing businessKey")
+	}
+	if e.Name == "" {
+		return fmt.Errorf("uddi: businessEntity %s missing name", e.BusinessKey)
+	}
+	seen := map[string]bool{}
+	for i := range e.Services {
+		s := &e.Services[i]
+		if s.ServiceKey == "" {
+			return fmt.Errorf("uddi: businessEntity %s: service %d missing serviceKey", e.BusinessKey, i)
+		}
+		if seen[s.ServiceKey] {
+			return fmt.Errorf("uddi: businessEntity %s: duplicate serviceKey %s", e.BusinessKey, s.ServiceKey)
+		}
+		seen[s.ServiceKey] = true
+		if s.BusinessKey == "" {
+			s.BusinessKey = e.BusinessKey
+		} else if s.BusinessKey != e.BusinessKey {
+			return fmt.Errorf("uddi: service %s claims businessKey %s inside entity %s",
+				s.ServiceKey, s.BusinessKey, e.BusinessKey)
+		}
+		bseen := map[string]bool{}
+		for j := range s.Bindings {
+			b := &s.Bindings[j]
+			if b.BindingKey == "" {
+				return fmt.Errorf("uddi: service %s: binding %d missing bindingKey", s.ServiceKey, j)
+			}
+			if bseen[b.BindingKey] {
+				return fmt.Errorf("uddi: service %s: duplicate bindingKey %s", s.ServiceKey, b.BindingKey)
+			}
+			bseen[b.BindingKey] = true
+			if b.ServiceKey == "" {
+				b.ServiceKey = s.ServiceKey
+			} else if b.ServiceKey != s.ServiceKey {
+				return fmt.Errorf("uddi: binding %s claims serviceKey %s inside service %s",
+					b.BindingKey, b.ServiceKey, s.ServiceKey)
+			}
+		}
+	}
+	return nil
+}
+
+// Validate checks a tModel for publication.
+func (t *TModel) Validate() error {
+	if t.TModelKey == "" {
+		return fmt.Errorf("uddi: tModel missing tModelKey")
+	}
+	if t.Name == "" {
+		return fmt.Errorf("uddi: tModel %s missing name", t.TModelKey)
+	}
+	return nil
+}
+
+// ToXML converts a business entity into the graph-structured document form
+// the signing and Merkle machinery operate on. The conversion is
+// deterministic: equal entities produce equal canonical documents.
+func (e *BusinessEntity) ToXML() *xmldoc.Document {
+	b := xmldoc.NewBuilder("uddi:"+e.BusinessKey, "businessEntity")
+	b.Attrib("businessKey", e.BusinessKey)
+	b.Element("name", e.Name)
+	if e.Description != "" {
+		b.Element("description", e.Description)
+	}
+	for _, c := range e.Contacts {
+		b.Begin("contact")
+		b.Element("personName", c.Name)
+		if c.Email != "" {
+			b.Element("email", c.Email)
+		}
+		if c.Phone != "" {
+			b.Element("phone", c.Phone)
+		}
+		b.End()
+	}
+	writeCategoryBag(b, e.CategoryBag)
+	for _, s := range e.Services {
+		b.Begin("businessService")
+		b.Attrib("serviceKey", s.ServiceKey)
+		b.Attrib("businessKey", s.BusinessKey)
+		b.Element("name", s.Name)
+		if s.Description != "" {
+			b.Element("description", s.Description)
+		}
+		writeCategoryBag(b, s.CategoryBag)
+		for _, bt := range s.Bindings {
+			b.Begin("bindingTemplate")
+			b.Attrib("bindingKey", bt.BindingKey)
+			b.Attrib("serviceKey", bt.ServiceKey)
+			b.Element("accessPoint", bt.AccessPoint)
+			for _, tk := range bt.TModelKeys {
+				b.Begin("tModelInstanceInfo").Attrib("tModelKey", tk).End()
+			}
+			b.End()
+		}
+		b.End()
+	}
+	return b.Freeze()
+}
+
+func writeCategoryBag(b *xmldoc.Builder, bag []KeyedReference) {
+	if len(bag) == 0 {
+		return
+	}
+	b.Begin("categoryBag")
+	for _, kr := range bag {
+		b.Begin("keyedReference").
+			Attrib("tModelKey", kr.TModelKey).
+			Attrib("keyName", kr.KeyName).
+			Attrib("keyValue", kr.KeyValue).
+			End()
+	}
+	b.End()
+}
+
+// EntityFromXML parses a businessEntity document back into its struct
+// form; inverse of ToXML.
+func EntityFromXML(d *xmldoc.Document) (*BusinessEntity, error) {
+	if d == nil || d.Root == nil || d.Root.Name != "businessEntity" {
+		return nil, fmt.Errorf("uddi: document is not a businessEntity")
+	}
+	e := &BusinessEntity{}
+	e.BusinessKey, _ = d.Root.Attr("businessKey")
+	for _, c := range d.Root.ElementChildren() {
+		switch c.Name {
+		case "name":
+			e.Name = c.Text()
+		case "description":
+			e.Description = c.Text()
+		case "contact":
+			ct := Contact{}
+			if n := c.Child("personName"); n != nil {
+				ct.Name = n.Text()
+			}
+			if n := c.Child("email"); n != nil {
+				ct.Email = n.Text()
+			}
+			if n := c.Child("phone"); n != nil {
+				ct.Phone = n.Text()
+			}
+			e.Contacts = append(e.Contacts, ct)
+		case "categoryBag":
+			e.CategoryBag = readCategoryBag(c)
+		case "businessService":
+			s := BusinessService{}
+			s.ServiceKey, _ = c.Attr("serviceKey")
+			s.BusinessKey, _ = c.Attr("businessKey")
+			for _, sc := range c.ElementChildren() {
+				switch sc.Name {
+				case "name":
+					s.Name = sc.Text()
+				case "description":
+					s.Description = sc.Text()
+				case "categoryBag":
+					s.CategoryBag = readCategoryBag(sc)
+				case "bindingTemplate":
+					bt := BindingTemplate{}
+					bt.BindingKey, _ = sc.Attr("bindingKey")
+					bt.ServiceKey, _ = sc.Attr("serviceKey")
+					if ap := sc.Child("accessPoint"); ap != nil {
+						bt.AccessPoint = ap.Text()
+					}
+					for _, ti := range sc.ElementChildren() {
+						if ti.Name == "tModelInstanceInfo" {
+							if k, ok := ti.Attr("tModelKey"); ok {
+								bt.TModelKeys = append(bt.TModelKeys, k)
+							}
+						}
+					}
+					s.Bindings = append(s.Bindings, bt)
+				}
+			}
+			e.Services = append(e.Services, s)
+		}
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func readCategoryBag(n *xmldoc.Node) []KeyedReference {
+	var out []KeyedReference
+	for _, kr := range n.ElementChildren() {
+		if kr.Name != "keyedReference" {
+			continue
+		}
+		var k KeyedReference
+		k.TModelKey, _ = kr.Attr("tModelKey")
+		k.KeyName, _ = kr.Attr("keyName")
+		k.KeyValue, _ = kr.Attr("keyValue")
+		out = append(out, k)
+	}
+	return out
+}
+
+// nameMatches implements UDDI-style browse matching: case-insensitive
+// prefix by default, with "%" as a trailing wildcard already implied; an
+// exact match is requested by surrounding the pattern with quotes.
+func nameMatches(name, pattern string) bool {
+	if pattern == "" {
+		return true
+	}
+	if len(pattern) >= 2 && strings.HasPrefix(pattern, `"`) && strings.HasSuffix(pattern, `"`) {
+		return strings.EqualFold(name, pattern[1:len(pattern)-1])
+	}
+	return strings.HasPrefix(strings.ToLower(name), strings.ToLower(pattern))
+}

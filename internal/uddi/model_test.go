@@ -1,0 +1,156 @@
+package uddi
+
+import (
+	"testing"
+)
+
+func sampleEntity() *BusinessEntity {
+	return &BusinessEntity{
+		BusinessKey: "be-acme",
+		Name:        "Acme Logistics",
+		Description: "Shipping and billing services",
+		Contacts:    []Contact{{Name: "Ada", Email: "ada@acme.example", Phone: "555-0100"}},
+		CategoryBag: []KeyedReference{{TModelKey: "tm-naics", KeyName: "naics", KeyValue: "4885"}},
+		Services: []BusinessService{
+			{
+				ServiceKey: "svc-ship",
+				Name:       "shipping",
+				Bindings: []BindingTemplate{
+					{BindingKey: "bind-ship-1", AccessPoint: "https://acme.example/ship", TModelKeys: []string{"tm-soap"}},
+				},
+				CategoryBag: []KeyedReference{{TModelKey: "tm-cat", KeyName: "kind", KeyValue: "transport"}},
+			},
+			{
+				ServiceKey: "svc-bill",
+				Name:       "billing",
+				Bindings: []BindingTemplate{
+					{BindingKey: "bind-bill-1", AccessPoint: "https://acme.example/bill"},
+				},
+			},
+		},
+	}
+}
+
+func TestValidateFillsKeys(t *testing.T) {
+	e := sampleEntity()
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Services[0].BusinessKey != "be-acme" {
+		t.Error("service businessKey not filled")
+	}
+	if e.Services[0].Bindings[0].ServiceKey != "svc-ship" {
+		t.Error("binding serviceKey not filled")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*BusinessEntity)
+	}{
+		{"missing businessKey", func(e *BusinessEntity) { e.BusinessKey = "" }},
+		{"missing name", func(e *BusinessEntity) { e.Name = "" }},
+		{"missing serviceKey", func(e *BusinessEntity) { e.Services[0].ServiceKey = "" }},
+		{"duplicate serviceKey", func(e *BusinessEntity) { e.Services[1].ServiceKey = "svc-ship" }},
+		{"foreign businessKey on service", func(e *BusinessEntity) { e.Services[0].BusinessKey = "be-other" }},
+		{"missing bindingKey", func(e *BusinessEntity) { e.Services[0].Bindings[0].BindingKey = "" }},
+		{"foreign serviceKey on binding", func(e *BusinessEntity) { e.Services[0].Bindings[0].ServiceKey = "svc-bill" }},
+		{"duplicate bindingKey", func(e *BusinessEntity) {
+			e.Services[0].Bindings = append(e.Services[0].Bindings, BindingTemplate{BindingKey: "bind-ship-1"})
+		}},
+	}
+	for _, c := range cases {
+		e := sampleEntity()
+		c.mut(e)
+		if err := e.Validate(); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestTModelValidate(t *testing.T) {
+	if err := (&TModel{TModelKey: "tm", Name: "soap"}).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (&TModel{Name: "soap"}).Validate(); err == nil {
+		t.Error("missing key accepted")
+	}
+	if err := (&TModel{TModelKey: "tm"}).Validate(); err == nil {
+		t.Error("missing name accepted")
+	}
+}
+
+func TestToXMLRoundTrip(t *testing.T) {
+	e := sampleEntity()
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	doc := e.ToXML()
+	got, err := EntityFromXML(doc)
+	if err != nil {
+		t.Fatalf("EntityFromXML: %v", err)
+	}
+	if got.BusinessKey != e.BusinessKey || got.Name != e.Name || got.Description != e.Description {
+		t.Error("entity header fields lost")
+	}
+	if len(got.Contacts) != 1 || got.Contacts[0].Email != "ada@acme.example" {
+		t.Errorf("contacts lost: %+v", got.Contacts)
+	}
+	if len(got.CategoryBag) != 1 || got.CategoryBag[0].KeyValue != "4885" {
+		t.Errorf("categoryBag lost: %+v", got.CategoryBag)
+	}
+	if len(got.Services) != 2 {
+		t.Fatalf("services = %d", len(got.Services))
+	}
+	s := got.Services[0]
+	if s.ServiceKey != "svc-ship" || s.Name != "shipping" {
+		t.Errorf("service lost: %+v", s)
+	}
+	if len(s.Bindings) != 1 || s.Bindings[0].AccessPoint != "https://acme.example/ship" {
+		t.Errorf("binding lost: %+v", s.Bindings)
+	}
+	if len(s.Bindings[0].TModelKeys) != 1 || s.Bindings[0].TModelKeys[0] != "tm-soap" {
+		t.Errorf("tModel refs lost: %+v", s.Bindings[0].TModelKeys)
+	}
+}
+
+func TestToXMLDeterministic(t *testing.T) {
+	a := sampleEntity().ToXML().Canonical()
+	b := sampleEntity().ToXML().Canonical()
+	if a != b {
+		t.Error("ToXML not deterministic")
+	}
+}
+
+func TestEntityFromXMLRejectsWrongRoot(t *testing.T) {
+	e := sampleEntity()
+	doc := e.ToXML()
+	doc.Root.Name = "notAnEntity"
+	if _, err := EntityFromXML(doc); err == nil {
+		t.Error("wrong root accepted")
+	}
+	if _, err := EntityFromXML(nil); err == nil {
+		t.Error("nil doc accepted")
+	}
+}
+
+func TestNameMatches(t *testing.T) {
+	cases := []struct {
+		name, pattern string
+		want          bool
+	}{
+		{"Acme Logistics", "", true},
+		{"Acme Logistics", "acme", true},
+		{"Acme Logistics", "ACME LOG", true},
+		{"Acme Logistics", "logistics", false},
+		{"Acme Logistics", `"Acme Logistics"`, true},
+		{"Acme Logistics", `"acme logistics"`, true},
+		{"Acme Logistics", `"Acme"`, false},
+	}
+	for _, c := range cases {
+		if got := nameMatches(c.name, c.pattern); got != c.want {
+			t.Errorf("nameMatches(%q,%q) = %v, want %v", c.name, c.pattern, got, c.want)
+		}
+	}
+}

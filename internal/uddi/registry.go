@@ -1,0 +1,479 @@
+package uddi
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"webdbsec/internal/credential"
+	"webdbsec/internal/policy"
+)
+
+// Registry is a UDDI registry: the store the paper describes as "a
+// repository of information ... which can be queried by service requestors
+// and populated by service providers" (§4). It enforces ownership on the
+// publish API and per-entry visibility policies on the inquiry API —
+// addressing the paper's observation that "a service provider may not want
+// that the information about its web services are accessible to everyone."
+//
+// A Registry used directly by its provider is the two-party deployment; a
+// trusted discovery agency wraps the same type. The untrusted third-party
+// deployment is in thirdparty.go. All methods are safe for concurrent use.
+type Registry struct {
+	mu sync.RWMutex
+
+	entities map[string]*BusinessEntity
+	owners   map[string]string // businessKey -> publisher
+	tmodels  map[string]*TModel
+	towners  map[string]string // tModelKey -> publisher
+
+	// svcIndex/bindIndex locate services and bindings inside entities.
+	svcIndex  map[string]string    // serviceKey -> businessKey
+	bindIndex map[string][2]string // bindingKey -> (businessKey, serviceKey)
+
+	// assertions: both sides must assert before the relationship is
+	// visible (standard UDDI publisherAssertion semantics).
+	assertions map[PublisherAssertion]map[string]bool // assertion -> asserting publishers
+
+	// acl maps a businessKey to its visibility spec; absent means public.
+	acl map[string]*policy.SubjectSpec
+
+	// hiddenTModels holds keys removed from find_tModel (delete_tModel
+	// hides rather than destroys, per the UDDI spec).
+	hiddenTModels map[string]bool
+
+	// Subscription state (subscription.go).
+	subs       map[string]*Subscription
+	journal    []ChangeRecord
+	journalSeq int64
+
+	verifier *credential.Verifier
+}
+
+// NewRegistry returns an empty registry. verifier may be nil (credential
+// signatures in visibility specs are then not checked).
+func NewRegistry(verifier *credential.Verifier) *Registry {
+	return &Registry{
+		entities:   make(map[string]*BusinessEntity),
+		owners:     make(map[string]string),
+		tmodels:    make(map[string]*TModel),
+		towners:    make(map[string]string),
+		svcIndex:   make(map[string]string),
+		bindIndex:  make(map[string][2]string),
+		assertions: make(map[PublisherAssertion]map[string]bool),
+		acl:        make(map[string]*policy.SubjectSpec),
+		verifier:   verifier,
+	}
+}
+
+// --- Publish API (the provider side) ---
+
+// SaveBusiness creates or replaces a business entity. Updates require the
+// publisher that created the entity ("data are modified according to the
+// specified access control policies", §4.1's integrity property).
+func (r *Registry) SaveBusiness(publisher string, e *BusinessEntity) error {
+	if publisher == "" {
+		return fmt.Errorf("uddi: anonymous publish rejected")
+	}
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if owner, ok := r.owners[e.BusinessKey]; ok && owner != publisher {
+		return fmt.Errorf("uddi: businessEntity %s is owned by %s", e.BusinessKey, owner)
+	}
+	// Reject key hijacking: a serviceKey or bindingKey may not move into a
+	// different business entity.
+	for _, s := range e.Services {
+		if bk, ok := r.svcIndex[s.ServiceKey]; ok && bk != e.BusinessKey {
+			return fmt.Errorf("uddi: serviceKey %s already registered under businessEntity %s", s.ServiceKey, bk)
+		}
+		for _, bt := range s.Bindings {
+			if loc, ok := r.bindIndex[bt.BindingKey]; ok && loc[0] != e.BusinessKey {
+				return fmt.Errorf("uddi: bindingKey %s already registered under businessEntity %s", bt.BindingKey, loc[0])
+			}
+		}
+	}
+	// Drop old index entries for this entity, then re-index.
+	if old, ok := r.entities[e.BusinessKey]; ok {
+		r.unindexLocked(old)
+	}
+	cp := copyEntity(e)
+	r.entities[e.BusinessKey] = cp
+	r.owners[e.BusinessKey] = publisher
+	for _, s := range cp.Services {
+		r.svcIndex[s.ServiceKey] = cp.BusinessKey
+		for _, bt := range s.Bindings {
+			r.bindIndex[bt.BindingKey] = [2]string{cp.BusinessKey, s.ServiceKey}
+		}
+	}
+	r.journalLocked(ChangeSaved, cp.BusinessKey, cp.Name)
+	return nil
+}
+
+// DeleteBusiness removes an entity and its index entries.
+func (r *Registry) DeleteBusiness(publisher, businessKey string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	owner, ok := r.owners[businessKey]
+	if !ok {
+		return fmt.Errorf("uddi: unknown businessEntity %s", businessKey)
+	}
+	if owner != publisher {
+		return fmt.Errorf("uddi: businessEntity %s is owned by %s", businessKey, owner)
+	}
+	name := r.entities[businessKey].Name
+	r.unindexLocked(r.entities[businessKey])
+	delete(r.entities, businessKey)
+	delete(r.owners, businessKey)
+	delete(r.acl, businessKey)
+	r.journalLocked(ChangeDeleted, businessKey, name)
+	return nil
+}
+
+func (r *Registry) unindexLocked(e *BusinessEntity) {
+	for _, s := range e.Services {
+		delete(r.svcIndex, s.ServiceKey)
+		for _, bt := range s.Bindings {
+			delete(r.bindIndex, bt.BindingKey)
+		}
+	}
+}
+
+// SaveTModel creates or replaces a tModel.
+func (r *Registry) SaveTModel(publisher string, t *TModel) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if owner, ok := r.towners[t.TModelKey]; ok && owner != publisher {
+		return fmt.Errorf("uddi: tModel %s is owned by %s", t.TModelKey, owner)
+	}
+	cp := *t
+	r.tmodels[t.TModelKey] = &cp
+	r.towners[t.TModelKey] = publisher
+	return nil
+}
+
+// SetVisibility installs a visibility spec for an entity; nil makes it
+// public again. Only the owner may change visibility.
+func (r *Registry) SetVisibility(publisher, businessKey string, spec *policy.SubjectSpec) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	owner, ok := r.owners[businessKey]
+	if !ok {
+		return fmt.Errorf("uddi: unknown businessEntity %s", businessKey)
+	}
+	if owner != publisher {
+		return fmt.Errorf("uddi: businessEntity %s is owned by %s", businessKey, owner)
+	}
+	if spec == nil {
+		delete(r.acl, businessKey)
+	} else {
+		r.acl[businessKey] = spec
+	}
+	return nil
+}
+
+// AddAssertion records one side of a publisher assertion. The publisher
+// must own one of the two entities; the relationship becomes visible once
+// the owners of BOTH entities have asserted it.
+func (r *Registry) AddAssertion(publisher string, a PublisherAssertion) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fromOwner, okF := r.owners[a.FromKey]
+	toOwner, okT := r.owners[a.ToKey]
+	if !okF || !okT {
+		return fmt.Errorf("uddi: assertion references unknown business entities")
+	}
+	if publisher != fromOwner && publisher != toOwner {
+		return fmt.Errorf("uddi: publisher %s owns neither side of the assertion", publisher)
+	}
+	set := r.assertions[a]
+	if set == nil {
+		set = make(map[string]bool)
+		r.assertions[a] = set
+	}
+	set[publisher] = true
+	return nil
+}
+
+// --- Inquiry API (the requestor side) ---
+
+// visibleLocked applies the entity's visibility spec to a requestor.
+func (r *Registry) visibleLocked(businessKey string, req *policy.Subject) bool {
+	spec, ok := r.acl[businessKey]
+	if !ok {
+		return true
+	}
+	if req == nil {
+		return false
+	}
+	return spec.Matches(req, r.verifier)
+}
+
+// GetBusinessDetail is the drill-down inquiry: it returns whole entities
+// for the given keys. Keys that do not exist or are not visible to the
+// requestor are reported in the error (UDDI's E_invalidKeyPassed).
+func (r *Registry) GetBusinessDetail(req *policy.Subject, keys ...string) ([]*BusinessEntity, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*BusinessEntity
+	var missing []string
+	for _, k := range keys {
+		e, ok := r.entities[k]
+		if !ok || !r.visibleLocked(k, req) {
+			missing = append(missing, k)
+			continue
+		}
+		out = append(out, copyEntity(e))
+	}
+	if len(missing) > 0 {
+		return out, fmt.Errorf("uddi: invalid key(s): %s", strings.Join(missing, ", "))
+	}
+	return out, nil
+}
+
+// GetServiceDetail drills down to whole services.
+func (r *Registry) GetServiceDetail(req *policy.Subject, serviceKeys ...string) ([]*BusinessService, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*BusinessService
+	var missing []string
+	for _, sk := range serviceKeys {
+		bk, ok := r.svcIndex[sk]
+		if !ok || !r.visibleLocked(bk, req) {
+			missing = append(missing, sk)
+			continue
+		}
+		for i := range r.entities[bk].Services {
+			if r.entities[bk].Services[i].ServiceKey == sk {
+				cp := copyService(&r.entities[bk].Services[i])
+				out = append(out, cp)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		return out, fmt.Errorf("uddi: invalid key(s): %s", strings.Join(missing, ", "))
+	}
+	return out, nil
+}
+
+// GetBindingDetail drills down to binding templates.
+func (r *Registry) GetBindingDetail(req *policy.Subject, bindingKeys ...string) ([]*BindingTemplate, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*BindingTemplate
+	var missing []string
+	for _, bk := range bindingKeys {
+		loc, ok := r.bindIndex[bk]
+		if !ok || !r.visibleLocked(loc[0], req) {
+			missing = append(missing, bk)
+			continue
+		}
+		for i := range r.entities[loc[0]].Services {
+			s := &r.entities[loc[0]].Services[i]
+			if s.ServiceKey != loc[1] {
+				continue
+			}
+			for j := range s.Bindings {
+				if s.Bindings[j].BindingKey == bk {
+					cp := s.Bindings[j]
+					cp.TModelKeys = append([]string(nil), cp.TModelKeys...)
+					out = append(out, &cp)
+				}
+			}
+		}
+	}
+	if len(missing) > 0 {
+		return out, fmt.Errorf("uddi: invalid key(s): %s", strings.Join(missing, ", "))
+	}
+	return out, nil
+}
+
+// GetTModelDetail drills down to tModels. TModels are always public in
+// this implementation (they carry interface specs, not business data).
+func (r *Registry) GetTModelDetail(req *policy.Subject, keys ...string) ([]*TModel, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*TModel
+	var missing []string
+	for _, k := range keys {
+		t, ok := r.tmodels[k]
+		if !ok {
+			missing = append(missing, k)
+			continue
+		}
+		cp := *t
+		out = append(out, &cp)
+	}
+	if len(missing) > 0 {
+		return out, fmt.Errorf("uddi: invalid key(s): %s", strings.Join(missing, ", "))
+	}
+	return out, nil
+}
+
+// BusinessInfo is the overview row a browse inquiry returns.
+type BusinessInfo struct {
+	BusinessKey string
+	Name        string
+	Description string
+	// ServiceNames are the names of the entity's services — overview data,
+	// not the full structures.
+	ServiceNames []string
+}
+
+// ServiceInfo is the overview row of find_service.
+type ServiceInfo struct {
+	ServiceKey  string
+	BusinessKey string
+	Name        string
+}
+
+// TModelInfo is the overview row of find_tModel.
+type TModelInfo struct {
+	TModelKey string
+	Name      string
+}
+
+// FindBusiness is the browse inquiry: overview information for entities
+// whose name matches the pattern (case-insensitive prefix; quote for exact
+// match) and, when category is non-nil, whose category bag contains it.
+// Results are filtered by visibility and sorted by name.
+func (r *Registry) FindBusiness(req *policy.Subject, namePattern string, category *KeyedReference) []BusinessInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []BusinessInfo
+	for k, e := range r.entities {
+		if !r.visibleLocked(k, req) {
+			continue
+		}
+		if !nameMatches(e.Name, namePattern) {
+			continue
+		}
+		if category != nil && !hasCategory(e.CategoryBag, category) {
+			continue
+		}
+		info := BusinessInfo{BusinessKey: e.BusinessKey, Name: e.Name, Description: e.Description}
+		for _, s := range e.Services {
+			info.ServiceNames = append(info.ServiceNames, s.Name)
+		}
+		sort.Strings(info.ServiceNames)
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FindService browses services across all visible entities.
+func (r *Registry) FindService(req *policy.Subject, namePattern string) []ServiceInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []ServiceInfo
+	for k, e := range r.entities {
+		if !r.visibleLocked(k, req) {
+			continue
+		}
+		for _, s := range e.Services {
+			if nameMatches(s.Name, namePattern) {
+				out = append(out, ServiceInfo{ServiceKey: s.ServiceKey, BusinessKey: e.BusinessKey, Name: s.Name})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FindTModel browses tModels by name.
+func (r *Registry) FindTModel(req *policy.Subject, namePattern string) []TModelInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []TModelInfo
+	for _, t := range r.tmodels {
+		if r.hiddenTModels[t.TModelKey] {
+			continue
+		}
+		if nameMatches(t.Name, namePattern) {
+			out = append(out, TModelInfo{TModelKey: t.TModelKey, Name: t.Name})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FindRelatedBusinesses returns the businesses related to the given key by
+// completed (two-sided) publisher assertions, visibility-filtered.
+func (r *Registry) FindRelatedBusinesses(req *policy.Subject, businessKey string) []BusinessInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []BusinessInfo
+	for a, asserters := range r.assertions {
+		if a.FromKey != businessKey && a.ToKey != businessKey {
+			continue
+		}
+		// Completed = both owners asserted.
+		if !asserters[r.owners[a.FromKey]] || !asserters[r.owners[a.ToKey]] {
+			continue
+		}
+		other := a.FromKey
+		if other == businessKey {
+			other = a.ToKey
+		}
+		e, ok := r.entities[other]
+		if !ok || !r.visibleLocked(other, req) {
+			continue
+		}
+		out = append(out, BusinessInfo{BusinessKey: e.BusinessKey, Name: e.Name, Description: e.Description})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered business entities.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entities)
+}
+
+// Owner reports the publisher that owns a business entity.
+func (r *Registry) Owner(businessKey string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	o, ok := r.owners[businessKey]
+	return o, ok
+}
+
+func hasCategory(bag []KeyedReference, want *KeyedReference) bool {
+	for _, kr := range bag {
+		if kr.TModelKey == want.TModelKey && kr.KeyValue == want.KeyValue {
+			return true
+		}
+	}
+	return false
+}
+
+func copyEntity(e *BusinessEntity) *BusinessEntity {
+	cp := *e
+	cp.Contacts = append([]Contact(nil), e.Contacts...)
+	cp.CategoryBag = append([]KeyedReference(nil), e.CategoryBag...)
+	cp.Services = make([]BusinessService, len(e.Services))
+	for i := range e.Services {
+		cp.Services[i] = *copyService(&e.Services[i])
+	}
+	return &cp
+}
+
+func copyService(s *BusinessService) *BusinessService {
+	cp := *s
+	cp.CategoryBag = append([]KeyedReference(nil), s.CategoryBag...)
+	cp.Bindings = make([]BindingTemplate, len(s.Bindings))
+	for i, b := range s.Bindings {
+		cp.Bindings[i] = b
+		cp.Bindings[i].TModelKeys = append([]string(nil), b.TModelKeys...)
+	}
+	return &cp
+}

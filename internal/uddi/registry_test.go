@@ -1,0 +1,271 @@
+package uddi
+
+import (
+	"strings"
+	"testing"
+
+	"webdbsec/internal/policy"
+)
+
+func regWithAcme(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry(nil)
+	if err := r.SaveBusiness("acme-pub", sampleEntity()); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSaveAndGetBusinessDetail(t *testing.T) {
+	r := regWithAcme(t)
+	got, err := r.GetBusinessDetail(&policy.Subject{ID: "anyone"}, "be-acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "Acme Logistics" {
+		t.Fatalf("detail = %+v", got)
+	}
+	// The returned copy must not alias registry state.
+	got[0].Name = "Mallory Inc"
+	again, _ := r.GetBusinessDetail(nil, "be-acme")
+	if again[0].Name != "Acme Logistics" {
+		t.Error("GetBusinessDetail returns aliased state")
+	}
+}
+
+func TestOwnershipEnforced(t *testing.T) {
+	r := regWithAcme(t)
+	e := sampleEntity()
+	e.Name = "Acme v2"
+	if err := r.SaveBusiness("other-pub", e); err == nil {
+		t.Error("non-owner update accepted")
+	}
+	if err := r.SaveBusiness("acme-pub", e); err != nil {
+		t.Errorf("owner update rejected: %v", err)
+	}
+	if err := r.DeleteBusiness("other-pub", "be-acme"); err == nil {
+		t.Error("non-owner delete accepted")
+	}
+	if err := r.DeleteBusiness("acme-pub", "be-acme"); err != nil {
+		t.Errorf("owner delete rejected: %v", err)
+	}
+	if r.Len() != 0 {
+		t.Error("entity survives delete")
+	}
+	if err := r.DeleteBusiness("acme-pub", "be-acme"); err == nil {
+		t.Error("double delete accepted")
+	}
+}
+
+func TestAnonymousPublishRejected(t *testing.T) {
+	r := NewRegistry(nil)
+	if err := r.SaveBusiness("", sampleEntity()); err == nil {
+		t.Error("anonymous publish accepted")
+	}
+}
+
+func TestServiceKeyHijackRejected(t *testing.T) {
+	r := regWithAcme(t)
+	thief := &BusinessEntity{
+		BusinessKey: "be-thief",
+		Name:        "Thief Corp",
+		Services:    []BusinessService{{ServiceKey: "svc-ship", Name: "stolen"}},
+	}
+	if err := r.SaveBusiness("thief-pub", thief); err == nil {
+		t.Error("serviceKey hijack accepted")
+	}
+	thief.Services[0].ServiceKey = "svc-new"
+	thief.Services[0].Bindings = []BindingTemplate{{BindingKey: "bind-ship-1"}}
+	if err := r.SaveBusiness("thief-pub", thief); err == nil {
+		t.Error("bindingKey hijack accepted")
+	}
+}
+
+func TestUpdateReindexesServices(t *testing.T) {
+	r := regWithAcme(t)
+	e := sampleEntity()
+	e.Services = e.Services[:1] // drop billing
+	if err := r.SaveBusiness("acme-pub", e); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.GetServiceDetail(nil, "svc-bill"); err == nil {
+		t.Error("stale service index entry")
+	}
+	// The dropped key is now free for another publisher.
+	other := &BusinessEntity{
+		BusinessKey: "be-other", Name: "Other",
+		Services: []BusinessService{{ServiceKey: "svc-bill", Name: "billing2"}},
+	}
+	if err := r.SaveBusiness("other-pub", other); err != nil {
+		t.Errorf("freed key rejected: %v", err)
+	}
+}
+
+func TestGetServiceAndBindingDetail(t *testing.T) {
+	r := regWithAcme(t)
+	svcs, err := r.GetServiceDetail(nil, "svc-ship")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(svcs) != 1 || svcs[0].Name != "shipping" {
+		t.Fatalf("service = %+v", svcs)
+	}
+	binds, err := r.GetBindingDetail(nil, "bind-bill-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(binds) != 1 || binds[0].AccessPoint != "https://acme.example/bill" {
+		t.Fatalf("binding = %+v", binds)
+	}
+	if _, err := r.GetServiceDetail(nil, "svc-ghost"); err == nil {
+		t.Error("unknown service key accepted")
+	}
+	if _, err := r.GetBindingDetail(nil, "bind-ghost"); err == nil {
+		t.Error("unknown binding key accepted")
+	}
+}
+
+func TestTModels(t *testing.T) {
+	r := NewRegistry(nil)
+	if err := r.SaveTModel("pub", &TModel{TModelKey: "tm-soap", Name: "SOAP 1.1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SaveTModel("other", &TModel{TModelKey: "tm-soap", Name: "hijack"}); err == nil {
+		t.Error("tModel hijack accepted")
+	}
+	got, err := r.GetTModelDetail(nil, "tm-soap")
+	if err != nil || len(got) != 1 || got[0].Name != "SOAP 1.1" {
+		t.Fatalf("tModel detail = %+v, %v", got, err)
+	}
+	infos := r.FindTModel(nil, "soap")
+	if len(infos) != 1 {
+		t.Errorf("FindTModel = %+v", infos)
+	}
+}
+
+func TestVisibilitySpec(t *testing.T) {
+	r := regWithAcme(t)
+	spec := &policy.SubjectSpec{Roles: []string{"partner"}}
+	if err := r.SetVisibility("other-pub", "be-acme", spec); err == nil {
+		t.Error("non-owner visibility change accepted")
+	}
+	if err := r.SetVisibility("acme-pub", "be-acme", spec); err != nil {
+		t.Fatal(err)
+	}
+	stranger := &policy.Subject{ID: "stranger"}
+	partner := &policy.Subject{ID: "p1", Roles: []string{"partner"}}
+
+	if _, err := r.GetBusinessDetail(stranger, "be-acme"); err == nil {
+		t.Error("hidden entity visible to stranger")
+	}
+	if _, err := r.GetBusinessDetail(partner, "be-acme"); err != nil {
+		t.Errorf("partner denied: %v", err)
+	}
+	if got := r.FindBusiness(stranger, "acme", nil); len(got) != 0 {
+		t.Error("hidden entity listed in browse for stranger")
+	}
+	if got := r.FindBusiness(partner, "acme", nil); len(got) != 1 {
+		t.Error("partner cannot browse")
+	}
+	// nil requestor is anonymous: denied on restricted entries.
+	if _, err := r.GetBusinessDetail(nil, "be-acme"); err == nil {
+		t.Error("anonymous sees restricted entry")
+	}
+	// Reset to public.
+	if err := r.SetVisibility("acme-pub", "be-acme", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.GetBusinessDetail(stranger, "be-acme"); err != nil {
+		t.Errorf("public entity denied: %v", err)
+	}
+}
+
+func TestFindBusinessPatternsAndCategories(t *testing.T) {
+	r := regWithAcme(t)
+	beta := &BusinessEntity{BusinessKey: "be-beta", Name: "Beta Freight"}
+	if err := r.SaveBusiness("beta-pub", beta); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.FindBusiness(nil, "", nil); len(got) != 2 {
+		t.Errorf("browse all = %d, want 2", len(got))
+	}
+	if got := r.FindBusiness(nil, "beta", nil); len(got) != 1 || got[0].Name != "Beta Freight" {
+		t.Errorf("prefix browse = %+v", got)
+	}
+	cat := &KeyedReference{TModelKey: "tm-naics", KeyValue: "4885"}
+	if got := r.FindBusiness(nil, "", cat); len(got) != 1 || got[0].BusinessKey != "be-acme" {
+		t.Errorf("category browse = %+v", got)
+	}
+	// Browse returns overview info, not full structures.
+	got := r.FindBusiness(nil, "acme", nil)
+	if len(got[0].ServiceNames) != 2 || got[0].ServiceNames[0] != "billing" {
+		t.Errorf("service names = %v", got[0].ServiceNames)
+	}
+}
+
+func TestFindService(t *testing.T) {
+	r := regWithAcme(t)
+	got := r.FindService(nil, "ship")
+	if len(got) != 1 || got[0].ServiceKey != "svc-ship" {
+		t.Errorf("FindService = %+v", got)
+	}
+	if got := r.FindService(nil, "zzz"); len(got) != 0 {
+		t.Errorf("FindService(zzz) = %+v", got)
+	}
+}
+
+func TestPublisherAssertionsRequireBothSides(t *testing.T) {
+	r := regWithAcme(t)
+	beta := &BusinessEntity{BusinessKey: "be-beta", Name: "Beta Freight"}
+	if err := r.SaveBusiness("beta-pub", beta); err != nil {
+		t.Fatal(err)
+	}
+	a := PublisherAssertion{FromKey: "be-acme", ToKey: "be-beta", Relationship: "partner"}
+
+	if err := r.AddAssertion("stranger", a); err == nil {
+		t.Error("assertion by non-owner accepted")
+	}
+	if err := r.AddAssertion("acme-pub", a); err != nil {
+		t.Fatal(err)
+	}
+	// One-sided: not visible yet.
+	if got := r.FindRelatedBusinesses(nil, "be-acme"); len(got) != 0 {
+		t.Errorf("one-sided assertion visible: %+v", got)
+	}
+	if err := r.AddAssertion("beta-pub", a); err != nil {
+		t.Fatal(err)
+	}
+	got := r.FindRelatedBusinesses(nil, "be-acme")
+	if len(got) != 1 || got[0].BusinessKey != "be-beta" {
+		t.Errorf("related = %+v", got)
+	}
+	// Symmetric lookup.
+	got = r.FindRelatedBusinesses(nil, "be-beta")
+	if len(got) != 1 || got[0].BusinessKey != "be-acme" {
+		t.Errorf("related (reverse) = %+v", got)
+	}
+	if err := r.AddAssertion("acme-pub", PublisherAssertion{FromKey: "be-acme", ToKey: "be-ghost"}); err == nil {
+		t.Error("assertion to unknown entity accepted")
+	}
+}
+
+func TestMissingKeysReportedInError(t *testing.T) {
+	r := regWithAcme(t)
+	got, err := r.GetBusinessDetail(nil, "be-acme", "be-ghost")
+	if err == nil || !strings.Contains(err.Error(), "be-ghost") {
+		t.Errorf("err = %v", err)
+	}
+	if len(got) != 1 {
+		t.Errorf("partial result = %d entities", len(got))
+	}
+}
+
+func TestOwnerQuery(t *testing.T) {
+	r := regWithAcme(t)
+	if o, ok := r.Owner("be-acme"); !ok || o != "acme-pub" {
+		t.Errorf("Owner = %q, %v", o, ok)
+	}
+	if _, ok := r.Owner("be-ghost"); ok {
+		t.Error("Owner of unknown key")
+	}
+}

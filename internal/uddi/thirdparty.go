@@ -1,0 +1,180 @@
+package uddi
+
+import (
+	"fmt"
+
+	"webdbsec/internal/accessctl"
+	"webdbsec/internal/merkle"
+	"webdbsec/internal/policy"
+	"webdbsec/internal/wsig"
+	"webdbsec/internal/xmldoc"
+)
+
+// This file implements the untrusted third-party deployment of §4.1: "the
+// service provider sends the discovery agency a summary signature,
+// generated using a technique based on Merkle hash trees, for each entry
+// it is entitled to manage. When a service requestor queries the UDDI
+// registry, the discovery agency sends it, besides the query result, also
+// the signatures of the entries ... the requestor can locally recompute
+// the same hash value signed by the service provider ... since a requestor
+// may be returned only selected portions of an entry ... the discovery
+// agency sends the requestor a set of additional hash values, referring to
+// the missing portions."
+
+// SignedEntry is what a provider hands a discovery agency: the entry in
+// its XML form plus the Merkle summary signature over it.
+type SignedEntry struct {
+	Entity  *xmldoc.Document
+	Summary merkle.SummarySignature
+}
+
+// Provider is the service-provider actor: it owns entries and signs them.
+type Provider struct {
+	Name   string
+	signer *wsig.Signer
+}
+
+// NewProvider creates a provider with a fresh signing key.
+func NewProvider(name string) (*Provider, error) {
+	s, err := wsig.NewSigner(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Provider{Name: name, signer: s}, nil
+}
+
+// PublicKey returns the provider's verification key, to be registered in
+// requestors' key directories out of band.
+func (p *Provider) PublicKey() *wsig.Signer { return p.signer }
+
+// Signer returns the provider's signer (for registering in a
+// wsig.KeyDirectory).
+func (p *Provider) Signer() *wsig.Signer { return p.signer }
+
+// Sign converts the entity to XML and produces the signed entry.
+func (p *Provider) Sign(e *BusinessEntity) (SignedEntry, error) {
+	if err := e.Validate(); err != nil {
+		return SignedEntry{}, err
+	}
+	doc := e.ToXML()
+	return SignedEntry{Entity: doc, Summary: merkle.Sign(doc, p.signer)}, nil
+}
+
+// AuthenticatedResult is what the untrusted agency returns for a drill-
+// down query: the (possibly pruned) view, the Merkle proof for the pruned
+// portions, and the provider's summary signature.
+type AuthenticatedResult struct {
+	View    *xmldoc.Document
+	Proof   *merkle.Proof
+	Summary merkle.SummarySignature
+}
+
+// UntrustedAgency is a discovery agency that is NOT trusted for
+// authenticity: it stores provider-signed entries, applies the providers'
+// access control policies when answering queries (a malicious agency may
+// of course fail to — which verification then exposes as either a missing
+// portion covered by an auxiliary hash, or a signature failure), and
+// attaches Merkle proofs to every answer.
+type UntrustedAgency struct {
+	store   *xmldoc.Store
+	engine  *accessctl.Engine
+	entries map[string]SignedEntry // businessKey -> entry
+}
+
+// NewUntrustedAgency creates an agency enforcing the given policy base
+// over the entries it hosts. Policies address entries by document name
+// "uddi:<businessKey>".
+func NewUntrustedAgency(base *policy.Base) *UntrustedAgency {
+	store := xmldoc.NewStore()
+	return &UntrustedAgency{
+		store:   store,
+		engine:  accessctl.NewEngine(store, base),
+		entries: make(map[string]SignedEntry),
+	}
+}
+
+// Publish stores a signed entry. The agency does not (and cannot) validate
+// the signature against content it might later tamper with — requestors
+// verify.
+func (a *UntrustedAgency) Publish(entry SignedEntry) error {
+	if entry.Entity == nil || entry.Entity.Root == nil {
+		return fmt.Errorf("uddi: empty signed entry")
+	}
+	key, ok := entry.Entity.Root.Attr("businessKey")
+	if !ok || key == "" {
+		return fmt.Errorf("uddi: signed entry missing businessKey")
+	}
+	a.store.Put(entry.Entity)
+	a.entries[key] = entry
+	return nil
+}
+
+// DocName returns the store name of an entry's document.
+func DocName(businessKey string) string { return "uddi:" + businessKey }
+
+// Query answers a drill-down inquiry for one entry: the view is the entry
+// pruned to what the requestor may see under the installed policies, and
+// the proof lets the requestor verify authenticity and completeness.
+func (a *UntrustedAgency) Query(req *policy.Subject, businessKey string) (*AuthenticatedResult, error) {
+	entry, ok := a.entries[businessKey]
+	if !ok {
+		return nil, fmt.Errorf("uddi: invalid key %s", businessKey)
+	}
+	labels := a.engine.Labels(entry.Entity, req, policy.Read)
+	view, proof := merkle.PruneWithProof(entry.Entity, func(n *xmldoc.Node) bool {
+		return labels[n.ID()]
+	})
+	if view == nil {
+		return nil, fmt.Errorf("uddi: access denied to %s", businessKey)
+	}
+	return &AuthenticatedResult{View: view, Proof: proof, Summary: entry.Summary}, nil
+}
+
+// Verify is the requestor-side check: it validates the result's view and
+// proof against the providers' key directory. On success the view can be
+// trusted to be authentic (exactly what the provider published) and
+// complete (every omission is covered by a disclosed hash).
+func (r *AuthenticatedResult) Verify(dir *wsig.KeyDirectory) error {
+	return merkle.VerifyView(r.View, r.Proof, r.Summary, dir)
+}
+
+// Entity parses the verified view back into struct form. Call Verify
+// first; Entity does not re-verify. Pruned views may lack fields the
+// original had — Validate still applies to what remains.
+func (r *AuthenticatedResult) Entity() (*BusinessEntity, error) {
+	return EntityFromXML(r.View)
+}
+
+// TrustedAgency is the trusted third-party baseline: it enforces the same
+// policies but serves plaintext views with no proofs — requestors must
+// take its answers on faith ("the main drawback of this solution is that
+// large web-based systems cannot be easily verified to be trusted and can
+// be easily penetrated", §4.1). Benchmarks compare the two.
+type TrustedAgency struct {
+	store  *xmldoc.Store
+	engine *accessctl.Engine
+}
+
+// NewTrustedAgency creates the baseline agency.
+func NewTrustedAgency(base *policy.Base) *TrustedAgency {
+	store := xmldoc.NewStore()
+	return &TrustedAgency{store: store, engine: accessctl.NewEngine(store, base)}
+}
+
+// Publish stores a plaintext entry.
+func (a *TrustedAgency) Publish(e *BusinessEntity) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	a.store.Put(e.ToXML())
+	return nil
+}
+
+// Query returns the policy-filtered view with no authenticity evidence.
+func (a *TrustedAgency) Query(req *policy.Subject, businessKey string) (*xmldoc.Document, error) {
+	v := a.engine.View(DocName(businessKey), req, policy.Read)
+	if v == nil {
+		return nil, fmt.Errorf("uddi: access denied or unknown key %s", businessKey)
+	}
+	return v, nil
+}

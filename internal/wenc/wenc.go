@@ -1,0 +1,117 @@
+// Package wenc provides the symmetric encryption primitives behind the
+// paper's "secure broadcasting" of documents (§4.1): "the service provider
+// encrypts the entries to be published ... according to its access control
+// policies: all the entry portions to which the same policies apply are
+// encrypted with the same key", with the provider "distributing keys to the
+// service requestors in such a way that each service requestor receives all
+// and only the keys corresponding to the information it is entitled to
+// access."
+//
+// This package supplies keys, AEAD sealing (AES-256-GCM) and key rings; the
+// policy-driven grouping itself lives in internal/authorx.
+package wenc
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"fmt"
+	"sort"
+)
+
+// KeySize is the symmetric key size in bytes (AES-256).
+const KeySize = 32
+
+// Key is a symmetric content-encryption key.
+type Key []byte
+
+// NewKey generates a fresh random key.
+func NewKey() (Key, error) {
+	k := make(Key, KeySize)
+	if _, err := rand.Read(k); err != nil {
+		return nil, fmt.Errorf("wenc: generate key: %w", err)
+	}
+	return k, nil
+}
+
+// MustNewKey is NewKey that panics on error (entropy failure).
+func MustNewKey() Key {
+	k, err := NewKey()
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Seal encrypts plaintext under the key with AES-256-GCM, binding the
+// additional data aad. The nonce is prepended to the returned ciphertext.
+func Seal(key Key, plaintext, aad []byte) ([]byte, error) {
+	gcm, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("wenc: nonce: %w", err)
+	}
+	return gcm.Seal(nonce, nonce, plaintext, aad), nil
+}
+
+// Open decrypts a Seal ciphertext, authenticating aad.
+func Open(key Key, ciphertext, aad []byte) ([]byte, error) {
+	gcm, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(ciphertext) < gcm.NonceSize() {
+		return nil, fmt.Errorf("wenc: ciphertext shorter than nonce")
+	}
+	nonce, body := ciphertext[:gcm.NonceSize()], ciphertext[gcm.NonceSize():]
+	pt, err := gcm.Open(nil, nonce, body, aad)
+	if err != nil {
+		return nil, fmt.Errorf("wenc: open: %w", err)
+	}
+	return pt, nil
+}
+
+func newGCM(key Key) (cipher.AEAD, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("wenc: key must be %d bytes, got %d", KeySize, len(key))
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("wenc: cipher: %w", err)
+	}
+	return cipher.NewGCM(block)
+}
+
+// KeyRing holds the keys a subject has been handed, indexed by key
+// identifier (in authorx, the policy-configuration class).
+type KeyRing struct {
+	keys map[string]Key
+}
+
+// NewKeyRing returns an empty key ring.
+func NewKeyRing() *KeyRing { return &KeyRing{keys: make(map[string]Key)} }
+
+// Add stores a key under the identifier.
+func (r *KeyRing) Add(id string, k Key) { r.keys[id] = k }
+
+// Get returns the key stored under the identifier.
+func (r *KeyRing) Get(id string) (Key, bool) {
+	k, ok := r.keys[id]
+	return k, ok
+}
+
+// Len returns the number of keys held.
+func (r *KeyRing) Len() int { return len(r.keys) }
+
+// IDs returns the sorted key identifiers.
+func (r *KeyRing) IDs() []string {
+	out := make([]string, 0, len(r.keys))
+	for id := range r.keys {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

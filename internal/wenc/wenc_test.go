@@ -1,0 +1,111 @@
+package wenc
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	k := MustNewKey()
+	ct, err := Seal(k, []byte("secret"), []byte("aad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := Open(k, ct, []byte("aad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pt) != "secret" {
+		t.Errorf("roundtrip = %q", pt)
+	}
+}
+
+func TestOpenWrongKey(t *testing.T) {
+	k1, k2 := MustNewKey(), MustNewKey()
+	ct, _ := Seal(k1, []byte("secret"), nil)
+	if _, err := Open(k2, ct, nil); err == nil {
+		t.Error("wrong key decrypts")
+	}
+}
+
+func TestOpenWrongAAD(t *testing.T) {
+	k := MustNewKey()
+	ct, _ := Seal(k, []byte("secret"), []byte("doc1/node5"))
+	if _, err := Open(k, ct, []byte("doc1/node6")); err == nil {
+		t.Error("AAD not bound")
+	}
+}
+
+func TestOpenTamperedCiphertext(t *testing.T) {
+	k := MustNewKey()
+	ct, _ := Seal(k, []byte("secret"), nil)
+	ct[len(ct)-1] ^= 0x01
+	if _, err := Open(k, ct, nil); err == nil {
+		t.Error("tampered ciphertext decrypts")
+	}
+}
+
+func TestOpenTruncated(t *testing.T) {
+	k := MustNewKey()
+	if _, err := Open(k, []byte{1, 2, 3}, nil); err == nil {
+		t.Error("truncated ciphertext accepted")
+	}
+}
+
+func TestBadKeySize(t *testing.T) {
+	if _, err := Seal(Key("short"), []byte("x"), nil); err == nil {
+		t.Error("short key accepted")
+	}
+	if _, err := Open(Key("short"), []byte("x"), nil); err == nil {
+		t.Error("short key accepted for open")
+	}
+}
+
+func TestNonceFreshness(t *testing.T) {
+	k := MustNewKey()
+	ct1, _ := Seal(k, []byte("same"), nil)
+	ct2, _ := Seal(k, []byte("same"), nil)
+	if bytes.Equal(ct1, ct2) {
+		t.Error("two seals of same plaintext identical: nonce reuse")
+	}
+}
+
+func TestKeyRing(t *testing.T) {
+	r := NewKeyRing()
+	k1, k2 := MustNewKey(), MustNewKey()
+	r.Add("class1", k1)
+	r.Add("class2", k2)
+	if r.Len() != 2 {
+		t.Errorf("len = %d", r.Len())
+	}
+	got, ok := r.Get("class1")
+	if !ok || !bytes.Equal(got, k1) {
+		t.Error("Get(class1) wrong")
+	}
+	if _, ok := r.Get("class9"); ok {
+		t.Error("missing key found")
+	}
+	ids := r.IDs()
+	if len(ids) != 2 || ids[0] != "class1" || ids[1] != "class2" {
+		t.Errorf("IDs = %v", ids)
+	}
+}
+
+func TestQuickRoundTripArbitraryPayloads(t *testing.T) {
+	k := MustNewKey()
+	f := func(pt, aad []byte) bool {
+		ct, err := Seal(k, pt, aad)
+		if err != nil {
+			return false
+		}
+		got, err := Open(k, ct, aad)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

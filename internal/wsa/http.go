@@ -1,0 +1,418 @@
+package wsa
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"webdbsec/internal/merkle"
+	"webdbsec/internal/policy"
+	"webdbsec/internal/uddi"
+	"webdbsec/internal/wsig"
+	"webdbsec/internal/xmldoc"
+)
+
+// RegistryServer is the HTTP binding of a UDDI registry: one POST endpoint
+// accepting envelopes, dispatching on the operation name. When an
+// UntrustedAgency is attached, the additional "query_authenticated"
+// operation serves Merkle-authenticated views (the §4.1 third-party
+// protocol); otherwise the server behaves as a two-party or trusted
+// third-party deployment.
+type RegistryServer struct {
+	Registry *uddi.Registry
+	Agency   *uddi.UntrustedAgency
+}
+
+// Describe returns the service description for this server.
+func (s *RegistryServer) Describe(endpoint string) *ServiceDescription {
+	ops := []OperationDesc{
+		{Name: "find_business", Input: "findBusiness", Output: "businessList"},
+		{Name: "find_service", Input: "findService", Output: "serviceList"},
+		{Name: "get_businessDetail", Input: "getBusinessDetail", Output: "businessDetail"},
+		{Name: "save_business", Input: "businessEntity", Output: "result"},
+		{Name: "delete_business", Input: "deleteBusiness", Output: "result"},
+	}
+	if s.Agency != nil {
+		ops = append(ops, OperationDesc{Name: "query_authenticated", Input: "queryAuthenticated", Output: "authenticatedResult"})
+	}
+	return &ServiceDescription{Name: "uddi-registry", Endpoint: endpoint, Operations: ops}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *RegistryServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	env, err := DecodeEnvelope(r.Body)
+	if err != nil {
+		writeFault(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp, err := s.dispatch(env)
+	if err != nil {
+		writeFault(w, http.StatusOK, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	io.WriteString(w, resp.Encode())
+}
+
+func writeFault(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/xml")
+	w.WriteHeader(code)
+	io.WriteString(w, (&Envelope{Fault: msg}).Encode())
+}
+
+func (s *RegistryServer) dispatch(env *Envelope) (*Envelope, error) {
+	req := &policy.Subject{ID: env.Sender, Roles: env.Roles}
+	switch env.Operation {
+	case "find_business":
+		pattern, category := "", (*uddi.KeyedReference)(nil)
+		if env.Body != nil {
+			pattern, _ = env.Body.Root.Attr("name")
+			if kr := env.Body.Root.Child("keyedReference"); kr != nil {
+				var c uddi.KeyedReference
+				c.TModelKey, _ = kr.Attr("tModelKey")
+				c.KeyValue, _ = kr.Attr("keyValue")
+				category = &c
+			}
+		}
+		infos := s.Registry.FindBusiness(req, pattern, category)
+		b := xmldoc.NewBuilder("resp", "businessList")
+		for _, bi := range infos {
+			b.Begin("businessInfo").
+				Attrib("businessKey", bi.BusinessKey).
+				Attrib("name", bi.Name).
+				End()
+		}
+		return &Envelope{Operation: env.Operation, Body: b.Freeze()}, nil
+
+	case "find_service":
+		pattern := ""
+		if env.Body != nil {
+			pattern, _ = env.Body.Root.Attr("name")
+		}
+		infos := s.Registry.FindService(req, pattern)
+		b := xmldoc.NewBuilder("resp", "serviceList")
+		for _, si := range infos {
+			b.Begin("serviceInfo").
+				Attrib("serviceKey", si.ServiceKey).
+				Attrib("businessKey", si.BusinessKey).
+				Attrib("name", si.Name).
+				End()
+		}
+		return &Envelope{Operation: env.Operation, Body: b.Freeze()}, nil
+
+	case "get_businessDetail":
+		if env.Body == nil {
+			return nil, fmt.Errorf("wsa: get_businessDetail needs a body")
+		}
+		var keys []string
+		for _, c := range env.Body.Root.ElementChildren() {
+			if c.Name == "businessKey" {
+				keys = append(keys, c.Text())
+			}
+		}
+		ents, err := s.Registry.GetBusinessDetail(req, keys...)
+		if err != nil {
+			return nil, err
+		}
+		b := xmldoc.NewBuilder("resp", "businessDetail")
+		d := b.Freeze()
+		for _, e := range ents {
+			entDoc := e.ToXML()
+			graft(d.Root, entDoc.Root)
+		}
+		reindex(d)
+		return &Envelope{Operation: env.Operation, Body: d}, nil
+
+	case "save_business":
+		if env.Body == nil {
+			return nil, fmt.Errorf("wsa: save_business needs a body")
+		}
+		e, err := uddi.EntityFromXML(env.Body)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Registry.SaveBusiness(env.Sender, e); err != nil {
+			return nil, err
+		}
+		return okEnvelope(env.Operation), nil
+
+	case "delete_business":
+		if env.Body == nil {
+			return nil, fmt.Errorf("wsa: delete_business needs a body")
+		}
+		key, _ := env.Body.Root.Attr("businessKey")
+		if err := s.Registry.DeleteBusiness(env.Sender, key); err != nil {
+			return nil, err
+		}
+		return okEnvelope(env.Operation), nil
+
+	case "query_authenticated":
+		if s.Agency == nil {
+			return nil, fmt.Errorf("wsa: no untrusted agency attached")
+		}
+		if env.Body == nil {
+			return nil, fmt.Errorf("wsa: query_authenticated needs a body")
+		}
+		key, _ := env.Body.Root.Attr("businessKey")
+		res, err := s.Agency.Query(req, key)
+		if err != nil {
+			return nil, err
+		}
+		return &Envelope{Operation: env.Operation, Body: encodeAuthenticated(res)}, nil
+
+	default:
+		return nil, fmt.Errorf("wsa: unknown operation %q", env.Operation)
+	}
+}
+
+func okEnvelope(op string) *Envelope {
+	b := xmldoc.NewBuilder("resp", "result")
+	b.Attrib("status", "ok")
+	return &Envelope{Operation: op, Body: b.Freeze()}
+}
+
+// graft deep-copies src (from another document) under dst.
+func graft(dst *xmldoc.Node, src *xmldoc.Node) {
+	n := &xmldoc.Node{Kind: src.Kind, Name: src.Name, Value: src.Value, Parent: dst}
+	for _, a := range src.Attrs {
+		n.Attrs = append(n.Attrs, &xmldoc.Node{Kind: xmldoc.KindAttr, Name: a.Name, Value: a.Value, Parent: n})
+	}
+	dst.Children = append(dst.Children, n)
+	for _, c := range src.Children {
+		graft(n, c)
+	}
+}
+
+// reindex rebuilds a document's node table after grafting. Round-tripping
+// through the parser keeps xmldoc's invariants without exposing its
+// internals.
+func reindex(d *xmldoc.Document) {
+	nd, err := xmldoc.ParseString(d.Name, d.Canonical())
+	if err != nil {
+		return
+	}
+	*d = *nd
+}
+
+// encodeAuthenticated serializes an AuthenticatedResult: the view, the
+// proof (positions + hex hashes) and the summary signature.
+func encodeAuthenticated(res *uddi.AuthenticatedResult) *xmldoc.Document {
+	b := xmldoc.NewBuilder("resp", "authenticatedResult")
+	b.Begin("summary").
+		Attrib("signer", res.Summary.Sig.Signer).
+		Attrib("value", hex.EncodeToString(res.Summary.Sig.Value)).
+		End()
+	b.Begin("proof")
+	for _, ep := range res.Proof.Elems {
+		b.Begin("element")
+		for _, m := range ep.Missing {
+			b.Begin("missing").
+				Attrib("pos", strconv.Itoa(m.Pos)).
+				Attrib("hash", hex.EncodeToString(m.Hash)).
+				End()
+		}
+		b.End()
+	}
+	b.End()
+	d := b.Freeze()
+	// Splice the view under a <view> wrapper.
+	viewXML := "<view>" + res.View.Canonical() + "</view>"
+	full := d.Canonical()
+	full = full[:len(full)-len("</authenticatedResult>")] + viewXML + "</authenticatedResult>"
+	out, err := xmldoc.ParseString("resp", full)
+	if err != nil {
+		return d
+	}
+	return out
+}
+
+// DecodeAuthenticated parses the wire form back into an
+// AuthenticatedResult the requestor can Verify.
+func DecodeAuthenticated(body *xmldoc.Document) (*uddi.AuthenticatedResult, error) {
+	if body == nil || body.Root.Name != "authenticatedResult" {
+		return nil, fmt.Errorf("wsa: not an authenticatedResult")
+	}
+	res := &uddi.AuthenticatedResult{Proof: &merkle.Proof{}}
+	if s := body.Root.Child("summary"); s != nil {
+		signer, _ := s.Attr("signer")
+		val, _ := s.Attr("value")
+		raw, err := hex.DecodeString(val)
+		if err != nil {
+			return nil, fmt.Errorf("wsa: summary signature: %w", err)
+		}
+		res.Summary = merkle.SummarySignature{Sig: wsig.Signature{Signer: signer, Value: raw}}
+	}
+	if p := body.Root.Child("proof"); p != nil {
+		for _, el := range p.ElementChildren() {
+			if el.Name != "element" {
+				continue
+			}
+			ep := merkle.ElementProof{}
+			for _, m := range el.ElementChildren() {
+				if m.Name != "missing" {
+					continue
+				}
+				posStr, _ := m.Attr("pos")
+				hashStr, _ := m.Attr("hash")
+				pos, err := strconv.Atoi(posStr)
+				if err != nil {
+					return nil, fmt.Errorf("wsa: proof position: %w", err)
+				}
+				h, err := hex.DecodeString(hashStr)
+				if err != nil {
+					return nil, fmt.Errorf("wsa: proof hash: %w", err)
+				}
+				ep.Missing = append(ep.Missing, merkle.PosHash{Pos: pos, Hash: h})
+			}
+			res.Proof.Elems = append(res.Proof.Elems, ep)
+		}
+	}
+	if v := body.Root.Child("view"); v != nil {
+		inner := v.ElementChildren()
+		if len(inner) != 1 {
+			return nil, fmt.Errorf("wsa: view must wrap exactly one element")
+		}
+		doc, err := xmldoc.ParseString("view", xmldoc.CanonicalSubtree(inner[0]))
+		if err != nil {
+			return nil, fmt.Errorf("wsa: view: %w", err)
+		}
+		res.View = doc
+	}
+	if res.View == nil {
+		return nil, fmt.Errorf("wsa: authenticatedResult missing view")
+	}
+	return res, nil
+}
+
+// Client is a requestor-side helper speaking the envelope protocol.
+type Client struct {
+	Endpoint string
+	Sender   string
+	Roles    []string
+	HTTP     *http.Client
+}
+
+// Call posts an envelope and decodes the response.
+func (c *Client) Call(op string, body *xmldoc.Document) (*Envelope, error) {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	env := &Envelope{Operation: op, Sender: c.Sender, Roles: c.Roles, Body: body}
+	resp, err := httpc.Post(c.Endpoint, "application/xml", bytes.NewBufferString(env.Encode()))
+	if err != nil {
+		return nil, fmt.Errorf("wsa: call %s: %w", op, err)
+	}
+	defer resp.Body.Close()
+	out, err := DecodeEnvelope(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if out.Fault != "" {
+		return out, fmt.Errorf("wsa: fault from %s: %s", op, out.Fault)
+	}
+	return out, nil
+}
+
+// FindBusiness browses the remote registry.
+func (c *Client) FindBusiness(pattern string) ([]uddi.BusinessInfo, error) {
+	b := xmldoc.NewBuilder("req", "findBusiness")
+	b.Attrib("name", pattern)
+	env, err := c.Call("find_business", b.Freeze())
+	if err != nil {
+		return nil, err
+	}
+	var out []uddi.BusinessInfo
+	for _, bi := range env.Body.Root.ElementChildren() {
+		if bi.Name != "businessInfo" {
+			continue
+		}
+		var info uddi.BusinessInfo
+		info.BusinessKey, _ = bi.Attr("businessKey")
+		info.Name, _ = bi.Attr("name")
+		out = append(out, info)
+	}
+	return out, nil
+}
+
+// FindService browses services on the remote registry.
+func (c *Client) FindService(pattern string) ([]uddi.ServiceInfo, error) {
+	b := xmldoc.NewBuilder("req", "findService")
+	b.Attrib("name", pattern)
+	env, err := c.Call("find_service", b.Freeze())
+	if err != nil {
+		return nil, err
+	}
+	var out []uddi.ServiceInfo
+	for _, si := range env.Body.Root.ElementChildren() {
+		if si.Name != "serviceInfo" {
+			continue
+		}
+		var info uddi.ServiceInfo
+		info.ServiceKey, _ = si.Attr("serviceKey")
+		info.BusinessKey, _ = si.Attr("businessKey")
+		info.Name, _ = si.Attr("name")
+		out = append(out, info)
+	}
+	return out, nil
+}
+
+// GetBusinessDetail drills down on the remote registry.
+func (c *Client) GetBusinessDetail(keys ...string) ([]*uddi.BusinessEntity, error) {
+	b := xmldoc.NewBuilder("req", "getBusinessDetail")
+	for _, k := range keys {
+		b.Element("businessKey", k)
+	}
+	env, err := c.Call("get_businessDetail", b.Freeze())
+	if err != nil {
+		return nil, err
+	}
+	var out []*uddi.BusinessEntity
+	for _, en := range env.Body.Root.ElementChildren() {
+		if en.Name != "businessEntity" {
+			continue
+		}
+		doc, err := xmldoc.ParseString("entity", xmldoc.CanonicalSubtree(en))
+		if err != nil {
+			return nil, err
+		}
+		e, err := uddi.EntityFromXML(doc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// SaveBusiness publishes an entity to the remote registry.
+func (c *Client) SaveBusiness(e *uddi.BusinessEntity) error {
+	_, err := c.Call("save_business", e.ToXML())
+	return err
+}
+
+// QueryAuthenticated fetches a Merkle-authenticated view and verifies it
+// against the key directory before returning.
+func (c *Client) QueryAuthenticated(businessKey string, dir *wsig.KeyDirectory) (*uddi.AuthenticatedResult, error) {
+	b := xmldoc.NewBuilder("req", "queryAuthenticated")
+	b.Attrib("businessKey", businessKey)
+	env, err := c.Call("query_authenticated", b.Freeze())
+	if err != nil {
+		return nil, err
+	}
+	res, err := DecodeAuthenticated(env.Body)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Verify(dir); err != nil {
+		return nil, fmt.Errorf("wsa: authenticity check failed: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,175 @@
+package wsa
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"webdbsec/internal/policy"
+	"webdbsec/internal/uddi"
+	"webdbsec/internal/wsig"
+)
+
+func acmeEntity() *uddi.BusinessEntity {
+	return &uddi.BusinessEntity{
+		BusinessKey: "be-acme",
+		Name:        "Acme Logistics",
+		Services: []uddi.BusinessService{
+			{
+				ServiceKey: "svc-ship",
+				Name:       "shipping",
+				Bindings:   []uddi.BindingTemplate{{BindingKey: "b1", AccessPoint: "https://acme.example/ship"}},
+			},
+		},
+	}
+}
+
+func newServer(t *testing.T) (*httptest.Server, *RegistryServer) {
+	t.Helper()
+	rs := &RegistryServer{Registry: uddi.NewRegistry(nil)}
+	ts := httptest.NewServer(rs)
+	t.Cleanup(ts.Close)
+	return ts, rs
+}
+
+func TestSaveAndFindOverHTTP(t *testing.T) {
+	ts, _ := newServer(t)
+	pub := &Client{Endpoint: ts.URL, Sender: "acme-pub"}
+	if err := pub.SaveBusiness(acmeEntity()); err != nil {
+		t.Fatal(err)
+	}
+	req := &Client{Endpoint: ts.URL, Sender: "visitor"}
+	infos, err := req.FindBusiness("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].BusinessKey != "be-acme" {
+		t.Fatalf("find = %+v", infos)
+	}
+	svcs, err := req.FindService("ship")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(svcs) != 1 || svcs[0].ServiceKey != "svc-ship" || svcs[0].BusinessKey != "be-acme" {
+		t.Fatalf("find_service = %+v", svcs)
+	}
+	ents, err := req.GetBusinessDetail("be-acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name != "Acme Logistics" {
+		t.Fatalf("detail = %+v", ents)
+	}
+	if len(ents[0].Services) != 1 || ents[0].Services[0].Bindings[0].AccessPoint != "https://acme.example/ship" {
+		t.Fatalf("nested structures lost: %+v", ents[0].Services)
+	}
+}
+
+func TestOwnershipEnforcedOverHTTP(t *testing.T) {
+	ts, _ := newServer(t)
+	pub := &Client{Endpoint: ts.URL, Sender: "acme-pub"}
+	if err := pub.SaveBusiness(acmeEntity()); err != nil {
+		t.Fatal(err)
+	}
+	thief := &Client{Endpoint: ts.URL, Sender: "thief"}
+	e := acmeEntity()
+	e.Name = "Stolen"
+	if err := thief.SaveBusiness(e); err == nil {
+		t.Error("non-owner update accepted over HTTP")
+	}
+}
+
+func TestFaultForUnknownOperation(t *testing.T) {
+	ts, _ := newServer(t)
+	c := &Client{Endpoint: ts.URL, Sender: "x"}
+	_, err := c.Call("bogus_op", nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown operation") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts, _ := newServer(t)
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", resp.StatusCode)
+	}
+}
+
+func TestAuthenticatedQueryOverHTTP(t *testing.T) {
+	prov, err := uddi.NewProvider("acme-provider")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := policy.NewBase(nil)
+	base.MustAdd(&policy.Policy{
+		Name:    "public",
+		Subject: policy.SubjectSpec{IDs: []string{"*"}},
+		Object:  policy.ObjectSpec{Doc: uddi.DocName("be-acme")},
+		Priv:    policy.Read,
+		Sign:    policy.Permit,
+		Prop:    policy.Cascade,
+	})
+	base.MustAdd(&policy.Policy{
+		Name:    "hide-bindings",
+		Subject: policy.SubjectSpec{NotRoles: []string{"partner"}},
+		Object:  policy.ObjectSpec{Doc: uddi.DocName("be-acme"), Path: "//bindingTemplate"},
+		Priv:    policy.Read,
+		Sign:    policy.Deny,
+		Prop:    policy.Cascade,
+	})
+	agency := uddi.NewUntrustedAgency(base)
+	entry, err := prov.Sign(acmeEntity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agency.Publish(entry); err != nil {
+		t.Fatal(err)
+	}
+	rs := &RegistryServer{Registry: uddi.NewRegistry(nil), Agency: agency}
+	ts := httptest.NewServer(rs)
+	defer ts.Close()
+
+	dir := wsig.NewKeyDirectory()
+	dir.RegisterSigner(prov.Signer())
+
+	visitor := &Client{Endpoint: ts.URL, Sender: "visitor"}
+	res, err := visitor.QueryAuthenticated("be-acme", dir)
+	if err != nil {
+		t.Fatalf("visitor query: %v", err)
+	}
+	if strings.Contains(res.View.Canonical(), "bindingTemplate") {
+		t.Error("bindings leaked to visitor over HTTP")
+	}
+
+	partner := &Client{Endpoint: ts.URL, Sender: "p1", Roles: []string{"partner"}}
+	res, err = partner.QueryAuthenticated("be-acme", dir)
+	if err != nil {
+		t.Fatalf("partner query: %v", err)
+	}
+	if !strings.Contains(res.View.Canonical(), "bindingTemplate") {
+		t.Error("partner cannot see bindings over HTTP")
+	}
+
+	// Verification against an empty directory must fail client-side.
+	if _, err := partner.QueryAuthenticated("be-acme", wsig.NewKeyDirectory()); err == nil {
+		t.Error("verification passed with no trusted keys")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	rs := &RegistryServer{Registry: uddi.NewRegistry(nil)}
+	sd := rs.Describe("http://x")
+	if len(sd.Operations) != 5 {
+		t.Errorf("ops = %d, want 5", len(sd.Operations))
+	}
+	rs.Agency = uddi.NewUntrustedAgency(policy.NewBase(nil))
+	if got := len(rs.Describe("http://x").Operations); got != 6 {
+		t.Errorf("ops with agency = %d, want 6", got)
+	}
+}

@@ -1,0 +1,166 @@
+// Package wsa implements the Web Service Architecture of §2.2: "three are
+// the main entities composing the Web Service Architecture (WSA): the
+// service provider ... the service requestor ... and the discovery agency,
+// which manages UDDI registries."
+//
+// Messages travel in SOAP-style XML envelopes over HTTP (net/http). The
+// package provides the envelope codec, a service-description document
+// (WSDL's role), and the HTTP binding for the UDDI inquiry and publish
+// APIs so a registry can be deployed as an actual network service —
+// two-party (provider hosts it) or third-party (a separate agency does).
+package wsa
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"webdbsec/internal/xmldoc"
+)
+
+// Envelope is the message wrapper: a header carrying metadata (requestor
+// identity, roles, message id) and a body holding the operation payload.
+type Envelope struct {
+	// Operation names the requested API function, e.g. "find_business".
+	Operation string
+	// Sender identifies the requestor or publisher.
+	Sender string
+	// Roles are the sender's asserted roles (validated upstream by the
+	// session layer; the paper's subject qualification happens there).
+	Roles []string
+	// Body is the payload document; its root element is the operation
+	// element.
+	Body *xmldoc.Document
+	// Fault carries an error message in responses.
+	Fault string
+}
+
+// Encode serializes the envelope to its XML wire form.
+func (e *Envelope) Encode() string {
+	b := xmldoc.NewBuilder("envelope", "envelope")
+	b.Begin("header")
+	b.Element("operation", e.Operation)
+	if e.Sender != "" {
+		b.Element("sender", e.Sender)
+	}
+	for _, r := range e.Roles {
+		b.Element("role", r)
+	}
+	b.End()
+	b.Begin("body")
+	if e.Fault != "" {
+		b.Element("fault", e.Fault)
+	}
+	b.End()
+	d := b.Freeze()
+	s := d.Canonical()
+	if e.Body != nil {
+		// Splice the body document inside <body>...</body>. The body is
+		// already canonical XML; direct string surgery keeps the codec
+		// simple and deterministic.
+		inner := e.Body.Canonical()
+		s = strings.Replace(s, "<body>", "<body>"+inner, 1)
+	}
+	return s
+}
+
+// DecodeEnvelope parses the wire form back into an Envelope.
+func DecodeEnvelope(r io.Reader) (*Envelope, error) {
+	d, err := xmldoc.Parse("envelope", r)
+	if err != nil {
+		return nil, fmt.Errorf("wsa: %w", err)
+	}
+	if d.Root.Name != "envelope" {
+		return nil, fmt.Errorf("wsa: root element %q, want envelope", d.Root.Name)
+	}
+	e := &Envelope{}
+	if h := d.Root.Child("header"); h != nil {
+		if op := h.Child("operation"); op != nil {
+			e.Operation = op.Text()
+		}
+		if sd := h.Child("sender"); sd != nil {
+			e.Sender = sd.Text()
+		}
+		for _, c := range h.ElementChildren() {
+			if c.Name == "role" {
+				e.Roles = append(e.Roles, c.Text())
+			}
+		}
+	}
+	if body := d.Root.Child("body"); body != nil {
+		if f := body.Child("fault"); f != nil {
+			e.Fault = f.Text()
+		}
+		for _, c := range body.ElementChildren() {
+			if c.Name == "fault" {
+				continue
+			}
+			// Re-parse the first payload element as a standalone document.
+			sub, err := xmldoc.ParseString("body", xmldoc.CanonicalSubtree(c))
+			if err != nil {
+				return nil, fmt.Errorf("wsa: body payload: %w", err)
+			}
+			e.Body = sub
+			break
+		}
+	}
+	if e.Operation == "" && e.Fault == "" {
+		return nil, fmt.Errorf("wsa: envelope missing operation")
+	}
+	return e, nil
+}
+
+// ServiceDescription plays WSDL's role: an XML description of a service
+// interface — its operations and their message shapes — that a provider
+// publishes and a requestor can fetch.
+type ServiceDescription struct {
+	Name       string
+	Endpoint   string
+	Operations []OperationDesc
+}
+
+// OperationDesc describes one operation of a service.
+type OperationDesc struct {
+	Name   string
+	Input  string // root element name of the request body
+	Output string // root element name of the response body
+}
+
+// ToXML renders the description document.
+func (sd *ServiceDescription) ToXML() *xmldoc.Document {
+	b := xmldoc.NewBuilder("description:"+sd.Name, "description")
+	b.Attrib("name", sd.Name)
+	b.Attrib("endpoint", sd.Endpoint)
+	for _, op := range sd.Operations {
+		b.Begin("operation").
+			Attrib("name", op.Name).
+			Attrib("input", op.Input).
+			Attrib("output", op.Output).
+			End()
+	}
+	return b.Freeze()
+}
+
+// DescriptionFromXML parses a description document.
+func DescriptionFromXML(d *xmldoc.Document) (*ServiceDescription, error) {
+	if d == nil || d.Root == nil || d.Root.Name != "description" {
+		return nil, fmt.Errorf("wsa: not a service description")
+	}
+	sd := &ServiceDescription{}
+	sd.Name, _ = d.Root.Attr("name")
+	sd.Endpoint, _ = d.Root.Attr("endpoint")
+	for _, c := range d.Root.ElementChildren() {
+		if c.Name != "operation" {
+			continue
+		}
+		var op OperationDesc
+		op.Name, _ = c.Attr("name")
+		op.Input, _ = c.Attr("input")
+		op.Output, _ = c.Attr("output")
+		sd.Operations = append(sd.Operations, op)
+	}
+	if sd.Name == "" {
+		return nil, fmt.Errorf("wsa: description missing name")
+	}
+	return sd, nil
+}

@@ -1,0 +1,97 @@
+package wsa
+
+import (
+	"strings"
+	"testing"
+
+	"webdbsec/internal/xmldoc"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	body := xmldoc.MustParseString("b", `<findBusiness name="acme"/>`)
+	env := &Envelope{
+		Operation: "find_business",
+		Sender:    "alice",
+		Roles:     []string{"partner", "auditor"},
+		Body:      body,
+	}
+	got, err := DecodeEnvelope(strings.NewReader(env.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Operation != "find_business" || got.Sender != "alice" {
+		t.Errorf("header lost: %+v", got)
+	}
+	if len(got.Roles) != 2 || got.Roles[0] != "partner" {
+		t.Errorf("roles lost: %v", got.Roles)
+	}
+	if got.Body == nil || got.Body.Root.Name != "findBusiness" {
+		t.Fatalf("body lost: %+v", got.Body)
+	}
+	if n, _ := got.Body.Root.Attr("name"); n != "acme" {
+		t.Errorf("body attr lost: %q", n)
+	}
+}
+
+func TestEnvelopeFault(t *testing.T) {
+	env := &Envelope{Fault: "unknown operation"}
+	got, err := DecodeEnvelope(strings.NewReader(env.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fault != "unknown operation" {
+		t.Errorf("fault = %q", got.Fault)
+	}
+}
+
+func TestEnvelopeNestedBody(t *testing.T) {
+	body := xmldoc.MustParseString("b", `<businessEntity businessKey="k"><name>Acme &amp; Co</name></businessEntity>`)
+	env := &Envelope{Operation: "save_business", Sender: "pub", Body: body}
+	got, err := DecodeEnvelope(strings.NewReader(env.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Body.Root.Child("name").Text() != "Acme & Co" {
+		t.Errorf("escaped text lost: %q", got.Body.Root.Child("name").Text())
+	}
+}
+
+func TestDecodeEnvelopeErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"<notenvelope/>",
+		"<envelope><header/></envelope>", // no operation, no fault
+		"not xml at all",
+	} {
+		if _, err := DecodeEnvelope(strings.NewReader(src)); err == nil {
+			t.Errorf("decode %q: want error", src)
+		}
+	}
+}
+
+func TestServiceDescriptionRoundTrip(t *testing.T) {
+	sd := &ServiceDescription{
+		Name:     "uddi-registry",
+		Endpoint: "http://reg.example/api",
+		Operations: []OperationDesc{
+			{Name: "find_business", Input: "findBusiness", Output: "businessList"},
+			{Name: "save_business", Input: "businessEntity", Output: "result"},
+		},
+	}
+	got, err := DescriptionFromXML(sd.ToXML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != sd.Name || got.Endpoint != sd.Endpoint {
+		t.Errorf("header lost: %+v", got)
+	}
+	if len(got.Operations) != 2 || got.Operations[1].Input != "businessEntity" {
+		t.Errorf("operations lost: %+v", got.Operations)
+	}
+	if _, err := DescriptionFromXML(nil); err == nil {
+		t.Error("nil description accepted")
+	}
+	if _, err := DescriptionFromXML(xmldoc.MustParseString("x", "<other/>")); err == nil {
+		t.Error("wrong root accepted")
+	}
+}

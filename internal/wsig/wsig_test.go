@@ -1,0 +1,97 @@
+package wsig
+
+import (
+	"testing"
+
+	"webdbsec/internal/xmldoc"
+)
+
+func newSigner(t *testing.T, name string) *Signer {
+	t.Helper()
+	s, err := NewSigner(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSignVerifyBytes(t *testing.T) {
+	s := newSigner(t, "provider")
+	sig := s.SignBytes([]byte("hello"))
+	if sig.Signer != "provider" {
+		t.Errorf("signer = %q", sig.Signer)
+	}
+	if !VerifyBytes([]byte("hello"), sig, s.PublicKey()) {
+		t.Error("valid signature rejected")
+	}
+	if VerifyBytes([]byte("hellx"), sig, s.PublicKey()) {
+		t.Error("signature verified over altered data")
+	}
+}
+
+func TestSignVerifyDocument(t *testing.T) {
+	s := newSigner(t, "p")
+	doc := xmldoc.MustParseString("d", `<a x="1"><b>t</b></a>`)
+	sig := s.SignDocument(doc)
+	if !VerifyDocument(doc, sig, s.PublicKey()) {
+		t.Error("valid doc signature rejected")
+	}
+	// Structurally identical doc with different attribute order verifies.
+	doc2 := xmldoc.MustParseString("d", `<a  x="1"><b>t</b></a>`)
+	if !VerifyDocument(doc2, sig, s.PublicKey()) {
+		t.Error("canonicalization broken: identical doc rejected")
+	}
+	tampered := xmldoc.MustParseString("d", `<a x="2"><b>t</b></a>`)
+	if VerifyDocument(tampered, sig, s.PublicKey()) {
+		t.Error("tampered doc verified")
+	}
+}
+
+func TestSignVerifySubtree(t *testing.T) {
+	s := newSigner(t, "p")
+	doc := xmldoc.MustParseString("d", `<r><a>1</a><b>2</b></r>`)
+	a := xmldoc.MustCompilePath("/r/a").Select(doc)[0]
+	b := xmldoc.MustCompilePath("/r/b").Select(doc)[0]
+	sig := s.SignSubtree(a)
+	if !VerifySubtree(a, sig, s.PublicKey()) {
+		t.Error("subtree signature rejected")
+	}
+	if VerifySubtree(b, sig, s.PublicKey()) {
+		t.Error("signature transferred to different subtree")
+	}
+}
+
+func TestKeyDirectory(t *testing.T) {
+	alice := newSigner(t, "alice")
+	bob := newSigner(t, "bob")
+	d := NewKeyDirectory()
+	d.RegisterSigner(alice)
+
+	sig := alice.SignBytes([]byte("msg"))
+	if !d.Verify([]byte("msg"), sig) {
+		t.Error("registered signer rejected")
+	}
+	bobSig := bob.SignBytes([]byte("msg"))
+	if d.Verify([]byte("msg"), bobSig) {
+		t.Error("unregistered signer accepted")
+	}
+	// Impersonation: bob signs but claims to be alice.
+	bobSig.Signer = "alice"
+	if d.Verify([]byte("msg"), bobSig) {
+		t.Error("impersonated signature accepted")
+	}
+	if _, ok := d.Lookup("alice"); !ok {
+		t.Error("lookup failed")
+	}
+	if _, ok := d.Lookup("carol"); ok {
+		t.Error("lookup of unknown signer succeeded")
+	}
+}
+
+func TestSignatureHex(t *testing.T) {
+	s := newSigner(t, "p")
+	sig := s.SignBytes([]byte("x"))
+	if len(sig.Hex()) != 2*len(sig.Value) {
+		t.Error("hex length wrong")
+	}
+}

@@ -1,0 +1,66 @@
+package xmldoc
+
+import (
+	"strings"
+)
+
+// Canonical serialization. Signing and Merkle hashing (internal/wsig,
+// internal/merkle) need a byte representation that is identical for
+// structurally identical documents, regardless of how they were built or
+// which attribute order the producer used. Freeze already sorts attributes;
+// Canonical additionally escapes consistently and emits no insignificant
+// whitespace, in the spirit of W3C Canonical XML (the paper points at the
+// W3C XML-Signature work for exactly this purpose).
+
+// Canonical returns the canonical serialization of the document.
+func (d *Document) Canonical() string {
+	var b strings.Builder
+	if d.Root != nil {
+		canonNode(&b, d.Root)
+	}
+	return b.String()
+}
+
+// CanonicalSubtree returns the canonical serialization of the subtree rooted
+// at n. For attribute nodes it serializes name="value"; for text nodes the
+// escaped text.
+func CanonicalSubtree(n *Node) string {
+	var b strings.Builder
+	canonNode(&b, n)
+	return b.String()
+}
+
+func canonNode(b *strings.Builder, n *Node) {
+	switch n.Kind {
+	case KindText:
+		b.WriteString(escapeText(n.Value))
+	case KindAttr:
+		b.WriteString(n.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeAttr(n.Value))
+		b.WriteString(`"`)
+	case KindElement:
+		b.WriteByte('<')
+		b.WriteString(n.Name)
+		for _, a := range n.Attrs {
+			b.WriteByte(' ')
+			b.WriteString(a.Name)
+			b.WriteString(`="`)
+			b.WriteString(escapeAttr(a.Value))
+			b.WriteString(`"`)
+		}
+		b.WriteByte('>')
+		for _, c := range n.Children {
+			canonNode(b, c)
+		}
+		b.WriteString("</")
+		b.WriteString(n.Name)
+		b.WriteByte('>')
+	}
+}
+
+var textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+var attrEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", `"`, "&quot;")
+
+func escapeText(s string) string { return textEscaper.Replace(s) }
+func escapeAttr(s string) string { return attrEscaper.Replace(s) }

@@ -1,0 +1,76 @@
+package xmldoc
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads an XML document from r and returns its graph-structured form.
+// Namespaces are flattened into plain local names (the policy and Merkle
+// machinery operate on local structure). Whitespace-only text between
+// elements is dropped; other text is preserved verbatim.
+func Parse(docName string, r io.Reader) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	var b *Builder
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmldoc: parse %s: %w", docName, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if b == nil {
+				b = NewBuilder(docName, t.Name.Local)
+			} else {
+				b.Begin(t.Name.Local)
+			}
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				b.Attrib(a.Name.Local, a.Value)
+			}
+			depth++
+		case xml.EndElement:
+			depth--
+			if depth > 0 {
+				b.End()
+			}
+		case xml.CharData:
+			if b == nil || depth == 0 {
+				continue
+			}
+			s := string(t)
+			if strings.TrimSpace(s) == "" {
+				continue
+			}
+			b.Text(s)
+		}
+	}
+	if b == nil {
+		return nil, fmt.Errorf("xmldoc: parse %s: no root element", docName)
+	}
+	return b.Freeze(), nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(docName, s string) (*Document, error) {
+	return Parse(docName, strings.NewReader(s))
+}
+
+// MustParseString is ParseString that panics on error; for tests and
+// examples with literal documents.
+func MustParseString(docName, s string) *Document {
+	d, err := ParseString(docName, s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

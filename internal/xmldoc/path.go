@@ -1,0 +1,358 @@
+package xmldoc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the path language used by policies and queries to
+// address portions of documents. It is a deliberately small XPath subset —
+// enough to express every granularity the Author-X model needs:
+//
+//	/hospital/patient            absolute child steps
+//	//diagnosis                  descendant-or-self anywhere
+//	/hospital/*/name             element wildcard
+//	/hospital/patient/@ssn       attribute selection
+//	/hospital/patient[@ward='3'] attribute-equality predicate
+//	/hospital/patient[name='Bob'] child-text predicate
+//	/a/b/text()                  text children
+//
+// Steps compose left to right; a predicate applies to the step it follows.
+
+// PathExpr is a compiled path expression.
+type PathExpr struct {
+	raw   string
+	steps []pathStep
+}
+
+type pathStep struct {
+	// axis is "child" or "descendant".
+	axis string
+	// name is the element name, "*" for any element, "@x" for attribute x,
+	// "@*" for any attribute, or "text()" for text children.
+	name string
+	// predicate, if non-nil, filters matched elements.
+	pred *pathPred
+}
+
+type pathPred struct {
+	// attr, if set, tests an attribute value; otherwise child tests the
+	// text of a named child element.
+	attr  string
+	child string
+	value string
+}
+
+// CompilePath parses a path expression. The empty path and "/" select the
+// document root.
+func CompilePath(expr string) (*PathExpr, error) {
+	p := &PathExpr{raw: expr}
+	s := strings.TrimSpace(expr)
+	if s == "" || s == "/" {
+		return p, nil
+	}
+	if !strings.HasPrefix(s, "/") {
+		return nil, fmt.Errorf("xmldoc: path %q: must be absolute", expr)
+	}
+	for len(s) > 0 {
+		axis := "child"
+		if strings.HasPrefix(s, "//") {
+			axis = "descendant"
+			s = s[2:]
+		} else if strings.HasPrefix(s, "/") {
+			s = s[1:]
+		} else {
+			return nil, fmt.Errorf("xmldoc: path %q: expected '/' near %q", expr, s)
+		}
+		if s == "" {
+			return nil, fmt.Errorf("xmldoc: path %q: trailing slash", expr)
+		}
+		// Take the step token up to the next '/' that is outside brackets.
+		end := len(s)
+		depth := 0
+		for i, r := range s {
+			switch r {
+			case '[':
+				depth++
+			case ']':
+				depth--
+			case '/':
+				if depth == 0 {
+					end = i
+				}
+			}
+			if end == i {
+				break
+			}
+		}
+		tok := s[:end]
+		s = s[end:]
+		step, err := parseStep(axis, tok, expr)
+		if err != nil {
+			return nil, err
+		}
+		p.steps = append(p.steps, step)
+	}
+	return p, nil
+}
+
+// MustCompilePath is CompilePath that panics on error.
+func MustCompilePath(expr string) *PathExpr {
+	p, err := CompilePath(expr)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseStep(axis, tok, whole string) (pathStep, error) {
+	st := pathStep{axis: axis}
+	name := tok
+	if i := strings.IndexByte(tok, '['); i >= 0 {
+		if !strings.HasSuffix(tok, "]") {
+			return st, fmt.Errorf("xmldoc: path %q: unterminated predicate in %q", whole, tok)
+		}
+		name = tok[:i]
+		pred, err := parsePred(tok[i+1:len(tok)-1], whole)
+		if err != nil {
+			return st, err
+		}
+		st.pred = pred
+	}
+	if name == "" {
+		return st, fmt.Errorf("xmldoc: path %q: empty step", whole)
+	}
+	st.name = name
+	return st, nil
+}
+
+func parsePred(body, whole string) (*pathPred, error) {
+	body = strings.TrimSpace(body)
+	eq := strings.IndexByte(body, '=')
+	if eq < 0 {
+		return nil, fmt.Errorf("xmldoc: path %q: predicate %q must be an equality", whole, body)
+	}
+	lhs := strings.TrimSpace(body[:eq])
+	rhs := strings.TrimSpace(body[eq+1:])
+	if len(rhs) < 2 || (rhs[0] != '\'' && rhs[0] != '"') || rhs[len(rhs)-1] != rhs[0] {
+		return nil, fmt.Errorf("xmldoc: path %q: predicate value %q must be quoted", whole, rhs)
+	}
+	val := rhs[1 : len(rhs)-1]
+	p := &pathPred{value: val}
+	if strings.HasPrefix(lhs, "@") {
+		p.attr = lhs[1:]
+	} else {
+		p.child = lhs
+	}
+	if p.attr == "" && p.child == "" {
+		return nil, fmt.Errorf("xmldoc: path %q: empty predicate lhs", whole)
+	}
+	return p, nil
+}
+
+func (p *pathPred) match(n *Node) bool {
+	if n.Kind != KindElement {
+		return false
+	}
+	if p.attr != "" {
+		v, ok := n.Attr(p.attr)
+		return ok && v == p.value
+	}
+	for _, c := range n.Children {
+		if c.Kind == KindElement && c.Name == p.child && c.Text() == p.value {
+			return true
+		}
+	}
+	return false
+}
+
+// String returns the original expression.
+func (p *PathExpr) String() string { return p.raw }
+
+// Specificity scores how precisely the path pins down its targets; policy
+// conflict resolution prefers higher scores. Child steps count 2 (they fix
+// one level), descendant steps 1 (they match anywhere below), and each
+// predicate adds 1.
+func (p *PathExpr) Specificity() int {
+	s := 0
+	for _, st := range p.steps {
+		if st.axis == "child" {
+			s += 2
+		} else {
+			s++
+		}
+		if st.pred != nil {
+			s++
+		}
+	}
+	return s
+}
+
+// SelectFrom evaluates the path RELATIVE to a context node: the first
+// child-axis step matches the context's children ($x/name semantics), a
+// leading descendant step matches anywhere below the context. The empty
+// path selects the context itself.
+func (p *PathExpr) SelectFrom(ctx *Node) []*Node {
+	if ctx == nil {
+		return nil
+	}
+	if len(p.steps) == 0 {
+		return []*Node{ctx}
+	}
+	cur := map[*Node]bool{ctx: true}
+	for _, step := range p.steps {
+		cur = advance(cur, step)
+	}
+	var out []*Node
+	for n := range cur {
+		out = append(out, n)
+	}
+	sortNodes(out)
+	return out
+}
+
+// advance applies one step to a node set.
+func advance(cur map[*Node]bool, step pathStep) map[*Node]bool {
+	next := map[*Node]bool{}
+	for n := range cur {
+		if n.Kind != KindElement {
+			continue
+		}
+		switch step.axis {
+		case "child":
+			for _, m := range matchStepOn(n, step, false) {
+				next[m] = true
+			}
+		case "descendant":
+			var walk func(*Node)
+			walk = func(e *Node) {
+				if stepMatchesNode(step, e) {
+					next[e] = true
+				}
+				if e.Kind != KindElement {
+					return
+				}
+				for _, a := range e.Attrs {
+					if stepMatchesNode(step, a) {
+						next[a] = true
+					}
+				}
+				for _, c := range e.Children {
+					walk(c)
+				}
+			}
+			for _, a := range n.Attrs {
+				if stepMatchesNode(step, a) {
+					next[a] = true
+				}
+			}
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+	}
+	return next
+}
+
+// Select evaluates the path against the document and returns the matched
+// nodes in document order.
+func (p *PathExpr) Select(d *Document) []*Node {
+	if d == nil || d.Root == nil {
+		return nil
+	}
+	if len(p.steps) == 0 {
+		return []*Node{d.Root}
+	}
+	// The first step matches against the root element itself (for child
+	// axis) or any node (for descendant axis), mirroring how absolute
+	// XPaths are anchored.
+	cur := map[*Node]bool{}
+	first := p.steps[0]
+	switch first.axis {
+	case "child":
+		for _, n := range matchStepOn(d.Root, first, true) {
+			cur[n] = true
+		}
+	case "descendant":
+		d.Walk(func(n *Node) bool {
+			if stepMatchesNode(first, n) {
+				cur[n] = true
+			}
+			return true
+		})
+	}
+	for _, step := range p.steps[1:] {
+		cur = advance(cur, step)
+	}
+	var out []*Node
+	for n := range cur {
+		out = append(out, n)
+	}
+	sortNodes(out)
+	return out
+}
+
+// matchStepOn returns the nodes reachable from e by one child-axis step.
+// When self is true the step is matched against e itself (used to anchor
+// the first step of an absolute path at the root element).
+func matchStepOn(e *Node, step pathStep, self bool) []*Node {
+	var out []*Node
+	if self {
+		if stepMatchesNode(step, e) {
+			out = append(out, e)
+		}
+		return out
+	}
+	if strings.HasPrefix(step.name, "@") {
+		want := step.name[1:]
+		for _, a := range e.Attrs {
+			if want == "*" || a.Name == want {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	if step.name == "text()" {
+		for _, c := range e.Children {
+			if c.Kind == KindText {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	for _, c := range e.Children {
+		if c.Kind != KindElement {
+			continue
+		}
+		if (step.name == "*" || c.Name == step.name) && (step.pred == nil || step.pred.match(c)) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func stepMatchesNode(step pathStep, n *Node) bool {
+	if strings.HasPrefix(step.name, "@") {
+		want := step.name[1:]
+		return n.Kind == KindAttr && (want == "*" || n.Name == want)
+	}
+	if step.name == "text()" {
+		return n.Kind == KindText
+	}
+	if n.Kind != KindElement {
+		return false
+	}
+	if step.name != "*" && n.Name != step.name {
+		return false
+	}
+	return step.pred == nil || step.pred.match(n)
+}
+
+func sortNodes(ns []*Node) {
+	// Document order equals dense id order.
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && ns[j-1].id > ns[j].id; j-- {
+			ns[j-1], ns[j] = ns[j], ns[j-1]
+		}
+	}
+}

@@ -1,0 +1,491 @@
+// Package xmldoc implements the graph-structured XML document model that
+// underlies the access control and secure dissemination machinery in this
+// repository.
+//
+// The paper (§3.2) observes that "XML documents have graph structures" and
+// that an access control model must "support a wide spectrum of access
+// granularity levels, ranging from sets of documents, to single documents,
+// to specific portions within a document". This package provides exactly
+// that substrate: a DOM-like tree of elements, attributes and text, plus
+// the intra-document graph edges induced by ID/IDREF attributes, a small
+// path language for addressing portions of documents (see path.go), and a
+// canonical serialization used for hashing and signing (see canon.go).
+package xmldoc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeKind discriminates the node variants of a document.
+type NodeKind int
+
+// Node kinds.
+const (
+	KindElement NodeKind = iota
+	KindAttr
+	KindText
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case KindElement:
+		return "element"
+	case KindAttr:
+		return "attribute"
+	case KindText:
+		return "text"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Node is a single node of a document: an element, an attribute, or a text
+// segment. Nodes form a tree through Parent/Children and, additionally, a
+// graph through IDREF links (see Document.Links).
+type Node struct {
+	Kind NodeKind
+
+	// Name is the element or attribute name. Empty for text nodes.
+	Name string
+
+	// Value is the attribute value or the text content. Empty for elements.
+	Value string
+
+	// Parent is nil for the document root.
+	Parent *Node
+
+	// Children holds the element and text children of an element, in
+	// document order. Attributes are kept separately in Attrs.
+	Children []*Node
+
+	// Attrs holds the attribute nodes of an element, sorted by name.
+	Attrs []*Node
+
+	// id is the per-document node identifier assigned at build time. It is
+	// stable under canonicalization and is what policies and Merkle proofs
+	// refer to.
+	id int
+
+	doc *Document
+}
+
+// ID returns the per-document node identifier. Identifiers are assigned in
+// document order, are dense, and start at 0 for the root.
+func (n *Node) ID() int { return n.id }
+
+// Document returns the document the node belongs to.
+func (n *Node) Document() *Document { return n.doc }
+
+// Attr returns the value of the named attribute and whether it is present.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// Text returns the concatenation of all text descendants of n in document
+// order. For a text node it returns the node's value.
+func (n *Node) Text() string {
+	if n.Kind == KindText {
+		return n.Value
+	}
+	var b strings.Builder
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if m.Kind == KindText {
+			b.WriteString(m.Value)
+			return
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return b.String()
+}
+
+// Path returns the absolute element path of n, e.g. "/hospital/patient/name".
+// Attribute nodes append "/@name"; text nodes use the parent element's path.
+func (n *Node) Path() string {
+	if n == nil {
+		return ""
+	}
+	switch n.Kind {
+	case KindAttr:
+		return n.Parent.Path() + "/@" + n.Name
+	case KindText:
+		return n.Parent.Path()
+	}
+	if n.Parent == nil {
+		return "/" + n.Name
+	}
+	return n.Parent.Path() + "/" + n.Name
+}
+
+// Depth returns the number of ancestors of n.
+func (n *Node) Depth() int {
+	d := 0
+	for p := n.Parent; p != nil; p = p.Parent {
+		d++
+	}
+	return d
+}
+
+// IsAncestorOf reports whether n is a proper ancestor of m.
+func (n *Node) IsAncestorOf(m *Node) bool {
+	for p := m.Parent; p != nil; p = p.Parent {
+		if p == n {
+			return true
+		}
+	}
+	return false
+}
+
+// ElementChildren returns only the element children of n.
+func (n *Node) ElementChildren() []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Kind == KindElement {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Child returns the first element child with the given name, or nil.
+func (n *Node) Child(name string) *Node {
+	for _, c := range n.Children {
+		if c.Kind == KindElement && c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Link is a graph edge induced by an IDREF(S) attribute: the element holding
+// the referring attribute points at the element whose ID attribute matches.
+type Link struct {
+	From *Node // referring element
+	Attr string
+	To   *Node // referred element
+}
+
+// Document is a parsed XML document: a node tree plus the ID index and the
+// IDREF link set that give it the graph structure the paper refers to.
+type Document struct {
+	// Name identifies the document inside a Store (e.g. a file name or URI).
+	Name string
+
+	Root *Node
+
+	// nodes indexes nodes by their dense identifier.
+	nodes []*Node
+
+	// byXMLID maps the value of "id" attributes to the owning element.
+	byXMLID map[string]*Node
+
+	// Links are the IDREF edges, discovered by Freeze.
+	Links []Link
+}
+
+// NumNodes returns the number of nodes in the document (elements,
+// attributes and text segments).
+func (d *Document) NumNodes() int { return len(d.nodes) }
+
+// NodeByID returns the node with the given dense identifier, or nil.
+func (d *Document) NodeByID(id int) *Node {
+	if id < 0 || id >= len(d.nodes) {
+		return nil
+	}
+	return d.nodes[id]
+}
+
+// ElementByXMLID returns the element whose id="..." attribute equals v.
+func (d *Document) ElementByXMLID(v string) (*Node, bool) {
+	n, ok := d.byXMLID[v]
+	return n, ok
+}
+
+// Nodes returns all nodes in document order. The returned slice must not be
+// modified.
+func (d *Document) Nodes() []*Node { return d.nodes }
+
+// Walk calls fn for every node in document order, root first. If fn returns
+// false for an element, its subtree (including attributes) is skipped.
+func (d *Document) Walk(fn func(*Node) bool) {
+	var walk func(*Node)
+	walk = func(n *Node) {
+		if !fn(n) {
+			return
+		}
+		for _, a := range n.Attrs {
+			fn(a)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	if d.Root != nil {
+		walk(d.Root)
+	}
+}
+
+// Builder incrementally constructs a Document. It is the only way to create
+// documents programmatically; Parse uses it internally.
+type Builder struct {
+	doc  *Document
+	cur  *Node
+	done bool
+}
+
+// NewBuilder returns a Builder for a document with the given name and root
+// element name.
+func NewBuilder(docName, rootName string) *Builder {
+	d := &Document{Name: docName, byXMLID: make(map[string]*Node)}
+	root := &Node{Kind: KindElement, Name: rootName, doc: d}
+	d.Root = root
+	return &Builder{doc: d, cur: root}
+}
+
+// Begin opens a child element of the current element and descends into it.
+func (b *Builder) Begin(name string) *Builder {
+	b.mustOpen()
+	n := &Node{Kind: KindElement, Name: name, Parent: b.cur, doc: b.doc}
+	b.cur.Children = append(b.cur.Children, n)
+	b.cur = n
+	return b
+}
+
+// End closes the current element, ascending to its parent. Ending the root
+// is an error caught by Freeze.
+func (b *Builder) End() *Builder {
+	b.mustOpen()
+	if b.cur.Parent != nil {
+		b.cur = b.cur.Parent
+	}
+	return b
+}
+
+// Attrib adds an attribute to the current element.
+func (b *Builder) Attrib(name, value string) *Builder {
+	b.mustOpen()
+	a := &Node{Kind: KindAttr, Name: name, Value: value, Parent: b.cur, doc: b.doc}
+	b.cur.Attrs = append(b.cur.Attrs, a)
+	return b
+}
+
+// Text adds a text child to the current element.
+func (b *Builder) Text(s string) *Builder {
+	b.mustOpen()
+	t := &Node{Kind: KindText, Value: s, Parent: b.cur, doc: b.doc}
+	b.cur.Children = append(b.cur.Children, t)
+	return b
+}
+
+// Element is shorthand for Begin(name).Text(text).End().
+func (b *Builder) Element(name, text string) *Builder {
+	return b.Begin(name).Text(text).End()
+}
+
+func (b *Builder) mustOpen() {
+	if b.done {
+		panic("xmldoc: Builder used after Freeze")
+	}
+}
+
+// Freeze finalizes the document: it sorts attributes, assigns dense node
+// identifiers in document order, indexes id attributes and resolves IDREF
+// links. The Builder must not be used afterwards.
+func (b *Builder) Freeze() *Document {
+	if b.done {
+		panic("xmldoc: Freeze called twice")
+	}
+	b.done = true
+	d := b.doc
+	d.index()
+	return d
+}
+
+// index (re)computes dense ids, the XML-ID index and the IDREF link set.
+func (d *Document) index() {
+	d.nodes = d.nodes[:0]
+	d.byXMLID = make(map[string]*Node)
+	var walk func(*Node)
+	walk = func(n *Node) {
+		n.id = len(d.nodes)
+		n.doc = d
+		d.nodes = append(d.nodes, n)
+		sort.SliceStable(n.Attrs, func(i, j int) bool { return n.Attrs[i].Name < n.Attrs[j].Name })
+		for _, a := range n.Attrs {
+			a.id = len(d.nodes)
+			a.doc = d
+			d.nodes = append(d.nodes, a)
+			if a.Name == "id" {
+				d.byXMLID[a.Value] = n
+			}
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	if d.Root != nil {
+		walk(d.Root)
+	}
+	// Resolve IDREF links in a second pass, now that byXMLID is complete.
+	d.Links = d.Links[:0]
+	for _, n := range d.nodes {
+		if n.Kind != KindElement {
+			continue
+		}
+		for _, a := range n.Attrs {
+			if a.Name != "idref" && a.Name != "idrefs" {
+				continue
+			}
+			for _, ref := range strings.Fields(a.Value) {
+				if to, ok := d.byXMLID[ref]; ok {
+					d.Links = append(d.Links, Link{From: n, Attr: a.Name, To: to})
+				}
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of the document. Node identifiers are preserved.
+func (d *Document) Clone() *Document {
+	b := &Builder{doc: &Document{Name: d.Name, byXMLID: make(map[string]*Node)}}
+	var copyNode func(src *Node, parent *Node) *Node
+	copyNode = func(src *Node, parent *Node) *Node {
+		n := &Node{Kind: src.Kind, Name: src.Name, Value: src.Value, Parent: parent, doc: b.doc}
+		for _, a := range src.Attrs {
+			n.Attrs = append(n.Attrs, &Node{Kind: KindAttr, Name: a.Name, Value: a.Value, Parent: n, doc: b.doc})
+		}
+		for _, c := range src.Children {
+			n.Children = append(n.Children, copyNode(c, n))
+		}
+		return n
+	}
+	if d.Root != nil {
+		b.doc.Root = copyNode(d.Root, nil)
+	}
+	b.doc.index()
+	return b.doc
+}
+
+// Prune returns a deep copy of the document retaining only the nodes for
+// which keep returns true, together with all their ancestors (so the result
+// is a well-formed document). Attributes and text of retained elements are
+// kept only if keep accepts them. If the root itself is not retained and no
+// descendant is, Prune returns nil.
+//
+// Prune is the core of Author-X view computation: the access control engine
+// marks the authorized nodes and Prune materializes the subject's view.
+func (d *Document) Prune(keep func(*Node) bool) *Document {
+	retain := make([]bool, len(d.nodes))
+	for _, n := range d.nodes {
+		if keep(n) {
+			// Keep the node and all its ancestors.
+			retain[n.id] = true
+			for p := n.Parent; p != nil; p = p.Parent {
+				retain[p.id] = true
+			}
+		}
+	}
+	if d.Root == nil || !retain[d.Root.id] {
+		return nil
+	}
+	out := &Document{Name: d.Name, byXMLID: make(map[string]*Node)}
+	var copyNode func(src *Node, parent *Node) *Node
+	copyNode = func(src *Node, parent *Node) *Node {
+		n := &Node{Kind: src.Kind, Name: src.Name, Value: src.Value, Parent: parent, doc: out}
+		for _, a := range src.Attrs {
+			if retain[a.id] {
+				n.Attrs = append(n.Attrs, &Node{Kind: KindAttr, Name: a.Name, Value: a.Value, Parent: n, doc: out})
+			}
+		}
+		for _, c := range src.Children {
+			if retain[c.id] {
+				n.Children = append(n.Children, copyNode(c, n))
+			}
+		}
+		return n
+	}
+	out.Root = copyNode(d.Root, nil)
+	out.index()
+	return out
+}
+
+// Store is a named collection of documents — the "document set" granularity
+// of the Author-X policy model.
+type Store struct {
+	docs map[string]*Document
+	// Sets maps a set name to the document names it contains.
+	sets map[string]map[string]bool
+}
+
+// NewStore returns an empty document store.
+func NewStore() *Store {
+	return &Store{docs: make(map[string]*Document), sets: make(map[string]map[string]bool)}
+}
+
+// Put adds or replaces a document.
+func (s *Store) Put(d *Document) {
+	s.docs[d.Name] = d
+}
+
+// Get returns the named document.
+func (s *Store) Get(name string) (*Document, bool) {
+	d, ok := s.docs[name]
+	return d, ok
+}
+
+// Remove deletes the named document and drops it from every set.
+func (s *Store) Remove(name string) {
+	delete(s.docs, name)
+	for _, set := range s.sets {
+		delete(set, name)
+	}
+}
+
+// Len returns the number of documents in the store.
+func (s *Store) Len() int { return len(s.docs) }
+
+// Names returns the document names in sorted order.
+func (s *Store) Names() []string {
+	out := make([]string, 0, len(s.docs))
+	for name := range s.docs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddToSet places a document into a named document set, creating the set if
+// needed. The document need not exist yet.
+func (s *Store) AddToSet(set, doc string) {
+	m := s.sets[set]
+	if m == nil {
+		m = make(map[string]bool)
+		s.sets[set] = m
+	}
+	m[doc] = true
+}
+
+// SetContains reports whether the named set contains the document.
+func (s *Store) SetContains(set, doc string) bool {
+	return s.sets[set][doc]
+}
+
+// SetMembers returns the sorted document names of a set.
+func (s *Store) SetMembers(set string) []string {
+	var out []string
+	for name := range s.sets[set] {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,483 @@
+package xmldoc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const hospitalXML = `
+<hospital name="St. Mary">
+  <patient id="p1" ward="3">
+    <name>Alice</name>
+    <ssn>111-22-3333</ssn>
+    <diagnosis severity="high">flu</diagnosis>
+  </patient>
+  <patient id="p2" ward="5">
+    <name>Bob</name>
+    <ssn>444-55-6666</ssn>
+    <diagnosis severity="low">cold</diagnosis>
+    <referral idref="p1"/>
+  </patient>
+  <policy>public</policy>
+</hospital>`
+
+func mustDoc(t testing.TB) *Document {
+	t.Helper()
+	d, err := ParseString("hospital.xml", hospitalXML)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return d
+}
+
+func TestParseBasicStructure(t *testing.T) {
+	d := mustDoc(t)
+	if d.Root.Name != "hospital" {
+		t.Fatalf("root = %q, want hospital", d.Root.Name)
+	}
+	if got := len(d.Root.ElementChildren()); got != 3 {
+		t.Fatalf("root element children = %d, want 3", got)
+	}
+	name, ok := d.Root.Attr("name")
+	if !ok || name != "St. Mary" {
+		t.Fatalf("root name attr = %q, %v", name, ok)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseString("x", ""); err == nil {
+		t.Error("empty input: want error")
+	}
+	if _, err := ParseString("x", "<a><b></a>"); err == nil {
+		t.Error("mismatched tags: want error")
+	}
+	if _, err := ParseString("x", "just text"); err == nil {
+		t.Error("no root element: want error")
+	}
+}
+
+func TestDenseIDsAreDocumentOrder(t *testing.T) {
+	d := mustDoc(t)
+	prev := -1
+	d.Walk(func(n *Node) bool {
+		if n.ID() <= prev {
+			t.Fatalf("node ids not strictly increasing: %d after %d", n.ID(), prev)
+		}
+		prev = n.ID()
+		return true
+	})
+	if d.Root.ID() != 0 {
+		t.Errorf("root id = %d, want 0", d.Root.ID())
+	}
+	if d.NumNodes() != prev+1 {
+		t.Errorf("NumNodes = %d, want %d", d.NumNodes(), prev+1)
+	}
+}
+
+func TestIDREFLinks(t *testing.T) {
+	d := mustDoc(t)
+	if len(d.Links) != 1 {
+		t.Fatalf("links = %d, want 1", len(d.Links))
+	}
+	l := d.Links[0]
+	if l.From.Name != "referral" {
+		t.Errorf("link from %q, want referral", l.From.Name)
+	}
+	if v, _ := l.To.Attr("id"); v != "p1" {
+		t.Errorf("link to id=%q, want p1", v)
+	}
+}
+
+func TestElementByXMLID(t *testing.T) {
+	d := mustDoc(t)
+	n, ok := d.ElementByXMLID("p2")
+	if !ok {
+		t.Fatal("p2 not indexed")
+	}
+	if n.Child("name").Text() != "Bob" {
+		t.Errorf("p2 name = %q, want Bob", n.Child("name").Text())
+	}
+	if _, ok := d.ElementByXMLID("nope"); ok {
+		t.Error("nonexistent id found")
+	}
+}
+
+func TestTextAndPath(t *testing.T) {
+	d := mustDoc(t)
+	p := MustCompilePath("/hospital/patient[@ward='3']/name")
+	ns := p.Select(d)
+	if len(ns) != 1 {
+		t.Fatalf("matches = %d, want 1", len(ns))
+	}
+	if ns[0].Text() != "Alice" {
+		t.Errorf("text = %q, want Alice", ns[0].Text())
+	}
+	if ns[0].Path() != "/hospital/patient/name" {
+		t.Errorf("path = %q", ns[0].Path())
+	}
+}
+
+func TestPathSelection(t *testing.T) {
+	d := mustDoc(t)
+	cases := []struct {
+		expr string
+		want int
+	}{
+		{"/", 1},
+		{"/hospital", 1},
+		{"/hospital/patient", 2},
+		{"/hospital/*", 3},
+		{"//diagnosis", 2},
+		{"//@severity", 2},
+		{"/hospital/patient/@ssn", 0}, // ssn is an element, not attribute
+		{"/hospital/patient/ssn", 2},
+		{"/hospital/patient[@ward='5']", 1},
+		{"/hospital/patient[name='Alice']", 1},
+		{"/hospital/patient[name='Carol']", 0},
+		{"//patient/@id", 2},
+		{"/hospital/policy/text()", 1},
+		{"//nope", 0},
+		{"/nope", 0},
+	}
+	for _, c := range cases {
+		p, err := CompilePath(c.expr)
+		if err != nil {
+			t.Fatalf("compile %q: %v", c.expr, err)
+		}
+		if got := len(p.Select(d)); got != c.want {
+			t.Errorf("%q: matches = %d, want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestPathCompileErrors(t *testing.T) {
+	for _, expr := range []string{
+		"relative/path",
+		"/a/",
+		"/a[b]",
+		"/a[@x=unquoted]",
+		"/a[@x='open]",
+		"/a[=''] ",
+		"//",
+	} {
+		if _, err := CompilePath(expr); err == nil {
+			t.Errorf("compile %q: want error", expr)
+		}
+	}
+}
+
+func TestDescendantAxisMidPath(t *testing.T) {
+	d := MustParseString("x", `<a><b><c><d v="1"/></c></b><d v="2"/></a>`)
+	p := MustCompilePath("/a/b//d")
+	ns := p.Select(d)
+	if len(ns) != 1 {
+		t.Fatalf("matches = %d, want 1", len(ns))
+	}
+	if v, _ := ns[0].Attr("v"); v != "1" {
+		t.Errorf("matched d v=%q, want 1", v)
+	}
+}
+
+func TestPrune(t *testing.T) {
+	d := mustDoc(t)
+	// Keep only names: ancestors come along, siblings don't.
+	keepNames := map[int]bool{}
+	for _, n := range MustCompilePath("//name").Select(d) {
+		keepNames[n.ID()] = true
+		for _, c := range n.Children {
+			keepNames[c.ID()] = true
+		}
+	}
+	v := d.Prune(func(n *Node) bool { return keepNames[n.ID()] })
+	if v == nil {
+		t.Fatal("pruned view is nil")
+	}
+	if got := len(MustCompilePath("//name").Select(v)); got != 2 {
+		t.Errorf("names in view = %d, want 2", got)
+	}
+	if got := len(MustCompilePath("//ssn").Select(v)); got != 0 {
+		t.Errorf("ssn leaked into view: %d", got)
+	}
+	if got := len(MustCompilePath("//@ward").Select(v)); got != 0 {
+		t.Errorf("ward attr leaked into view: %d", got)
+	}
+	// Original untouched.
+	if got := len(MustCompilePath("//ssn").Select(d)); got != 2 {
+		t.Errorf("original mutated: ssn = %d", got)
+	}
+}
+
+func TestPruneNothingKept(t *testing.T) {
+	d := mustDoc(t)
+	if v := d.Prune(func(*Node) bool { return false }); v != nil {
+		t.Error("prune(false) should be nil")
+	}
+}
+
+func TestPruneEverythingKept(t *testing.T) {
+	d := mustDoc(t)
+	v := d.Prune(func(*Node) bool { return true })
+	if v.Canonical() != d.Canonical() {
+		t.Error("prune(true) differs from original")
+	}
+	if v.NumNodes() != d.NumNodes() {
+		t.Errorf("node counts differ: %d vs %d", v.NumNodes(), d.NumNodes())
+	}
+}
+
+func TestClonePreservesStructure(t *testing.T) {
+	d := mustDoc(t)
+	c := d.Clone()
+	if c.Canonical() != d.Canonical() {
+		t.Error("clone canonical form differs")
+	}
+	if c.NumNodes() != d.NumNodes() {
+		t.Error("clone node count differs")
+	}
+	if len(c.Links) != len(d.Links) {
+		t.Error("clone link count differs")
+	}
+	// Mutating the clone must not touch the original.
+	c.Root.Attrs[0].Value = "changed"
+	if d.Root.Attrs[0].Value == "changed" {
+		t.Error("clone shares nodes with original")
+	}
+}
+
+func TestCanonicalEscaping(t *testing.T) {
+	b := NewBuilder("t", "r")
+	b.Attrib("a", `x<&"y`)
+	b.Text("1 < 2 & 3 > 2")
+	d := b.Freeze()
+	want := `<r a="x&lt;&amp;&quot;y">1 &lt; 2 &amp; 3 &gt; 2</r>`
+	if got := d.Canonical(); got != want {
+		t.Errorf("canonical = %q, want %q", got, want)
+	}
+}
+
+func TestCanonicalAttributeOrderIndependence(t *testing.T) {
+	d1 := MustParseString("a", `<r b="2" a="1"/>`)
+	d2 := MustParseString("a", `<r a="1" b="2"/>`)
+	if d1.Canonical() != d2.Canonical() {
+		t.Error("canonical form depends on attribute order")
+	}
+}
+
+func TestCanonicalRoundTrip(t *testing.T) {
+	d := mustDoc(t)
+	d2, err := ParseString(d.Name, d.Canonical())
+	if err != nil {
+		t.Fatalf("reparse canonical: %v", err)
+	}
+	if d2.Canonical() != d.Canonical() {
+		t.Error("canonical form not a fixed point of parse")
+	}
+}
+
+func TestBuilderShape(t *testing.T) {
+	b := NewBuilder("built", "library")
+	b.Begin("book").Attrib("isbn", "1").Element("title", "Go").End()
+	b.Begin("book").Attrib("isbn", "2").Element("title", "Databases").End()
+	d := b.Freeze()
+	if got := len(MustCompilePath("/library/book").Select(d)); got != 2 {
+		t.Fatalf("books = %d, want 2", got)
+	}
+	if got := MustCompilePath("/library/book[@isbn='2']/title").Select(d)[0].Text(); got != "Databases" {
+		t.Errorf("title = %q", got)
+	}
+}
+
+func TestAncestorDepth(t *testing.T) {
+	d := mustDoc(t)
+	name := MustCompilePath("//name").Select(d)[0]
+	if name.Depth() != 2 {
+		t.Errorf("depth = %d, want 2", name.Depth())
+	}
+	if !d.Root.IsAncestorOf(name) {
+		t.Error("root should be ancestor of name")
+	}
+	if name.IsAncestorOf(d.Root) {
+		t.Error("name should not be ancestor of root")
+	}
+	if name.IsAncestorOf(name) {
+		t.Error("node should not be its own ancestor")
+	}
+}
+
+func TestStoreSets(t *testing.T) {
+	s := NewStore()
+	d := mustDoc(t)
+	s.Put(d)
+	s.AddToSet("medical", d.Name)
+	s.AddToSet("medical", "other.xml")
+	if !s.SetContains("medical", d.Name) {
+		t.Error("set membership lost")
+	}
+	if got := s.SetMembers("medical"); len(got) != 2 || got[0] != "hospital.xml" {
+		t.Errorf("members = %v", got)
+	}
+	if _, ok := s.Get("hospital.xml"); !ok {
+		t.Error("document not retrievable")
+	}
+	s.Remove(d.Name)
+	if s.SetContains("medical", d.Name) {
+		t.Error("removed doc still in set")
+	}
+	if s.Len() != 0 {
+		t.Errorf("len = %d, want 0", s.Len())
+	}
+}
+
+// randomDoc builds a pseudo-random document from a seed; used by the
+// property tests below.
+func randomDoc(seed int64, maxNodes int) *Document {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder("rand", "root")
+	names := []string{"a", "b", "c", "d", "e"}
+	depth := 0
+	n := 1 + rng.Intn(maxNodes)
+	for i := 0; i < n; i++ {
+		switch op := rng.Intn(5); {
+		case op == 0 && depth > 0:
+			b.End()
+			depth--
+		case op <= 2:
+			b.Begin(names[rng.Intn(len(names))])
+			depth++
+			if rng.Intn(2) == 0 {
+				b.Attrib(names[rng.Intn(len(names))], fmt.Sprintf("v%d", rng.Intn(10)))
+			}
+		case op == 3:
+			b.Text(fmt.Sprintf("t%d", rng.Intn(100)))
+		default:
+			b.Attrib("k"+names[rng.Intn(len(names))], fmt.Sprintf("v%d", rng.Intn(10)))
+		}
+	}
+	return b.Freeze()
+}
+
+func TestQuickCanonicalReparseFixpoint(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDoc(seed, 60)
+		d2, err := ParseString("rand", d.Canonical())
+		if err != nil {
+			return false
+		}
+		return d2.Canonical() == d.Canonical()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPruneSubsetInvariant(t *testing.T) {
+	// Any pruned view contains only nodes whose paths exist in the source,
+	// and prune(true) is the identity.
+	f := func(seed int64) bool {
+		d := randomDoc(seed, 80)
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		v := d.Prune(func(n *Node) bool { return rng.Intn(3) == 0 })
+		if v == nil {
+			return true
+		}
+		if v.NumNodes() > d.NumNodes() {
+			return false
+		}
+		srcPaths := map[string]int{}
+		d.Walk(func(n *Node) bool { srcPaths[pathKey(n)]++; return true })
+		ok := true
+		v.Walk(func(n *Node) bool {
+			if srcPaths[pathKey(n)] == 0 {
+				ok = false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func pathKey(n *Node) string {
+	switch n.Kind {
+	case KindAttr:
+		return n.Path()
+	case KindText:
+		return n.Path() + "#text:" + n.Value
+	default:
+		return n.Path()
+	}
+}
+
+func TestQuickCloneEqualsOriginal(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDoc(seed, 50)
+		c := d.Clone()
+		return c.Canonical() == d.Canonical() && c.NumNodes() == d.NumNodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPathCompilerNeverPanics(t *testing.T) {
+	// The path compiler fronts policy administration and query APIs; it
+	// must reject arbitrary byte soup without panicking.
+	d := MustParseString("x", `<a><b c="1">t</b></a>`)
+	f := func(expr string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("compiler panicked on %q: %v", expr, r)
+				ok = false
+			}
+		}()
+		for _, e := range []string{expr, "/" + expr, "//" + expr, "/a/" + expr + "/b"} {
+			if p, err := CompilePath(e); err == nil {
+				p.Select(d) // selecting must not panic either
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickParserNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("XML parser panicked: %v", r)
+				ok = false
+			}
+		}()
+		ParseString("fuzz", src)
+		ParseString("fuzz", "<r>"+src+"</r>")
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWalkSkipsSubtree(t *testing.T) {
+	d := mustDoc(t)
+	var visited []string
+	d.Walk(func(n *Node) bool {
+		if n.Kind == KindElement {
+			visited = append(visited, n.Name)
+		}
+		return n.Name != "patient" // don't descend into patients
+	})
+	joined := strings.Join(visited, ",")
+	if strings.Contains(joined, "name") || strings.Contains(joined, "ssn") {
+		t.Errorf("walk descended into skipped subtree: %s", joined)
+	}
+	if !strings.Contains(joined, "policy") {
+		t.Errorf("walk missed sibling after skip: %s", joined)
+	}
+}

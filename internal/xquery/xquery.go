@@ -1,0 +1,323 @@
+// Package xquery implements a FLWOR-subset query language over the XML
+// substrate — the paper's §2.1: "an appropriate query language is needed.
+// Since SQL is a popular language, appropriate extensions to SQL may be
+// desired. XML-QL and XQuery are moving in this direction."
+//
+// Grammar:
+//
+//	FOR $var IN <absolute-path>
+//	[WHERE <rel-path> <op> '<literal>' [AND ...]]
+//	RETURN <rel-path> [, <rel-path> ...]
+//
+// where <rel-path> is evaluated relative to the bound node ("." is the
+// node itself, "@attr" its attribute, "name" a child). Comparison
+// operators: = != < <= > >=; values compare numerically when both sides
+// parse as numbers.
+//
+// SecureEval runs the same query against a subject's authorized VIEW, so
+// queries compose with access control instead of bypassing it.
+package xquery
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"webdbsec/internal/accessctl"
+	"webdbsec/internal/policy"
+	"webdbsec/internal/xmldoc"
+)
+
+// Query is a compiled FLWOR query.
+type Query struct {
+	raw     string
+	varName string
+	forPath *xmldoc.PathExpr
+	where   []condition
+	returns []*relPath
+}
+
+type condition struct {
+	path *relPath
+	op   string
+	val  string
+}
+
+// relPath wraps a path evaluated relative to the bound node. "." selects
+// the node; "@x" its attribute; other forms compile through xmldoc by
+// prefixing "/".
+type relPath struct {
+	raw  string
+	self bool
+	expr *xmldoc.PathExpr
+}
+
+func compileRel(s string) (*relPath, error) {
+	s = strings.TrimSpace(s)
+	if s == "." {
+		return &relPath{raw: s, self: true}, nil
+	}
+	prefix := "/"
+	if strings.HasPrefix(s, "/") {
+		return nil, fmt.Errorf("xquery: path %q must be relative to the variable", s)
+	}
+	pe, err := xmldoc.CompilePath(prefix + s)
+	if err != nil {
+		return nil, err
+	}
+	return &relPath{raw: s, expr: pe}, nil
+}
+
+func (r *relPath) selectFrom(n *xmldoc.Node) []*xmldoc.Node {
+	if r.self {
+		return []*xmldoc.Node{n}
+	}
+	return r.expr.SelectFrom(n)
+}
+
+// value extracts the comparable string of a matched node.
+func value(n *xmldoc.Node) string {
+	switch n.Kind {
+	case xmldoc.KindAttr:
+		return n.Value
+	default:
+		return n.Text()
+	}
+}
+
+// Compile parses a FLWOR query.
+func Compile(src string) (*Query, error) {
+	q := &Query{raw: src}
+	rest := strings.TrimSpace(src)
+	kw := func(name string) bool {
+		if len(rest) >= len(name) && strings.EqualFold(rest[:len(name)], name) {
+			rest = strings.TrimSpace(rest[len(name):])
+			return true
+		}
+		return false
+	}
+	if !kw("FOR") {
+		return nil, fmt.Errorf("xquery: query must start with FOR")
+	}
+	if !strings.HasPrefix(rest, "$") {
+		return nil, fmt.Errorf("xquery: FOR needs a $variable")
+	}
+	sp := strings.IndexAny(rest, " \t\n")
+	if sp < 0 {
+		return nil, fmt.Errorf("xquery: incomplete FOR clause")
+	}
+	q.varName = rest[1:sp]
+	rest = strings.TrimSpace(rest[sp:])
+	if !kw("IN") {
+		return nil, fmt.Errorf("xquery: expected IN after the variable")
+	}
+	// The FOR path runs to WHERE or RETURN.
+	upper := strings.ToUpper(rest)
+	end := len(rest)
+	if i := strings.Index(upper, " WHERE "); i >= 0 {
+		end = i
+	} else if i := strings.Index(upper, " RETURN "); i >= 0 {
+		end = i
+	}
+	forPath := strings.TrimSpace(rest[:end])
+	pe, err := xmldoc.CompilePath(forPath)
+	if err != nil {
+		return nil, fmt.Errorf("xquery: FOR path: %w", err)
+	}
+	q.forPath = pe
+	rest = strings.TrimSpace(rest[end:])
+
+	if kw("WHERE") {
+		upper = strings.ToUpper(rest)
+		end = len(rest)
+		if i := strings.Index(upper, " RETURN "); i >= 0 {
+			end = i
+		}
+		whereSrc := rest[:end]
+		rest = strings.TrimSpace(rest[end:])
+		for _, part := range splitTopAnd(whereSrc) {
+			c, err := parseCondition(part, q.varName)
+			if err != nil {
+				return nil, err
+			}
+			q.where = append(q.where, c)
+		}
+	}
+	if !kw("RETURN") {
+		return nil, fmt.Errorf("xquery: missing RETURN clause")
+	}
+	for _, part := range strings.Split(rest, ",") {
+		part = strings.TrimSpace(part)
+		rel, err := stripVar(part, q.varName)
+		if err != nil {
+			return nil, err
+		}
+		rp, err := compileRel(rel)
+		if err != nil {
+			return nil, err
+		}
+		q.returns = append(q.returns, rp)
+	}
+	if len(q.returns) == 0 {
+		return nil, fmt.Errorf("xquery: RETURN needs at least one path")
+	}
+	return q, nil
+}
+
+// MustCompile is Compile that panics on error.
+func MustCompile(src string) *Query {
+	q, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// splitTopAnd splits a WHERE body on ANDs outside quotes.
+func splitTopAnd(s string) []string {
+	var parts []string
+	depth := false // inside quotes
+	last := 0
+	upper := strings.ToUpper(s)
+	for i := 0; i+5 <= len(s); i++ {
+		if s[i] == '\'' {
+			depth = !depth
+		}
+		if !depth && upper[i:i+5] == " AND " {
+			parts = append(parts, s[last:i])
+			last = i + 5
+		}
+	}
+	parts = append(parts, s[last:])
+	return parts
+}
+
+func parseCondition(src, varName string) (condition, error) {
+	src = strings.TrimSpace(src)
+	for _, op := range []string{"!=", "<=", ">=", "=", "<", ">"} {
+		i := strings.Index(src, op)
+		if i < 0 {
+			continue
+		}
+		lhs := strings.TrimSpace(src[:i])
+		rhs := strings.TrimSpace(src[i+len(op):])
+		rel, err := stripVar(lhs, varName)
+		if err != nil {
+			return condition{}, err
+		}
+		rp, err := compileRel(rel)
+		if err != nil {
+			return condition{}, err
+		}
+		if len(rhs) < 2 || rhs[0] != '\'' || rhs[len(rhs)-1] != '\'' {
+			return condition{}, fmt.Errorf("xquery: comparison value %q must be quoted", rhs)
+		}
+		return condition{path: rp, op: op, val: rhs[1 : len(rhs)-1]}, nil
+	}
+	return condition{}, fmt.Errorf("xquery: condition %q has no comparison operator", src)
+}
+
+// stripVar removes the leading "$var/" (or bare "$var") from a path.
+func stripVar(s, varName string) (string, error) {
+	s = strings.TrimSpace(s)
+	full := "$" + varName
+	switch {
+	case s == full:
+		return ".", nil
+	case strings.HasPrefix(s, full+"/"):
+		return s[len(full)+1:], nil
+	default:
+		return "", fmt.Errorf("xquery: path %q must start with $%s", s, varName)
+	}
+}
+
+func (c condition) holds(n *xmldoc.Node) bool {
+	for _, m := range c.path.selectFrom(n) {
+		if compareVals(value(m), c.op, c.val) {
+			return true
+		}
+	}
+	return false
+}
+
+func compareVals(a, op, b string) bool {
+	if fa, errA := strconv.ParseFloat(a, 64); errA == nil {
+		if fb, errB := strconv.ParseFloat(b, 64); errB == nil {
+			switch op {
+			case "=":
+				return fa == fb
+			case "!=":
+				return fa != fb
+			case "<":
+				return fa < fb
+			case "<=":
+				return fa <= fb
+			case ">":
+				return fa > fb
+			case ">=":
+				return fa >= fb
+			}
+			return false
+		}
+	}
+	switch op {
+	case "=":
+		return a == b
+	case "!=":
+		return a != b
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	}
+	return false
+}
+
+// Row is one result tuple: the string values of the RETURN paths (joined
+// with "," when a path matches several nodes; "" when none).
+type Row []string
+
+// Eval runs the query over a document.
+func (q *Query) Eval(d *xmldoc.Document) []Row {
+	var out []Row
+	for _, n := range q.forPath.Select(d) {
+		if n.Kind != xmldoc.KindElement {
+			continue
+		}
+		ok := true
+		for _, c := range q.where {
+			if !c.holds(n) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		row := make(Row, len(q.returns))
+		for i, rp := range q.returns {
+			var vals []string
+			for _, m := range rp.selectFrom(n) {
+				vals = append(vals, value(m))
+			}
+			row[i] = strings.Join(vals, ",")
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// SecureEval runs the query over the subject's authorized read view of the
+// named document — queries can never see more than the view. It returns
+// nil when the subject may not read any portion.
+func (q *Query) SecureEval(e *accessctl.Engine, docName string, s *policy.Subject) []Row {
+	v := e.View(docName, s, policy.Read)
+	if v == nil {
+		return nil
+	}
+	return q.Eval(v)
+}

@@ -1,0 +1,179 @@
+package xquery
+
+import (
+	"fmt"
+	"testing"
+
+	"webdbsec/internal/accessctl"
+	"webdbsec/internal/policy"
+	"webdbsec/internal/xmldoc"
+)
+
+const staffXML = `
+<hospital>
+  <patient id="p1" ward="3">
+    <name>Alice</name>
+    <age>34</age>
+    <diagnosis severity="high">flu</diagnosis>
+  </patient>
+  <patient id="p2" ward="5">
+    <name>Bob</name>
+    <age>61</age>
+    <diagnosis severity="low">cold</diagnosis>
+  </patient>
+  <patient id="p3" ward="3">
+    <name>Cyd</name>
+    <age>47</age>
+    <diagnosis severity="mid">asthma</diagnosis>
+  </patient>
+</hospital>`
+
+func doc(t *testing.T) *xmldoc.Document {
+	t.Helper()
+	d, err := xmldoc.ParseString("staff.xml", staffXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBasicFLWOR(t *testing.T) {
+	q := MustCompile(`FOR $p IN //patient WHERE $p/@ward = '3' RETURN $p/name, $p/diagnosis`)
+	rows := q.Eval(doc(t))
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0] != "Alice" || rows[0][1] != "flu" {
+		t.Errorf("row 0 = %v", rows[0])
+	}
+	if rows[1][0] != "Cyd" || rows[1][1] != "asthma" {
+		t.Errorf("row 1 = %v", rows[1])
+	}
+}
+
+func TestNumericComparison(t *testing.T) {
+	q := MustCompile(`FOR $p IN //patient WHERE $p/age >= '47' RETURN $p/name`)
+	rows := q.Eval(doc(t))
+	if len(rows) != 2 || rows[0][0] != "Bob" || rows[1][0] != "Cyd" {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Numeric: '61' > '100' lexically but not numerically.
+	q = MustCompile(`FOR $p IN //patient WHERE $p/age > '100' RETURN $p/name`)
+	if rows := q.Eval(doc(t)); len(rows) != 0 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestConjunction(t *testing.T) {
+	q := MustCompile(`FOR $p IN //patient WHERE $p/@ward = '3' AND $p/age < '40' RETURN $p/name`)
+	rows := q.Eval(doc(t))
+	if len(rows) != 1 || rows[0][0] != "Alice" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestNestedReturnPathsAndAttrs(t *testing.T) {
+	q := MustCompile(`FOR $p IN //patient RETURN $p/diagnosis/@severity, $p/@id`)
+	rows := q.Eval(doc(t))
+	if len(rows) != 3 || rows[0][0] != "high" || rows[0][1] != "p1" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestSelfReturn(t *testing.T) {
+	q := MustCompile(`FOR $p IN //name RETURN $p`)
+	rows := q.Eval(doc(t))
+	if len(rows) != 3 || rows[0][0] != "Alice" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestNoWhere(t *testing.T) {
+	q := MustCompile(`FOR $x IN /hospital/patient RETURN $x/name`)
+	if rows := q.Eval(doc(t)); len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestEmptyMatch(t *testing.T) {
+	q := MustCompile(`FOR $p IN //nurse RETURN $p/name`)
+	if rows := q.Eval(doc(t)); rows != nil {
+		t.Errorf("rows = %v", rows)
+	}
+	// Missing return path yields empty cell, row still produced.
+	q = MustCompile(`FOR $p IN //patient WHERE $p/@ward = '5' RETURN $p/ghost`)
+	rows := q.Eval(doc(t))
+	if len(rows) != 1 || rows[0][0] != "" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"SELECT * FROM t",
+		"FOR p IN //x RETURN $p",                 // missing $
+		"FOR $p //x RETURN $p",                   // missing IN
+		"FOR $p IN //x",                          // missing RETURN
+		"FOR $p IN //x RETURN name",              // return path without $var
+		"FOR $p IN //x RETURN $q/name",           // wrong variable
+		"FOR $p IN //x WHERE $p/a RETURN $p",     // condition without operator
+		"FOR $p IN //x WHERE $p/a = 3 RETURN $p", // unquoted value
+		"FOR $p IN relative RETURN $p",           // FOR path must be absolute
+		"FOR $p IN //x RETURN $p//",              // bad relative path
+		"FOR $p IN //x RETURN $p//hospital",      // absolute-in-relative
+	} {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q): want error", src)
+		}
+	}
+}
+
+func TestSecureEvalRespectsViews(t *testing.T) {
+	store := xmldoc.NewStore()
+	store.Put(doc(t))
+	base := policy.NewBase(nil)
+	base.MustAdd(&policy.Policy{
+		Name:    "ward3-only",
+		Subject: policy.SubjectSpec{Roles: []string{"ward3"}},
+		Object:  policy.ObjectSpec{Doc: "staff.xml", Path: "/hospital/patient[@ward='3']"},
+		Priv:    policy.Read, Sign: policy.Permit, Prop: policy.Cascade,
+	})
+	eng := accessctl.NewEngine(store, base)
+	q := MustCompile(`FOR $p IN //patient RETURN $p/name`)
+
+	nurse := &policy.Subject{ID: "n", Roles: []string{"ward3"}}
+	rows := q.SecureEval(eng, "staff.xml", nurse)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	for _, r := range rows {
+		if r[0] == "Bob" {
+			t.Error("ward-5 patient leaked through the query")
+		}
+	}
+	stranger := &policy.Subject{ID: "x"}
+	if rows := q.SecureEval(eng, "staff.xml", stranger); rows != nil {
+		t.Errorf("stranger rows = %v", rows)
+	}
+}
+
+func TestQueriesOverGeneratedDocs(t *testing.T) {
+	// Smoke over a larger synthetic doc: counts line up with path counts.
+	b := xmldoc.NewBuilder("big.xml", "r")
+	for i := 0; i < 50; i++ {
+		b.Begin("item").Attrib("n", fmt.Sprint(i)).Element("v", fmt.Sprint(i%7)).End()
+	}
+	d := b.Freeze()
+	q := MustCompile(`FOR $i IN /r/item WHERE $i/v = '3' RETURN $i/@n`)
+	rows := q.Eval(d)
+	want := 0
+	for i := 0; i < 50; i++ {
+		if i%7 == 3 {
+			want++
+		}
+	}
+	if len(rows) != want {
+		t.Errorf("rows = %d, want %d", len(rows), want)
+	}
+}
