@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check vet build test race bench fmt
+
+# check is the full verification gate: vet, build, and the test suite
+# under the race detector (the resilience layers are concurrent by
+# design — a run without -race proves little).
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+fmt:
+	gofmt -l -w .

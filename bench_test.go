@@ -5,6 +5,7 @@
 package webdbsec
 
 import (
+	"context"
 	"crypto/ed25519"
 	"fmt"
 	"net"
@@ -598,14 +599,14 @@ func BenchmarkE15FederatedQuery(b *testing.B) {
 		low := &federation.Requestor{Subject: &policy.Subject{ID: "r"}, Clearance: rdf.Unclassified}
 		b.Run(fmt.Sprintf("sources=%d/full-clearance", nSources), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := fed.Query(high, "SELECT patient FROM cases WHERE disease = 'd1'"); err != nil {
+				if _, err := fed.Query(context.Background(), high, "SELECT patient FROM cases WHERE disease = 'd1'"); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run(fmt.Sprintf("sources=%d/low-clearance", nSources), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := fed.Query(low, "SELECT patient FROM cases WHERE disease = 'd1'"); err != nil {
+				if _, err := fed.Query(context.Background(), low, "SELECT patient FROM cases WHERE disease = 'd1'"); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"crypto/ed25519"
 	"fmt"
 	"net"
@@ -698,7 +699,7 @@ func runE15(quick bool) {
 		} {
 			req := &federation.Requestor{Subject: &policy.Subject{ID: "r"}, Clearance: c.level}
 			d := measure(10, func() {
-				if _, err := fed.Query(req, "SELECT patient FROM cases WHERE disease = 'd1'"); err != nil {
+				if _, err := fed.Query(context.Background(), req, "SELECT patient FROM cases WHERE disease = 'd1'"); err != nil {
 					panic(err)
 				}
 			})

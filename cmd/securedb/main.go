@@ -16,11 +16,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"webdbsec/internal/core"
 	"webdbsec/internal/inference"
@@ -58,8 +63,33 @@ func main() {
 			fmt.Fprintf(rw, "%4d %-10s %-8s %-60s %s\n", rec.Seq, rec.Actor, rec.Action, rec.Object, rec.Outcome)
 		}
 	})
+	// Serve with timeouts — a slow-loris client or wedged handler must
+	// not accumulate goroutines forever — and drain gracefully on
+	// SIGINT/SIGTERM so in-flight queries finish.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("securedb listening on %s (demo schema: patients(name, zip, age, disease))", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("securedb: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("securedb: shutdown: %v", err)
+	}
 }
 
 func handler(w *core.SecureWebDB, isQuery bool) http.HandlerFunc {

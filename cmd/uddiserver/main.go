@@ -12,12 +12,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"webdbsec/internal/policy"
 	"webdbsec/internal/synth"
@@ -89,6 +94,31 @@ func main() {
 		w.Header().Set("Content-Type", "application/xml")
 		io.WriteString(w, srv.Describe("http://"+r.Host+"/").ToXML().Canonical())
 	})
+	// Serve with timeouts and graceful drain: the registry is the
+	// federation's discovery backbone, and a wedged or slow client must
+	// not take it down (nor a SIGTERM cut off in-flight inquiries).
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Printf("uddiserver (%s mode) listening on %s", *mode, *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("uddiserver: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("uddiserver: shutdown: %v", err)
+	}
 }

@@ -7,14 +7,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"webdbsec/internal/federation"
 	"webdbsec/internal/policy"
 	"webdbsec/internal/privacy"
 	"webdbsec/internal/rdf"
 	"webdbsec/internal/reldb"
+	"webdbsec/internal/resilience/faultinject"
 	"webdbsec/internal/synth"
 )
 
@@ -57,8 +60,12 @@ func main() {
 	}
 	fmt.Printf("federation virtual tables: %v\n\n", fed.VirtualTables())
 
-	show := func(label string, req *federation.Requestor, q string) *reldb.Result {
-		res, err := fed.Query(req, q)
+	// Autonomous sources can be slow or down: bound each source's share
+	// of a query so one stalled member cannot sink the federation.
+	fed.SetPerSourceTimeout(250 * time.Millisecond)
+
+	show := func(label string, req *federation.Requestor, q string) *federation.Result {
+		res, err := fed.Query(context.Background(), req, q)
 		if err != nil {
 			fmt.Printf("%s: REFUSED: %v\n\n", label, err)
 			return nil
@@ -66,6 +73,9 @@ func main() {
 		fmt.Printf("%s (%d rows):\n", label, len(res.Rows))
 		for _, r := range res.Rows {
 			fmt.Printf("  %-18s %-14s %s\n", r[0].S, r[1].S, r[2].S)
+		}
+		for _, fe := range res.Failed {
+			fmt.Printf("  [degraded] %s: %v\n", fe.Source, fe.Err)
 		}
 		fmt.Println()
 		return res
@@ -87,15 +97,28 @@ func main() {
 	fmt.Println("officer row never crossed the federation boundary (export predicate)")
 
 	// Unexported columns are refused outright.
-	if _, err := fed.Query(highReq, "SELECT rank FROM cases"); err != nil {
+	if _, err := fed.Query(context.Background(), highReq, "SELECT rank FROM cases"); err != nil {
 		fmt.Printf("unexported column refused: %v\n\n", err)
 	}
+
+	// Degradation: take the military source down and query again — the
+	// federation answers from the healthy member, with the failure
+	// recorded in the provenance instead of sinking the query.
+	dead := faultinject.New(faultinject.Always(faultinject.Error))
+	mil.SetExec(func(ctx context.Context, sel *reldb.SelectStmt) (*reldb.Result, error) {
+		if err := dead.Gate(ctx); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	})
+	show("army doctor, military source down (partial result)", highReq, "SELECT patient, disease FROM cases")
+	mil.SetExec(nil)
 
 	// Privacy constraints still apply before anything goes public: the
 	// {patient, disease} combination is private.
 	pc := privacy.NewController()
 	pc.Add(&privacy.Constraint{Name: "pd", Attrs: []string{"patient", "disease"}, Class: privacy.Private})
-	masked := pc.FilterResult(lowReq.Subject, res)
+	masked := pc.FilterResult(lowReq.Subject, res.Result)
 	fmt.Printf("privacy controller masked %v before public release; first row now: %v\n",
 		masked, res.Rows[0])
 }

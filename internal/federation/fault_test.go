@@ -1,0 +1,181 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"webdbsec/internal/policy"
+	"webdbsec/internal/rdf"
+	"webdbsec/internal/reldb"
+	"webdbsec/internal/resilience/faultinject"
+)
+
+// threeSources builds a federation of three equal sources exporting the
+// same virtual table, each with one distinguishing row.
+func threeSources(t *testing.T) (*Federation, map[string]*Source) {
+	t.Helper()
+	f := New()
+	srcs := map[string]*Source{}
+	for _, name := range []string{"alpha", "beta", "gamma"} {
+		db := reldb.NewDatabase()
+		if _, err := db.Exec("CREATE TABLE local_cases (patient TEXT, disease TEXT)"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Exec("INSERT INTO local_cases VALUES ('" + name + "-p1', 'flu')"); err != nil {
+			t.Fatal(err)
+		}
+		s := NewSource(name, db, rdf.Unclassified)
+		if err := s.ExportTable(&Export{
+			Virtual: "cases", Local: "local_cases", Columns: []string{"patient", "disease"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.AddSource(s); err != nil {
+			t.Fatal(err)
+		}
+		srcs[name] = s
+	}
+	return f, srcs
+}
+
+// faultExec wraps a source's default execution path with an injector
+// gate, the way the fault harness plugs into federation members.
+func faultExec(s *Source, inj *faultinject.Injector) ExecFunc {
+	return func(ctx context.Context, sel *reldb.SelectStmt) (*reldb.Result, error) {
+		if err := inj.Gate(ctx); err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return s.db.ExecStmt(sel)
+	}
+}
+
+// TestPartialResultWithProvenance is the acceptance scenario: one dead
+// source, one delayed beyond its deadline, one healthy. The query answers
+// from the healthy source in bounded time, with both failures recorded in
+// the provenance.
+func TestPartialResultWithProvenance(t *testing.T) {
+	f, srcs := threeSources(t)
+	f.SetPerSourceTimeout(40 * time.Millisecond)
+
+	// alpha: dead — every operation errors immediately.
+	srcs["alpha"].SetExec(faultExec(srcs["alpha"], faultinject.New(faultinject.Always(faultinject.Error))))
+	// beta: slow — delayed far beyond the per-source deadline; the
+	// context-aware delay trips the deadline instead of sleeping it out.
+	slow := faultinject.New(faultinject.Always(faultinject.Delay))
+	slow.Delay = 10 * time.Second
+	srcs["beta"].SetExec(faultExec(srcs["beta"], slow))
+
+	req := &Requestor{Subject: &policy.Subject{ID: "r"}, Clearance: rdf.Secret}
+	start := time.Now()
+	res, err := f.Query(context.Background(), req, "SELECT patient FROM cases")
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("degraded query took %v, want bounded by the per-source deadline", elapsed)
+	}
+	if !res.Partial() {
+		t.Fatal("two failed sources did not mark the result partial")
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "gamma" {
+		t.Fatalf("rows = %v, want exactly gamma's row", res.Rows)
+	}
+	if len(res.Failed) != 2 {
+		t.Fatalf("Failed = %v, want alpha and beta", res.Failed)
+	}
+	byName := map[string]SourceError{}
+	for _, fe := range res.Failed {
+		byName[fe.Source] = fe
+	}
+	if fe, ok := byName["alpha"]; !ok || !errors.Is(fe.Err, faultinject.ErrInjected) {
+		t.Errorf("alpha provenance = %+v, want injected error", fe)
+	}
+	if fe, ok := byName["beta"]; !ok || !fe.Timeout {
+		t.Errorf("beta provenance = %+v, want timeout", fe)
+	}
+	// Failed provenance is ordered by source name like the union.
+	if res.Failed[0].Source != "alpha" || res.Failed[1].Source != "beta" {
+		t.Errorf("provenance order = %v", res.Failed)
+	}
+}
+
+// TestAllSourcesFailed: when no eligible source contributes, the query is
+// an error naming the failure, not a silently empty result.
+func TestAllSourcesFailed(t *testing.T) {
+	f, srcs := threeSources(t)
+	for _, s := range srcs {
+		s.SetExec(faultExec(s, faultinject.New(faultinject.Always(faultinject.Error))))
+	}
+	req := &Requestor{Subject: &policy.Subject{ID: "r"}, Clearance: rdf.Secret}
+	_, err := f.Query(context.Background(), req, "SELECT patient FROM cases")
+	if err == nil || !strings.Contains(err.Error(), "eligible source(s) failed") {
+		t.Fatalf("all-failed query returned %v, want aggregate error", err)
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("aggregate error does not expose the cause: %v", err)
+	}
+}
+
+// TestCancelledContextFailsFast: a caller whose context is already done
+// gets an error immediately; no source work is awaited.
+func TestCancelledContextFailsFast(t *testing.T) {
+	f, _ := threeSources(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := &Requestor{Subject: &policy.Subject{ID: "r"}, Clearance: rdf.Secret}
+	start := time.Now()
+	_, err := f.Query(ctx, req, "SELECT patient FROM cases")
+	if err == nil {
+		t.Fatal("cancelled context produced a result")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancelled query did not fail fast")
+	}
+}
+
+// TestClearanceStillEnforcedUnderFaults: degraded operation must not
+// weaken the security contract — a source above the requestor's clearance
+// stays invisible even while other sources are failing.
+func TestClearanceStillEnforcedUnderFaults(t *testing.T) {
+	f, srcs := threeSources(t)
+	srcs["gamma"].Level = rdf.Secret
+	srcs["alpha"].SetExec(faultExec(srcs["alpha"], faultinject.New(faultinject.Always(faultinject.Error))))
+	low := &Requestor{Subject: &policy.Subject{ID: "r"}, Clearance: rdf.Unclassified}
+	res, err := f.Query(context.Background(), low, "SELECT patient FROM cases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r[0].S == "gamma" {
+			t.Error("secret source leaked into degraded result")
+		}
+	}
+	for _, fe := range res.Failed {
+		if fe.Source == "gamma" {
+			t.Error("secret source visible in failure provenance")
+		}
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "beta" {
+		t.Errorf("rows = %v, want beta only", res.Rows)
+	}
+}
+
+// TestSeededPlanDeterminism: the same seed yields the same fault
+// sequence, so seeded chaos runs replay exactly.
+func TestSeededPlanDeterminism(t *testing.T) {
+	w := faultinject.Weights{Drop: 0.1, Delay: 0.2, Error: 0.3, Corrupt: 0.1}
+	a, b := faultinject.Seeded(42, w), faultinject.Seeded(42, w)
+	for i := 0; i < 200; i++ {
+		ka, kb := a.Next(), b.Next()
+		if ka != kb {
+			t.Fatalf("step %d: %v != %v", i, ka, kb)
+		}
+	}
+}

@@ -12,12 +12,22 @@
 // unions the results with a provenance column, so the federation layer
 // never sees rows a source did not explicitly export and a requestor never
 // sees sources above its clearance.
+//
+// Sources are autonomous and may be slow, partitioned, or down. The
+// fan-out therefore runs concurrently under the caller's context with an
+// optional per-source deadline, and a failing source degrades the query to
+// a *partial* result carrying per-source error provenance instead of
+// sinking it: availability failures must not become denial of service for
+// the healthy members (§5's unreliable-communication-layers concern).
 package federation
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"webdbsec/internal/policy"
 	"webdbsec/internal/rdf"
@@ -46,11 +56,37 @@ type Source struct {
 	db    *reldb.Database
 	// exports: virtual name -> export declaration.
 	exports map[string]*Export
+	// exec overrides statement execution when non-nil (remote sources,
+	// fault injection).
+	exec ExecFunc
 }
+
+// ExecFunc executes one rewritten SELECT against a source. It must honour
+// ctx: a slow source that ignores its deadline is abandoned by the
+// fan-out, not waited for.
+type ExecFunc func(ctx context.Context, sel *reldb.SelectStmt) (*reldb.Result, error)
 
 // NewSource wraps a member database.
 func NewSource(name string, db *reldb.Database, level rdf.Level) *Source {
 	return &Source{Name: name, Level: level, db: db, exports: make(map[string]*Export)}
+}
+
+// SetExec overrides how the source executes statements — the hook for
+// remote members and the fault-injection harness. nil restores the local
+// database path. Set before the source serves queries; it is not
+// synchronized against in-flight fan-outs.
+func (s *Source) SetExec(fn ExecFunc) { s.exec = fn }
+
+// Exec runs one statement through the source's execution path (hook or
+// local database), honouring ctx.
+func (s *Source) Exec(ctx context.Context, sel *reldb.SelectStmt) (*reldb.Result, error) {
+	if s.exec != nil {
+		return s.exec(ctx, sel)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.db.ExecStmt(sel)
 }
 
 // ExportTable declares an export. The local table and every exported
@@ -79,10 +115,21 @@ func (s *Source) ExportTable(e *Export) error {
 type Federation struct {
 	mu      sync.RWMutex
 	sources []*Source
+	timeout time.Duration
 }
 
 // New returns an empty federation.
 func New() *Federation { return &Federation{} }
+
+// SetPerSourceTimeout bounds each source's share of a federated query; a
+// source that exceeds it is reported in the result's Failed provenance
+// while the others still contribute. Zero (the default) imposes no
+// per-source bound beyond the caller's context.
+func (f *Federation) SetPerSourceTimeout(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.timeout = d
+}
 
 // AddSource registers a member.
 func (f *Federation) AddSource(s *Source) error {
@@ -146,13 +193,49 @@ type Requestor struct {
 	Clearance rdf.Level
 }
 
+// SourceError records one eligible source's failure in a partial result.
+type SourceError struct {
+	// Source is the failing member's name.
+	Source string
+	// Err is the cause (deadline, injected fault, local error).
+	Err error
+	// Timeout flags deadline-style failures for quick triage.
+	Timeout bool
+}
+
+func (e SourceError) Error() string {
+	return fmt.Sprintf("federation: source %s: %v", e.Source, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e SourceError) Unwrap() error { return e.Err }
+
+// Result is a federated query result: the unioned rows plus per-source
+// failure provenance. Failed is non-empty when the result is partial.
+type Result struct {
+	*reldb.Result
+	// Failed lists eligible sources that did not contribute, in source
+	// name order.
+	Failed []SourceError
+}
+
+// Partial reports whether any eligible source failed to contribute.
+func (r *Result) Partial() bool { return len(r.Failed) > 0 }
+
 // Query runs a federated SELECT over a virtual table: the statement is
 // parsed once, then per eligible source rewritten onto the local table
-// with the export predicate conjoined, executed locally, projected to the
-// exported columns, and unioned with a leading "_source" provenance
-// column. ORDER BY/LIMIT apply per source (the union is ordered by source
-// name, then source order).
-func (f *Federation) Query(req *Requestor, src string) (*reldb.Result, error) {
+// with the export predicate conjoined, executed concurrently under ctx
+// (plus the federation's per-source timeout), projected to the exported
+// columns, and unioned with a leading "_source" provenance column. ORDER
+// BY/LIMIT apply per source (the union is ordered by source name, then
+// source order).
+//
+// Degradation contract: a failing or slow source is dropped from the
+// union and reported in Result.Failed — the query still answers from the
+// healthy members, in bounded time. Query returns an error only for
+// request-level problems (parse error, unknown virtual table, unexported
+// column) or when EVERY eligible source failed.
+func (f *Federation) Query(ctx context.Context, req *Requestor, src string) (*Result, error) {
 	st, err := reldb.Parse(src)
 	if err != nil {
 		return nil, err
@@ -162,8 +245,7 @@ func (f *Federation) Query(req *Requestor, src string) (*reldb.Result, error) {
 		return nil, fmt.Errorf("federation: only SELECT is federated")
 	}
 	f.mu.RLock()
-	defer f.mu.RUnlock()
-
+	timeout := f.timeout
 	var contributing []*Source
 	var export *Export
 	for _, s := range f.sources {
@@ -177,6 +259,7 @@ func (f *Federation) Query(req *Requestor, src string) (*reldb.Result, error) {
 		}
 		contributing = append(contributing, s)
 	}
+	f.mu.RUnlock()
 	if export == nil {
 		return nil, fmt.Errorf("federation: unknown virtual table %s", sel.Table)
 	}
@@ -191,9 +274,20 @@ func (f *Federation) Query(req *Requestor, src string) (*reldb.Result, error) {
 			return nil, fmt.Errorf("federation: column %s is not exported by %s", c, sel.Table)
 		}
 	}
-	out := &reldb.Result{Columns: append([]string{"_source"}, want...)}
 	sort.Slice(contributing, func(i, j int) bool { return contributing[i].Name < contributing[j].Name })
-	for _, s := range contributing {
+
+	// Concurrent fan-out: one goroutine per eligible source, each bounded
+	// by the per-source deadline. A source that ignores its context is
+	// abandoned at the deadline (its goroutine finishes into a buffered
+	// channel and is collected by the GC), so the query stays bounded even
+	// against misbehaving members.
+	type outcome struct {
+		res *reldb.Result
+		err error
+	}
+	outcomes := make([]outcome, len(contributing))
+	var wg sync.WaitGroup
+	for i, s := range contributing {
 		e := s.exports[sel.Table]
 		local := *sel
 		local.Table = e.Local
@@ -205,11 +299,42 @@ func (f *Federation) Query(req *Requestor, src string) (*reldb.Result, error) {
 				local.Where = &reldb.AndExpr{L: local.Where, R: e.Pred}
 			}
 		}
-		res, err := s.db.ExecStmt(&local)
-		if err != nil {
-			return nil, fmt.Errorf("federation: source %s: %w", s.Name, err)
+		wg.Add(1)
+		go func(i int, s *Source, local reldb.SelectStmt) {
+			defer wg.Done()
+			sctx := ctx
+			cancel := context.CancelFunc(func() {})
+			if timeout > 0 {
+				sctx, cancel = context.WithTimeout(ctx, timeout)
+			}
+			defer cancel()
+			done := make(chan outcome, 1)
+			go func() {
+				res, err := s.Exec(sctx, &local)
+				done <- outcome{res, err}
+			}()
+			select {
+			case o := <-done:
+				outcomes[i] = o
+			case <-sctx.Done():
+				outcomes[i] = outcome{nil, sctx.Err()}
+			}
+		}(i, s, local)
+	}
+	wg.Wait()
+
+	out := &Result{Result: &reldb.Result{Columns: append([]string{"_source"}, want...)}}
+	for i, s := range contributing {
+		o := outcomes[i]
+		if o.err != nil {
+			out.Failed = append(out.Failed, SourceError{
+				Source:  s.Name,
+				Err:     o.err,
+				Timeout: isDeadline(o.err),
+			})
+			continue
 		}
-		for _, r := range res.Rows {
+		for _, r := range o.res.Rows {
 			row := make(reldb.Row, 0, len(r)+1)
 			row = append(row, reldb.Str(s.Name))
 			row = append(row, r...)
@@ -217,7 +342,17 @@ func (f *Federation) Query(req *Requestor, src string) (*reldb.Result, error) {
 		}
 	}
 	out.Affected = len(out.Rows)
+	if len(contributing) > 0 && len(out.Failed) == len(contributing) {
+		return nil, fmt.Errorf("federation: all %d eligible source(s) failed, first: %w",
+			len(contributing), out.Failed[0])
+	}
 	return out, nil
+}
+
+// isDeadline reports whether err stems from a spent context deadline or
+// cancellation.
+func isDeadline(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
 }
 
 func contains(s []string, v string) bool {

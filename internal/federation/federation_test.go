@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -58,7 +59,7 @@ func twoHospitals(t *testing.T) *Federation {
 func TestFederatedUnionWithProvenance(t *testing.T) {
 	f := twoHospitals(t)
 	req := &Requestor{Subject: &policy.Subject{ID: "r"}, Clearance: rdf.Secret}
-	res, err := f.Query(req, "SELECT patient, disease FROM cases")
+	res, err := f.Query(context.Background(), req, "SELECT patient, disease FROM cases")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestFederatedUnionWithProvenance(t *testing.T) {
 func TestClearanceExcludesSources(t *testing.T) {
 	f := twoHospitals(t)
 	low := &Requestor{Subject: &policy.Subject{ID: "r"}, Clearance: rdf.Unclassified}
-	res, err := f.Query(low, "SELECT patient FROM cases")
+	res, err := f.Query(context.Background(), low, "SELECT patient FROM cases")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,11 +101,11 @@ func TestClearanceExcludesSources(t *testing.T) {
 func TestUnexportedColumnRefused(t *testing.T) {
 	f := twoHospitals(t)
 	req := &Requestor{Subject: &policy.Subject{ID: "r"}, Clearance: rdf.Secret}
-	if _, err := f.Query(req, "SELECT rank FROM cases"); err == nil {
+	if _, err := f.Query(context.Background(), req, "SELECT rank FROM cases"); err == nil {
 		t.Error("unexported column served")
 	}
 	// SELECT * projects to the EXPORTED columns only.
-	res, err := f.Query(req, "SELECT * FROM cases")
+	res, err := f.Query(context.Background(), req, "SELECT * FROM cases")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestUnexportedColumnRefused(t *testing.T) {
 func TestFederatedWhereComposesWithExportPred(t *testing.T) {
 	f := twoHospitals(t)
 	req := &Requestor{Subject: &policy.Subject{ID: "r"}, Clearance: rdf.Secret}
-	res, err := f.Query(req, "SELECT patient FROM cases WHERE disease = 'flu'")
+	res, err := f.Query(context.Background(), req, "SELECT patient FROM cases WHERE disease = 'flu'")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,10 +164,10 @@ func TestExportValidation(t *testing.T) {
 func TestFederationErrors(t *testing.T) {
 	f := twoHospitals(t)
 	req := &Requestor{Subject: &policy.Subject{ID: "r"}, Clearance: rdf.Secret}
-	if _, err := f.Query(req, "SELECT x FROM ghost_table"); err == nil {
+	if _, err := f.Query(context.Background(), req, "SELECT x FROM ghost_table"); err == nil {
 		t.Error("unknown virtual table accepted")
 	}
-	if _, err := f.Query(req, "DELETE FROM cases"); err == nil {
+	if _, err := f.Query(context.Background(), req, "DELETE FROM cases"); err == nil {
 		t.Error("federated DML accepted")
 	}
 	// Duplicate source names rejected.

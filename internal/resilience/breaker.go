@@ -1,0 +1,199 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker's position.
+type State int
+
+const (
+	// Closed: requests flow; consecutive failures are counted.
+	Closed State = iota
+	// Open: requests fail fast with ErrOpen until the cooldown elapses.
+	Open
+	// HalfOpen: a bounded number of probe requests test recovery.
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrOpen is returned by Allow/Do while the breaker rejects traffic.
+var ErrOpen = errors.New("resilience: circuit breaker open")
+
+// BreakerConfig tunes a Breaker. Zero values take the documented defaults.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that opens the
+	// breaker (default 5).
+	FailureThreshold int
+	// SuccessThreshold is the probe successes needed to close again
+	// (default 1).
+	SuccessThreshold int
+	// Cooldown is how long the breaker stays Open before admitting
+	// probes (default 10s).
+	Cooldown time.Duration
+	// MaxProbes bounds concurrent half-open probes (default 1).
+	MaxProbes int
+	// IsFailure decides whether an operation outcome counts against the
+	// service. The default counts retryable-class errors only: terminal
+	// errors (malformed request, access denied) say nothing about the
+	// service's health and must not open the circuit.
+	IsFailure func(error) bool
+	// Now is injectable for deterministic tests.
+	Now func() time.Time
+}
+
+// Breaker is a closed/open/half-open circuit breaker. Safe for concurrent
+// use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     State
+	failures  int // consecutive failures while Closed
+	successes int // probe successes while HalfOpen
+	probes    int // in-flight probes while HalfOpen
+	openedAt  time.Time
+	rejected  uint64
+}
+
+// NewBreaker builds a breaker from cfg.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 5
+	}
+	if cfg.SuccessThreshold <= 0 {
+		cfg.SuccessThreshold = 1
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 10 * time.Second
+	}
+	if cfg.MaxProbes <= 0 {
+		cfg.MaxProbes = 1
+	}
+	if cfg.IsFailure == nil {
+		cfg.IsFailure = func(err error) bool {
+			return err != nil && Classify(err) == Retryable
+		}
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// State returns the current position, applying any due Open→HalfOpen
+// transition first.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	return b.state
+}
+
+// Rejected returns how many calls ErrOpen has turned away.
+func (b *Breaker) Rejected() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rejected
+}
+
+// maybeHalfOpen transitions Open→HalfOpen once the cooldown has elapsed.
+// Callers hold b.mu.
+func (b *Breaker) maybeHalfOpen() {
+	if b.state == Open && b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.state = HalfOpen
+		b.probes = 0
+		b.successes = 0
+	}
+}
+
+// Allow reserves permission for one call. It returns ErrOpen when the
+// circuit rejects traffic. Every successful Allow MUST be paired with a
+// Record call reporting the outcome.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	switch b.state {
+	case Open:
+		b.rejected++
+		return ErrOpen
+	case HalfOpen:
+		if b.probes >= b.cfg.MaxProbes {
+			b.rejected++
+			return ErrOpen
+		}
+		b.probes++
+	}
+	return nil
+}
+
+// Record reports the outcome of a call admitted by Allow.
+func (b *Breaker) Record(err error) {
+	failed := b.cfg.IsFailure(err)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		if failed {
+			b.failures++
+			if b.failures >= b.cfg.FailureThreshold {
+				b.trip()
+			}
+		} else {
+			b.failures = 0
+		}
+	case HalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if failed {
+			b.trip()
+			return
+		}
+		b.successes++
+		if b.successes >= b.cfg.SuccessThreshold {
+			b.state = Closed
+			b.failures = 0
+			b.successes = 0
+			b.probes = 0
+		}
+	case Open:
+		// A straggler finishing after the circuit re-opened; nothing to do.
+	}
+}
+
+// trip moves to Open. Callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedAt = b.cfg.Now()
+	b.failures = 0
+	b.successes = 0
+	b.probes = 0
+}
+
+// Do runs op under the breaker: Allow, op, Record. ErrOpen short-circuits
+// without invoking op.
+func (b *Breaker) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	if err := b.Allow(); err != nil {
+		return err
+	}
+	err := op(ctx)
+	b.Record(err)
+	return err
+}

@@ -1,0 +1,185 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// clock is a settable fake time source for deterministic breaker tests.
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func testBreaker(failures int, cooldown time.Duration) (*Breaker, *clock) {
+	ck := &clock{t: time.Unix(1000, 0)}
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: failures,
+		Cooldown:         cooldown,
+		Now:              ck.Now,
+	})
+	return b, ck
+}
+
+func fail(b *Breaker, err error) error {
+	return b.Do(context.Background(), func(context.Context) error { return err })
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b, _ := testBreaker(3, time.Minute)
+	boom := errors.New("down")
+	for i := 0; i < 3; i++ {
+		if err := fail(b, boom); !errors.Is(err, boom) {
+			t.Fatalf("attempt %d: %v", i, err)
+		}
+	}
+	if b.State() != Open {
+		t.Fatalf("state after %d failures = %v, want open", 3, b.State())
+	}
+	// Open circuit fails fast without invoking the op.
+	ran := false
+	err := b.Do(context.Background(), func(context.Context) error { ran = true; return nil })
+	if !errors.Is(err, ErrOpen) || ran {
+		t.Errorf("open breaker: err=%v ran=%v", err, ran)
+	}
+	if b.Rejected() != 1 {
+		t.Errorf("rejected = %d, want 1", b.Rejected())
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b, _ := testBreaker(3, time.Minute)
+	boom := errors.New("down")
+	fail(b, boom)
+	fail(b, boom)
+	fail(b, nil) // success breaks the streak
+	fail(b, boom)
+	fail(b, boom)
+	if b.State() != Closed {
+		t.Errorf("non-consecutive failures opened the breaker")
+	}
+}
+
+func TestBreakerTerminalErrorsDoNotTrip(t *testing.T) {
+	b, _ := testBreaker(2, time.Minute)
+	denied := MarkTerminal(errors.New("access denied"))
+	for i := 0; i < 10; i++ {
+		fail(b, denied)
+	}
+	if b.State() != Closed {
+		t.Errorf("client faults opened the circuit: %v", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbeAndRecovery(t *testing.T) {
+	b, ck := testBreaker(1, time.Minute)
+	fail(b, errors.New("down"))
+	if b.State() != Open {
+		t.Fatal("breaker did not open")
+	}
+	// Before the cooldown: still rejecting.
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow during cooldown = %v", err)
+	}
+	ck.Advance(time.Minute)
+	if b.State() != HalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", b.State())
+	}
+	// Only MaxProbes (1) concurrent probe is admitted.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe not admitted: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("second concurrent probe admitted")
+	}
+	b.Record(nil) // probe succeeds
+	if b.State() != Closed {
+		t.Errorf("state after successful probe = %v, want closed", b.State())
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b, ck := testBreaker(1, time.Minute)
+	fail(b, errors.New("down"))
+	ck.Advance(time.Minute)
+	if err := fail(b, errors.New("still down")); err == nil {
+		t.Fatal("probe unexpectedly succeeded")
+	}
+	if b.State() != Open {
+		t.Errorf("state after failed probe = %v, want open", b.State())
+	}
+	// The cooldown restarts from the failed probe.
+	ck.Advance(30 * time.Second)
+	if b.State() != Open {
+		t.Errorf("cooldown did not restart after failed probe")
+	}
+	ck.Advance(30 * time.Second)
+	if b.State() != HalfOpen {
+		t.Errorf("second cooldown did not admit probes")
+	}
+}
+
+func TestBreakerSuccessThreshold(t *testing.T) {
+	ck := &clock{t: time.Unix(1000, 0)}
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 1,
+		SuccessThreshold: 2,
+		MaxProbes:        2,
+		Cooldown:         time.Second,
+		Now:              ck.Now,
+	})
+	fail(b, errors.New("down"))
+	ck.Advance(time.Second)
+	fail(b, nil)
+	if b.State() != HalfOpen {
+		t.Fatalf("one probe success closed a threshold-2 breaker")
+	}
+	fail(b, nil)
+	if b.State() != Closed {
+		t.Errorf("two probe successes did not close: %v", b.State())
+	}
+}
+
+func TestBreakerConcurrentUse(t *testing.T) {
+	b, ck := testBreaker(5, time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				var err error
+				if (n+j)%3 == 0 {
+					err = errors.New("flaky")
+				}
+				fail(b, err)
+				if j%50 == 0 {
+					ck.Advance(time.Millisecond)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	// No assertion beyond "the race detector stays quiet and the state is
+	// one of the three legal positions".
+	switch b.State() {
+	case Closed, Open, HalfOpen:
+	default:
+		t.Errorf("illegal state %v", b.State())
+	}
+}

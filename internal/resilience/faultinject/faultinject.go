@@ -1,0 +1,291 @@
+// Package faultinject is a deterministic fault-injection harness for the
+// distributed layers: federation sources, HTTP transports, and secchan
+// net.Conns. Faults come from a Plan — either an explicit step script or a
+// seeded pseudo-random stream — so tests replay identically and never
+// depend on wall-clock races; delays are context-aware and trip the
+// caller's deadline rather than sleeping past it.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the injectable faults.
+type Kind int
+
+const (
+	// None lets the operation through untouched.
+	None Kind = iota
+	// Drop makes the operation vanish: a conn write is swallowed, an HTTP
+	// round trip blocks until the request context ends, a gated operation
+	// blocks until its context ends. Simulates a partitioned/stalled peer.
+	Drop
+	// Delay stalls the operation for the injector's Delay, then proceeds.
+	Delay
+	// Error fails the operation immediately with the injector's Err.
+	Error
+	// Corrupt lets the operation through with a flipped bit in its bytes
+	// (conn writes, HTTP response bodies); operations with no byte stream
+	// fail with ErrCorrupted.
+	Corrupt
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case Error:
+		return "error"
+	case Corrupt:
+		return "corrupt"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrInjected is the default injected failure. It carries no terminal
+// mark, so resilience.Classify treats it as retryable — like the
+// transient network error it stands in for.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// ErrCorrupted reports a Corrupt fault on an operation without a byte
+// stream to tamper with.
+var ErrCorrupted = errors.New("faultinject: injected corruption")
+
+// Plan yields the fault for each successive operation.
+type Plan interface {
+	Next() Kind
+}
+
+// PlanFunc adapts a function to a Plan.
+type PlanFunc func() Kind
+
+// Next implements Plan.
+func (f PlanFunc) Next() Kind { return f() }
+
+// Always faults every operation the same way.
+func Always(k Kind) Plan { return PlanFunc(func() Kind { return k }) }
+
+// Steps scripts an explicit fault sequence; operations beyond the script
+// pass untouched. Safe for concurrent use.
+func Steps(kinds ...Kind) Plan {
+	var mu sync.Mutex
+	i := 0
+	return PlanFunc(func() Kind {
+		mu.Lock()
+		defer mu.Unlock()
+		if i >= len(kinds) {
+			return None
+		}
+		k := kinds[i]
+		i++
+		return k
+	})
+}
+
+// Weights are per-fault probabilities for Seeded; the remainder to 1.0 is
+// the probability of None.
+type Weights struct {
+	Drop, Delay, Error, Corrupt float64
+}
+
+// Seeded draws faults pseudo-randomly from a seeded stream: the same seed
+// and weights always produce the same fault sequence when consumed
+// sequentially. Safe for concurrent use.
+func Seeded(seed int64, w Weights) Plan {
+	var mu sync.Mutex
+	r := rand.New(rand.NewSource(seed))
+	return PlanFunc(func() Kind {
+		mu.Lock()
+		defer mu.Unlock()
+		u := r.Float64()
+		switch {
+		case u < w.Drop:
+			return Drop
+		case u < w.Drop+w.Delay:
+			return Delay
+		case u < w.Drop+w.Delay+w.Error:
+			return Error
+		case u < w.Drop+w.Delay+w.Error+w.Corrupt:
+			return Corrupt
+		default:
+			return None
+		}
+	})
+}
+
+// Injector applies a Plan to operations.
+type Injector struct {
+	plan Plan
+	// Delay is how long a Delay fault stalls (default 10ms).
+	Delay time.Duration
+	// Err is what an Error fault returns (default ErrInjected).
+	Err error
+}
+
+// New builds an injector over plan.
+func New(plan Plan) *Injector {
+	return &Injector{plan: plan}
+}
+
+func (i *Injector) next() Kind {
+	if i == nil || i.plan == nil {
+		return None
+	}
+	return i.plan.Next()
+}
+
+func (i *Injector) delay() time.Duration {
+	if i.Delay > 0 {
+		return i.Delay
+	}
+	return 10 * time.Millisecond
+}
+
+func (i *Injector) err() error {
+	if i.Err != nil {
+		return i.Err
+	}
+	return ErrInjected
+}
+
+// Gate is the generic operation-level hook: call it at the top of any
+// operation (e.g. a federation source's exec) to subject that operation to
+// the plan. Delay waits context-aware; Drop blocks until the context ends
+// (a context without deadline blocks forever — exactly like the stalled
+// peer it simulates); Error and Corrupt fail immediately.
+func (i *Injector) Gate(ctx context.Context) error {
+	switch i.next() {
+	case None:
+		return nil
+	case Delay:
+		t := time.NewTimer(i.delay())
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("faultinject: delayed past deadline: %w", ctx.Err())
+		case <-t.C:
+			return nil
+		}
+	case Drop:
+		<-ctx.Done()
+		return fmt.Errorf("faultinject: dropped: %w", ctx.Err())
+	case Error:
+		return i.err()
+	case Corrupt:
+		return ErrCorrupted
+	default:
+		return nil
+	}
+}
+
+// Conn wraps a net.Conn, faulting writes according to the plan. Reads
+// pass through untouched, so one faulty endpoint suffices to exercise
+// both directions of a protocol.
+type Conn struct {
+	net.Conn
+	inj *Injector
+}
+
+// WrapConn applies inj to every Write on c.
+func WrapConn(c net.Conn, inj *Injector) *Conn {
+	return &Conn{Conn: c, inj: inj}
+}
+
+// Write implements net.Conn with fault injection.
+func (c *Conn) Write(p []byte) (int, error) {
+	switch c.inj.next() {
+	case Drop:
+		// Swallow silently: the caller believes the bytes left, the peer
+		// never sees them — a lossy link / stalled middlebox.
+		return len(p), nil
+	case Delay:
+		time.Sleep(c.inj.delay())
+		return c.Conn.Write(p)
+	case Error:
+		return 0, c.inj.err()
+	case Corrupt:
+		if len(p) == 0 {
+			return c.Conn.Write(p)
+		}
+		q := append([]byte(nil), p...)
+		q[len(q)-1] ^= 0x01
+		return c.Conn.Write(q)
+	default:
+		return c.Conn.Write(p)
+	}
+}
+
+// Transport wraps an http.RoundTripper, faulting round trips according to
+// the plan.
+type Transport struct {
+	next http.RoundTripper
+	inj  *Injector
+}
+
+// WrapTransport applies inj to every round trip; rt nil means
+// http.DefaultTransport.
+func WrapTransport(rt http.RoundTripper, inj *Injector) *Transport {
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	return &Transport{next: rt, inj: inj}
+}
+
+// RoundTrip implements http.RoundTripper with fault injection.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	switch t.inj.next() {
+	case Drop:
+		<-req.Context().Done()
+		return nil, fmt.Errorf("faultinject: dropped request: %w", req.Context().Err())
+	case Delay:
+		tm := time.NewTimer(t.inj.delay())
+		defer tm.Stop()
+		select {
+		case <-req.Context().Done():
+			return nil, fmt.Errorf("faultinject: delayed past deadline: %w", req.Context().Err())
+		case <-tm.C:
+		}
+		return t.next.RoundTrip(req)
+	case Error:
+		return nil, t.inj.err()
+	case Corrupt:
+		resp, err := t.next.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &corruptBody{inner: resp.Body}
+		return resp, nil
+	default:
+		return t.next.RoundTrip(req)
+	}
+}
+
+// corruptBody flips a bit in the first byte of the body's first read.
+type corruptBody struct {
+	inner io.ReadCloser
+	done  bool
+}
+
+func (b *corruptBody) Read(p []byte) (int, error) {
+	n, err := b.inner.Read(p)
+	if !b.done && n > 0 {
+		p[0] ^= 0x01
+		b.done = true
+	}
+	return n, err
+}
+
+func (b *corruptBody) Close() error { return b.inner.Close() }

@@ -1,0 +1,141 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestGateKinds(t *testing.T) {
+	inj := New(Steps(None, Error, Corrupt))
+	ctx := context.Background()
+	if err := inj.Gate(ctx); err != nil {
+		t.Errorf("None gate = %v", err)
+	}
+	if err := inj.Gate(ctx); !errors.Is(err, ErrInjected) {
+		t.Errorf("Error gate = %v", err)
+	}
+	if err := inj.Gate(ctx); !errors.Is(err, ErrCorrupted) {
+		t.Errorf("Corrupt gate = %v", err)
+	}
+	// Past the end of the script: clean.
+	if err := inj.Gate(ctx); err != nil {
+		t.Errorf("exhausted script gate = %v", err)
+	}
+}
+
+func TestGateDropBlocksUntilContextEnds(t *testing.T) {
+	inj := New(Always(Drop))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := inj.Gate(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Drop gate = %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("Drop gate did not respect the context deadline")
+	}
+}
+
+func TestGateDelayIsContextAware(t *testing.T) {
+	inj := New(Always(Delay))
+	inj.Delay = time.Hour
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := inj.Gate(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Delay gate = %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("hour-long delay slept past the deadline")
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	custom := errors.New("custom outage")
+	inj := New(Always(Error))
+	inj.Err = custom
+	if err := inj.Gate(context.Background()); !errors.Is(err, custom) {
+		t.Errorf("gate = %v, want custom error", err)
+	}
+}
+
+func TestNilInjectorPassesThrough(t *testing.T) {
+	var inj *Injector
+	if err := inj.Gate(context.Background()); err != nil {
+		t.Errorf("nil injector gate = %v", err)
+	}
+}
+
+func TestSeededPlanIsDeterministic(t *testing.T) {
+	w := Weights{Drop: 0.1, Delay: 0.2, Error: 0.2, Corrupt: 0.1}
+	a, b := Seeded(42, w), Seeded(42, w)
+	saw := map[Kind]bool{}
+	for i := 0; i < 500; i++ {
+		ka, kb := a.Next(), b.Next()
+		if ka != kb {
+			t.Fatalf("step %d: %v != %v — same seed diverged", i, ka, kb)
+		}
+		saw[ka] = true
+	}
+	for _, k := range []Kind{None, Drop, Delay, Error, Corrupt} {
+		if !saw[k] {
+			t.Errorf("500 draws never produced %v", k)
+		}
+	}
+}
+
+func TestTransportFaults(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "payload")
+	}))
+	defer srv.Close()
+
+	inj := New(Steps(Error, Corrupt, None))
+	client := &http.Client{Transport: WrapTransport(nil, inj)}
+
+	if _, err := client.Get(srv.URL); !errors.Is(err, ErrInjected) {
+		t.Errorf("Error round trip = %v", err)
+	}
+
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("Corrupt round trip failed at transport: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) == "payload" {
+		t.Error("Corrupt round trip delivered pristine body")
+	}
+
+	resp, err = client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("clean round trip = %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "payload" {
+		t.Errorf("clean body = %q", body)
+	}
+}
+
+func TestTransportDropRespectsRequestContext(t *testing.T) {
+	inj := New(Always(Drop))
+	client := &http.Client{Transport: WrapTransport(nil, inj)}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, "http://127.0.0.1:0/", nil)
+	start := time.Now()
+	if _, err := client.Do(req); err == nil {
+		t.Error("dropped request succeeded")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("dropped request outlived its context")
+	}
+}

@@ -1,0 +1,103 @@
+// Package resilience provides the fault-tolerance primitives the
+// distributed layers (federation fan-out, WSA HTTP binding, secure
+// channels, third-party agency calls) share: error classification into
+// retryable vs terminal, retries with exponential backoff and jitter, and
+// a closed/open/half-open circuit breaker.
+//
+// The paper's vision (§5) demands end-to-end security over *untrusted,
+// unreliable* communication layers, and its federation story (§2.1, §5)
+// assumes autonomous sources that may be slow, partitioned, or down. A
+// security architecture that wedges or dies when a counterparty stalls is
+// not enforcing anything — these primitives are what let enforcement hold
+// under failure.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"net"
+)
+
+// Class partitions errors by whether retrying the failed operation could
+// plausibly succeed.
+type Class int
+
+const (
+	// Retryable errors are transient: timeouts, connection resets,
+	// temporarily unavailable services. Retrying with backoff may succeed.
+	Retryable Class = iota
+	// Terminal errors are permanent for this request: malformed input,
+	// denied access, unknown keys, cancelled contexts. Retrying burns
+	// budget without hope.
+	Terminal
+)
+
+func (c Class) String() string {
+	if c == Terminal {
+		return "terminal"
+	}
+	return "retryable"
+}
+
+// classified carries an explicit classification mark through error chains.
+type classified struct {
+	err   error
+	class Class
+}
+
+func (c *classified) Error() string { return c.err.Error() }
+func (c *classified) Unwrap() error { return c.err }
+
+// MarkTerminal wraps err so Classify reports it Terminal. A nil err is
+// returned unchanged.
+func MarkTerminal(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, class: Terminal}
+}
+
+// MarkRetryable wraps err so Classify reports it Retryable. A nil err is
+// returned unchanged.
+func MarkRetryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, class: Retryable}
+}
+
+// Classify decides whether an error is worth retrying. Explicit marks
+// (MarkTerminal / MarkRetryable) win; a cancelled or expired context is
+// terminal (the caller's deadline is spent — retrying cannot un-spend it);
+// everything else, including net.Error timeouts, is presumed transient.
+// This default suits transport-layer plumbing, where unknown failures are
+// usually the network's fault; application layers mark their permanent
+// errors terminal.
+func Classify(err error) Class {
+	if err == nil {
+		return Terminal // nothing to retry
+	}
+	var c *classified
+	if errors.As(err, &c) {
+		return c.class
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return Terminal
+	}
+	if errors.Is(err, ErrOpen) {
+		// The whole point of an open circuit is failing fast; retrying
+		// against it would reintroduce the wait it exists to remove.
+		return Terminal
+	}
+	return Retryable
+}
+
+// IsTimeout reports whether err is (or wraps) a deadline-style failure: a
+// net.Error timeout or context.DeadlineExceeded.
+func IsTimeout(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

@@ -1,0 +1,160 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy configures Retry: capped exponential backoff with jitter.
+// The zero value is usable and means "3 attempts, 50ms base, doubling,
+// capped at 2s, 20% jitter". Sleep and Rand are injectable so tests can
+// capture the schedule deterministically instead of sleeping.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first call included).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt.
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff.
+	MaxDelay time.Duration
+	// Multiplier grows the delay between attempts (default 2).
+	Multiplier float64
+	// Jitter is the ± fraction of the delay randomized away, in [0,1].
+	// Jittering de-synchronizes retry storms from many clients.
+	Jitter float64
+	// Classify overrides the package-level Classify.
+	Classify func(error) Class
+	// Sleep overrides the context-aware wait between attempts.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Rand overrides the jitter source; must return values in [0,1).
+	Rand func() float64
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts > 0 {
+		return p.MaxAttempts
+	}
+	return 3
+}
+
+func (p RetryPolicy) classify(err error) Class {
+	if p.Classify != nil {
+		return p.Classify(err)
+	}
+	return Classify(err)
+}
+
+// defaultRand is a locked shared source; math/rand's global source is
+// already locked but seeded, and we want an isolated stream.
+var defaultRand = struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}{r: rand.New(rand.NewSource(1))}
+
+func (p RetryPolicy) random() float64 {
+	if p.Rand != nil {
+		return p.Rand()
+	}
+	defaultRand.mu.Lock()
+	defer defaultRand.mu.Unlock()
+	return defaultRand.r.Float64()
+}
+
+// backoff computes the jittered delay before attempt+2 (attempt counts
+// completed failures, starting at 0).
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	mult := p.Multiplier
+	if mult <= 1 {
+		mult = 2
+	}
+	d := float64(base)
+	for i := 0; i < attempt; i++ {
+		d *= mult
+		if d >= float64(max) {
+			d = float64(max)
+			break
+		}
+	}
+	jitter := p.Jitter
+	if jitter < 0 {
+		jitter = 0
+	}
+	if jitter > 1 {
+		jitter = 1
+	}
+	if jitter == 0 && p.Jitter == 0 {
+		jitter = 0.2
+	}
+	if jitter > 0 {
+		// d * (1 - j + 2j*u): uniform in [d(1-j), d(1+j)].
+		d *= 1 - jitter + 2*jitter*p.random()
+	}
+	if d > float64(max) {
+		d = float64(max)
+	}
+	return time.Duration(d)
+}
+
+func (p RetryPolicy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Retry runs op until it succeeds, returns a terminal error, the context
+// ends, or MaxAttempts is exhausted. The last error is returned, wrapped
+// with the attempt count when the budget ran out.
+func Retry(ctx context.Context, p RetryPolicy, op func(ctx context.Context) error) error {
+	_, err := RetryValue(ctx, p, func(ctx context.Context) (struct{}, error) {
+		return struct{}{}, op(ctx)
+	})
+	return err
+}
+
+// RetryValue is Retry for operations that produce a value.
+func RetryValue[T any](ctx context.Context, p RetryPolicy, op func(ctx context.Context) (T, error)) (T, error) {
+	var zero T
+	attempts := p.attempts()
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return zero, fmt.Errorf("%w (context ended after %d attempt(s): %w)", lastErr, attempt, err)
+			}
+			return zero, err
+		}
+		v, err := op(ctx)
+		if err == nil {
+			return v, nil
+		}
+		lastErr = err
+		if p.classify(err) == Terminal {
+			return zero, err
+		}
+		if attempt == attempts-1 {
+			break
+		}
+		if serr := p.sleep(ctx, p.backoff(attempt)); serr != nil {
+			return zero, fmt.Errorf("%w (retry aborted: %w)", lastErr, serr)
+		}
+	}
+	return zero, fmt.Errorf("resilience: %d attempt(s) failed: %w", attempts, lastErr)
+}

@@ -1,0 +1,171 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// capture returns a Sleep hook that records each backoff without actually
+// sleeping, keeping the schedule deterministic and the tests instant.
+func capture(delays *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(_ context.Context, d time.Duration) error {
+		*delays = append(*delays, d)
+		return nil
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	var delays []time.Duration
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, Jitter: -1, Sleep: capture(&delays)}
+	calls := 0
+	err := Retry(context.Background(), p, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry = %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	// Two failures → two sleeps, exponential: 10ms, 20ms (Jitter<0 → none).
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(delays) != 2 || delays[0] != want[0] || delays[1] != want[1] {
+		t.Errorf("backoff schedule = %v, want %v", delays, want)
+	}
+}
+
+func TestRetryExhaustionWrapsLastError(t *testing.T) {
+	var delays []time.Duration
+	p := RetryPolicy{MaxAttempts: 3, Sleep: capture(&delays)}
+	boom := errors.New("boom")
+	err := Retry(context.Background(), p, func(context.Context) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("exhaustion error %v does not wrap the last cause", err)
+	}
+	if len(delays) != 2 {
+		t.Errorf("sleeps = %d, want 2 (no sleep after the final attempt)", len(delays))
+	}
+}
+
+func TestRetryTerminalShortCircuits(t *testing.T) {
+	calls := 0
+	p := RetryPolicy{MaxAttempts: 5, Sleep: capture(new([]time.Duration))}
+	denied := MarkTerminal(errors.New("access denied"))
+	err := Retry(context.Background(), p, func(context.Context) error {
+		calls++
+		return denied
+	})
+	if calls != 1 {
+		t.Errorf("terminal error retried: %d calls", calls)
+	}
+	if !errors.Is(err, denied) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRetryBreakerOpenIsTerminal(t *testing.T) {
+	calls := 0
+	p := RetryPolicy{MaxAttempts: 5, Sleep: capture(new([]time.Duration))}
+	err := Retry(context.Background(), p, func(context.Context) error {
+		calls++
+		return fmt.Errorf("call: %w", ErrOpen)
+	})
+	if calls != 1 {
+		t.Errorf("open-circuit error retried: %d calls", calls)
+	}
+	if !errors.Is(err, ErrOpen) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRetryHonorsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Retry(ctx, RetryPolicy{MaxAttempts: 3}, func(context.Context) error {
+		calls++
+		return errors.New("never classified")
+	})
+	if calls != 0 {
+		t.Errorf("op ran %d time(s) under a dead context", calls)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRetryAbortsWhenContextEndsMidBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := RetryPolicy{
+		MaxAttempts: 5,
+		Sleep: func(ctx context.Context, _ time.Duration) error {
+			cancel() // context dies while waiting out the backoff
+			return ctx.Err()
+		},
+	}
+	boom := errors.New("flaky")
+	err := Retry(ctx, p, func(context.Context) error { return boom })
+	if !errors.Is(err, boom) || !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want both the cause and context.Canceled", err)
+	}
+}
+
+func TestRetryValueReturnsValue(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3, Sleep: capture(new([]time.Duration))}
+	calls := 0
+	v, err := RetryValue(context.Background(), p, func(context.Context) (int, error) {
+		calls++
+		if calls == 1 {
+			return 0, errors.New("transient")
+		}
+		return 42, nil
+	})
+	if err != nil || v != 42 {
+		t.Errorf("RetryValue = (%d, %v)", v, err)
+	}
+}
+
+func TestBackoffCapsAtMaxDelay(t *testing.T) {
+	p := RetryPolicy{BaseDelay: time.Second, MaxDelay: 3 * time.Second, Jitter: -1}
+	if d := p.backoff(10); d != 3*time.Second {
+		t.Errorf("backoff(10) = %v, want cap %v", d, 3*time.Second)
+	}
+}
+
+func TestBackoffJitterStaysInBand(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, Jitter: 0.5, Rand: func() float64 { return 0 }}
+	if d := p.backoff(0); d != 50*time.Millisecond {
+		t.Errorf("u=0 → %v, want 50ms (lower band edge)", d)
+	}
+	p.Rand = func() float64 { return 0.999999 }
+	if d := p.backoff(0); d < 149*time.Millisecond || d > 150*time.Millisecond {
+		t.Errorf("u→1 → %v, want ~150ms (upper band edge)", d)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Class
+	}{
+		{errors.New("unknown"), Retryable},
+		{MarkTerminal(errors.New("bad request")), Terminal},
+		{MarkRetryable(context.Canceled), Retryable}, // explicit mark wins
+		{context.Canceled, Terminal},
+		{context.DeadlineExceeded, Terminal},
+		{fmt.Errorf("wrap: %w", ErrOpen), Terminal},
+		{nil, Terminal}, // nothing to retry
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package secchan
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"webdbsec/internal/resilience"
+	"webdbsec/internal/resilience/faultinject"
+)
+
+// pairConfig establishes a channel over net.Pipe with per-side configs.
+func pairConfig(t *testing.T, clientCfg, serverCfg Config) (*Channel, *Channel) {
+	t.Helper()
+	pub, priv, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cConn, sConn := net.Pipe()
+	type res struct {
+		ch  *Channel
+		err error
+	}
+	srvCh := make(chan res, 1)
+	go func() {
+		ch, err := ServerConfig(sConn, priv, serverCfg)
+		srvCh <- res{ch, err}
+	}()
+	client, err := ClientConfig(cConn, pub, clientCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := <-srvCh
+	if sr.err != nil {
+		t.Fatal(sr.err)
+	}
+	t.Cleanup(func() { client.Close(); sr.ch.Close() })
+	return client, sr.ch
+}
+
+// TestStalledPeerTripsReadDeadline is the acceptance scenario: a peer
+// that goes silent must trip the read deadline, not hang the reader
+// forever.
+func TestStalledPeerTripsReadDeadline(t *testing.T) {
+	client, _ := pairConfig(t, Config{ReadTimeout: 50 * time.Millisecond}, Config{})
+	start := time.Now()
+	_, err := client.Receive()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Receive from stalled peer succeeded")
+	}
+	if !resilience.IsTimeout(err) {
+		t.Fatalf("error %v is not a timeout", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("deadline tripped after %v, want ~50ms", elapsed)
+	}
+}
+
+// TestStalledPeerTripsWriteDeadline: a peer that stops draining must trip
+// the write deadline.
+func TestStalledPeerTripsWriteDeadline(t *testing.T) {
+	client, _ := pairConfig(t, Config{WriteTimeout: 50 * time.Millisecond}, Config{})
+	// The server never reads; net.Pipe is unbuffered, so the write blocks
+	// until the deadline.
+	err := client.Send([]byte("into the void"))
+	if err == nil {
+		t.Fatal("Send to stalled peer succeeded")
+	}
+	if !resilience.IsTimeout(err) {
+		t.Fatalf("error %v is not a timeout", err)
+	}
+}
+
+// TestHandshakeTimeout: a peer that accepts the connection but never
+// answers the handshake must not wedge the initiator.
+func TestHandshakeTimeout(t *testing.T) {
+	pub, _, _ := ed25519.GenerateKey(nil)
+	cConn, sConn := net.Pipe()
+	defer sConn.Close()
+	defer cConn.Close()
+	// The "server" never reads nor writes.
+	start := time.Now()
+	_, err := ClientConfig(cConn, pub, Config{HandshakeTimeout: 50 * time.Millisecond})
+	if err == nil {
+		t.Fatal("handshake against mute peer succeeded")
+	}
+	if !resilience.IsTimeout(err) {
+		t.Fatalf("error %v is not a timeout", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("handshake timeout did not bound the handshake")
+	}
+}
+
+// TestGracefulCloseNotify: Close sends an authenticated close-notify, so
+// the peer's Receive ends in a clean io.EOF rather than a transport
+// error.
+func TestGracefulCloseNotify(t *testing.T) {
+	client, server := pairConfig(t, Config{}, Config{})
+	go client.Close()
+	_, err := server.Receive()
+	if !errors.Is(err, io.EOF) {
+		t.Fatalf("Receive after graceful close = %v, want io.EOF", err)
+	}
+}
+
+// TestTruncationIsNotCleanEOF: an attacker cutting the connection cannot
+// forge the clean end-of-stream signal — only the authenticated
+// close-notify produces io.EOF.
+func TestTruncationIsNotCleanEOF(t *testing.T) {
+	client, server := pairConfig(t, Config{}, Config{})
+	// Cut the transport out from under the client without close-notify.
+	go client.conn.Close()
+	_, err := server.Receive()
+	if err == nil {
+		t.Fatal("Receive after truncation succeeded")
+	}
+	if err == io.EOF {
+		t.Fatal("truncation produced a clean EOF: close-notify is forgeable")
+	}
+}
+
+// TestSendAfterCloseRejected: the channel refuses to encrypt on a closed
+// channel, and empty records are reserved for close-notify.
+func TestSendAfterCloseRejected(t *testing.T) {
+	client, _ := pairConfig(t, Config{}, Config{})
+	if err := client.Send(nil); err == nil {
+		t.Error("empty record accepted")
+	}
+	client.Close()
+	if err := client.Send([]byte("late")); err == nil {
+		t.Error("send after close accepted")
+	}
+}
+
+// TestCorruptingLinkFailsAuthentication drives the fault-injection
+// harness against a secchan conn: a link that flips bits must surface as
+// an authentication failure, never as silently wrong plaintext.
+func TestCorruptingLinkFailsAuthentication(t *testing.T) {
+	pub, priv, _ := ed25519.GenerateKey(nil)
+	cConn, sConn := net.Pipe()
+	srvCh := make(chan *Channel, 1)
+	go func() {
+		ch, err := Server(sConn, priv)
+		if err == nil {
+			srvCh <- ch
+		}
+	}()
+	// The client writes once during the handshake (its ephemeral key) and
+	// twice per record (length prefix, ciphertext). Leave the handshake
+	// and the length prefix clean and corrupt the ciphertext, so the
+	// record arrives whole but tampered.
+	inj := faultinject.New(faultinject.Steps(
+		faultinject.None,    // handshake: client ephemeral key
+		faultinject.None,    // record length prefix
+		faultinject.Corrupt, // ciphertext
+	))
+	client, err := Client(faultinject.WrapConn(cConn, inj), pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-srvCh
+	go client.Send([]byte("integrity matters"))
+	if _, err := server.Receive(); err == nil {
+		t.Fatal("corrupted record accepted")
+	}
+}
+
+// TestDroppingLinkTripsDeadline: a link that drops records makes the
+// reader trip its deadline — bounded, not wedged.
+func TestDroppingLinkTripsDeadline(t *testing.T) {
+	pub, priv, _ := ed25519.GenerateKey(nil)
+	cConn, sConn := net.Pipe()
+	srvCh := make(chan *Channel, 1)
+	go func() {
+		ch, err := ServerConfig(sConn, priv, Config{ReadTimeout: 50 * time.Millisecond})
+		if err == nil {
+			srvCh <- ch
+		}
+	}()
+	inj := faultinject.New(faultinject.Steps(
+		faultinject.None,                   // handshake clean
+		faultinject.Drop, faultinject.Drop, // the data record vanishes
+	))
+	client, err := Client(faultinject.WrapConn(cConn, inj), pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-srvCh
+	if err := client.Send([]byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	_, err = server.Receive()
+	if err == nil {
+		t.Fatal("Receive of dropped record succeeded")
+	}
+	if !resilience.IsTimeout(err) {
+		t.Fatalf("error %v is not a timeout", err)
+	}
+}

@@ -23,26 +23,82 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync/atomic"
+	"time"
 )
 
 // MaxRecord is the maximum payload size of one record.
 const MaxRecord = 1 << 24
+
+// defaultCloseLinger bounds the best-effort close-notify write.
+const defaultCloseLinger = 50 * time.Millisecond
+
+// Config bounds a channel's blocking operations so a stalled or
+// adversarial peer trips a deadline instead of wedging the endpoint.
+// Zero fields impose no bound (the pre-hardening behaviour).
+type Config struct {
+	// HandshakeTimeout bounds the whole handshake.
+	HandshakeTimeout time.Duration
+	// ReadTimeout bounds each Receive.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each Send.
+	WriteTimeout time.Duration
+	// CloseLinger bounds the close-notify write during Close
+	// (default 50ms).
+	CloseLinger time.Duration
+}
 
 // Channel is an established secure channel. It is NOT safe for concurrent
 // use by multiple goroutines on the same direction; use one writer and one
 // reader.
 type Channel struct {
 	conn    net.Conn
+	cfg     Config
 	sendKey cipher.AEAD
 	recvKey cipher.AEAD
 	sendSeq uint64
 	recvSeq uint64
+	closed  atomic.Bool
 }
 
-// Server performs the responder side of the handshake: it receives the
-// client's ephemeral public key, replies with its own plus an identity
-// signature over the transcript, and derives the record keys.
+// Server performs the responder side of the handshake with no deadlines;
+// see ServerConfig.
 func Server(conn net.Conn, identity ed25519.PrivateKey) (*Channel, error) {
+	return ServerConfig(conn, identity, Config{})
+}
+
+// ServerConfig performs the responder side of the handshake: it receives
+// the client's ephemeral public key, replies with its own plus an identity
+// signature over the transcript, and derives the record keys. The
+// handshake is bounded by cfg.HandshakeTimeout.
+func ServerConfig(conn net.Conn, identity ed25519.PrivateKey, cfg Config) (*Channel, error) {
+	restore, err := handshakeDeadline(conn, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := serverHandshake(conn, identity, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := restore(); err != nil {
+		return nil, fmt.Errorf("secchan: clear handshake deadline: %w", err)
+	}
+	return ch, nil
+}
+
+// handshakeDeadline arms the handshake deadline and returns the function
+// that clears it once the handshake succeeded.
+func handshakeDeadline(conn net.Conn, cfg Config) (func() error, error) {
+	if cfg.HandshakeTimeout <= 0 {
+		return func() error { return nil }, nil
+	}
+	if err := conn.SetDeadline(time.Now().Add(cfg.HandshakeTimeout)); err != nil {
+		return nil, fmt.Errorf("secchan: arm handshake deadline: %w", err)
+	}
+	return func() error { return conn.SetDeadline(time.Time{}) }, nil
+}
+
+func serverHandshake(conn net.Conn, identity ed25519.PrivateKey, cfg Config) (*Channel, error) {
 	curve := ecdh.X25519()
 	priv, err := curve.GenerateKey(rand.Reader)
 	if err != nil {
@@ -69,12 +125,33 @@ func Server(conn net.Conn, identity ed25519.PrivateKey) (*Channel, error) {
 	if err != nil {
 		return nil, fmt.Errorf("secchan: ecdh: %w", err)
 	}
-	return newChannel(conn, secret, transcript, false)
+	return newChannel(conn, cfg, secret, transcript, false)
 }
 
-// Client performs the initiator side, verifying the server's identity
-// signature against serverID before trusting the channel.
+// Client performs the initiator side with no deadlines; see ClientConfig.
 func Client(conn net.Conn, serverID ed25519.PublicKey) (*Channel, error) {
+	return ClientConfig(conn, serverID, Config{})
+}
+
+// ClientConfig performs the initiator side, verifying the server's
+// identity signature against serverID before trusting the channel. The
+// handshake is bounded by cfg.HandshakeTimeout.
+func ClientConfig(conn net.Conn, serverID ed25519.PublicKey, cfg Config) (*Channel, error) {
+	restore, err := handshakeDeadline(conn, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := clientHandshake(conn, serverID, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := restore(); err != nil {
+		return nil, fmt.Errorf("secchan: clear handshake deadline: %w", err)
+	}
+	return ch, nil
+}
+
+func clientHandshake(conn net.Conn, serverID ed25519.PublicKey, cfg Config) (*Channel, error) {
 	curve := ecdh.X25519()
 	priv, err := curve.GenerateKey(rand.Reader)
 	if err != nil {
@@ -104,7 +181,7 @@ func Client(conn net.Conn, serverID ed25519.PublicKey) (*Channel, error) {
 	if err != nil {
 		return nil, fmt.Errorf("secchan: ecdh: %w", err)
 	}
-	return newChannel(conn, secret, transcript, true)
+	return newChannel(conn, cfg, secret, transcript, true)
 }
 
 func transcriptHash(clientPub, serverPub []byte) []byte {
@@ -124,7 +201,7 @@ func deriveKey(secret, transcript []byte, label string) ([]byte, error) {
 	return h.Sum(nil), nil
 }
 
-func newChannel(conn net.Conn, secret, transcript []byte, isClient bool) (*Channel, error) {
+func newChannel(conn net.Conn, cfg Config, secret, transcript []byte, isClient bool) (*Channel, error) {
 	c2s, err := deriveKey(secret, transcript, "client-to-server")
 	if err != nil {
 		return nil, err
@@ -148,7 +225,7 @@ func newChannel(conn net.Conn, secret, transcript []byte, isClient bool) (*Chann
 	if err != nil {
 		return nil, fmt.Errorf("secchan: %w", err)
 	}
-	ch := &Channel{conn: conn}
+	ch := &Channel{conn: conn, cfg: cfg}
 	if isClient {
 		ch.sendKey, ch.recvKey = c2sAEAD, s2cAEAD
 	} else {
@@ -164,11 +241,28 @@ func nonce(seq uint64) []byte {
 	return n
 }
 
-// Send encrypts and writes one record.
+// Send encrypts and writes one record, bounded by the configured write
+// timeout. Empty payloads are reserved for the close-notify record.
 func (c *Channel) Send(payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("secchan: empty record reserved for close-notify")
+	}
 	if len(payload) > MaxRecord {
 		return fmt.Errorf("secchan: record too large (%d bytes)", len(payload))
 	}
+	if c.closed.Load() {
+		return fmt.Errorf("secchan: send on closed channel")
+	}
+	if c.cfg.WriteTimeout > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout)); err != nil {
+			return fmt.Errorf("secchan: send: %w", err)
+		}
+	}
+	return c.sendRecord(payload)
+}
+
+// sendRecord seals and writes payload under the next sequence number.
+func (c *Channel) sendRecord(payload []byte) error {
 	seq := c.sendSeq
 	c.sendSeq++
 	var seqBuf [8]byte
@@ -186,8 +280,17 @@ func (c *Channel) Send(payload []byte) error {
 }
 
 // Receive reads and decrypts one record, enforcing the sequence number: a
-// replayed, reordered or injected record fails authentication.
+// replayed, reordered or injected record fails authentication. A stalled
+// peer trips the configured read timeout instead of hanging the reader.
+// Receive returns io.EOF on the peer's authenticated close-notify — a
+// truncating attacker cannot forge a clean EOF, it can only produce an
+// error.
 func (c *Channel) Receive() ([]byte, error) {
+	if c.cfg.ReadTimeout > 0 {
+		if err := c.conn.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout)); err != nil {
+			return nil, fmt.Errorf("secchan: receive: %w", err)
+		}
+	}
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(c.conn, lenBuf[:]); err != nil {
 		return nil, fmt.Errorf("secchan: receive: %w", err)
@@ -208,11 +311,31 @@ func (c *Channel) Receive() ([]byte, error) {
 		return nil, fmt.Errorf("secchan: record %d: authentication failed", seq)
 	}
 	c.recvSeq++
+	if len(pt) == 0 {
+		// Authenticated close-notify: clean end of stream.
+		return nil, io.EOF
+	}
 	return pt, nil
 }
 
-// Close closes the underlying connection.
-func (c *Channel) Close() error { return c.conn.Close() }
+// Close gracefully closes the channel: it makes a bounded best-effort
+// attempt to send the authenticated close-notify record (so the peer's
+// Receive ends in io.EOF rather than an ambiguous transport error), then
+// closes the underlying connection. Safe to call more than once.
+func (c *Channel) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return c.conn.Close()
+	}
+	linger := c.cfg.CloseLinger
+	if linger <= 0 {
+		linger = defaultCloseLinger
+	}
+	// Best effort: a wedged peer must not turn Close into a hang.
+	if err := c.conn.SetWriteDeadline(time.Now().Add(linger)); err == nil {
+		_ = c.sendRecord(nil)
+	}
+	return c.conn.Close()
+}
 
 // PlainChannel is the no-security baseline used by experiment E11: the
 // same length-prefixed framing with no confidentiality or integrity.

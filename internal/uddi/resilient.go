@@ -1,0 +1,46 @@
+package uddi
+
+import (
+	"context"
+
+	"webdbsec/internal/policy"
+	"webdbsec/internal/resilience"
+)
+
+// AgencyQuerier is the drill-down call a requestor makes against a
+// third-party discovery agency — implemented by UntrustedAgency locally
+// and by remote-backed adapters in deployments where the agency lives
+// across the network.
+type AgencyQuerier interface {
+	Query(req *policy.Subject, businessKey string) (*AuthenticatedResult, error)
+}
+
+// ResilientAgency decorates third-party agency calls with retries and a
+// circuit breaker: the Trust Brokerage setting assumes brokers that
+// degrade gracefully when counterparties misbehave, so a flaky agency is
+// retried with backoff and a persistently sick one trips the circuit.
+// Terminal errors — invalid keys, access denials — pass through on the
+// first attempt and never count against the breaker.
+type ResilientAgency struct {
+	Inner AgencyQuerier
+	// Retry configures backoff; its zero value means 3 attempts.
+	Retry resilience.RetryPolicy
+	// Breaker, when non-nil, guards every call.
+	Breaker *resilience.Breaker
+}
+
+// Query runs the drill-down under ctx with retry and breaker protection.
+func (a *ResilientAgency) Query(ctx context.Context, req *policy.Subject, businessKey string) (*AuthenticatedResult, error) {
+	return resilience.RetryValue(ctx, a.Retry, func(ctx context.Context) (*AuthenticatedResult, error) {
+		if a.Breaker != nil {
+			if err := a.Breaker.Allow(); err != nil {
+				return nil, err
+			}
+		}
+		res, err := a.Inner.Query(req, businessKey)
+		if a.Breaker != nil {
+			a.Breaker.Record(err)
+		}
+		return res, err
+	})
+}

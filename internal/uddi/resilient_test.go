@@ -1,0 +1,91 @@
+package uddi
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"webdbsec/internal/policy"
+	"webdbsec/internal/resilience"
+)
+
+// flakyAgency fails a scripted number of times before succeeding.
+type flakyAgency struct {
+	failures int
+	err      error
+	calls    int
+}
+
+func (a *flakyAgency) Query(req *policy.Subject, businessKey string) (*AuthenticatedResult, error) {
+	a.calls++
+	if a.calls <= a.failures {
+		return nil, a.err
+	}
+	return &AuthenticatedResult{}, nil
+}
+
+var instant = func(context.Context, time.Duration) error { return nil }
+
+func TestResilientAgencyRetriesTransientFailures(t *testing.T) {
+	inner := &flakyAgency{failures: 2, err: errors.New("connection reset")}
+	ra := &ResilientAgency{
+		Inner: inner,
+		Retry: resilience.RetryPolicy{MaxAttempts: 4, Sleep: instant},
+	}
+	res, err := ra.Query(context.Background(), &policy.Subject{ID: "r"}, "k")
+	if err != nil || res == nil {
+		t.Fatalf("Query = (%v, %v)", res, err)
+	}
+	if inner.calls != 3 {
+		t.Errorf("calls = %d, want 3", inner.calls)
+	}
+}
+
+func TestResilientAgencyTerminalErrorsNotRetried(t *testing.T) {
+	// The real UntrustedAgency marks invalid keys and access denials
+	// terminal; verify they pass through on the first attempt.
+	base := policyBaseDenyAll(t)
+	agency := NewUntrustedAgency(base)
+	ra := &ResilientAgency{
+		Inner: agency,
+		Retry: resilience.RetryPolicy{MaxAttempts: 5, Sleep: instant},
+	}
+	_, err := ra.Query(context.Background(), &policy.Subject{ID: "r"}, "no-such-key")
+	if err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	if resilience.Classify(err) != resilience.Terminal {
+		t.Errorf("unknown-key error classified retryable: %v", err)
+	}
+}
+
+func TestResilientAgencyBreakerOpens(t *testing.T) {
+	inner := &flakyAgency{failures: 1 << 30, err: errors.New("down")}
+	br := resilience.NewBreaker(resilience.BreakerConfig{FailureThreshold: 3, Cooldown: time.Hour})
+	ra := &ResilientAgency{
+		Inner:   inner,
+		Retry:   resilience.RetryPolicy{MaxAttempts: 3, Sleep: instant},
+		Breaker: br,
+	}
+	if _, err := ra.Query(context.Background(), &policy.Subject{ID: "r"}, "k"); err == nil {
+		t.Fatal("query against dead agency succeeded")
+	}
+	if br.State() != resilience.Open {
+		t.Fatalf("breaker = %v after %d failures", br.State(), inner.calls)
+	}
+	wire := inner.calls
+	if _, err := ra.Query(context.Background(), &policy.Subject{ID: "r"}, "k"); !errors.Is(err, resilience.ErrOpen) {
+		t.Errorf("open-circuit query error = %v", err)
+	}
+	if inner.calls != wire {
+		t.Errorf("open circuit still reached the agency: %d → %d calls", wire, inner.calls)
+	}
+}
+
+// policyBaseDenyAll builds an empty policy base: no policies, so every
+// entry is invisible and every key lookup fails.
+func policyBaseDenyAll(t *testing.T) *policy.Base {
+	t.Helper()
+	return policy.NewBase(nil)
+}

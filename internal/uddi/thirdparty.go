@@ -6,6 +6,7 @@ import (
 	"webdbsec/internal/accessctl"
 	"webdbsec/internal/merkle"
 	"webdbsec/internal/policy"
+	"webdbsec/internal/resilience"
 	"webdbsec/internal/wsig"
 	"webdbsec/internal/xmldoc"
 )
@@ -118,14 +119,15 @@ func DocName(businessKey string) string { return "uddi:" + businessKey }
 func (a *UntrustedAgency) Query(req *policy.Subject, businessKey string) (*AuthenticatedResult, error) {
 	entry, ok := a.entries[businessKey]
 	if !ok {
-		return nil, fmt.Errorf("uddi: invalid key %s", businessKey)
+		// Terminal: retrying the same key cannot make it exist.
+		return nil, resilience.MarkTerminal(fmt.Errorf("uddi: invalid key %s", businessKey))
 	}
 	labels := a.engine.Labels(entry.Entity, req, policy.Read)
 	view, proof := merkle.PruneWithProof(entry.Entity, func(n *xmldoc.Node) bool {
 		return labels[n.ID()]
 	})
 	if view == nil {
-		return nil, fmt.Errorf("uddi: access denied to %s", businessKey)
+		return nil, resilience.MarkTerminal(fmt.Errorf("uddi: access denied to %s", businessKey))
 	}
 	return &AuthenticatedResult{View: view, Proof: proof, Summary: entry.Summary}, nil
 }

@@ -1,19 +1,49 @@
 package wsa
 
 import (
-	"bytes"
+	"context"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"webdbsec/internal/merkle"
 	"webdbsec/internal/policy"
+	"webdbsec/internal/resilience"
 	"webdbsec/internal/uddi"
 	"webdbsec/internal/wsig"
 	"webdbsec/internal/xmldoc"
 )
+
+// MaxRequestBody caps an envelope POST. A malformed or hostile client
+// must not be able to balloon the server's memory.
+const MaxRequestBody = 10 << 20 // 10 MiB
+
+// internalError marks dispatch failures that are the server's fault; the
+// HTTP binding maps them to 500 instead of 400.
+type internalError struct{ err error }
+
+func (e *internalError) Error() string { return e.err.Error() }
+func (e *internalError) Unwrap() error { return e.err }
+
+// internalf builds a server-fault error.
+func internalf(format string, args ...any) error {
+	return &internalError{err: fmt.Errorf(format, args...)}
+}
+
+// faultStatus maps a dispatch error onto an HTTP status: server faults
+// are 500, everything else — malformed bodies, unknown operations,
+// registry refusals — is the client's fault and gets 400.
+func faultStatus(err error) int {
+	var ie *internalError
+	if errors.As(err, &ie) {
+		return http.StatusInternalServerError
+	}
+	return http.StatusBadRequest
+}
 
 // RegistryServer is the HTTP binding of a UDDI registry: one POST endpoint
 // accepting envelopes, dispatching on the operation name. When an
@@ -41,20 +71,42 @@ func (s *RegistryServer) Describe(endpoint string) *ServiceDescription {
 	return &ServiceDescription{Name: "uddi-registry", Endpoint: endpoint, Operations: ops}
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. The binding is hardened against
+// hostile input: panics in dispatch are recovered into a 500 fault (a
+// malformed envelope must never kill the server), and request bodies are
+// capped at MaxRequestBody.
 func (s *RegistryServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if p := recover(); p != nil {
+			// Headers may already be out if the panic hit mid-write; the
+			// superfluous-WriteHeader log line is the lesser evil next to
+			// a dead server.
+			writeFault(w, http.StatusInternalServerError, fmt.Sprintf("wsa: internal error: %v", p))
+		}
+	}()
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	if r.ContentLength > MaxRequestBody {
+		writeFault(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("wsa: request body %d bytes exceeds %d", r.ContentLength, MaxRequestBody))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, MaxRequestBody)
 	env, err := DecodeEnvelope(r.Body)
 	if err != nil {
-		writeFault(w, http.StatusBadRequest, err.Error())
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeFault(w, status, err.Error())
 		return
 	}
 	resp, err := s.dispatch(env)
 	if err != nil {
-		writeFault(w, http.StatusOK, err.Error())
+		writeFault(w, faultStatus(err), err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/xml")
@@ -155,7 +207,8 @@ func (s *RegistryServer) dispatch(env *Envelope) (*Envelope, error) {
 
 	case "query_authenticated":
 		if s.Agency == nil {
-			return nil, fmt.Errorf("wsa: no untrusted agency attached")
+			// Deployment misconfiguration, not the requestor's fault.
+			return nil, internalf("wsa: no untrusted agency attached")
 		}
 		if env.Body == nil {
 			return nil, fmt.Errorf("wsa: query_authenticated needs a body")
@@ -291,32 +344,85 @@ func DecodeAuthenticated(body *xmldoc.Document) (*uddi.AuthenticatedResult, erro
 	return res, nil
 }
 
-// Client is a requestor-side helper speaking the envelope protocol.
+// Client is a requestor-side helper speaking the envelope protocol. Retry
+// and Breaker, when set, make calls resilient: transient transport
+// failures (network errors, 5xx) are retried with backoff, and a peer
+// that keeps failing trips the circuit so callers fail fast instead of
+// piling onto a sick service. Application faults (4xx envelopes) are
+// terminal — they are never retried and never count against the breaker.
 type Client struct {
 	Endpoint string
 	Sender   string
 	Roles    []string
 	HTTP     *http.Client
+	// Retry, when non-nil, retries retryable-class failures.
+	Retry *resilience.RetryPolicy
+	// Breaker, when non-nil, guards every call.
+	Breaker *resilience.Breaker
 }
 
 // Call posts an envelope and decodes the response.
 func (c *Client) Call(op string, body *xmldoc.Document) (*Envelope, error) {
+	return c.CallContext(context.Background(), op, body)
+}
+
+// CallContext posts an envelope under ctx and decodes the response,
+// applying the client's breaker and retry policy.
+func (c *Client) CallContext(ctx context.Context, op string, body *xmldoc.Document) (*Envelope, error) {
+	env := &Envelope{Operation: op, Sender: c.Sender, Roles: c.Roles, Body: body}
+	payload := env.Encode()
+	attempt := func(ctx context.Context) (*Envelope, error) {
+		if c.Breaker != nil {
+			if err := c.Breaker.Allow(); err != nil {
+				return nil, err
+			}
+		}
+		out, err := c.post(ctx, op, payload)
+		if c.Breaker != nil {
+			c.Breaker.Record(err)
+		}
+		return out, err
+	}
+	if c.Retry == nil {
+		return attempt(ctx)
+	}
+	return resilience.RetryValue(ctx, *c.Retry, attempt)
+}
+
+// post performs one HTTP exchange. Errors are classified for the retry
+// and breaker layers: transport failures and 5xx responses stay
+// retryable, application faults are marked terminal.
+func (c *Client) post(ctx context.Context, op, payload string) (*Envelope, error) {
 	httpc := c.HTTP
 	if httpc == nil {
 		httpc = http.DefaultClient
 	}
-	env := &Envelope{Operation: op, Sender: c.Sender, Roles: c.Roles, Body: body}
-	resp, err := httpc.Post(c.Endpoint, "application/xml", bytes.NewBufferString(env.Encode()))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Endpoint, strings.NewReader(payload))
+	if err != nil {
+		return nil, resilience.MarkTerminal(fmt.Errorf("wsa: call %s: %w", op, err))
+	}
+	req.Header.Set("Content-Type", "application/xml")
+	resp, err := httpc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("wsa: call %s: %w", op, err)
 	}
 	defer resp.Body.Close()
-	out, err := DecodeEnvelope(resp.Body)
-	if err != nil {
-		return nil, err
+	out, decErr := DecodeEnvelope(io.LimitReader(resp.Body, MaxRequestBody))
+	if resp.StatusCode >= 500 {
+		// Server-side failure: retryable. Prefer the fault text when the
+		// body carried one.
+		if decErr == nil && out.Fault != "" {
+			return out, fmt.Errorf("wsa: fault from %s: %s", op, out.Fault)
+		}
+		return nil, fmt.Errorf("wsa: call %s: server error %d", op, resp.StatusCode)
+	}
+	if decErr != nil {
+		return nil, decErr
 	}
 	if out.Fault != "" {
-		return out, fmt.Errorf("wsa: fault from %s: %s", op, out.Fault)
+		// Application fault: the request itself is wrong; retrying the
+		// same envelope cannot help.
+		return out, resilience.MarkTerminal(fmt.Errorf("wsa: fault from %s: %s", op, out.Fault))
 	}
 	return out, nil
 }

@@ -16,7 +16,7 @@ func TestDecodeAuthenticatedMalformed(t *testing.T) {
 		`<authenticatedResult><summary signer="p" value="zz-not-hex"/><proof/><view><a/></view></authenticatedResult>`,
 		`<authenticatedResult><summary signer="p" value="00"/><proof><element><missing pos="x" hash="00"/></element></proof><view><a/></view></authenticatedResult>`,
 		`<authenticatedResult><summary signer="p" value="00"/><proof><element><missing pos="1" hash="zz"/></element></proof><view><a/></view></authenticatedResult>`,
-		`<authenticatedResult><summary signer="p" value="00"/><proof/></authenticatedResult>`, // no view
+		`<authenticatedResult><summary signer="p" value="00"/><proof/></authenticatedResult>`,                      // no view
 		`<authenticatedResult><summary signer="p" value="00"/><proof/><view><a/><b/></view></authenticatedResult>`, // two roots
 	}
 	for _, src := range cases {
