@@ -2,10 +2,11 @@ GO ?= go
 
 .PHONY: check vet build test race bench fmt
 
-# check is the full verification gate: vet, build, and the test suite
-# under the race detector (the resilience layers are concurrent by
-# design — a run without -race proves little).
-check: vet build race
+# check is the full verification gate: vet, build, the test suite under
+# the race detector (the resilience and caching layers are concurrent by
+# design — a run without -race proves little), and a one-iteration bench
+# smoke so a broken benchmark cannot sit unnoticed until measurement time.
+check: vet build race bench
 
 vet:
 	$(GO) vet ./...
@@ -19,8 +20,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench compiles and runs every benchmark exactly once (-run '^$$' skips
+# the unit tests, which race/test already cover). For real numbers, use
+# cmd/benchgen or raise -benchtime.
 bench:
-	$(GO) test -bench . -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 fmt:
 	gofmt -l -w .

@@ -41,12 +41,23 @@ var experiments = []struct {
 	{"E14", "auction transaction model: open-bid vs locking", runE14},
 	{"E15", "federated query scaling and clearance filtering", runE15},
 	{"E16", "provenance-aware RDFS inference vs plain inference", runE16},
+	{"E17", "decision cache: uncached vs cold vs warm, Zipf hit rate", runE17},
 }
 
 func main() {
 	runFlag := flag.String("run", "", "experiment id to run (default: all)")
 	quick := flag.Bool("quick", false, "use smaller workloads")
+	snapshotFlag := flag.String("snapshot", "", "write the E17 before/after JSON record to this file and exit")
 	flag.Parse()
+
+	if *snapshotFlag != "" {
+		if err := writeSnapshot(*snapshotFlag, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgen: snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("snapshot written to %s\n", *snapshotFlag)
+		return
+	}
 
 	ran := false
 	for _, e := range experiments {

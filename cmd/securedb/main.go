@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"webdbsec/internal/core"
+	"webdbsec/internal/debugz"
 	"webdbsec/internal/inference"
 	"webdbsec/internal/policy"
 	"webdbsec/internal/privacy"
@@ -39,6 +40,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8081", "listen address")
 	people := flag.Int("people", 200, "synthetic patients to load")
+	debug := flag.Bool("debug", false, "expose /debug/pprof and /debug/vars (off by default)")
 	flag.Parse()
 
 	w := core.NewSecureWebDB(core.Config{})
@@ -63,6 +65,11 @@ func main() {
 			fmt.Fprintf(rw, "%4d %-10s %-8s %-60s %s\n", rec.Seq, rec.Actor, rec.Action, rec.Object, rec.Outcome)
 		}
 	})
+	if *debug {
+		debugz.Mount(mux)
+		debugz.Publish("securedb.parse_cache", func() any { return w.DB().ParseCacheStats() })
+		log.Print("securedb: debug endpoints enabled at /debug/pprof and /debug/vars")
+	}
 	// Serve with timeouts — a slow-loris client or wedged handler must
 	// not accumulate goroutines forever — and drain gracefully on
 	// SIGINT/SIGTERM so in-flight queries finish.

@@ -24,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"webdbsec/internal/debugz"
 	"webdbsec/internal/policy"
 	"webdbsec/internal/synth"
 	"webdbsec/internal/uddi"
@@ -34,9 +35,11 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	mode := flag.String("mode", "two-party", "deployment: two-party | trusted | untrusted")
 	demo := flag.Int("demo", 25, "number of synthetic demo entries (0 = none)")
+	debug := flag.Bool("debug", false, "expose /debug/pprof and /debug/vars (off by default)")
 	flag.Parse()
 
 	srv := &wsa.RegistryServer{Registry: uddi.NewRegistry(nil)}
+	var cachedAgency *uddi.UntrustedAgency
 
 	switch *mode {
 	case "two-party", "trusted":
@@ -76,6 +79,7 @@ func main() {
 			}
 		}
 		srv.Agency = agency
+		cachedAgency = agency
 		fmt.Printf("untrusted agency: %d signed entries; provider key (hex) for requestor key directories:\n%x\n",
 			*demo, prov.Signer().PublicKey())
 	default:
@@ -94,6 +98,13 @@ func main() {
 		w.Header().Set("Content-Type", "application/xml")
 		io.WriteString(w, srv.Describe("http://"+r.Host+"/").ToXML().Canonical())
 	})
+	if *debug {
+		debugz.Mount(mux)
+		if cachedAgency != nil {
+			debugz.Publish("uddiserver.decision_cache", func() any { return cachedAgency.CacheStats() })
+		}
+		log.Printf("uddiserver: debug endpoints enabled at /debug/pprof and /debug/vars")
+	}
 	// Serve with timeouts and graceful drain: the registry is the
 	// federation's discovery backbone, and a wedged or slow client must
 	// not take it down (nor a SIGTERM cut off in-flight inquiries).

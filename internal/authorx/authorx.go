@@ -20,12 +20,24 @@ package authorx
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"webdbsec/internal/accessctl"
 	"webdbsec/internal/policy"
 	"webdbsec/internal/wenc"
 	"webdbsec/internal/xmldoc"
 )
+
+// Engine is the slice of the access-control engine the publisher needs.
+// Both *accessctl.Engine and the caching *decisioncache.Engine satisfy it;
+// with the latter, label vectors and configuration partitions are memoized
+// across Encrypt/GrantKeys calls and across publishers.
+type Engine interface {
+	Store() *xmldoc.Store
+	Base() *policy.Base
+	Labels(doc *xmldoc.Document, s *policy.Subject, priv policy.Privilege) []bool
+	Configurations(doc *xmldoc.Document) *accessctl.PolicyConfiguration
+}
 
 // EncryptedNode is one node of a broadcast document: the tree position and
 // configuration class are public; the node's own content (kind, name,
@@ -46,23 +58,34 @@ type EncryptedDocument struct {
 	NumClasses int
 }
 
+// partition is a configuration partition pinned to the document and
+// policy-base generations it was computed under.
+type partition struct {
+	pc      *accessctl.PolicyConfiguration
+	docGen  uint64
+	baseGen uint64
+}
+
 // Publisher is the document owner: it holds the policy engine and the
 // per-document class keys, encrypts documents, and hands subjects exactly
-// the keys they are entitled to.
+// the keys they are entitled to. Publishers are safe for concurrent use.
 type Publisher struct {
-	engine *accessctl.Engine
+	engine Engine
+	mu     sync.RWMutex
 	// keys maps document name -> class id -> key.
 	keys map[string]map[string]wenc.Key
-	// classes caches the configuration partition per document.
-	classes map[string]*accessctl.PolicyConfiguration
+	// classes caches the configuration partition per document, pinned to
+	// the generations it was computed under so Encrypt can skip the
+	// partition step when neither the document nor the policy base moved.
+	classes map[string]*partition
 }
 
 // NewPublisher returns a publisher over the given engine.
-func NewPublisher(engine *accessctl.Engine) *Publisher {
+func NewPublisher(engine Engine) *Publisher {
 	return &Publisher{
 		engine:  engine,
 		keys:    make(map[string]map[string]wenc.Key),
-		classes: make(map[string]*accessctl.PolicyConfiguration),
+		classes: make(map[string]*partition),
 	}
 }
 
@@ -72,14 +95,24 @@ func classID(doc string, class int) string {
 }
 
 // Encrypt produces the broadcastable encrypted form of the named document,
-// generating one fresh key per policy-configuration class.
+// generating one fresh key per policy-configuration class. The partition
+// itself is memoized against the document and policy-base generations:
+// re-encrypting an unchanged document under unchanged policies (fresh
+// keys for a new broadcast epoch) skips the partition computation.
 func (p *Publisher) Encrypt(docName string) (*EncryptedDocument, error) {
 	doc, ok := p.engine.Store().Get(docName)
 	if !ok {
 		return nil, fmt.Errorf("authorx: unknown document %q", docName)
 	}
-	pc := p.engine.Configurations(doc)
-	p.classes[docName] = pc
+	docGen := p.engine.Store().DocGeneration(docName)
+	baseGen := p.engine.Base().Generation()
+	p.mu.RLock()
+	part := p.classes[docName]
+	p.mu.RUnlock()
+	if part == nil || part.docGen != docGen || part.baseGen != baseGen {
+		part = &partition{pc: p.engine.Configurations(doc), docGen: docGen, baseGen: baseGen}
+	}
+	pc := part.pc
 	km := make(map[string]wenc.Key, pc.NumClasses)
 	for c := 0; c < pc.NumClasses; c++ {
 		k, err := wenc.NewKey()
@@ -88,7 +121,10 @@ func (p *Publisher) Encrypt(docName string) (*EncryptedDocument, error) {
 		}
 		km[classID(docName, c)] = k
 	}
+	p.mu.Lock()
+	p.classes[docName] = part
 	p.keys[docName] = km
+	p.mu.Unlock()
 
 	enc := &EncryptedDocument{Name: docName, NumClasses: pc.NumClasses}
 	for _, n := range doc.Nodes() {
@@ -116,10 +152,14 @@ func (p *Publisher) GrantKeys(docName string, s *policy.Subject) (*wenc.KeyRing,
 	if !ok {
 		return nil, fmt.Errorf("authorx: unknown document %q", docName)
 	}
-	pc, ok := p.classes[docName]
-	if !ok {
+	p.mu.RLock()
+	part := p.classes[docName]
+	keys := p.keys[docName]
+	p.mu.RUnlock()
+	if part == nil {
 		return nil, fmt.Errorf("authorx: document %q not encrypted yet", docName)
 	}
+	pc := part.pc
 	labels := p.engine.Labels(doc, s, policy.Read)
 	allowed := make([]bool, pc.NumClasses)
 	seen := make([]bool, pc.NumClasses)
@@ -136,15 +176,33 @@ func (p *Publisher) GrantKeys(docName string, s *policy.Subject) (*wenc.KeyRing,
 	for c := 0; c < pc.NumClasses; c++ {
 		if seen[c] && allowed[c] {
 			cid := classID(docName, c)
-			ring.Add(cid, p.keys[docName][cid])
+			ring.Add(cid, keys[cid])
 		}
 	}
 	return ring, nil
 }
 
+// Stale reports whether the document or the policy base has changed since
+// the last Encrypt of docName — i.e. whether the published ciphertext no
+// longer matches what GrantKeys would be deciding against. Re-Encrypt (and
+// re-broadcast) when it returns true. It also returns true for documents
+// never encrypted.
+func (p *Publisher) Stale(docName string) bool {
+	p.mu.RLock()
+	part := p.classes[docName]
+	p.mu.RUnlock()
+	if part == nil {
+		return true
+	}
+	return part.docGen != p.engine.Store().DocGeneration(docName) ||
+		part.baseGen != p.engine.Base().Generation()
+}
+
 // NumKeys returns the number of class keys generated for the document —
 // the key-management cost experiment E3 tracks.
 func (p *Publisher) NumKeys(docName string) int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return len(p.keys[docName])
 }
 

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"webdbsec/internal/accessctl"
 	"webdbsec/internal/ontology"
 	"webdbsec/internal/policy"
 	"webdbsec/internal/rdf"
@@ -69,10 +68,20 @@ func Profile(s Strength) LayerConfig {
 	}
 }
 
+// XMLEngine is the slice of the access-control engine the stack's XML
+// layer needs. Both *accessctl.Engine and the caching
+// *decisioncache.Engine satisfy it; the latter serves repeated requests by
+// the same role class from its decision cache.
+type XMLEngine interface {
+	View(docName string, s *policy.Subject, priv policy.Privilege) *xmldoc.Document
+	Store() *xmldoc.Store
+	Base() *policy.Base
+}
+
 // SemanticStack wires the XML, RDF and ontology layers under one flexible
 // policy.
 type SemanticStack struct {
-	XML      *accessctl.Engine
+	XML      XMLEngine
 	RDF      *rdf.Guard
 	Ontology *ontology.Mediator
 	strength Strength
@@ -80,7 +89,7 @@ type SemanticStack struct {
 }
 
 // NewSemanticStack builds a stack at full strength.
-func NewSemanticStack(xml *accessctl.Engine, guard *rdf.Guard, med *ontology.Mediator) *SemanticStack {
+func NewSemanticStack(xml XMLEngine, guard *rdf.Guard, med *ontology.Mediator) *SemanticStack {
 	st := &SemanticStack{XML: xml, RDF: guard, Ontology: med}
 	st.SetStrength(100)
 	return st

@@ -14,6 +14,7 @@ package credential
 
 import (
 	"crypto/ed25519"
+	"crypto/sha256"
 	"fmt"
 	"sort"
 	"strconv"
@@ -66,6 +67,43 @@ func (c *Credential) canonical() []byte {
 		fmt.Fprintf(&b, "|%s=%s", k, c.Attrs[k])
 	}
 	return []byte(b.String())
+}
+
+// Fingerprint returns a digest identifying the credential's full content,
+// signature included: two credentials share a fingerprint iff they are the
+// same assertion signed the same way. Decision caches key on it.
+func (c *Credential) Fingerprint() [32]byte {
+	return sha256.Sum256(append(c.canonical(), c.Signature...))
+}
+
+// Fingerprint returns a digest of the wallet's content that is independent
+// of credential insertion order. Two wallets with the same credentials (by
+// Credential.Fingerprint) collide; wallets differing in any credential do
+// not. A nil wallet has the zero-wallet fingerprint.
+func (w *Wallet) Fingerprint() [32]byte {
+	if w == nil {
+		return sha256.Sum256([]byte("wallet|nil"))
+	}
+	fps := make([][32]byte, len(w.Credentials))
+	for i, c := range w.Credentials {
+		fps[i] = c.Fingerprint()
+	}
+	sort.Slice(fps, func(i, j int) bool {
+		for k := 0; k < 32; k++ {
+			if fps[i][k] != fps[j][k] {
+				return fps[i][k] < fps[j][k]
+			}
+		}
+		return false
+	})
+	h := sha256.New()
+	h.Write([]byte("wallet|" + w.Subject + "|"))
+	for _, fp := range fps {
+		h.Write(fp[:])
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
 }
 
 // Authority issues and verifies credentials.

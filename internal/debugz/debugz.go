@@ -1,0 +1,37 @@
+// Package debugz mounts the optional operational debug surface shared by
+// the server commands: the net/http/pprof profiling handlers and the
+// expvar counter endpoint. It exists so every server exposes the same
+// paths — and so none of them exposes anything unless explicitly asked:
+// profiles and cache counters reveal operational detail (hot documents,
+// query shapes, subject traffic), so commands mount this only behind an
+// off-by-default -debug flag.
+package debugz
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Mount attaches the pprof handlers under /debug/pprof/ and the expvar
+// handler at /debug/vars on the given mux. The pprof handlers are
+// registered explicitly rather than via the net/http/pprof import side
+// effect, because the servers use their own mux, not http.DefaultServeMux.
+func Mount(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+}
+
+// Publish registers fn as the expvar named name, skipping names already
+// taken (expvar.Publish panics on duplicates, which matters under test
+// re-registration). The function's result is rendered as JSON at
+// /debug/vars — cache Stats structs serialize directly.
+func Publish(name string, fn func() any) {
+	if expvar.Get(name) == nil {
+		expvar.Publish(name, expvar.Func(fn))
+	}
+}

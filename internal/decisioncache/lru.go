@@ -1,0 +1,242 @@
+// Package decisioncache puts a sharded, bounded, generation-keyed cache
+// under the access-control decision pipeline. The paper's §3.1 demands
+// that *every* DBMS function honour access-control policies, which makes
+// the policy decision the hottest path in the system; Author-X labeling
+// (§3.2) recomputes a per-node vector over the whole document for every
+// request. This package memoizes those vectors — and the pruned views and
+// policy-configuration partitions derived from them — keyed by
+// (document, document generation, policy-base generation, subject
+// fingerprint, privilege), so a repeated request by the same role class
+// costs a fingerprint hash and a map lookup instead of
+// O(policies × nodes).
+//
+// Invalidation is by construction, not by broadcast: internal/policy and
+// internal/xmldoc bump monotonic generation counters on every mutation,
+// the generations are part of the cache key, and stale entries simply
+// stop being addressable and age out of the LRU. Concurrent misses for
+// the same key are collapsed singleflight-style so a thundering herd
+// computes each decision once.
+package decisioncache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// numShards spreads lock contention; decisions for different subjects or
+// documents hash to different shards.
+const numShards = 16
+
+// Stats is a point-in-time counter snapshot of one cache.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Size      int    `json:"size"`
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a sharded, bounded LRU from K to V with singleflight collapsing
+// of concurrent misses. The zero value is not usable; call New.
+type Cache[K comparable, V any] struct {
+	hash      func(K) uint64
+	shards    [numShards]shard[K, V]
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+type shard[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int
+	items    map[K]*list.Element
+	order    *list.List // front = most recently used
+	inflight map[K]*flight[V]
+}
+
+// New returns a cache bounded to roughly capacity entries overall (each of
+// the 16 shards holds capacity/16, rounded up). hash maps a key to the
+// shard space; HashString serves for string keys, and key types should
+// fold every field in (a weak hash only costs shard balance, never
+// correctness — lookups compare full keys).
+func New[K comparable, V any](capacity int, hash func(K) uint64) *Cache[K, V] {
+	if capacity < numShards {
+		capacity = numShards
+	}
+	c := &Cache[K, V]{hash: hash}
+	per := (capacity + numShards - 1) / numShards
+	for i := range c.shards {
+		c.shards[i] = shard[K, V]{
+			capacity: per,
+			items:    make(map[K]*list.Element),
+			order:    list.New(),
+			inflight: make(map[K]*flight[V]),
+		}
+	}
+	return c
+}
+
+func (c *Cache[K, V]) shard(k K) *shard[K, V] {
+	return &c.shards[c.hash(k)%numShards]
+}
+
+// Get returns the cached value for k, marking it most recently used.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[k]; ok {
+		s.order.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*entry[K, V]).val, true
+	}
+	c.misses.Add(1)
+	var zero V
+	return zero, false
+}
+
+// Put installs a value for k unconditionally.
+func (c *Cache[K, V]) Put(k K, v V) {
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.put(k, v, &c.evictions)
+}
+
+// put inserts or refreshes an entry and evicts the LRU tail past
+// capacity. Shard lock held.
+func (s *shard[K, V]) put(k K, v V, evictions *atomic.Uint64) {
+	if el, ok := s.items[k]; ok {
+		el.Value.(*entry[K, V]).val = v
+		s.order.MoveToFront(el)
+		return
+	}
+	s.items[k] = s.order.PushFront(&entry[K, V]{key: k, val: v})
+	if s.order.Len() > s.capacity {
+		tail := s.order.Back()
+		s.order.Remove(tail)
+		delete(s.items, tail.Value.(*entry[K, V]).key)
+		evictions.Add(1)
+	}
+}
+
+// Do returns the cached value for k, or runs compute to fill it. When
+// several goroutines miss on the same key concurrently, exactly one runs
+// compute and the rest wait for its result (singleflight). A compute
+// error is returned to every waiter and nothing is cached.
+func (c *Cache[K, V]) Do(k K, compute func() (V, error)) (V, error) {
+	s := c.shard(k)
+	s.mu.Lock()
+	if el, ok := s.items[k]; ok {
+		s.order.MoveToFront(el)
+		v := el.Value.(*entry[K, V]).val
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return v, nil
+	}
+	if f, ok := s.inflight[k]; ok {
+		s.mu.Unlock()
+		<-f.done
+		// A collapsed miss is a hit for accounting: the caller was served
+		// without paying for a computation.
+		c.hits.Add(1)
+		return f.val, f.err
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	s.inflight[k] = f
+	s.mu.Unlock()
+	c.misses.Add(1)
+
+	f.val, f.err = compute()
+
+	s.mu.Lock()
+	delete(s.inflight, k)
+	if f.err == nil {
+		s.put(k, f.val, &c.evictions)
+	}
+	s.mu.Unlock()
+	close(f.done)
+	return f.val, f.err
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[K, V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Purge drops every cached entry (in-flight computations finish and
+// install their results afterwards; the counters are not reset).
+func (c *Cache[K, V]) Purge() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.items = make(map[K]*list.Element)
+		s.order.Init()
+		s.mu.Unlock()
+	}
+}
+
+// Stats snapshots the hit/miss/eviction counters and current size.
+func (c *Cache[K, V]) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Size:      c.Len(),
+	}
+}
+
+// FNV-1a constants for the hash helpers.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// HashString is FNV-1a over the bytes of s, for string-keyed caches.
+func HashString(s string) uint64 {
+	return hashBytes(fnvOffset, s)
+}
+
+func hashBytes(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+func hashUint(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}

@@ -1,0 +1,176 @@
+package decisioncache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// oneShard forces every key into shard 0 so capacity and LRU order are
+// exact in tests.
+func oneShard(string) uint64 { return 0 }
+
+func TestGetPut(t *testing.T) {
+	c := New[string, int](64, HashString)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache returned a value")
+	}
+	c.Put("a", 1)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v; want 1, true", v, ok)
+	}
+	c.Put("a", 2)
+	if v, _ := c.Get("a"); v != 2 {
+		t.Fatalf("Put did not refresh: got %d, want 2", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestEvictionLRUOrder(t *testing.T) {
+	// capacity 32 over 16 shards = 2 per shard; all keys in shard 0.
+	c := New[string, int](32, oneShard)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Get("a") // a is now MRU; b is the eviction candidate
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted as LRU")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently used a was evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("fresh c was evicted")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Size != 2 {
+		t.Errorf("Stats = %+v, want 1 eviction and size 2", st)
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	c := New[string, int](0, HashString)
+	for i := 0; i < numShards; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	if c.Len() == 0 {
+		t.Fatal("zero-capacity cache holds nothing")
+	}
+}
+
+func TestDoCachesAndCounts(t *testing.T) {
+	c := New[string, int](64, HashString)
+	calls := 0
+	compute := func() (int, error) { calls++; return 7, nil }
+	for i := 0; i < 3; i++ {
+		v, err := c.Do("k", compute)
+		if err != nil || v != 7 {
+			t.Fatalf("Do = %d, %v; want 7, nil", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Fatalf("Stats = %+v, want 1 miss and 2 hits", st)
+	}
+	if got := st.HitRate(); got < 0.66 || got > 0.67 {
+		t.Errorf("HitRate = %f, want 2/3", got)
+	}
+}
+
+func TestDoSingleflightCollapse(t *testing.T) {
+	c := New[string, int](64, HashString)
+	const waiters = 8
+	var computes atomic.Int32
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.Do("k", func() (int, error) {
+				computes.Add(1)
+				<-release
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = %d, %v; want 42, nil", v, err)
+			}
+		}()
+	}
+	// Let the herd pile up on the inflight entry, then release the one
+	// computation. Polling the miss counter avoids a racy sleep.
+	for c.Stats().Misses == 0 {
+	}
+	close(release)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times under concurrent misses, want 1", n)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != waiters-1 {
+		t.Errorf("Stats = %+v, want 1 miss and %d collapsed hits", st, waiters-1)
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := New[string, int](64, HashString)
+	boom := errors.New("boom")
+	if _, err := c.Do("k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("Do error = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed computation was cached")
+	}
+	v, err := c.Do("k", func() (int, error) { return 5, nil })
+	if err != nil || v != 5 {
+		t.Fatalf("Do after error = %d, %v; want 5, nil", v, err)
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New[string, int](64, HashString)
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Purge = %d, want 0", c.Len())
+	}
+	if _, ok := c.Get("k3"); ok {
+		t.Error("purged entry still served")
+	}
+}
+
+func TestConcurrentMixedOps(t *testing.T) {
+	c := New[int, int](128, func(k int) uint64 { return uint64(k) })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := (g*31 + i) % 200
+				switch i % 3 {
+				case 0:
+					c.Put(k, k)
+				case 1:
+					if v, ok := c.Get(k); ok && v != k {
+						t.Errorf("Get(%d) = %d", k, v)
+					}
+				case 2:
+					v, _ := c.Do(k, func() (int, error) { return k, nil })
+					if v != k {
+						t.Errorf("Do(%d) = %d", k, v)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

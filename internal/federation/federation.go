@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"webdbsec/internal/decisioncache"
 	"webdbsec/internal/policy"
 	"webdbsec/internal/rdf"
 	"webdbsec/internal/reldb"
@@ -111,15 +112,31 @@ func (s *Source) ExportTable(e *Export) error {
 	return nil
 }
 
+// parseCacheCapacity bounds the federated-query parse cache. Federated
+// workloads repeat a small set of query shapes across many requestors, so
+// a modest bound captures nearly all repeats.
+const parseCacheCapacity = 256
+
 // Federation unions exported tables across sources.
 type Federation struct {
 	mu      sync.RWMutex
 	sources []*Source
 	timeout time.Duration
+	// parsed caches compiled SELECTs by source text. Parsed statements are
+	// never mutated by the fan-out (each source gets its own copy), so one
+	// compilation serves every repeat of the query.
+	parsed *decisioncache.Cache[string, *reldb.SelectStmt]
 }
 
 // New returns an empty federation.
-func New() *Federation { return &Federation{} }
+func New() *Federation {
+	return &Federation{
+		parsed: decisioncache.New[string, *reldb.SelectStmt](parseCacheCapacity, decisioncache.HashString),
+	}
+}
+
+// ParseCacheStats snapshots the federated-query parse-cache counters.
+func (f *Federation) ParseCacheStats() decisioncache.Stats { return f.parsed.Stats() }
 
 // SetPerSourceTimeout bounds each source's share of a federated query; a
 // source that exceeds it is reported in the result's Failed provenance
@@ -236,13 +253,19 @@ func (r *Result) Partial() bool { return len(r.Failed) > 0 }
 // request-level problems (parse error, unknown virtual table, unexported
 // column) or when EVERY eligible source failed.
 func (f *Federation) Query(ctx context.Context, req *Requestor, src string) (*Result, error) {
-	st, err := reldb.Parse(src)
+	sel, err := f.parsed.Do(src, func() (*reldb.SelectStmt, error) {
+		st, err := reldb.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		sel, ok := st.(*reldb.SelectStmt)
+		if !ok {
+			return nil, fmt.Errorf("federation: only SELECT is federated")
+		}
+		return sel, nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	sel, ok := st.(*reldb.SelectStmt)
-	if !ok {
-		return nil, fmt.Errorf("federation: only SELECT is federated")
 	}
 	f.mu.RLock()
 	timeout := f.timeout

@@ -1,0 +1,151 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"webdbsec/internal/xmldoc"
+)
+
+// linearApplicable is the pre-index reference implementation: a full scan
+// of the base in installation order. The indexed Applicable must return
+// exactly this.
+func linearApplicable(b *Base, store *xmldoc.Store, doc string, s *Subject, priv Privilege) []*Policy {
+	var out []*Policy
+	for _, p := range b.All() {
+		if p.Priv != priv {
+			continue
+		}
+		if !p.Object.AppliesToDoc(store, doc) {
+			continue
+		}
+		if !p.Subject.Matches(s, b.Verifier()) {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestApplicableEquivalentToLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	store := xmldoc.NewStore()
+	docs := []string{"a.xml", "b.xml", "c.xml"}
+	for _, d := range docs {
+		store.Put(xmldoc.NewBuilder(d, "root").Freeze())
+	}
+	store.AddToSet("s1", "a.xml")
+	store.AddToSet("s1", "b.xml")
+	store.AddToSet("s2", "b.xml")
+
+	b := NewBase(nil)
+	privs := []Privilege{Read, Write}
+	var names []string
+	for i := 0; i < 120; i++ {
+		p := &Policy{
+			Name:    fmt.Sprintf("p%d", i),
+			Subject: SubjectSpec{Roles: []string{fmt.Sprintf("role%d", rng.Intn(4))}},
+			Priv:    privs[rng.Intn(2)],
+			Sign:    Permit,
+		}
+		switch rng.Intn(4) {
+		case 0:
+			p.Object = ObjectSpec{Doc: "*"}
+		case 1:
+			p.Object = ObjectSpec{Set: []string{"s1", "s2"}[rng.Intn(2)]}
+		default:
+			p.Object = ObjectSpec{Doc: docs[rng.Intn(len(docs))]}
+		}
+		b.MustAdd(p)
+		names = append(names, p.Name)
+	}
+	// Interleave removals so the index sees churn, not just growth.
+	for i := 0; i < 30; i++ {
+		j := rng.Intn(len(names))
+		b.Remove(names[j])
+		names = append(names[:j], names[j+1:]...)
+	}
+
+	for _, docName := range append(docs, "unknown.xml") {
+		for _, priv := range privs {
+			for r := 0; r < 4; r++ {
+				s := &Subject{ID: "u", Roles: []string{fmt.Sprintf("role%d", r)}}
+				got := b.Applicable(store, docName, s, priv)
+				want := linearApplicable(b, store, docName, s, priv)
+				if len(got) != len(want) {
+					t.Fatalf("%s/%s/role%d: indexed %d policies, linear scan %d",
+						docName, priv, r, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s/%s/role%d: order diverges at %d: %s vs %s",
+							docName, priv, r, i, got[i].Name, want[i].Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGenerationAdvancesOnMutation(t *testing.T) {
+	b := NewBase(nil)
+	g0 := b.Generation()
+	p := &Policy{Name: "p", Subject: SubjectSpec{IDs: []string{"*"}}, Object: ObjectSpec{Doc: "d"}, Priv: Read, Sign: Permit}
+	b.MustAdd(p)
+	g1 := b.Generation()
+	if g1 <= g0 {
+		t.Fatalf("Add did not advance generation: %d -> %d", g0, g1)
+	}
+	if err := b.Add(&Policy{Name: "bad"}); err == nil {
+		t.Fatal("invalid policy accepted")
+	}
+	if b.Generation() != g1 {
+		t.Error("failed Add advanced the generation")
+	}
+	if b.Remove("missing") {
+		t.Fatal("removed a policy that does not exist")
+	}
+	if b.Generation() != g1 {
+		t.Error("failed Remove advanced the generation")
+	}
+	b.Remove("p")
+	if b.Generation() <= g1 {
+		t.Error("Remove did not advance the generation")
+	}
+}
+
+func TestAllReturnsCopy(t *testing.T) {
+	b := NewBase(nil)
+	mk := func(name string) *Policy {
+		return &Policy{Name: name, Subject: SubjectSpec{IDs: []string{"*"}}, Object: ObjectSpec{Doc: "d"}, Priv: Read, Sign: Permit}
+	}
+	b.MustAdd(mk("p1"))
+	b.MustAdd(mk("p2"))
+	all := b.All()
+	all[0], all[1] = all[1], all[0] // scribble on the returned slice
+	all = append(all[:1], all[2:]...)
+	fresh := b.All()
+	if len(fresh) != 2 || fresh[0].Name != "p1" || fresh[1].Name != "p2" {
+		t.Fatalf("mutating All()'s result corrupted the base: %v", fresh)
+	}
+}
+
+func TestSubjectFingerprint(t *testing.T) {
+	a := &Subject{ID: "alice", Roles: []string{"staff", "admin"}}
+	b := &Subject{ID: "alice", Roles: []string{"admin", "staff"}}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprint depends on role order")
+	}
+	c := &Subject{ID: "alice", Roles: []string{"staff"}}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("different role sets share a fingerprint")
+	}
+	d := &Subject{ID: "bob", Roles: []string{"staff", "admin"}}
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Error("different identities share a fingerprint")
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Error("fingerprint is not deterministic")
+	}
+}

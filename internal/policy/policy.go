@@ -14,7 +14,11 @@
 package policy
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"sort"
+	"sync"
 
 	"webdbsec/internal/credential"
 	"webdbsec/internal/xmldoc"
@@ -93,6 +97,28 @@ func (s *Subject) HasRole(role string) bool {
 		}
 	}
 	return false
+}
+
+// Fingerprint returns a canonical digest of everything policy evaluation
+// can observe about the subject: its identity, its active roles (order-
+// insensitive) and its credential wallet (order-insensitive, signatures
+// included). Two subjects with equal fingerprints receive identical
+// decisions from any policy base, which is what makes the fingerprint a
+// sound cache key. The fingerprint is recomputed on every call — it is the
+// caller's job not to mutate a subject mid-request.
+func (s *Subject) Fingerprint() string {
+	roles := make([]string, len(s.Roles))
+	copy(roles, s.Roles)
+	sort.Strings(roles)
+	h := sha256.New()
+	fmt.Fprintf(h, "subject|%s|", s.ID)
+	for _, r := range roles {
+		fmt.Fprintf(h, "r=%s|", r)
+	}
+	wfp := s.Wallet.Fingerprint()
+	h.Write(wfp[:])
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
 }
 
 // SubjectSpec qualifies the subjects a policy applies to. A spec matches if
@@ -227,29 +253,103 @@ func (p *Policy) Validate() error {
 // whole documents.
 func (p *Policy) PathExpr() *xmldoc.PathExpr { return p.Object.compiled }
 
+// objKey anchors an index bucket: the object spec's document or set name
+// paired with the policy's privilege.
+type objKey struct {
+	name string
+	priv Privilege
+}
+
 // Base is a policy base: the set of policies governing a document store.
-// Concurrent READS (Applicable, All) are safe; installing or removing
-// policies is not synchronized — configure the base before serving
-// traffic, or serialize administration externally. The servers in cmd/
-// follow this rule.
+// All methods are safe for concurrent use — readers (Applicable, All,
+// Generation) take a shared lock, Add/Remove an exclusive one — so the
+// base can be administered while it serves decisions. A *Policy handed to
+// Add is owned by the base afterwards and must not be mutated.
+//
+// Internally the base maintains an index over the object specs, keyed by
+// (document name | set name | wildcard) × privilege, so Applicable touches
+// only the policies that can possibly cover the requested document instead
+// of scanning the whole base. A monotonic generation counter, bumped on
+// every mutation, lets decision caches (internal/decisioncache) key cached
+// artifacts to an exact policy state.
 type Base struct {
+	mu       sync.RWMutex
 	policies []*Policy
 	verifier *credential.Verifier
+	gen      uint64
+	nextSeq  uint64
+	// seqOf records insertion order so index-merged candidates can be
+	// replayed in the exact order a linear scan would have produced.
+	seqOf map[*Policy]uint64
+	// byDoc indexes policies naming a single document; bySet those naming
+	// a document set; wild the Doc=="*" policies, by privilege.
+	byDoc map[objKey][]*Policy
+	bySet map[objKey][]*Policy
+	wild  map[Privilege][]*Policy
 }
 
 // NewBase returns an empty policy base. verifier may be nil to skip
 // credential signature verification (policies then trust presented
 // credentials, which is only appropriate in tests).
 func NewBase(verifier *credential.Verifier) *Base {
-	return &Base{verifier: verifier}
+	return &Base{
+		verifier: verifier,
+		seqOf:    make(map[*Policy]uint64),
+		byDoc:    make(map[objKey][]*Policy),
+		bySet:    make(map[objKey][]*Policy),
+		wild:     make(map[Privilege][]*Policy),
+	}
 }
 
-// Add validates and installs a policy.
+// addToIndex inserts p into its bucket. Write lock held.
+func (b *Base) addToIndex(p *Policy) {
+	switch {
+	case p.Object.Doc == "*":
+		b.wild[p.Priv] = append(b.wild[p.Priv], p)
+	case p.Object.Doc != "":
+		k := objKey{p.Object.Doc, p.Priv}
+		b.byDoc[k] = append(b.byDoc[k], p)
+	case p.Object.Set != "":
+		k := objKey{p.Object.Set, p.Priv}
+		b.bySet[k] = append(b.bySet[k], p)
+	}
+}
+
+// removeFromIndex deletes p from its bucket. Write lock held.
+func (b *Base) removeFromIndex(p *Policy) {
+	filter := func(s []*Policy) []*Policy {
+		for i, q := range s {
+			if q == p {
+				return append(s[:i], s[i+1:]...)
+			}
+		}
+		return s
+	}
+	switch {
+	case p.Object.Doc == "*":
+		b.wild[p.Priv] = filter(b.wild[p.Priv])
+	case p.Object.Doc != "":
+		k := objKey{p.Object.Doc, p.Priv}
+		b.byDoc[k] = filter(b.byDoc[k])
+	case p.Object.Set != "":
+		k := objKey{p.Object.Set, p.Priv}
+		b.bySet[k] = filter(b.bySet[k])
+	}
+}
+
+// Add validates and installs a policy. The generation counter advances, so
+// decisions cached against the previous state can no longer be served.
 func (b *Base) Add(p *Policy) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.policies = append(b.policies, p)
+	b.seqOf[p] = b.nextSeq
+	b.nextSeq++
+	b.addToIndex(p)
+	b.gen++
 	return nil
 }
 
@@ -260,11 +360,17 @@ func (b *Base) MustAdd(p *Policy) {
 	}
 }
 
-// Remove deletes the named policy and reports whether it existed.
+// Remove deletes the named policy and reports whether it existed. A
+// removal advances the generation counter.
 func (b *Base) Remove(name string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	for i, p := range b.policies {
 		if p.Name == name {
 			b.policies = append(b.policies[:i], b.policies[i+1:]...)
+			b.removeFromIndex(p)
+			delete(b.seqOf, p)
+			b.gen++
 			return true
 		}
 	}
@@ -272,29 +378,58 @@ func (b *Base) Remove(name string) bool {
 }
 
 // Len returns the number of installed policies.
-func (b *Base) Len() int { return len(b.policies) }
+func (b *Base) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.policies)
+}
+
+// Generation returns the mutation counter: it advances on every Add and
+// successful Remove, never repeats, and therefore names an exact policy
+// state. Caches key decisions on it for precise invalidation.
+func (b *Base) Generation() uint64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.gen
+}
 
 // Verifier returns the credential verifier used for subject matching.
 func (b *Base) Verifier() *credential.Verifier { return b.verifier }
 
 // Applicable returns the policies whose subject spec matches s, whose
-// privilege equals priv, and whose object spec covers the named document.
+// privilege equals priv, and whose object spec covers the named document,
+// in installation order (identical to what a full scan would return).
+// Instead of scanning the base it merges the index buckets that can cover
+// the document: the bucket named after it, the buckets of the sets the
+// store places it in, and the wildcard bucket.
 func (b *Base) Applicable(store *xmldoc.Store, doc string, s *Subject, priv Privilege) []*Policy {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	cands := make([]*Policy, 0, 8)
+	cands = append(cands, b.byDoc[objKey{doc, priv}]...)
+	cands = append(cands, b.wild[priv]...)
+	if store != nil {
+		for _, set := range store.SetsOf(doc) {
+			cands = append(cands, b.bySet[objKey{set, priv}]...)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return b.seqOf[cands[i]] < b.seqOf[cands[j]] })
 	var out []*Policy
-	for _, p := range b.policies {
-		if p.Priv != priv {
-			continue
+	for _, p := range cands {
+		if p.Subject.Matches(s, b.verifier) {
+			out = append(out, p)
 		}
-		if !p.Object.AppliesToDoc(store, doc) {
-			continue
-		}
-		if !p.Subject.Matches(s, b.verifier) {
-			continue
-		}
-		out = append(out, p)
 	}
 	return out
 }
 
-// All returns the installed policies. The slice must not be modified.
-func (b *Base) All() []*Policy { return b.policies }
+// All returns a copy of the installed policy list, so callers can never
+// reorder or splice the base's own slice behind the lock. The *Policy
+// values are shared and must be treated as read-only.
+func (b *Base) All() []*Policy {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]*Policy, len(b.policies))
+	copy(out, b.policies)
+	return out
+}

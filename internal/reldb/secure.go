@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"webdbsec/internal/credential"
+	"webdbsec/internal/decisioncache"
 	"webdbsec/internal/policy"
 	"webdbsec/internal/sysr"
 )
@@ -53,11 +54,43 @@ type SecureDB struct {
 	rowPols  []*RowPolicy
 	colPols  []*ColPolicy
 	verifier *credential.Verifier
+	// parsed caches compiled SELECTs by source text. Only SELECTs are
+	// cached: Exec copies the statement before the security rewrite, so the
+	// cached form is never mutated, while INSERT/UPDATE/DELETE texts carry
+	// inline values and would churn the cache without repeats.
+	parsed *decisioncache.Cache[string, *SelectStmt]
 }
+
+// selectCacheCapacity bounds the SELECT parse cache of a SecureDB.
+const selectCacheCapacity = 256
 
 // NewSecureDB wraps a database. verifier may be nil.
 func NewSecureDB(db *Database, verifier *credential.Verifier) *SecureDB {
-	return &SecureDB{db: db, grants: sysr.NewCatalog(), verifier: verifier}
+	return &SecureDB{
+		db:       db,
+		grants:   sysr.NewCatalog(),
+		verifier: verifier,
+		parsed:   decisioncache.New[string, *SelectStmt](selectCacheCapacity, decisioncache.HashString),
+	}
+}
+
+// ParseCacheStats snapshots the SELECT parse-cache counters.
+func (s *SecureDB) ParseCacheStats() decisioncache.Stats { return s.parsed.Stats() }
+
+// parse compiles a statement, serving repeated SELECT texts from the
+// bounded parse cache.
+func (s *SecureDB) parse(src string) (Stmt, error) {
+	if sel, ok := s.parsed.Get(src); ok {
+		return sel, nil
+	}
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if sel, ok := st.(*SelectStmt); ok {
+		s.parsed.Put(src, sel)
+	}
+	return st, nil
 }
 
 // DB returns the underlying database (for administration paths that are
@@ -148,7 +181,7 @@ func (s *SecureDB) maskedColumns(subject *policy.Subject, table string) map[stri
 // consideration the access control policies" — the rewrite happens before
 // planning, so the engine's index selection still applies.
 func (s *SecureDB) Exec(subject *policy.Subject, src string) (*Result, error) {
-	st, err := Parse(src)
+	st, err := s.parse(src)
 	if err != nil {
 		return nil, err
 	}

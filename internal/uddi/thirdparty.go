@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"webdbsec/internal/accessctl"
+	"webdbsec/internal/decisioncache"
 	"webdbsec/internal/merkle"
 	"webdbsec/internal/policy"
 	"webdbsec/internal/resilience"
@@ -78,21 +79,26 @@ type AuthenticatedResult struct {
 // attaches Merkle proofs to every answer.
 type UntrustedAgency struct {
 	store   *xmldoc.Store
-	engine  *accessctl.Engine
+	engine  *decisioncache.Engine
 	entries map[string]SignedEntry // businessKey -> entry
 }
 
 // NewUntrustedAgency creates an agency enforcing the given policy base
 // over the entries it hosts. Policies address entries by document name
-// "uddi:<businessKey>".
+// "uddi:<businessKey>". Decisions run through a cache: repeated inquiries
+// by the same role class reuse one label vector per entry until the base
+// or the entry changes.
 func NewUntrustedAgency(base *policy.Base) *UntrustedAgency {
 	store := xmldoc.NewStore()
 	return &UntrustedAgency{
 		store:   store,
-		engine:  accessctl.NewEngine(store, base),
+		engine:  decisioncache.NewEngine(accessctl.NewEngine(store, base), 0),
 		entries: make(map[string]SignedEntry),
 	}
 }
+
+// CacheStats snapshots the agency's decision-cache counters.
+func (a *UntrustedAgency) CacheStats() decisioncache.EngineStats { return a.engine.Stats() }
 
 // Publish stores a signed entry. The agency does not (and cannot) validate
 // the signature against content it might later tamper with — requestors

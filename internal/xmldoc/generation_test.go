@@ -1,0 +1,77 @@
+package xmldoc
+
+import "testing"
+
+func genDoc(name string) *Document {
+	return NewBuilder(name, "root").Element("leaf", "x").Freeze()
+}
+
+func TestStoreGenerations(t *testing.T) {
+	s := NewStore()
+	if s.Generation() != 0 {
+		t.Fatalf("fresh store generation = %d", s.Generation())
+	}
+	s.Put(genDoc("a.xml"))
+	g1 := s.Generation()
+	if g1 == 0 {
+		t.Fatal("Put did not advance the store generation")
+	}
+	da1 := s.DocGeneration("a.xml")
+
+	s.Put(genDoc("b.xml"))
+	if s.DocGeneration("a.xml") != da1 {
+		t.Error("putting b.xml changed a.xml's generation")
+	}
+	s.Put(genDoc("a.xml"))
+	if s.DocGeneration("a.xml") <= da1 {
+		t.Error("re-Put did not advance the document generation")
+	}
+	if s.Generation() <= g1 {
+		t.Error("re-Put did not advance the store generation")
+	}
+
+	g2 := s.Generation()
+	da2 := s.DocGeneration("a.xml")
+	s.Remove("a.xml")
+	if s.Generation() <= g2 {
+		t.Error("Remove did not advance the store generation")
+	}
+	if s.DocGeneration("a.xml") <= da2 {
+		t.Error("Remove did not advance the document generation")
+	}
+}
+
+func TestStoreSetsOf(t *testing.T) {
+	s := NewStore()
+	s.Put(genDoc("a.xml"))
+	s.Put(genDoc("b.xml"))
+	if got := s.SetsOf("a.xml"); got != nil {
+		t.Fatalf("SetsOf before membership = %v, want nil", got)
+	}
+	s.AddToSet("s2", "a.xml")
+	s.AddToSet("s1", "a.xml")
+	s.AddToSet("s1", "b.xml")
+	got := s.SetsOf("a.xml")
+	if len(got) != 2 || got[0] != "s1" || got[1] != "s2" {
+		t.Fatalf("SetsOf(a.xml) = %v, want [s1 s2] sorted", got)
+	}
+	if got := s.SetsOf("b.xml"); len(got) != 1 || got[0] != "s1" {
+		t.Fatalf("SetsOf(b.xml) = %v, want [s1]", got)
+	}
+	// The reverse index must agree with the forward one.
+	for _, set := range s.SetsOf("a.xml") {
+		if !s.SetContains(set, "a.xml") {
+			t.Errorf("SetsOf lists %s but SetContains disagrees", set)
+		}
+	}
+}
+
+func TestAddToSetAdvancesGeneration(t *testing.T) {
+	s := NewStore()
+	s.Put(genDoc("a.xml"))
+	g := s.Generation()
+	s.AddToSet("s1", "a.xml")
+	if s.Generation() <= g {
+		t.Error("AddToSet did not advance the store generation")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // NodeKind discriminates the node variants of a document.
@@ -420,42 +421,99 @@ func (d *Document) Prune(keep func(*Node) bool) *Document {
 }
 
 // Store is a named collection of documents — the "document set" granularity
-// of the Author-X policy model.
+// of the Author-X policy model. All methods are safe for concurrent use.
+//
+// Documents themselves are immutable once frozen; "mutating" a document
+// means Put-ting a replacement under the same name. The store therefore
+// tracks a generation per document name, advanced whenever the name's
+// binding changes (Put, Remove) or its set membership changes (AddToSet) —
+// exactly the events that can alter an access decision about the document.
+// Decision caches (internal/decisioncache) key cached artifacts on it.
 type Store struct {
+	mu   sync.RWMutex
 	docs map[string]*Document
 	// Sets maps a set name to the document names it contains.
 	sets map[string]map[string]bool
+	// memberOf is the reverse index: document name -> set names. It lets
+	// the policy index find set-level policies without scanning all sets.
+	memberOf map[string]map[string]bool
+	// gen advances on every mutation; docGens per document name.
+	gen     uint64
+	docGens map[string]uint64
 }
 
 // NewStore returns an empty document store.
 func NewStore() *Store {
-	return &Store{docs: make(map[string]*Document), sets: make(map[string]map[string]bool)}
+	return &Store{
+		docs:     make(map[string]*Document),
+		sets:     make(map[string]map[string]bool),
+		memberOf: make(map[string]map[string]bool),
+		docGens:  make(map[string]uint64),
+	}
 }
 
-// Put adds or replaces a document.
+// Put adds or replaces a document, advancing its generation.
 func (s *Store) Put(d *Document) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.docs[d.Name] = d
+	s.docGens[d.Name]++
+	s.gen++
 }
 
 // Get returns the named document.
 func (s *Store) Get(name string) (*Document, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	d, ok := s.docs[name]
 	return d, ok
 }
 
-// Remove deletes the named document and drops it from every set.
+// Remove deletes the named document and drops it from every set, advancing
+// the document's generation.
 func (s *Store) Remove(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	delete(s.docs, name)
 	for _, set := range s.sets {
 		delete(set, name)
 	}
+	delete(s.memberOf, name)
+	s.docGens[name]++
+	s.gen++
 }
 
 // Len returns the number of documents in the store.
-func (s *Store) Len() int { return len(s.docs) }
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.docs)
+}
+
+// Generation returns the store-wide mutation counter: it advances on every
+// Put, Remove and AddToSet and never repeats.
+func (s *Store) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}
+
+// DocGeneration returns the named document's generation: it advances
+// whenever the name's binding or set membership changes, and is 0 for
+// names the store has never seen. Together with the name it identifies an
+// exact decision-relevant state of the document, so caches keyed on
+// (name, generation) are invalidated precisely — mutating one document
+// does not disturb cached artifacts of any other.
+func (s *Store) DocGeneration(name string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.docGens[name]
+}
 
 // Names returns the document names in sorted order.
 func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.docs))
 	for name := range s.docs {
 		out = append(out, name)
@@ -465,23 +523,55 @@ func (s *Store) Names() []string {
 }
 
 // AddToSet places a document into a named document set, creating the set if
-// needed. The document need not exist yet.
+// needed. The document need not exist yet. Membership changes advance the
+// document's generation (set-level policies may now cover it).
 func (s *Store) AddToSet(set, doc string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	m := s.sets[set]
 	if m == nil {
 		m = make(map[string]bool)
 		s.sets[set] = m
 	}
 	m[doc] = true
+	r := s.memberOf[doc]
+	if r == nil {
+		r = make(map[string]bool)
+		s.memberOf[doc] = r
+	}
+	r[set] = true
+	s.docGens[doc]++
+	s.gen++
 }
 
 // SetContains reports whether the named set contains the document.
 func (s *Store) SetContains(set, doc string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.sets[set][doc]
+}
+
+// SetsOf returns the names of the sets containing the document, sorted.
+// It returns nil for documents in no set.
+func (s *Store) SetsOf(doc string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m := s.memberOf[doc]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for set := range m {
+		out = append(out, set)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // SetMembers returns the sorted document names of a set.
 func (s *Store) SetMembers(set string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []string
 	for name := range s.sets[set] {
 		out = append(out, name)

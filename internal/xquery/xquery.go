@@ -23,10 +23,17 @@ import (
 	"strconv"
 	"strings"
 
-	"webdbsec/internal/accessctl"
 	"webdbsec/internal/policy"
 	"webdbsec/internal/xmldoc"
 )
+
+// Viewer is the slice of the access-control engine SecureEval needs: the
+// authorized-view computation. Both *accessctl.Engine and the caching
+// *decisioncache.Engine satisfy it; with the latter, repeated queries by
+// the same role class reuse one cached view.
+type Viewer interface {
+	View(docName string, s *policy.Subject, priv policy.Privilege) *xmldoc.Document
+}
 
 // Query is a compiled FLWOR query.
 type Query struct {
@@ -314,7 +321,7 @@ func (q *Query) Eval(d *xmldoc.Document) []Row {
 // SecureEval runs the query over the subject's authorized read view of the
 // named document — queries can never see more than the view. It returns
 // nil when the subject may not read any portion.
-func (q *Query) SecureEval(e *accessctl.Engine, docName string, s *policy.Subject) []Row {
+func (q *Query) SecureEval(e Viewer, docName string, s *policy.Subject) []Row {
 	v := e.View(docName, s, policy.Read)
 	if v == nil {
 		return nil
