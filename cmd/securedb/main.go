@@ -23,10 +23,12 @@ import (
 	"log"
 	"net/http"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
+	"webdbsec/internal/audit"
 	"webdbsec/internal/core"
 	"webdbsec/internal/debugz"
 	"webdbsec/internal/inference"
@@ -35,16 +37,56 @@ import (
 	"webdbsec/internal/reldb"
 	"webdbsec/internal/synth"
 	"webdbsec/internal/sysr"
+	"webdbsec/internal/wal"
 )
 
 func main() {
 	addr := flag.String("addr", ":8081", "listen address")
 	people := flag.Int("people", 200, "synthetic patients to load")
 	debug := flag.Bool("debug", false, "expose /debug/pprof and /debug/vars (off by default)")
+	dataDir := flag.String("data", "", "durable data directory (empty = in-memory only)")
+	walSync := flag.String("walsync", "always", "WAL fsync policy with -data: always, interval or never")
 	flag.Parse()
 
-	w := core.NewSecureWebDB(core.Config{})
-	if err := setupDemo(w, *people); err != nil {
+	cfg := core.Config{}
+	// Durable mode: the relational substrate and the audit chain live in
+	// write-ahead logs under -data and survive restarts; the demo schema
+	// is loaded only on first start.
+	var dbWAL, auditWAL *wal.WAL
+	fresh := true
+	if *dataDir != "" {
+		syncPolicy, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dbWAL, err = wal.Open(wal.Options{FS: wal.DirFS(filepath.Join(*dataDir, "db")), Policy: syncPolicy})
+		if err != nil {
+			log.Fatalf("securedb: open db wal: %v", err)
+		}
+		auditWAL, err = wal.Open(wal.Options{FS: wal.DirFS(filepath.Join(*dataDir, "audit")), Policy: syncPolicy})
+		if err != nil {
+			log.Fatalf("securedb: open audit wal: %v", err)
+		}
+		database, err := reldb.OpenDatabase(dbWAL)
+		if err != nil {
+			log.Fatalf("securedb: recover database: %v", err)
+		}
+		auditLog, err := audit.OpenLog(auditWAL)
+		if err != nil {
+			// A broken audit chain is a refusal to start, not a warning: the
+			// accountability trail is the point.
+			log.Fatalf("securedb: recover audit log: %v", err)
+		}
+		if _, ok := database.Table("patients"); ok {
+			fresh = false
+		}
+		cfg.DB = reldb.NewSecureDB(database, nil)
+		cfg.Audit = auditLog
+		log.Printf("securedb: durable mode: data=%s sync=%s fresh=%v", *dataDir, syncPolicy, fresh)
+	}
+
+	w := core.NewSecureWebDB(cfg)
+	if err := setupDemo(w, *people, fresh); err != nil {
 		log.Fatal(err)
 	}
 
@@ -68,6 +110,10 @@ func main() {
 	if *debug {
 		debugz.Mount(mux)
 		debugz.Publish("securedb.parse_cache", func() any { return w.DB().ParseCacheStats() })
+		if dbWAL != nil {
+			debugz.Publish("securedb.wal.db", func() any { return dbWAL.Stats() })
+			debugz.Publish("securedb.wal.audit", func() any { return auditWAL.Stats() })
+		}
 		log.Print("securedb: debug endpoints enabled at /debug/pprof and /debug/vars")
 	}
 	// Serve with timeouts — a slow-loris client or wedged handler must
@@ -96,6 +142,21 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("securedb: shutdown: %v", err)
+	}
+	// Flush durable state: with all requests drained, checkpoint the
+	// database so the next start replays nothing, then sync and close both
+	// logs. Failures are logged, not fatal — the WAL already holds
+	// everything a redo needs.
+	if dbWAL != nil {
+		if err := w.DB().DB().Checkpoint(); err != nil {
+			log.Printf("securedb: checkpoint: %v", err)
+		}
+		if err := dbWAL.Close(); err != nil {
+			log.Printf("securedb: close db wal: %v", err)
+		}
+		if err := auditWAL.Close(); err != nil {
+			log.Printf("securedb: close audit wal: %v", err)
+		}
 	}
 }
 
@@ -176,14 +237,26 @@ func aggHandler(w *core.SecureWebDB) http.HandlerFunc {
 // setupDemo loads the demo schema: a patients table, analyst grants, a
 // row policy, privacy constraints ({name, disease} private; {zip, disease}
 // semi-private for researchers) and the re-identification inference rule.
-func setupDemo(w *core.SecureWebDB, people int) error {
+// When fresh is false (durable restart) the table and rows already exist
+// and only the in-memory layers — grants, policies, constraints, rules —
+// are reinstalled.
+func setupDemo(w *core.SecureWebDB, people int, fresh bool) error {
 	dba := &policy.Subject{ID: "dba"}
-	if err := w.DB().CreateTable(dba, "CREATE TABLE patients (name TEXT, zip TEXT, age INT, disease TEXT)"); err != nil {
-		return err
-	}
-	for _, p := range synth.People(1, people) {
-		stmt := fmt.Sprintf("INSERT INTO patients VALUES ('%s', '%s', %d, '%s')", p.Name, p.Zip, p.Age, p.Disease)
-		if _, err := w.DB().Exec(dba, stmt); err != nil {
+	if fresh {
+		if err := w.DB().CreateTable(dba, "CREATE TABLE patients (name TEXT, zip TEXT, age INT, disease TEXT)"); err != nil {
+			return err
+		}
+		for _, p := range synth.People(1, people) {
+			stmt := fmt.Sprintf("INSERT INTO patients VALUES ('%s', '%s', %d, '%s')", p.Name, p.Zip, p.Age, p.Disease)
+			if _, err := w.DB().Exec(dba, stmt); err != nil {
+				return err
+			}
+		}
+	} else {
+		// The table and rows were recovered from the WAL, but the grant
+		// catalog is in-memory demo configuration: re-register ownership so
+		// the grants below have an object to attach to.
+		if err := w.DB().Grants().CreateObject("patients", dba.ID); err != nil {
 			return err
 		}
 	}

@@ -11,6 +11,8 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sync"
+
+	"webdbsec/internal/wal"
 )
 
 // Record is one audit entry.
@@ -26,17 +28,32 @@ type Record struct {
 	Hash     string
 }
 
-// Log is a hash-chained append-only audit log. Safe for concurrent use.
+// Log is a hash-chained append-only audit log, optionally mirrored to a
+// durable backend (internal/wal) so the accountability trail survives a
+// crash. Safe for concurrent use.
 type Log struct {
 	mu      sync.RWMutex
 	records []Record
+	w       *wal.WAL
+	err     error
 }
 
-// NewLog returns an empty log.
+// NewLog returns an empty in-memory log.
 func NewLog() *Log { return &Log{} }
 
-// Append adds a record and returns it with chain fields filled.
+// Append adds a record and returns it with chain fields filled. Backend
+// failures stick in Err; use AppendChecked when the caller needs the
+// durability verdict.
 func (l *Log) Append(actor, action, object, outcome string) Record {
+	r, _ := l.AppendChecked(actor, action, object, outcome)
+	return r
+}
+
+// AppendChecked is Append that also reports whether the record reached the
+// durable backend (always nil for an in-memory log). A non-nil error means
+// the record is in memory but its persistence is unknown; the error sticks
+// and poisons all later appends.
+func (l *Log) AppendChecked(actor, action, object, outcome string) (Record, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	prev := ""
@@ -53,7 +70,21 @@ func (l *Log) Append(actor, action, object, outcome string) Record {
 	}
 	r.Hash = hash(r)
 	l.records = append(l.records, r)
-	return r
+	if l.w != nil && l.err == nil {
+		if payload, err := encodeRecord(&r); err != nil {
+			l.err = err
+		} else if _, err := l.w.Append(payload); err != nil {
+			l.err = err
+		}
+	}
+	return r, l.err
+}
+
+// Err returns the sticky durable-backend error, if any.
+func (l *Log) Err() error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.err
 }
 
 func hash(r Record) string {

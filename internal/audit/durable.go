@@ -1,0 +1,48 @@
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"webdbsec/internal/wal"
+)
+
+// Durable backend for the audit chain. Each record travels as one JSON
+// frame; the chain itself is the integrity mechanism, so OpenLog re-walks
+// it on every start and refuses to serve from a log whose surviving
+// records do not verify — a broken chain means the trail was tampered with
+// (or rotted) at rest, and an accountability log that silently accepts
+// that is worse than none. A torn final record, by contrast, is a clean
+// crash artifact: the wal layer truncates it before this package ever
+// sees it, and the chain prefix that remains verifies.
+
+func encodeRecord(r *Record) ([]byte, error) { return json.Marshal(r) }
+
+// ErrChainBroken is wrapped by OpenLog when the persisted chain fails
+// verification.
+var ErrChainBroken = fmt.Errorf("audit: persisted hash chain broken")
+
+// OpenLog recovers the audit log from w, verifying the hash chain, and
+// wires the log to keep appending to it. The caller owns w's lifecycle but
+// must not use it directly afterwards. The audit log never checkpoints:
+// truncating history is exactly what a tamper-evident log must not do, so
+// growth is bounded only by segment rotation on disk.
+func OpenLog(w *wal.WAL) (*Log, error) {
+	l := NewLog()
+	err := w.Replay(func(lsn uint64, payload []byte) error {
+		var r Record
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return fmt.Errorf("audit: decode record at lsn %d: %w", lsn, err)
+		}
+		l.records = append(l.records, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if bad := l.Verify(); bad >= 0 {
+		return nil, fmt.Errorf("%w: first bad record at seq %d", ErrChainBroken, bad)
+	}
+	l.w = w
+	return l, nil
+}

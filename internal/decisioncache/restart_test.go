@@ -1,0 +1,110 @@
+package decisioncache
+
+import (
+	"testing"
+
+	"webdbsec/internal/accessctl"
+	"webdbsec/internal/policy"
+	"webdbsec/internal/resilience/faultinject"
+	"webdbsec/internal/wal"
+	"webdbsec/internal/xmldoc"
+)
+
+// TestCachedEqualsUncachedAcrossRestart is the acceptance property for the
+// durability layer under the decision cache: the store and policy base are
+// persisted with their generation counters, so a cache-fronted engine
+// built over the *reopened* state answers exactly like a from-scratch
+// engine — for decisions cached before the restart, after it, and after
+// further policy churn on the recovered base.
+func TestCachedEqualsUncachedAcrossRestart(t *testing.T) {
+	storeFS, baseFS := faultinject.NewMemFS(), faultinject.NewMemFS()
+	openBoth := func() (*xmldoc.Store, *policy.Base) {
+		sw, err := wal.Open(wal.Options{FS: storeFS, Policy: wal.SyncAlways})
+		if err != nil {
+			t.Fatalf("wal.Open(store): %v", err)
+		}
+		store, err := xmldoc.OpenStore(sw)
+		if err != nil {
+			t.Fatalf("OpenStore: %v", err)
+		}
+		bw, err := wal.Open(wal.Options{FS: baseFS, Policy: wal.SyncAlways})
+		if err != nil {
+			t.Fatalf("wal.Open(base): %v", err)
+		}
+		base, err := policy.OpenBase(nil, bw)
+		if err != nil {
+			t.Fatalf("OpenBase: %v", err)
+		}
+		return store, base
+	}
+
+	subjects := []*policy.Subject{
+		{ID: "s1", Roles: []string{"staff"}},
+		{ID: "s2", Roles: []string{"staff", "physician"}},
+		{ID: "s3", Roles: []string{"visitor"}},
+	}
+	paths := []string{"/hospital", "//patient", "//disease", "//name"}
+	compare := func(eng *Engine, plain *accessctl.Engine, stage string) {
+		t.Helper()
+		for _, s := range subjects {
+			for _, p := range paths {
+				// Twice through the cache: the second call is a guaranteed
+				// cache hit when generations line up.
+				first := eng.Check("h.xml", p, s, policy.Read)
+				hit := eng.Check("h.xml", p, s, policy.Read)
+				want := plain.Check("h.xml", p, s, policy.Read)
+				if first != want || hit != want {
+					t.Fatalf("%s: %s at %s: cached=%v/%v uncached=%v", stage, s.ID, p, first, hit, want)
+				}
+			}
+		}
+	}
+
+	store, base := openBoth()
+	store.Put(hospitalDoc("h.xml", 8, 0))
+	base.MustAdd(wardPolicy("w0", "staff", 0, policy.Permit))
+	base.MustAdd(wardPolicy("w1", "staff", 1, policy.Permit))
+	base.MustAdd(&policy.Policy{
+		Name:    "deny-disease",
+		Subject: policy.SubjectSpec{NotRoles: []string{"physician"}},
+		Object:  policy.ObjectSpec{Doc: "h.xml", Path: "//disease"},
+		Priv:    policy.Read,
+		Sign:    policy.Deny,
+		Prop:    policy.Cascade,
+	})
+	eng := NewEngine(accessctl.NewEngine(store, base), 256)
+	compare(eng, accessctl.NewEngine(store, base), "before restart")
+	preGen, preDocGen := base.Generation(), store.DocGeneration("h.xml")
+
+	// "Restart": reopen both stores from their durable state and build a
+	// fresh cache-fronted engine over them.
+	store2, base2 := openBoth()
+	if base2.Generation() != preGen || store2.DocGeneration("h.xml") != preDocGen {
+		t.Fatalf("generations drifted across restart: base %d->%d, doc %d->%d",
+			preGen, base2.Generation(), preDocGen, store2.DocGeneration("h.xml"))
+	}
+	eng2 := NewEngine(accessctl.NewEngine(store2, base2), 256)
+	compare(eng2, accessctl.NewEngine(store2, base2), "after restart")
+
+	// Decisions agree across the restart boundary too: same subjects, same
+	// document, recovered state.
+	for _, s := range subjects {
+		for _, p := range paths {
+			if eng.Check("h.xml", p, s, policy.Read) != eng2.Check("h.xml", p, s, policy.Read) {
+				t.Fatalf("restart changed the decision for %s at %s", s.ID, p)
+			}
+		}
+	}
+
+	// Churn on the recovered base must invalidate stale cache entries via
+	// the restored generation counter, keeping cached ≡ uncached.
+	if !base2.Remove("w1") {
+		t.Fatal("Remove(w1) failed")
+	}
+	base2.MustAdd(wardPolicy("w2", "staff", 2, policy.Permit))
+	store2.Put(hospitalDoc("h.xml", 8, 3))
+	compare(eng2, accessctl.NewEngine(store2, base2), "after post-restart churn")
+	if st := eng2.Stats(); st.Labels.Hits == 0 {
+		t.Fatalf("cache never hit — the comparison proves nothing: %+v", st)
+	}
+}

@@ -23,7 +23,10 @@ type Database struct {
 
 	lockMgr *lockManager
 	txnSeq  int64
-	cons    *constraintSet
+	// activeTxns counts in-flight transactions; Checkpoint requires
+	// quiescence (see durable.go). Guarded by mu.
+	activeTxns int64
+	cons       *constraintSet
 }
 
 // NewDatabase returns an empty database with a fresh log.

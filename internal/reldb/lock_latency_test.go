@@ -1,0 +1,65 @@
+package reldb
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLockReleaseWakesWaitersImmediately: a waiter blocked on a lock must
+// be woken by the holder's release, not by its own deadline timer. The
+// lock timeout is set far above the pass threshold, so if releaseAll ever
+// stops broadcasting the condvar the waiter oversleeps to its deadline
+// and this test fails on latency (regression guard for the wakeup path in
+// releaseAll/waitUntil).
+func TestLockReleaseWakesWaitersImmediately(t *testing.T) {
+	lm := newLockManager()
+	lm.Timeout = 10 * time.Second
+
+	if err := lm.acquireExclusive(1, "t"); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan time.Duration, 1)
+	released := make(chan time.Time, 1)
+	go func() {
+		if err := lm.acquireExclusive(2, "t"); err != nil {
+			t.Error(err)
+		}
+		acquired <- time.Since(<-released)
+	}()
+	// Give the waiter time to park on the condvar, then release.
+	time.Sleep(100 * time.Millisecond)
+	released <- time.Now()
+	lm.releaseAll(1)
+
+	select {
+	case wake := <-acquired:
+		// Generous for CI jitter, but an order of magnitude below the lock
+		// timeout: a waiter that slept to its deadline cannot pass.
+		if wake > time.Second {
+			t.Fatalf("waiter took %v after release; release must broadcast", wake)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never acquired the lock after release")
+	}
+	lm.releaseAll(2)
+}
+
+// TestLockWaitStillTimesOut: the deadline timer remains the deadlock
+// breaker — a waiter whose lock is never released gets ErrLockTimeout
+// close to its configured timeout, not arbitrarily later.
+func TestLockWaitStillTimesOut(t *testing.T) {
+	lm := newLockManager()
+	lm.Timeout = 150 * time.Millisecond
+	if err := lm.acquireExclusive(1, "t"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := lm.acquireExclusive(2, "t")
+	elapsed := time.Since(start)
+	if err != ErrLockTimeout {
+		t.Fatalf("err = %v, want ErrLockTimeout", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v for a 150ms deadline", elapsed)
+	}
+}

@@ -3,6 +3,8 @@ package reldb
 import (
 	"fmt"
 	"sync"
+
+	"webdbsec/internal/wal"
 )
 
 // LogOp is the kind of a log record.
@@ -36,27 +38,79 @@ type LogRecord struct {
 	After   Row
 }
 
-// Log is an in-memory write-ahead log ("the paper's recovery techniques
-// have to be developed for the transaction models", §2.1). It is the
-// durability stand-in for this in-memory engine: Recover rebuilds a
-// database from it, redoing exactly the committed transactions.
+// Log is the write-ahead log ("the paper's recovery techniques have to be
+// developed for the transaction models", §2.1): an in-memory record list,
+// optionally mirrored to a durable backend (internal/wal). Recover
+// rebuilds a database from it, redoing exactly the committed transactions;
+// OpenDatabase (durable.go) does the same from disk.
 type Log struct {
 	mu      sync.Mutex
 	records []LogRecord
 	nextLSN int64
+	// w, when set, receives every record as an encoded frame. A backend
+	// failure sticks in err: the in-memory engine keeps running, but
+	// Txn.Commit refuses to report durability it cannot provide.
+	w   *wal.WAL
+	err error
 }
 
-// NewLog returns an empty log.
+// NewLog returns an empty in-memory log.
 func NewLog() *Log { return &Log{} }
 
-// Append adds a record, assigning its LSN.
+// Append adds a record, assigning its LSN, and mirrors it to the durable
+// backend when one is attached.
 func (l *Log) Append(rec LogRecord) int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.nextLSN++
 	rec.LSN = l.nextLSN
+	if l.w != nil && l.err == nil {
+		payload, err := encodeLogRecord(&rec)
+		if err != nil {
+			l.err = err
+		} else if lsn, err := l.w.Append(payload); err != nil {
+			l.err = err
+		} else if int64(lsn) != rec.LSN {
+			l.err = fmt.Errorf("reldb: log LSN %d diverged from wal LSN %d", rec.LSN, lsn)
+		}
+	}
 	l.records = append(l.records, rec)
 	return rec.LSN
+}
+
+// Err returns the sticky durable-backend error, or nil for a healthy (or
+// purely in-memory) log.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Durable reports whether the log has a disk backend attached.
+func (l *Log) Durable() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w != nil
+}
+
+// checkpoint forwards the snapshot to the backend and, on success, drops
+// the in-memory record list — the growth bound the backend's segment
+// truncation provides on disk.
+func (l *Log) checkpoint(snapshot []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil {
+		return fmt.Errorf("reldb: checkpoint: no durable backend")
+	}
+	if l.err != nil {
+		return l.err
+	}
+	if err := l.w.Checkpoint(snapshot); err != nil {
+		l.err = err
+		return err
+	}
+	l.records = nil
+	return nil
 }
 
 // Len returns the number of records.
@@ -79,18 +133,55 @@ func (l *Log) Records() []LogRecord {
 // atomicity contract).
 func Recover(l *Log) (*Database, error) {
 	recs := l.Records()
+	db := NewDatabase()
+	if err := applyRecords(db, recs, committedTxns(recs)); err != nil {
+		return nil, err
+	}
+	// The recovered database continues the same history.
+	db.log.mu.Lock()
+	db.log.records = recs
+	db.log.nextLSN = int64(len(recs))
+	if n := len(recs); n > 0 && recs[n-1].LSN > db.log.nextLSN {
+		db.log.nextLSN = recs[n-1].LSN
+	}
+	db.log.mu.Unlock()
+	db.txnSeq = maxTxn(recs)
+	return db, nil
+}
+
+// committedTxns returns the ids of transactions recs contains a Commit
+// record for.
+func committedTxns(recs []LogRecord) map[int64]bool {
 	committed := map[int64]bool{}
 	for _, r := range recs {
 		if r.Op == OpCommit {
 			committed[r.Txn] = true
 		}
 	}
-	db := NewDatabase()
+	return committed
+}
+
+// maxTxn returns the highest transaction id appearing in recs.
+func maxTxn(recs []LogRecord) int64 {
+	var max int64
+	for _, r := range recs {
+		if r.Txn > max {
+			max = r.Txn
+		}
+	}
+	return max
+}
+
+// applyRecords redoes recs onto db: DDL unconditionally, DML only for the
+// transactions listed in committed. It is the shared redo engine of
+// Recover (full history, empty database) and OpenDatabase (post-checkpoint
+// tail, snapshot-restored database).
+func applyRecords(db *Database, recs []LogRecord, committed map[int64]bool) error {
 	for _, r := range recs {
 		switch r.Op {
 		case OpCreateTable:
 			if r.Schema == nil {
-				return nil, fmt.Errorf("reldb: recover: CreateTable without schema")
+				return fmt.Errorf("reldb: recover: CreateTable without schema")
 			}
 			db.mu.Lock()
 			db.tables[r.Table] = NewTable(r.Table, *r.Schema)
@@ -98,7 +189,7 @@ func Recover(l *Log) (*Database, error) {
 		case OpCreateIndex:
 			t, ok := db.Table(r.Table)
 			if !ok {
-				return nil, fmt.Errorf("reldb: recover: index on unknown table %s", r.Table)
+				return fmt.Errorf("reldb: recover: index on unknown table %s", r.Table)
 			}
 			var err error
 			if r.Ordered {
@@ -107,7 +198,7 @@ func Recover(l *Log) (*Database, error) {
 				err = t.CreateHashIndex(r.Column)
 			}
 			if err != nil {
-				return nil, err
+				return err
 			}
 		case OpInsert:
 			if !committed[r.Txn] {
@@ -115,7 +206,7 @@ func Recover(l *Log) (*Database, error) {
 			}
 			t, ok := db.Table(r.Table)
 			if !ok {
-				return nil, fmt.Errorf("reldb: recover: insert into unknown table %s", r.Table)
+				return fmt.Errorf("reldb: recover: insert into unknown table %s", r.Table)
 			}
 			t.insertAt(r.RowID, r.After)
 		case OpUpdate:
@@ -124,10 +215,10 @@ func Recover(l *Log) (*Database, error) {
 			}
 			t, ok := db.Table(r.Table)
 			if !ok {
-				return nil, fmt.Errorf("reldb: recover: update of unknown table %s", r.Table)
+				return fmt.Errorf("reldb: recover: update of unknown table %s", r.Table)
 			}
 			if _, err := t.Update(r.RowID, r.After); err != nil {
-				return nil, fmt.Errorf("reldb: recover: %w", err)
+				return fmt.Errorf("reldb: recover: %w", err)
 			}
 		case OpDelete:
 			if !committed[r.Txn] {
@@ -135,17 +226,12 @@ func Recover(l *Log) (*Database, error) {
 			}
 			t, ok := db.Table(r.Table)
 			if !ok {
-				return nil, fmt.Errorf("reldb: recover: delete from unknown table %s", r.Table)
+				return fmt.Errorf("reldb: recover: delete from unknown table %s", r.Table)
 			}
 			if _, err := t.Delete(r.RowID); err != nil {
-				return nil, fmt.Errorf("reldb: recover: %w", err)
+				return fmt.Errorf("reldb: recover: %w", err)
 			}
 		}
 	}
-	// The recovered database continues the same history.
-	db.log.mu.Lock()
-	db.log.records = recs
-	db.log.nextLSN = int64(len(recs))
-	db.log.mu.Unlock()
-	return db, nil
+	return nil
 }

@@ -3,7 +3,6 @@ package reldb
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -87,27 +86,32 @@ func (lm *lockManager) acquireExclusive(txn int64, table string) error {
 }
 
 // waitUntil waits on the condition with a deadline; it reports false when
-// the deadline passed. The lock is held on entry and exit.
+// the deadline passed. The lock is held on entry and exit. Waiters are
+// woken promptly by releaseAll's Broadcast; the timer here exists only to
+// bound the wait at the deadline (the deadlock breaker), so its firing is
+// the slow path, not the wake mechanism.
 func (lm *lockManager) waitUntil(deadline time.Time) bool {
 	if time.Now().After(deadline) {
 		return false
 	}
-	// cond.Wait with timeout: wake the whole queue periodically. Coarse but
-	// simple and safe.
-	done := make(chan struct{})
-	go func() {
-		select {
-		case <-done:
-		case <-time.After(time.Until(deadline) + time.Millisecond):
-			lm.cond.Broadcast()
-		}
-	}()
+	t := time.AfterFunc(time.Until(deadline)+time.Millisecond, func() {
+		// Take the mutex so the broadcast cannot slip into the window
+		// between this waiter registering the timer and parking in Wait —
+		// an unlocked Broadcast there would be lost and the waiter would
+		// oversleep its deadline.
+		lm.mu.Lock()
+		lm.cond.Broadcast()
+		lm.mu.Unlock()
+	})
 	lm.cond.Wait()
-	close(done)
+	t.Stop()
 	return !time.Now().After(deadline)
 }
 
-// releaseAll drops every lock the transaction holds.
+// releaseAll drops every lock the transaction holds. The Broadcast is what
+// makes lock handoff immediate: every waiter re-examines the lock table
+// now instead of sleeping until its deadline timer fires (see
+// TestLockReleaseWakesWaitersImmediately).
 func (lm *lockManager) releaseAll(txn int64) {
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
@@ -139,9 +143,21 @@ type undoRec struct {
 
 // Begin starts a transaction.
 func (db *Database) Begin() *Txn {
-	id := atomic.AddInt64(&db.txnSeq, 1)
+	db.mu.Lock()
+	db.txnSeq++
+	id := db.txnSeq
+	db.activeTxns++
+	db.mu.Unlock()
 	db.log.Append(LogRecord{Txn: id, Op: OpBegin})
 	return &Txn{id: id, db: db, tables: make(map[string]bool)}
+}
+
+// endTxn retires a transaction from the in-flight count Checkpoint gates
+// on.
+func (db *Database) endTxn() {
+	db.mu.Lock()
+	db.activeTxns--
+	db.mu.Unlock()
 }
 
 // ID returns the transaction id.
@@ -264,14 +280,20 @@ func (t *Txn) ExecStmt(st Stmt) (*Result, error) {
 }
 
 // Commit makes the transaction's changes durable and releases its locks.
+// With a durable log under SyncAlways, a nil return means the commit
+// record is on disk: the transaction survives any crash. If the backend
+// failed to persist any record of the transaction, Commit reports it — the
+// in-memory state stays applied, but a caller that needs durability must
+// treat the transaction as lost.
 func (t *Txn) Commit() error {
 	if t.done {
 		return fmt.Errorf("reldb: transaction %d already finished", t.id)
 	}
 	t.done = true
 	t.db.log.Append(LogRecord{Txn: t.id, Op: OpCommit})
+	t.db.endTxn()
 	t.db.lockMgr.releaseAll(t.id)
-	return nil
+	return t.db.log.Err()
 }
 
 // Abort rolls the transaction back by applying its undo records in
@@ -297,5 +319,6 @@ func (t *Txn) Abort() {
 		}
 	}
 	t.db.log.Append(LogRecord{Txn: t.id, Op: OpAbort})
+	t.db.endTxn()
 	t.db.lockMgr.releaseAll(t.id)
 }

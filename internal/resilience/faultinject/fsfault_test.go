@@ -1,0 +1,112 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestWriteBudgetTearsFinalWrite(t *testing.T) {
+	fs := NewMemFS()
+	fs.LimitWriteBytes(10)
+	f, err := fs.Create("seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("12345678")); err != nil {
+		t.Fatalf("write within budget: %v", err)
+	}
+	// This write crosses the budget: only the first 2 bytes land, then
+	// the "machine" dies.
+	if _, err := f.Write([]byte("ABCDEF")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write over budget: err = %v, want ErrCrashed", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("fs not marked crashed")
+	}
+	// Nothing was synced, so a crash that drops unsynced data loses it all…
+	img := fs.AfterCrash(true)
+	if data, err := img.ReadFile("seg"); err != nil || len(data) != 0 {
+		t.Fatalf("drop-unsynced image: data = %q, err = %v", data, err)
+	}
+	// …while a lucky crash keeps the torn prefix.
+	img2 := fs.AfterCrash(false)
+	data, err := img2.ReadFile("seg")
+	if err != nil || string(data) != "12345678AB" {
+		t.Fatalf("keep-unsynced image: data = %q, err = %v", data, err)
+	}
+}
+
+func TestSyncLimitCrashesWithoutDurability(t *testing.T) {
+	fs := NewMemFS()
+	fs.LimitSyncs(1)
+	f, _ := fs.Create("seg")
+	f.Write([]byte("first"))
+	if err := f.Sync(); err != nil {
+		t.Fatalf("first sync: %v", err)
+	}
+	f.Write([]byte("second"))
+	// The second fsync dies before advancing the durable watermark.
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("second sync: err = %v, want ErrCrashed", err)
+	}
+	img := fs.AfterCrash(true)
+	data, err := img.ReadFile("seg")
+	if err != nil || string(data) != "first" {
+		t.Fatalf("after crashed fsync: data = %q, err = %v", data, err)
+	}
+}
+
+func TestOperationsAfterCrashFail(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("seg")
+	fs.Crash()
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write after crash: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync after crash: %v", err)
+	}
+	if _, err := fs.Create("other"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("create after crash: %v", err)
+	}
+	if err := fs.Rename("seg", "x"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("rename after crash: %v", err)
+	}
+}
+
+func TestRenameIsAtomic(t *testing.T) {
+	fs := NewMemFS()
+	if err := fs.WriteTrunc("snapshot.tmp", []byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("snapshot.tmp", "snapshot"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile("snapshot.tmp"); err == nil {
+		t.Fatal("tmp file still present after rename")
+	}
+	data, err := fs.ReadFile("snapshot")
+	if err != nil || string(data) != "state" {
+		t.Fatalf("renamed file = %q, err = %v", data, err)
+	}
+	// WriteTrunc output is durable: it survives a drop-unsynced crash.
+	fs.Crash()
+	img := fs.AfterCrash(true)
+	if data, _ := img.ReadFile("snapshot"); string(data) != "state" {
+		t.Fatalf("snapshot lost across crash: %q", data)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("seg")
+	f.Write([]byte("1234"))
+	f.Sync()
+	f.Write([]byte("56"))
+	if got := fs.BytesWritten(); got != 6 {
+		t.Fatalf("BytesWritten = %d, want 6", got)
+	}
+	if got := fs.SyncCount(); got != 1 {
+		t.Fatalf("SyncCount = %d, want 1", got)
+	}
+}

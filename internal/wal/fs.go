@@ -1,0 +1,106 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the writable handle the log needs from its storage: sequential
+// writes, an explicit durability barrier, and close. It is deliberately
+// smaller than *os.File so a fault-injecting implementation (see
+// internal/resilience/faultinject) can stand in for the disk and kill the
+// process at any byte.
+type File interface {
+	Write(p []byte) (int, error)
+	// Sync makes everything written so far durable (fsync).
+	Sync() error
+	Close() error
+}
+
+// FS is the directory-rooted filesystem the log lives in. All names are
+// flat (no separators); Rename must be atomic with respect to crashes —
+// after a crash the target holds either its old or its new content, never
+// a mixture. That is the only atomicity the log's checkpoint protocol
+// relies on.
+type FS interface {
+	// Create opens name for writing, truncating any existing content.
+	Create(name string) (File, error)
+	// ReadFile returns the full content of name.
+	ReadFile(name string) ([]byte, error)
+	// WriteTrunc atomically-enough replaces name's content with data:
+	// implementations write a temporary file, sync it, and rename it over
+	// name. Used to truncate a torn segment tail.
+	WriteTrunc(name string, data []byte) error
+	Rename(oldname, newname string) error
+	Remove(name string) error
+	// List returns the file names in the root, sorted.
+	List() ([]string, error)
+}
+
+// dirFS is the production FS: a real directory.
+type dirFS struct{ dir string }
+
+// DirFS returns an FS rooted at dir, creating the directory if needed on
+// first write.
+func DirFS(dir string) FS { return &dirFS{dir: dir} }
+
+func (d *dirFS) path(name string) string { return filepath.Join(d.dir, name) }
+
+func (d *dirFS) Create(name string) (File, error) {
+	if err := os.MkdirAll(d.dir, 0o755); err != nil {
+		return nil, err
+	}
+	return os.Create(d.path(name))
+}
+
+func (d *dirFS) ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(d.path(name))
+}
+
+func (d *dirFS) WriteTrunc(name string, data []byte) error {
+	if err := os.MkdirAll(d.dir, 0o755); err != nil {
+		return err
+	}
+	tmp := d.path(name + ".trunc")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, d.path(name))
+}
+
+func (d *dirFS) Rename(oldname, newname string) error {
+	return os.Rename(d.path(oldname), d.path(newname))
+}
+
+func (d *dirFS) Remove(name string) error { return os.Remove(d.path(name)) }
+
+func (d *dirFS) List() ([]string, error) {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		if !e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

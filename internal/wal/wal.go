@@ -1,0 +1,518 @@
+// Package wal is the disk-backed write-ahead log under every durable store
+// in this repository: reldb's transaction log, the audit chain, the policy
+// base and the XML document store. The paper demands that "recovery
+// techniques have to be developed for the transaction models" (§2.1) and
+// that data be protected "from malicious corruption" (§1); this package is
+// the common substrate for both — an append-only, segmented, CRC32C-framed
+// log with a configurable fsync policy, torn-tail detection on open, and a
+// checkpoint protocol (snapshot + log truncation) that bounds recovery
+// time and disk growth.
+//
+// Crash model. The log assumes that after a crash a file retains some
+// prefix of the bytes written to it (fsynced bytes are always retained;
+// unsynced bytes may be partially retained or lost), and that FS.Rename is
+// atomic. Under that model Open always recovers a clean record prefix:
+// scanning stops at the first torn or corrupt frame, the tail beyond it is
+// physically truncated, and later segments are discarded. Which records
+// are guaranteed to survive depends on the sync policy: SyncAlways makes
+// every Append durable before it returns; SyncInterval and SyncNever trade
+// the tail of the log for throughput but never atomicity — recovery still
+// yields an exact prefix of the append history.
+package wal
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SyncPolicy says when appended frames are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs on every Append: an Append that returned nil is
+	// durable. The safest and slowest policy.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs from a background ticker (Options.Interval) and
+	// on explicit Sync/Close. A crash loses at most one interval of
+	// appends.
+	SyncInterval
+	// SyncNever fsyncs only on explicit Sync, Checkpoint and Close. A
+	// crash may lose everything since the last explicit barrier.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy maps the flag spellings ("always", "interval", "never")
+// to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always, interval or never)", s)
+}
+
+// Options configures a log.
+type Options struct {
+	// FS is the storage root. Required.
+	FS FS
+	// Policy is the fsync policy; the zero value is SyncAlways.
+	Policy SyncPolicy
+	// Interval is the background fsync period for SyncInterval
+	// (default 100ms).
+	Interval time.Duration
+	// SegmentBytes rotates the active segment when it would exceed this
+	// size (default 4 MiB). A single frame larger than the limit still
+	// goes out whole in its own segment.
+	SegmentBytes int
+}
+
+// Record is one recovered log entry.
+type Record struct {
+	LSN     uint64
+	Payload []byte
+}
+
+// Stats are the log's operational counters, published by the servers via
+// internal/debugz.
+type Stats struct {
+	Appends      uint64
+	BytesWritten uint64
+	Fsyncs       uint64
+	Rotations    uint64
+	Checkpoints  uint64
+	// TornTails counts segments truncated at a bad frame during Open.
+	TornTails uint64
+	// Segments is the number of live segment files.
+	Segments int
+	// LastLSN is the highest LSN appended or recovered; SnapshotLSN the
+	// LSN the current checkpoint covers (0 = none).
+	LastLSN     uint64
+	SnapshotLSN uint64
+	Policy      string
+}
+
+const (
+	snapshotName    = "snapshot"
+	snapshotTmpName = "snapshot.tmp"
+	defaultSegBytes = 4 << 20
+	defaultInterval = 100 * time.Millisecond
+)
+
+func segmentName(n int) string { return fmt.Sprintf("wal-%08d.log", n) }
+
+func parseSegmentName(name string) (int, bool) {
+	var n int
+	if _, err := fmt.Sscanf(name, "wal-%08d.log", &n); err != nil {
+		return 0, false
+	}
+	if segmentName(n) != name {
+		return 0, false
+	}
+	return n, true
+}
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = fmt.Errorf("wal: closed")
+
+// WAL is an open log. All methods are safe for concurrent use. After any
+// write error the log is poisoned: the error sticks and every subsequent
+// mutating call returns it, because a store whose log is in an unknown
+// disk state must not pretend to make progress.
+type WAL struct {
+	mu   sync.Mutex
+	fs   FS
+	opts Options
+
+	lastLSN  uint64
+	snapLSN  uint64
+	snapshot []byte
+	tail     []Record
+
+	active     File
+	activeSize int
+	segSeq     int
+	segments   []string
+
+	dirty bool
+	err   error
+
+	stats Stats
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Open recovers the log rooted at opts.FS: it loads the checkpoint
+// snapshot if one exists, scans the segments in order, truncates the first
+// torn or corrupt frame and everything after it, and collects the records
+// newer than the snapshot for Replay. A corrupt snapshot (failed checksum)
+// is not recoverable mechanically and fails Open.
+func Open(opts Options) (*WAL, error) {
+	if opts.FS == nil {
+		return nil, fmt.Errorf("wal: Options.FS is required")
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegBytes
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = defaultInterval
+	}
+	w := &WAL{fs: opts.FS, opts: opts}
+	w.stats.Policy = opts.Policy.String()
+	if err := w.recover(); err != nil {
+		return nil, err
+	}
+	if opts.Policy == SyncInterval {
+		w.stop = make(chan struct{})
+		w.done = make(chan struct{})
+		go w.flushLoop()
+	}
+	return w, nil
+}
+
+func (w *WAL) recover() error {
+	names, err := w.fs.List()
+	if err != nil {
+		return fmt.Errorf("wal: list: %w", err)
+	}
+	var segNums []int
+	for _, name := range names {
+		switch {
+		case name == snapshotName:
+			data, err := w.fs.ReadFile(name)
+			if err != nil {
+				return fmt.Errorf("wal: read snapshot: %w", err)
+			}
+			lsn, payload, rest, err := DecodeFrame(data)
+			if err != nil || len(rest) != 0 {
+				return fmt.Errorf("wal: snapshot corrupt: %w", ErrCorrupt)
+			}
+			w.snapLSN = lsn
+			w.snapshot = append([]byte(nil), payload...)
+		case name == snapshotTmpName:
+			// A checkpoint died before its rename; the tmp is garbage.
+			_ = w.fs.Remove(name)
+		default:
+			if n, ok := parseSegmentName(name); ok {
+				segNums = append(segNums, n)
+			}
+			// Unknown names (e.g. leftover .trunc temporaries) are ignored;
+			// WriteTrunc re-creates its temporary from scratch.
+		}
+	}
+	w.lastLSN = w.snapLSN
+	truncated := false
+	for _, n := range segNums {
+		name := segmentName(n)
+		if truncated {
+			// Everything after a torn segment is dead by construction: the
+			// writer never opened a later segment before finishing this one.
+			if err := w.fs.Remove(name); err != nil {
+				return fmt.Errorf("wal: drop post-torn segment %s: %w", name, err)
+			}
+			continue
+		}
+		w.segSeq = n
+		data, err := w.fs.ReadFile(name)
+		if err != nil {
+			return fmt.Errorf("wal: read segment %s: %w", name, err)
+		}
+		good := 0
+		rest := data
+		for len(rest) > 0 {
+			lsn, payload, next, err := DecodeFrame(rest)
+			if err != nil {
+				truncated = true
+				w.stats.TornTails++
+				break
+			}
+			good = len(data) - len(next)
+			rest = next
+			if lsn > w.snapLSN {
+				w.tail = append(w.tail, Record{LSN: lsn, Payload: append([]byte(nil), payload...)})
+			}
+			if lsn > w.lastLSN {
+				w.lastLSN = lsn
+			}
+		}
+		if truncated {
+			if good == 0 {
+				if err := w.fs.Remove(name); err != nil {
+					return fmt.Errorf("wal: drop torn segment %s: %w", name, err)
+				}
+				continue
+			}
+			if err := w.fs.WriteTrunc(name, data[:good]); err != nil {
+				return fmt.Errorf("wal: truncate torn segment %s: %w", name, err)
+			}
+		}
+		w.segments = append(w.segments, name)
+	}
+	w.stats.Segments = len(w.segments)
+	w.stats.LastLSN = w.lastLSN
+	w.stats.SnapshotLSN = w.snapLSN
+	return nil
+}
+
+// Snapshot returns the checkpoint payload recovered at Open, the LSN it
+// covers, and whether one exists.
+func (w *WAL) Snapshot() ([]byte, uint64, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.snapshot == nil {
+		return nil, 0, false
+	}
+	return w.snapshot, w.snapLSN, true
+}
+
+// Replay calls fn for every record recovered at Open that is newer than
+// the snapshot, in LSN order. It does not see records appended after Open.
+func (w *WAL) Replay(fn func(lsn uint64, payload []byte) error) error {
+	w.mu.Lock()
+	tail := w.tail
+	w.mu.Unlock()
+	for _, r := range tail {
+		if err := fn(r.LSN, r.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LastLSN returns the highest LSN appended or recovered.
+func (w *WAL) LastLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastLSN
+}
+
+// Err returns the sticky write error, if any.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Append writes one record and returns its LSN. Under SyncAlways the
+// record is durable when Append returns nil.
+func (w *WAL) Append(payload []byte) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return 0, w.err
+	}
+	if len(payload) > MaxPayload {
+		return 0, fmt.Errorf("wal: payload %d bytes exceeds MaxPayload", len(payload))
+	}
+	need := frameSize(len(payload))
+	if err := w.ensureActive(need); err != nil {
+		w.err = err
+		return 0, err
+	}
+	lsn := w.lastLSN + 1
+	buf := EncodeFrame(nil, lsn, payload)
+	if _, err := w.active.Write(buf); err != nil {
+		w.err = fmt.Errorf("wal: append: %w", err)
+		return 0, w.err
+	}
+	w.lastLSN = lsn
+	w.activeSize += len(buf)
+	w.dirty = true
+	w.stats.Appends++
+	w.stats.BytesWritten += uint64(len(buf))
+	w.stats.LastLSN = lsn
+	if w.opts.Policy == SyncAlways {
+		if err := w.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// ensureActive opens a segment with room for need more bytes, rotating the
+// current one if necessary. Lock held.
+func (w *WAL) ensureActive(need int) error {
+	if w.active != nil && w.activeSize > 0 && w.activeSize+need > w.opts.SegmentBytes {
+		if err := w.syncLocked(); err != nil {
+			return err
+		}
+		if err := w.active.Close(); err != nil {
+			return fmt.Errorf("wal: rotate close: %w", err)
+		}
+		w.active = nil
+		w.stats.Rotations++
+	}
+	if w.active == nil {
+		w.segSeq++
+		name := segmentName(w.segSeq)
+		f, err := w.fs.Create(name)
+		if err != nil {
+			return fmt.Errorf("wal: create segment %s: %w", name, err)
+		}
+		w.active = f
+		w.activeSize = 0
+		w.segments = append(w.segments, name)
+		w.stats.Segments = len(w.segments)
+	}
+	return nil
+}
+
+func (w *WAL) syncLocked() error {
+	if w.active == nil || !w.dirty {
+		return nil
+	}
+	if err := w.active.Sync(); err != nil {
+		w.err = fmt.Errorf("wal: fsync: %w", err)
+		return w.err
+	}
+	w.dirty = false
+	w.stats.Fsyncs++
+	return nil
+}
+
+// Sync forces an fsync of the active segment regardless of policy.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	return w.syncLocked()
+}
+
+// Checkpoint installs snapshot as the new recovery base covering every
+// record appended so far, then deletes the log segments: recovery becomes
+// "load snapshot, replay nothing", and disk usage drops to the snapshot.
+// The protocol is crash-safe at every step: the snapshot is written to a
+// temporary file, fsynced, and renamed into place (the atomic commit
+// point); segments are deleted only afterwards, and a crash between rename
+// and deletion merely leaves stale segments whose records are skipped on
+// open because their LSNs are covered by the snapshot.
+func (w *WAL) Checkpoint(snapshot []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if len(snapshot) > MaxPayload {
+		return fmt.Errorf("wal: snapshot %d bytes exceeds MaxPayload", len(snapshot))
+	}
+	f, err := w.fs.Create(snapshotTmpName)
+	if err != nil {
+		w.err = fmt.Errorf("wal: checkpoint create: %w", err)
+		return w.err
+	}
+	buf := EncodeFrame(nil, w.lastLSN, snapshot)
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		w.err = fmt.Errorf("wal: checkpoint write: %w", err)
+		return w.err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		w.err = fmt.Errorf("wal: checkpoint fsync: %w", err)
+		return w.err
+	}
+	if err := f.Close(); err != nil {
+		w.err = fmt.Errorf("wal: checkpoint close: %w", err)
+		return w.err
+	}
+	if err := w.fs.Rename(snapshotTmpName, snapshotName); err != nil {
+		w.err = fmt.Errorf("wal: checkpoint rename: %w", err)
+		return w.err
+	}
+	// Committed. Everything below is cleanup; failures poison the log but
+	// cannot lose the checkpoint.
+	w.snapLSN = w.lastLSN
+	w.snapshot = append([]byte(nil), snapshot...)
+	w.tail = nil
+	if w.active != nil {
+		if err := w.active.Close(); err != nil {
+			w.err = fmt.Errorf("wal: checkpoint close segment: %w", err)
+			return w.err
+		}
+		w.active = nil
+		w.dirty = false
+	}
+	for _, name := range w.segments {
+		if err := w.fs.Remove(name); err != nil {
+			w.err = fmt.Errorf("wal: checkpoint drop segment %s: %w", name, err)
+			return w.err
+		}
+	}
+	w.segments = nil
+	w.activeSize = 0
+	w.stats.Checkpoints++
+	w.stats.Segments = 0
+	w.stats.SnapshotLSN = w.snapLSN
+	w.stats.BytesWritten += uint64(len(buf))
+	return nil
+}
+
+// Stats snapshots the counters.
+func (w *WAL) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// Close flushes and closes the log. Further use returns ErrClosed.
+func (w *WAL) Close() error {
+	if w.stop != nil {
+		close(w.stop)
+		<-w.done
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err == ErrClosed {
+		return nil
+	}
+	var firstErr error
+	if w.err == nil {
+		firstErr = w.syncLocked()
+	}
+	if w.active != nil {
+		if err := w.active.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		w.active = nil
+	}
+	w.err = ErrClosed
+	return firstErr
+}
+
+// flushLoop is the SyncInterval background fsync.
+func (w *WAL) flushLoop() {
+	defer close(w.done)
+	t := time.NewTicker(w.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			if w.err == nil {
+				_ = w.syncLocked()
+			}
+			w.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package xmldoc
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"webdbsec/internal/wal"
+)
+
+// Snapshot+journal persistence for the document store. Documents travel as
+// their canonical serialization (canon.go) and are re-parsed on load;
+// since Canonical is also the representation that is hashed and signed,
+// what is persisted is exactly what the integrity machinery vouches for.
+// (Whitespace-only text nodes are not representable in canonical form and
+// do not survive a reload — they carry no policy-relevant content.)
+//
+// Every journal entry records the store generation and the touched
+// document's generation after the mutation, and OpenStore restores both
+// counters, so generation-keyed decision caches built over a reopened
+// store observe the same (name, generation) → state mapping as before the
+// restart.
+
+// storeJournal is one journal entry.
+type storeJournal struct {
+	Op     string // "put" | "remove" | "addset"
+	Doc    string
+	Set    string `json:",omitempty"`
+	XML    string `json:",omitempty"`
+	Gen    uint64
+	DocGen uint64
+}
+
+// storeSnap is a checkpoint snapshot of the whole store.
+type storeSnap struct {
+	Gen     uint64
+	DocGens map[string]uint64
+	Docs    map[string]string
+	Sets    map[string][]string
+}
+
+// OpenStore recovers a document store from w and wires it to keep
+// journaling there. The caller owns w's lifecycle but must not use it
+// directly afterwards.
+func OpenStore(w *wal.WAL) (*Store, error) {
+	s := NewStore()
+	if payload, _, ok := w.Snapshot(); ok {
+		var snap storeSnap
+		if err := json.Unmarshal(payload, &snap); err != nil {
+			return nil, fmt.Errorf("xmldoc: decode snapshot: %w", err)
+		}
+		for name, xml := range snap.Docs {
+			d, err := ParseString(name, xml)
+			if err != nil {
+				return nil, fmt.Errorf("xmldoc: restore %s: %w", name, err)
+			}
+			s.docs[name] = d
+		}
+		for set, docs := range snap.Sets {
+			for _, doc := range docs {
+				s.linkSetLocked(set, doc)
+			}
+		}
+		for name, g := range snap.DocGens {
+			s.docGens[name] = g
+		}
+		s.gen = snap.Gen
+	}
+	err := w.Replay(func(lsn uint64, payload []byte) error {
+		var rec storeJournal
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("xmldoc: decode journal at lsn %d: %w", lsn, err)
+		}
+		switch rec.Op {
+		case "put":
+			d, err := ParseString(rec.Doc, rec.XML)
+			if err != nil {
+				return fmt.Errorf("xmldoc: replay put %s: %w", rec.Doc, err)
+			}
+			s.docs[rec.Doc] = d
+		case "remove":
+			delete(s.docs, rec.Doc)
+			for _, set := range s.sets {
+				delete(set, rec.Doc)
+			}
+			delete(s.memberOf, rec.Doc)
+		case "addset":
+			s.linkSetLocked(rec.Set, rec.Doc)
+		default:
+			return fmt.Errorf("xmldoc: unknown journal op %q at lsn %d", rec.Op, lsn)
+		}
+		s.docGens[rec.Doc] = rec.DocGen
+		s.gen = rec.Gen
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.w = w
+	return s, nil
+}
+
+// linkSetLocked wires doc into set in both directions without touching
+// generations. Write lock held (or exclusive ownership during recovery).
+func (s *Store) linkSetLocked(set, doc string) {
+	m := s.sets[set]
+	if m == nil {
+		m = make(map[string]bool)
+		s.sets[set] = m
+	}
+	m[doc] = true
+	r := s.memberOf[doc]
+	if r == nil {
+		r = make(map[string]bool)
+		s.memberOf[doc] = r
+	}
+	r[set] = true
+}
+
+// Checkpoint writes a snapshot of the store and truncates the journal.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return fmt.Errorf("xmldoc: checkpoint: no durable backend")
+	}
+	if s.err != nil {
+		return s.err
+	}
+	snap := storeSnap{
+		Gen:     s.gen,
+		DocGens: make(map[string]uint64, len(s.docGens)),
+		Docs:    make(map[string]string, len(s.docs)),
+		Sets:    make(map[string][]string, len(s.sets)),
+	}
+	for name, g := range s.docGens {
+		snap.DocGens[name] = g
+	}
+	for name, d := range s.docs {
+		snap.Docs[name] = d.Canonical()
+	}
+	for set, docs := range s.sets {
+		for doc := range docs {
+			snap.Sets[set] = append(snap.Sets[set], doc)
+		}
+	}
+	payload, err := json.Marshal(&snap)
+	if err != nil {
+		return fmt.Errorf("xmldoc: encode snapshot: %w", err)
+	}
+	if err := s.w.Checkpoint(payload); err != nil {
+		s.err = err
+		return err
+	}
+	return nil
+}
+
+// Err returns the sticky journal error, if any.
+func (s *Store) Err() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.err
+}
+
+// journalLocked appends a journal entry for a mutation that already
+// happened. Write lock held; failures stick.
+func (s *Store) journalLocked(rec *storeJournal) {
+	if s.w == nil || s.err != nil {
+		return
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.w.Append(payload); err != nil {
+		s.err = err
+	}
+}

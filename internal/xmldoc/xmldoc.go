@@ -17,6 +17,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"webdbsec/internal/wal"
 )
 
 // NodeKind discriminates the node variants of a document.
@@ -440,6 +442,10 @@ type Store struct {
 	// gen advances on every mutation; docGens per document name.
 	gen     uint64
 	docGens map[string]uint64
+	// w, when set, receives a journal entry for every mutation (see
+	// persist.go); err is the sticky journal failure.
+	w   *wal.WAL
+	err error
 }
 
 // NewStore returns an empty document store.
@@ -459,6 +465,12 @@ func (s *Store) Put(d *Document) {
 	s.docs[d.Name] = d
 	s.docGens[d.Name]++
 	s.gen++
+	if s.w != nil {
+		s.journalLocked(&storeJournal{
+			Op: "put", Doc: d.Name, XML: d.Canonical(),
+			Gen: s.gen, DocGen: s.docGens[d.Name],
+		})
+	}
 }
 
 // Get returns the named document.
@@ -481,6 +493,11 @@ func (s *Store) Remove(name string) {
 	delete(s.memberOf, name)
 	s.docGens[name]++
 	s.gen++
+	if s.w != nil {
+		s.journalLocked(&storeJournal{
+			Op: "remove", Doc: name, Gen: s.gen, DocGen: s.docGens[name],
+		})
+	}
 }
 
 // Len returns the number of documents in the store.
@@ -528,20 +545,14 @@ func (s *Store) Names() []string {
 func (s *Store) AddToSet(set, doc string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	m := s.sets[set]
-	if m == nil {
-		m = make(map[string]bool)
-		s.sets[set] = m
-	}
-	m[doc] = true
-	r := s.memberOf[doc]
-	if r == nil {
-		r = make(map[string]bool)
-		s.memberOf[doc] = r
-	}
-	r[set] = true
+	s.linkSetLocked(set, doc)
 	s.docGens[doc]++
 	s.gen++
+	if s.w != nil {
+		s.journalLocked(&storeJournal{
+			Op: "addset", Doc: doc, Set: set, Gen: s.gen, DocGen: s.docGens[doc],
+		})
+	}
 }
 
 // SetContains reports whether the named set contains the document.
