@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test race bench fmt fmtcheck crashmatrix
+.PHONY: check vet build test race bench benchsmoke fmt fmtcheck crashmatrix crashshort
 
 # check is the full verification gate: formatting, vet, build, the test
 # suite under the race detector (the resilience and caching layers are
-# concurrent by design — a run without -race proves little), and a
+# concurrent by design — a run without -race proves little), a
 # one-iteration bench smoke so a broken benchmark cannot sit unnoticed
-# until measurement time.
-check: fmtcheck vet build race bench
+# until measurement time, and the bounded crash matrix so a durability
+# regression cannot land between full crashmatrix runs.
+check: fmtcheck vet build race bench crashshort
 
 vet:
 	$(GO) vet ./...
@@ -36,9 +37,23 @@ fmtcheck:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "unformatted files:"; echo "$$out"; exit 1; fi
 
+# benchsmoke runs the WAL group-commit benchmarks a few iterations on a
+# real filesystem — enough to catch a wedged pipeline or a benchmark that
+# no longer compiles, without waiting for measurement-grade numbers.
+benchsmoke:
+	$(GO) test -run '^$$' -bench 'GroupCommit|AppendSyncPolicy' -benchmem \
+		-benchtime 10x ./internal/wal/
+
 # crashmatrix runs the fault-injection recovery suite: every test that
-# drives a store to a crash point (write-torn, mid-fsync) and asserts the
-# recovery invariants, under the race detector.
+# drives a store to a crash point (write-torn, mid-fsync, mid-batch,
+# mid-shared-fsync) and asserts the recovery invariants, under the race
+# detector.
 crashmatrix:
 	$(GO) test -race -run 'Crash' -v ./internal/wal/ ./internal/reldb/ \
+		./internal/audit/ ./internal/policy/ ./internal/resilience/...
+
+# crashshort is the bounded crash matrix wired into check: the same tests
+# with -short, which widens the byte strides so tier-1 stays fast.
+crashshort:
+	$(GO) test -race -short -run 'Crash' ./internal/wal/ ./internal/reldb/ \
 		./internal/audit/ ./internal/policy/ ./internal/resilience/...

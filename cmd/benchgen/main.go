@@ -42,16 +42,26 @@ var experiments = []struct {
 	{"E15", "federated query scaling and clearance filtering", runE15},
 	{"E16", "provenance-aware RDFS inference vs plain inference", runE16},
 	{"E17", "decision cache: uncached vs cold vs warm, Zipf hit rate", runE17},
+	{"E19", "WAL group commit: durable commit throughput vs committer count", runE19},
 }
 
 func main() {
 	runFlag := flag.String("run", "", "experiment id to run (default: all)")
 	quick := flag.Bool("quick", false, "use smaller workloads")
-	snapshotFlag := flag.String("snapshot", "", "write the E17 before/after JSON record to this file and exit")
+	snapshotFlag := flag.String("snapshot", "", "write the before/after JSON record (-run selects E17 or E19; default E17) to this file and exit")
 	flag.Parse()
 
 	if *snapshotFlag != "" {
-		if err := writeSnapshot(*snapshotFlag, *quick); err != nil {
+		var err error
+		switch strings.ToUpper(*runFlag) {
+		case "", "E17":
+			err = writeSnapshot(*snapshotFlag, *quick)
+		case "E19":
+			err = writeSnapshotE19(*snapshotFlag, *quick)
+		default:
+			err = fmt.Errorf("no snapshot writer for experiment %q", *runFlag)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchgen: snapshot: %v\n", err)
 			os.Exit(1)
 		}

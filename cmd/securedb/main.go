@@ -46,6 +46,8 @@ func main() {
 	debug := flag.Bool("debug", false, "expose /debug/pprof and /debug/vars (off by default)")
 	dataDir := flag.String("data", "", "durable data directory (empty = in-memory only)")
 	walSync := flag.String("walsync", "always", "WAL fsync policy with -data: always, interval or never")
+	walBatch := flag.Int("walbatch", 1<<20, "group-commit batch cap in bytes (1 = fsync per append, no batching)")
+	walMaxDelay := flag.Duration("walmaxdelay", 0, "max time the group-commit leader lingers to widen a batch (0 = ship immediately)")
 	flag.Parse()
 
 	cfg := core.Config{}
@@ -59,11 +61,17 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		dbWAL, err = wal.Open(wal.Options{FS: wal.DirFS(filepath.Join(*dataDir, "db")), Policy: syncPolicy})
+		dbWAL, err = wal.Open(wal.Options{
+			FS: wal.DirFS(filepath.Join(*dataDir, "db")), Policy: syncPolicy,
+			MaxBatchBytes: *walBatch, MaxDelay: *walMaxDelay,
+		})
 		if err != nil {
 			log.Fatalf("securedb: open db wal: %v", err)
 		}
-		auditWAL, err = wal.Open(wal.Options{FS: wal.DirFS(filepath.Join(*dataDir, "audit")), Policy: syncPolicy})
+		auditWAL, err = wal.Open(wal.Options{
+			FS: wal.DirFS(filepath.Join(*dataDir, "audit")), Policy: syncPolicy,
+			MaxBatchBytes: *walBatch, MaxDelay: *walMaxDelay,
+		})
 		if err != nil {
 			log.Fatalf("securedb: open audit wal: %v", err)
 		}
@@ -82,7 +90,8 @@ func main() {
 		}
 		cfg.DB = reldb.NewSecureDB(database, nil)
 		cfg.Audit = auditLog
-		log.Printf("securedb: durable mode: data=%s sync=%s fresh=%v", *dataDir, syncPolicy, fresh)
+		log.Printf("securedb: durable mode: data=%s sync=%s batch=%dB maxdelay=%s fresh=%v",
+			*dataDir, syncPolicy, *walBatch, *walMaxDelay, fresh)
 	}
 
 	w := core.NewSecureWebDB(cfg)

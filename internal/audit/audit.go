@@ -53,9 +53,16 @@ func (l *Log) Append(actor, action, object, outcome string) Record {
 // durable backend (always nil for an in-memory log). A non-nil error means
 // the record is in memory but its persistence is unknown; the error sticks
 // and poisons all later appends.
+//
+// The chain extension (hash over the predecessor, in-memory append, WAL
+// enqueue) happens under l.mu, but the wait for the disk verdict happens
+// outside it: concurrent auditors enqueue into the backend's group-commit
+// pipeline and share one batched fsync instead of serializing on the
+// chain mutex for a private fsync each. Frames are enqueued in chain
+// order under the mutex, so the on-disk log is always a prefix of the
+// chain and OpenLog's verification is unaffected.
 func (l *Log) AppendChecked(actor, action, object, outcome string) (Record, error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	prev := ""
 	if n := len(l.records); n > 0 {
 		prev = l.records[n-1].Hash
@@ -70,14 +77,29 @@ func (l *Log) AppendChecked(actor, action, object, outcome string) (Record, erro
 	}
 	r.Hash = hash(r)
 	l.records = append(l.records, r)
+	var ack *wal.Ack
 	if l.w != nil && l.err == nil {
 		if payload, err := encodeRecord(&r); err != nil {
 			l.err = err
-		} else if _, err := l.w.Append(payload); err != nil {
+		} else if _, a, err := l.w.AppendAsync(payload); err != nil {
 			l.err = err
+		} else {
+			ack = a
 		}
 	}
-	return r, l.err
+	err := l.err
+	l.mu.Unlock()
+	if ack != nil {
+		if werr := ack.Wait(); werr != nil {
+			l.mu.Lock()
+			if l.err == nil {
+				l.err = werr
+			}
+			err = l.err
+			l.mu.Unlock()
+		}
+	}
+	return r, err
 }
 
 // Err returns the sticky durable-backend error, if any.

@@ -1,0 +1,255 @@
+package reldb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"webdbsec/internal/resilience/faultinject"
+	"webdbsec/internal/wal"
+)
+
+// groupCrashWorkload runs concurrent committers against one durable
+// database under SyncAlways so commit records genuinely coalesce into
+// shared batches. Each committer owns a private table (table-granularity
+// 2PL would otherwise serialize them around the fsync) and runs `rounds`
+// two-row transactions. It returns the set of acknowledged facts
+// "g<G>r<R>": an entry means that transaction's Commit returned nil, so
+// both its rows must survive any later crash.
+func groupCrashWorkload(fs wal.FS, committers, rounds int) map[string]bool {
+	acked := make(map[string]bool)
+	w, err := wal.Open(wal.Options{FS: fs, Policy: wal.SyncAlways})
+	if err != nil {
+		return acked
+	}
+	db, err := OpenDatabase(w)
+	if err != nil {
+		return acked
+	}
+	for g := 0; g < committers; g++ {
+		db.Exec(fmt.Sprintf("CREATE TABLE t%d (k TEXT, v INT)", g))
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < committers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				txn := db.Begin()
+				if _, err := txn.Exec(fmt.Sprintf("INSERT INTO t%d VALUES ('r%da', %d)", g, r, r)); err != nil {
+					txn.Abort()
+					return
+				}
+				if _, err := txn.Exec(fmt.Sprintf("INSERT INTO t%d VALUES ('r%db', %d)", g, r, r)); err != nil {
+					txn.Abort()
+					return
+				}
+				if txn.Commit() == nil {
+					mu.Lock()
+					acked[fmt.Sprintf("g%dr%d", g, r)] = true
+					mu.Unlock()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	return acked
+}
+
+// checkGroupCrashInvariants recovers both post-crash images and asserts
+// the group-commit durability contract: every acknowledged transaction's
+// two rows are present; every transaction — acknowledged or not — applied
+// atomically (its two rows appear together or not at all); and recovery
+// of the same image is deterministic.
+func checkGroupCrashInvariants(t *testing.T, fs *faultinject.MemFS, committers, rounds int, acked map[string]bool, desc string) {
+	t.Helper()
+	for _, drop := range []bool{false, true} {
+		img := fs.AfterCrash(drop)
+		db := openDurable(t, img)
+		d := fmt.Sprintf("%s dropUnsynced=%v", desc, drop)
+		for g := 0; g < committers; g++ {
+			rows := tableRows(t, db, fmt.Sprintf("t%d", g))
+			for r := 0; r < rounds; r++ {
+				_, a := rows[fmt.Sprintf("r%da", r)]
+				_, b := rows[fmt.Sprintf("r%db", r)]
+				if acked[fmt.Sprintf("g%dr%d", g, r)] {
+					if rows == nil {
+						t.Fatalf("%s: table t%d lost but its transaction %d was acknowledged", d, g, r)
+					}
+					if !a || !b {
+						t.Fatalf("%s: acknowledged txn g%dr%d lost rows (a=%v b=%v)", d, g, r, a, b)
+					}
+				}
+				if a != b {
+					t.Fatalf("%s: txn g%dr%d applied non-atomically (a=%v b=%v)", d, g, r, a, b)
+				}
+			}
+		}
+		assertDBEqual(t, db, openDurable(t, img), d+" (recover twice)")
+	}
+}
+
+// TestCrashGroupCommitConcurrentMatrix is the crash matrix over the
+// concurrent workload: the filesystem dies at sampled byte offsets of
+// the coalesced write stream (hitting frame boundaries and torn frames
+// inside batches) and inside every shared fsync. The interleaving varies
+// run to run — invariants are checked against the acknowledgements each
+// run actually handed out, which is exactly the contract: what was
+// acknowledged survives, everything else vanishes atomically.
+func TestCrashGroupCommitConcurrentMatrix(t *testing.T) {
+	const committers, rounds = 4, 3
+	dry := faultinject.NewMemFS()
+	groupCrashWorkload(dry, committers, rounds)
+	total := dry.BytesWritten()
+	syncs := dry.SyncCount()
+	if total == 0 || syncs == 0 {
+		t.Fatalf("dry run wrote %d bytes, %d fsyncs", total, syncs)
+	}
+
+	byteStride, syncStride := int64(31), int64(1)
+	if testing.Short() {
+		byteStride, syncStride = 211, 3
+	}
+	points := 0
+	for b := int64(0); b < total; b += byteStride {
+		fs := faultinject.NewMemFS()
+		fs.LimitWriteBytes(b)
+		acked := groupCrashWorkload(fs, committers, rounds)
+		checkGroupCrashInvariants(t, fs, committers, rounds, acked,
+			fmt.Sprintf("crash at byte %d", b))
+		points++
+	}
+	for k := int64(0); k < syncs; k += syncStride {
+		fs := faultinject.NewMemFS()
+		fs.LimitSyncs(k)
+		acked := groupCrashWorkload(fs, committers, rounds)
+		checkGroupCrashInvariants(t, fs, committers, rounds, acked,
+			fmt.Sprintf("crash inside shared fsync %d", k))
+		points++
+	}
+	t.Logf("group-commit crash matrix: %d points × 2 images over ~%d bytes / %d fsyncs", points, total, syncs)
+}
+
+// TestCrashPoisonedBatchAbortsAllTxns is the no-partial-acknowledgement
+// regression: when the backend dies, every transaction whose commit
+// record rode the failed batch must get a non-nil Commit — none may be
+// acknowledged — and the failure must stick on the log.
+func TestCrashPoisonedBatchAbortsAllTxns(t *testing.T) {
+	fs := faultinject.NewMemFS()
+	db := openDurable(t, fs)
+	const committers = 6
+	for g := 0; g < committers; g++ {
+		mustExec(t, db, fmt.Sprintf("CREATE TABLE t%d (k TEXT, v INT)", g))
+	}
+	fs.Crash()
+	var wg sync.WaitGroup
+	errs := make([]error, committers)
+	for g := 0; g < committers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			txn := db.Begin()
+			if _, err := txn.Exec(fmt.Sprintf("INSERT INTO t%d VALUES ('x', 1)", g)); err != nil {
+				errs[g] = err
+				txn.Abort()
+				return
+			}
+			errs[g] = txn.Commit()
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err == nil {
+			t.Fatalf("committer %d acknowledged by a crashed backend", g)
+		}
+	}
+	if db.Log().Err() == nil {
+		t.Fatal("batch failure did not stick on the log")
+	}
+}
+
+// gatedFS wraps a wal.FS so file fsyncs can be held open from the test:
+// arm() makes the next Sync park until release() — the window in which a
+// commit's durability verdict is pending.
+type gatedFS struct {
+	wal.FS
+	mu      sync.Mutex
+	gate    chan struct{}
+	entered chan struct{}
+}
+
+func (g *gatedFS) arm() (entered, gate chan struct{}) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.gate = make(chan struct{})
+	g.entered = make(chan struct{}, 8)
+	return g.entered, g.gate
+}
+
+func (g *gatedFS) Create(name string) (wal.File, error) {
+	f, err := g.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &gatedFile{File: f, fs: g}, nil
+}
+
+type gatedFile struct {
+	wal.File
+	fs *gatedFS
+}
+
+func (f *gatedFile) Sync() error {
+	f.fs.mu.Lock()
+	gate, entered := f.fs.gate, f.fs.entered
+	f.fs.mu.Unlock()
+	if gate != nil {
+		entered <- struct{}{}
+		<-gate
+	}
+	return f.File.Sync()
+}
+
+// TestCommitHoldsLocksUntilDurabilityVerdict pins the lock-release
+// ordering: a transaction's locks must stay held while its commit record
+// sits in the group-commit pipeline. Releasing earlier would let a second
+// transaction read (and be acknowledged on top of) state whose durability
+// is still unknown. The test parks a commit inside its fsync and checks a
+// competing writer times out on the table lock until the verdict lands.
+func TestCommitHoldsLocksUntilDurabilityVerdict(t *testing.T) {
+	fs := &gatedFS{FS: faultinject.NewMemFS()}
+	db := openDurable(t, fs)
+	mustExec(t, db, "CREATE TABLE t (k TEXT, v INT)")
+
+	entered, gate := fs.arm()
+	commitErr := make(chan error, 1)
+	txn := db.Begin()
+	if _, err := txn.Exec("INSERT INTO t VALUES ('held', 1)"); err != nil {
+		t.Fatal(err)
+	}
+	go func() { commitErr <- txn.Commit() }()
+	<-entered // the commit's shared fsync is now in flight
+
+	db.lockMgr.Timeout = 50 * time.Millisecond
+	rival := db.Begin()
+	if _, err := rival.Exec("INSERT INTO t VALUES ('rival', 2)"); !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("rival acquired t's lock while the commit verdict was pending (err=%v)", err)
+	}
+	rival.Abort()
+
+	close(gate)
+	if err := <-commitErr; err != nil {
+		t.Fatalf("gated commit failed: %v", err)
+	}
+	db.lockMgr.Timeout = 2 * time.Second
+	rival2 := db.Begin()
+	if _, err := rival2.Exec("INSERT INTO t VALUES ('rival', 2)"); err != nil {
+		t.Fatalf("lock not released after verdict: %v", err)
+	}
+	if err := rival2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

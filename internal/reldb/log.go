@@ -58,24 +58,60 @@ type Log struct {
 func NewLog() *Log { return &Log{} }
 
 // Append adds a record, assigning its LSN, and mirrors it to the durable
-// backend when one is attached.
+// backend when one is attached. It returns as soon as the record is
+// enqueued into the backend's commit pipeline — Append does NOT wait for
+// the disk verdict. Callers that acknowledge durability (Txn.Commit)
+// use AppendWait, whose verdict covers every earlier enqueued record of
+// the transaction because the backend writes frames in LSN order.
 func (l *Log) Append(rec LogRecord) int64 {
+	lsn, _ := l.appendAsync(rec)
+	return lsn
+}
+
+// AppendWait adds a record like Append, then blocks until the durable
+// backend's group-commit verdict for it is known. A nil error from a log
+// with a backend means the record — and, by LSN ordering, every record
+// enqueued before it — is on disk per the backend's sync policy.
+func (l *Log) AppendWait(rec LogRecord) (int64, error) {
+	lsn, ack := l.appendAsync(rec)
+	if ack == nil {
+		return lsn, l.Err()
+	}
+	if err := ack.Wait(); err != nil {
+		l.mu.Lock()
+		if l.err == nil {
+			l.err = err
+		}
+		err = l.err
+		l.mu.Unlock()
+		return lsn, err
+	}
+	return lsn, nil
+}
+
+// appendAsync assigns the record's LSN, mirrors it into the backend's
+// commit pipeline without waiting, and returns the pending ack (nil for
+// an in-memory or already-poisoned log).
+func (l *Log) appendAsync(rec LogRecord) (int64, *wal.Ack) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.nextLSN++
 	rec.LSN = l.nextLSN
+	var ack *wal.Ack
 	if l.w != nil && l.err == nil {
 		payload, err := encodeLogRecord(&rec)
 		if err != nil {
 			l.err = err
-		} else if lsn, err := l.w.Append(payload); err != nil {
+		} else if lsn, a, err := l.w.AppendAsync(payload); err != nil {
 			l.err = err
 		} else if int64(lsn) != rec.LSN {
 			l.err = fmt.Errorf("reldb: log LSN %d diverged from wal LSN %d", rec.LSN, lsn)
+		} else {
+			ack = a
 		}
 	}
 	l.records = append(l.records, rec)
-	return rec.LSN
+	return rec.LSN, ack
 }
 
 // Err returns the sticky durable-backend error, or nil for a healthy (or

@@ -285,15 +285,22 @@ func (t *Txn) ExecStmt(st Stmt) (*Result, error) {
 // failed to persist any record of the transaction, Commit reports it — the
 // in-memory state stays applied, but a caller that needs durability must
 // treat the transaction as lost.
+//
+// The locks are held until the durability verdict arrives: releasing them
+// while the commit record is still in the group-commit pipeline would let
+// a second transaction read this one's writes and be acknowledged before
+// (or without) them ever reaching disk. Concurrent committers therefore
+// block inside the same batched fsync, which is exactly the window group
+// commit amortizes.
 func (t *Txn) Commit() error {
 	if t.done {
 		return fmt.Errorf("reldb: transaction %d already finished", t.id)
 	}
 	t.done = true
-	t.db.log.Append(LogRecord{Txn: t.id, Op: OpCommit})
+	_, err := t.db.log.AppendWait(LogRecord{Txn: t.id, Op: OpCommit})
 	t.db.endTxn()
 	t.db.lockMgr.releaseAll(t.id)
-	return t.db.log.Err()
+	return err
 }
 
 // Abort rolls the transaction back by applying its undo records in

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"hash/crc32"
+	"sync"
 )
 
 // Frame format. Every record on disk — log entries and the checkpoint
@@ -78,3 +79,34 @@ func DecodeFrame(b []byte) (lsn uint64, payload, rest []byte, err error) {
 
 // frameSize returns the on-disk size of a frame with an n-byte payload.
 func frameSize(n int) int { return frameHeaderSize + n }
+
+// encodeBufPool recycles the byte slices the commit pipeline encodes
+// frames into, so the steady-state append path allocates nothing per
+// record. The pool stores *[]byte and the same pointer travels through
+// get/put — boxing a fresh pointer on every Put would itself allocate,
+// defeating the pool.
+var encodeBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// getEncodeBuf returns an empty pooled buffer. Callers append through the
+// pointer (the slice may grow and move) and hand the same pointer back to
+// putEncodeBuf.
+func getEncodeBuf() *[]byte {
+	p := encodeBufPool.Get().(*[]byte)
+	*p = (*p)[:0]
+	return p
+}
+
+// putEncodeBuf returns a buffer obtained from getEncodeBuf to the pool.
+// Oversized buffers are dropped so a single huge frame doesn't pin memory
+// forever.
+func putEncodeBuf(p *[]byte) {
+	if cap(*p) > 1<<20 {
+		return
+	}
+	encodeBufPool.Put(p)
+}

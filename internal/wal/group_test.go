@@ -1,0 +1,386 @@
+package wal_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"webdbsec/internal/resilience/faultinject"
+	"webdbsec/internal/wal"
+)
+
+// TestGroupCommitConcurrent hammers the pipeline with concurrent
+// committers under SyncAlways and checks the two contracts that matter:
+// every acknowledged append replays after reopen, in strict LSN order,
+// and the batching bookkeeping is internally consistent.
+func TestGroupCommitConcurrent(t *testing.T) {
+	fs := faultinject.NewMemFS()
+	w, err := wal.Open(wal.Options{FS: fs, Policy: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, perG = 32, 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if _, err := w.Append([]byte(fmt.Sprintf("g%d-%d", g, i))); err != nil {
+					t.Errorf("Append: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := w.Stats()
+	if st.Appends != goroutines*perG {
+		t.Fatalf("Appends = %d, want %d", st.Appends, goroutines*perG)
+	}
+	if st.BatchFrames != st.Appends {
+		t.Fatalf("BatchFrames = %d, want %d (queue must be drained)", st.BatchFrames, st.Appends)
+	}
+	if st.Batches == 0 || st.Batches > st.BatchFrames {
+		t.Fatalf("Batches = %d out of range (frames %d)", st.Batches, st.BatchFrames)
+	}
+	// Under SyncAlways every batch fsyncs once; every frame beyond the
+	// first in its batch rode a shared barrier.
+	if got, want := st.FsyncsSaved, st.BatchFrames-st.Batches; got != want {
+		t.Fatalf("FsyncsSaved = %d, want %d", got, want)
+	}
+	var hist uint64
+	for _, n := range st.BatchSizes {
+		hist += n
+	}
+	if hist != st.Batches {
+		t.Fatalf("BatchSizes histogram sums to %d, want %d batches", hist, st.Batches)
+	}
+	var waits uint64
+	for _, n := range st.CommitWaitNs {
+		waits += n
+	}
+	if waits != st.Appends {
+		t.Fatalf("CommitWaitNs histogram sums to %d, want %d appends", waits, st.Appends)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: all acknowledged frames present, LSNs a gapless 1..N run.
+	w2, err := wal.Open(wal.Options{FS: fs, Policy: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	var last uint64
+	if err := w2.Replay(func(lsn uint64, payload []byte) error {
+		if lsn != last+1 {
+			return fmt.Errorf("LSN gap: %d after %d", lsn, last)
+		}
+		last = lsn
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if last != goroutines*perG {
+		t.Fatalf("replayed %d records, want %d", last, goroutines*perG)
+	}
+}
+
+// TestGroupCommitAsyncBatch checks deterministic coalescing: frames
+// enqueued with AppendAsync before anyone waits must go out as a single
+// batch under one fsync, and a nil verdict on the last frame covers the
+// earlier ones by LSN ordering.
+func TestGroupCommitAsyncBatch(t *testing.T) {
+	fs := faultinject.NewMemFS()
+	w, err := wal.Open(wal.Options{FS: fs, Policy: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	const n = 5
+	var last *wal.Ack
+	for i := 0; i < n; i++ {
+		lsn, a, err := w.AppendAsync([]byte(fmt.Sprintf("r%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i+1) || a.LSN() != lsn {
+			t.Fatalf("enqueue %d got LSN %d/%d", i, lsn, a.LSN())
+		}
+		last = a
+	}
+	if err := last.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.Batches != 1 || st.BatchFrames != n || st.MaxBatch != n {
+		t.Fatalf("batch stats = %d batches / %d frames / max %d, want 1/%d/%d",
+			st.Batches, st.BatchFrames, st.MaxBatch, n, n)
+	}
+	if st.Fsyncs != 1 {
+		t.Fatalf("Fsyncs = %d, want 1 shared barrier", st.Fsyncs)
+	}
+	if got := fs.SyncCount(); got != 1 {
+		t.Fatalf("filesystem saw %d fsyncs, want 1", got)
+	}
+	if st.FsyncsSaved != n-1 {
+		t.Fatalf("FsyncsSaved = %d, want %d", st.FsyncsSaved, n-1)
+	}
+	// n=5 lands in the 5-8 bucket (index 3) of the batch-size histogram.
+	if st.BatchSizes[3] != 1 {
+		t.Fatalf("BatchSizes[3] = %d, want the one batch of %d frames", st.BatchSizes[3], n)
+	}
+}
+
+// TestGroupCommitBaselineKnob checks that MaxBatchBytes=1 degenerates to
+// the fsync-per-commit baseline: every frame its own batch, nothing saved.
+func TestGroupCommitBaselineKnob(t *testing.T) {
+	fs := faultinject.NewMemFS()
+	w, err := wal.Open(wal.Options{FS: fs, Policy: wal.SyncAlways, MaxBatchBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	const n = 4
+	var last *wal.Ack
+	for i := 0; i < n; i++ {
+		_, a, err := w.AppendAsync([]byte("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = a
+	}
+	if err := last.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.Batches != n || st.MaxBatch != 1 || st.FsyncsSaved != 0 {
+		t.Fatalf("baseline knob: %d batches / max %d / saved %d, want %d/1/0",
+			st.Batches, st.MaxBatch, st.FsyncsSaved, n)
+	}
+	if got := fs.SyncCount(); got != n {
+		t.Fatalf("filesystem saw %d fsyncs, want %d", got, n)
+	}
+}
+
+// TestGroupCommitPoisonFailsWholeBatch arms the filesystem to die and
+// checks that every waiter of the failed batch gets the error, the error
+// sticks, and later appends are refused — no waiter is ever acknowledged
+// by a barrier that did not complete.
+func TestGroupCommitPoisonFailsWholeBatch(t *testing.T) {
+	fs := faultinject.NewMemFS()
+	w, err := wal.Open(wal.Options{FS: fs, Policy: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Append([]byte("healthy")); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	const n = 4
+	acks := make([]*wal.Ack, n)
+	for i := range acks {
+		_, a, err := w.AppendAsync([]byte(fmt.Sprintf("doomed%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		acks[i] = a
+	}
+	for i, a := range acks {
+		if err := a.Wait(); err == nil {
+			t.Fatalf("waiter %d acknowledged by a crashed backend", i)
+		}
+	}
+	if w.Err() == nil {
+		t.Fatal("batch failure did not poison the log")
+	}
+	if _, _, err := w.AppendAsync([]byte("after")); err == nil {
+		t.Fatal("poisoned log accepted a new append")
+	}
+}
+
+// TestCrashGroupCommitBatchBoundaries enqueues one multi-frame batch and
+// kills the filesystem at every byte offset of the coalesced write —
+// covering every frame boundary inside the batch. Invariants: if the
+// batch was acknowledged, every frame survives both post-crash images;
+// if not, recovery still yields an exact LSN prefix of the batch.
+func TestCrashGroupCommitBatchBoundaries(t *testing.T) {
+	const n = 6
+	// Dry run to learn the batch's total size in bytes.
+	dry := faultinject.NewMemFS()
+	dryW, err := wal.Open(wal.Options{FS: dry, Policy: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := func(i int) []byte { return []byte(fmt.Sprintf("batch-record-%02d", i)) }
+	var last *wal.Ack
+	for i := 0; i < n; i++ {
+		if _, a, err := dryW.AppendAsync(payload(i)); err != nil {
+			t.Fatal(err)
+		} else {
+			last = a
+		}
+	}
+	if err := last.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if st := dryW.Stats(); st.Batches != 1 {
+		t.Fatalf("dry run produced %d batches, want 1", st.Batches)
+	}
+	total := dry.BytesWritten()
+	dryW.Close()
+
+	stride := int64(1)
+	if testing.Short() {
+		stride = 7
+	}
+	points := 0
+	for cut := int64(0); cut <= total; cut += stride {
+		points++
+		fs := faultinject.NewMemFS()
+		fs.LimitWriteBytes(cut)
+		w, err := wal.Open(wal.Options{FS: fs, Policy: wal.SyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var acks []*wal.Ack
+		for i := 0; i < n; i++ {
+			_, a, err := w.AppendAsync(payload(i))
+			if err != nil {
+				break
+			}
+			acks = append(acks, a)
+		}
+		acked := len(acks) == n && acks[n-1].Wait() == nil
+		for _, drop := range []bool{false, true} {
+			img := fs.AfterCrash(drop)
+			w2, err := wal.Open(wal.Options{FS: img, Policy: wal.SyncAlways})
+			if err != nil {
+				t.Fatalf("cut=%d drop=%v: reopen: %v", cut, drop, err)
+			}
+			var lsns []uint64
+			if err := w2.Replay(func(lsn uint64, p []byte) error {
+				if want := payload(int(lsn - 1)); string(p) != string(want) {
+					return fmt.Errorf("LSN %d payload %q, want %q", lsn, p, want)
+				}
+				lsns = append(lsns, lsn)
+				return nil
+			}); err != nil {
+				t.Fatalf("cut=%d drop=%v: %v", cut, drop, err)
+			}
+			for i, lsn := range lsns {
+				if lsn != uint64(i+1) {
+					t.Fatalf("cut=%d drop=%v: recovered LSNs %v are not a prefix", cut, drop, lsns)
+				}
+			}
+			if acked && len(lsns) != n {
+				t.Fatalf("cut=%d drop=%v: batch acknowledged but only %d/%d frames recovered", cut, drop, len(lsns), n)
+			}
+			// Determinism: recovering the same image twice agrees.
+			w3, err := wal.Open(wal.Options{FS: img, Policy: wal.SyncAlways})
+			if err != nil {
+				t.Fatalf("cut=%d drop=%v: second reopen: %v", cut, drop, err)
+			}
+			if w3.LastLSN() != w2.LastLSN() {
+				t.Fatalf("cut=%d drop=%v: recovery nondeterministic: %d vs %d", cut, drop, w2.LastLSN(), w3.LastLSN())
+			}
+			w2.Close()
+			w3.Close()
+		}
+	}
+	t.Logf("crash matrix: %d in-batch byte points × 2 images over a %d-byte batch", points, total)
+}
+
+// TestCrashGroupCommitMidSharedFsync kills the filesystem inside the
+// batch's one shared fsync: the barrier never completes, so no waiter may
+// have been acknowledged, and both post-crash images must recover to a
+// clean prefix.
+func TestCrashGroupCommitMidSharedFsync(t *testing.T) {
+	const n = 6
+	fs := faultinject.NewMemFS()
+	fs.LimitSyncs(0)
+	w, err := wal.Open(wal.Options{FS: fs, Policy: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acks []*wal.Ack
+	for i := 0; i < n; i++ {
+		_, a, err := w.AppendAsync([]byte(fmt.Sprintf("r%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		acks = append(acks, a)
+	}
+	for i, a := range acks {
+		if a.Wait() == nil {
+			t.Fatalf("waiter %d acknowledged though the shared fsync died", i)
+		}
+	}
+	for _, drop := range []bool{false, true} {
+		img := fs.AfterCrash(drop)
+		w2, err := wal.Open(wal.Options{FS: img, Policy: wal.SyncAlways})
+		if err != nil {
+			t.Fatalf("drop=%v: reopen: %v", drop, err)
+		}
+		var last uint64
+		if err := w2.Replay(func(lsn uint64, p []byte) error {
+			if lsn != last+1 {
+				return fmt.Errorf("LSN gap %d after %d", lsn, last)
+			}
+			last = lsn
+			return nil
+		}); err != nil {
+			t.Fatalf("drop=%v: %v", drop, err)
+		}
+		if last > n {
+			t.Fatalf("drop=%v: recovered %d frames, more than were written", drop, last)
+		}
+		w2.Close()
+	}
+}
+
+// BenchmarkGroupCommit measures commit throughput on a real filesystem
+// under SyncAlways for {1, 8, 64} concurrent committers, grouped
+// (default pipeline) vs baseline (MaxBatchBytes=1, one fsync per
+// append). The grouped/baseline ratio at 64 committers is E19's headline.
+func BenchmarkGroupCommit(b *testing.B) {
+	payload := make([]byte, 128)
+	for _, committers := range []int{1, 8, 64} {
+		for _, mode := range []struct {
+			name       string
+			batchBytes int
+		}{{"grouped", 0}, {"baseline", 1}} {
+			b.Run(fmt.Sprintf("committers=%d/%s", committers, mode.name), func(b *testing.B) {
+				dir := b.TempDir()
+				w, err := wal.Open(wal.Options{FS: wal.DirFS(dir), Policy: wal.SyncAlways, MaxBatchBytes: mode.batchBytes})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer w.Close()
+				b.ReportAllocs()
+				b.SetBytes(int64(len(payload)))
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				per := b.N / committers
+				if per == 0 {
+					per = 1
+				}
+				for g := 0; g < committers; g++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for i := 0; i < per; i++ {
+							if _, err := w.Append(payload); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+			})
+		}
+	}
+}

@@ -4,9 +4,10 @@
 // techniques have to be developed for the transaction models" (§2.1) and
 // that data be protected "from malicious corruption" (§1); this package is
 // the common substrate for both — an append-only, segmented, CRC32C-framed
-// log with a configurable fsync policy, torn-tail detection on open, and a
+// log with a configurable fsync policy, torn-tail detection on open, a
 // checkpoint protocol (snapshot + log truncation) that bounds recovery
-// time and disk growth.
+// time and disk growth, and a group-commit pipeline that coalesces
+// concurrent appends into shared writes and fsyncs.
 //
 // Crash model. The log assumes that after a crash a file retains some
 // prefix of the bytes written to it (fsynced bytes are always retained;
@@ -18,6 +19,21 @@
 // every Append durable before it returns; SyncInterval and SyncNever trade
 // the tail of the log for throughput but never atomicity — recovery still
 // yields an exact prefix of the append history.
+//
+// Group commit. Appenders do not write to the file themselves: they
+// enqueue an encoded frame into a commit queue and wait for a verdict. The
+// first waiter becomes the batch leader, claims the file, coalesces every
+// queued frame (up to Options.MaxBatchBytes) into one buffered write and —
+// under SyncAlways — one shared fsync, then releases all waiters in the
+// batch with the same verdict. Followers that enqueue while the leader is
+// inside the fsync form the next batch, so under concurrent commit load
+// the fsync cost is amortized across the batch instead of paid per record.
+// The durability contract is unchanged: a nil verdict means the frame is
+// on disk, and a failed batch write or fsync fails every waiter in the
+// batch and poisons the log — no waiter is ever acknowledged by a barrier
+// that did not complete. Frames are written in LSN order, so after a crash
+// mid-batch the recovered prefix is still an exact prefix of the append
+// history.
 package wal
 
 import (
@@ -30,8 +46,9 @@ import (
 type SyncPolicy int
 
 const (
-	// SyncAlways fsyncs on every Append: an Append that returned nil is
-	// durable. The safest and slowest policy.
+	// SyncAlways fsyncs on every batch: an Append that returned nil is
+	// durable. The safest policy; group commit is what makes it fast
+	// under concurrency.
 	SyncAlways SyncPolicy = iota
 	// SyncInterval fsyncs from a background ticker (Options.Interval) and
 	// on explicit Sync/Close. A crash loses at most one interval of
@@ -78,9 +95,21 @@ type Options struct {
 	// (default 100ms).
 	Interval time.Duration
 	// SegmentBytes rotates the active segment when it would exceed this
-	// size (default 4 MiB). A single frame larger than the limit still
-	// goes out whole in its own segment.
+	// size (default 4 MiB). A single frame or batch larger than the limit
+	// still goes out whole in its own segment.
 	SegmentBytes int
+	// MaxBatchBytes caps how many queued frame bytes one group-commit
+	// batch coalesces into a single write + fsync (default 1 MiB). A
+	// batch always carries at least one frame, so setting this to 1
+	// degenerates to one fsync per append — the pre-group-commit
+	// baseline, kept reachable for measurement.
+	MaxBatchBytes int
+	// MaxDelay, when positive, lets the batch leader linger up to this
+	// long after the oldest queued frame before shipping the batch, so
+	// late committers can widen it. The default 0 ships immediately:
+	// natural batching (frames queued while the previous fsync runs)
+	// already forms batches under load without taxing latency.
+	MaxDelay time.Duration
 }
 
 // Record is one recovered log entry.
@@ -106,13 +135,30 @@ type Stats struct {
 	LastLSN     uint64
 	SnapshotLSN uint64
 	Policy      string
+
+	// Group-commit pipeline counters. Batches is the number of coalesced
+	// writes; BatchFrames the frames they carried (== Appends once the
+	// queue drains); FsyncsSaved the fsyncs group commit avoided under
+	// SyncAlways (frames that rode a batchmate's barrier); MaxBatch the
+	// largest batch observed, in frames.
+	Batches     uint64
+	BatchFrames uint64
+	FsyncsSaved uint64
+	MaxBatch    int
+	// BatchSizes is a frames-per-batch histogram with buckets
+	// [1, 2, 3-4, 5-8, 9-16, 17-32, 33-64, >64].
+	BatchSizes [8]uint64
+	// CommitWaitNs is an enqueue-to-verdict latency histogram with
+	// buckets [<10µs, <100µs, <1ms, <10ms, <100ms, ≥100ms].
+	CommitWaitNs [6]uint64
 }
 
 const (
-	snapshotName    = "snapshot"
-	snapshotTmpName = "snapshot.tmp"
-	defaultSegBytes = 4 << 20
-	defaultInterval = 100 * time.Millisecond
+	snapshotName      = "snapshot"
+	snapshotTmpName   = "snapshot.tmp"
+	defaultSegBytes   = 4 << 20
+	defaultInterval   = 100 * time.Millisecond
+	defaultBatchBytes = 1 << 20
 )
 
 func segmentName(n int) string { return fmt.Sprintf("wal-%08d.log", n) }
@@ -128,6 +174,35 @@ func parseSegmentName(name string) (int, bool) {
 	return n, true
 }
 
+// batchBucket maps a frames-per-batch count to its Stats.BatchSizes
+// bucket: [1, 2, 3-4, 5-8, 9-16, 17-32, 33-64, >64].
+func batchBucket(n int) int {
+	b := 0
+	for n > 1 && b < 7 {
+		n = (n + 1) / 2
+		b++
+	}
+	return b
+}
+
+// waitBucket maps an enqueue-to-verdict latency to its Stats.CommitWaitNs
+// bucket: [<10µs, <100µs, <1ms, <10ms, <100ms, ≥100ms].
+func waitBucket(d time.Duration) int {
+	switch {
+	case d < 10*time.Microsecond:
+		return 0
+	case d < 100*time.Microsecond:
+		return 1
+	case d < time.Millisecond:
+		return 2
+	case d < 10*time.Millisecond:
+		return 3
+	case d < 100*time.Millisecond:
+		return 4
+	}
+	return 5
+}
+
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = fmt.Errorf("wal: closed")
 
@@ -135,8 +210,16 @@ var ErrClosed = fmt.Errorf("wal: closed")
 // write error the log is poisoned: the error sticks and every subsequent
 // mutating call returns it, because a store whose log is in an unknown
 // disk state must not pretend to make progress.
+//
+// Two ownership domains guard the state. Queue state — LSN counter,
+// commit queue, sticky error, stats, recovered snapshot — is under mu.
+// File state — active segment handle, its size, the segment list, the
+// dirty flag — belongs to whoever holds io ownership (ioBusy, claimed and
+// released under mu), so the batch leader can run write+fsync without
+// holding mu and committers keep enqueuing into the next batch meanwhile.
 type WAL struct {
 	mu   sync.Mutex
+	cond *sync.Cond
 	fs   FS
 	opts Options
 
@@ -145,19 +228,68 @@ type WAL struct {
 	snapshot []byte
 	tail     []Record
 
+	// Commit pipeline: qbuf holds the encoded frames of queued appends
+	// (pooled; nil when the queue is empty), queue their pending acks in
+	// LSN order. leader is true while some goroutine is draining the
+	// queue; ioBusy while someone (the leader, Sync, Checkpoint, Close or
+	// the interval flusher) owns the file. scratch is the leader's private
+	// waiter list, reused batch to batch so draining allocates nothing.
+	qbuf    *[]byte
+	queue   []*Ack
+	scratch []*Ack
+	leader  bool
+	ioBusy  bool
+
 	active     File
 	activeSize int
 	segSeq     int
 	segments   []string
+	dirty      bool
 
-	dirty bool
-	err   error
+	err error
 
 	stats Stats
 
 	stop chan struct{}
 	done chan struct{}
 }
+
+// Ack is the pending durability verdict of an AppendAsync: Wait blocks
+// until the batch carrying the frame has been written (and, under
+// SyncAlways, fsynced) and returns the batch's shared verdict.
+type Ack struct {
+	w    *WAL
+	lsn  uint64
+	size int
+	enq  time.Time
+	done bool
+	err  error
+}
+
+// Wait blocks until the frame's batch verdict is known. A nil return under
+// SyncAlways means the frame is on disk. If no leader is draining the
+// queue, the caller becomes the leader — group commit needs no background
+// goroutine.
+func (a *Ack) Wait() error {
+	w := a.w
+	w.mu.Lock()
+	for !a.done {
+		if !w.leader {
+			w.leader = true
+			w.driveLocked()
+			w.leader = false
+			w.cond.Broadcast()
+			continue
+		}
+		w.cond.Wait()
+	}
+	err := a.err
+	w.mu.Unlock()
+	return err
+}
+
+// LSN returns the sequence number assigned to the frame at enqueue.
+func (a *Ack) LSN() uint64 { return a.lsn }
 
 // Open recovers the log rooted at opts.FS: it loads the checkpoint
 // snapshot if one exists, scans the segments in order, truncates the first
@@ -174,7 +306,11 @@ func Open(opts Options) (*WAL, error) {
 	if opts.Interval <= 0 {
 		opts.Interval = defaultInterval
 	}
+	if opts.MaxBatchBytes <= 0 {
+		opts.MaxBatchBytes = defaultBatchBytes
+	}
 	w := &WAL{fs: opts.FS, opts: opts}
+	w.cond = sync.NewCond(&w.mu)
 	w.stats.Policy = opts.Policy.String()
 	if err := w.recover(); err != nil {
 		return nil, err
@@ -182,7 +318,7 @@ func Open(opts Options) (*WAL, error) {
 	if opts.Policy == SyncInterval {
 		w.stop = make(chan struct{})
 		w.done = make(chan struct{})
-		go w.flushLoop()
+		go w.flushLoop(w.stop, w.done)
 	}
 	return w, nil
 }
@@ -296,7 +432,8 @@ func (w *WAL) Replay(fn func(lsn uint64, payload []byte) error) error {
 	return nil
 }
 
-// LastLSN returns the highest LSN appended or recovered.
+// LastLSN returns the highest LSN appended or recovered (enqueued frames
+// count — their LSNs are assigned and final).
 func (w *WAL) LastLSN() uint64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -311,90 +448,253 @@ func (w *WAL) Err() error {
 }
 
 // Append writes one record and returns its LSN. Under SyncAlways the
-// record is durable when Append returns nil.
+// record is durable when Append returns nil. Concurrent Appends are
+// coalesced: the frame may reach disk in a shared batch write under a
+// shared fsync.
 func (w *WAL) Append(payload []byte) (uint64, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.err != nil {
-		return 0, w.err
-	}
-	if len(payload) > MaxPayload {
-		return 0, fmt.Errorf("wal: payload %d bytes exceeds MaxPayload", len(payload))
-	}
-	need := frameSize(len(payload))
-	if err := w.ensureActive(need); err != nil {
-		w.err = err
+	lsn, a, err := w.AppendAsync(payload)
+	if err != nil {
 		return 0, err
 	}
-	lsn := w.lastLSN + 1
-	buf := EncodeFrame(nil, lsn, payload)
-	if _, err := w.active.Write(buf); err != nil {
-		w.err = fmt.Errorf("wal: append: %w", err)
-		return 0, w.err
-	}
-	w.lastLSN = lsn
-	w.activeSize += len(buf)
-	w.dirty = true
-	w.stats.Appends++
-	w.stats.BytesWritten += uint64(len(buf))
-	w.stats.LastLSN = lsn
-	if w.opts.Policy == SyncAlways {
-		if err := w.syncLocked(); err != nil {
-			return 0, err
-		}
+	if err := a.Wait(); err != nil {
+		return 0, err
 	}
 	return lsn, nil
 }
 
-// ensureActive opens a segment with room for need more bytes, rotating the
-// current one if necessary. Lock held.
-func (w *WAL) ensureActive(need int) error {
-	if w.active != nil && w.activeSize > 0 && w.activeSize+need > w.opts.SegmentBytes {
-		if err := w.syncLocked(); err != nil {
-			return err
+// AppendAsync enqueues one record into the commit pipeline and returns
+// its LSN immediately; the returned Ack yields the durability verdict.
+// The caller may enqueue several frames and wait only on the last: frames
+// are written strictly in LSN order, so a nil verdict for a frame implies
+// every lower-LSN frame is also on disk. An error here means the frame
+// was never enqueued (poisoned or closed log, oversized payload).
+func (w *WAL) AppendAsync(payload []byte) (uint64, *Ack, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return 0, nil, w.err
+	}
+	if len(payload) > MaxPayload {
+		return 0, nil, fmt.Errorf("wal: payload %d bytes exceeds MaxPayload", len(payload))
+	}
+	lsn := w.lastLSN + 1
+	w.lastLSN = lsn
+	if w.qbuf == nil {
+		w.qbuf = getEncodeBuf()
+	}
+	*w.qbuf = EncodeFrame(*w.qbuf, lsn, payload)
+	a := &Ack{w: w, lsn: lsn, size: frameSize(len(payload)), enq: time.Now()}
+	w.queue = append(w.queue, a)
+	w.stats.Appends++
+	w.stats.BytesWritten += uint64(a.size)
+	w.stats.LastLSN = lsn
+	return lsn, a, nil
+}
+
+// driveLocked drains the commit queue as the batch leader. Caller holds
+// w.mu and has set w.leader; driveLocked returns with the queue empty (or
+// failed, if the log poisoned). For each batch it claims io ownership,
+// releases w.mu for the write+fsync so followers keep enqueuing, then
+// delivers the shared verdict to every waiter in the batch.
+func (w *WAL) driveLocked() {
+	for len(w.queue) > 0 {
+		if w.err != nil {
+			w.failQueueLocked(w.err)
+			return
 		}
-		if err := w.active.Close(); err != nil {
-			return fmt.Errorf("wal: rotate close: %w", err)
+		if d := w.opts.MaxDelay; d > 0 {
+			// Linger to let late committers widen the batch, bounded by the
+			// oldest waiter's enqueue time.
+			if wait := d - time.Since(w.queue[0].enq); wait > 0 && len(*w.qbuf) < w.opts.MaxBatchBytes {
+				w.mu.Unlock()
+				time.Sleep(wait)
+				w.mu.Lock()
+				if w.err != nil {
+					continue
+				}
+			}
+		}
+		for w.ioBusy {
+			w.cond.Wait()
+		}
+		if w.err != nil || len(w.queue) == 0 {
+			continue
+		}
+		// Take the batch: at least one frame, at most MaxBatchBytes. The
+		// batch buffer is detached whole — followers enqueuing during the
+		// write get a fresh pooled buffer, so nothing aliases the bytes in
+		// flight. The waiter list is copied into the leader-owned scratch
+		// so the queue's backing array can be reused immediately.
+		n, nb := 1, w.queue[0].size
+		for n < len(w.queue) && nb+w.queue[n].size <= w.opts.MaxBatchBytes {
+			nb += w.queue[n].size
+			n++
+		}
+		bp := w.qbuf
+		batch := (*bp)[:nb]
+		w.scratch = append(w.scratch[:0], w.queue[:n]...)
+		waiters := w.scratch
+		if n == len(w.queue) {
+			w.qbuf = nil
+			w.queue = w.queue[:0]
+		} else {
+			w.qbuf = getEncodeBuf()
+			*w.qbuf = append(*w.qbuf, (*bp)[nb:]...)
+			m := copy(w.queue, w.queue[n:])
+			w.queue = w.queue[:m]
+		}
+		w.ioBusy = true
+		wasDirty := w.dirty
+		w.mu.Unlock()
+		dirty, fsyncs, rotations, err := w.writeBatch(batch, wasDirty)
+		w.mu.Lock()
+		w.ioBusy = false
+		w.dirty = dirty
+		w.stats.Fsyncs += fsyncs
+		w.stats.Rotations += rotations
+		w.stats.Segments = len(w.segments)
+		w.stats.Batches++
+		w.stats.BatchFrames += uint64(n)
+		w.stats.BatchSizes[batchBucket(n)]++
+		if n > w.stats.MaxBatch {
+			w.stats.MaxBatch = n
+		}
+		if err == nil && w.opts.Policy == SyncAlways && n > 1 {
+			w.stats.FsyncsSaved += uint64(n - 1)
+		}
+		if err != nil && w.err == nil {
+			w.err = err
+		}
+		now := time.Now()
+		for _, a := range waiters {
+			a.done = true
+			a.err = err
+			w.stats.CommitWaitNs[waitBucket(now.Sub(a.enq))]++
+		}
+		putEncodeBuf(bp)
+		w.cond.Broadcast()
+	}
+}
+
+// failQueueLocked delivers err to every queued waiter and empties the
+// queue. Lock held.
+func (w *WAL) failQueueLocked(err error) {
+	now := time.Now()
+	for _, a := range w.queue {
+		a.done = true
+		a.err = err
+		w.stats.CommitWaitNs[waitBucket(now.Sub(a.enq))]++
+	}
+	w.queue = w.queue[:0]
+	if w.qbuf != nil {
+		putEncodeBuf(w.qbuf)
+		w.qbuf = nil
+	}
+	w.cond.Broadcast()
+}
+
+// writeBatch writes one coalesced batch of frames to the active segment,
+// rotating first when the batch would overflow it, and fsyncs under
+// SyncAlways. It runs with io ownership but without w.mu; it touches only
+// io-owned fields and reports counter deltas for the caller to fold into
+// stats under w.mu.
+func (w *WAL) writeBatch(buf []byte, wasDirty bool) (dirty bool, fsyncs, rotations uint64, err error) {
+	dirty = wasDirty
+	if w.active != nil && w.activeSize > 0 && w.activeSize+len(buf) > w.opts.SegmentBytes {
+		if dirty {
+			if err = w.active.Sync(); err != nil {
+				return dirty, fsyncs, rotations, fmt.Errorf("wal: fsync: %w", err)
+			}
+			dirty = false
+			fsyncs++
+		}
+		if err = w.active.Close(); err != nil {
+			return dirty, fsyncs, rotations, fmt.Errorf("wal: rotate close: %w", err)
 		}
 		w.active = nil
-		w.stats.Rotations++
+		rotations++
 	}
 	if w.active == nil {
 		w.segSeq++
 		name := segmentName(w.segSeq)
 		f, err := w.fs.Create(name)
 		if err != nil {
-			return fmt.Errorf("wal: create segment %s: %w", name, err)
+			return dirty, fsyncs, rotations, fmt.Errorf("wal: create segment %s: %w", name, err)
 		}
 		w.active = f
 		w.activeSize = 0
 		w.segments = append(w.segments, name)
-		w.stats.Segments = len(w.segments)
 	}
-	return nil
+	if _, err = w.active.Write(buf); err != nil {
+		return dirty, fsyncs, rotations, fmt.Errorf("wal: append: %w", err)
+	}
+	w.activeSize += len(buf)
+	dirty = true
+	if w.opts.Policy == SyncAlways {
+		if err = w.active.Sync(); err != nil {
+			return dirty, fsyncs, rotations, fmt.Errorf("wal: fsync: %w", err)
+		}
+		dirty = false
+		fsyncs++
+	}
+	return dirty, fsyncs, rotations, nil
 }
 
-func (w *WAL) syncLocked() error {
-	if w.active == nil || !w.dirty {
-		return nil
+// quiesceLocked drains the commit pipeline and claims io ownership. On
+// return (lock held) the queue is empty, no leader is active, and the
+// caller owns the file until releaseIOLocked. Every LSN assigned so far
+// has been written (or the log is poisoned); LSNs assigned afterwards
+// cannot reach the file until the caller releases ownership.
+func (w *WAL) quiesceLocked() {
+	for {
+		if len(w.queue) > 0 && !w.leader {
+			w.leader = true
+			w.driveLocked()
+			w.leader = false
+			w.cond.Broadcast()
+			continue
+		}
+		if len(w.queue) == 0 && !w.leader && !w.ioBusy {
+			w.ioBusy = true
+			return
+		}
+		w.cond.Wait()
 	}
-	if err := w.active.Sync(); err != nil {
-		w.err = fmt.Errorf("wal: fsync: %w", err)
-		return w.err
-	}
-	w.dirty = false
-	w.stats.Fsyncs++
-	return nil
 }
 
-// Sync forces an fsync of the active segment regardless of policy.
+func (w *WAL) releaseIOLocked() {
+	w.ioBusy = false
+	w.cond.Broadcast()
+}
+
+// Sync drains the pipeline and fsyncs the active segment regardless of
+// policy.
 func (w *WAL) Sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.err != nil {
 		return w.err
 	}
-	return w.syncLocked()
+	w.quiesceLocked()
+	defer w.releaseIOLocked()
+	if w.err != nil {
+		return w.err
+	}
+	if w.active == nil || !w.dirty {
+		return nil
+	}
+	w.mu.Unlock()
+	err := w.active.Sync()
+	w.mu.Lock()
+	if err != nil {
+		if w.err == nil {
+			w.err = fmt.Errorf("wal: fsync: %w", err)
+		}
+		return w.err
+	}
+	w.dirty = false
+	w.stats.Fsyncs++
+	return nil
 }
 
 // Checkpoint installs snapshot as the new recovery base covering every
@@ -404,7 +704,10 @@ func (w *WAL) Sync() error {
 // temporary file, fsynced, and renamed into place (the atomic commit
 // point); segments are deleted only afterwards, and a crash between rename
 // and deletion merely leaves stale segments whose records are skipped on
-// open because their LSNs are covered by the snapshot.
+// open because their LSNs are covered by the snapshot. The pipeline is
+// drained first, so the snapshot's coverage claim never outruns the disk;
+// callers should checkpoint at quiescent moments (reldb enforces this via
+// ErrActiveTxns).
 func (w *WAL) Checkpoint(snapshot []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -414,56 +717,75 @@ func (w *WAL) Checkpoint(snapshot []byte) error {
 	if len(snapshot) > MaxPayload {
 		return fmt.Errorf("wal: snapshot %d bytes exceeds MaxPayload", len(snapshot))
 	}
-	f, err := w.fs.Create(snapshotTmpName)
-	if err != nil {
-		w.err = fmt.Errorf("wal: checkpoint create: %w", err)
+	w.quiesceLocked()
+	defer w.releaseIOLocked()
+	if w.err != nil {
 		return w.err
 	}
-	buf := EncodeFrame(nil, w.lastLSN, snapshot)
+	lastLSN := w.lastLSN
+	w.mu.Unlock()
+	written, err := w.checkpointIO(snapshot, lastLSN)
+	w.mu.Lock()
+	if err != nil {
+		if w.err == nil {
+			w.err = err
+		}
+		return w.err
+	}
+	w.snapLSN = lastLSN
+	w.snapshot = append([]byte(nil), snapshot...)
+	w.tail = nil
+	w.dirty = false
+	w.stats.Checkpoints++
+	w.stats.Segments = 0
+	w.stats.SnapshotLSN = lastLSN
+	w.stats.BytesWritten += uint64(written)
+	return nil
+}
+
+// checkpointIO performs the checkpoint's file work: tmp write, fsync,
+// atomic rename, then segment cleanup. Runs with io ownership, without
+// w.mu. A failure after the rename poisons the log but cannot lose the
+// checkpoint.
+func (w *WAL) checkpointIO(snapshot []byte, lastLSN uint64) (int, error) {
+	f, err := w.fs.Create(snapshotTmpName)
+	if err != nil {
+		return 0, fmt.Errorf("wal: checkpoint create: %w", err)
+	}
+	bp := getEncodeBuf()
+	*bp = EncodeFrame(*bp, lastLSN, snapshot)
+	buf := *bp
+	defer putEncodeBuf(bp)
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
-		w.err = fmt.Errorf("wal: checkpoint write: %w", err)
-		return w.err
+		return 0, fmt.Errorf("wal: checkpoint write: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		w.err = fmt.Errorf("wal: checkpoint fsync: %w", err)
-		return w.err
+		return 0, fmt.Errorf("wal: checkpoint fsync: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		w.err = fmt.Errorf("wal: checkpoint close: %w", err)
-		return w.err
+		return 0, fmt.Errorf("wal: checkpoint close: %w", err)
 	}
 	if err := w.fs.Rename(snapshotTmpName, snapshotName); err != nil {
-		w.err = fmt.Errorf("wal: checkpoint rename: %w", err)
-		return w.err
+		return 0, fmt.Errorf("wal: checkpoint rename: %w", err)
 	}
 	// Committed. Everything below is cleanup; failures poison the log but
 	// cannot lose the checkpoint.
-	w.snapLSN = w.lastLSN
-	w.snapshot = append([]byte(nil), snapshot...)
-	w.tail = nil
 	if w.active != nil {
 		if err := w.active.Close(); err != nil {
-			w.err = fmt.Errorf("wal: checkpoint close segment: %w", err)
-			return w.err
+			return 0, fmt.Errorf("wal: checkpoint close segment: %w", err)
 		}
 		w.active = nil
-		w.dirty = false
 	}
 	for _, name := range w.segments {
 		if err := w.fs.Remove(name); err != nil {
-			w.err = fmt.Errorf("wal: checkpoint drop segment %s: %w", name, err)
-			return w.err
+			return 0, fmt.Errorf("wal: checkpoint drop segment %s: %w", name, err)
 		}
 	}
 	w.segments = nil
 	w.activeSize = 0
-	w.stats.Checkpoints++
-	w.stats.Segments = 0
-	w.stats.SnapshotLSN = w.snapLSN
-	w.stats.BytesWritten += uint64(len(buf))
-	return nil
+	return len(buf), nil
 }
 
 // Stats snapshots the counters.
@@ -473,44 +795,82 @@ func (w *WAL) Stats() Stats {
 	return w.stats
 }
 
-// Close flushes and closes the log. Further use returns ErrClosed.
+// Close drains the pipeline, flushes and closes the log. Further use
+// returns ErrClosed.
 func (w *WAL) Close() error {
-	if w.stop != nil {
-		close(w.stop)
-		<-w.done
+	w.mu.Lock()
+	stop, done := w.stop, w.done
+	w.stop, w.done = nil, nil
+	w.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.err == ErrClosed {
 		return nil
 	}
+	w.quiesceLocked()
 	var firstErr error
-	if w.err == nil {
-		firstErr = w.syncLocked()
+	if w.err == nil && w.active != nil && w.dirty {
+		w.mu.Unlock()
+		err := w.active.Sync()
+		w.mu.Lock()
+		if err != nil {
+			firstErr = err
+		} else {
+			w.dirty = false
+			w.stats.Fsyncs++
+		}
 	}
 	if w.active != nil {
-		if err := w.active.Close(); err != nil && firstErr == nil {
+		w.mu.Unlock()
+		err := w.active.Close()
+		w.mu.Lock()
+		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 		w.active = nil
 	}
 	w.err = ErrClosed
+	w.releaseIOLocked()
 	return firstErr
 }
 
-// flushLoop is the SyncInterval background fsync.
-func (w *WAL) flushLoop() {
-	defer close(w.done)
+// flushLoop is the SyncInterval background fsync: each tick it drains any
+// unled queue (so async appends never outlive the interval's loss bound)
+// and syncs the active segment.
+func (w *WAL) flushLoop(stop, done chan struct{}) {
+	defer close(done)
 	t := time.NewTicker(w.opts.Interval)
 	defer t.Stop()
 	for {
 		select {
-		case <-w.stop:
+		case <-stop:
 			return
 		case <-t.C:
 			w.mu.Lock()
-			if w.err == nil {
-				_ = w.syncLocked()
+			if w.err == nil && len(w.queue) > 0 && !w.leader {
+				w.leader = true
+				w.driveLocked()
+				w.leader = false
+				w.cond.Broadcast()
+			}
+			if w.err == nil && !w.leader && !w.ioBusy && w.active != nil && w.dirty {
+				w.ioBusy = true
+				w.mu.Unlock()
+				err := w.active.Sync()
+				w.mu.Lock()
+				if err != nil {
+					if w.err == nil {
+						w.err = fmt.Errorf("wal: fsync: %w", err)
+					}
+				} else {
+					w.dirty = false
+					w.stats.Fsyncs++
+				}
+				w.releaseIOLocked()
 			}
 			w.mu.Unlock()
 		}
