@@ -1,17 +1,27 @@
 GO ?= go
 
-.PHONY: check vet build test race bench benchsmoke fmt fmtcheck crashmatrix crashshort
+.PHONY: check vet lint build test race bench benchsmoke fmt fmtcheck crashmatrix crashshort
 
-# check is the full verification gate: formatting, vet, build, the test
+# check is the full verification gate: formatting, vet, the seclint
+# static-analysis suite (guardedby/verdictcheck/ctxio/gatecheck — the
+# security and durability invariants machine-checked), build, the test
 # suite under the race detector (the resilience and caching layers are
 # concurrent by design — a run without -race proves little), a
 # one-iteration bench smoke so a broken benchmark cannot sit unnoticed
-# until measurement time, and the bounded crash matrix so a durability
-# regression cannot land between full crashmatrix runs.
-check: fmtcheck vet build race bench crashshort
+# until measurement time, and the bounded crash matrix (crashshort) so a
+# durability regression cannot land between full crashmatrix runs.
+check: fmtcheck vet lint build race bench crashshort
 
 vet:
 	$(GO) vet ./...
+
+# lint builds the seclint vettool (cmd/seclint) and runs its analyzer
+# suite over the whole tree via go vet's -vettool protocol. The tree must
+# stay finding-free; see internal/analysis/README.md for the annotation
+# grammar when a finding is a false positive.
+lint:
+	$(GO) build -o bin/seclint ./cmd/seclint
+	$(GO) vet -vettool=$(CURDIR)/bin/seclint ./...
 
 build:
 	$(GO) build ./...

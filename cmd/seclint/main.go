@@ -1,0 +1,25 @@
+// Command seclint is the repo's security/durability vettool: a
+// go/analysis-style suite that machine-checks the invariants the code
+// otherwise enforces only by review — mutex discipline on annotated
+// fields (guardedby), never-dropped durability verdicts (verdictcheck),
+// context plumbing on service-layer I/O (ctxio), access-control gating
+// of data-path entry points (gatecheck), and the annotation grammar
+// itself (annotcheck).
+//
+// Run it through the go toolchain so it sees compiled export data:
+//
+//	go build -o bin/seclint ./cmd/seclint
+//	go vet -vettool=$(pwd)/bin/seclint ./...
+//
+// or let `make lint` (part of `make check`) do both. Invoking the binary
+// with package patterns re-executes go vet for you: `bin/seclint ./...`.
+package main
+
+import (
+	"webdbsec/internal/analysis/seclint"
+	"webdbsec/internal/analysis/unitchecker"
+)
+
+func main() {
+	unitchecker.Main(seclint.Analyzers()...)
+}

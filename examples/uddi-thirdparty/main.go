@@ -6,9 +6,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http/httptest"
+	"time"
 
 	"webdbsec/internal/policy"
 	"webdbsec/internal/uddi"
@@ -71,6 +73,9 @@ func main() {
 	dir := wsig.NewKeyDirectory()
 	dir.RegisterSigner(prov.Signer())
 
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
 	for _, who := range []struct {
 		name  string
 		roles []string
@@ -79,7 +84,7 @@ func main() {
 		{"partner-corp", []string{"partner"}},
 	} {
 		client := &wsa.Client{Endpoint: server.URL, Sender: who.name, Roles: who.roles}
-		res, err := client.QueryAuthenticated("be-acme", dir)
+		res, err := client.QueryAuthenticated(ctx, "be-acme", dir)
 		if err != nil {
 			log.Fatalf("%s: %v", who.name, err)
 		}
@@ -89,7 +94,7 @@ func main() {
 
 	// A requestor that trusts nobody rejects the answer outright.
 	skeptic := &wsa.Client{Endpoint: server.URL, Sender: "skeptic"}
-	if _, err := skeptic.QueryAuthenticated("be-acme", wsig.NewKeyDirectory()); err != nil {
+	if _, err := skeptic.QueryAuthenticated(ctx, "be-acme", wsig.NewKeyDirectory()); err != nil {
 		fmt.Printf("requestor with empty key directory correctly rejects: %v\n", err)
 	} else {
 		log.Fatal("unverifiable answer accepted")

@@ -6,6 +6,7 @@
 package webdbsec
 
 import (
+	"context"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -67,8 +68,9 @@ func TestIntegrationThirdPartyUDDIOverHTTP(t *testing.T) {
 	dir := wsig.NewKeyDirectory()
 	dir.RegisterSigner(prov.Signer())
 
+	ctx := context.Background()
 	visitor := &wsa.Client{Endpoint: ts.URL, Sender: "v"}
-	res, err := visitor.QueryAuthenticated(entityKey(3), dir)
+	res, err := visitor.QueryAuthenticated(ctx, entityKey(3), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +78,7 @@ func TestIntegrationThirdPartyUDDIOverHTTP(t *testing.T) {
 		t.Error("visitor sees bindings")
 	}
 	partner := &wsa.Client{Endpoint: ts.URL, Sender: "p", Roles: []string{"partner"}}
-	res, err = partner.QueryAuthenticated(entityKey(3), dir)
+	res, err = partner.QueryAuthenticated(ctx, entityKey(3), dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,71 @@
+// Package analysis is a deliberately small, dependency-free core in the
+// shape of golang.org/x/tools/go/analysis: an Analyzer inspects one
+// type-checked package and reports diagnostics through its Pass. The repo
+// builds on the standard library only, so rather than importing x/tools
+// this package reimplements the two pieces seclint needs — the
+// Analyzer/Pass contract (here) and the `go vet -vettool` unit-checker
+// protocol (internal/analysis/unitchecker). The API mirrors x/tools
+// closely enough that migrating the analyzers onto the real framework is
+// a mechanical import swap.
+//
+// The analyzers themselves live in subpackages (guardedby, verdictcheck,
+// ctxio, gatecheck, annotcheck) and encode the repo-specific security and
+// durability invariants documented in internal/analysis/README.md.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Unlike x/tools there is no
+// Requires/ResultOf plumbing and no cross-package facts: every seclint
+// invariant is checkable one package at a time.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and test output. It
+	// must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description printed by `seclint help`.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an Analyzer.Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. Set by the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding. Analyzer is filled in by the driver
+// (RunAll) so output can say which check fired.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Several
+// analyzers scope their invariant to production code: test packages are
+// exercised under -race by `make check`, and test-local helpers are not
+// part of the API surface the invariants protect.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	if f == nil {
+		return false
+	}
+	name := f.Name()
+	return len(name) >= 8 && name[len(name)-8:] == "_test.go"
+}

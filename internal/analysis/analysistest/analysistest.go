@@ -1,0 +1,222 @@
+// Package analysistest runs one analyzer over a testdata package and
+// compares its diagnostics against `// want "regexp"` expectations in the
+// sources, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Testdata packages live under internal/analysis/testdata/src/<name>/ and
+// are plain Go packages (the go tool ignores testdata directories, so
+// they are never built by ./...). They may import real module packages —
+// e.g. the verdictcheck cases call the actual webdbsec/internal/wal API —
+// which the harness resolves by asking `go list -export` for compiled
+// export data, exactly as the vettool does in production.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"webdbsec/internal/analysis"
+)
+
+// Run loads the package rooted at dir, applies the analyzer, and reports
+// every mismatch between emitted diagnostics and want expectations as a
+// test error.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports[path] = true
+			}
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("analysistest: no Go files in %s", dir)
+	}
+
+	exports := exportData(t, imports)
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	var firstErr error
+	tconf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	info := analysis.NewTypesInfo()
+	// The package path is the testdata directory's base name, so
+	// analyzers that scope themselves by package name (ctxio, gatecheck)
+	// see testdata/src/secchan as package path "secchan".
+	pkg, err := tconf.Check(filepath.Base(dir), fset, files, info)
+	if firstErr != nil {
+		t.Fatalf("analysistest: typecheck %s: %v", dir, firstErr)
+	}
+	if err != nil {
+		t.Fatalf("analysistest: typecheck %s: %v", dir, err)
+	}
+
+	diags, err := analysis.RunAll([]*analysis.Analyzer{a}, fset, files, pkg, info)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				patterns, ok := parseWant(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("analysistest: %s: bad want pattern %q: %v", pos, p, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, re)
+		}
+	}
+}
+
+// parseWant extracts the quoted regexps from a `// want "..." "..."`
+// comment. Both interpreted and raw quotes are accepted.
+func parseWant(text string) ([]string, bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "want ") {
+		return nil, false
+	}
+	rest := strings.TrimSpace(text[len("want "):])
+	var patterns []string
+	for rest != "" {
+		quoted, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return nil, false
+		}
+		p, err := strconv.Unquote(quoted)
+		if err != nil {
+			return nil, false
+		}
+		patterns = append(patterns, p)
+		rest = strings.TrimSpace(rest[len(quoted):])
+	}
+	return patterns, len(patterns) > 0
+}
+
+var (
+	exportMu    sync.Mutex
+	exportCache = map[string]string{} // import path -> export data file
+	exportDone  = map[string]bool{}   // import path already resolved (incl. deps)
+)
+
+// exportData resolves compiled export data for the given import paths
+// (and their transitive dependencies) via `go list -export -deps`. The
+// result is cached per process: every analyzer test shares one build.
+func exportData(t *testing.T, imports map[string]bool) map[string]string {
+	t.Helper()
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	var missing []string
+	for path := range imports {
+		if path == "unsafe" { // handled by the importer itself
+			continue
+		}
+		if !exportDone[path] {
+			missing = append(missing, path)
+		}
+	}
+	if len(missing) > 0 {
+		cmd := exec.Command("go", append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, missing...)...)
+		var out, errb bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &out, &errb
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("analysistest: go list -export: %v\n%s", err, errb.String())
+		}
+		dec := json.NewDecoder(&out)
+		for {
+			var p struct {
+				ImportPath string
+				Export     string
+			}
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatalf("analysistest: decoding go list output: %v", err)
+			}
+			exportDone[p.ImportPath] = true
+			if p.Export != "" {
+				exportCache[p.ImportPath] = p.Export
+			}
+		}
+		for _, path := range missing {
+			exportDone[path] = true
+		}
+	}
+	return exportCache
+}

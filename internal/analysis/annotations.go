@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectivePrefix introduces a seclint annotation inside a comment. The
+// grammar is one directive per comment line:
+//
+//	// seclint:guardedby <mutexField>     on a struct field
+//	// seclint:locked [note]              on a func or a statement line
+//	// seclint:exempt <reason>            on a func or a statement line
+//	// seclint:gate [note]                on an interface type
+//
+// internal/analysis/README.md documents the semantics; the annotcheck
+// analyzer machine-checks placement and arguments so a typo cannot
+// silently disable a check.
+const DirectivePrefix = "seclint:"
+
+// Directive is one parsed seclint annotation.
+type Directive struct {
+	Pos  token.Pos // position of the comment carrying the directive
+	Verb string    // "guardedby", "locked", "exempt", "gate", ...
+	Args string    // remainder of the line, space-trimmed (may be empty)
+}
+
+// ParseDirective extracts a directive from a single comment line, if one
+// is present. Both leading-line and trailing comments qualify; the
+// directive must be the first token of the comment.
+func ParseDirective(c *ast.Comment) (Directive, bool) {
+	text := c.Text
+	switch {
+	case strings.HasPrefix(text, "//"):
+		text = text[2:]
+	case strings.HasPrefix(text, "/*"):
+		text = strings.TrimSuffix(text[2:], "*/")
+	}
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, DirectivePrefix) {
+		return Directive{}, false
+	}
+	rest := text[len(DirectivePrefix):]
+	verb, args, _ := strings.Cut(rest, " ")
+	return Directive{Pos: c.Pos(), Verb: verb, Args: strings.TrimSpace(args)}, true
+}
+
+// GroupDirective returns the first directive with the given verb in a
+// comment group (a func doc, field doc or trailing field comment).
+func GroupDirective(g *ast.CommentGroup, verb string) (Directive, bool) {
+	if g == nil {
+		return Directive{}, false
+	}
+	for _, c := range g.List {
+		if d, ok := ParseDirective(c); ok && d.Verb == verb {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// LineDirectives indexes every directive in file by the line its comment
+// starts on, letting analyzers honour statement-level annotations ("this
+// line is exempt", "the lock is held here") placed either on the flagged
+// line or on the line directly above it.
+func LineDirectives(fset *token.FileSet, file *ast.File) map[int][]Directive {
+	m := make(map[int][]Directive)
+	for _, g := range file.Comments {
+		for _, c := range g.List {
+			if d, ok := ParseDirective(c); ok {
+				line := fset.Position(c.Pos()).Line
+				m[line] = append(m[line], d)
+			}
+		}
+	}
+	return m
+}
+
+// HasLineDirective reports whether a directive with the given verb is
+// attached to pos: on the same source line or on the line directly above.
+func HasLineDirective(lines map[int][]Directive, fset *token.FileSet, pos token.Pos, verb string) bool {
+	line := fset.Position(pos).Line
+	for _, d := range lines[line] {
+		if d.Verb == verb {
+			return true
+		}
+	}
+	for _, d := range lines[line-1] {
+		if d.Verb == verb {
+			return true
+		}
+	}
+	return false
+}

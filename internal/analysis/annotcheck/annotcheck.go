@@ -1,0 +1,142 @@
+// Package annotcheck machine-checks the seclint annotation grammar
+// itself. Annotations are load-bearing — a `seclint:guardedby` that is
+// misspelled or floats on the wrong line silently disables guardedby's
+// enforcement — so malformed directives are findings, not no-ops:
+//
+//   - unknown verbs after `seclint:` are rejected (typo protection);
+//   - `seclint:guardedby <mu>` must sit on a struct field and name a
+//     sibling field of type sync.Mutex / sync.RWMutex (or pointer);
+//   - `seclint:exempt` must carry a non-empty reason;
+//   - `seclint:gate` must sit on an interface type declaration.
+package annotcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"webdbsec/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "annotcheck",
+	Doc: "seclint annotations must be well-formed: known verb, guardedby on a struct field naming a sibling mutex, " +
+		"exempt with a reason, gate on an interface",
+	Run: run,
+}
+
+var knownVerbs = map[string]bool{
+	"guardedby": true,
+	"locked":    true,
+	"exempt":    true,
+	"gate":      true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		// Positions of directives that are legally placed, collected
+		// from the syntax they annotate.
+		placedGuardedby := make(map[token.Pos]bool)
+		placedGate := make(map[token.Pos]bool)
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeSpec:
+				if _, ok := n.Type.(*ast.InterfaceType); ok {
+					if d, ok := analysis.GroupDirective(n.Doc, "gate"); ok {
+						placedGate[d.Pos] = true
+					}
+				}
+				if st, ok := n.Type.(*ast.StructType); ok {
+					checkStruct(pass, st, placedGuardedby)
+				}
+			case *ast.GenDecl:
+				// `seclint:gate` may sit on the GenDecl doc when the
+				// type block has a single spec.
+				if d, ok := analysis.GroupDirective(n.Doc, "gate"); ok && len(n.Specs) == 1 {
+					if ts, ok := n.Specs[0].(*ast.TypeSpec); ok {
+						if _, ok := ts.Type.(*ast.InterfaceType); ok {
+							placedGate[d.Pos] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+
+		for _, g := range file.Comments {
+			for _, c := range g.List {
+				d, ok := analysis.ParseDirective(c)
+				if !ok {
+					continue
+				}
+				switch {
+				case !knownVerbs[d.Verb]:
+					pass.Reportf(d.Pos, "unknown seclint directive %q (want guardedby, locked, exempt or gate)", d.Verb)
+				case d.Verb == "exempt" && d.Args == "":
+					pass.Reportf(d.Pos, "seclint:exempt requires a reason: // seclint:exempt <why this is outside the invariant>")
+				case d.Verb == "guardedby" && !placedGuardedby[d.Pos]:
+					pass.Reportf(d.Pos, "seclint:guardedby must annotate a struct field and name a sibling sync.Mutex/RWMutex field")
+				case d.Verb == "gate" && !placedGate[d.Pos]:
+					pass.Reportf(d.Pos, "seclint:gate must annotate an interface type declaration")
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkStruct validates guardedby annotations inside one struct type and
+// records the well-placed ones.
+func checkStruct(pass *analysis.Pass, st *ast.StructType, placed map[token.Pos]bool) {
+	for _, field := range st.Fields.List {
+		for _, grp := range []*ast.CommentGroup{field.Doc, field.Comment} {
+			d, ok := analysis.GroupDirective(grp, "guardedby")
+			if !ok {
+				continue
+			}
+			// Mark as placed regardless: the argument errors below are
+			// more precise than the generic misplacement message.
+			placed[d.Pos] = true
+			switch {
+			case d.Args == "":
+				pass.Reportf(d.Pos, "seclint:guardedby requires the name of the guarding mutex field")
+			case !hasMutexField(pass, st, d.Args):
+				pass.Reportf(d.Pos, "seclint:guardedby names %q, which is not a sync.Mutex/RWMutex field of this struct", d.Args)
+			}
+		}
+	}
+}
+
+// hasMutexField reports whether the struct declares a field named name
+// whose type is sync.Mutex, sync.RWMutex, or a pointer to either.
+func hasMutexField(pass *analysis.Pass, st *ast.StructType, name string) bool {
+	for _, field := range st.Fields.List {
+		for _, id := range field.Names {
+			if id.Name != name {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				return false
+			}
+			return isMutex(obj.Type())
+		}
+	}
+	return false
+}
+
+func isMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}

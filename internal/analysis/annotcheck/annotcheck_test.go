@@ -1,0 +1,12 @@
+package annotcheck
+
+import (
+	"path/filepath"
+	"testing"
+
+	"webdbsec/internal/analysis/analysistest"
+)
+
+func TestAnnotCheck(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("..", "testdata", "src", "annot"))
+}

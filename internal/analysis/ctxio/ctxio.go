@@ -1,0 +1,227 @@
+// Package ctxio keeps PR 1's deadline discipline from regressing: in the
+// service-layer packages (federation, secchan, wsa, uddi) every exported
+// function that performs network or disk I/O — directly or through
+// same-package helpers — must accept a context.Context (or an
+// *http.Request, whose Context it can forward) so callers can bound it.
+// A function that has a context but manufactures context.Background() or
+// context.TODO() instead of forwarding it is equally a finding: the
+// caller's deadline silently stops applying below that point.
+//
+// Conn-level code whose cancellation mechanism is deliberately the
+// net.Conn deadline (secchan's record protocol) opts out per function
+// with `// seclint:exempt <reason>` — the point of the analyzer is that
+// such decisions are written down where the next editor will see them.
+package ctxio
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"webdbsec/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxio",
+	Doc: "exported functions in federation, secchan, wsa and uddi that perform network or disk I/O " +
+		"must accept and forward a context.Context",
+	Run: run,
+}
+
+// targetPkgs are the service-layer packages under the deadline
+// discipline, matched by the package path's last element so the
+// analysistest packages (testdata/src/secchan etc.) are covered too.
+var targetPkgs = map[string]bool{
+	"federation": true,
+	"secchan":    true,
+	"wsa":        true,
+	"uddi":       true,
+}
+
+// ioFuncs lists standard-library calls that are themselves network or
+// disk I/O, keyed by package path and function/method name. Local
+// wrappers are covered by propagation over the package call graph.
+var ioFuncs = map[string]map[string]bool{
+	"net": {
+		"Dial": true, "DialTimeout": true, "DialTCP": true, "DialUDP": true,
+		"Listen": true, "ListenTCP": true, "ListenPacket": true,
+		"Read": true, "Write": true, "Close": true, "Accept": true,
+	},
+	"net/http": {
+		"Get": true, "Post": true, "Head": true, "PostForm": true,
+		"Do": true, "ListenAndServe": true, "ListenAndServeTLS": true, "Serve": true,
+	},
+	"crypto/tls": {
+		"Dial": true, "DialWithDialer": true, "Handshake": true,
+		"Read": true, "Write": true, "Close": true,
+	},
+	// io helpers are I/O when fed a conn or file; treating every use as
+	// I/O errs on the loud side, which is what a regression guard wants.
+	"io": {
+		"Copy": true, "CopyN": true, "CopyBuffer": true,
+		"ReadAll": true, "ReadFull": true, "ReadAtLeast": true,
+		"WriteString": true,
+	},
+	"os": {
+		"Open": true, "OpenFile": true, "Create": true,
+		"ReadFile": true, "WriteFile": true, "Rename": true,
+		"Remove": true, "RemoveAll": true, "Mkdir": true, "MkdirAll": true,
+		"ReadDir": true, "Truncate": true,
+		// *os.File methods
+		"Read": true, "ReadAt": true, "Write": true, "WriteAt": true,
+		"WriteString": true, "Sync": true,
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	if !targetPkgs[lastElem(pass.Pkg.Path())] {
+		return nil
+	}
+	funcs := analysis.LocalFuncs(pass)
+
+	// Seed: functions with a direct standard-library I/O call.
+	seed := make(map[*types.Func]string)
+	for obj, node := range funcs {
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			if _, ok := seed[obj]; ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := analysis.Callee(pass.TypesInfo, call); callee != nil && isIO(callee) {
+				seed[obj] = callee.FullName()
+			}
+			return true
+		})
+	}
+	doesIO := analysis.Propagate(funcs, seed)
+
+	for obj, node := range funcs {
+		fn := node.Decl
+		witness, io := doesIO[obj]
+		if io && exportedAPI(fn) {
+			if !hasCtxParam(obj) && !hasRequestParam(obj) {
+				if _, exempt := analysis.GroupDirective(fn.Doc, "exempt"); !exempt {
+					pass.Reportf(fn.Name.Pos(), "exported %s performs I/O (reaches %s) but has no context.Context parameter; accept a ctx, or annotate the func // seclint:exempt <reason>",
+						fn.Name.Name, witness)
+				}
+			}
+		}
+		checkForwarding(pass, fn, obj)
+	}
+	return nil
+}
+
+// checkForwarding flags context.Background()/TODO() inside any function
+// that already has a context to forward.
+func checkForwarding(pass *analysis.Pass, fn *ast.FuncDecl, obj *types.Func) {
+	if !hasCtxParam(obj) && !hasRequestParam(obj) {
+		return
+	}
+	file := enclosingFile(pass, fn.Pos())
+	var lines map[int][]analysis.Directive
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := analysis.Callee(pass.TypesInfo, call)
+		if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "context" {
+			return true
+		}
+		if name := callee.Name(); name == "Background" || name == "TODO" {
+			if lines == nil && file != nil {
+				lines = analysis.LineDirectives(pass.Fset, file)
+			}
+			if analysis.HasLineDirective(lines, pass.Fset, call.Pos(), "exempt") {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s has a context to forward but calls context.%s(); the caller's deadline stops applying here (// seclint:exempt <reason> to waive)",
+				fn.Name.Name, callee.Name())
+		}
+		return true
+	})
+}
+
+func enclosingFile(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// exportedAPI reports whether fn is part of the package's exported
+// surface: exported name, and for methods an exported receiver type.
+func exportedAPI(fn *ast.FuncDecl) bool {
+	if !fn.Name.IsExported() {
+		return false
+	}
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return true
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+func hasCtxParam(obj *types.Func) bool {
+	return hasParamNamed(obj, "context", "Context", false)
+}
+
+func hasRequestParam(obj *types.Func) bool {
+	return hasParamNamed(obj, "net/http", "Request", true)
+}
+
+func hasParamNamed(obj *types.Func, pkgPath, typeName string, pointer bool) bool {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		t := params.At(i).Type()
+		if pointer {
+			p, ok := t.(*types.Pointer)
+			if !ok {
+				continue
+			}
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			continue
+		}
+		o := named.Obj()
+		if o.Name() == typeName && o.Pkg() != nil && o.Pkg().Path() == pkgPath {
+			return true
+		}
+	}
+	return false
+}
+
+func isIO(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	set, ok := ioFuncs[fn.Pkg().Path()]
+	return ok && set[fn.Name()]
+}
+
+func lastElem(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

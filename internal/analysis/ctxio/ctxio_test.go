@@ -1,0 +1,15 @@
+package ctxio
+
+import (
+	"path/filepath"
+	"testing"
+
+	"webdbsec/internal/analysis/analysistest"
+)
+
+// TestCtxIO runs over a testdata package named secchan: the analyzer
+// scopes itself to the service-layer packages by the path's last element,
+// so the fixture must land in that set.
+func TestCtxIO(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("..", "testdata", "src", "secchan"))
+}

@@ -1,0 +1,198 @@
+// Package gatecheck is the paper's §3.1 rule as a lint: every DBMS
+// function must honour the access-control policies. In the data-path
+// packages (reldb, xmldoc, xquery), an exported read/write entry point —
+// recognized by its verb prefix (Exec, Get, Query, Insert, Update,
+// Delete, …) — must be able to reach an access-control check: a call
+// into accessctl, policy or sysr (the relational grant catalog), or a
+// call through an interface annotated `// seclint:gate` (e.g.
+// xquery.Viewer, behind which accessctl.Engine sits). Same-package
+// helpers count: the gate may be several frames down, but it must exist.
+//
+// Storage-substrate APIs that sit deliberately *below* the gate — the
+// raw reldb.Database used inside SecureDB, the xmldoc store beneath
+// accessctl — carry `// seclint:exempt <reason>` on the function,
+// turning an architectural decision ("enforcement lives one layer up")
+// into a visible, grep-able annotation instead of silent convention.
+//
+// The check is an existence check over the package-local call graph, not
+// a per-path proof: it catches the decay mode where a new entry point
+// ships with no gate at all, which is exactly how enforcement that
+// "relies on programmer discipline" erodes (Guarnieri et al.).
+package gatecheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"webdbsec/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "gatecheck",
+	Doc: "exported read/write entry points in reldb, xmldoc and xquery must reach an accessctl/policy/sysr " +
+		"check (or a seclint:gate interface) on some path, or carry // seclint:exempt <reason>",
+	Run: run,
+}
+
+// targetPkgs are the data-path packages, matched by last path element so
+// testdata packages are covered.
+var targetPkgs = map[string]bool{
+	"reldb":  true,
+	"xmldoc": true,
+	"xquery": true,
+}
+
+// gatePkgs are packages a call into which counts as reaching the
+// access-control machinery.
+var gatePkgs = map[string]bool{
+	"webdbsec/internal/accessctl": true,
+	"webdbsec/internal/policy":    true,
+	"webdbsec/internal/sysr":      true,
+}
+
+// entryVerbs are the name prefixes that make an exported function a
+// read/write entry point.
+var entryVerbs = []string{
+	"Get", "Query", "Select", "Insert", "Update", "Delete", "Put",
+	"Exec", "Read", "Write", "Load", "Fetch", "Scan", "Eval",
+	"Save", "Add", "Remove", "Find", "Append",
+}
+
+func run(pass *analysis.Pass) error {
+	if !targetPkgs[lastElem(pass.Pkg.Path())] {
+		return nil
+	}
+	funcs := analysis.LocalFuncs(pass)
+	gateMethods := collectGateInterfaces(pass)
+
+	// Seed: functions containing a direct gate call.
+	seed := make(map[*types.Func]string)
+	for obj, node := range funcs {
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			if _, ok := seed[obj]; ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.Callee(pass.TypesInfo, call)
+			if callee == nil {
+				return true
+			}
+			if isGateCall(callee, gateMethods) {
+				seed[obj] = callee.FullName()
+			}
+			return true
+		})
+	}
+	gated := analysis.Propagate(funcs, seed)
+
+	for obj, node := range funcs {
+		fn := node.Decl
+		if !isEntryPoint(fn) {
+			continue
+		}
+		if _, ok := gated[obj]; ok {
+			continue
+		}
+		if _, exempt := analysis.GroupDirective(fn.Doc, "exempt"); exempt {
+			continue
+		}
+		pass.Reportf(fn.Name.Pos(), "exported entry point %s reaches no accessctl/policy/sysr check on any path (paper §3.1); route it through the gate or annotate the func // seclint:exempt <reason>",
+			fn.Name.Name)
+	}
+	return nil
+}
+
+// collectGateInterfaces returns the method objects of every interface
+// declared in this package with a `seclint:gate` annotation; calls
+// through them count as gates (the concrete implementation, e.g.
+// accessctl.Engine behind xquery.Viewer, lives in a gate package).
+func collectGateInterfaces(pass *analysis.Pass) map[*types.Func]bool {
+	methods := make(map[*types.Func]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				_, hasDoc := analysis.GroupDirective(ts.Doc, "gate")
+				if !hasDoc {
+					_, hasDoc = analysis.GroupDirective(gd.Doc, "gate")
+				}
+				if !hasDoc {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				iface, ok := obj.Type().Underlying().(*types.Interface)
+				if !ok {
+					continue
+				}
+				for i := 0; i < iface.NumMethods(); i++ {
+					methods[iface.Method(i)] = true
+				}
+			}
+		}
+	}
+	return methods
+}
+
+func isGateCall(callee *types.Func, gateMethods map[*types.Func]bool) bool {
+	if gateMethods[callee] {
+		return true
+	}
+	return callee.Pkg() != nil && gatePkgs[callee.Pkg().Path()]
+}
+
+// isEntryPoint reports whether fn is an exported read/write entry point:
+// exported name with a recognized verb prefix, and an exported receiver
+// type if it is a method.
+func isEntryPoint(fn *ast.FuncDecl) bool {
+	if !fn.Name.IsExported() {
+		return false
+	}
+	if fn.Recv != nil && len(fn.Recv.List) > 0 {
+		t := fn.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if idx, ok := t.(*ast.IndexExpr); ok {
+			t = idx.X
+		}
+		if id, ok := t.(*ast.Ident); !ok || !id.IsExported() {
+			return false
+		}
+	}
+	name := fn.Name.Name
+	for _, verb := range entryVerbs {
+		if strings.HasPrefix(name, verb) {
+			// Require the verb to end the name or be followed by an
+			// uppercase letter, so "Addr" or "Execute..." style names
+			// don't false-positive on shorter verbs.
+			rest := name[len(verb):]
+			if rest == "" || (rest[0] >= 'A' && rest[0] <= 'Z') {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func lastElem(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

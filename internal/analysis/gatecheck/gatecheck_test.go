@@ -1,0 +1,15 @@
+package gatecheck
+
+import (
+	"path/filepath"
+	"testing"
+
+	"webdbsec/internal/analysis/analysistest"
+)
+
+// TestGateCheck runs over a testdata package named reldb: the analyzer
+// scopes itself to the data-path packages by the path's last element, so
+// the fixture must land in that set.
+func TestGateCheck(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("..", "testdata", "src", "reldb"))
+}

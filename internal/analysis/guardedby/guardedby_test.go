@@ -1,0 +1,12 @@
+package guardedby
+
+import (
+	"path/filepath"
+	"testing"
+
+	"webdbsec/internal/analysis/analysistest"
+)
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("..", "testdata", "src", "guardedby"))
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FuncNode is one function declaration plus its same-package static
+// callees. Calls made inside nested function literals are attributed to
+// the enclosing declaration: for the properties seclint propagates
+// ("performs I/O", "reaches an access-control gate") the work a function
+// delegates to its closures is still its work.
+type FuncNode struct {
+	Decl  *ast.FuncDecl
+	Obj   *types.Func
+	Calls []*types.Func
+}
+
+// LocalFuncs collects every function declared in the package's non-test
+// files, with local call edges resolved through the type checker.
+func LocalFuncs(pass *Pass) map[*types.Func]*FuncNode {
+	funcs := make(map[*types.Func]*FuncNode)
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &FuncNode{Decl: fn, Obj: obj}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := Callee(pass.TypesInfo, call); callee != nil && callee.Pkg() == pass.Pkg {
+					node.Calls = append(node.Calls, callee)
+				}
+				return true
+			})
+			funcs[obj] = node
+		}
+	}
+	return funcs
+}
+
+// Callee resolves a call's static callee, or nil for indirect calls
+// through function values.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// Propagate closes a property over the local call graph: any function
+// that calls a marked function inherits its witness string. The seed
+// marks functions with direct evidence (e.g. "net/http.(*Client).Do");
+// the fixpoint answers "can this function reach one".
+func Propagate(funcs map[*types.Func]*FuncNode, seed map[*types.Func]string) map[*types.Func]string {
+	marked := make(map[*types.Func]string, len(seed))
+	for fn, w := range seed {
+		marked[fn] = w
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, node := range funcs {
+			if _, ok := marked[obj]; ok {
+				continue
+			}
+			for _, callee := range node.Calls {
+				if w, ok := marked[callee]; ok {
+					marked[obj] = w
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return marked
+}

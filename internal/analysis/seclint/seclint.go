@@ -1,0 +1,26 @@
+// Package seclint assembles the repo's analyzer suite. cmd/seclint wires
+// it into the `go vet -vettool` protocol; tests and future drivers get
+// the same list from Analyzers.
+package seclint
+
+import (
+	"webdbsec/internal/analysis"
+	"webdbsec/internal/analysis/annotcheck"
+	"webdbsec/internal/analysis/ctxio"
+	"webdbsec/internal/analysis/gatecheck"
+	"webdbsec/internal/analysis/guardedby"
+	"webdbsec/internal/analysis/verdictcheck"
+)
+
+// Analyzers returns the full seclint suite, in the order findings are
+// most useful to read: grammar first (a bad annotation invalidates the
+// rest), then the invariants.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		annotcheck.Analyzer,
+		guardedby.Analyzer,
+		verdictcheck.Analyzer,
+		ctxio.Analyzer,
+		gatecheck.Analyzer,
+	}
+}

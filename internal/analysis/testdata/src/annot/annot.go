@@ -1,0 +1,59 @@
+// Testdata for the annotcheck analyzer: the annotations themselves are
+// load-bearing, so malformed ones must be findings, not no-ops. The
+// malformed directives use /* block */ form so the `want` expectation can
+// share the line without polluting the directive's arguments.
+package annot
+
+import "sync"
+
+// ok carries well-formed annotations: nothing below should be flagged.
+type ok struct {
+	mu sync.Mutex
+	n  int // seclint:guardedby mu
+}
+
+// ptrMu: a pointer to a mutex guards just as well.
+type ptrMu struct {
+	mu *sync.RWMutex
+	n  int // seclint:guardedby mu
+}
+
+// Checker is a legal gate target.
+//
+// seclint:gate Check IS the access decision here
+type Checker interface{ Check() bool }
+
+// seclint:locked caller holds mu
+func helper() {}
+
+// seclint:exempt setup path, single-threaded by construction
+func Setup() { helper() }
+
+// --- malformed cases ---
+
+type wrongName struct {
+	mu sync.Mutex
+	n  int /* seclint:guardedby lock */ // want `seclint:guardedby names "lock", which is not a sync\.Mutex/RWMutex field of this struct`
+}
+
+type notAMutex struct {
+	mu sync.Mutex
+	m  map[string]int
+	n  int /* seclint:guardedby m */ // want `seclint:guardedby names "m", which is not a sync\.Mutex/RWMutex field of this struct`
+}
+
+type missingArg struct {
+	mu sync.Mutex
+	n  int /* seclint:guardedby */ // want `seclint:guardedby requires the name of the guarding mutex field`
+}
+
+var typoVerb = 1 /* seclint:guardby mu */ // want `unknown seclint directive "guardby"`
+
+/* seclint:exempt */ // want `seclint:exempt requires a reason`
+func bareExempt()    {}
+
+/* seclint:guardedby mu */ // want `seclint:guardedby must annotate a struct field and name a sibling sync\.Mutex/RWMutex field`
+func floating()            {}
+
+/* seclint:gate wrong target */ // want `seclint:gate must annotate an interface type declaration`
+type notIface struct{}

@@ -1,0 +1,86 @@
+// Testdata for the guardedby analyzer. Each `want "regexp"` comment is
+// an expectation the diagnostic reported on that line must match; lines
+// without one must stay silent.
+package guardedby
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // seclint:guardedby mu
+	// hits counts lookups per key.
+	// seclint:guardedby mu
+	hits map[string]int
+	free int // unguarded: accessible anywhere
+}
+
+// bad reads n without the lock.
+func (c *counter) bad() int {
+	return c.n // want `c\.n \(counter\.n\) is guarded by c\.mu but the mutex is not held here`
+}
+
+// good holds the lock across the access; the deferred Unlock runs at
+// return and does not clear the held state.
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// afterUnlock releases the lock before the access.
+func (c *counter) afterUnlock() int {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return c.n // want `c\.n \(counter\.n\) is guarded by c\.mu but the mutex is not held here`
+}
+
+// unguardedIsFree: fields without the annotation are never flagged.
+func (c *counter) unguardedIsFree() int { return c.free }
+
+// callerHolds documents the caller's lock, so the whole body is skipped.
+//
+// seclint:locked caller holds c.mu
+func (c *counter) callerHolds() int { return c.n }
+
+// lineWaiver proves by control flow what the lexical check cannot see —
+// the Unlock above the access sits inside a returning branch — and says
+// so on the access line.
+func (c *counter) lineWaiver(cold bool) int {
+	c.mu.Lock()
+	if cold {
+		c.mu.Unlock()
+		return 0
+	}
+	// seclint:locked still held; the Unlock above is inside the returning branch
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+// lockedElsewhere: a line-level seclint:locked covers its own line (and
+// the one below), not the rest of the function — the negative case for
+// the locked annotation.
+func (c *counter) lockedElsewhere() int {
+	v := c.hits["x"] // seclint:locked single-threaded setup path
+	v++
+	return v + c.hits["y"] // want `c\.hits \(counter\.hits\) is guarded by c\.mu but the mutex is not held here`
+}
+
+// closure: a nested function literal does not inherit the creator's
+// textual lock state — it may run on another goroutine.
+func (c *counter) closure() func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int {
+		return c.n // want `c\.n \(counter\.n\) is guarded by c\.mu but the mutex is not held here`
+	}
+}
+
+// bump: locking one receiver's mutex says nothing about another's.
+func bump(a, b *counter) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.n++
+	b.n++ // want `b\.n \(counter\.n\) is guarded by b\.mu but the mutex is not held here`
+}

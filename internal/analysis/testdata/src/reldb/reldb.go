@@ -1,0 +1,65 @@
+// Testdata for the gatecheck analyzer. The directory is named reldb so
+// the package path's last element lands in the analyzer's data-path set;
+// the code is synthetic, but the gate calls target the real policy
+// package, exactly as production entry points do.
+package reldb
+
+import "webdbsec/internal/policy"
+
+// Gate is the slice of the access-control engine this store consults.
+//
+// seclint:gate Allow IS the access-control decision for this store
+type Gate interface {
+	Allow(s *policy.Subject, object string) bool
+}
+
+// Store is a toy keyed row store.
+type Store struct {
+	gate Gate
+	rows map[string][]string
+}
+
+// GetRows reaches the gate directly, through the annotated interface.
+func (st *Store) GetRows(s *policy.Subject, table string) []string {
+	if !st.gate.Allow(s, table) {
+		return nil
+	}
+	return st.rows[table]
+}
+
+// QueryRole reaches the policy package through a helper, two frames down.
+func (st *Store) QueryRole(s *policy.Subject, table string) []string {
+	if !st.allowed(s) {
+		return nil
+	}
+	return st.rows[table]
+}
+
+func (st *Store) allowed(s *policy.Subject) bool { return s.HasRole("reader") }
+
+// InsertRow ships with no gate on any path: the decay mode the analyzer
+// exists to catch.
+func (st *Store) InsertRow(table, v string) { // want `exported entry point InsertRow reaches no accessctl/policy/sysr check on any path`
+	st.rows[table] = append(st.rows[table], v)
+}
+
+// DeleteAll sits below the gate by design and says so.
+//
+// seclint:exempt substrate reset used only by the harness above the gate
+func (st *Store) DeleteAll() { st.rows = map[string][]string{} }
+
+// Version is exported but carries no entry verb; never considered.
+func (st *Store) Version() string { return "1" }
+
+// Addr starts with "Add", but the verb-boundary check rejects it: the
+// prefix must end the name or be followed by an uppercase letter.
+func (st *Store) Addr() string { return "" }
+
+// scanAll is unexported; not an entry point.
+func (st *Store) scanAll() int {
+	n := 0
+	for _, r := range st.rows {
+		n += len(r)
+	}
+	return n
+}

@@ -1,0 +1,83 @@
+// Testdata for the ctxio analyzer. The directory is named secchan so the
+// package path's last element lands in the analyzer's target set; the
+// code is synthetic.
+package secchan
+
+import (
+	"context"
+	"net"
+	"net/http"
+)
+
+// Dial performs I/O with no way for the caller to bound it.
+func Dial(addr string) (net.Conn, error) { // want `exported Dial performs I/O \(reaches net\.Dial\) but has no context\.Context parameter`
+	return net.Dial("tcp", addr)
+}
+
+// DialCtx carries a context, so the caller's deadline can be plumbed.
+func DialCtx(ctx context.Context, addr string) (net.Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if d, ok := ctx.Deadline(); ok {
+		if err := c.SetDeadline(d); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Fetch reaches I/O through a same-package helper: propagation over the
+// local call graph finds it two frames down.
+func Fetch(url string) (*http.Response, error) { // want `exported Fetch performs I/O \(reaches net/http\.Get\) but has no context\.Context parameter`
+	return rawGet(url)
+}
+
+func rawGet(url string) (*http.Response, error) { return http.Get(url) }
+
+// probe is unexported: not part of the API surface the rule covers.
+func probe(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+
+// Serve has an *http.Request whose Context the body can forward.
+func Serve(w http.ResponseWriter, r *http.Request) {
+	resp, err := http.Get("http://upstream.invalid/item")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	resp.Body.Close()
+}
+
+// Detached has a context to forward but manufactures a fresh root below
+// it, silently escaping the caller's deadline.
+func Detached(ctx context.Context, addr string) (net.Conn, error) {
+	dctx := context.Background() // want `Detached has a context to forward but calls context\.Background\(\)`
+	_ = dctx
+	_ = ctx
+	return net.Dial("tcp", addr)
+}
+
+// Refresh detaches on purpose — the cache fill outlives the request —
+// and says so on the call line.
+func Refresh(ctx context.Context) context.Context {
+	_ = ctx
+	// seclint:exempt cache refresh outlives the request by design
+	return context.TODO()
+}
+
+// CloseConn opts out of the rule per function: its bound is the conn
+// deadline, not a context.
+//
+// seclint:exempt teardown is bounded by the net.Conn deadline
+func CloseConn(c net.Conn) error { return c.Close() }
+
+type session struct{ c net.Conn }
+
+// Send is exported, but its receiver type is not: the rule covers only
+// the package's exported surface.
+func (s *session) Send(p []byte) error {
+	_, err := s.c.Write(p)
+	return err
+}

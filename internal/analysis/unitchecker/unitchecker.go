@@ -1,0 +1,240 @@
+// Package unitchecker implements the `go vet -vettool` command-line
+// protocol for seclint's analyzers, on the standard library alone. It is
+// the same contract golang.org/x/tools/go/analysis/unitchecker speaks:
+//
+//   - `tool -flags` prints a JSON description of the tool's flags, which
+//     cmd/go uses to decide what it may pass through (seclint has none).
+//   - `tool -V=full` prints a version line cmd/go can fold into its
+//     build cache key.
+//   - `tool <objdir>/vet.cfg` analyzes one package: the cfg file is a
+//     JSON vetConfig (see cmd/go/internal/work.buildVetConfig) naming the
+//     package's source files and the export-data files of every
+//     dependency. Diagnostics go to stderr as "file:line:col: message"
+//     and the exit status is 2 when there are findings, so `go vet`
+//     fails the build.
+//
+// cmd/go also schedules every transitive dependency (standard library
+// included) with VetxOnly=true so fact-producing checkers can propagate
+// facts upward. seclint's invariants are all single-package, so VetxOnly
+// runs write an empty facts file and return immediately — vetting ./...
+// costs one parse+typecheck per package in this module and nothing for
+// the standard library.
+//
+// As a convenience, invoking the tool with package patterns instead of a
+// cfg file re-executes `go vet -vettool=<self> <patterns>`, so
+// `./bin/seclint ./...` works from a shell.
+package unitchecker
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"webdbsec/internal/analysis"
+)
+
+// config mirrors cmd/go/internal/work.vetConfig, the JSON handed to a
+// vettool for each package. Fields the checker does not need are kept so
+// the decode is strict about nothing and tolerant of everything.
+type config struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a vettool binary: it interprets the
+// protocol arguments and exits. It never returns.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full":
+			// cmd/go hashes this line into its action cache key. The
+			// "devel" spelling matches what x/tools prints and what
+			// cmd/go's toolID parser accepts.
+			fmt.Printf("%s version devel comments-go-here buildID=seclint\n", os.Args[0])
+			os.Exit(0)
+		case args[0] == "-flags":
+			// No tool-specific flags: cmd/go must not forward any of the
+			// standard vet analyzer switches to us.
+			fmt.Println("[]")
+			os.Exit(0)
+		case args[0] == "help" || args[0] == "-help" || args[0] == "--help":
+			fmt.Fprintf(os.Stderr, "%s is a vettool; run via: go vet -vettool=%s ./...\n\n", progname, os.Args[0])
+			for _, a := range analyzers {
+				fmt.Fprintf(os.Stderr, "%s: %s\n\n", a.Name, a.Doc)
+			}
+			os.Exit(0)
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(run(args[0], analyzers))
+		}
+	}
+
+	// Convenience mode: treat the arguments as package patterns and let
+	// the real go vet drive us with proper export data and caching.
+	if len(args) > 0 {
+		self, err := os.Executable()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+		cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+		if err := cmd.Run(); err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				os.Exit(ee.ExitCode())
+			}
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+
+	fmt.Fprintf(os.Stderr, "usage: go vet -vettool=%s ./...  (or %s <packages>)\n", os.Args[0], progname)
+	os.Exit(1)
+}
+
+// run analyzes the single package described by cfgFile and returns the
+// process exit code: 0 clean, 1 operational error, 2 findings.
+func run(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seclint: %v\n", err)
+		return 1
+	}
+	var cfg config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "seclint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// The facts file must exist even when empty: cmd/go stores it in the
+	// build cache as this vet run's output.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				fmt.Fprintf(os.Stderr, "seclint: %v\n", err)
+			}
+		}
+	}
+
+	if cfg.VetxOnly {
+		// Dependency run, wanted only for facts. seclint produces none.
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "seclint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(fset, files, &cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "seclint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := analysis.RunAll(analyzers, fset, files, pkg, info)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seclint: %v\n", err)
+		return 1
+	}
+	writeVetx()
+	if len(diags) == 0 {
+		return 0
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		name := pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s [seclint:%s]\n", name, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+	return 2
+}
+
+// typecheck type-checks the package using the export data files cmd/go
+// listed in the config. importer.ForCompiler with a lookup function reads
+// the same unified export format the compiler wrote, so dependencies are
+// never re-parsed.
+func typecheck(fset *token.FileSet, files []*ast.File, cfg *config) (*types.Package, *types.Info, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	var firstErr error
+	tconf := types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		GoVersion: cfg.GoVersion,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	info := analysis.NewTypesInfo()
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

@@ -1,0 +1,12 @@
+package verdictcheck
+
+import (
+	"path/filepath"
+	"testing"
+
+	"webdbsec/internal/analysis/analysistest"
+)
+
+func TestVerdictCheck(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("..", "testdata", "src", "verdict"))
+}

@@ -32,10 +32,13 @@ type Record struct {
 // durable backend (internal/wal) so the accountability trail survives a
 // crash. Safe for concurrent use.
 type Log struct {
-	mu      sync.RWMutex
+	mu sync.RWMutex
+	// records is the hash chain. seclint:guardedby mu
 	records []Record
-	w       *wal.WAL
-	err     error
+	// w is the durable backend, nil for in-memory logs. seclint:guardedby mu
+	w *wal.WAL
+	// err is the sticky backend error. seclint:guardedby mu
+	err error
 }
 
 // NewLog returns an empty in-memory log.
@@ -45,7 +48,7 @@ func NewLog() *Log { return &Log{} }
 // failures stick in Err; use AppendChecked when the caller needs the
 // durability verdict.
 func (l *Log) Append(actor, action, object, outcome string) Record {
-	r, _ := l.AppendChecked(actor, action, object, outcome)
+	r, _ := l.AppendChecked(actor, action, object, outcome) // seclint:exempt fire-and-forget by contract; the verdict sticks in Err for callers that care
 	return r
 }
 

@@ -27,6 +27,8 @@ var ErrChainBroken = fmt.Errorf("audit: persisted hash chain broken")
 // must not use it directly afterwards. The audit log never checkpoints:
 // truncating history is exactly what a tamper-evident log must not do, so
 // growth is bounded only by segment rotation on disk.
+//
+// seclint:locked l is not yet published; no other goroutine can hold a reference during recovery
 func OpenLog(w *wal.WAL) (*Log, error) {
 	l := NewLog()
 	err := w.Replay(func(lsn uint64, payload []byte) error {

@@ -68,10 +68,12 @@ type flight[V any] struct {
 
 type shard[K comparable, V any] struct {
 	mu       sync.Mutex
-	capacity int
-	items    map[K]*list.Element
-	order    *list.List // front = most recently used
-	inflight map[K]*flight[V]
+	capacity int                 // seclint:guardedby mu
+	items    map[K]*list.Element // seclint:guardedby mu
+	// order is the LRU list, front = most recently used.
+	// seclint:guardedby mu
+	order    *list.List
+	inflight map[K]*flight[V] // seclint:guardedby mu
 }
 
 // New returns a cache bounded to roughly capacity entries overall (each of
@@ -125,6 +127,8 @@ func (c *Cache[K, V]) Put(k K, v V) {
 
 // put inserts or refreshes an entry and evicts the LRU tail past
 // capacity. Shard lock held.
+//
+// seclint:locked caller holds s.mu
 func (s *shard[K, V]) put(k K, v V, evictions *atomic.Uint64) {
 	if el, ok := s.items[k]; ok {
 		el.Value.(*entry[K, V]).val = v
@@ -154,6 +158,7 @@ func (c *Cache[K, V]) Do(k K, compute func() (V, error)) (V, error) {
 		c.hits.Add(1)
 		return v, nil
 	}
+	// seclint:locked still held here; the Unlock above is inside the returning hit branch
 	if f, ok := s.inflight[k]; ok {
 		s.mu.Unlock()
 		<-f.done
@@ -163,7 +168,7 @@ func (c *Cache[K, V]) Do(k K, compute func() (V, error)) (V, error) {
 		return f.val, f.err
 	}
 	f := &flight[V]{done: make(chan struct{})}
-	s.inflight[k] = f
+	s.inflight[k] = f // seclint:locked still held; both miss branches above exit the function
 	s.mu.Unlock()
 	c.misses.Add(1)
 

@@ -2,6 +2,7 @@ package keymgmt
 
 import (
 	"bytes"
+	"context"
 	"crypto/ed25519"
 	"crypto/sha256"
 	"encoding/hex"
@@ -153,7 +154,7 @@ func TestHTTPBinding(t *testing.T) {
 			b.Attrib(k, v)
 		}
 		c := &wsa.Client{Endpoint: ts.URL, Sender: sender}
-		return c.Call(op, b.Freeze())
+		return c.Call(context.Background(), op, b.Freeze())
 	}
 	// Register over HTTP.
 	if _, err := call("acme", "register_key", map[string]string{

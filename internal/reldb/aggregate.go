@@ -138,6 +138,8 @@ func ParseAggregate(src string) (*AggregateStmt, error) {
 // ExecAggregate evaluates an aggregate query. Group rows are sorted by
 // group key. NULLs are skipped by SUM/AVG/MIN/MAX and by COUNT(col);
 // COUNT(*) counts rows.
+//
+// seclint:exempt storage engine below the access-control gate; SecureDB authorizes before aggregation
 func (db *Database) ExecAggregate(st *AggregateStmt) (*Result, error) {
 	t, ok := db.Table(st.Table)
 	if !ok {

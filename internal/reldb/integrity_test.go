@@ -78,7 +78,9 @@ func TestConstraintsInsideTransactions(t *testing.T) {
 		t.Fatal("violating insert inside txn accepted")
 	}
 	// The failed statement did not poison the valid one.
-	txn.Commit()
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
 	res := mustExec(t, db, "SELECT * FROM emp WHERE name = 'Ok'")
 	if len(res.Rows) != 1 {
 		t.Error("valid insert lost")

@@ -116,8 +116,8 @@ func TestQuickRecoverEqualsLiveState(t *testing.T) {
 			}
 			if rng.Intn(4) == 0 {
 				txn.Abort()
-			} else {
-				txn.Commit()
+			} else if err := txn.Commit(); err != nil {
+				return false
 			}
 		}
 		live, err := db.Exec("SELECT * FROM r ORDER BY k, cat, v")

@@ -90,6 +90,8 @@ type CmpExpr struct {
 }
 
 // Eval implements Expr.
+//
+// seclint:exempt expression node evaluating one row the engine already authorized
 func (e *CmpExpr) Eval(s *Schema, r Row) (bool, error) {
 	ci := s.ColIndex(e.Col)
 	if ci < 0 {
@@ -129,6 +131,8 @@ func (e *CmpExpr) String() string {
 type AndExpr struct{ L, R Expr }
 
 // Eval implements Expr.
+//
+// seclint:exempt expression node evaluating one row the engine already authorized
 func (e *AndExpr) Eval(s *Schema, r Row) (bool, error) {
 	l, err := e.L.Eval(s, r)
 	if err != nil || !l {
@@ -143,6 +147,8 @@ func (e *AndExpr) String() string { return "(" + e.L.String() + " AND " + e.R.St
 type OrExpr struct{ L, R Expr }
 
 // Eval implements Expr.
+//
+// seclint:exempt expression node evaluating one row the engine already authorized
 func (e *OrExpr) Eval(s *Schema, r Row) (bool, error) {
 	l, err := e.L.Eval(s, r)
 	if err != nil {
@@ -160,6 +166,8 @@ func (e *OrExpr) String() string { return "(" + e.L.String() + " OR " + e.R.Stri
 type NotExpr struct{ E Expr }
 
 // Eval implements Expr.
+//
+// seclint:exempt expression node evaluating one row the engine already authorized
 func (e *NotExpr) Eval(s *Schema, r Row) (bool, error) {
 	v, err := e.E.Eval(s, r)
 	return !v, err
@@ -172,6 +180,8 @@ func (e *NotExpr) String() string { return "NOT (" + e.E.String() + ")" }
 type TrueExpr struct{}
 
 // Eval implements Expr.
+//
+// seclint:exempt expression node evaluating one row the engine already authorized
 func (TrueExpr) Eval(*Schema, Row) (bool, error) { return true, nil }
 func (TrueExpr) String() string                  { return "TRUE" }
 

@@ -127,6 +127,8 @@ func (o *orderedIndex) remove(v Value, id int64) {
 }
 
 // Insert adds a row and returns its rowID.
+//
+// seclint:exempt physical row storage; grants and row policies are enforced by SecureDB above the engine
 func (t *Table) Insert(r Row) (int64, error) {
 	if err := t.Schema.CheckRow(r); err != nil {
 		return 0, err
@@ -162,6 +164,8 @@ func (t *Table) insertAt(id int64, r Row) {
 }
 
 // Get returns a copy of the row with the given id.
+//
+// seclint:exempt physical row storage; grants and row policies are enforced by SecureDB above the engine
 func (t *Table) Get(id int64) (Row, bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -173,6 +177,8 @@ func (t *Table) Get(id int64) (Row, bool) {
 }
 
 // Update replaces the row with the given id, returning the old row.
+//
+// seclint:exempt physical row storage; grants and row policies are enforced by SecureDB above the engine
 func (t *Table) Update(id int64, r Row) (Row, error) {
 	if err := t.Schema.CheckRow(r); err != nil {
 		return nil, err
@@ -196,6 +202,8 @@ func (t *Table) Update(id int64, r Row) (Row, error) {
 }
 
 // Delete removes the row with the given id, returning the old row.
+//
+// seclint:exempt physical row storage; grants and row policies are enforced by SecureDB above the engine
 func (t *Table) Delete(id int64) (Row, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -222,6 +230,8 @@ func (t *Table) Len() int {
 
 // Scan calls fn for every (rowID, row) pair; fn must not mutate the row.
 // Iteration order is by rowID for determinism.
+//
+// seclint:exempt physical row storage; grants and row policies are enforced by SecureDB above the engine
 func (t *Table) Scan(fn func(id int64, r Row) bool) {
 	t.mu.RLock()
 	ids := make([]int64, 0, len(t.rows))

@@ -164,6 +164,8 @@ func (db *Database) endTxn() {
 func (t *Txn) ID() int64 { return t.id }
 
 // Exec parses and executes a statement inside the transaction.
+//
+// seclint:exempt storage engine below the access-control gate; SecureDB authorizes before transactional work
 func (t *Txn) Exec(src string) (*Result, error) {
 	st, err := Parse(src)
 	if err != nil {
@@ -174,6 +176,8 @@ func (t *Txn) Exec(src string) (*Result, error) {
 
 // ExecStmt executes a parsed statement inside the transaction. DDL is not
 // transactional and is rejected here.
+//
+// seclint:exempt storage engine below the access-control gate; SecureDB authorizes before transactional work
 func (t *Txn) ExecStmt(st Stmt) (*Result, error) {
 	if t.done {
 		return nil, fmt.Errorf("reldb: transaction %d already finished", t.id)

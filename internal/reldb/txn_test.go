@@ -51,7 +51,9 @@ func TestAbortUndoesEverything(t *testing.T) {
 func TestFinishedTxnRejectsWork(t *testing.T) {
 	db := empDB(t)
 	txn := db.Begin()
-	txn.Commit()
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := txn.Exec("SELECT * FROM emp"); err == nil {
 		t.Error("exec after commit accepted")
 	}
@@ -83,13 +85,17 @@ func TestWriteBlocksWrite(t *testing.T) {
 		t.Fatalf("conflicting write: err = %v, want lock timeout", err)
 	}
 	t2.Abort()
-	t1.Commit()
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
 	// After release the table is writable again.
 	t3 := db.Begin()
 	if _, err := t3.Exec("UPDATE emp SET salary = 3 WHERE id = 2"); err != nil {
 		t.Fatalf("write after release: %v", err)
 	}
-	t3.Commit()
+	if err := t3.Commit(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestSharedReadersDoNotBlock(t *testing.T) {
@@ -102,8 +108,12 @@ func TestSharedReadersDoNotBlock(t *testing.T) {
 	if _, err := t2.Exec("SELECT * FROM emp"); err != nil {
 		t.Fatal(err)
 	}
-	t1.Commit()
-	t2.Commit()
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestReaderBlocksWriter(t *testing.T) {
@@ -118,7 +128,9 @@ func TestReaderBlocksWriter(t *testing.T) {
 		t.Fatalf("err = %v, want lock timeout", err)
 	}
 	w.Abort()
-	r.Commit()
+	if err := r.Commit(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestLockUpgradeSameTxn(t *testing.T) {
@@ -131,7 +143,9 @@ func TestLockUpgradeSameTxn(t *testing.T) {
 	if _, err := txn.Exec("UPDATE emp SET salary = 50 WHERE id = 5"); err != nil {
 		t.Fatalf("upgrade failed: %v", err)
 	}
-	txn.Commit()
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestDeadlockCycleBrokenByTimeout(t *testing.T) {
@@ -187,7 +201,9 @@ func TestDeadlockCycleBrokenByTimeout(t *testing.T) {
 	if _, err := t3.Exec("UPDATE b SET v = 99"); err != nil {
 		t.Fatalf("system wedged after deadlock: %v", err)
 	}
-	t3.Commit()
+	if err := t3.Commit(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestConcurrentCommittedInserts(t *testing.T) {
@@ -232,7 +248,9 @@ func TestRecoverReplaysOnlyCommitted(t *testing.T) {
 
 	good := db.Begin()
 	good.Exec("INSERT INTO emp VALUES (10, 'Hal', 'eng', 75)")
-	good.Commit()
+	if err := good.Commit(); err != nil {
+		t.Fatal(err)
+	}
 
 	bad := db.Begin()
 	bad.Exec("INSERT INTO emp VALUES (11, 'Ivy', 'eng', 76)")

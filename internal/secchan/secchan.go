@@ -63,6 +63,8 @@ type Channel struct {
 
 // Server performs the responder side of the handshake with no deadlines;
 // see ServerConfig.
+//
+// seclint:exempt conn-level API; cancellation is the net.Conn deadline armed via Config, not a ctx
 func Server(conn net.Conn, identity ed25519.PrivateKey) (*Channel, error) {
 	return ServerConfig(conn, identity, Config{})
 }
@@ -71,6 +73,8 @@ func Server(conn net.Conn, identity ed25519.PrivateKey) (*Channel, error) {
 // the client's ephemeral public key, replies with its own plus an identity
 // signature over the transcript, and derives the record keys. The
 // handshake is bounded by cfg.HandshakeTimeout.
+//
+// seclint:exempt conn-level API; cfg.HandshakeTimeout arms the net.Conn deadline in place of a ctx
 func ServerConfig(conn net.Conn, identity ed25519.PrivateKey, cfg Config) (*Channel, error) {
 	restore, err := handshakeDeadline(conn, cfg)
 	if err != nil {
@@ -129,6 +133,8 @@ func serverHandshake(conn net.Conn, identity ed25519.PrivateKey, cfg Config) (*C
 }
 
 // Client performs the initiator side with no deadlines; see ClientConfig.
+//
+// seclint:exempt conn-level API; cancellation is the net.Conn deadline armed via Config, not a ctx
 func Client(conn net.Conn, serverID ed25519.PublicKey) (*Channel, error) {
 	return ClientConfig(conn, serverID, Config{})
 }
@@ -136,6 +142,8 @@ func Client(conn net.Conn, serverID ed25519.PublicKey) (*Channel, error) {
 // ClientConfig performs the initiator side, verifying the server's
 // identity signature against serverID before trusting the channel. The
 // handshake is bounded by cfg.HandshakeTimeout.
+//
+// seclint:exempt conn-level API; cfg.HandshakeTimeout arms the net.Conn deadline in place of a ctx
 func ClientConfig(conn net.Conn, serverID ed25519.PublicKey, cfg Config) (*Channel, error) {
 	restore, err := handshakeDeadline(conn, cfg)
 	if err != nil {
@@ -243,6 +251,8 @@ func nonce(seq uint64) []byte {
 
 // Send encrypts and writes one record, bounded by the configured write
 // timeout. Empty payloads are reserved for the close-notify record.
+//
+// seclint:exempt record-level API; cfg.WriteTimeout arms the net.Conn write deadline in place of a ctx
 func (c *Channel) Send(payload []byte) error {
 	if len(payload) == 0 {
 		return fmt.Errorf("secchan: empty record reserved for close-notify")
@@ -285,6 +295,8 @@ func (c *Channel) sendRecord(payload []byte) error {
 // Receive returns io.EOF on the peer's authenticated close-notify — a
 // truncating attacker cannot forge a clean EOF, it can only produce an
 // error.
+//
+// seclint:exempt record-level API; cfg.ReadTimeout arms the net.Conn read deadline in place of a ctx
 func (c *Channel) Receive() ([]byte, error) {
 	if c.cfg.ReadTimeout > 0 {
 		if err := c.conn.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout)); err != nil {
@@ -322,6 +334,8 @@ func (c *Channel) Receive() ([]byte, error) {
 // attempt to send the authenticated close-notify record (so the peer's
 // Receive ends in io.EOF rather than an ambiguous transport error), then
 // closes the underlying connection. Safe to call more than once.
+//
+// seclint:exempt close is already bounded by CloseLinger; a ctx cannot make it block longer
 func (c *Channel) Close() error {
 	if !c.closed.CompareAndSwap(false, true) {
 		return c.conn.Close()
@@ -347,6 +361,8 @@ type PlainChannel struct {
 func NewPlainChannel(conn net.Conn) *PlainChannel { return &PlainChannel{conn: conn} }
 
 // Send writes one frame.
+//
+// seclint:exempt experiment-only baseline mirroring Channel.Send's conn-level contract
 func (c *PlainChannel) Send(payload []byte) error {
 	var lenBuf [4]byte
 	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
@@ -358,6 +374,8 @@ func (c *PlainChannel) Send(payload []byte) error {
 }
 
 // Receive reads one frame.
+//
+// seclint:exempt experiment-only baseline mirroring Channel.Receive's conn-level contract
 func (c *PlainChannel) Receive() ([]byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(c.conn, lenBuf[:]); err != nil {
@@ -371,4 +389,6 @@ func (c *PlainChannel) Receive() ([]byte, error) {
 }
 
 // Close closes the underlying connection.
+//
+// seclint:exempt connection teardown does not block on the peer
 func (c *PlainChannel) Close() error { return c.conn.Close() }

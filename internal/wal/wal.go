@@ -223,10 +223,10 @@ type WAL struct {
 	fs   FS
 	opts Options
 
-	lastLSN  uint64
-	snapLSN  uint64
-	snapshot []byte
-	tail     []Record
+	lastLSN  uint64   // seclint:guardedby mu
+	snapLSN  uint64   // seclint:guardedby mu
+	snapshot []byte   // seclint:guardedby mu
+	tail     []Record // seclint:guardedby mu
 
 	// Commit pipeline: qbuf holds the encoded frames of queued appends
 	// (pooled; nil when the queue is empty), queue their pending acks in
@@ -234,24 +234,26 @@ type WAL struct {
 	// queue; ioBusy while someone (the leader, Sync, Checkpoint, Close or
 	// the interval flusher) owns the file. scratch is the leader's private
 	// waiter list, reused batch to batch so draining allocates nothing.
-	qbuf    *[]byte
-	queue   []*Ack
-	scratch []*Ack
-	leader  bool
-	ioBusy  bool
+	qbuf    *[]byte // seclint:guardedby mu
+	queue   []*Ack  // seclint:guardedby mu
+	scratch []*Ack  // seclint:guardedby mu
+	leader  bool    // seclint:guardedby mu
+	ioBusy  bool    // seclint:guardedby mu
 
+	// File state: owned by the io-ownership holder (see above), touched by
+	// writeBatch/checkpointIO without mu — deliberately not mu-guarded.
 	active     File
 	activeSize int
 	segSeq     int
 	segments   []string
-	dirty      bool
+	dirty      bool // seclint:guardedby mu
 
-	err error
+	err error // seclint:guardedby mu
 
-	stats Stats
+	stats Stats // seclint:guardedby mu
 
-	stop chan struct{}
-	done chan struct{}
+	stop chan struct{} // seclint:guardedby mu
+	done chan struct{} // seclint:guardedby mu
 }
 
 // Ack is the pending durability verdict of an AppendAsync: Wait blocks
@@ -296,6 +298,8 @@ func (a *Ack) LSN() uint64 { return a.lsn }
 // torn or corrupt frame and everything after it, and collects the records
 // newer than the snapshot for Replay. A corrupt snapshot (failed checksum)
 // is not recoverable mechanically and fails Open.
+//
+// seclint:locked w is not yet published; no other goroutine can hold a reference before Open returns
 func Open(opts Options) (*WAL, error) {
 	if opts.FS == nil {
 		return nil, fmt.Errorf("wal: Options.FS is required")
@@ -323,6 +327,7 @@ func Open(opts Options) (*WAL, error) {
 	return w, nil
 }
 
+// seclint:locked runs only from Open, before w is published
 func (w *WAL) recover() error {
 	names, err := w.fs.List()
 	if err != nil {
@@ -496,6 +501,8 @@ func (w *WAL) AppendAsync(payload []byte) (uint64, *Ack, error) {
 // failed, if the log poisoned). For each batch it claims io ownership,
 // releases w.mu for the write+fsync so followers keep enqueuing, then
 // delivers the shared verdict to every waiter in the batch.
+//
+// seclint:locked caller holds w.mu (and releases/reacquires it around the batch I/O below)
 func (w *WAL) driveLocked() {
 	for len(w.queue) > 0 {
 		if w.err != nil {
@@ -578,6 +585,8 @@ func (w *WAL) driveLocked() {
 
 // failQueueLocked delivers err to every queued waiter and empties the
 // queue. Lock held.
+//
+// seclint:locked caller holds w.mu
 func (w *WAL) failQueueLocked(err error) {
 	now := time.Now()
 	for _, a := range w.queue {
@@ -645,6 +654,8 @@ func (w *WAL) writeBatch(buf []byte, wasDirty bool) (dirty bool, fsyncs, rotatio
 // caller owns the file until releaseIOLocked. Every LSN assigned so far
 // has been written (or the log is poisoned); LSNs assigned afterwards
 // cannot reach the file until the caller releases ownership.
+//
+// seclint:locked caller holds w.mu
 func (w *WAL) quiesceLocked() {
 	for {
 		if len(w.queue) > 0 && !w.leader {
@@ -662,6 +673,7 @@ func (w *WAL) quiesceLocked() {
 	}
 }
 
+// seclint:locked caller holds w.mu
 func (w *WAL) releaseIOLocked() {
 	w.ioBusy = false
 	w.cond.Broadcast()

@@ -199,8 +199,12 @@ func TestSyncPolicies(t *testing.T) {
 	t.Run("always", func(t *testing.T) {
 		fs := faultinject.NewMemFS()
 		w := openMem(t, fs, wal.SyncAlways)
-		w.Append([]byte("a"))
-		w.Append([]byte("b"))
+		if _, err := w.Append([]byte("a")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Append([]byte("b")); err != nil {
+			t.Fatal(err)
+		}
 		if st := w.Stats(); st.Fsyncs != 2 {
 			t.Fatalf("Fsyncs = %d, want 2", st.Fsyncs)
 		}
@@ -209,7 +213,9 @@ func TestSyncPolicies(t *testing.T) {
 	t.Run("never", func(t *testing.T) {
 		fs := faultinject.NewMemFS()
 		w := openMem(t, fs, wal.SyncNever)
-		w.Append([]byte("a"))
+		if _, err := w.Append([]byte("a")); err != nil {
+			t.Fatal(err)
+		}
 		if st := w.Stats(); st.Fsyncs != 0 {
 			t.Fatalf("Fsyncs = %d, want 0", st.Fsyncs)
 		}
@@ -227,7 +233,9 @@ func TestSyncPolicies(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		w.Append([]byte("a"))
+		if _, err := w.Append([]byte("a")); err != nil {
+			t.Fatal(err)
+		}
 		deadline := time.Now().Add(2 * time.Second)
 		for w.Stats().Fsyncs == 0 {
 			if time.Now().After(deadline) {
@@ -253,7 +261,9 @@ func TestDirFS(t *testing.T) {
 	if err := w.Checkpoint([]byte("snap")); err != nil {
 		t.Fatal(err)
 	}
-	w.Append([]byte("tail"))
+	if _, err := w.Append([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +285,9 @@ func TestDirFS(t *testing.T) {
 func TestClosedWALRejectsUse(t *testing.T) {
 	fs := faultinject.NewMemFS()
 	w := openMem(t, fs, wal.SyncAlways)
-	w.Append([]byte("a"))
+	if _, err := w.Append([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
 	w.Close()
 	if _, err := w.Append([]byte("b")); err == nil {
 		t.Fatal("Append after Close succeeded")

@@ -361,14 +361,10 @@ type Client struct {
 	Breaker *resilience.Breaker
 }
 
-// Call posts an envelope and decodes the response.
-func (c *Client) Call(op string, body *xmldoc.Document) (*Envelope, error) {
-	return c.CallContext(context.Background(), op, body)
-}
-
-// CallContext posts an envelope under ctx and decodes the response,
-// applying the client's breaker and retry policy.
-func (c *Client) CallContext(ctx context.Context, op string, body *xmldoc.Document) (*Envelope, error) {
+// Call posts an envelope under ctx and decodes the response, applying
+// the client's breaker and retry policy. ctx bounds the whole exchange
+// including retries.
+func (c *Client) Call(ctx context.Context, op string, body *xmldoc.Document) (*Envelope, error) {
 	env := &Envelope{Operation: op, Sender: c.Sender, Roles: c.Roles, Body: body}
 	payload := env.Encode()
 	attempt := func(ctx context.Context) (*Envelope, error) {
@@ -427,11 +423,11 @@ func (c *Client) post(ctx context.Context, op, payload string) (*Envelope, error
 	return out, nil
 }
 
-// FindBusiness browses the remote registry.
-func (c *Client) FindBusiness(pattern string) ([]uddi.BusinessInfo, error) {
+// FindBusiness browses the remote registry under ctx.
+func (c *Client) FindBusiness(ctx context.Context, pattern string) ([]uddi.BusinessInfo, error) {
 	b := xmldoc.NewBuilder("req", "findBusiness")
 	b.Attrib("name", pattern)
-	env, err := c.Call("find_business", b.Freeze())
+	env, err := c.Call(ctx, "find_business", b.Freeze())
 	if err != nil {
 		return nil, err
 	}
@@ -448,11 +444,11 @@ func (c *Client) FindBusiness(pattern string) ([]uddi.BusinessInfo, error) {
 	return out, nil
 }
 
-// FindService browses services on the remote registry.
-func (c *Client) FindService(pattern string) ([]uddi.ServiceInfo, error) {
+// FindService browses services on the remote registry under ctx.
+func (c *Client) FindService(ctx context.Context, pattern string) ([]uddi.ServiceInfo, error) {
 	b := xmldoc.NewBuilder("req", "findService")
 	b.Attrib("name", pattern)
-	env, err := c.Call("find_service", b.Freeze())
+	env, err := c.Call(ctx, "find_service", b.Freeze())
 	if err != nil {
 		return nil, err
 	}
@@ -470,13 +466,13 @@ func (c *Client) FindService(pattern string) ([]uddi.ServiceInfo, error) {
 	return out, nil
 }
 
-// GetBusinessDetail drills down on the remote registry.
-func (c *Client) GetBusinessDetail(keys ...string) ([]*uddi.BusinessEntity, error) {
+// GetBusinessDetail drills down on the remote registry under ctx.
+func (c *Client) GetBusinessDetail(ctx context.Context, keys ...string) ([]*uddi.BusinessEntity, error) {
 	b := xmldoc.NewBuilder("req", "getBusinessDetail")
 	for _, k := range keys {
 		b.Element("businessKey", k)
 	}
-	env, err := c.Call("get_businessDetail", b.Freeze())
+	env, err := c.Call(ctx, "get_businessDetail", b.Freeze())
 	if err != nil {
 		return nil, err
 	}
@@ -498,18 +494,18 @@ func (c *Client) GetBusinessDetail(keys ...string) ([]*uddi.BusinessEntity, erro
 	return out, nil
 }
 
-// SaveBusiness publishes an entity to the remote registry.
-func (c *Client) SaveBusiness(e *uddi.BusinessEntity) error {
-	_, err := c.Call("save_business", e.ToXML())
+// SaveBusiness publishes an entity to the remote registry under ctx.
+func (c *Client) SaveBusiness(ctx context.Context, e *uddi.BusinessEntity) error {
+	_, err := c.Call(ctx, "save_business", e.ToXML())
 	return err
 }
 
-// QueryAuthenticated fetches a Merkle-authenticated view and verifies it
-// against the key directory before returning.
-func (c *Client) QueryAuthenticated(businessKey string, dir *wsig.KeyDirectory) (*uddi.AuthenticatedResult, error) {
+// QueryAuthenticated fetches a Merkle-authenticated view under ctx and
+// verifies it against the key directory before returning.
+func (c *Client) QueryAuthenticated(ctx context.Context, businessKey string, dir *wsig.KeyDirectory) (*uddi.AuthenticatedResult, error) {
 	b := xmldoc.NewBuilder("req", "queryAuthenticated")
 	b.Attrib("businessKey", businessKey)
-	env, err := c.Call("query_authenticated", b.Freeze())
+	env, err := c.Call(ctx, "query_authenticated", b.Freeze())
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package wsa
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -37,14 +38,14 @@ func TestDispatchMissingBodies(t *testing.T) {
 	ts, _ := newServer(t)
 	c := &Client{Endpoint: ts.URL, Sender: "x"}
 	for _, op := range []string{"get_businessDetail", "save_business", "delete_business"} {
-		if _, err := c.Call(op, nil); err == nil {
+		if _, err := c.Call(context.Background(), op, nil); err == nil {
 			t.Errorf("%s without body accepted", op)
 		}
 	}
 	// query_authenticated without an agency attached.
 	b := xmldoc.NewBuilder("req", "queryAuthenticated")
 	b.Attrib("businessKey", "k")
-	if _, err := c.Call("query_authenticated", b.Freeze()); err == nil ||
+	if _, err := c.Call(context.Background(), "query_authenticated", b.Freeze()); err == nil ||
 		!strings.Contains(err.Error(), "no untrusted agency") {
 		t.Errorf("query without agency: %v", err)
 	}
@@ -55,7 +56,7 @@ func TestClientAgainstDeadEndpoint(t *testing.T) {
 	url := ts.URL
 	ts.Close()
 	c := &Client{Endpoint: url, Sender: "x"}
-	if _, err := c.FindBusiness("a"); err == nil {
+	if _, err := c.FindBusiness(context.Background(), "a"); err == nil {
 		t.Error("call to dead endpoint succeeded")
 	}
 }
@@ -65,7 +66,7 @@ func TestSaveBusinessRejectsMalformedEntity(t *testing.T) {
 	c := &Client{Endpoint: ts.URL, Sender: "pub"}
 	// Entity without a name fails validation server-side.
 	bad := &uddi.BusinessEntity{BusinessKey: "k"}
-	if err := c.SaveBusiness(bad); err == nil {
+	if err := c.SaveBusiness(context.Background(), bad); err == nil {
 		t.Error("malformed entity accepted over HTTP")
 	}
 }

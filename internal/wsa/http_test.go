@@ -1,6 +1,7 @@
 package wsa
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -35,26 +36,27 @@ func newServer(t *testing.T) (*httptest.Server, *RegistryServer) {
 
 func TestSaveAndFindOverHTTP(t *testing.T) {
 	ts, _ := newServer(t)
+	ctx := context.Background()
 	pub := &Client{Endpoint: ts.URL, Sender: "acme-pub"}
-	if err := pub.SaveBusiness(acmeEntity()); err != nil {
+	if err := pub.SaveBusiness(ctx, acmeEntity()); err != nil {
 		t.Fatal(err)
 	}
 	req := &Client{Endpoint: ts.URL, Sender: "visitor"}
-	infos, err := req.FindBusiness("acme")
+	infos, err := req.FindBusiness(ctx, "acme")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(infos) != 1 || infos[0].BusinessKey != "be-acme" {
 		t.Fatalf("find = %+v", infos)
 	}
-	svcs, err := req.FindService("ship")
+	svcs, err := req.FindService(ctx, "ship")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(svcs) != 1 || svcs[0].ServiceKey != "svc-ship" || svcs[0].BusinessKey != "be-acme" {
 		t.Fatalf("find_service = %+v", svcs)
 	}
-	ents, err := req.GetBusinessDetail("be-acme")
+	ents, err := req.GetBusinessDetail(ctx, "be-acme")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,14 +70,15 @@ func TestSaveAndFindOverHTTP(t *testing.T) {
 
 func TestOwnershipEnforcedOverHTTP(t *testing.T) {
 	ts, _ := newServer(t)
+	ctx := context.Background()
 	pub := &Client{Endpoint: ts.URL, Sender: "acme-pub"}
-	if err := pub.SaveBusiness(acmeEntity()); err != nil {
+	if err := pub.SaveBusiness(ctx, acmeEntity()); err != nil {
 		t.Fatal(err)
 	}
 	thief := &Client{Endpoint: ts.URL, Sender: "thief"}
 	e := acmeEntity()
 	e.Name = "Stolen"
-	if err := thief.SaveBusiness(e); err == nil {
+	if err := thief.SaveBusiness(ctx, e); err == nil {
 		t.Error("non-owner update accepted over HTTP")
 	}
 }
@@ -83,7 +86,7 @@ func TestOwnershipEnforcedOverHTTP(t *testing.T) {
 func TestFaultForUnknownOperation(t *testing.T) {
 	ts, _ := newServer(t)
 	c := &Client{Endpoint: ts.URL, Sender: "x"}
-	_, err := c.Call("bogus_op", nil)
+	_, err := c.Call(context.Background(), "bogus_op", nil)
 	if err == nil || !strings.Contains(err.Error(), "unknown operation") {
 		t.Errorf("err = %v", err)
 	}
@@ -138,8 +141,9 @@ func TestAuthenticatedQueryOverHTTP(t *testing.T) {
 	dir := wsig.NewKeyDirectory()
 	dir.RegisterSigner(prov.Signer())
 
+	ctx := context.Background()
 	visitor := &Client{Endpoint: ts.URL, Sender: "visitor"}
-	res, err := visitor.QueryAuthenticated("be-acme", dir)
+	res, err := visitor.QueryAuthenticated(ctx, "be-acme", dir)
 	if err != nil {
 		t.Fatalf("visitor query: %v", err)
 	}
@@ -148,7 +152,7 @@ func TestAuthenticatedQueryOverHTTP(t *testing.T) {
 	}
 
 	partner := &Client{Endpoint: ts.URL, Sender: "p1", Roles: []string{"partner"}}
-	res, err = partner.QueryAuthenticated("be-acme", dir)
+	res, err = partner.QueryAuthenticated(ctx, "be-acme", dir)
 	if err != nil {
 		t.Fatalf("partner query: %v", err)
 	}
@@ -157,7 +161,7 @@ func TestAuthenticatedQueryOverHTTP(t *testing.T) {
 	}
 
 	// Verification against an empty directory must fail client-side.
-	if _, err := partner.QueryAuthenticated("be-acme", wsig.NewKeyDirectory()); err == nil {
+	if _, err := partner.QueryAuthenticated(ctx, "be-acme", wsig.NewKeyDirectory()); err == nil {
 		t.Error("verification passed with no trusted keys")
 	}
 }

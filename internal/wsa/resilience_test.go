@@ -104,7 +104,7 @@ func TestClientRetriesTransientServerError(t *testing.T) {
 		Endpoint: ts.URL, Sender: "x",
 		Retry: &resilience.RetryPolicy{MaxAttempts: 4, Sleep: noSleep},
 	}
-	if _, err := c.FindBusiness(""); err != nil {
+	if _, err := c.FindBusiness(context.Background(), ""); err != nil {
 		t.Fatalf("retry did not recover from transient 503s: %v", err)
 	}
 	if calls.Load() != 3 {
@@ -127,7 +127,7 @@ func TestClientDoesNotRetryApplicationFault(t *testing.T) {
 		Endpoint: ts.URL, Sender: "x",
 		Retry: &resilience.RetryPolicy{MaxAttempts: 5, Sleep: noSleep},
 	}
-	if _, err := c.Call("no_such_op", nil); err == nil {
+	if _, err := c.Call(context.Background(), "no_such_op", nil); err == nil {
 		t.Fatal("unknown operation succeeded")
 	}
 	if calls.Load() != 1 {
@@ -147,7 +147,7 @@ func TestClientBreakerOpensAndFailsFast(t *testing.T) {
 	br := resilience.NewBreaker(resilience.BreakerConfig{FailureThreshold: 3, Cooldown: time.Hour})
 	c := &Client{Endpoint: ts.URL, Sender: "x", Breaker: br}
 	for i := 0; i < 3; i++ {
-		if _, err := c.FindBusiness(""); err == nil {
+		if _, err := c.FindBusiness(context.Background(), ""); err == nil {
 			t.Fatal("call to dead service succeeded")
 		}
 	}
@@ -155,7 +155,7 @@ func TestClientBreakerOpensAndFailsFast(t *testing.T) {
 	if br.State() != resilience.Open {
 		t.Fatalf("breaker state = %v after %d failures", br.State(), wire)
 	}
-	if _, err := c.FindBusiness(""); !errors.Is(err, resilience.ErrOpen) {
+	if _, err := c.FindBusiness(context.Background(), ""); !errors.Is(err, resilience.ErrOpen) {
 		t.Errorf("open-circuit call error = %v", err)
 	}
 	if calls.Load() != wire {
@@ -170,7 +170,7 @@ func TestClientBreakerIgnoresApplicationFaults(t *testing.T) {
 	br := resilience.NewBreaker(resilience.BreakerConfig{FailureThreshold: 2, Cooldown: time.Hour})
 	c := &Client{Endpoint: ts.URL, Sender: "x", Breaker: br}
 	for i := 0; i < 6; i++ {
-		if _, err := c.Call("no_such_op", nil); err == nil {
+		if _, err := c.Call(context.Background(), "no_such_op", nil); err == nil {
 			t.Fatal("unknown operation succeeded")
 		}
 	}
@@ -194,7 +194,7 @@ func TestClientContextDeadlineBoundsCall(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	_, err := c.CallContext(ctx, "find_business", nil)
+	_, err := c.Call(ctx, "find_business", nil)
 	if err == nil {
 		t.Fatal("call to wedged server succeeded")
 	}
@@ -214,7 +214,7 @@ func TestClientRecoversFromInjectedTransportFaults(t *testing.T) {
 		HTTP:  &http.Client{Transport: faultinject.WrapTransport(nil, inj)},
 		Retry: &resilience.RetryPolicy{MaxAttempts: 4, Sleep: noSleep},
 	}
-	if _, err := c.FindBusiness(""); err != nil {
+	if _, err := c.FindBusiness(context.Background(), ""); err != nil {
 		t.Fatalf("retry did not absorb injected transport faults: %v", err)
 	}
 }
@@ -228,7 +228,7 @@ func TestClientCorruptedResponseSurfaces(t *testing.T) {
 		Endpoint: ts.URL, Sender: "x",
 		HTTP: &http.Client{Transport: faultinject.WrapTransport(nil, inj)},
 	}
-	if _, err := c.FindBusiness(""); err == nil {
+	if _, err := c.FindBusiness(context.Background(), ""); err == nil {
 		t.Fatal("corrupted envelope accepted")
 	}
 }
@@ -244,7 +244,7 @@ func TestRetryExhaustionReportsAttempts(t *testing.T) {
 		Endpoint: ts.URL, Sender: "x",
 		Retry: &resilience.RetryPolicy{MaxAttempts: 3, Sleep: noSleep},
 	}
-	_, err := c.FindBusiness("")
+	_, err := c.FindBusiness(context.Background(), "")
 	if err == nil {
 		t.Fatal("call to dead service succeeded")
 	}

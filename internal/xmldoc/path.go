@@ -192,6 +192,8 @@ func (p *PathExpr) Specificity() int {
 // child-axis step matches the context's children ($x/name semantics), a
 // leading descendant step matches anywhere below the context. The empty
 // path selects the context itself.
+//
+// seclint:exempt path evaluator over a node the caller already holds; accessctl gates which views callers get
 func (p *PathExpr) SelectFrom(ctx *Node) []*Node {
 	if ctx == nil {
 		return nil
@@ -256,6 +258,8 @@ func advance(cur map[*Node]bool, step pathStep) map[*Node]bool {
 
 // Select evaluates the path against the document and returns the matched
 // nodes in document order.
+//
+// seclint:exempt path evaluator over a document the caller already holds; accessctl gates which views callers get
 func (p *PathExpr) Select(d *Document) []*Node {
 	if d == nil || d.Root == nil {
 		return nil

@@ -31,6 +31,8 @@ import (
 // authorized-view computation. Both *accessctl.Engine and the caching
 // *decisioncache.Engine satisfy it; with the latter, repeated queries by
 // the same role class reuse one cached view.
+//
+// seclint:gate calling View IS the access-control check for XML query paths
 type Viewer interface {
 	View(docName string, s *policy.Subject, priv policy.Privilege) *xmldoc.Document
 }
@@ -289,6 +291,8 @@ func compareVals(a, op, b string) bool {
 type Row []string
 
 // Eval runs the query over a document.
+//
+// seclint:exempt evaluates a caller-supplied document; SecureEval is the gated entry that resolves the authorized view first
 func (q *Query) Eval(d *xmldoc.Document) []Row {
 	var out []Row
 	for _, n := range q.forPath.Select(d) {
