@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint build test race bench benchsmoke fmt fmtcheck crashmatrix crashshort
+.PHONY: check vet lint build test race bench benchsmoke fmt fmtcheck crashmatrix crashshort failovershort
 
 # check is the full verification gate: formatting, vet, the seclint
 # static-analysis suite (guardedby/verdictcheck/ctxio/gatecheck — the
@@ -10,7 +10,7 @@ GO ?= go
 # one-iteration bench smoke so a broken benchmark cannot sit unnoticed
 # until measurement time, and the bounded crash matrix (crashshort) so a
 # durability regression cannot land between full crashmatrix runs.
-check: fmtcheck vet lint build race bench crashshort
+check: fmtcheck vet lint build race bench crashshort failovershort
 
 vet:
 	$(GO) vet ./...
@@ -59,11 +59,20 @@ benchsmoke:
 # mid-shared-fsync) and asserts the recovery invariants, under the race
 # detector.
 crashmatrix:
-	$(GO) test -race -run 'Crash' -v ./internal/wal/ ./internal/reldb/ \
-		./internal/audit/ ./internal/policy/ ./internal/resilience/...
+	$(GO) test -race -run 'Crash|KillLeader' -v ./internal/wal/ ./internal/reldb/ \
+		./internal/audit/ ./internal/policy/ ./internal/resilience/... \
+		./internal/replication/
 
 # crashshort is the bounded crash matrix wired into check: the same tests
 # with -short, which widens the byte strides so tier-1 stays fast.
 crashshort:
 	$(GO) test -race -short -run 'Crash' ./internal/wal/ ./internal/reldb/ \
 		./internal/audit/ ./internal/policy/ ./internal/resilience/...
+
+# failovershort is the replication gate wired into check: a 3-node
+# cluster elects, replicates, survives kill-the-leader at sampled byte
+# offsets (shortened matrix) and keeps every acknowledged commit, under
+# the race detector.
+failovershort:
+	$(GO) test -race -short -run 'TestThreeNodeReplication|TestKillLeaderMatrix|TestFailoverOnLeaderStop' \
+		./internal/replication/

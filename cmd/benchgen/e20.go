@@ -1,0 +1,278 @@
+package main
+
+import (
+	"context"
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"webdbsec/internal/replication"
+	"webdbsec/internal/resilience/faultinject"
+	"webdbsec/internal/wal"
+)
+
+// E20 measures the WAL-shipped replication layer (PR 6): the durable
+// commit path now ends at the cluster quorum, not the local fsync, so the
+// interesting numbers are what each follower costs — per-commit quorum
+// latency, the catch-up lag until EVERY follower has applied the tail,
+// and how long the cluster is leaderless after the leader dies. Appliers
+// are no-ops (pure log replicas) so the measurement isolates the
+// replication protocol from reldb replay.
+
+// e20Measurement is one follower-count row of the E20 experiment.
+type e20Measurement struct {
+	Followers     int     `json:"followers"`
+	Commits       int     `json:"commits"`
+	MeanCommitMS  float64 `json:"mean_commit_ms"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	CatchupMS     float64 `json:"catchup_ms"`
+	FailoverMS    float64 `json:"failover_ms"`
+}
+
+// e20Cluster is a minimal in-process cluster over loopback TCP.
+type e20Cluster struct {
+	ids     []string
+	nodes   map[string]*replication.Node
+	wals    map[string]*wal.WAL
+	applied map[string]*atomic.Uint64
+}
+
+func e20Key(id string) ed25519.PrivateKey {
+	seed := sha256.Sum256([]byte("benchgen-e20|" + id))
+	return ed25519.NewKeyFromSeed(seed[:])
+}
+
+// e20Start brings up a cluster of n nodes (IDs n1..n<n>; the election's
+// ID tie-break makes the highest the first leader) and waits for it.
+func e20Start(n int) (*e20Cluster, error) {
+	c := &e20Cluster{
+		nodes:   make(map[string]*replication.Node),
+		wals:    make(map[string]*wal.WAL),
+		applied: make(map[string]*atomic.Uint64),
+	}
+	listeners := make(map[string]net.Listener)
+	addrs := make(map[string]string)
+	for i := 1; i <= n; i++ {
+		id := fmt.Sprintf("n%d", i)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		c.ids = append(c.ids, id)
+		listeners[id] = l
+		addrs[id] = l.Addr().String()
+	}
+	for _, id := range c.ids {
+		w, err := wal.Open(wal.Options{FS: faultinject.NewMemFS(), Policy: wal.SyncAlways})
+		if err != nil {
+			return nil, err
+		}
+		peers := make(map[string]string)
+		keys := make(map[string]ed25519.PublicKey)
+		for _, pid := range c.ids {
+			if pid == id {
+				continue
+			}
+			peers[pid] = addrs[pid]
+			keys[pid] = e20Key(pid).Public().(ed25519.PublicKey)
+		}
+		applied := &atomic.Uint64{}
+		node, err := replication.NewNode(replication.Config{
+			NodeID:   id,
+			Listener: listeners[id],
+			Peers:    peers,
+			Identity: e20Key(id),
+			PeerKeys: keys,
+			WAL:      w,
+			Applier: replication.ApplierFuncs{
+				ApplyFn:   func(lsn uint64, _ []byte) error { applied.Store(lsn); return nil },
+				RestoreFn: func(lsn uint64, _ []byte) error { applied.Store(lsn); return nil },
+			},
+			HeartbeatInterval: 20 * time.Millisecond,
+			ElectionTimeout:   150 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.nodes[id] = node
+		c.wals[id] = w
+		c.applied[id] = applied
+		if err := node.Start(); err != nil {
+			return nil, err
+		}
+	}
+	if c.leader(5*time.Second) == "" {
+		return nil, fmt.Errorf("no leader within 5s")
+	}
+	return c, nil
+}
+
+// leader polls until exactly one node leads, returning its ID.
+func (c *e20Cluster) leader(within time.Duration) string {
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		found, count := "", 0
+		for id, node := range c.nodes {
+			if node.Role() == replication.LeaderRole {
+				found, count = id, count+1
+			}
+		}
+		if count == 1 {
+			return found
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return ""
+}
+
+func (c *e20Cluster) stopAll() {
+	for _, id := range c.ids {
+		if node := c.nodes[id]; node != nil { // the killed leader is already stopped
+			node.Stop()
+		}
+		_ = c.wals[id].Close()
+	}
+}
+
+// e20Measure runs one follower count: serial quorum-acked commits, the
+// all-follower catch-up tail, then a leader kill and re-election.
+// Failover is only measurable when the survivors still form a quorum of
+// the original cluster (followers >= 2).
+func e20Measure(followers, commits int) (e20Measurement, error) {
+	c, err := e20Start(followers + 1)
+	if err != nil {
+		return e20Measurement{}, err
+	}
+	defer c.stopAll()
+	leadID := c.leader(5 * time.Second)
+	if leadID == "" {
+		return e20Measurement{}, fmt.Errorf("leader lost before measurement")
+	}
+	w, node := c.wals[leadID], c.nodes[leadID]
+	payload := make([]byte, 128)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	start := time.Now()
+	var last uint64
+	for i := 0; i < commits; i++ {
+		lsn, err := w.Append(payload)
+		if err != nil {
+			return e20Measurement{}, err
+		}
+		if err := node.WaitCommitted(ctx, lsn); err != nil {
+			return e20Measurement{}, err
+		}
+		last = lsn
+	}
+	elapsed := time.Since(start)
+
+	// Catch-up lag: the quorum ack already covers a majority; how long
+	// until EVERY follower has applied the tail?
+	catchStart := time.Now()
+	var catchup time.Duration
+	for {
+		lagging := false
+		for id, a := range c.applied {
+			if id != leadID && a.Load() < last {
+				lagging = true
+				break
+			}
+		}
+		if !lagging {
+			catchup = time.Since(catchStart)
+			break
+		}
+		if time.Since(catchStart) > 30*time.Second {
+			return e20Measurement{}, fmt.Errorf("followers did not catch up within 30s")
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+
+	failover := 0.0
+	if followers >= 2 {
+		c.nodes[leadID].Stop()
+		killAt := time.Now()
+		delete(c.nodes, leadID) // leader() must find the successor
+		if next := c.leader(15 * time.Second); next == "" {
+			return e20Measurement{}, fmt.Errorf("no successor within 15s")
+		}
+		failover = float64(time.Since(killAt).Microseconds()) / 1000
+	}
+
+	return e20Measurement{
+		Followers:     followers,
+		Commits:       commits,
+		MeanCommitMS:  float64(elapsed.Microseconds()) / 1000 / float64(commits),
+		CommitsPerSec: float64(commits) / elapsed.Seconds(),
+		CatchupMS:     float64(catchup.Microseconds()) / 1000,
+		FailoverMS:    failover,
+	}, nil
+}
+
+func e20Rows(quick bool) ([]e20Measurement, error) {
+	commits := 400
+	counts := []int{1, 2, 4}
+	if quick {
+		commits = 80
+		counts = []int{1, 2}
+	}
+	var rows []e20Measurement
+	for _, f := range counts {
+		m, err := e20Measure(f, commits)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, m)
+	}
+	return rows, nil
+}
+
+func runE20(quick bool) {
+	rows, err := e20Rows(quick)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "E20: %v\n", err)
+		return
+	}
+	t := &table{header: []string{"followers", "commits", "mean commit ms", "commits/s", "catchup ms", "failover ms"}}
+	for _, m := range rows {
+		fo := fmt.Sprintf("%.1f", m.FailoverMS)
+		if m.FailoverMS == 0 {
+			fo = "n/a (no quorum without leader)"
+		}
+		t.add(fmt.Sprint(m.Followers), fmt.Sprint(m.Commits),
+			fmt.Sprintf("%.2f", m.MeanCommitMS),
+			fmt.Sprintf("%.0f", m.CommitsPerSec),
+			fmt.Sprintf("%.1f", m.CatchupMS), fo)
+	}
+	t.print()
+}
+
+// e20Snapshot is the record -snapshot -run E20 writes (BENCH_PR6.json).
+type e20Snapshot struct {
+	Experiment  string           `json:"experiment"`
+	Description string           `json:"description"`
+	Rows        []e20Measurement `json:"rows"`
+}
+
+// writeSnapshotE20 measures E20 and writes the JSON record to path.
+func writeSnapshotE20(path string, quick bool) error {
+	rows, err := e20Rows(quick)
+	if err != nil {
+		return err
+	}
+	snap := e20Snapshot{
+		Experiment:  "E20",
+		Description: "WAL-shipped replication: quorum commit latency, all-follower catch-up lag and leader failover time, by follower count",
+		Rows:        rows,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -48,7 +48,25 @@ func main() {
 	walSync := flag.String("walsync", "always", "WAL fsync policy with -data: always, interval or never")
 	walBatch := flag.Int("walbatch", 1<<20, "group-commit batch cap in bytes (1 = fsync per append, no batching)")
 	walMaxDelay := flag.Duration("walmaxdelay", 0, "max time the group-commit leader lingers to widen a batch (0 = ship immediately)")
+	nodeID := flag.String("nodeid", "", "cluster node ID; enables cluster mode with -replica and -peers")
+	replicaAddr := flag.String("replica", "", "replication listen address (host:port) for cluster mode")
+	peersSpec := flag.String("peers", "", "comma-separated id=host:port list of every OTHER cluster member")
+	clusterSecret := flag.String("clustersecret", "securedb-demo", "shared secret deriving the demo cluster node identities")
 	flag.Parse()
+
+	if *nodeID != "" || *replicaAddr != "" || *peersSpec != "" {
+		runCluster(clusterOpts{
+			nodeID:      *nodeID,
+			replicaAddr: *replicaAddr,
+			peersSpec:   *peersSpec,
+			secret:      *clusterSecret,
+			dataDir:     *dataDir,
+			httpAddr:    *addr,
+			people:      *people,
+			debug:       *debug,
+		})
+		return
+	}
 
 	cfg := core.Config{}
 	// Durable mode: the relational substrate and the audit chain live in

@@ -1,0 +1,392 @@
+// Cluster mode: with -nodeid, -replica and -peers, securedb joins a
+// WAL-shipped replication group. The elected leader serves the full
+// read-write pipeline and every write ack carries the cluster durability
+// verdict; followers replay the shipped log and serve reads through the
+// same access-control gate, refusing writes with a redirect hint to the
+// leader. Failover is automatic — when the leader dies, the survivors
+// elect (highest durable LSN, ties toward the highest node ID) and the
+// winner promotes its replica in place.
+package main
+
+import (
+	"context"
+	"crypto/ed25519"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"webdbsec/internal/audit"
+	"webdbsec/internal/core"
+	"webdbsec/internal/debugz"
+	"webdbsec/internal/reldb"
+	"webdbsec/internal/replication"
+	"webdbsec/internal/wal"
+)
+
+// clusterOpts carries the parsed cluster flags.
+type clusterOpts struct {
+	nodeID      string
+	replicaAddr string
+	peersSpec   string
+	secret      string
+	dataDir     string
+	httpAddr    string
+	people      int
+	debug       bool
+}
+
+// parsePeers decodes "id=host:port,id=host:port" into the peer map.
+func parsePeers(spec string) (map[string]string, error) {
+	peers := make(map[string]string)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("peer %q: want id=host:port", part)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("peer %q listed twice", id)
+		}
+		peers[id] = addr
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("-peers %q names no peers", spec)
+	}
+	return peers, nil
+}
+
+// demoNodeKey derives a node's ed25519 identity from the shared cluster
+// secret, so every member can compute every peer's public key without a
+// key-distribution step. Demo-grade: a production deployment provisions
+// per-node keys and a credential.Verifier-backed join policy instead.
+func demoNodeKey(secret, id string) ed25519.PrivateKey {
+	seed := sha256.Sum256([]byte(secret + "|" + id))
+	return ed25519.NewKeyFromSeed(seed[:])
+}
+
+// runCluster is the cluster-mode main loop. It blocks until shutdown.
+func runCluster(o clusterOpts) {
+	if o.nodeID == "" || o.replicaAddr == "" || o.peersSpec == "" {
+		log.Fatal("securedb: cluster mode needs all of -nodeid, -replica and -peers")
+	}
+	if o.dataDir == "" {
+		log.Fatal("securedb: cluster mode needs -data (the WAL is what gets replicated)")
+	}
+	peers, err := parsePeers(o.peersSpec)
+	if err != nil {
+		log.Fatalf("securedb: %v", err)
+	}
+	if _, self := peers[o.nodeID]; self {
+		log.Fatalf("securedb: -peers must list every OTHER node, not %s itself", o.nodeID)
+	}
+
+	// The replicated log must be SyncAlways: an Append return doubles as
+	// the durability half of the commit verdict the ack protocol ships.
+	dbWAL, err := wal.Open(wal.Options{
+		FS: wal.DirFS(filepath.Join(o.dataDir, "db")), Policy: wal.SyncAlways,
+	})
+	if err != nil {
+		log.Fatalf("securedb: open db wal: %v", err)
+	}
+	auditWAL, err := wal.Open(wal.Options{
+		FS: wal.DirFS(filepath.Join(o.dataDir, "audit")), Policy: wal.SyncAlways,
+	})
+	if err != nil {
+		log.Fatalf("securedb: open audit wal: %v", err)
+	}
+	auditLog, err := audit.OpenLog(auditWAL)
+	if err != nil {
+		log.Fatalf("securedb: recover audit log: %v", err)
+	}
+
+	// Every node starts as a follower over its local log; the election
+	// decides who promotes.
+	follower, err := reldb.OpenFollower(dbWAL)
+	if err != nil {
+		log.Fatalf("securedb: open follower: %v", err)
+	}
+	keys := make(map[string]ed25519.PublicKey, len(peers))
+	for id := range peers {
+		keys[id] = demoNodeKey(o.secret, id).Public().(ed25519.PublicKey)
+	}
+
+	r := &replicaSet{nodeID: o.nodeID, w: dbWAL, people: o.people, auditLog: auditLog}
+	r.follower.Store(follower)
+	r.rebuildFollowerServing()
+
+	node, err := replication.NewNode(replication.Config{
+		NodeID:     o.nodeID,
+		Addr:       o.replicaAddr,
+		Peers:      peers,
+		Identity:   demoNodeKey(o.secret, o.nodeID),
+		PeerKeys:   keys,
+		WAL:        dbWAL,
+		Applier:    follower,
+		AppliedLSN: follower.AppliedLSN(),
+		OnLeader:   r.onLeader,
+		OnDemote:   r.onDemote,
+		Logf:       log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("securedb: replication: %v", err)
+	}
+	r.node = node
+	if err := node.Start(); err != nil {
+		log.Fatalf("securedb: replication: %v", err)
+	}
+	log.Printf("securedb: cluster node %s replicating on %s, peers %v", o.nodeID, o.replicaAddr, peers)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", r.queryHandler())
+	mux.HandleFunc("/exec", r.execHandler())
+	mux.HandleFunc("/agg", r.aggHandler())
+	mux.HandleFunc("/audit", func(rw http.ResponseWriter, req *http.Request) {
+		for _, rec := range auditLog.Records() {
+			fmt.Fprintf(rw, "%4d %-10s %-8s %-60s %s\n", rec.Seq, rec.Actor, rec.Action, rec.Object, rec.Outcome)
+		}
+	})
+	mux.HandleFunc("/cluster", func(rw http.ResponseWriter, req *http.Request) {
+		s := node.Snapshot()
+		fmt.Fprintf(rw, "node %s role=%s epoch=%d leader=%s commit=%d durable=%d applied=%d\n",
+			s.NodeID, s.Role, s.Epoch, s.LeaderID, s.CommitLSN, s.DurableLSN, s.AppliedLSN)
+		for id, f := range s.Followers {
+			fmt.Fprintf(rw, "follower %s acked=%d queue=%d lastheard=%s\n", id, f.AckedLSN, f.QueueLen, f.LastHeard)
+		}
+	})
+	if o.debug {
+		debugz.Mount(mux)
+		debugz.Publish("securedb.replication", func() any { return node.Snapshot() })
+		debugz.Publish("securedb.wal.db", func() any { return dbWAL.Stats() })
+		debugz.Publish("securedb.wal.audit", func() any { return auditWAL.Stats() })
+		log.Print("securedb: debug endpoints enabled at /debug/pprof and /debug/vars")
+	}
+
+	srv := &http.Server{
+		Addr:              o.httpAddr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("securedb listening on %s (cluster node %s)", o.httpAddr, o.nodeID)
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("securedb: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("securedb: shutdown: %v", err)
+	}
+	node.Stop()
+	if err := dbWAL.Close(); err != nil {
+		log.Printf("securedb: close db wal: %v", err)
+	}
+	if err := auditWAL.Close(); err != nil {
+		log.Printf("securedb: close audit wal: %v", err)
+	}
+}
+
+// replicaSet is the serving state machine around the replication node:
+// an atomically-swapped SecureWebDB rebuilt on every role change, so
+// request handlers always see a coherent (database, policy) pair.
+type replicaSet struct {
+	nodeID   string
+	node     *replication.Node
+	w        *wal.WAL
+	people   int
+	auditLog *audit.Log
+
+	follower atomic.Pointer[reldb.Follower]
+	serving  atomic.Pointer[core.SecureWebDB]
+	leading  atomic.Bool
+}
+
+// rebuildFollowerServing points the pipeline at the follower's replayed
+// materialization: reads on a replica traverse the same grant catalog,
+// row/column policies, privacy constraints and inference control as on
+// the leader — the provably-equal-views requirement.
+func (r *replicaSet) rebuildFollowerServing() {
+	f := r.follower.Load()
+	if f == nil {
+		r.serving.Store(nil)
+		return
+	}
+	sdb := reldb.NewSecureDB(f.DB(), nil)
+	w := core.NewSecureWebDB(core.Config{DB: sdb, Audit: r.auditLog})
+	if err := setupDemo(w, r.people, false); err != nil {
+		log.Printf("securedb: replica policy install: %v", err)
+		r.serving.Store(nil)
+		return
+	}
+	r.serving.Store(w)
+}
+
+// onLeader promotes the follower into the writable database and rebuilds
+// the serving pipeline around it; a brand-new cluster's first leader also
+// loads the demo schema (which replicates to everyone through the WAL).
+func (r *replicaSet) onLeader() {
+	f := r.follower.Load()
+	if f == nil {
+		log.Print("securedb: promote: no follower state")
+		return
+	}
+	db, err := f.Promote()
+	if err != nil {
+		log.Printf("securedb: promote: %v", err)
+		return
+	}
+	r.follower.Store(nil)
+	_, hasDemo := db.Table("patients")
+	sdb := reldb.NewSecureDB(db, nil)
+	w := core.NewSecureWebDB(core.Config{DB: sdb, Audit: r.auditLog})
+	if err := setupDemo(w, r.people, !hasDemo); err != nil {
+		log.Printf("securedb: leader demo setup: %v", err)
+		return
+	}
+	r.serving.Store(w)
+	r.leading.Store(true)
+	log.Printf("securedb: %s promoted to leader", r.nodeID)
+}
+
+// onDemote drops leadership and rebuilds the replica state machine from
+// the local WAL, exactly like a restart.
+func (r *replicaSet) onDemote() {
+	r.leading.Store(false)
+	f, err := reldb.OpenFollower(r.w)
+	if err != nil {
+		log.Printf("securedb: demote: reopen follower: %v", err)
+		r.follower.Store(nil)
+		r.serving.Store(nil)
+		return
+	}
+	r.follower.Store(f)
+	r.node.SetApplier(f, f.AppliedLSN())
+	r.rebuildFollowerServing()
+	log.Printf("securedb: %s demoted to follower", r.nodeID)
+}
+
+// current returns the serving pipeline, rebuilding a follower's lazily if
+// a previous rebuild failed.
+func (r *replicaSet) current() *core.SecureWebDB {
+	if w := r.serving.Load(); w != nil {
+		return w
+	}
+	if !r.leading.Load() {
+		r.rebuildFollowerServing()
+	}
+	return r.serving.Load()
+}
+
+// notLeader writes the standard redirect hint for writes on a replica.
+func (r *replicaSet) notLeader(rw http.ResponseWriter) {
+	leader := r.node.LeaderID()
+	if leader == "" {
+		leader = "unknown (election in progress)"
+	}
+	http.Error(rw, fmt.Sprintf("not the leader; writes go to %s", leader), http.StatusServiceUnavailable)
+}
+
+func (r *replicaSet) queryHandler() http.HandlerFunc {
+	return func(rw http.ResponseWriter, req *http.Request) {
+		w := r.current()
+		if w == nil {
+			http.Error(rw, "replica warming up", http.StatusServiceUnavailable)
+			return
+		}
+		handler(w, true)(rw, req)
+	}
+}
+
+func (r *replicaSet) aggHandler() http.HandlerFunc {
+	return func(rw http.ResponseWriter, req *http.Request) {
+		w := r.current()
+		if w == nil {
+			http.Error(rw, "replica warming up", http.StatusServiceUnavailable)
+			return
+		}
+		aggHandler(w)(rw, req)
+	}
+}
+
+// execHandler accepts writes only on the leader, and only acknowledges
+// once the cluster durability verdict is in: the written records are
+// durable on a quorum, so no failover can roll this ack back.
+func (r *replicaSet) execHandler() http.HandlerFunc {
+	return func(rw http.ResponseWriter, req *http.Request) {
+		if r.node.Role() != replication.LeaderRole || !r.leading.Load() {
+			r.notLeader(rw)
+			return
+		}
+		w := r.current()
+		if w == nil {
+			http.Error(rw, "leader warming up", http.StatusServiceUnavailable)
+			return
+		}
+		rec := httpRecorder{header: make(http.Header)}
+		handler(w, false)(&rec, req)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		if rec.status < 400 {
+			// The statement is in the local log; hold the success ack until
+			// the records are durable on a quorum, so no failover can roll
+			// this response back.
+			ctx, cancel := context.WithTimeout(req.Context(), 5*time.Second)
+			defer cancel()
+			if err := r.node.WaitCommitted(ctx, r.w.LastLSN()); err != nil {
+				http.Error(rw, fmt.Sprintf("commit not acknowledged by quorum: %v", err), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		for k, vs := range rec.header {
+			for _, v := range vs {
+				rw.Header().Add(k, v)
+			}
+		}
+		rw.WriteHeader(rec.status)
+		rw.Write(rec.buf)
+	}
+}
+
+// httpRecorder buffers the whole response so the quorum verdict can veto
+// a would-be success ack.
+type httpRecorder struct {
+	header http.Header
+	status int
+	buf    []byte
+}
+
+func (h *httpRecorder) Header() http.Header { return h.header }
+
+func (h *httpRecorder) WriteHeader(status int) {
+	if h.status == 0 {
+		h.status = status
+	}
+}
+
+func (h *httpRecorder) Write(b []byte) (int, error) {
+	if h.status == 0 {
+		h.status = http.StatusOK
+	}
+	h.buf = append(h.buf, b...)
+	return len(b), nil
+}

@@ -4,9 +4,13 @@
 package verdict
 
 import (
+	"context"
+
 	"webdbsec/internal/audit"
 	"webdbsec/internal/reldb"
+	"webdbsec/internal/replication"
 	"webdbsec/internal/wal"
+	"webdbsec/internal/xmldoc"
 )
 
 func bareCall(w *wal.WAL, p []byte) {
@@ -61,4 +65,39 @@ func checkpointDB(d *reldb.Database) error {
 func appendWait(l *reldb.Log, rec reldb.LogRecord) error {
 	_, err := l.AppendWait(rec)
 	return err
+}
+
+// --- replication verdicts (PR 6) ---
+
+func ackWithoutQuorum(n *replication.Node, w *wal.WAL) {
+	go n.WaitCommitted(context.Background(), w.LastLSN()) // want `durability verdict of \(\*replication\.Node\)\.WaitCommitted is unobservable \(go statement\)`
+}
+
+func applyDrop(f *reldb.Follower, p []byte) {
+	f.Apply(1, p) // want `durability verdict of \(\*reldb\.Follower\)\.Apply is discarded \(bare call statement\)`
+}
+
+func restoreBlank(f *reldb.Follower, snap []byte) {
+	_ = f.Restore(1, snap) // want `durability verdict of \(\*reldb\.Follower\)\.Restore is assigned to _`
+}
+
+func xmlApplyDrop(s *xmldoc.Store, p []byte) {
+	s.ApplyReplicated(1, p) // want `durability verdict of \(\*xmldoc\.Store\)\.ApplyReplicated is discarded \(bare call statement\)`
+}
+
+func xmlRestoreDrop(s *xmldoc.Store, snap []byte) {
+	s.RestoreReplicated(1, snap) // want `durability verdict of \(\*xmldoc\.Store\)\.RestoreReplicated is discarded \(bare call statement\)`
+}
+
+func truncateDrop(w *wal.WAL) {
+	w.TruncateTo(7) // want `durability verdict of \(\*wal\.WAL\)\.TruncateTo is discarded \(bare call statement\)`
+}
+
+func installDeferred(w *wal.WAL, snap []byte) {
+	defer w.InstallSnapshot(snap, 7) // want `durability verdict of \(\*wal\.WAL\)\.InstallSnapshot is unobservable \(deferred call\)`
+}
+
+// ackChecked returns the cluster verdict to the client path: not a drop.
+func ackChecked(n *replication.Node, w *wal.WAL) error {
+	return n.WaitCommitted(context.Background(), w.LastLSN())
 }

@@ -20,8 +20,9 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "verdictcheck",
-	Doc: "the durability verdicts of wal.Ack.Wait, wal.WAL.Append/Sync/Checkpoint, reldb.Log.AppendWait, " +
-		"reldb.Txn.Commit, reldb.Database.Checkpoint and audit.Log.AppendChecked must not be discarded",
+	Doc: "the durability verdicts of wal.Ack.Wait, wal.WAL.Append/Sync/Checkpoint/TruncateTo/InstallSnapshot, " +
+		"reldb.Log.AppendWait, reldb.Txn.Commit, reldb.Database.Checkpoint, audit.Log.AppendChecked, " +
+		"replication.Node.WaitCommitted and the replica apply/restore verdicts must not be discarded",
 	Run: run,
 }
 
@@ -36,6 +37,21 @@ var verdictFuncs = map[string]bool{
 	"(*webdbsec/internal/reldb.Txn).Commit":          true,
 	"(*webdbsec/internal/reldb.Database).Checkpoint": true,
 	"(*webdbsec/internal/audit.Log).AppendChecked":   true,
+
+	// Replication verdicts (PR 6). WaitCommitted is the cluster-durability
+	// half of a write ack: dropping it acknowledges a commit a failover can
+	// still roll back. The apply/restore verdicts are a replica's only
+	// evidence it still equals the leader — a dropped error silently forks
+	// the replica's state. TruncateTo/InstallSnapshot rewrite log history
+	// during divergence repair; an unchecked failure leaves the replica
+	// claiming a position its log does not hold.
+	"(*webdbsec/internal/replication.Node).WaitCommitted": true,
+	"(*webdbsec/internal/reldb.Follower).Apply":           true,
+	"(*webdbsec/internal/reldb.Follower).Restore":         true,
+	"(*webdbsec/internal/xmldoc.Store).ApplyReplicated":   true,
+	"(*webdbsec/internal/xmldoc.Store).RestoreReplicated": true,
+	"(*webdbsec/internal/wal.WAL).TruncateTo":             true,
+	"(*webdbsec/internal/wal.WAL).InstallSnapshot":        true,
 }
 
 func run(pass *analysis.Pass) error {

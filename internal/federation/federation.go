@@ -87,25 +87,34 @@ func (s *Source) Exec(ctx context.Context, sel *reldb.SelectStmt) (*reldb.Result
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if s.db == nil {
+		return nil, fmt.Errorf("federation: source %s has no local database or exec hook", s.Name)
+	}
 	return s.db.ExecStmt(sel)
 }
 
-// ExportTable declares an export. The local table and every exported
-// column must exist.
+// ExportTable declares an export. For a source with a pinned local
+// database, the local table and every exported column must exist;
+// exec-only sources (remote members, replica bindings whose state is
+// rebuilt across failovers) cannot be validated up front — a missing
+// table there surfaces at execution time through the fan-out's
+// degradation path instead.
 func (s *Source) ExportTable(e *Export) error {
 	if e.Virtual == "" || e.Local == "" {
 		return fmt.Errorf("federation: export needs virtual and local names")
 	}
-	t, ok := s.db.Table(e.Local)
-	if !ok {
-		return fmt.Errorf("federation: source %s has no table %s", s.Name, e.Local)
-	}
 	if len(e.Columns) == 0 {
 		return fmt.Errorf("federation: export of %s needs an explicit column list", e.Virtual)
 	}
-	for _, c := range e.Columns {
-		if t.Schema.ColIndex(c) < 0 {
-			return fmt.Errorf("federation: source %s table %s has no column %s", s.Name, e.Local, c)
+	if s.db != nil {
+		t, ok := s.db.Table(e.Local)
+		if !ok {
+			return fmt.Errorf("federation: source %s has no table %s", s.Name, e.Local)
+		}
+		for _, c := range e.Columns {
+			if t.Schema.ColIndex(c) < 0 {
+				return fmt.Errorf("federation: source %s table %s has no column %s", s.Name, e.Local, c)
+			}
 		}
 	}
 	s.exports[e.Virtual] = e

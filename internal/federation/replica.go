@@ -1,0 +1,70 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"webdbsec/internal/rdf"
+	"webdbsec/internal/reldb"
+)
+
+// ErrStaleReplica is the refusal a replica source answers with when its
+// replayed state lags the cluster commit watermark by more than the
+// configured bound. The scatter-gather records it in Result.Failed and
+// the query degrades to the fresh members instead of silently serving
+// old data.
+var ErrStaleReplica = errors.New("federation: replica too far behind")
+
+// ReplicaBinding connects a federation source to a replication follower.
+// All three funcs are called per query so the binding survives failover:
+// the follower's materialized database is rebuilt when leadership moves,
+// and pinning one instance at construction time would serve a dead copy.
+type ReplicaBinding struct {
+	// DB returns the replica's current read-only materialization (e.g.
+	// reldb.Follower.DB), or nil while the replica has no state open.
+	DB func() *reldb.Database
+	// AppliedLSN is the highest log record the replica has replayed.
+	AppliedLSN func() uint64
+	// CommitLSN is the cluster commit watermark as the replica knows it
+	// (e.g. replication.Node.CommitLSN).
+	CommitLSN func() uint64
+	// MaxLag bounds how many committed-but-unapplied records a replica
+	// may serve through. 0 demands an exactly-caught-up replica.
+	MaxLag uint64
+}
+
+// NewReplicaSource wraps a replication follower's replayed database as an
+// exec-only federation member: reads route to the replica's materialized
+// state through the same statement path a local source uses, but gated on
+// freshness — a replica behind the commit watermark by more than MaxLag
+// refuses with ErrStaleReplica rather than answer from history. Because
+// the refusal surfaces through the ordinary fan-out degradation path, a
+// stale or crashed replica turns the federated result partial (with
+// provenance) while the remaining members still answer.
+//
+// The caller applies the same access-control wrapping to the returned
+// source's reads as it would on the leader; the binding only supplies the
+// raw replayed database.
+func NewReplicaSource(name string, level rdf.Level, b ReplicaBinding) (*Source, error) {
+	if b.DB == nil || b.AppliedLSN == nil || b.CommitLSN == nil {
+		return nil, fmt.Errorf("federation: replica source %s needs DB, AppliedLSN and CommitLSN bindings", name)
+	}
+	s := NewSource(name, nil, level)
+	s.SetExec(func(ctx context.Context, sel *reldb.SelectStmt) (*reldb.Result, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		applied, commit := b.AppliedLSN(), b.CommitLSN()
+		if commit > applied && commit-applied > b.MaxLag {
+			return nil, fmt.Errorf("%w: %s applied %d of %d committed records (max lag %d)",
+				ErrStaleReplica, name, applied, commit, b.MaxLag)
+		}
+		db := b.DB()
+		if db == nil {
+			return nil, fmt.Errorf("%w: %s has no replica state open", ErrStaleReplica, name)
+		}
+		return db.ExecStmt(sel)
+	})
+	return s, nil
+}

@@ -1,0 +1,255 @@
+package reldb
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"webdbsec/internal/wal"
+)
+
+// Follower is the replica-side replay engine: it consumes the leader's log
+// records one at a time — in LSN order, as the replication layer hands
+// them over — and maintains a read-only materialization of the committed
+// state through the same redo path recovery uses (applyRecords). DML for a
+// transaction is buffered until its Commit record arrives, so the
+// follower's database only ever shows transaction-atomic states; an Abort
+// drops the buffer, exactly mirroring what crash recovery would do.
+//
+// The replication layer owns the follower's local WAL (it appends shipped
+// frames, truncates on divergence, installs snapshots); the Follower only
+// tracks the in-memory materialization. On failover, Promote turns the
+// materialization into a writable Database anchored at the WAL position.
+type Follower struct {
+	mu sync.Mutex
+	db *Database // seclint:guardedby mu
+	w  *wal.WAL
+	// appliedLSN is the highest LSN consumed by Apply (or restored from
+	// the local WAL / an installed snapshot).
+	appliedLSN uint64 // seclint:guardedby mu
+	// pending buffers DML of transactions whose Commit has not arrived.
+	pending map[int64][]LogRecord // seclint:guardedby mu
+	// recs mirrors every consumed record, so a promoted database carries
+	// the same in-memory log a crash-recovered one would.
+	recs []LogRecord // seclint:guardedby mu
+	// promoted poisons further Apply/Restore calls once the follower has
+	// handed its database over.
+	promoted bool // seclint:guardedby mu
+}
+
+// OpenFollower recovers a follower's materialization from its local WAL:
+// snapshot restored, committed transactions redone, uncommitted tails
+// re-buffered (their Commit may still arrive from the leader). The
+// replication layer keeps owning w for appends.
+//
+// Unlike OpenDatabase it reads the log through a cursor, not Replay, so it
+// works on a live WAL too — the demote path reopens a follower over the
+// same WAL instance an ex-leader has been writing to since process start,
+// and Replay only ever sees the recovery-time tail. The pipeline is
+// drained first so the cursor (bounded by the durable watermark) covers
+// every appended record.
+//
+// seclint:locked f is not yet published; no other goroutine holds a reference before OpenFollower returns
+func OpenFollower(w *wal.WAL) (*Follower, error) {
+	if err := w.Sync(); err != nil {
+		return nil, fmt.Errorf("reldb: follower open: %w", err)
+	}
+	f := &Follower{w: w, pending: make(map[int64][]LogRecord)}
+	db := NewDatabase()
+	var snapTxnSeq int64
+	payload, snapLSN, hasSnap := w.Snapshot()
+	if hasSnap {
+		if err := restoreSnap(db, payload, &snapTxnSeq); err != nil {
+			return nil, err
+		}
+	}
+	cur, err := w.OpenCursor(snapLSN)
+	if err != nil {
+		return nil, fmt.Errorf("reldb: follower open: %w", err)
+	}
+	var recs []LogRecord
+	applied := snapLSN
+	for {
+		r, ok, err := cur.Next()
+		if err != nil {
+			return nil, fmt.Errorf("reldb: follower open: %w", err)
+		}
+		if !ok {
+			break
+		}
+		rec, err := decodeLogRecord(r.Payload)
+		if err != nil {
+			return nil, err
+		}
+		rec.LSN = int64(r.LSN)
+		recs = append(recs, rec)
+		applied = r.LSN
+	}
+	committed := committedTxns(recs)
+	if err := applyRecords(db, recs, committed); err != nil {
+		return nil, err
+	}
+	// Transactions with neither Commit nor Abort stay buffered: their
+	// verdict is still in flight on the leader.
+	aborted := map[int64]bool{}
+	for _, r := range recs {
+		if r.Op == OpAbort {
+			aborted[r.Txn] = true
+		}
+	}
+	for _, r := range recs {
+		switch r.Op {
+		case OpInsert, OpUpdate, OpDelete:
+			if !committed[r.Txn] && !aborted[r.Txn] {
+				f.pending[r.Txn] = append(f.pending[r.Txn], r)
+			}
+		}
+	}
+	db.txnSeq = snapTxnSeq
+	if mt := maxTxn(recs); mt > db.txnSeq {
+		db.txnSeq = mt
+	}
+	f.db = db
+	f.recs = recs
+	// The position is what the cursor actually delivered — under a
+	// concurrent appender (demote racing the new leader's stream) this can
+	// trail LastLSN; the replication layer re-applies the gap from here.
+	f.appliedLSN = applied
+	return f, nil
+}
+
+// restoreSnap rebuilds db from a dbSnap payload.
+func restoreSnap(db *Database, payload []byte, txnSeq *int64) error {
+	var snap dbSnap
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return fmt.Errorf("reldb: decode snapshot: %w", err)
+	}
+	*txnSeq = snap.TxnSeq
+	for i := range snap.Tables {
+		t, err := snap.Tables[i].restore()
+		if err != nil {
+			return err
+		}
+		db.tables[t.Name] = t
+	}
+	return nil
+}
+
+// Apply consumes one replicated log record. Records must arrive in strict
+// LSN order; the replication layer guarantees it only hands over records
+// at or below the cluster commit watermark, so everything Apply
+// materializes is durable on a quorum.
+func (f *Follower) Apply(lsn uint64, payload []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.promoted {
+		return fmt.Errorf("reldb: follower already promoted")
+	}
+	if lsn != f.appliedLSN+1 {
+		return fmt.Errorf("reldb: follower apply LSN %d, want %d", lsn, f.appliedLSN+1)
+	}
+	rec, err := decodeLogRecord(payload)
+	if err != nil {
+		return err
+	}
+	rec.LSN = int64(lsn)
+	switch rec.Op {
+	case OpCreateTable, OpCreateIndex:
+		// DDL applies unconditionally, as in recovery.
+		if err := applyRecords(f.db, []LogRecord{rec}, nil); err != nil {
+			return err
+		}
+	case OpBegin:
+		f.pending[rec.Txn] = nil
+	case OpInsert, OpUpdate, OpDelete:
+		f.pending[rec.Txn] = append(f.pending[rec.Txn], rec)
+	case OpCommit:
+		buf := f.pending[rec.Txn]
+		delete(f.pending, rec.Txn)
+		if err := applyRecords(f.db, buf, map[int64]bool{rec.Txn: true}); err != nil {
+			return err
+		}
+	case OpAbort:
+		delete(f.pending, rec.Txn)
+	default:
+		return fmt.Errorf("reldb: follower apply: unknown op %d at lsn %d", rec.Op, lsn)
+	}
+	f.recs = append(f.recs, rec)
+	f.appliedLSN = lsn
+	f.db.mu.Lock()
+	if rec.Txn > f.db.txnSeq {
+		f.db.txnSeq = rec.Txn
+	}
+	f.db.mu.Unlock()
+	return nil
+}
+
+// Restore replaces the follower's materialization with a leader snapshot
+// (full resync): the replication layer has already installed it into the
+// local WAL at lsn.
+func (f *Follower) Restore(lsn uint64, snapshot []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.promoted {
+		return fmt.Errorf("reldb: follower already promoted")
+	}
+	db := NewDatabase()
+	var txnSeq int64
+	// An empty snapshot is a reset to genesis: a leader that has never
+	// checkpointed resyncs divergent followers by wiping them and
+	// streaming its whole log.
+	if len(snapshot) > 0 {
+		if err := restoreSnap(db, snapshot, &txnSeq); err != nil {
+			return err
+		}
+	}
+	db.txnSeq = txnSeq
+	f.db = db
+	f.pending = make(map[int64][]LogRecord)
+	f.recs = nil
+	f.appliedLSN = lsn
+	return nil
+}
+
+// AppliedLSN returns the highest LSN the follower has consumed.
+func (f *Follower) AppliedLSN() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.appliedLSN
+}
+
+// DB returns the follower's materialized database for READ access only —
+// replica reads go through the same access-control gate as leader reads,
+// wrapped around this database. Writing to it would diverge the replica;
+// the replication layer never exposes it for writes.
+func (f *Follower) DB() *Database {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.db
+}
+
+// Promote turns the follower into a writable database anchored at its WAL
+// position — the failover step, after the replication layer has applied
+// every locally-durable record. Transactions still pending (no Commit
+// record shipped before the old leader died) are dropped, exactly as
+// crash recovery drops uncommitted tails. The follower is dead
+// afterwards: further Apply/Restore calls fail.
+func (f *Follower) Promote() (*Database, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.promoted {
+		return nil, fmt.Errorf("reldb: follower already promoted")
+	}
+	if f.w != nil && f.appliedLSN != f.w.LastLSN() {
+		return nil, fmt.Errorf("reldb: promote at applied LSN %d, wal at %d", f.appliedLSN, f.w.LastLSN())
+	}
+	f.promoted = true
+	db := f.db
+	db.log.mu.Lock()
+	db.log.records = f.recs
+	db.log.nextLSN = int64(f.appliedLSN)
+	db.log.w = f.w
+	db.log.mu.Unlock()
+	f.pending = nil
+	return db, nil
+}

@@ -1,0 +1,184 @@
+package replication
+
+import (
+	"io"
+	"time"
+
+	"webdbsec/internal/secchan"
+)
+
+// peerState is one node's answer to an election poll.
+type peerState struct {
+	node    string
+	epoch   uint64
+	durable uint64
+	role    string
+	leader  string
+}
+
+// runElection polls every peer for its state and decides deterministically
+// who should lead: among the reachable nodes (which must be a quorum —
+// a minority partition can never elect), the highest durable LSN wins,
+// ties broken by the highest node ID. Every node in the same partition
+// computes the same winner from the same answers, so no voting rounds are
+// needed: the winner claims a fresh epoch, everyone else follows it.
+//
+// Safety: the commit watermark only ever covers records durable on a
+// quorum, and any two quorums intersect, so the max-durable node of any
+// electing quorum holds every committed record.
+func (n *Node) runElection() {
+	n.mu.Lock()
+	n.elections++
+	selfEpoch := n.epoch
+	n.mu.Unlock()
+
+	self := peerState{
+		node:    n.cfg.NodeID,
+		epoch:   selfEpoch,
+		durable: n.cfg.WAL.DurableLSN(),
+	}
+	states := []peerState{self}
+	for id := range n.cfg.Peers {
+		st, err := n.pollPeer(id)
+		if err != nil {
+			n.logf("election: poll %s: %v", id, err)
+			continue
+		}
+		states = append(states, st)
+	}
+	if len(states) < n.quorum {
+		n.logf("election: only %d/%d nodes reachable, staying fenced", len(states), n.quorum)
+		return
+	}
+
+	// An established leader with a current epoch wins outright — joining
+	// it beats re-electing and churning the epoch.
+	maxEpoch := selfEpoch
+	for _, st := range states {
+		if st.epoch > maxEpoch {
+			maxEpoch = st.epoch
+		}
+	}
+	for _, st := range states {
+		if st.role == LeaderRole.String() && st.epoch == maxEpoch && st.node != n.cfg.NodeID {
+			n.mu.Lock()
+			if n.role == Candidate && !n.stopped {
+				n.epoch = maxEpoch
+				n.role = FollowerRole
+				n.leaderID = st.node
+				n.broadcastLocked()
+			}
+			n.mu.Unlock()
+			n.logf("election: joining existing leader %s at epoch %d", st.node, maxEpoch)
+			return
+		}
+	}
+
+	winner := states[0]
+	for _, st := range states[1:] {
+		if st.durable > winner.durable || (st.durable == winner.durable && st.node > winner.node) {
+			winner = st
+		}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role != Candidate || n.stopped {
+		return
+	}
+	if winner.node == n.cfg.NodeID {
+		// Epochs are claimed by leaders, never predicted by followers: only
+		// the winner bumps past the highest epoch it observed.
+		if newEpoch := maxEpoch + 1; newEpoch > n.epoch {
+			n.epoch = newEpoch
+		}
+		n.becomeLeaderLocked()
+		return
+	}
+	// A loser follows at the highest epoch it actually observed. Guessing
+	// the winner's next epoch here would let a join carrying the guess
+	// fence the legitimate leader if this node's poll caught a peer
+	// mid-election; the winner's joinResp teaches the real epoch instead
+	// (followOnce adopts it via observeEpoch).
+	if maxEpoch > n.epoch {
+		n.epoch = maxEpoch
+	}
+	n.role = FollowerRole
+	n.leaderID = winner.node
+	n.broadcastLocked()
+	n.logf("election: following %s at epoch %d", winner.node, n.epoch)
+}
+
+// pollPeer asks one peer for its current state over a short-lived channel.
+func (n *Node) pollPeer(id string) (peerState, error) {
+	cfg := secchan.Config{
+		HandshakeTimeout: n.cfg.dialTimeout(),
+		ReadTimeout:      n.cfg.dialTimeout(),
+		WriteTimeout:     n.cfg.dialTimeout(),
+	}
+	ch, err := n.dial(id, cfg)
+	if err != nil {
+		return peerState{}, err
+	}
+	defer ch.Close()
+	req, err := encodeMsg(&msg{T: "state", Node: n.cfg.NodeID, Epoch: n.Epoch()})
+	if err != nil {
+		return peerState{}, err
+	}
+	if err := ch.Send(req); err != nil {
+		return peerState{}, err
+	}
+	raw, err := ch.Receive()
+	if err != nil {
+		return peerState{}, err
+	}
+	m, err := decodeMsg(raw)
+	if err != nil {
+		return peerState{}, err
+	}
+	return peerState{
+		node:    m.Node,
+		epoch:   m.Epoch,
+		durable: m.DurableLSN,
+		role:    m.Role,
+		leader:  m.Leader,
+	}, nil
+}
+
+// serveState answers an election poll on an accepted channel. Observing a
+// poll with a higher epoch than a leader's own is evidence of a newer
+// election: the leader steps down rather than keep acknowledging writes.
+func (n *Node) serveState(ch *secchan.Channel, m *msg) {
+	n.mu.Lock()
+	if m.Epoch > n.epoch {
+		n.epoch = m.Epoch
+		if n.role == LeaderRole {
+			n.failovers++
+			n.stepDownLocked("higher epoch observed in poll")
+		}
+	}
+	resp := &msg{
+		T:          "stateResp",
+		Node:       n.cfg.NodeID,
+		Epoch:      n.epoch,
+		DurableLSN: n.cfg.WAL.DurableLSN(),
+		Role:       n.role.String(),
+		Leader:     n.leaderID,
+	}
+	n.mu.Unlock()
+	raw, err := encodeMsg(resp)
+	if err != nil {
+		return
+	}
+	_ = ch.Send(raw)
+	// Wait for the poller's close-notify so the reply is not torn off by
+	// our own teardown racing the write.
+	deadline := time.Now().Add(n.cfg.dialTimeout())
+	for time.Now().Before(deadline) {
+		if _, err := ch.Receive(); err != nil {
+			if err == io.EOF {
+				return
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package replication_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"webdbsec/internal/federation"
+	"webdbsec/internal/policy"
+	"webdbsec/internal/rdf"
+	"webdbsec/internal/reldb"
+	"webdbsec/internal/replication"
+)
+
+// replicaBinding wires a cluster member into a federation replica source.
+// Everything is read through closures so the binding follows failover:
+// the follower object is replaced when leadership moves, and freshness is
+// judged against the leader's commit watermark — the vantage point of a
+// read gateway colocated with the write path, offloading reads to
+// replicas.
+func replicaBinding(m *member, leader *member) federation.ReplicaBinding {
+	return federation.ReplicaBinding{
+		DB: func() *reldb.Database {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			if m.follower == nil {
+				return nil
+			}
+			return m.follower.DB()
+		},
+		AppliedLSN: func() uint64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			if m.follower == nil {
+				return 0
+			}
+			return m.follower.AppliedLSN()
+		},
+		CommitLSN: func() uint64 { return leader.node.CommitLSN() },
+		MaxLag:    0,
+	}
+}
+
+// TestFederatedReadsRouteToReplicas: the read-offload topology. A
+// federation fans SELECTs out over the cluster's replicas; while both are
+// caught up the union carries every replica's copy with provenance, and
+// when one replica stops replaying, its staleness is detected against the
+// commit watermark and the query degrades to a partial result from the
+// fresh replica instead of serving old data or failing outright.
+func TestFederatedReadsRouteToReplicas(t *testing.T) {
+	c := newCluster(t, "f1", "f2", "f3")
+	c.startAll("f1", "f2", "f3")
+	leader := c.waitLeader(5 * time.Second)
+
+	if err := leader.commit("CREATE TABLE kv (k TEXT, v INT)"); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	for _, stmt := range []string{
+		"INSERT INTO kv VALUES ('a', 1)",
+		"INSERT INTO kv VALUES ('b', 2)",
+		"INSERT INTO kv VALUES ('c', 3)",
+	} {
+		if err := leader.commit(stmt); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	c.waitConverged(map[string]int64{"a": 1, "b": 2, "c": 3}, 5*time.Second, "f1", "f2", "f3")
+
+	// Every non-leader member becomes one replica source of the virtual
+	// table. The leader itself stays out of the read path — that is the
+	// point of the offload.
+	fed := federation.New()
+	fed.SetPerSourceTimeout(500 * time.Millisecond)
+	var replicas []*member
+	for _, id := range c.sorted() {
+		m := c.members[id]
+		if m == leader {
+			continue
+		}
+		replicas = append(replicas, m)
+		src, err := federation.NewReplicaSource(id, rdf.Unclassified, replicaBinding(m, leader))
+		if err != nil {
+			t.Fatalf("replica source %s: %v", id, err)
+		}
+		if err := src.ExportTable(&federation.Export{
+			Virtual: "kv", Local: "kv", Columns: []string{"k", "v"},
+		}); err != nil {
+			t.Fatalf("export %s: %v", id, err)
+		}
+		if err := fed.AddSource(src); err != nil {
+			t.Fatalf("add %s: %v", id, err)
+		}
+	}
+	if len(replicas) != 2 {
+		t.Fatalf("replicas = %d, want 2", len(replicas))
+	}
+
+	req := &federation.Requestor{Subject: &policy.Subject{ID: "reader"}, Clearance: rdf.Secret}
+	res, err := fed.Query(context.Background(), req, "SELECT k, v FROM kv")
+	if err != nil {
+		t.Fatalf("federated read: %v", err)
+	}
+	if res.Partial() {
+		t.Fatalf("caught-up replicas produced a partial result: %+v", res.Failed)
+	}
+	// Both replicas contribute their full copy, tagged with provenance.
+	perSource := map[string]int{}
+	for _, r := range res.Rows {
+		perSource[r[0].S]++
+	}
+	for _, m := range replicas {
+		if perSource[m.id] != 3 {
+			t.Errorf("replica %s contributed %d rows, want 3 (rows=%v)", m.id, perSource[m.id], res.Rows)
+		}
+	}
+
+	// Stop one replica, then commit past it. The two survivors are still a
+	// quorum, so the watermark advances and the stopped replica is now
+	// provably stale.
+	stale, fresh := replicas[0], replicas[1]
+	c.stop(stale.id)
+	if err := leader.commit("INSERT INTO kv VALUES ('d', 4)"); err != nil {
+		t.Fatalf("insert past stopped replica: %v", err)
+	}
+	c.waitConverged(map[string]int64{"a": 1, "b": 2, "c": 3, "d": 4}, 5*time.Second, fresh.id)
+
+	res, err = fed.Query(context.Background(), req, "SELECT k, v FROM kv")
+	if err != nil {
+		t.Fatalf("degraded federated read: %v", err)
+	}
+	if !res.Partial() {
+		t.Fatal("stale replica did not mark the result partial")
+	}
+	if len(res.Failed) != 1 || res.Failed[0].Source != stale.id {
+		t.Fatalf("Failed = %+v, want exactly %s", res.Failed, stale.id)
+	}
+	if !errors.Is(res.Failed[0].Err, federation.ErrStaleReplica) {
+		t.Errorf("failure cause = %v, want ErrStaleReplica", res.Failed[0].Err)
+	}
+	got := map[string]int64{}
+	for _, r := range res.Rows {
+		if r[0].S != fresh.id {
+			t.Fatalf("row from %s in degraded result, want only %s", r[0].S, fresh.id)
+		}
+		got[r[1].S] = r[2].I
+	}
+	want := map[string]int64{"a": 1, "b": 2, "c": 3, "d": 4}
+	if len(got) != len(want) {
+		t.Fatalf("degraded rows = %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("degraded rows = %v, want %v", got, want)
+		}
+	}
+	if leader.node.Role() != replication.LeaderRole {
+		t.Fatal("leader lost leadership during read offload")
+	}
+}

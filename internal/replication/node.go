@@ -1,0 +1,625 @@
+// Package replication turns a crash-safe securedb node into a member of a
+// small WAL-shipping cluster: one leader accepts writes and streams its
+// write-ahead log to followers over secchan; followers replay the records
+// through the same recovery paths a restart would use, so a replica is
+// always some prefix of the leader's committed history. The paper's
+// federated vision (§ cooperative web databases) assumes data outlives any
+// single node — this package is that assumption made executable.
+//
+// Design in one paragraph: epochs order leaderships; elections are
+// deterministic (highest durable LSN wins, ties broken by highest node
+// ID) and need a quorum of reachable peers; a joining follower is
+// authenticated twice (the secchan handshake pins the leader's identity
+// key, and a wallet-credential check gates the follower) and its log is
+// cross-checked by a chain hash before any WAL byte ships; commits are
+// acknowledged to clients only once a quorum of nodes has the record
+// durable (WaitCommitted); a leader that cannot hear a quorum fences
+// itself — it steps down and fails its waiting committers rather than
+// acknowledge writes it cannot guarantee survived it.
+package replication
+
+import (
+	"context"
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"webdbsec/internal/credential"
+	"webdbsec/internal/resilience"
+	"webdbsec/internal/secchan"
+	"webdbsec/internal/wal"
+)
+
+// Role is a node's position in the cluster.
+type Role int32
+
+// Roles. A node starts as Candidate, and returns to Candidate whenever it
+// loses its leader or its quorum.
+const (
+	Candidate Role = iota
+	FollowerRole
+	LeaderRole
+)
+
+func (r Role) String() string {
+	switch r {
+	case LeaderRole:
+		return "leader"
+	case FollowerRole:
+		return "follower"
+	default:
+		return "candidate"
+	}
+}
+
+// ErrNotLeader is the verdict WaitCommitted returns when the node is not
+// (or no longer) the leader: the caller must NOT acknowledge the commit —
+// it may yet be truncated by the next leader.
+var ErrNotLeader = errors.New("replication: not leader")
+
+// ErrStopped is returned once Stop has been called.
+var ErrStopped = errors.New("replication: node stopped")
+
+// Applier consumes committed records on a follower, materializing the
+// replica's readable state. reldb.Follower and the xmldoc replica methods
+// satisfy it (via ApplierFuncs for the latter).
+type Applier interface {
+	// Apply consumes one record at its LSN; records arrive in strict LSN
+	// order and only once the cluster commit watermark covers them.
+	Apply(lsn uint64, payload []byte) error
+	// Restore replaces all state from a leader checkpoint snapshot
+	// (full resync).
+	Restore(lsn uint64, snapshot []byte) error
+}
+
+// ApplierFuncs adapts two functions to the Applier interface.
+type ApplierFuncs struct {
+	ApplyFn   func(lsn uint64, payload []byte) error
+	RestoreFn func(lsn uint64, snapshot []byte) error
+}
+
+// Apply forwards to ApplyFn.
+func (a ApplierFuncs) Apply(lsn uint64, payload []byte) error { return a.ApplyFn(lsn, payload) }
+
+// Restore forwards to RestoreFn.
+func (a ApplierFuncs) Restore(lsn uint64, snapshot []byte) error {
+	return a.RestoreFn(lsn, snapshot)
+}
+
+// Config describes one cluster member.
+type Config struct {
+	// NodeID is this node's unique name; election ties break toward the
+	// highest ID, so IDs order the cluster deterministically.
+	NodeID string
+	// Addr is the listen address ("host:port"); ignored when Listener is
+	// set.
+	Addr string
+	// Listener, when set, is used instead of listening on Addr.
+	Listener net.Listener
+	// Peers maps every OTHER node's ID to its dial address.
+	Peers map[string]string
+	// Identity signs this node's secchan handshakes.
+	Identity ed25519.PrivateKey
+	// PeerKeys holds every peer's identity public key: a dialer refuses a
+	// channel whose server cannot prove one of these.
+	PeerKeys map[string]ed25519.PublicKey
+	// Wallet is presented during the join handshake.
+	Wallet *credential.Wallet
+	// Verifier validates joining followers' wallets; JoinPolicy is the
+	// credential expression a follower must satisfy. Both nil disables
+	// the check (single-tenant test clusters).
+	Verifier   *credential.Verifier
+	JoinPolicy *credential.Expr
+	// WAL is the node's local durable log. It must use SyncAlways so an
+	// Append return doubles as the durability verdict the ack protocol
+	// relies on.
+	WAL *wal.WAL
+	// Applier materializes committed records on a follower; nil for a
+	// pure log replica. AppliedLSN is the applier's initial position
+	// (wal.LastLSN() after reldb.OpenFollower, which re-applies the whole
+	// local log).
+	Applier    Applier
+	AppliedLSN uint64
+	// OnLeader runs after this node wins an election and has applied its
+	// local tail — the promote hook (e.g. reldb.Follower.Promote).
+	OnLeader func()
+	// OnDemote runs after the node abandons leadership (fencing, higher
+	// epoch observed, Stop).
+	OnDemote func()
+
+	// HeartbeatInterval paces leader heartbeats (default 50ms);
+	// ElectionTimeout is how long silence means a dead leader and how
+	// much quorum staleness a leader tolerates before fencing itself
+	// (default 4× heartbeat).
+	HeartbeatInterval time.Duration
+	ElectionTimeout   time.Duration
+	// DialTimeout bounds one connection attempt (default ElectionTimeout).
+	DialTimeout time.Duration
+	// SendQueue bounds each follower link's outbound queue; a follower
+	// too slow to drain it is evicted (default 64).
+	SendQueue int
+	// BatchRecords caps how many records ship in one message (default 128).
+	BatchRecords int
+
+	// Dial overrides the transport dialer (tests inject partitions).
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) heartbeat() time.Duration {
+	if c.HeartbeatInterval > 0 {
+		return c.HeartbeatInterval
+	}
+	return 50 * time.Millisecond
+}
+
+func (c *Config) electionTimeout() time.Duration {
+	if c.ElectionTimeout > 0 {
+		return c.ElectionTimeout
+	}
+	return 4 * c.heartbeat()
+}
+
+func (c *Config) dialTimeout() time.Duration {
+	if c.DialTimeout > 0 {
+		return c.DialTimeout
+	}
+	return c.electionTimeout()
+}
+
+func (c *Config) sendQueue() int {
+	if c.SendQueue > 0 {
+		return c.SendQueue
+	}
+	return 64
+}
+
+func (c *Config) batchRecords() int {
+	if c.BatchRecords > 0 {
+		return c.BatchRecords
+	}
+	return 128
+}
+
+// Stats is a point-in-time snapshot for debugz.
+type Stats struct {
+	NodeID     string
+	Role       string
+	Epoch      uint64
+	LeaderID   string
+	CommitLSN  uint64
+	DurableLSN uint64
+	AppliedLSN uint64
+	Elections  uint64
+	Failovers  uint64
+	Evictions  uint64
+	Followers  map[string]FollowerStat
+}
+
+// FollowerStat describes one replica link from the leader's side.
+type FollowerStat struct {
+	AckedLSN  uint64
+	QueueLen  int
+	LastHeard time.Duration
+}
+
+// Node is one cluster member. Start launches its background loops; Stop
+// tears them down.
+type Node struct {
+	cfg    Config
+	quorum int
+
+	mu       sync.Mutex
+	role     Role        // seclint:guardedby mu
+	epoch    uint64      // seclint:guardedby mu
+	leaderID string      // seclint:guardedby mu
+	commit   uint64      // seclint:guardedby mu
+	applied  uint64      // seclint:guardedby mu
+	applyCur *wal.Cursor // seclint:guardedby mu
+	// links and acked are non-empty only while leading.
+	links map[string]*link  // seclint:guardedby mu
+	acked map[string]uint64 // seclint:guardedby mu
+	// commitCh is closed and replaced whenever the commit watermark or
+	// the role changes — the broadcast WaitCommitted and pumps wait on.
+	commitCh chan struct{} // seclint:guardedby mu
+	stopped  bool          // seclint:guardedby mu
+
+	elections uint64 // seclint:guardedby mu
+	failovers uint64 // seclint:guardedby mu
+	evictions uint64 // seclint:guardedby mu
+
+	listener net.Listener
+	breakers map[string]*resilience.Breaker
+	wg       sync.WaitGroup
+	stopCtx  context.Context
+	stopFn   context.CancelFunc
+}
+
+// NewNode validates cfg and builds a node; Start brings it online.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.NodeID == "" {
+		return nil, fmt.Errorf("replication: NodeID required")
+	}
+	if cfg.WAL == nil {
+		return nil, fmt.Errorf("replication: WAL required")
+	}
+	if cfg.Identity == nil {
+		return nil, fmt.Errorf("replication: Identity required")
+	}
+	n := &Node{
+		cfg:      cfg,
+		quorum:   (len(cfg.Peers)+1)/2 + 1,
+		commitCh: make(chan struct{}),
+		links:    make(map[string]*link),
+		acked:    make(map[string]uint64),
+		breakers: make(map[string]*resilience.Breaker),
+		applied:  cfg.AppliedLSN,
+	}
+	for id := range cfg.Peers {
+		n.breakers[id] = resilience.NewBreaker(resilience.BreakerConfig{
+			FailureThreshold: 3,
+			Cooldown:         cfg.electionTimeout(),
+			IsFailure:        func(err error) bool { return err != nil },
+		})
+	}
+	return n, nil
+}
+
+// Start opens the listener and launches the accept and role loops.
+func (n *Node) Start() error {
+	l := n.cfg.Listener
+	if l == nil {
+		var err error
+		l, err = net.Listen("tcp", n.cfg.Addr)
+		if err != nil {
+			return fmt.Errorf("replication: listen %s: %w", n.cfg.Addr, err)
+		}
+	}
+	n.listener = l
+	n.stopCtx, n.stopFn = context.WithCancel(context.Background())
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.roleLoop()
+	return nil
+}
+
+// Addr returns the bound listen address.
+func (n *Node) Addr() string {
+	if n.listener == nil {
+		return n.cfg.Addr
+	}
+	return n.listener.Addr().String()
+}
+
+// Stop tears the node down: demotes it, closes every link and waits for
+// the background loops. Safe to call once.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	// seclint:locked the unlock above is in the returning branch; the lock is still held here
+	n.stopped = true
+	n.stepDownLocked("stop")
+	n.mu.Unlock()
+	n.stopFn()
+	n.listener.Close()
+	n.wg.Wait()
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf("[%s] "+format, append([]any{n.cfg.NodeID}, args...)...)
+	}
+}
+
+// Role returns the node's current role.
+func (n *Node) Role() Role {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role
+}
+
+// Epoch returns the highest epoch the node has observed.
+func (n *Node) Epoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
+
+// LeaderID returns the node the cluster currently follows ("" if unknown).
+func (n *Node) LeaderID() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leaderID
+}
+
+// CommitLSN returns the cluster commit watermark as this node knows it.
+func (n *Node) CommitLSN() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.commit
+}
+
+// Snapshot returns current stats for debugz.
+func (n *Node) Snapshot() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := Stats{
+		NodeID:     n.cfg.NodeID,
+		Role:       n.role.String(),
+		Epoch:      n.epoch,
+		LeaderID:   n.leaderID,
+		CommitLSN:  n.commit,
+		DurableLSN: n.cfg.WAL.DurableLSN(),
+		AppliedLSN: n.applied,
+		Elections:  n.elections,
+		Failovers:  n.failovers,
+		Evictions:  n.evictions,
+		Followers:  make(map[string]FollowerStat, len(n.links)),
+	}
+	now := time.Now()
+	for id, l := range n.links {
+		s.Followers[id] = FollowerStat{
+			AckedLSN:  n.acked[id],
+			QueueLen:  len(l.outbox),
+			LastHeard: now.Sub(l.lastHeard()),
+		}
+	}
+	return s
+}
+
+// WaitCommitted blocks until the cluster commit watermark reaches lsn —
+// the replication half of a client's durability verdict. A nil return
+// means a quorum of nodes holds the record durably; ErrNotLeader means
+// leadership was lost first and the commit MUST NOT be acknowledged.
+func (n *Node) WaitCommitted(ctx context.Context, lsn uint64) error {
+	for {
+		n.mu.Lock()
+		if n.commit >= lsn {
+			n.mu.Unlock()
+			return nil
+		}
+		// seclint:locked unlocks above are in returning branches; the lock is held through here
+		if n.stopped {
+			n.mu.Unlock()
+			return ErrStopped
+		}
+		// seclint:locked unlocks above are in returning branches; the lock is held through here
+		if n.role != LeaderRole {
+			n.mu.Unlock()
+			return ErrNotLeader
+		}
+		// seclint:locked unlocks above are in returning branches; the lock is held through here
+		ch := n.commitCh
+		n.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// SetApplier replaces the node's applier and its position — the demote
+// path: a promoted reldb.Follower is dead once it hands its database
+// over, so an ex-leader rejoining as a follower installs a freshly opened
+// one (reldb.OpenFollower re-reads the local WAL, hence appliedLSN is its
+// LastLSN again).
+func (n *Node) SetApplier(a Applier, appliedLSN uint64) {
+	n.mu.Lock()
+	n.cfg.Applier = a
+	n.applied = appliedLSN
+	n.applyCur = nil
+	n.mu.Unlock()
+}
+
+// broadcastLocked wakes everything waiting on commit/role changes.
+//
+// seclint:locked caller holds n.mu
+func (n *Node) broadcastLocked() {
+	close(n.commitCh)
+	n.commitCh = make(chan struct{})
+}
+
+// advanceCommitLocked recomputes the quorum commit watermark from the
+// leader's own durable position and the follower acks. The watermark
+// never retreats.
+//
+// seclint:locked caller holds n.mu
+func (n *Node) advanceCommitLocked() {
+	positions := make([]uint64, 0, len(n.acked)+1)
+	positions = append(positions, n.cfg.WAL.DurableLSN())
+	for _, lsn := range n.acked {
+		positions = append(positions, lsn)
+	}
+	sort.Slice(positions, func(i, j int) bool { return positions[i] > positions[j] })
+	if len(positions) < n.quorum {
+		return
+	}
+	c := positions[n.quorum-1]
+	if c > n.commit {
+		n.commit = c
+		n.broadcastLocked()
+	}
+}
+
+// setCommit adopts the leader's commit watermark on a follower and applies
+// newly covered records.
+func (n *Node) setCommit(c uint64) error {
+	n.mu.Lock()
+	if c > n.commit {
+		n.commit = c
+		n.broadcastLocked()
+	}
+	n.mu.Unlock()
+	return n.applyCommitted()
+}
+
+// applyCommitted feeds the applier every durable record at or below the
+// commit watermark, in LSN order, through a cursor on the node's own WAL.
+func (n *Node) applyCommitted() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.applyCommittedLocked()
+}
+
+// seclint:locked caller holds n.mu (released/reacquired around applier calls below)
+func (n *Node) applyCommittedLocked() error {
+	if n.cfg.Applier == nil {
+		return nil
+	}
+	if n.role == LeaderRole {
+		// The leader's state machine is the promoted database itself — it
+		// produced these records. Track the position, apply nothing.
+		if n.commit > n.applied {
+			n.applied = n.commit
+			n.applyCur = nil
+		}
+		return nil
+	}
+	for n.applied < n.commit {
+		if n.applyCur == nil {
+			cur, err := n.cfg.WAL.OpenCursor(n.applied)
+			if err != nil {
+				return fmt.Errorf("replication: apply cursor: %w", err)
+			}
+			n.applyCur = cur
+		}
+		rec, ok, err := n.applyCur.Next()
+		if err != nil {
+			n.applyCur = nil
+			return fmt.Errorf("replication: apply read: %w", err)
+		}
+		if !ok {
+			return nil
+		}
+		if rec.LSN > n.commit {
+			// The cursor ran ahead of the watermark (it was reset by a
+			// rewind); stop here, the position re-synchronizes below.
+			n.applyCur = nil
+			return nil
+		}
+		if rec.LSN != n.applied+1 {
+			// A rewind replayed earlier records; skip what is already
+			// applied.
+			if rec.LSN <= n.applied {
+				continue
+			}
+			n.applyCur = nil
+			return fmt.Errorf("replication: apply gap: at %d, next record %d", n.applied, rec.LSN)
+		}
+		if err := n.cfg.Applier.Apply(rec.LSN, rec.Payload); err != nil {
+			return fmt.Errorf("replication: apply lsn %d: %w", rec.LSN, err)
+		}
+		n.applied = rec.LSN
+	}
+	return nil
+}
+
+// dial opens a secchan client channel to peer, gated by its breaker.
+func (n *Node) dial(peer string, cfg secchan.Config) (*secchan.Channel, error) {
+	addr, ok := n.cfg.Peers[peer]
+	if !ok {
+		return nil, fmt.Errorf("replication: unknown peer %q", peer)
+	}
+	key, ok := n.cfg.PeerKeys[peer]
+	if !ok {
+		return nil, fmt.Errorf("replication: no identity key for peer %q", peer)
+	}
+	br := n.breakers[peer]
+	if err := br.Allow(); err != nil {
+		return nil, fmt.Errorf("replication: peer %s: %w", peer, err)
+	}
+	dialer := n.cfg.Dial
+	if dialer == nil {
+		dialer = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	conn, err := dialer(addr, n.cfg.dialTimeout())
+	if err != nil {
+		br.Record(err)
+		return nil, fmt.Errorf("replication: dial %s: %w", peer, err)
+	}
+	ch, err := secchan.ClientConfig(conn, key, cfg)
+	if err != nil {
+		conn.Close()
+		br.Record(err)
+		return nil, fmt.Errorf("replication: handshake with %s: %w", peer, err)
+	}
+	br.Record(nil)
+	return ch, nil
+}
+
+// jitteredBackoff spreads re-election attempts so a rebooted cluster does
+// not stampede: uniform in [d/2, d). The same thundering-herd defense the
+// resilience retry policy applies to its backoff.
+func jitteredBackoff(d time.Duration) time.Duration {
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)))
+}
+
+// roleLoop is the node's main state machine: elect, then serve the chosen
+// role until it fails, then elect again.
+func (n *Node) roleLoop() {
+	defer n.wg.Done()
+	for {
+		n.mu.Lock()
+		stopped := n.stopped
+		role := n.role
+		leader := n.leaderID
+		n.mu.Unlock()
+		if stopped {
+			return
+		}
+		switch role {
+		case Candidate:
+			n.runElection()
+		case LeaderRole:
+			n.runLeader()
+		case FollowerRole:
+			n.runFollower(leader)
+		}
+		select {
+		case <-n.stopCtx.Done():
+			return
+		case <-time.After(jitteredBackoff(n.cfg.heartbeat())):
+		}
+	}
+}
+
+// stepDownLocked abandons leadership (or a follower link) and returns the
+// node to Candidate. WaitCommitted waiters wake and observe ErrNotLeader.
+//
+// seclint:locked caller holds n.mu
+func (n *Node) stepDownLocked(why string) {
+	if n.role == LeaderRole {
+		n.logf("stepping down: %s", why)
+		if n.cfg.OnDemote != nil {
+			// Run without the lock (the hook may call SetApplier), but
+			// tracked by the WaitGroup: Stop must not return — and the
+			// caller must not tear down the WAL or applier — while the
+			// demote hook is still rebuilding them.
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				n.cfg.OnDemote()
+			}()
+		}
+	}
+	n.role = Candidate
+	n.leaderID = ""
+	for id, l := range n.links {
+		l.close()
+		delete(n.links, id)
+		delete(n.acked, id)
+	}
+	n.broadcastLocked()
+}

@@ -1,0 +1,120 @@
+package replication
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"webdbsec/internal/wal"
+)
+
+// Wire protocol: JSON messages over secchan records. Every message carries
+// the sender's epoch so a stale leader's traffic is recognizable the
+// moment a newer election has happened. The flows are:
+//
+//	state/stateResp   election poll (any role answers)
+//	join → joinResp   authenticated catch-up negotiation
+//	  plan "stream":   leader streams from Common (hashes matched)
+//	  plan "truncate": follower truncates its tail to Common first
+//	  plan "resync":   a snap message follows (divergence or compaction)
+//	  plan "reject":   not leader / failed credential check
+//	joinAck           follower's verdict on the hash comparison
+//	snap/ack          full-state resync, hash-verified
+//	recs/ack          live shipping: record batches and durability acks
+//	hb/ack            heartbeat carrying the commit watermark
+type msg struct {
+	T     string `json:"t"`
+	Node  string `json:"node,omitempty"`
+	Epoch uint64 `json:"epoch,omitempty"`
+
+	// join: the follower's log position and its wallet.
+	LastLSN    uint64          `json:"last,omitempty"`
+	AppliedLSN uint64          `json:"applied,omitempty"`
+	SnapLSN    uint64          `json:"snap,omitempty"`
+	Wallet     json.RawMessage `json:"wallet,omitempty"`
+
+	// joinResp / joinAck: the negotiated catch-up plan.
+	Plan   string `json:"plan,omitempty"`
+	Reason string `json:"reason,omitempty"`
+	Leader string `json:"leader,omitempty"`
+	From   uint64 `json:"from,omitempty"`
+	Common uint64 `json:"common,omitempty"`
+	Hash   []byte `json:"hash,omitempty"`
+	OK     bool   `json:"ok,omitempty"`
+
+	// snap: full-state resync payload.
+	SnapData []byte `json:"snapdata,omitempty"`
+
+	// recs: a shipped batch plus the cluster commit watermark.
+	Recs   []wireRec `json:"recs,omitempty"`
+	Commit uint64    `json:"commit,omitempty"`
+
+	// ack / stateResp: durability positions.
+	LSN        uint64 `json:"lsn,omitempty"`
+	DurableLSN uint64 `json:"durable,omitempty"`
+	Role       string `json:"role,omitempty"`
+}
+
+type wireRec struct {
+	LSN     uint64 `json:"lsn"`
+	Payload []byte `json:"p"`
+}
+
+func encodeMsg(m *msg) ([]byte, error) {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("replication: encode %s: %w", m.T, err)
+	}
+	return b, nil
+}
+
+func decodeMsg(b []byte) (*msg, error) {
+	var m msg
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("replication: decode message: %w", err)
+	}
+	return &m, nil
+}
+
+// hashRange computes the chain hash of the records in (from, to] of w:
+// SHA-256 over every (LSN, payload) pair in order. Leader and follower
+// compute it over the overlapping span of their logs during the join
+// handshake — equal hashes prove the histories agree byte-for-byte before
+// any new WAL byte ships.
+func hashRange(w *wal.WAL, from, to uint64) ([]byte, error) {
+	h := sha256.New()
+	if to <= from {
+		return h.Sum(nil), nil
+	}
+	c, err := w.OpenCursor(from)
+	if err != nil {
+		return nil, err
+	}
+	var lsnBuf [8]byte
+	next := from + 1
+	for next <= to {
+		rec, ok, err := c.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("replication: hash range (%d,%d]: log ends at %d", from, to, next-1)
+		}
+		binary.BigEndian.PutUint64(lsnBuf[:], rec.LSN)
+		h.Write(lsnBuf[:])
+		h.Write(rec.Payload)
+		next = rec.LSN + 1
+	}
+	return h.Sum(nil), nil
+}
+
+// snapHash is the integrity hash shipped alongside a resync snapshot.
+func snapHash(data []byte, lsn uint64) []byte {
+	h := sha256.New()
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], lsn)
+	h.Write(b[:])
+	h.Write(data)
+	return h.Sum(nil)
+}

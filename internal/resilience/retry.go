@@ -22,7 +22,12 @@ type RetryPolicy struct {
 	// Multiplier grows the delay between attempts (default 2).
 	Multiplier float64
 	// Jitter is the ± fraction of the delay randomized away, in [0,1].
-	// Jittering de-synchronizes retry storms from many clients.
+	// Jittering de-synchronizes retry storms: after a failover, every
+	// replica and client rediscovers the new leader at the same moment,
+	// and an unjittered schedule would land their reconnects in aligned
+	// waves. The zero value means the 0.2 default — jitter is on unless
+	// explicitly disabled with a negative value (deterministic tests
+	// only); it never pushes a delay past MaxDelay.
 	Jitter float64
 	// Classify overrides the package-level Classify.
 	Classify func(error) Class

@@ -150,6 +150,51 @@ func TestBackoffJitterStaysInBand(t *testing.T) {
 	}
 }
 
+// TestBackoffDefaultJitterDesynchronizes: the ZERO-VALUE policy jitters.
+// After a failover every replica rediscovers the new leader at the same
+// instant; if the default schedule were deterministic, their reconnects
+// would arrive in aligned waves and thundering-herd the fresh leader.
+// The default band is ±20% of the computed delay.
+func TestBackoffDefaultJitterDesynchronizes(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond}
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 64; i++ {
+		d := p.backoff(0)
+		if d < 80*time.Millisecond || d > 120*time.Millisecond {
+			t.Fatalf("sample %d = %v, outside the default ±20%% band [80ms, 120ms]", i, d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("64 zero-value backoffs were identical: default jitter not applied")
+	}
+}
+
+// TestBackoffJitterNeverExceedsCap: upward jitter is clamped at MaxDelay,
+// so the bounded-recovery-time promise survives the randomization.
+func TestBackoffJitterNeverExceedsCap(t *testing.T) {
+	p := RetryPolicy{
+		BaseDelay: time.Second,
+		MaxDelay:  time.Second,
+		Jitter:    0.5,
+		Rand:      func() float64 { return 0.999999 },
+	}
+	if d := p.backoff(0); d > time.Second {
+		t.Errorf("jittered backoff %v exceeds MaxDelay %v", d, time.Second)
+	}
+}
+
+// TestBackoffNegativeJitterDisables: a negative Jitter is the explicit
+// deterministic mode (used by tests that assert exact schedules).
+func TestBackoffNegativeJitterDisables(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, Jitter: -1}
+	for i := 0; i < 8; i++ {
+		if d := p.backoff(0); d != 100*time.Millisecond {
+			t.Fatalf("backoff(0) = %v with Jitter=-1, want exactly 100ms", d)
+		}
+	}
+}
+
 func TestClassify(t *testing.T) {
 	cases := []struct {
 		err  error

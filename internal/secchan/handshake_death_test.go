@@ -1,0 +1,109 @@
+package secchan
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// Replication links redial constantly, and a crashing peer can die at any
+// byte of the handshake. These tests pin the contract for that window:
+// the survivor gets a handshake ERROR — never a half-authenticated
+// channel, and never the bare io.EOF that signals an authenticated
+// close-notify (which only exists after the handshake) — and the failure
+// arrives bounded in time.
+
+// TestServerDiesMidHandshake kills the responder after every interesting
+// prefix of its 96-byte flight (32-byte ephemeral key + 64-byte identity
+// signature).
+func TestServerDiesMidHandshake(t *testing.T) {
+	pub, _, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, 31, 32, 33, 95} {
+		t.Run(fmt.Sprintf("after-%d-bytes", n), func(t *testing.T) {
+			cConn, sConn := net.Pipe()
+			defer cConn.Close()
+			go func() {
+				buf := make([]byte, 32)
+				io.ReadFull(sConn, buf) // consume the client flight
+				// The content is irrelevant — the death is the fault. A
+				// signature over garbage would be rejected anyway; here the
+				// peer never even finishes the flight.
+				sConn.Write(make([]byte, n))
+				sConn.Close()
+			}()
+			start := time.Now()
+			ch, err := ClientConfig(cConn, pub, Config{HandshakeTimeout: 2 * time.Second})
+			if err == nil {
+				ch.Close()
+				t.Fatal("handshake succeeded against a peer that died mid-flight")
+			}
+			if err == io.EOF {
+				t.Fatal("mid-handshake death surfaced as the clean close-notify signal")
+			}
+			if elapsed := time.Since(start); elapsed > 10*time.Second {
+				t.Fatalf("failure took %v, want bounded by the handshake timeout", elapsed)
+			}
+		})
+	}
+}
+
+// TestClientDiesMidHandshake kills the initiator partway through its
+// 32-byte key flight; the responder must reject, not hang or accept.
+func TestClientDiesMidHandshake(t *testing.T) {
+	_, priv, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, 16, 31} {
+		t.Run(fmt.Sprintf("after-%d-bytes", n), func(t *testing.T) {
+			cConn, sConn := net.Pipe()
+			defer sConn.Close()
+			go func() {
+				cConn.Write(make([]byte, n))
+				cConn.Close()
+			}()
+			ch, err := ServerConfig(sConn, priv, Config{HandshakeTimeout: 2 * time.Second})
+			if err == nil {
+				ch.Close()
+				t.Fatal("handshake succeeded against a client that died mid-flight")
+			}
+			if err == io.EOF {
+				t.Fatal("mid-handshake death surfaced as the clean close-notify signal")
+			}
+		})
+	}
+}
+
+// TestCloseBeforeHandshakeCompletesOnDialSide: the redial loop closes
+// in-flight connections when the node shuts down. Close on the raw conn
+// must abort a blocked handshake promptly.
+func TestCloseBeforeHandshakeCompletesOnDialSide(t *testing.T) {
+	pub, _, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cConn, sConn := net.Pipe()
+	defer sConn.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := ClientConfig(cConn, pub, Config{})
+		done <- err
+	}()
+	// The server never answers; the dialer gives up and tears down.
+	time.Sleep(20 * time.Millisecond)
+	cConn.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("handshake succeeded on a closed conn")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("handshake did not abort after conn close")
+	}
+}

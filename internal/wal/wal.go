@@ -131,9 +131,11 @@ type Stats struct {
 	// Segments is the number of live segment files.
 	Segments int
 	// LastLSN is the highest LSN appended or recovered; SnapshotLSN the
-	// LSN the current checkpoint covers (0 = none).
+	// LSN the current checkpoint covers (0 = none); DurableLSN the highest
+	// LSN behind a completed durability barrier (what replication ships).
 	LastLSN     uint64
 	SnapshotLSN uint64
+	DurableLSN  uint64
 	Policy      string
 
 	// Group-commit pipeline counters. Batches is the number of coalesced
@@ -228,6 +230,21 @@ type WAL struct {
 	snapshot []byte   // seclint:guardedby mu
 	tail     []Record // seclint:guardedby mu
 
+	// Replication watermarks. writtenLSN is the highest LSN whose frame
+	// reached the file; durableLSN the highest LSN covered by a completed
+	// durability barrier (batch fsync under SyncAlways, explicit Sync,
+	// checkpoint). Cursors surface only records at or below durableLSN, so
+	// a replication stream never ships bytes the leader could still lose.
+	writtenLSN uint64 // seclint:guardedby mu
+	durableLSN uint64 // seclint:guardedby mu
+
+	// watchers are the channels registered by Watch, signaled (without
+	// blocking) whenever durableLSN advances.
+	watchers []chan struct{} // seclint:guardedby mu
+	// rewinds counts TruncateTo/InstallSnapshot calls: history behind the
+	// watermarks changed, so cursors must drop their cached positions.
+	rewinds uint64 // seclint:guardedby mu
+
 	// Commit pipeline: qbuf holds the encoded frames of queued appends
 	// (pooled; nil when the queue is empty), queue their pending acks in
 	// LSN order. leader is true while some goroutine is draining the
@@ -242,11 +259,14 @@ type WAL struct {
 
 	// File state: owned by the io-ownership holder (see above), touched by
 	// writeBatch/checkpointIO without mu — deliberately not mu-guarded.
+	// The segment NAME list, by contrast, lives under mu (io holders report
+	// created/deleted segments back under the lock) so cursors can snapshot
+	// it while the batch leader writes.
 	active     File
 	activeSize int
 	segSeq     int
-	segments   []string
-	dirty      bool // seclint:guardedby mu
+	segments   []string // seclint:guardedby mu
+	dirty      bool     // seclint:guardedby mu
 
 	err error // seclint:guardedby mu
 
@@ -406,25 +426,41 @@ func (w *WAL) recover() error {
 		}
 		w.segments = append(w.segments, name)
 	}
+	w.writtenLSN = w.lastLSN
+	w.durableLSN = w.lastLSN
 	w.stats.Segments = len(w.segments)
 	w.stats.LastLSN = w.lastLSN
 	w.stats.SnapshotLSN = w.snapLSN
+	w.stats.DurableLSN = w.durableLSN
 	return nil
 }
 
-// Snapshot returns the checkpoint payload recovered at Open, the LSN it
-// covers, and whether one exists.
+// Snapshot returns the checkpoint payload recovered at Open (or installed
+// since), the LSN it covers, and whether one exists.
+//
+// Concurrency contract: Snapshot is safe while commits, checkpoints and
+// replication cursors run; the returned slice is a private copy the caller
+// owns. Nothing hands out the log's internal state — readers that want the
+// records themselves go through OpenCursor, whose iteration is anchored to
+// the mu-guarded watermarks rather than raw slices.
 func (w *WAL) Snapshot() ([]byte, uint64, bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.snapshot == nil {
 		return nil, 0, false
 	}
-	return w.snapshot, w.snapLSN, true
+	return append([]byte(nil), w.snapshot...), w.snapLSN, true
 }
 
 // Replay calls fn for every record recovered at Open that is newer than
-// the snapshot, in LSN order. It does not see records appended after Open.
+// the snapshot, in LSN order. It does not see records appended after Open
+// — it is the recovery-time view, for stores rebuilding their state once.
+//
+// Concurrency contract: safe while commits continue. Replay iterates a
+// snapshot of the recovered tail taken under the lock; the tail itself is
+// immutable after Open (Checkpoint replaces, never mutates, it), so fn
+// observes a frozen prefix even if a checkpoint runs mid-iteration.
+// Streaming consumers that must also see post-Open appends use OpenCursor.
 func (w *WAL) Replay(fn func(lsn uint64, payload []byte) error) error {
 	w.mu.Lock()
 	tail := w.tail
@@ -553,10 +589,20 @@ func (w *WAL) driveLocked() {
 		w.ioBusy = true
 		wasDirty := w.dirty
 		w.mu.Unlock()
-		dirty, fsyncs, rotations, err := w.writeBatch(batch, wasDirty)
+		dirty, newSeg, fsyncs, rotations, err := w.writeBatch(batch, wasDirty)
 		w.mu.Lock()
 		w.ioBusy = false
 		w.dirty = dirty
+		if newSeg != "" {
+			w.segments = append(w.segments, newSeg)
+		}
+		if err == nil {
+			last := waiters[n-1].lsn
+			w.writtenLSN = last
+			if w.opts.Policy == SyncAlways {
+				w.advanceDurableLocked(last)
+			}
+		}
 		w.stats.Fsyncs += fsyncs
 		w.stats.Rotations += rotations
 		w.stats.Segments = len(w.segments)
@@ -605,20 +651,20 @@ func (w *WAL) failQueueLocked(err error) {
 // writeBatch writes one coalesced batch of frames to the active segment,
 // rotating first when the batch would overflow it, and fsyncs under
 // SyncAlways. It runs with io ownership but without w.mu; it touches only
-// io-owned fields and reports counter deltas for the caller to fold into
-// stats under w.mu.
-func (w *WAL) writeBatch(buf []byte, wasDirty bool) (dirty bool, fsyncs, rotations uint64, err error) {
+// io-owned fields and reports counter deltas — and the name of any segment
+// it created — for the caller to fold into the mu-guarded state.
+func (w *WAL) writeBatch(buf []byte, wasDirty bool) (dirty bool, newSeg string, fsyncs, rotations uint64, err error) {
 	dirty = wasDirty
 	if w.active != nil && w.activeSize > 0 && w.activeSize+len(buf) > w.opts.SegmentBytes {
 		if dirty {
 			if err = w.active.Sync(); err != nil {
-				return dirty, fsyncs, rotations, fmt.Errorf("wal: fsync: %w", err)
+				return dirty, newSeg, fsyncs, rotations, fmt.Errorf("wal: fsync: %w", err)
 			}
 			dirty = false
 			fsyncs++
 		}
 		if err = w.active.Close(); err != nil {
-			return dirty, fsyncs, rotations, fmt.Errorf("wal: rotate close: %w", err)
+			return dirty, newSeg, fsyncs, rotations, fmt.Errorf("wal: rotate close: %w", err)
 		}
 		w.active = nil
 		rotations++
@@ -628,25 +674,25 @@ func (w *WAL) writeBatch(buf []byte, wasDirty bool) (dirty bool, fsyncs, rotatio
 		name := segmentName(w.segSeq)
 		f, err := w.fs.Create(name)
 		if err != nil {
-			return dirty, fsyncs, rotations, fmt.Errorf("wal: create segment %s: %w", name, err)
+			return dirty, newSeg, fsyncs, rotations, fmt.Errorf("wal: create segment %s: %w", name, err)
 		}
 		w.active = f
 		w.activeSize = 0
-		w.segments = append(w.segments, name)
+		newSeg = name
 	}
 	if _, err = w.active.Write(buf); err != nil {
-		return dirty, fsyncs, rotations, fmt.Errorf("wal: append: %w", err)
+		return dirty, newSeg, fsyncs, rotations, fmt.Errorf("wal: append: %w", err)
 	}
 	w.activeSize += len(buf)
 	dirty = true
 	if w.opts.Policy == SyncAlways {
 		if err = w.active.Sync(); err != nil {
-			return dirty, fsyncs, rotations, fmt.Errorf("wal: fsync: %w", err)
+			return dirty, newSeg, fsyncs, rotations, fmt.Errorf("wal: fsync: %w", err)
 		}
 		dirty = false
 		fsyncs++
 	}
-	return dirty, fsyncs, rotations, nil
+	return dirty, newSeg, fsyncs, rotations, nil
 }
 
 // quiesceLocked drains the commit pipeline and claims io ownership. On
@@ -693,6 +739,7 @@ func (w *WAL) Sync() error {
 		return w.err
 	}
 	if w.active == nil || !w.dirty {
+		w.advanceDurableLocked(w.writtenLSN)
 		return nil
 	}
 	w.mu.Unlock()
@@ -706,6 +753,7 @@ func (w *WAL) Sync() error {
 	}
 	w.dirty = false
 	w.stats.Fsyncs++
+	w.advanceDurableLocked(w.writtenLSN)
 	return nil
 }
 
@@ -735,8 +783,9 @@ func (w *WAL) Checkpoint(snapshot []byte) error {
 		return w.err
 	}
 	lastLSN := w.lastLSN
+	segs := append([]string(nil), w.segments...)
 	w.mu.Unlock()
-	written, err := w.checkpointIO(snapshot, lastLSN)
+	written, err := w.checkpointIO(snapshot, lastLSN, segs)
 	w.mu.Lock()
 	if err != nil {
 		if w.err == nil {
@@ -748,6 +797,9 @@ func (w *WAL) Checkpoint(snapshot []byte) error {
 	w.snapshot = append([]byte(nil), snapshot...)
 	w.tail = nil
 	w.dirty = false
+	w.segments = nil
+	w.writtenLSN = lastLSN
+	w.advanceDurableLocked(lastLSN)
 	w.stats.Checkpoints++
 	w.stats.Segments = 0
 	w.stats.SnapshotLSN = lastLSN
@@ -756,10 +808,11 @@ func (w *WAL) Checkpoint(snapshot []byte) error {
 }
 
 // checkpointIO performs the checkpoint's file work: tmp write, fsync,
-// atomic rename, then segment cleanup. Runs with io ownership, without
-// w.mu. A failure after the rename poisons the log but cannot lose the
+// atomic rename, then cleanup of the given segments. Runs with io
+// ownership, without w.mu (segs is the caller's copy of the mu-guarded
+// list). A failure after the rename poisons the log but cannot lose the
 // checkpoint.
-func (w *WAL) checkpointIO(snapshot []byte, lastLSN uint64) (int, error) {
+func (w *WAL) checkpointIO(snapshot []byte, lastLSN uint64, segs []string) (int, error) {
 	f, err := w.fs.Create(snapshotTmpName)
 	if err != nil {
 		return 0, fmt.Errorf("wal: checkpoint create: %w", err)
@@ -790,14 +843,218 @@ func (w *WAL) checkpointIO(snapshot []byte, lastLSN uint64) (int, error) {
 		}
 		w.active = nil
 	}
-	for _, name := range w.segments {
+	for _, name := range segs {
 		if err := w.fs.Remove(name); err != nil {
 			return 0, fmt.Errorf("wal: checkpoint drop segment %s: %w", name, err)
 		}
 	}
-	w.segments = nil
 	w.activeSize = 0
 	return len(buf), nil
+}
+
+// advanceDurableLocked raises the durable watermark and pokes the
+// registered watchers. Lock held.
+//
+// seclint:locked caller holds w.mu
+func (w *WAL) advanceDurableLocked(lsn uint64) {
+	if lsn <= w.durableLSN {
+		return
+	}
+	w.durableLSN = lsn
+	w.stats.DurableLSN = lsn
+	for _, ch := range w.watchers {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// DurableLSN returns the highest LSN covered by a completed durability
+// barrier: under SyncAlways it tracks every acknowledged batch; under the
+// lazy policies it advances on explicit Sync, the interval flush and
+// Checkpoint. Replication cursors are bounded by it.
+func (w *WAL) DurableLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.durableLSN
+}
+
+// Watch registers and returns a 1-buffered channel that receives a (
+// coalesced) signal whenever the durable watermark advances — the wake-up
+// a replication leader blocks on between batches. Release it with Unwatch.
+func (w *WAL) Watch() chan struct{} {
+	ch := make(chan struct{}, 1)
+	w.mu.Lock()
+	w.watchers = append(w.watchers, ch)
+	w.mu.Unlock()
+	return ch
+}
+
+// Unwatch removes a channel registered by Watch.
+func (w *WAL) Unwatch(ch chan struct{}) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i, c := range w.watchers {
+		if c == ch {
+			w.watchers = append(w.watchers[:i], w.watchers[i+1:]...)
+			return
+		}
+	}
+}
+
+// TruncateTo discards every record with LSN greater than lsn — the rejoin
+// primitive of replication: a follower whose tail outruns the new leader's
+// history (the old leader shipped records that never reached a quorum)
+// cuts back to the leader's watermark before streaming resumes. It refuses
+// to cut below the checkpoint snapshot (use InstallSnapshot for a full
+// resync). A no-op when lsn >= LastLSN.
+func (w *WAL) TruncateTo(lsn uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	w.quiesceLocked()
+	defer w.releaseIOLocked()
+	if w.err != nil {
+		return w.err
+	}
+	if lsn >= w.lastLSN {
+		return nil
+	}
+	if lsn < w.snapLSN {
+		return fmt.Errorf("wal: truncate to %d below snapshot %d (full resync required)", lsn, w.snapLSN)
+	}
+	segs := append([]string(nil), w.segments...)
+	w.mu.Unlock()
+	kept, err := w.truncateIO(lsn, segs)
+	w.mu.Lock()
+	if err != nil {
+		if w.err == nil {
+			w.err = err
+		}
+		return w.err
+	}
+	w.segments = kept
+	w.lastLSN = lsn
+	w.writtenLSN = lsn
+	if w.durableLSN > lsn {
+		w.durableLSN = lsn
+	}
+	for len(w.tail) > 0 && w.tail[len(w.tail)-1].LSN > lsn {
+		w.tail = w.tail[:len(w.tail)-1]
+	}
+	w.dirty = false
+	w.rewinds++
+	w.stats.LastLSN = lsn
+	w.stats.DurableLSN = w.durableLSN
+	w.stats.Segments = len(w.segments)
+	return nil
+}
+
+// truncateIO rewrites the segment files so no frame with LSN > lsn
+// survives, returning the kept segment names. Runs with io ownership,
+// without w.mu.
+func (w *WAL) truncateIO(lsn uint64, segs []string) ([]string, error) {
+	if w.active != nil {
+		if err := w.active.Close(); err != nil {
+			return nil, fmt.Errorf("wal: truncate close: %w", err)
+		}
+		w.active = nil
+		w.activeSize = 0
+	}
+	var kept []string
+	cut := false
+	for _, name := range segs {
+		if cut {
+			if err := w.fs.Remove(name); err != nil {
+				return nil, fmt.Errorf("wal: truncate drop %s: %w", name, err)
+			}
+			continue
+		}
+		data, err := w.fs.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("wal: truncate read %s: %w", name, err)
+		}
+		good := 0
+		rest := data
+		for len(rest) > 0 {
+			frameLSN, _, next, err := DecodeFrame(rest)
+			if err != nil || frameLSN > lsn {
+				cut = true
+				break
+			}
+			good = len(data) - len(next)
+			rest = next
+		}
+		switch {
+		case !cut:
+			kept = append(kept, name)
+		case good == 0:
+			if err := w.fs.Remove(name); err != nil {
+				return nil, fmt.Errorf("wal: truncate drop %s: %w", name, err)
+			}
+		default:
+			if err := w.fs.WriteTrunc(name, data[:good]); err != nil {
+				return nil, fmt.Errorf("wal: truncate %s: %w", name, err)
+			}
+			kept = append(kept, name)
+		}
+	}
+	return kept, nil
+}
+
+// InstallSnapshot replaces the log's entire history with the given
+// snapshot covering lsn: the full-resync primitive a follower uses when
+// its history diverged from the leader's beyond repair, or fell behind the
+// leader's checkpoint. Afterwards LastLSN == SnapshotLSN == lsn and the
+// next Append is assigned lsn+1.
+func (w *WAL) InstallSnapshot(snapshot []byte, lsn uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if len(snapshot) > MaxPayload {
+		return fmt.Errorf("wal: snapshot %d bytes exceeds MaxPayload", len(snapshot))
+	}
+	w.quiesceLocked()
+	defer w.releaseIOLocked()
+	if w.err != nil {
+		return w.err
+	}
+	segs := append([]string(nil), w.segments...)
+	w.mu.Unlock()
+	written, err := w.checkpointIO(snapshot, lsn, segs)
+	w.mu.Lock()
+	if err != nil {
+		if w.err == nil {
+			w.err = err
+		}
+		return w.err
+	}
+	w.snapLSN = lsn
+	w.snapshot = append([]byte(nil), snapshot...)
+	w.lastLSN = lsn
+	w.writtenLSN = lsn
+	w.tail = nil
+	w.dirty = false
+	w.segments = nil
+	w.rewinds++
+	if lsn > w.durableLSN {
+		w.advanceDurableLocked(lsn)
+	} else {
+		// A resync may rewind the watermark; no watcher poke needed.
+		w.durableLSN = lsn
+	}
+	w.stats.Checkpoints++
+	w.stats.Segments = 0
+	w.stats.LastLSN = lsn
+	w.stats.SnapshotLSN = lsn
+	w.stats.DurableLSN = lsn
+	w.stats.BytesWritten += uint64(written)
+	return nil
 }
 
 // Stats snapshots the counters.
@@ -834,6 +1091,7 @@ func (w *WAL) Close() error {
 		} else {
 			w.dirty = false
 			w.stats.Fsyncs++
+			w.advanceDurableLocked(w.writtenLSN)
 		}
 	}
 	if w.active != nil {
@@ -881,6 +1139,7 @@ func (w *WAL) flushLoop(stop, done chan struct{}) {
 				} else {
 					w.dirty = false
 					w.stats.Fsyncs++
+					w.advanceDurableLocked(w.writtenLSN)
 				}
 				w.releaseIOLocked()
 			}

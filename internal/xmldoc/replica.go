@@ -1,0 +1,83 @@
+package xmldoc
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Replica-side replay for the document store: the replication layer ships
+// the leader's journal entries (the same storeJournal frames persist.go
+// writes) and a follower applies them here, one at a time, without
+// journaling again — the replication layer owns the follower's local WAL.
+// Generation counters travel inside every entry, so a generation-keyed
+// decision cache on the replica observes the same (name, generation) →
+// state mapping as on the leader.
+
+// ApplyReplicated applies one shipped journal entry. Entries must arrive
+// in the order the leader journaled them.
+func (s *Store) ApplyReplicated(lsn uint64, payload []byte) error {
+	var rec storeJournal
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return fmt.Errorf("xmldoc: decode replicated entry at lsn %d: %w", lsn, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch rec.Op {
+	case "put":
+		d, err := ParseString(rec.Doc, rec.XML)
+		if err != nil {
+			return fmt.Errorf("xmldoc: replicate put %s: %w", rec.Doc, err)
+		}
+		s.docs[rec.Doc] = d
+	case "remove":
+		delete(s.docs, rec.Doc)
+		for _, set := range s.sets {
+			delete(set, rec.Doc)
+		}
+		delete(s.memberOf, rec.Doc)
+	case "addset":
+		s.linkSetLocked(rec.Set, rec.Doc)
+	default:
+		return fmt.Errorf("xmldoc: unknown replicated op %q at lsn %d", rec.Op, lsn)
+	}
+	s.docGens[rec.Doc] = rec.DocGen
+	s.gen = rec.Gen
+	return nil
+}
+
+// RestoreReplicated replaces the store's contents from a leader checkpoint
+// snapshot (full resync).
+func (s *Store) RestoreReplicated(lsn uint64, snapshot []byte) error {
+	var snap storeSnap
+	// An empty snapshot resets to genesis (a never-checkpointed leader
+	// resyncs divergent replicas by wiping and re-streaming its log).
+	if len(snapshot) > 0 {
+		if err := json.Unmarshal(snapshot, &snap); err != nil {
+			return fmt.Errorf("xmldoc: decode replicated snapshot: %w", err)
+		}
+	}
+	docs := make(map[string]*Document, len(snap.Docs))
+	for name, xml := range snap.Docs {
+		d, err := ParseString(name, xml)
+		if err != nil {
+			return fmt.Errorf("xmldoc: restore %s: %w", name, err)
+		}
+		docs[name] = d
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.docs = docs
+	s.sets = make(map[string]map[string]bool)
+	s.memberOf = make(map[string]map[string]bool)
+	s.docGens = make(map[string]uint64, len(snap.DocGens))
+	for set, names := range snap.Sets {
+		for _, doc := range names {
+			s.linkSetLocked(set, doc)
+		}
+	}
+	for name, g := range snap.DocGens {
+		s.docGens[name] = g
+	}
+	s.gen = snap.Gen
+	return nil
+}

@@ -1,0 +1,118 @@
+package xmldoc
+
+import (
+	"testing"
+
+	"webdbsec/internal/resilience/faultinject"
+	"webdbsec/internal/wal"
+)
+
+func openStoreWAL(t *testing.T, fs wal.FS) (*Store, *wal.WAL) {
+	t.Helper()
+	w, err := wal.Open(wal.Options{FS: fs, Policy: wal.SyncAlways})
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	s, err := OpenStore(w)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	return s, w
+}
+
+func mustParse(t *testing.T, name, xml string) *Document {
+	t.Helper()
+	d, err := ParseString(name, xml)
+	if err != nil {
+		t.Fatalf("ParseString(%s): %v", name, err)
+	}
+	return d
+}
+
+// TestApplyReplicated streams a leader store's journal into a replica and
+// checks the replica materializes the same documents, sets and — crucially
+// for the decision cache — the same generation counters.
+func TestApplyReplicated(t *testing.T) {
+	lfs := faultinject.NewMemFS()
+	leader, lw := openStoreWAL(t, lfs)
+	leader.Put(mustParse(t, "a.xml", "<patient><name>Ann</name></patient>"))
+	leader.Put(mustParse(t, "b.xml", "<patient><name>Bob</name></patient>"))
+	leader.AddToSet("ward", "a.xml")
+	leader.AddToSet("ward", "b.xml")
+	leader.Remove("b.xml")
+	leader.Put(mustParse(t, "a.xml", "<patient><name>Anna</name></patient>"))
+	if err := leader.Err(); err != nil {
+		t.Fatalf("leader journal: %v", err)
+	}
+
+	replica := NewStore()
+	c, err := lw.OpenCursor(0)
+	if err != nil {
+		t.Fatalf("OpenCursor: %v", err)
+	}
+	for {
+		rec, ok, err := c.Next()
+		if err != nil {
+			t.Fatalf("cursor: %v", err)
+		}
+		if !ok {
+			break
+		}
+		if err := replica.ApplyReplicated(rec.LSN, rec.Payload); err != nil {
+			t.Fatalf("ApplyReplicated lsn %d: %v", rec.LSN, err)
+		}
+	}
+
+	if replica.Generation() != leader.Generation() {
+		t.Fatalf("store generation %d, leader %d", replica.Generation(), leader.Generation())
+	}
+	if replica.DocGeneration("a.xml") != leader.DocGeneration("a.xml") {
+		t.Fatalf("doc generation mismatch for a.xml")
+	}
+	d, ok := replica.Get("a.xml")
+	if !ok {
+		t.Fatal("a.xml missing on replica")
+	}
+	ld, _ := leader.Get("a.xml")
+	if d.Canonical() != ld.Canonical() {
+		t.Fatalf("replica content %q, leader %q", d.Canonical(), ld.Canonical())
+	}
+	if _, ok := replica.Get("b.xml"); ok {
+		t.Fatal("removed document still on replica")
+	}
+	if !replica.SetContains("ward", "a.xml") || replica.SetContains("ward", "b.xml") {
+		t.Fatalf("replica set membership wrong: ward=%v", replica.SetMembers("ward"))
+	}
+}
+
+func TestRestoreReplicated(t *testing.T) {
+	lfs := faultinject.NewMemFS()
+	leader, lw := openStoreWAL(t, lfs)
+	leader.Put(mustParse(t, "a.xml", "<r><v>1</v></r>"))
+	leader.AddToSet("s", "a.xml")
+	if err := leader.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	snap, lsn, ok := lw.Snapshot()
+	if !ok {
+		t.Fatal("no snapshot after checkpoint")
+	}
+
+	replica := NewStore()
+	replica.Put(mustParse(t, "stale.xml", "<x/>"))
+	if err := replica.RestoreReplicated(lsn, snap); err != nil {
+		t.Fatalf("RestoreReplicated: %v", err)
+	}
+	if _, ok := replica.Get("stale.xml"); ok {
+		t.Fatal("stale document survived resync")
+	}
+	if _, ok := replica.Get("a.xml"); !ok {
+		t.Fatal("snapshot document missing after resync")
+	}
+	if !replica.SetContains("s", "a.xml") {
+		t.Fatal("set membership missing after resync")
+	}
+	if replica.Generation() != leader.Generation() {
+		t.Fatalf("generation %d, leader %d", replica.Generation(), leader.Generation())
+	}
+}
