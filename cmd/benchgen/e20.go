@@ -68,7 +68,8 @@ func e20Start(n int) (*e20Cluster, error) {
 		addrs[id] = l.Addr().String()
 	}
 	for _, id := range c.ids {
-		w, err := wal.Open(wal.Options{FS: faultinject.NewMemFS(), Policy: wal.SyncAlways})
+		fs := faultinject.NewMemFS()
+		w, err := wal.Open(wal.Options{FS: fs, Policy: wal.SyncAlways})
 		if err != nil {
 			return nil, err
 		}
@@ -83,12 +84,13 @@ func e20Start(n int) (*e20Cluster, error) {
 		}
 		applied := &atomic.Uint64{}
 		node, err := replication.NewNode(replication.Config{
-			NodeID:   id,
-			Listener: listeners[id],
-			Peers:    peers,
-			Identity: e20Key(id),
-			PeerKeys: keys,
-			WAL:      w,
+			NodeID:    id,
+			Listener:  listeners[id],
+			Peers:     peers,
+			Identity:  e20Key(id),
+			PeerKeys:  keys,
+			WAL:       w,
+			MetaStore: fs,
 			Applier: replication.ApplierFuncs{
 				ApplyFn:   func(lsn uint64, _ []byte) error { applied.Store(lsn); return nil },
 				RestoreFn: func(lsn uint64, _ []byte) error { applied.Store(lsn); return nil },

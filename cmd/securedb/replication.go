@@ -4,8 +4,9 @@
 // verdict; followers replay the shipped log and serve reads through the
 // same access-control gate, refusing writes with a redirect hint to the
 // leader. Failover is automatic — when the leader dies, the survivors
-// elect (highest durable LSN, ties toward the highest node ID) and the
-// winner promotes its replica in place.
+// elect by an explicit quorum vote (candidates ordered by tail epoch,
+// then durable LSN; one durable grant per node per epoch) and the winner
+// promotes its replica in place.
 package main
 
 import (
@@ -132,6 +133,7 @@ func runCluster(o clusterOpts) {
 		Identity:   demoNodeKey(o.secret, o.nodeID),
 		PeerKeys:   keys,
 		WAL:        dbWAL,
+		MetaStore:  wal.DirFS(filepath.Join(o.dataDir, "cluster")),
 		Applier:    follower,
 		AppliedLSN: follower.AppliedLSN(),
 		OnLeader:   r.onLeader,

@@ -253,6 +253,7 @@ func (c *cluster) start(id string) *member {
 		JoinPolicy:        joinPolicy,
 		SendQueue:         c.sendQueue,
 		WAL:               w,
+		MetaStore:         m.fs,
 		Applier:           applier,
 		AppliedLSN:        appliedLSN,
 		HeartbeatInterval: 20 * time.Millisecond,

@@ -11,30 +11,61 @@ import (
 type peerState struct {
 	node    string
 	epoch   uint64
+	tail    uint64
 	durable uint64
 	role    string
 	leader  string
 }
 
-// runElection polls every peer for its state and decides deterministically
-// who should lead: among the reachable nodes (which must be a quorum —
-// a minority partition can never elect), the highest durable LSN wins,
-// ties broken by the highest node ID. Every node in the same partition
-// computes the same winner from the same answers, so no voting rounds are
-// needed: the winner claims a fresh epoch, everyone else follows it.
+// better orders leader candidates: later tail epoch first, then durable
+// LSN, then node ID as the final deterministic tie-break. Tail epoch
+// dominates on purpose — a log that is a verified prefix of a newer
+// leadership can never be missing older committed records, while a
+// longer log whose tail was written under an old epoch may be nothing
+// but an uncommitted stranded tail. Comparing durable LSNs alone would
+// let exactly that tail win.
+func better(a, b peerState) bool {
+	if a.tail != b.tail {
+		return a.tail > b.tail
+	}
+	if a.durable != b.durable {
+		return a.durable > b.durable
+	}
+	return a.node > b.node
+}
+
+// runElection drives one election round. It has two phases:
 //
-// Safety: the commit watermark only ever covers records durable on a
-// quorum, and any two quorums intersect, so the max-durable node of any
-// electing quorum holds every committed record.
+// Poll: every peer is asked for its state. Fewer than a quorum reachable
+// means this node is (possibly) in a minority partition and stays
+// fenced. An established leader at the highest observed epoch is joined
+// outright — following it beats churning the epoch.
+//
+// Candidacy: otherwise the node nominates itself only if its log is the
+// best among the reachable states by (tail epoch, durable LSN, node ID)
+// — a cheap prefilter that keeps obviously-outranked nodes from
+// disrupting the round — and then claims epoch maxEpoch+1 through an
+// explicit quorum vote. Every voter (the candidate included) durably
+// records the grant before it counts, and grants at most one vote per
+// epoch, so at most one leader can ever hold a given epoch: two
+// candidates that each reach a quorum through asymmetric partitions
+// necessarily share a voter, and that voter granted only one of them.
+// A voter also refuses any candidate whose (tail epoch, durable LSN) is
+// behind its own, so the winner's log contains every committed record
+// of every earlier epoch — quorum intersection hands the vote round at
+// least one member of every commit quorum, and that member's tail-epoch
+// stamp (see advanceTailEpoch) outranks every stale tail.
 func (n *Node) runElection() {
 	n.mu.Lock()
 	n.elections++
 	selfEpoch := n.epoch
+	selfTail := n.tailEpoch
 	n.mu.Unlock()
 
 	self := peerState{
 		node:    n.cfg.NodeID,
 		epoch:   selfEpoch,
+		tail:    selfTail,
 		durable: n.cfg.WAL.DurableLSN(),
 	}
 	states := []peerState{self}
@@ -63,7 +94,12 @@ func (n *Node) runElection() {
 		if st.role == LeaderRole.String() && st.epoch == maxEpoch && st.node != n.cfg.NodeID {
 			n.mu.Lock()
 			if n.role == Candidate && !n.stopped {
-				n.epoch = maxEpoch
+				if maxEpoch > n.epoch {
+					n.epoch = maxEpoch
+					if err := n.saveMetaLocked(); err != nil {
+						n.logf("election: %v", err)
+					}
+				}
 				n.role = FollowerRole
 				n.leaderID = st.node
 				n.broadcastLocked()
@@ -74,42 +110,123 @@ func (n *Node) runElection() {
 		}
 	}
 
-	winner := states[0]
+	best := states[0]
 	for _, st := range states[1:] {
-		if st.durable > winner.durable || (st.durable == winner.durable && st.node > winner.node) {
-			winner = st
+		if better(st, best) {
+			best = st
 		}
 	}
+	if best.node != n.cfg.NodeID {
+		// A better-positioned node is reachable; let it claim the epoch.
+		// This is only an optimization — the vote round below is what
+		// enforces safety — so no role change happens here: the node
+		// stays Candidate, and a later poll finds the winner as leader.
+		n.logf("election: deferring to better-positioned %s", best.node)
+		return
+	}
+
+	// Claim a fresh epoch: durably self-vote first, then gather a quorum.
+	n.mu.Lock()
+	if n.role != Candidate || n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	newEpoch := maxEpoch + 1
+	// seclint:locked the unlock above is in the returning branch; the lock is still held here
+	if newEpoch <= n.votedEpoch {
+		// Already voted at newEpoch (e.g. a lost earlier candidacy); the
+		// one-grant-per-epoch rule applies to this node too.
+		// seclint:locked the unlock above is in the returning branch; the lock is still held here
+		newEpoch = n.votedEpoch + 1
+	}
+	// seclint:locked the unlock above is in the returning branch; the lock is still held here
+	n.epoch = newEpoch
+	// seclint:locked the unlock above is in the returning branch; the lock is still held here
+	n.votedEpoch = newEpoch
+	if err := n.saveMetaLocked(); err != nil {
+		n.logf("election: cannot persist self-vote, abandoning candidacy: %v", err)
+		n.mu.Unlock()
+		return
+	}
+	tail := selfTail
+	durable := n.cfg.WAL.DurableLSN()
+	n.mu.Unlock()
+
+	votes := 1 // self
+	maxSeen := newEpoch
+	for id := range n.cfg.Peers {
+		if votes >= n.quorum {
+			break
+		}
+		granted, peerEpoch, err := n.requestVote(id, newEpoch, tail, durable)
+		if err != nil {
+			n.logf("election: vote %s: %v", id, err)
+			continue
+		}
+		if peerEpoch > maxSeen {
+			maxSeen = peerEpoch
+		}
+		if granted {
+			votes++
+		}
+	}
+
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.role != Candidate || n.stopped {
+	if n.role != Candidate || n.stopped || n.epoch != newEpoch {
+		// A newer election (or a leader's join traffic) moved the node on
+		// while the votes were in flight; this candidacy is dead.
 		return
 	}
-	if winner.node == n.cfg.NodeID {
-		// Epochs are claimed by leaders, never predicted by followers: only
-		// the winner bumps past the highest epoch it observed.
-		if newEpoch := maxEpoch + 1; newEpoch > n.epoch {
-			n.epoch = newEpoch
+	if votes < n.quorum {
+		if maxSeen > n.epoch {
+			n.epoch = maxSeen
+			if err := n.saveMetaLocked(); err != nil {
+				n.logf("election: %v", err)
+			}
 		}
-		n.becomeLeaderLocked()
+		n.logf("election: %d/%d votes at epoch %d, backing off", votes, n.quorum, newEpoch)
 		return
 	}
-	// A loser follows at the highest epoch it actually observed. Guessing
-	// the winner's next epoch here would let a join carrying the guess
-	// fence the legitimate leader if this node's poll caught a peer
-	// mid-election; the winner's joinResp teaches the real epoch instead
-	// (followOnce adopts it via observeEpoch).
-	if maxEpoch > n.epoch {
-		n.epoch = maxEpoch
-	}
-	n.role = FollowerRole
-	n.leaderID = winner.node
-	n.broadcastLocked()
-	n.logf("election: following %s at epoch %d", winner.node, n.epoch)
+	n.becomeLeaderLocked()
 }
 
 // pollPeer asks one peer for its current state over a short-lived channel.
 func (n *Node) pollPeer(id string) (peerState, error) {
+	m, err := n.roundTrip(id, &msg{T: "state", Node: n.cfg.NodeID, Epoch: n.Epoch()})
+	if err != nil {
+		return peerState{}, err
+	}
+	return peerState{
+		node:    m.Node,
+		epoch:   m.Epoch,
+		tail:    m.TailEpoch,
+		durable: m.DurableLSN,
+		role:    m.Role,
+		leader:  m.Leader,
+	}, nil
+}
+
+// requestVote asks one peer to grant this node's candidacy for epoch.
+// It returns whether the vote was granted and the peer's epoch (which,
+// when higher, reveals a newer election the candidate lost to).
+func (n *Node) requestVote(id string, epoch, tailEpoch, durable uint64) (bool, uint64, error) {
+	m, err := n.roundTrip(id, &msg{
+		T:          "vote",
+		Node:       n.cfg.NodeID,
+		Epoch:      epoch,
+		TailEpoch:  tailEpoch,
+		DurableLSN: durable,
+	})
+	if err != nil {
+		return false, 0, err
+	}
+	return m.OK, m.Epoch, nil
+}
+
+// roundTrip performs one request/response exchange with a peer over a
+// short-lived channel.
+func (n *Node) roundTrip(id string, req *msg) (*msg, error) {
 	cfg := secchan.Config{
 		HandshakeTimeout: n.cfg.dialTimeout(),
 		ReadTimeout:      n.cfg.dialTimeout(),
@@ -117,31 +234,21 @@ func (n *Node) pollPeer(id string) (peerState, error) {
 	}
 	ch, err := n.dial(id, cfg)
 	if err != nil {
-		return peerState{}, err
+		return nil, err
 	}
 	defer ch.Close()
-	req, err := encodeMsg(&msg{T: "state", Node: n.cfg.NodeID, Epoch: n.Epoch()})
+	raw, err := encodeMsg(req)
 	if err != nil {
-		return peerState{}, err
+		return nil, err
 	}
-	if err := ch.Send(req); err != nil {
-		return peerState{}, err
+	if err := ch.Send(raw); err != nil {
+		return nil, err
 	}
-	raw, err := ch.Receive()
+	resp, err := ch.Receive()
 	if err != nil {
-		return peerState{}, err
+		return nil, err
 	}
-	m, err := decodeMsg(raw)
-	if err != nil {
-		return peerState{}, err
-	}
-	return peerState{
-		node:    m.Node,
-		epoch:   m.Epoch,
-		durable: m.DurableLSN,
-		role:    m.Role,
-		leader:  m.Leader,
-	}, nil
+	return decodeMsg(resp)
 }
 
 // serveState answers an election poll on an accepted channel. Observing a
@@ -155,23 +262,72 @@ func (n *Node) serveState(ch *secchan.Channel, m *msg) {
 			n.failovers++
 			n.stepDownLocked("higher epoch observed in poll")
 		}
+		if err := n.saveMetaLocked(); err != nil {
+			n.logf("state: %v", err)
+		}
 	}
 	resp := &msg{
 		T:          "stateResp",
 		Node:       n.cfg.NodeID,
 		Epoch:      n.epoch,
+		TailEpoch:  n.tailEpoch,
 		DurableLSN: n.cfg.WAL.DurableLSN(),
 		Role:       n.role.String(),
 		Leader:     n.leaderID,
 	}
 	n.mu.Unlock()
+	n.replyAndDrain(ch, resp)
+}
+
+// serveVote answers a candidacy request. The two rules that make epochs
+// exclusive and elections safe:
+//
+//   - one grant per epoch, persisted BEFORE the reply leaves the node —
+//     a crash between granting and replying must not allow a second
+//     same-epoch grant after restart;
+//   - no grant to a candidate whose log is behind this node's by
+//     (tail epoch, durable LSN) — so a stale-epoch tail, however long,
+//     cannot collect a quorum while any voter holds newer-epoch records.
+func (n *Node) serveVote(ch *secchan.Channel, m *msg) {
+	n.mu.Lock()
+	if m.Epoch > n.epoch {
+		n.epoch = m.Epoch
+		if n.role == LeaderRole {
+			n.failovers++
+			n.stepDownLocked("higher epoch in vote request")
+		}
+		if err := n.saveMetaLocked(); err != nil {
+			n.logf("vote: %v", err)
+		}
+	}
+	granted := false
+	upToDate := m.TailEpoch > n.tailEpoch ||
+		(m.TailEpoch == n.tailEpoch && m.DurableLSN >= n.cfg.WAL.DurableLSN())
+	if m.Epoch == n.epoch && m.Epoch > n.votedEpoch && upToDate && !n.stopped {
+		n.votedEpoch = m.Epoch
+		if err := n.saveMetaLocked(); err != nil {
+			// An unpersisted grant must not count: roll it back and
+			// refuse, or a restart could hand the same epoch out twice.
+			n.votedEpoch = 0
+			n.logf("vote: cannot persist grant for %s at %d: %v", m.Node, m.Epoch, err)
+		} else {
+			granted = true
+			n.logf("vote: granted %s epoch %d (tail %d, durable %d)", m.Node, m.Epoch, m.TailEpoch, m.DurableLSN)
+		}
+	}
+	resp := &msg{T: "voteResp", Node: n.cfg.NodeID, Epoch: n.epoch, OK: granted}
+	n.mu.Unlock()
+	n.replyAndDrain(ch, resp)
+}
+
+// replyAndDrain sends resp and then waits for the peer's close-notify so
+// the reply is not torn off by our own teardown racing the write.
+func (n *Node) replyAndDrain(ch *secchan.Channel, resp *msg) {
 	raw, err := encodeMsg(resp)
 	if err != nil {
 		return
 	}
 	_ = ch.Send(raw)
-	// Wait for the poller's close-notify so the reply is not torn off by
-	// our own teardown racing the write.
 	deadline := time.Now().Add(n.cfg.dialTimeout())
 	for time.Now().Before(deadline) {
 		if _, err := ch.Receive(); err != nil {

@@ -109,7 +109,7 @@ func (n *Node) followOnce(leader string) error {
 	default:
 		return fmt.Errorf("replication: unknown join plan %q", resp.Plan)
 	}
-	return n.consume(ch, leader)
+	return n.consume(ch, leader, resp.Epoch, resp.EpochStart)
 }
 
 // appliedLSN reads the applier position.
@@ -119,13 +119,43 @@ func (n *Node) appliedLSN() uint64 {
 	return n.applied
 }
 
-// observeEpoch adopts a higher epoch seen in leader traffic.
+// observeEpoch adopts a higher epoch seen in leader traffic, durably.
 func (n *Node) observeEpoch(e uint64) {
 	n.mu.Lock()
 	if e > n.epoch {
 		n.epoch = e
+		if err := n.saveMetaLocked(); err != nil {
+			n.logf("observe epoch: %v", err)
+		}
 	}
 	n.mu.Unlock()
+}
+
+// advanceTailEpoch stamps this node's log tail with the leader's epoch
+// once — and only once — durable, the position the follower is about to
+// ack, covers epochStart, the leader's durable LSN at its promotion.
+// From that point on the log is a verified full prefix of everything
+// leader `epoch` was elected with, so it can never be missing a record
+// committed at any earlier epoch; that is exactly the property elections
+// rely on when they order candidates by (tail epoch, durable LSN). The
+// stamp MUST be durable before any ack at or past epochStart leaves the
+// node: the ack may complete a commit quorum, and a voter that then
+// forgot its stamp could elect a stale tail over the record it helped
+// commit. The caller passes the same durable value it acks — re-reading
+// DurableLSN here would race group commit and let an unstamped ack past.
+func (n *Node) advanceTailEpoch(epoch, epochStart, durable uint64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.tailEpoch >= epoch || durable < epochStart {
+		return nil
+	}
+	prev := n.tailEpoch
+	n.tailEpoch = epoch
+	if err := n.saveMetaLocked(); err != nil {
+		n.tailEpoch = prev
+		return fmt.Errorf("replication: persist tail epoch %d: %w", epoch, err)
+	}
+	return nil
 }
 
 // verifyJoinHash recomputes the chain hash over the overlapping span and
@@ -182,9 +212,11 @@ func (n *Node) receiveSnapshot(ch *secchan.Channel) error {
 }
 
 // consume is the follower's stream loop: append shipped records to the
-// local WAL (the Append return is the durability verdict), ack the
-// position, and apply everything the commit watermark covers.
-func (n *Node) consume(ch *secchan.Channel, leader string) error {
+// local WAL (the Append return is the durability verdict), stamp the
+// tail epoch once the durable position covers the leader's epoch start,
+// ack the position, and apply everything the commit watermark covers.
+// The stamp strictly precedes the ack — see advanceTailEpoch.
+func (n *Node) consume(ch *secchan.Channel, leader string, epoch, epochStart uint64) error {
 	for {
 		n.mu.Lock()
 		live := n.role == FollowerRole && n.leaderID == leader && !n.stopped
@@ -218,17 +250,25 @@ func (n *Node) consume(ch *secchan.Channel, leader string) error {
 					return fmt.Errorf("replication: shipped lsn %d landed at %d", rec.LSN, lsn)
 				}
 			}
+			durable := n.cfg.WAL.DurableLSN()
+			if err := n.advanceTailEpoch(epoch, epochStart, durable); err != nil {
+				return err
+			}
 			if err := n.setCommit(m.Commit); err != nil {
 				return err
 			}
-			if err := n.send(ch, &msg{T: "ack", Node: n.cfg.NodeID, LSN: n.cfg.WAL.DurableLSN()}); err != nil {
+			if err := n.send(ch, &msg{T: "ack", Node: n.cfg.NodeID, LSN: durable}); err != nil {
 				return err
 			}
 		case "hb":
+			durable := n.cfg.WAL.DurableLSN()
+			if err := n.advanceTailEpoch(epoch, epochStart, durable); err != nil {
+				return err
+			}
 			if err := n.setCommit(m.Commit); err != nil {
 				return err
 			}
-			if err := n.send(ch, &msg{T: "ack", Node: n.cfg.NodeID, LSN: n.cfg.WAL.DurableLSN()}); err != nil {
+			if err := n.send(ch, &msg{T: "ack", Node: n.cfg.NodeID, LSN: durable}); err != nil {
 				return err
 			}
 		default:

@@ -96,17 +96,27 @@ func (n *Node) serveConn(conn net.Conn) {
 	switch m.T {
 	case "state":
 		n.serveState(ch, m)
+	case "vote":
+		n.serveVote(ch, m)
 	case "join":
 		n.serveJoin(ch, m)
 	}
 }
 
-// becomeLeaderLocked promotes this node: it adopts its own durable
-// position as the commit base (election safety guarantees it covers every
-// previously committed record), applies its local tail, and runs the
-// promote hook.
+// becomeLeaderLocked promotes this node after a won vote round. The
+// commit watermark does NOT jump to the leader's durable position: the
+// inherited tail may contain records no quorum ever held, and declaring
+// them committed before quorum replication is the previous-term-commit
+// hazard (a successor leader elected without them would regress
+// acknowledged state). Instead the promotion records epochStart = the
+// durable tail, and advanceCommitLocked refuses to move the watermark
+// until a quorum of the new epoch acks at least that position — the
+// moral equivalent of Raft committing prior-term entries only through a
+// quorum-replicated current-term entry. The local tail is still applied
+// (Promote() below needs the materialized state), but readers go through
+// the commit gate, not the applier position.
 //
-// seclint:locked caller holds n.mu (released/reacquired around the promote hook)
+// seclint:locked caller holds n.mu (released/reacquired around the tail apply and promote hook)
 func (n *Node) becomeLeaderLocked() {
 	// Drain the commit pipeline first so the durable watermark covers the
 	// whole log; the tail application below must reach LastLSN for the
@@ -115,21 +125,36 @@ func (n *Node) becomeLeaderLocked() {
 		n.logf("promote: wal sync: %v", err)
 	}
 	durable := n.cfg.WAL.DurableLSN()
-	if durable > n.commit {
-		n.commit = durable
+	wonEpoch := n.epoch
+	n.epochStart = durable
+	// seclint:locked the unlock/relock below is in applyToLocked and the hook; the lock is held here
+	n.tailEpoch = wonEpoch
+	if err := n.saveMetaLocked(); err != nil {
+		// A leader whose tail-epoch stamp is not durable could lose a
+		// future election to a stale tail; abandon the promotion (the
+		// node stays Candidate and the cluster retries).
+		n.logf("promote: cannot persist tail epoch, abandoning leadership: %v", err)
+		return
 	}
 	// Apply the local tail while still wearing the follower applier —
 	// after the role flips, applyCommittedLocked stops feeding the applier
 	// (the promoted database produces the records; re-applying them would
 	// double them).
-	if err := n.applyCommittedLocked(); err != nil {
+	if err := n.applyToLocked(durable); err != nil {
 		n.logf("promote: apply tail: %v", err)
+	}
+	if n.epoch != wonEpoch || n.stopped {
+		// The tail apply releases the lock around applier calls; a newer
+		// election may have moved the node on in that window.
+		n.logf("promote: epoch advanced to %d during promotion of %d, abandoning", n.epoch, wonEpoch)
+		return
 	}
 	n.role = LeaderRole
 	n.leaderID = n.cfg.NodeID
 	n.acked = make(map[string]uint64)
+	n.leaderAt = time.Now()
 	n.broadcastLocked()
-	n.logf("became leader at epoch %d, commit %d", n.epoch, n.commit)
+	n.logf("became leader at epoch %d, commit %d, epoch start %d", n.epoch, n.commit, n.epochStart)
 	if n.cfg.OnLeader != nil {
 		// The hook runs without the lock: it may call back into the node.
 		n.mu.Unlock()
@@ -177,7 +202,12 @@ func (n *Node) runLeader() {
 				reachable++
 			}
 		}
-		if reachable < n.quorum {
+		// A vote-elected leader starts with zero links: its voters are
+		// still candidates until their next poll finds it. Promotion
+		// counts as hearing from the electing quorum, so fencing begins
+		// one election timeout after it.
+		// seclint:locked the unlock above is in the returning branch; the lock is still held here
+		if reachable < n.quorum && n.leaderAt.Before(cutoff) {
 			// seclint:locked the unlock above is in the returning branch; the lock is still held here
 			n.failovers++
 			n.stepDownLocked(fmt.Sprintf("quorum lost (%d/%d reachable)", reachable, n.quorum))
@@ -202,8 +232,11 @@ func (n *Node) serveJoin(ch *secchan.Channel, m *msg) {
 			n.failovers++
 			n.stepDownLocked("higher epoch in join request")
 		}
+		if err := n.saveMetaLocked(); err != nil {
+			n.logf("join: %v", err)
+		}
 	}
-	role, epoch, leader := n.role, n.epoch, n.leaderID
+	role, epoch, leader, epochStart := n.role, n.epoch, n.leaderID, n.epochStart
 	n.mu.Unlock()
 	if role != LeaderRole {
 		n.reject(ch, "not leader", leader, epoch)
@@ -227,7 +260,7 @@ func (n *Node) serveJoin(ch *secchan.Channel, m *msg) {
 	if leaderLast < common {
 		common = leaderLast
 	}
-	resp := &msg{T: "joinResp", Node: n.cfg.NodeID, Epoch: epoch, Commit: n.CommitLSN()}
+	resp := &msg{T: "joinResp", Node: n.cfg.NodeID, Epoch: epoch, Commit: n.CommitLSN(), EpochStart: epochStart}
 	if m.LastLSN < leaderSnapLSN || common < from {
 		// No overlapping span to cross-check: the follower's history is
 		// compacted away (or it is empty while we checkpointed) — resync.
@@ -347,8 +380,14 @@ func (n *Node) stream(ch *secchan.Channel, node string, start uint64, epoch uint
 	}
 	// seclint:locked the unlock above is in the returning branch; the lock is still held here
 	n.links[node] = l
+	// The handshake position is NOT seeded as an ack: only acks from the
+	// live stream count toward commit, because the follower durably stamps
+	// its tail epoch before sending those (advanceTailEpoch) — a
+	// handshake-seeded position would let an unstamped log complete a
+	// commit quorum that a later election could then order below a stale
+	// tail. The first heartbeat ack arrives within a heartbeat interval.
 	// seclint:locked the unlock above is in the returning branch; the lock is still held here
-	n.acked[node] = start
+	n.acked[node] = 0
 	n.mu.Unlock()
 	defer func() {
 		l.close()

@@ -6,14 +6,19 @@
 // federated vision (§ cooperative web databases) assumes data outlives any
 // single node — this package is that assumption made executable.
 //
-// Design in one paragraph: epochs order leaderships; elections are
-// deterministic (highest durable LSN wins, ties broken by highest node
-// ID) and need a quorum of reachable peers; a joining follower is
-// authenticated twice (the secchan handshake pins the leader's identity
-// key, and a wallet-credential check gates the follower) and its log is
+// Design in one paragraph: epochs order leaderships and are claimed by
+// an explicit quorum vote — each node durably grants at most one vote
+// per epoch, so at most one leader can ever hold an epoch, and a voter
+// refuses any candidate whose log is not at least as up to date as its
+// own by (tail epoch, durable LSN); a joining follower is authenticated
+// twice (the secchan handshake pins the leader's identity key, and a
+// wallet-credential check gates the follower) and its log is
 // cross-checked by a chain hash before any WAL byte ships; commits are
 // acknowledged to clients only once a quorum of nodes has the record
-// durable (WaitCommitted); a leader that cannot hear a quorum fences
+// durable (WaitCommitted), and a new leader's commit watermark does not
+// advance past its inherited value until a quorum has replicated its
+// whole promotion-time log — the prior-epoch tail commits through the
+// new epoch, never by fiat; a leader that cannot hear a quorum fences
 // itself — it steps down and fails its waiting committers rather than
 // acknowledge writes it cannot guarantee survived it.
 package replication
@@ -119,6 +124,16 @@ type Config struct {
 	// Append return doubles as the durability verdict the ack protocol
 	// relies on.
 	WAL *wal.WAL
+	// MetaStore persists the node's election state (highest observed
+	// epoch, the last epoch it granted a vote in, and the epoch of the
+	// leadership its log tail last synced to) across restarts — see
+	// durableMeta. It may share the WAL's wal.FS root: the state file's
+	// name is ignored by WAL recovery. When nil the state is held in
+	// memory only; that is acceptable for single-run tools and
+	// benchmarks, but a production node must persist it — a node that
+	// forgets a granted vote can vote twice in the same epoch after a
+	// restart, re-opening the split-brain the vote protocol closes.
+	MetaStore wal.FS
 	// Applier materializes committed records on a follower; nil for a
 	// pure log replica. AppliedLSN is the applier's initial position
 	// (wal.LastLSN() after reldb.OpenFollower, which re-applies the whole
@@ -192,6 +207,7 @@ type Stats struct {
 	NodeID     string
 	Role       string
 	Epoch      uint64
+	TailEpoch  uint64
 	LeaderID   string
 	CommitLSN  uint64
 	DurableLSN uint64
@@ -222,6 +238,20 @@ type Node struct {
 	commit   uint64      // seclint:guardedby mu
 	applied  uint64      // seclint:guardedby mu
 	applyCur *wal.Cursor // seclint:guardedby mu
+	applying bool        // seclint:guardedby mu
+	// applierGen counts SetApplier swaps: the apply loop releases mu
+	// around Applier.Apply, and a swap in that window (demotion) makes
+	// the old applier's position meaningless. Appliers themselves need
+	// not be comparable (ApplierFuncs is not), so the generation is the
+	// identity.
+	applierGen uint64 // seclint:guardedby mu
+	// votedEpoch and tailEpoch mirror durableMeta; saveMetaLocked must
+	// succeed before either is acted on. epochStart is the leader's
+	// durable LSN at promotion: the commit watermark may not advance
+	// until a quorum has replicated through it.
+	votedEpoch uint64 // seclint:guardedby mu
+	tailEpoch  uint64 // seclint:guardedby mu
+	epochStart uint64 // seclint:guardedby mu
 	// links and acked are non-empty only while leading.
 	links map[string]*link  // seclint:guardedby mu
 	acked map[string]uint64 // seclint:guardedby mu
@@ -229,6 +259,12 @@ type Node struct {
 	// the role changes — the broadcast WaitCommitted and pumps wait on.
 	commitCh chan struct{} // seclint:guardedby mu
 	stopped  bool          // seclint:guardedby mu
+
+	// leaderAt is the promotion instant: the fencing check treats it as
+	// "heard from everyone now", so a fresh leader gets one election
+	// timeout for its voters to come back as streaming followers before
+	// quorum silence can demote it.
+	leaderAt time.Time // seclint:guardedby mu
 
 	elections uint64 // seclint:guardedby mu
 	failovers uint64 // seclint:guardedby mu
@@ -260,6 +296,14 @@ func NewNode(cfg Config) (*Node, error) {
 		acked:    make(map[string]uint64),
 		breakers: make(map[string]*resilience.Breaker),
 		applied:  cfg.AppliedLSN,
+	}
+	if cfg.MetaStore != nil {
+		m, err := loadMeta(cfg.MetaStore)
+		if err != nil {
+			return nil, err
+		}
+		// seclint:locked constructor: the node is not shared yet
+		n.epoch, n.votedEpoch, n.tailEpoch = m.Epoch, m.VotedEpoch, m.TailEpoch
 	}
 	for id := range cfg.Peers {
 		n.breakers[id] = resilience.NewBreaker(resilience.BreakerConfig{
@@ -298,7 +342,8 @@ func (n *Node) Addr() string {
 }
 
 // Stop tears the node down: demotes it, closes every link and waits for
-// the background loops. Safe to call once.
+// the background loops. Safe to call more than once, and on a node that
+// was never started (or whose Start failed before listening).
 func (n *Node) Stop() {
 	n.mu.Lock()
 	if n.stopped {
@@ -309,8 +354,12 @@ func (n *Node) Stop() {
 	n.stopped = true
 	n.stepDownLocked("stop")
 	n.mu.Unlock()
-	n.stopFn()
-	n.listener.Close()
+	if n.stopFn != nil {
+		n.stopFn()
+	}
+	if n.listener != nil {
+		n.listener.Close()
+	}
 	n.wg.Wait()
 }
 
@@ -356,6 +405,7 @@ func (n *Node) Snapshot() Stats {
 		NodeID:     n.cfg.NodeID,
 		Role:       n.role.String(),
 		Epoch:      n.epoch,
+		TailEpoch:  n.tailEpoch,
 		LeaderID:   n.leaderID,
 		CommitLSN:  n.commit,
 		DurableLSN: n.cfg.WAL.DurableLSN(),
@@ -416,6 +466,7 @@ func (n *Node) WaitCommitted(ctx context.Context, lsn uint64) error {
 func (n *Node) SetApplier(a Applier, appliedLSN uint64) {
 	n.mu.Lock()
 	n.cfg.Applier = a
+	n.applierGen++
 	n.applied = appliedLSN
 	n.applyCur = nil
 	n.mu.Unlock()
@@ -431,7 +482,14 @@ func (n *Node) broadcastLocked() {
 
 // advanceCommitLocked recomputes the quorum commit watermark from the
 // leader's own durable position and the follower acks. The watermark
-// never retreats.
+// never retreats, and it never advances to a position below epochStart:
+// records older than the current leadership commit only once a quorum
+// has replicated the leader's entire promotion-time log — Raft's rule
+// that prior-term entries are committed indirectly, via current-term
+// replication, never by counting replicas of the old entries alone. A
+// follower acking a position at or past epochStart has durably stamped
+// its tail with this epoch first (see advanceTailEpoch), which is what
+// lets a later election order that log above any stale-epoch tail.
 //
 // seclint:locked caller holds n.mu
 func (n *Node) advanceCommitLocked() {
@@ -445,6 +503,12 @@ func (n *Node) advanceCommitLocked() {
 		return
 	}
 	c := positions[n.quorum-1]
+	if c < n.epochStart {
+		// Quorum-durable, but possibly only on logs that have not yet
+		// caught up to this leadership; committing here is the
+		// phantom-commit hazard a failover could roll back.
+		return
+	}
 	if c > n.commit {
 		n.commit = c
 		n.broadcastLocked()
@@ -471,21 +535,37 @@ func (n *Node) applyCommitted() error {
 	return n.applyCommittedLocked()
 }
 
-// seclint:locked caller holds n.mu (released/reacquired around applier calls below)
+// seclint:locked caller holds n.mu
 func (n *Node) applyCommittedLocked() error {
-	if n.cfg.Applier == nil {
-		return nil
-	}
 	if n.role == LeaderRole {
 		// The leader's state machine is the promoted database itself — it
 		// produced these records. Track the position, apply nothing.
-		if n.commit > n.applied {
+		if n.cfg.Applier != nil && n.commit > n.applied {
 			n.applied = n.commit
 			n.applyCur = nil
 		}
 		return nil
 	}
-	for n.applied < n.commit {
+	return n.applyToLocked(n.commit)
+}
+
+// applyToLocked feeds the applier every durable record in (applied,
+// upTo], in LSN order, through a cursor on the node's own WAL. n.mu is
+// released around each Applier.Apply call — a slow or re-entrant applier
+// must not block fencing, ack processing or WaitCommitted waiters — so
+// the loop re-validates its position after every reacquire and yields to
+// SetApplier swaps. Concurrent callers coalesce: if an apply loop is
+// already in flight the call returns immediately and the running loop
+// picks up any commit advance on its next iteration.
+//
+// seclint:locked caller holds n.mu (released/reacquired around applier calls below)
+func (n *Node) applyToLocked(upTo uint64) error {
+	if n.cfg.Applier == nil || n.applying {
+		return nil
+	}
+	n.applying = true
+	defer func() { n.applying = false }()
+	for n.applied < upTo {
 		if n.applyCur == nil {
 			cur, err := n.cfg.WAL.OpenCursor(n.applied)
 			if err != nil {
@@ -501,8 +581,8 @@ func (n *Node) applyCommittedLocked() error {
 		if !ok {
 			return nil
 		}
-		if rec.LSN > n.commit {
-			// The cursor ran ahead of the watermark (it was reset by a
+		if rec.LSN > upTo {
+			// The cursor ran ahead of the target (it was reset by a
 			// rewind); stop here, the position re-synchronizes below.
 			n.applyCur = nil
 			return nil
@@ -516,8 +596,17 @@ func (n *Node) applyCommittedLocked() error {
 			n.applyCur = nil
 			return fmt.Errorf("replication: apply gap: at %d, next record %d", n.applied, rec.LSN)
 		}
-		if err := n.cfg.Applier.Apply(rec.LSN, rec.Payload); err != nil {
-			return fmt.Errorf("replication: apply lsn %d: %w", rec.LSN, err)
+		applier, gen := n.cfg.Applier, n.applierGen
+		n.mu.Unlock()
+		applyErr := applier.Apply(rec.LSN, rec.Payload)
+		n.mu.Lock()
+		if applyErr != nil {
+			return fmt.Errorf("replication: apply lsn %d: %w", rec.LSN, applyErr)
+		}
+		if n.applierGen != gen {
+			// SetApplier swapped the state machine while the lock was
+			// released (demotion); its position is authoritative now.
+			return nil
 		}
 		n.applied = rec.LSN
 	}

@@ -3,6 +3,7 @@ package replication_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -96,8 +97,8 @@ func TestJoinRejectedWithoutCredential(t *testing.T) {
 	c.startAll("n1", "n2", "n3")
 	leader := c.waitLeader(3 * time.Second)
 	if leader.id == "n1" {
-		// The deterministic election ties break to the highest node ID, so
-		// the imposter (lowest ID, empty log) cannot win it here.
+		// With all logs equal, candidacy ties break to the highest node ID,
+		// so the imposter (lowest ID, empty log) cannot win the vote here.
 		t.Fatalf("untrusted node won the election")
 	}
 	if err := leader.commit("CREATE TABLE kv (k TEXT, v INT)"); err != nil {
@@ -177,24 +178,25 @@ func TestPartitionedLeaderFences(t *testing.T) {
 	c.isolate(old)
 
 	// The isolated leader must fence itself: no later write can be
-	// acknowledged from the minority side.
+	// acknowledged from the minority side. The writable database is handed
+	// back by the OnDemote hook, which runs asynchronously (WaitGroup-
+	// tracked) after the role flips — poll for both within the deadline.
 	deadline := time.Now().Add(3 * time.Second)
 	for {
 		m := c.members[old]
-		if m.node.Role() != replication.LeaderRole {
+		m.mu.Lock()
+		db := m.db
+		m.mu.Unlock()
+		if m.node.Role() != replication.LeaderRole && db == nil {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("isolated leader %s never fenced itself", old)
+			if m.node.Role() == replication.LeaderRole {
+				t.Fatalf("isolated leader %s never fenced itself", old)
+			}
+			t.Fatalf("fenced leader still holds a writable database")
 		}
 		time.Sleep(10 * time.Millisecond)
-	}
-	m := c.members[old]
-	m.mu.Lock()
-	db := m.db
-	m.mu.Unlock()
-	if db != nil {
-		t.Fatalf("fenced leader still holds a writable database")
 	}
 
 	// Majority side elects a replacement and keeps committing.
@@ -340,6 +342,91 @@ func TestDivergentFollowerTruncates(t *testing.T) {
 	m.mu.Unlock()
 	if lastNow < forged {
 		t.Fatalf("victim log at %d, expected to have re-advanced past forged %d", lastNow, forged)
+	}
+}
+
+// TestStaleTailCandidateLosesElection: a node holding the LONGEST log —
+// but a log whose tail is a stranded, never-committed leftover from an
+// old epoch — must lose the election to a node with a shorter log whose
+// tail was stamped by a newer leadership. Ordering candidates by durable
+// LSN alone would elect the stale tail and destroy acknowledged commits;
+// the vote round orders by (tail epoch, durable LSN), and voters refuse
+// candidates behind themselves.
+func TestStaleTailCandidateLosesElection(t *testing.T) {
+	c := newCluster(t, "n1", "n2", "n3")
+	c.startAll("n1", "n2", "n3")
+	leader := c.waitLeader(3 * time.Second)
+	if err := leader.commit("CREATE TABLE kv (k TEXT, v INT)"); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := leader.commit("INSERT INTO kv VALUES ('shared', 1)"); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	c.waitConverged(map[string]int64{"shared": 1}, 3*time.Second, "n1", "n2", "n3")
+
+	// Take a follower offline and forge a long uncommitted tail into its
+	// log — a minority leader that kept accepting local writes while
+	// partitioned away. Its durable LSN ends up far ahead of everyone.
+	var victim string
+	for _, id := range c.sorted() {
+		if id != leader.id {
+			victim = id
+			break
+		}
+	}
+	c.stop(victim)
+	vm := c.members[victim]
+	vw := reopenWAL(t, vm)
+	for i := 0; i < 30; i++ {
+		if _, err := vw.Append([]byte(fmt.Sprintf(`{"Txn":%d,"Op":2}`, 9000+i))); err != nil {
+			t.Fatalf("forge orphan %d: %v", i, err)
+		}
+	}
+	staleLen := vw.LastLSN()
+	if err := vw.Close(); err != nil {
+		t.Fatalf("close forged wal: %v", err)
+	}
+
+	// Restart the old leader so the two live nodes elect a NEW epoch and
+	// commit acknowledged rows under it — their (shorter) logs now carry a
+	// newer tail-epoch stamp than the victim's forged monster.
+	oldLeader := leader.id
+	c.stop(oldLeader)
+	c.start(oldLeader)
+	leader2 := c.waitLeader(5 * time.Second)
+	if err := leader2.commit("INSERT INTO kv VALUES ('post', 2)"); err != nil {
+		t.Fatalf("insert at new epoch: %v", err)
+	}
+	var survivor string
+	for _, id := range c.sorted() {
+		if id != victim && id != leader2.id {
+			survivor = id
+		}
+	}
+	if c.members[survivor].w.LastLSN() >= staleLen {
+		t.Fatalf("survivor log %d not shorter than forged log %d; test premise broken",
+			c.members[survivor].w.LastLSN(), staleLen)
+	}
+
+	// Kill the new leader and bring the forged node back: the election is
+	// now between a long stale-epoch tail and a short newer-epoch log.
+	c.stop(leader2.id)
+	c.start(victim)
+	leader3 := c.waitLeader(5 * time.Second)
+	if leader3.id == victim {
+		t.Fatalf("stale-tail node %s won the election over a newer-epoch log", victim)
+	}
+	if leader3.id != survivor {
+		t.Fatalf("leader is %s, want survivor %s", leader3.id, survivor)
+	}
+
+	// The acknowledged newer-epoch commit survived, the forged tail did
+	// not, and the cluster converges once everyone is back.
+	c.start(leader2.id)
+	want := map[string]int64{"shared": 1, "post": 2}
+	c.waitConverged(want, 5*time.Second, "n1", "n2", "n3")
+	if got := leader3.rows(t); got["post"] != 2 {
+		t.Fatalf("acknowledged commit lost to a stale tail: %v", got)
 	}
 }
 

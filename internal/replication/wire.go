@@ -14,6 +14,7 @@ import (
 // moment a newer election has happened. The flows are:
 //
 //	state/stateResp   election poll (any role answers)
+//	vote/voteResp     candidacy: an explicit quorum vote claims an epoch
 //	join → joinResp   authenticated catch-up negotiation
 //	  plan "stream":   leader streams from Common (hashes matched)
 //	  plan "truncate": follower truncates its tail to Common first
@@ -54,6 +55,18 @@ type msg struct {
 	LSN        uint64 `json:"lsn,omitempty"`
 	DurableLSN uint64 `json:"durable,omitempty"`
 	Role       string `json:"role,omitempty"`
+
+	// vote / stateResp: the epoch of the leadership whose log this
+	// node's tail is a verified prefix of — candidate logs are ordered by
+	// (TailEpoch, DurableLSN), never by LSN alone, so a long uncommitted
+	// tail from an old epoch can never outrank newer-epoch committed
+	// records.
+	TailEpoch uint64 `json:"tailepoch,omitempty"`
+	// joinResp: the leader's durable LSN at its promotion. A follower
+	// counts its tail as TailEpoch=Epoch only once its own durable
+	// position covers this — i.e. once its log is a full prefix of
+	// everything the leader held when it was elected.
+	EpochStart uint64 `json:"estart,omitempty"`
 }
 
 type wireRec struct {
