@@ -44,12 +44,13 @@ var experiments = []struct {
 	{"E17", "decision cache: uncached vs cold vs warm, Zipf hit rate", runE17},
 	{"E19", "WAL group commit: durable commit throughput vs committer count", runE19},
 	{"E20", "WAL-shipped replication: commit latency, catch-up lag, failover time vs follower count", runE20},
+	{"E21", "MVCC snapshot reads vs locked reads under committing writers; fuzzy-checkpoint stall", runE21},
 }
 
 func main() {
 	runFlag := flag.String("run", "", "experiment id to run (default: all)")
 	quick := flag.Bool("quick", false, "use smaller workloads")
-	snapshotFlag := flag.String("snapshot", "", "write the before/after JSON record (-run selects E17, E19 or E20; default E17) to this file and exit")
+	snapshotFlag := flag.String("snapshot", "", "write the before/after JSON record (-run selects E17, E19, E20 or E21; default E17) to this file and exit")
 	flag.Parse()
 
 	if *snapshotFlag != "" {
@@ -61,6 +62,8 @@ func main() {
 			err = writeSnapshotE19(*snapshotFlag, *quick)
 		case "E20":
 			err = writeSnapshotE20(*snapshotFlag, *quick)
+		case "E21":
+			err = writeSnapshotE21(*snapshotFlag, *quick)
 		default:
 			err = fmt.Errorf("no snapshot writer for experiment %q", *runFlag)
 		}

@@ -48,6 +48,7 @@ func main() {
 	walSync := flag.String("walsync", "always", "WAL fsync policy with -data: always, interval or never")
 	walBatch := flag.Int("walbatch", 1<<20, "group-commit batch cap in bytes (1 = fsync per append, no batching)")
 	walMaxDelay := flag.Duration("walmaxdelay", 0, "max time the group-commit leader lingers to widen a batch (0 = ship immediately)")
+	ckptEvery := flag.Duration("checkpoint", 0, "with -data, take a fuzzy checkpoint this often while serving (0 = only at shutdown)")
 	nodeID := flag.String("nodeid", "", "cluster node ID; enables cluster mode with -replica and -peers")
 	replicaAddr := flag.String("replica", "", "replication listen address (host:port) for cluster mode")
 	peersSpec := flag.String("peers", "", "comma-separated id=host:port list of every OTHER cluster member")
@@ -156,6 +157,26 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	// Periodic fuzzy checkpoints: the checkpoint pins a committed version
+	// and streams it out while transactions keep committing, so taking one
+	// mid-traffic never blocks or fails — it only bounds restart replay.
+	if dbWAL != nil && *ckptEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*ckptEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if err := w.DB().DB().Checkpoint(); err != nil {
+						log.Printf("securedb: periodic checkpoint: %v", err)
+					}
+				}
+			}
+		}()
+		log.Printf("securedb: fuzzy checkpoint every %s", *ckptEvery)
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("securedb listening on %s (demo schema: patients(name, zip, age, disease))", *addr)
@@ -170,10 +191,11 @@ func main() {
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("securedb: shutdown: %v", err)
 	}
-	// Flush durable state: with all requests drained, checkpoint the
-	// database so the next start replays nothing, then sync and close both
-	// logs. Failures are logged, not fatal — the WAL already holds
-	// everything a redo needs.
+	// Flush durable state: checkpoint the database so the next start
+	// replays nothing. The checkpoint is fuzzy, so it succeeds even if a
+	// straggling transaction is still in flight — the WAL tail keeps
+	// whatever the snapshot fence excludes. Failures are logged, not
+	// fatal — the WAL already holds everything a redo needs.
 	if dbWAL != nil {
 		if err := w.DB().DB().Checkpoint(); err != nil {
 			log.Printf("securedb: checkpoint: %v", err)

@@ -10,6 +10,7 @@ import (
 // grammar is one directive per comment line:
 //
 //	// seclint:guardedby <mutexField>     on a struct field
+//	// seclint:atomicptr <mutexField>     on an atomic.Pointer[T] struct field
 //	// seclint:locked [note]              on a func or a statement line
 //	// seclint:exempt <reason>            on a func or a statement line
 //	// seclint:gate [note]                on an interface type

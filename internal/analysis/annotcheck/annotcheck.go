@@ -6,6 +6,9 @@
 //   - unknown verbs after `seclint:` are rejected (typo protection);
 //   - `seclint:guardedby <mu>` must sit on a struct field and name a
 //     sibling field of type sync.Mutex / sync.RWMutex (or pointer);
+//   - `seclint:atomicptr <mu>` must sit on a struct field of type
+//     atomic.Pointer[T] and name a sibling mutex field (the writer lock
+//     of the version-pointer discipline);
 //   - `seclint:exempt` must carry a non-empty reason;
 //   - `seclint:gate` must sit on an interface type declaration.
 package annotcheck
@@ -20,13 +23,14 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "annotcheck",
-	Doc: "seclint annotations must be well-formed: known verb, guardedby on a struct field naming a sibling mutex, " +
+	Doc: "seclint annotations must be well-formed: known verb, guardedby/atomicptr on a struct field naming a sibling mutex, " +
 		"exempt with a reason, gate on an interface",
 	Run: run,
 }
 
 var knownVerbs = map[string]bool{
 	"guardedby": true,
+	"atomicptr": true,
 	"locked":    true,
 	"exempt":    true,
 	"gate":      true,
@@ -72,11 +76,13 @@ func run(pass *analysis.Pass) error {
 				}
 				switch {
 				case !knownVerbs[d.Verb]:
-					pass.Reportf(d.Pos, "unknown seclint directive %q (want guardedby, locked, exempt or gate)", d.Verb)
+					pass.Reportf(d.Pos, "unknown seclint directive %q (want guardedby, atomicptr, locked, exempt or gate)", d.Verb)
 				case d.Verb == "exempt" && d.Args == "":
 					pass.Reportf(d.Pos, "seclint:exempt requires a reason: // seclint:exempt <why this is outside the invariant>")
 				case d.Verb == "guardedby" && !placedGuardedby[d.Pos]:
 					pass.Reportf(d.Pos, "seclint:guardedby must annotate a struct field and name a sibling sync.Mutex/RWMutex field")
+				case d.Verb == "atomicptr" && !placedGuardedby[d.Pos]:
+					pass.Reportf(d.Pos, "seclint:atomicptr must annotate a struct field and name a sibling sync.Mutex/RWMutex field")
 				case d.Verb == "gate" && !placedGate[d.Pos]:
 					pass.Reportf(d.Pos, "seclint:gate must annotate an interface type declaration")
 				}
@@ -86,26 +92,48 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// checkStruct validates guardedby annotations inside one struct type and
-// records the well-placed ones.
+// checkStruct validates guardedby and atomicptr annotations inside one
+// struct type and records the well-placed ones.
 func checkStruct(pass *analysis.Pass, st *ast.StructType, placed map[token.Pos]bool) {
 	for _, field := range st.Fields.List {
 		for _, grp := range []*ast.CommentGroup{field.Doc, field.Comment} {
-			d, ok := analysis.GroupDirective(grp, "guardedby")
-			if !ok {
-				continue
-			}
-			// Mark as placed regardless: the argument errors below are
-			// more precise than the generic misplacement message.
-			placed[d.Pos] = true
-			switch {
-			case d.Args == "":
-				pass.Reportf(d.Pos, "seclint:guardedby requires the name of the guarding mutex field")
-			case !hasMutexField(pass, st, d.Args):
-				pass.Reportf(d.Pos, "seclint:guardedby names %q, which is not a sync.Mutex/RWMutex field of this struct", d.Args)
+			for _, verb := range []string{"guardedby", "atomicptr"} {
+				d, ok := analysis.GroupDirective(grp, verb)
+				if !ok {
+					continue
+				}
+				// Mark as placed regardless: the argument errors below are
+				// more precise than the generic misplacement message.
+				placed[d.Pos] = true
+				switch {
+				case d.Args == "":
+					pass.Reportf(d.Pos, "seclint:%s requires the name of the guarding mutex field", verb)
+				case !hasMutexField(pass, st, d.Args):
+					pass.Reportf(d.Pos, "seclint:%s names %q, which is not a sync.Mutex/RWMutex field of this struct", verb, d.Args)
+				case verb == "atomicptr" && !isAtomicPointerField(pass, field):
+					pass.Reportf(d.Pos, "seclint:atomicptr must annotate a field of type atomic.Pointer[T]")
+				}
 			}
 		}
 	}
+}
+
+// isAtomicPointerField reports whether the field's type is
+// sync/atomic.Pointer[T].
+func isAtomicPointerField(pass *analysis.Pass, field *ast.Field) bool {
+	if len(field.Names) == 0 {
+		return false
+	}
+	obj := pass.TypesInfo.Defs[field.Names[0]]
+	if obj == nil {
+		return false
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	tn := named.Obj()
+	return tn.Pkg() != nil && tn.Pkg().Path() == "sync/atomic" && tn.Name() == "Pointer"
 }
 
 // hasMutexField reports whether the struct declares a field named name

@@ -7,6 +7,14 @@
 // declare it with `// seclint:locked` on the function or on the access
 // line.
 //
+// Fields annotated `// seclint:atomicptr <mutexField>` follow the MVCC
+// publication discipline instead: the field is an atomic pointer whose
+// Load is lock-free by design (that is the point of the version pointer),
+// but Store/Swap/CompareAndSwap install a new version and must hold the
+// named mutex — exactly one writer publishes at a time, and the sweep of
+// superseded versions it serializes with. Any other use of the field
+// (taking its address, copying it) is reported like a guardedby access.
+//
 // The check is lexical, not a dataflow analysis: it tracks Lock/Unlock
 // calls in source order within one function body (deferred Unlocks run at
 // return and therefore do not clear the held state), and it does not
@@ -29,7 +37,8 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "guardedby",
 	Doc: "fields annotated `seclint:guardedby mu` may only be accessed with the named mutex held " +
-		"in the enclosing function, or under a `seclint:locked` escape hatch",
+		"in the enclosing function, or under a `seclint:locked` escape hatch; fields annotated " +
+		"`seclint:atomicptr mu` allow lock-free Load but require the mutex for Store/Swap/CompareAndSwap",
 	Run: run,
 }
 
@@ -37,6 +46,7 @@ var Analyzer = &analysis.Analyzer{
 type guard struct {
 	mu     string // sibling mutex field name
 	strukt string // owning struct's type name, for messages
+	atomic bool   // atomicptr discipline: Load free, mutation under mu
 }
 
 func run(pass *analysis.Pass) error {
@@ -80,16 +90,18 @@ func collectGuards(pass *analysis.Pass) map[types.Object]guard {
 				return true
 			}
 			for _, field := range st.Fields.List {
-				d, ok := analysis.GroupDirective(field.Doc, "guardedby")
-				if !ok {
-					d, ok = analysis.GroupDirective(field.Comment, "guardedby")
-				}
-				if !ok || d.Args == "" {
-					continue
-				}
-				for _, name := range field.Names {
-					if obj := pass.TypesInfo.Defs[name]; obj != nil {
-						guards[obj] = guard{mu: d.Args, strukt: ts.Name.Name}
+				for _, verb := range []string{"guardedby", "atomicptr"} {
+					d, ok := analysis.GroupDirective(field.Doc, verb)
+					if !ok {
+						d, ok = analysis.GroupDirective(field.Comment, verb)
+					}
+					if !ok || d.Args == "" {
+						continue
+					}
+					for _, name := range field.Names {
+						if obj := pass.TypesInfo.Defs[name]; obj != nil {
+							guards[obj] = guard{mu: d.Args, strukt: ts.Name.Name, atomic: verb == "atomicptr"}
+						}
 					}
 				}
 			}
@@ -121,6 +133,9 @@ func checkScope(pass *analysis.Pass, guards map[types.Object]guard, lines map[in
 	var events []lockEvent
 	var accesses []fieldAccess
 	deferred := make(map[*ast.CallExpr]bool)
+	// handled marks inner selectors of atomicptr method calls already
+	// classified via the outer selector (x.field.Load vs x.field.Store).
+	handled := make(map[*ast.SelectorExpr]bool)
 	var nested []*ast.FuncLit
 
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -135,6 +150,28 @@ func checkScope(pass *analysis.Pass, guards map[types.Object]guard, lines map[in
 				events = append(events, lockEvent{pos: n.Pos(), target: target, held: held})
 			}
 		case *ast.SelectorExpr:
+			// Method selector over an atomicptr field: classify by the
+			// method. Load is the lock-free read path and always legal;
+			// everything else publishes and needs the mutex.
+			if inner, isSel := n.X.(*ast.SelectorExpr); isSel {
+				if obj := pass.TypesInfo.Uses[inner.Sel]; obj != nil {
+					if g, isGuarded := guards[obj]; isGuarded && g.atomic {
+						handled[inner] = true
+						if n.Sel.Name != "Load" {
+							accesses = append(accesses, fieldAccess{
+								pos:   inner.Sel.Pos(),
+								base:  types.ExprString(inner.X),
+								field: inner.Sel.Name,
+								g:     g,
+							})
+						}
+						return true
+					}
+				}
+			}
+			if handled[n] {
+				return true
+			}
 			obj := pass.TypesInfo.Uses[n.Sel]
 			if obj == nil {
 				return true
@@ -169,6 +206,11 @@ func checkScope(pass *analysis.Pass, guards map[types.Object]guard, lines map[in
 			}
 		}
 		if !held {
+			if acc.g.atomic {
+				pass.Reportf(acc.pos, "%s.%s (%s.%s) is an atomic pointer published under %s: Load is lock-free, but installing a version requires the mutex; acquire it, or annotate // seclint:locked if the caller holds it",
+					acc.base, acc.field, acc.g.strukt, acc.field, want)
+				continue
+			}
 			pass.Reportf(acc.pos, "%s.%s (%s.%s) is guarded by %s but the mutex is not held here; acquire it, or annotate // seclint:locked if the caller holds it",
 				acc.base, acc.field, acc.g.strukt, acc.field, want)
 		}

@@ -4,12 +4,22 @@
 // share the line without polluting the directive's arguments.
 package annot
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // ok carries well-formed annotations: nothing below should be flagged.
 type ok struct {
 	mu sync.Mutex
 	n  int // seclint:guardedby mu
+}
+
+// version is a legal atomicptr target: an atomic.Pointer field with a
+// sibling mutex.
+type version struct {
+	mu  sync.Mutex
+	cur atomic.Pointer[ok] // seclint:atomicptr mu
 }
 
 // ptrMu: a pointer to a mutex guards just as well.
@@ -47,6 +57,16 @@ type missingArg struct {
 	n  int /* seclint:guardedby */ // want `seclint:guardedby requires the name of the guarding mutex field`
 }
 
+type atomicWrongMu struct {
+	mu  sync.Mutex
+	cur atomic.Pointer[ok] /* seclint:atomicptr lock */ // want `seclint:atomicptr names "lock", which is not a sync\.Mutex/RWMutex field of this struct`
+}
+
+type atomicNotPointer struct {
+	mu sync.Mutex
+	n  int /* seclint:atomicptr mu */ // want `seclint:atomicptr must annotate a field of type atomic\.Pointer\[T\]`
+}
+
 var typoVerb = 1 /* seclint:guardby mu */ // want `unknown seclint directive "guardby"`
 
 /* seclint:exempt */ // want `seclint:exempt requires a reason`
@@ -54,6 +74,9 @@ func bareExempt()    {}
 
 /* seclint:guardedby mu */ // want `seclint:guardedby must annotate a struct field and name a sibling sync\.Mutex/RWMutex field`
 func floating()            {}
+
+/* seclint:atomicptr mu */ // want `seclint:atomicptr must annotate a struct field and name a sibling sync\.Mutex/RWMutex field`
+func floatingAtomic()      {}
 
 /* seclint:gate wrong target */ // want `seclint:gate must annotate an interface type declaration`
 type notIface struct{}

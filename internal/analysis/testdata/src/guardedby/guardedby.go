@@ -3,7 +3,10 @@
 // without one must stay silent.
 package guardedby
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 type counter struct {
 	mu sync.Mutex
@@ -83,4 +86,50 @@ func bump(a, b *counter) {
 	defer a.mu.Unlock()
 	a.n++
 	b.n++ // want `b\.n \(counter\.n\) is guarded by b\.mu but the mutex is not held here`
+}
+
+// versioned models the MVCC publication discipline: the current-version
+// pointer is Loaded lock-free and Stored only under the writer mutex.
+type versioned struct {
+	mu  sync.Mutex
+	cur atomic.Pointer[counter] // seclint:atomicptr mu
+}
+
+// loadAnywhere: Load is the lock-free read path — never flagged.
+func (v *versioned) loadAnywhere() *counter {
+	return v.cur.Load()
+}
+
+// storeUnlocked installs a version without the writer mutex.
+func (v *versioned) storeUnlocked(c *counter) {
+	v.cur.Store(c) // want `v\.cur \(versioned\.cur\) is an atomic pointer published under v\.mu`
+}
+
+// storeLocked installs under the mutex; the deferred Unlock runs at
+// return and does not clear the held state.
+func (v *versioned) storeLocked(c *counter) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.cur.Store(c)
+}
+
+// swapUnlocked: every publishing method needs the mutex, not just Store.
+func (v *versioned) swapUnlocked(c *counter) *counter {
+	return v.cur.Swap(c) // want `v\.cur \(versioned\.cur\) is an atomic pointer published under v\.mu`
+}
+
+// constructorOwns: a seclint:locked function owns the value exclusively
+// (pre-publication), so installs are free.
+//
+// seclint:locked v is not yet published
+func constructorOwns() *versioned {
+	v := &versioned{}
+	v.cur.Store(&counter{})
+	return v
+}
+
+// escapeIsFlagged: any non-method use of the pointer field (aliasing it
+// out from under the discipline) requires the mutex too.
+func (v *versioned) escapeIsFlagged() *atomic.Pointer[counter] {
+	return &v.cur // want `v\.cur \(versioned\.cur\) is an atomic pointer published under v\.mu`
 }

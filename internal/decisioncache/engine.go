@@ -88,39 +88,43 @@ func (e *Engine) Store() *xmldoc.Store { return e.inner.Store() }
 // Base returns the engine's policy base.
 func (e *Engine) Base() *policy.Base { return e.inner.Base() }
 
-// key builds the decision key for the CURRENT generations. Reading the
-// generations before computing is what makes caching sound: a computation
-// can only ever observe state at or after its key's generations, and any
-// reader that could be served a too-new artifact is by definition racing
-// the mutation itself.
-func (e *Engine) key(docName string, s *policy.Subject, priv policy.Privilege) decisionKey {
+// keyAt builds the decision key for the generations of one pinned store
+// snapshot. Reading the generations before computing is what makes caching
+// sound: a computation can only ever observe state at or after its key's
+// generations, and any reader that could be served a too-new artifact is
+// by definition racing the mutation itself. The snapshot makes the
+// generation read and the currency check (currentAt) observe the same
+// store version, so a decision keys and validates against one consistent
+// state no matter how many writers commit meanwhile.
+func (e *Engine) keyAt(sn *xmldoc.StoreSnapshot, docName string, s *policy.Subject, priv policy.Privilege) decisionKey {
 	return decisionKey{
 		doc:     docName,
-		docGen:  e.inner.Store().DocGeneration(docName),
+		docGen:  sn.DocGeneration(docName),
 		baseGen: e.inner.Base().Generation(),
 		subject: s.Fingerprint(),
 		priv:    priv,
 	}
 }
 
-// current reports whether doc is the store's current binding for its
-// name. Decisions about detached documents (a caller holding an old
-// version after a Put) bypass the cache — their name+generation would
-// alias the current document's entries.
-func (e *Engine) current(doc *xmldoc.Document) bool {
-	cur, ok := e.inner.Store().Get(doc.Name)
+// currentAt reports whether doc is the snapshot's binding for its name.
+// Decisions about detached documents (a caller holding an old version
+// after a Put) bypass the cache — their name+generation would alias the
+// current document's entries.
+func (e *Engine) currentAt(sn *xmldoc.StoreSnapshot, doc *xmldoc.Document) bool {
+	cur, ok := sn.Get(doc.Name)
 	return ok && cur == doc
 }
 
-// labelsShared returns the cached per-node decision vector WITHOUT
-// copying. Internal callers must not mutate it.
-func (e *Engine) labelsShared(doc *xmldoc.Document, s *policy.Subject, priv policy.Privilege) []bool {
-	// Key FIRST, currency check second: if a Put lands in between, the
-	// check sees the new binding and bypasses, so a vector computed from
-	// the old tree can never be installed under the new generation. The
-	// opposite order would leave exactly that poisoning window.
-	k := e.key(doc.Name, s, priv)
-	if !e.current(doc) {
+// labelsSharedAt returns the cached per-node decision vector WITHOUT
+// copying, keyed at the pinned snapshot. Internal callers must not mutate
+// it.
+func (e *Engine) labelsSharedAt(sn *xmldoc.StoreSnapshot, doc *xmldoc.Document, s *policy.Subject, priv policy.Privilege) []bool {
+	// Key FIRST, currency check second — both against the same pinned
+	// version: if doc is not that version's binding for its name, a vector
+	// computed from doc's tree must never be installed under the version's
+	// generation, so the cache is bypassed.
+	k := e.keyAt(sn, doc.Name, s, priv)
+	if !e.currentAt(sn, doc) {
 		return e.inner.Labels(doc, s, priv)
 	}
 	v, _ := e.labels.Do(k, func() ([]bool, error) {
@@ -133,7 +137,9 @@ func (e *Engine) labelsShared(doc *xmldoc.Document, s *policy.Subject, priv poli
 // requesting priv on the document: out[id] is true iff node id is
 // permitted. The returned slice is the caller's to keep.
 func (e *Engine) Labels(doc *xmldoc.Document, s *policy.Subject, priv policy.Privilege) []bool {
-	v := e.labelsShared(doc, s, priv)
+	sn := e.inner.Store().Snapshot()
+	defer sn.Release()
+	v := e.labelsSharedAt(sn, doc, s, priv)
 	out := make([]bool, len(v))
 	copy(out, v)
 	return out
@@ -145,7 +151,10 @@ func (e *Engine) Labels(doc *xmldoc.Document, s *policy.Subject, priv policy.Pri
 // between callers with the same rights and MUST be treated as read-only —
 // documents are immutable by convention everywhere in this repository.
 func (e *Engine) View(docName string, s *policy.Subject, priv policy.Privilege) *xmldoc.Document {
-	v, _ := e.views.Do(e.key(docName, s, priv), func() (*xmldoc.Document, error) {
+	sn := e.inner.Store().Snapshot()
+	k := e.keyAt(sn, docName, s, priv)
+	sn.Release()
+	v, _ := e.views.Do(k, func() (*xmldoc.Document, error) {
 		return e.inner.View(docName, s, priv), nil
 	})
 	return v
@@ -155,7 +164,9 @@ func (e *Engine) View(docName string, s *policy.Subject, priv policy.Privilege) 
 // node addressed by path within the named document? Compiled paths and
 // label vectors are both cached.
 func (e *Engine) Check(docName, path string, s *policy.Subject, priv policy.Privilege) bool {
-	doc, ok := e.inner.Store().Get(docName)
+	sn := e.inner.Store().Snapshot()
+	defer sn.Release()
+	doc, ok := sn.Get(docName)
 	if !ok {
 		return false
 	}
@@ -169,7 +180,7 @@ func (e *Engine) Check(docName, path string, s *policy.Subject, priv policy.Priv
 	if len(nodes) == 0 {
 		return false
 	}
-	labels := e.labelsShared(doc, s, priv)
+	labels := e.labelsSharedAt(sn, doc, s, priv)
 	for _, n := range nodes {
 		if !labels[n.ID()] {
 			return false
@@ -183,13 +194,16 @@ func (e *Engine) Check(docName, path string, s *policy.Subject, priv policy.Priv
 // well-formed encryption. The returned partition is shared; treat it as
 // read-only.
 func (e *Engine) Configurations(doc *xmldoc.Document) *accessctl.PolicyConfiguration {
-	// Key before currency check — same ordering argument as labelsShared.
+	// Key before currency check — same ordering argument as
+	// labelsSharedAt; the pinned snapshot makes the two reads atomic.
+	sn := e.inner.Store().Snapshot()
+	defer sn.Release()
 	k := configKey{
 		doc:     doc.Name,
-		docGen:  e.inner.Store().DocGeneration(doc.Name),
+		docGen:  sn.DocGeneration(doc.Name),
 		baseGen: e.inner.Base().Generation(),
 	}
-	if !e.current(doc) {
+	if !e.currentAt(sn, doc) {
 		return e.inner.Configurations(doc)
 	}
 	v, _ := e.configs.Do(k, func() (*accessctl.PolicyConfiguration, error) {

@@ -3,6 +3,7 @@ package decisioncache
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -297,6 +298,133 @@ func TestPropertyCachedEqualsUncached(t *testing.T) {
 	st := cached.Stats()
 	if st.Labels.Hits == 0 || st.Views.Hits == 0 {
 		t.Errorf("property run never hit the cache: %+v", st)
+	}
+}
+
+// TestConcurrentSnapshotCachedEqualsUncached extends the cached≡uncached
+// property to racing readers on pinned snapshots. Writers churn document
+// versions (one writer per name, so each name's generation sequence is
+// the serial order of its Puts and generation g's content is
+// reconstructible); readers pin store snapshots and decide through the
+// cache, recording (name, docGen, snapshot content, labels). Afterwards
+// every observation is replayed serially: the snapshot content must be
+// exactly the state after the g-th Put — a consistent prefix of the
+// mutation history, never a torn or future state — and the cached labels
+// must be bit-identical to a from-scratch direct-path computation over
+// that reconstructed version. Run under -race by make check.
+func TestConcurrentSnapshotCachedEqualsUncached(t *testing.T) {
+	store := xmldoc.NewStore()
+	base := policy.NewBase(nil)
+	for ward := 0; ward < 2; ward++ {
+		base.MustAdd(&policy.Policy{
+			Name:    fmt.Sprintf("w%d", ward),
+			Subject: policy.SubjectSpec{Roles: []string{"staff"}},
+			Object:  policy.ObjectSpec{Doc: "*", Path: fmt.Sprintf("//patient[@ward='%d']", ward)},
+			Priv:    policy.Read,
+			Sign:    policy.Permit,
+			Prop:    policy.Cascade,
+		})
+	}
+	base.MustAdd(&policy.Policy{
+		Name:    "deny-disease",
+		Subject: policy.SubjectSpec{NotRoles: []string{"physician"}},
+		Object:  policy.ObjectSpec{Doc: "*", Path: "//disease"},
+		Priv:    policy.Read,
+		Sign:    policy.Deny,
+		Prop:    policy.Cascade,
+	})
+	cached := NewEngine(accessctl.NewEngine(store, base), 128)
+	s := &policy.Subject{ID: "a", Roles: []string{"staff"}}
+
+	docs := []string{"h.xml", "g.xml"}
+	const versions = 50
+	// versionDoc is the deterministic content of name at document
+	// generation g — writers build it, the serial replay rebuilds it.
+	versionDoc := func(name string, g int) *xmldoc.Document {
+		return hospitalDoc(name, 4+g%5, g)
+	}
+
+	type obs struct {
+		name   string
+		docGen uint64
+		canon  string
+		labels []bool
+	}
+
+	var writers, readers sync.WaitGroup
+	for _, name := range docs {
+		writers.Add(1)
+		go func(name string) {
+			defer writers.Done()
+			for g := 1; g <= versions; g++ {
+				store.Put(versionDoc(name, g))
+				runtime.Gosched() // widen the overlap window with readers
+			}
+		}(name)
+	}
+	// Readers run a fixed number of decisions: the early ones race the
+	// writers mid-history, the late ones observe the final versions —
+	// every observation must replay serially either way.
+	observed := make([][]obs, 4)
+	for r := range observed {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for i := 0; i < 200; i++ {
+				name := docs[i%len(docs)]
+				sn := store.Snapshot()
+				doc, ok := sn.Get(name)
+				if !ok {
+					sn.Release()
+					continue
+				}
+				o := obs{name: name, docGen: sn.DocGeneration(name), canon: doc.Canonical()}
+				sn.Release()
+				o.labels = cached.Labels(doc, s, policy.Read)
+				observed[r] = append(observed[r], o)
+			}
+		}(r)
+	}
+	writers.Wait()
+	readers.Wait()
+
+	// Serial replay: compute, once per (name, generation) actually
+	// observed, the direct-path answer over the reconstructed version.
+	type key struct {
+		name   string
+		docGen uint64
+	}
+	wantCanon := make(map[key]string)
+	wantLabels := make(map[key][]bool)
+	verify := func(k key) {
+		if _, ok := wantCanon[k]; ok {
+			return
+		}
+		doc := versionDoc(k.name, int(k.docGen))
+		vstore := xmldoc.NewStore()
+		vstore.Put(doc)
+		wantCanon[k] = doc.Canonical()
+		wantLabels[k] = accessctl.NewEngine(vstore, base).Labels(doc, s, policy.Read)
+	}
+	total := 0
+	for _, obsRun := range observed {
+		for _, o := range obsRun {
+			total++
+			if o.docGen == 0 || o.docGen > versions {
+				t.Fatalf("snapshot reported impossible generation %d for %s", o.docGen, o.name)
+			}
+			k := key{o.name, o.docGen}
+			verify(k)
+			if o.canon != wantCanon[k] {
+				t.Fatalf("snapshot of %s@%d is not the serial state after Put %d", o.name, o.docGen, o.docGen)
+			}
+			if !equalLabels(o.labels, wantLabels[k]) {
+				t.Fatalf("cached labels for %s@%d differ from serial direct-path execution", o.name, o.docGen)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("readers never observed a pinned snapshot")
 	}
 }
 

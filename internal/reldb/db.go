@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Result is the outcome of executing a statement.
@@ -13,52 +14,66 @@ type Result struct {
 	Affected int
 }
 
-// Database is the engine: tables, the metadata catalog, and the recovery
-// log. Statement execution is autocommit via Exec; multi-statement
-// transactions go through Begin (txn.go).
+// Database is the engine: a multi-versioned table heap, the metadata
+// catalog, and the recovery log. Statement execution is autocommit via
+// Exec; multi-statement transactions go through Begin (txn.go).
+//
+// Concurrency model (version.go has the full story): the committed state
+// is an immutable dbVersion behind an atomic pointer. Readers Load it and
+// never block — SELECTs, catalog lookups and snapshots take no mutex.
+// db.mu is a writer-side lock only: it serializes version installs,
+// transaction bookkeeping, DDL and checkpoint fencing.
 type Database struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
-	log    *Log
+	// mu serializes writers (installs, txn bookkeeping, DDL, checkpoint
+	// fencing). The read path never takes it.
+	mu  sync.Mutex
+	log *Log
+
+	// current is the committed version; readers Load it lock-free, writers
+	// Store a successor under mu.
+	current atomic.Pointer[dbVersion] // seclint:atomicptr mu
+
+	// retained holds superseded versions until no snapshot pins them.
+	retained []*dbVersion // seclint:guardedby mu
+	vstats   VersionStats // seclint:guardedby mu
 
 	lockMgr *lockManager
-	txnSeq  int64
-	// activeTxns counts in-flight transactions; Checkpoint requires
-	// quiescence (see durable.go). Guarded by mu.
-	activeTxns int64
-	cons       *constraintSet
+	txnSeq  int64 // seclint:guardedby mu
+	// activeTxns maps each in-flight transaction id to the LSN of its Begin
+	// record. Fuzzy Checkpoint truncates the WAL at
+	// min(fence, min(activeTxns)-1) so no in-flight transaction's records
+	// are lost (durable.go).
+	activeTxns map[int64]int64 // seclint:guardedby mu
+	cons       *constraintSet  // seclint:guardedby mu
 }
 
 // NewDatabase returns an empty database with a fresh log.
+//
+// seclint:locked db is not yet published; no other goroutine holds a reference before NewDatabase returns
 func NewDatabase() *Database {
-	return &Database{
-		tables:  make(map[string]*Table),
-		log:     NewLog(),
-		lockMgr: newLockManager(),
+	db := &Database{
+		log:        NewLog(),
+		lockMgr:    newLockManager(),
+		activeTxns: make(map[int64]int64),
 	}
+	db.current.Store(&dbVersion{tables: make(map[string]*Table)})
+	return db
 }
 
 // Log returns the database's recovery log.
 func (db *Database) Log() *Log { return db.log }
 
-// Table returns a table by name.
+// Table returns the committed version of a table by name. Lock-free; the
+// returned table is frozen and safe for concurrent reads, but a caller
+// making several calls sees potentially different versions — pin a
+// Snapshot for a consistent multi-table view.
 func (db *Database) Table(name string) (*Table, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, ok := db.tables[name]
-	return t, ok
+	return db.current.Load().table(name)
 }
 
-// Tables returns the table names, sorted — the catalog listing.
+// Tables returns the table names, sorted — the catalog listing. Lock-free.
 func (db *Database) Tables() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]string, 0, len(db.tables))
-	for n := range db.tables {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
+	return db.current.Load().tableNames()
 }
 
 // Exec parses and executes one statement in autocommit mode.
@@ -97,52 +112,82 @@ func (db *Database) ExecStmt(st Stmt) (*Result, error) {
 }
 
 func (db *Database) execDDL(st Stmt) (*Result, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	switch s := st.(type) {
 	case *CreateTableStmt:
-		if _, exists := db.tables[s.Table]; exists {
-			return nil, fmt.Errorf("reldb: table %s already exists", s.Table)
-		}
 		if len(s.Schema.Columns) == 0 {
 			return nil, fmt.Errorf("reldb: table %s needs at least one column", s.Table)
 		}
-		db.tables[s.Table] = NewTable(s.Table, s.Schema)
-		db.log.Append(LogRecord{Op: OpCreateTable, Table: s.Table, Schema: &s.Schema})
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if _, exists := db.current.Load().table(s.Table); exists {
+			return nil, fmt.Errorf("reldb: table %s already exists", s.Table)
+		}
+		lsn, _ := db.log.appendAsync(LogRecord{Op: OpCreateTable, Table: s.Table, Schema: &s.Schema})
+		db.installLocked(lsn, map[string]*Table{s.Table: NewTable(s.Table, s.Schema).freeze()})
 		return &Result{}, nil
+
 	case *CreateIndexStmt:
-		t, ok := db.tables[s.Table]
+		// Serialize against transactional writers through the lock manager:
+		// a writer holding the table lock has a private working copy this
+		// index build must not race (its commit would otherwise install a
+		// table version without the index). The lock is taken BEFORE db.mu —
+		// the writer may be blocked in Commit waiting for db.mu, and taking
+		// the table lock second would stall every commit behind the wait.
+		db.mu.Lock()
+		db.txnSeq++
+		owner := db.txnSeq
+		db.mu.Unlock()
+		if err := db.lockMgr.acquireExclusive(owner, s.Table); err != nil {
+			return nil, err
+		}
+		defer db.lockMgr.releaseAll(owner)
+
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		cur, ok := db.current.Load().table(s.Table)
 		if !ok {
 			return nil, fmt.Errorf("reldb: unknown table %s", s.Table)
 		}
+		work := cur.clone()
 		var err error
 		if s.Ordered {
-			err = t.CreateOrderedIndex(s.Column)
+			err = work.CreateOrderedIndex(s.Column)
 		} else {
-			err = t.CreateHashIndex(s.Column)
+			err = work.CreateHashIndex(s.Column)
 		}
 		if err != nil {
 			return nil, err
 		}
-		db.log.Append(LogRecord{Op: OpCreateIndex, Table: s.Table, Column: s.Column, Ordered: s.Ordered})
+		lsn, _ := db.log.appendAsync(LogRecord{Op: OpCreateIndex, Table: s.Table, Column: s.Column, Ordered: s.Ordered})
+		db.installLocked(lsn, map[string]*Table{s.Table: work.freeze()})
 		return &Result{}, nil
 	}
 	return nil, fmt.Errorf("reldb: not DDL")
 }
 
-// execSelect plans and runs a read-only query without transaction
-// overhead (reads see committed state; Scan snapshots under the table
-// lock).
+// execSelect plans and runs a read-only query against the current
+// committed version. Lock-free: the version is loaded once, so the query
+// sees one consistent state no matter what commits concurrently.
 func (db *Database) execSelect(s *SelectStmt) (*Result, error) {
-	t, ok := db.Table(s.Table)
+	return execSelectVersion(db.current.Load(), s)
+}
+
+// execSelectVersion runs a SELECT against one pinned version.
+func execSelectVersion(v *dbVersion, s *SelectStmt) (*Result, error) {
+	t, ok := v.table(s.Table)
 	if !ok {
 		return nil, fmt.Errorf("reldb: unknown table %s", s.Table)
 	}
-	ids, rows, err := planScan(t, s.Where)
+	return execSelectTable(t, s)
+}
+
+// execSelectTable runs a SELECT against one table state (a frozen version
+// table, or a transaction's private working copy for read-your-writes).
+func execSelectTable(t *Table, s *SelectStmt) (*Result, error) {
+	_, rows, err := planScan(t, s.Where)
 	if err != nil {
 		return nil, err
 	}
-	_ = ids
 	// Order: multi-key lexicographic, per-key direction.
 	if len(s.OrderBy) > 0 {
 		keys := make([]int, len(s.OrderBy))

@@ -49,13 +49,21 @@ type rowSnap struct {
 // dbSnap is a whole-database checkpoint snapshot.
 type dbSnap struct {
 	TxnSeq int64
-	Tables []tableSnap
+	// FenceLSN is the LSN of the version the snapshot captured: it contains
+	// the effects of exactly the commits and DDL with LSN <= FenceLSN.
+	// Recovery must not redo those (committedAfter). The WAL snapshot frame
+	// itself may sit at a LOWER LSN — the truncation point is held back to
+	// below the oldest record of any transaction that was in flight during
+	// the fuzzy checkpoint, so their records survive for redo. Zero on
+	// snapshots from before fuzzy checkpoints: those were quiescent, so
+	// frame LSN and fence coincide and the old semantics are preserved.
+	FenceLSN int64
+	Tables   []tableSnap
 }
 
-// snapshot captures the table under its own read lock.
+// snapshot captures the table — no lock needed: checkpoint snapshots are
+// taken from frozen version tables.
 func (t *Table) snapshot() tableSnap {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	snap := tableSnap{Name: t.Name, Schema: t.Schema, NextID: t.nextID}
 	for col := range t.hashIdx {
 		snap.HashIdx = append(snap.HashIdx, col)
@@ -70,7 +78,7 @@ func (t *Table) snapshot() tableSnap {
 	return snap
 }
 
-// restore rebuilds the table a snapshot describes.
+// restore rebuilds the (unfrozen, private) table a snapshot describes.
 func (s *tableSnap) restore() (*Table, error) {
 	t := NewTable(s.Name, s.Schema)
 	for _, r := range s.Rows {
@@ -79,11 +87,9 @@ func (s *tableSnap) restore() (*Table, error) {
 	// insertAt raised nextID to the highest live rowID; the snapshot's
 	// high-water mark may be higher still (deleted rows must not be
 	// reincarnated under a reused id).
-	t.mu.Lock()
 	if s.NextID > t.nextID {
 		t.nextID = s.NextID
 	}
-	t.mu.Unlock()
 	for _, col := range s.HashIdx {
 		if err := t.CreateHashIndex(col); err != nil {
 			return nil, fmt.Errorf("reldb: restore %s: %w", s.Name, err)
@@ -97,32 +103,42 @@ func (s *tableSnap) restore() (*Table, error) {
 	return t, nil
 }
 
-// ErrActiveTxns is returned by Checkpoint while transactions are in
-// flight: a snapshot taken mid-transaction could capture effects whose
-// commit record lands after the checkpoint, breaking the redo contract.
-var ErrActiveTxns = fmt.Errorf("reldb: checkpoint refused: transactions in flight")
+// decodeSnap restores a dbSnap payload into a fresh table map plus its
+// transaction high-water mark and fence LSN.
+func decodeSnap(payload []byte) (map[string]*Table, int64, int64, error) {
+	var snap dbSnap
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return nil, 0, 0, fmt.Errorf("reldb: decode snapshot: %w", err)
+	}
+	tables := make(map[string]*Table, len(snap.Tables))
+	for i := range snap.Tables {
+		t, err := snap.Tables[i].restore()
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		tables[t.Name] = t
+	}
+	return tables, snap.TxnSeq, snap.FenceLSN, nil
+}
 
 // OpenDatabase recovers a database from its durable log: the checkpoint
-// snapshot (if any) is restored, the post-checkpoint records are redone
-// for committed transactions exactly as Recover would, and the database is
-// wired to keep appending to w. The caller owns w's lifecycle but must not
-// use it directly afterwards.
+// snapshot (if any) is restored, the records above the snapshot's fence
+// are redone for committed transactions exactly as Recover would, and the
+// database is wired to keep appending to w. The caller owns w's lifecycle
+// but must not use it directly afterwards.
+//
+// seclint:locked db is not yet published; no other goroutine holds a reference before OpenDatabase returns
 func OpenDatabase(w *wal.WAL) (*Database, error) {
 	db := NewDatabase()
-	var snapTxnSeq int64
+	var snapTxnSeq, fence int64
+	st := newTableStage(nil)
 	if payload, _, ok := w.Snapshot(); ok {
-		var snap dbSnap
-		if err := json.Unmarshal(payload, &snap); err != nil {
-			return nil, fmt.Errorf("reldb: decode snapshot: %w", err)
+		tables, txnSeq, f, err := decodeSnap(payload)
+		if err != nil {
+			return nil, err
 		}
-		snapTxnSeq = snap.TxnSeq
-		for i := range snap.Tables {
-			t, err := snap.Tables[i].restore()
-			if err != nil {
-				return nil, err
-			}
-			db.tables[t.Name] = t
-		}
+		st.work = tables
+		snapTxnSeq, fence = txnSeq, f
 	}
 	var recs []LogRecord
 	err := w.Replay(func(lsn uint64, payload []byte) error {
@@ -137,38 +153,77 @@ func OpenDatabase(w *wal.WAL) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := applyRecords(db, recs, committedTxns(recs)); err != nil {
+	if err := applyRecords(st, recs, committedAfter(recs, fence), fence); err != nil {
 		return nil, err
 	}
 	db.txnSeq = snapTxnSeq
 	if mt := maxTxn(recs); mt > db.txnSeq {
 		db.txnSeq = mt
 	}
+	last := int64(w.LastLSN())
+	if fence > last {
+		// The fuzzy snapshot captured commits whose WAL frames never reached
+		// disk (they were in the group-commit pipeline, unsynced, when the
+		// process died — their effects are durable only through the
+		// snapshot). The recovered state is still an exact prefix of the
+		// commit history, but the log position must jump to the fence so no
+		// LSN at or below it is ever reassigned: re-anchor the backend at
+		// the fence.
+		if payload, _, ok := w.Snapshot(); ok {
+			if err := w.InstallSnapshot(payload, uint64(fence)); err != nil {
+				return nil, fmt.Errorf("reldb: re-anchor at fence: %w", err)
+			}
+		}
+		last = fence
+	}
 	db.log.mu.Lock()
 	db.log.records = recs
-	db.log.nextLSN = int64(w.LastLSN())
+	db.log.nextLSN = last
 	db.log.w = w
 	db.log.mu.Unlock()
+	db.current.Store(&dbVersion{lsn: last, txnSeq: db.txnSeq, tables: st.frozen()})
 	return db, nil
 }
 
-// Checkpoint writes a snapshot of the committed state and truncates the
-// log, on disk (segment deletion) and in memory (record list). It refuses
-// to run while transactions are in flight — callers retry at a quiescent
-// moment; the HTTP servers do this during graceful shutdown.
+// Checkpoint writes a snapshot of a committed version and truncates the
+// log, on disk (segment deletion) and in memory (record list). It is
+// FUZZY: transactions keep beginning and committing while the snapshot
+// streams out — nothing quiesces and nothing is refused.
+//
+// Two LSNs do the work. The fence F is the pinned version's LSN: the
+// snapshot contains exactly the commits and DDL with LSN <= F, and
+// recovery skips redo at or below it (dbSnap.FenceLSN). The truncation
+// point T = min(F, min over in-flight transactions of beginLSN-1) is where
+// the WAL is actually cut: an in-flight transaction's records all have
+// LSN >= its Begin record's LSN > T, so a commit record that lands after
+// the snapshot keeps every record it needs for redo. Both are computed in
+// one db.mu critical section — commits install (and deregister from
+// activeTxns) under the same mutex, so any transaction absent from
+// activeTxns has either installed its version (commit LSN <= F) or
+// aborted, and any transaction present has beginLSN > T by construction.
 func (db *Database) Checkpoint() error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.activeTxns > 0 {
-		return ErrActiveTxns
+	v := db.current.Load()
+	// Pin directly: db.mu excludes installs, so v cannot be swept between
+	// the Load and the pin.
+	v.pins.Add(1)
+	fence := v.lsn
+	trunc := fence
+	for _, beginLSN := range db.activeTxns {
+		if beginLSN-1 < trunc {
+			trunc = beginLSN - 1
+		}
 	}
-	snap := dbSnap{TxnSeq: db.txnSeq}
-	for _, t := range db.tables {
-		snap.Tables = append(snap.Tables, t.snapshot())
+	db.mu.Unlock()
+	defer v.pins.Add(-1)
+
+	snap := dbSnap{TxnSeq: v.txnSeq, FenceLSN: fence}
+	for _, name := range v.tableNames() {
+		snap.Tables = append(snap.Tables, v.tables[name].snapshot())
 	}
 	payload, err := json.Marshal(&snap)
 	if err != nil {
 		return fmt.Errorf("reldb: encode snapshot: %w", err)
 	}
-	return db.log.checkpoint(payload)
+	return db.log.checkpointAt(payload, trunc)
 }

@@ -1,7 +1,6 @@
 package reldb
 
 import (
-	"errors"
 	"fmt"
 	"reflect"
 	"sort"
@@ -113,20 +112,45 @@ func TestOpenCheckpointReopen(t *testing.T) {
 	txn.Abort()
 }
 
-func TestCheckpointRefusesActiveTxns(t *testing.T) {
+// TestCheckpointFuzzyWithActiveTxns asserts the fuzzy-checkpoint contract
+// that replaced the old ErrActiveTxns quiescence requirement: Checkpoint
+// succeeds with transactions in flight, the snapshot covers exactly the
+// committed state, and the in-flight transaction — whose records the fence
+// keeps below the WAL truncation point — commits afterwards and survives
+// recovery.
+func TestCheckpointFuzzyWithActiveTxns(t *testing.T) {
 	fs := faultinject.NewMemFS()
 	db := openDurable(t, fs)
 	mustExec(t, db, "CREATE TABLE t (k TEXT, v INT)")
+	mustExec(t, db, "INSERT INTO t VALUES ('before', 1)")
+
 	txn := db.Begin()
-	if err := db.Checkpoint(); !errors.Is(err, ErrActiveTxns) {
-		t.Fatalf("Checkpoint with txn in flight: err = %v, want ErrActiveTxns", err)
-	}
-	if err := txn.Commit(); err != nil {
+	if _, err := txn.Exec("INSERT INTO t VALUES ('inflight', 2)"); err != nil {
 		t.Fatal(err)
 	}
 	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint with txn in flight: %v", err)
+	}
+	// The uncommitted write is invisible to the checkpointed state and to
+	// concurrent readers.
+	if rows := tableRows(t, db, "t"); len(rows) != 1 || rows["before"] != 1 {
+		t.Fatalf("uncommitted write leaked into committed state: %v", rows)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("Commit after fuzzy checkpoint: %v", err)
+	}
+
+	db2 := openDurable(t, fs)
+	rows := tableRows(t, db2, "t")
+	if rows["before"] != 1 || rows["inflight"] != 2 || len(rows) != 2 {
+		t.Fatalf("recovery after fuzzy checkpoint: rows = %v, want before=1 inflight=2", rows)
+	}
+
+	// A second checkpoint at quiescence truncates the tail completely.
+	if err := db2.Checkpoint(); err != nil {
 		t.Fatalf("Checkpoint at quiescence: %v", err)
 	}
+	assertDBEqual(t, db2, openDurable(t, fs), "reopen after quiescent checkpoint")
 }
 
 func TestCommitReportsLostDurability(t *testing.T) {

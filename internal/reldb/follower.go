@@ -1,7 +1,6 @@
 package reldb
 
 import (
-	"encoding/json"
 	"fmt"
 	"sync"
 
@@ -12,9 +11,12 @@ import (
 // records one at a time — in LSN order, as the replication layer hands
 // them over — and maintains a read-only materialization of the committed
 // state through the same redo path recovery uses (applyRecords). DML for a
-// transaction is buffered until its Commit record arrives, so the
-// follower's database only ever shows transaction-atomic states; an Abort
-// drops the buffer, exactly mirroring what crash recovery would do.
+// transaction is buffered until its Commit record arrives, then staged and
+// installed as one new version stamped with the Commit record's LSN — so
+// the follower's database moves through exactly the same version sequence
+// as the leader's, and replica reads are lock-free snapshot reads like
+// leader reads. An Abort drops the buffer, exactly mirroring what crash
+// recovery would do.
 //
 // The replication layer owns the follower's local WAL (it appends shipped
 // frames, truncates on divergence, installs snapshots); the Follower only
@@ -27,6 +29,10 @@ type Follower struct {
 	// appliedLSN is the highest LSN consumed by Apply (or restored from
 	// the local WAL / an installed snapshot).
 	appliedLSN uint64 // seclint:guardedby mu
+	// fence is the FenceLSN of the snapshot this follower restored from: a
+	// fuzzy leader snapshot already contains commits and DDL up to it, so
+	// replayed records at or below the fence must not be applied twice.
+	fence int64 // seclint:guardedby mu
 	// pending buffers DML of transactions whose Commit has not arrived.
 	pending map[int64][]LogRecord // seclint:guardedby mu
 	// recs mirrors every consumed record, so a promoted database carries
@@ -56,12 +62,16 @@ func OpenFollower(w *wal.WAL) (*Follower, error) {
 	}
 	f := &Follower{w: w, pending: make(map[int64][]LogRecord)}
 	db := NewDatabase()
-	var snapTxnSeq int64
+	var snapTxnSeq, fence int64
+	st := newTableStage(nil)
 	payload, snapLSN, hasSnap := w.Snapshot()
 	if hasSnap {
-		if err := restoreSnap(db, payload, &snapTxnSeq); err != nil {
+		tables, txnSeq, fl, err := decodeSnap(payload)
+		if err != nil {
 			return nil, err
 		}
+		st.work = tables
+		snapTxnSeq, fence = txnSeq, fl
 	}
 	cur, err := w.OpenCursor(snapLSN)
 	if err != nil {
@@ -85,13 +95,14 @@ func OpenFollower(w *wal.WAL) (*Follower, error) {
 		recs = append(recs, rec)
 		applied = r.LSN
 	}
-	committed := committedTxns(recs)
-	if err := applyRecords(db, recs, committed); err != nil {
+	committed := committedAfter(recs, fence)
+	if err := applyRecords(st, recs, committed, fence); err != nil {
 		return nil, err
 	}
 	// Transactions with neither Commit nor Abort stay buffered: their
 	// verdict is still in flight on the leader.
 	aborted := map[int64]bool{}
+	preFence := committedAfter(recs, 0)
 	for _, r := range recs {
 		if r.Op == OpAbort {
 			aborted[r.Txn] = true
@@ -100,7 +111,7 @@ func OpenFollower(w *wal.WAL) (*Follower, error) {
 	for _, r := range recs {
 		switch r.Op {
 		case OpInsert, OpUpdate, OpDelete:
-			if !committed[r.Txn] && !aborted[r.Txn] {
+			if !preFence[r.Txn] && !aborted[r.Txn] {
 				f.pending[r.Txn] = append(f.pending[r.Txn], r)
 			}
 		}
@@ -109,8 +120,10 @@ func OpenFollower(w *wal.WAL) (*Follower, error) {
 	if mt := maxTxn(recs); mt > db.txnSeq {
 		db.txnSeq = mt
 	}
+	db.current.Store(&dbVersion{lsn: int64(applied), txnSeq: db.txnSeq, tables: st.frozen()})
 	f.db = db
 	f.recs = recs
+	f.fence = fence
 	// The position is what the cursor actually delivered — under a
 	// concurrent appender (demote racing the new leader's stream) this can
 	// trail LastLSN; the replication layer re-applies the gap from here.
@@ -118,27 +131,12 @@ func OpenFollower(w *wal.WAL) (*Follower, error) {
 	return f, nil
 }
 
-// restoreSnap rebuilds db from a dbSnap payload.
-func restoreSnap(db *Database, payload []byte, txnSeq *int64) error {
-	var snap dbSnap
-	if err := json.Unmarshal(payload, &snap); err != nil {
-		return fmt.Errorf("reldb: decode snapshot: %w", err)
-	}
-	*txnSeq = snap.TxnSeq
-	for i := range snap.Tables {
-		t, err := snap.Tables[i].restore()
-		if err != nil {
-			return err
-		}
-		db.tables[t.Name] = t
-	}
-	return nil
-}
-
 // Apply consumes one replicated log record. Records must arrive in strict
 // LSN order; the replication layer guarantees it only hands over records
 // at or below the cluster commit watermark, so everything Apply
-// materializes is durable on a quorum.
+// materializes is durable on a quorum. Each applied Commit/DDL record
+// installs a new version into the follower's database at the record's LSN;
+// replica readers pin snapshots of it exactly as leader readers do.
 func (f *Follower) Apply(lsn uint64, payload []byte) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -155,9 +153,12 @@ func (f *Follower) Apply(lsn uint64, payload []byte) error {
 	rec.LSN = int64(lsn)
 	switch rec.Op {
 	case OpCreateTable, OpCreateIndex:
-		// DDL applies unconditionally, as in recovery.
-		if err := applyRecords(f.db, []LogRecord{rec}, nil); err != nil {
-			return err
+		// DDL applies unconditionally, as in recovery — unless the restored
+		// snapshot's fence already covers it.
+		if rec.LSN > f.fence {
+			if err := f.installLocked(rec.LSN, []LogRecord{rec}, nil); err != nil {
+				return err
+			}
 		}
 	case OpBegin:
 		f.pending[rec.Txn] = nil
@@ -166,8 +167,13 @@ func (f *Follower) Apply(lsn uint64, payload []byte) error {
 	case OpCommit:
 		buf := f.pending[rec.Txn]
 		delete(f.pending, rec.Txn)
-		if err := applyRecords(f.db, buf, map[int64]bool{rec.Txn: true}); err != nil {
-			return err
+		// A commit at or below the fence is already inside the restored
+		// snapshot (the leader streams from the snapshot frame's LSN, which
+		// a fuzzy checkpoint holds below the fence); drop the buffer.
+		if rec.LSN > f.fence {
+			if err := f.installLocked(rec.LSN, buf, map[int64]bool{rec.Txn: true}); err != nil {
+				return err
+			}
 		}
 	case OpAbort:
 		delete(f.pending, rec.Txn)
@@ -184,6 +190,21 @@ func (f *Follower) Apply(lsn uint64, payload []byte) error {
 	return nil
 }
 
+// installLocked stages recs over the follower database's current version
+// and installs the result at lsn. Caller holds f.mu.
+//
+// seclint:locked caller holds f.mu
+func (f *Follower) installLocked(lsn int64, recs []LogRecord, committed map[int64]bool) error {
+	st := newTableStage(f.db.current.Load().tables)
+	if err := applyRecords(st, recs, committed, f.fence); err != nil {
+		return err
+	}
+	f.db.mu.Lock()
+	f.db.installLocked(lsn, st.frozen())
+	f.db.mu.Unlock()
+	return nil
+}
+
 // Restore replaces the follower's materialization with a leader snapshot
 // (full resync): the replication layer has already installed it into the
 // local WAL at lsn.
@@ -194,17 +215,23 @@ func (f *Follower) Restore(lsn uint64, snapshot []byte) error {
 		return fmt.Errorf("reldb: follower already promoted")
 	}
 	db := NewDatabase()
-	var txnSeq int64
+	var txnSeq, fence int64
+	st := newTableStage(nil)
 	// An empty snapshot is a reset to genesis: a leader that has never
 	// checkpointed resyncs divergent followers by wiping them and
 	// streaming its whole log.
 	if len(snapshot) > 0 {
-		if err := restoreSnap(db, snapshot, &txnSeq); err != nil {
+		tables, ts, fl, err := decodeSnap(snapshot)
+		if err != nil {
 			return err
 		}
+		st.work = tables
+		txnSeq, fence = ts, fl
 	}
-	db.txnSeq = txnSeq
+	db.txnSeq = txnSeq                                                                 // seclint:locked db is not yet published
+	db.current.Store(&dbVersion{lsn: int64(lsn), txnSeq: txnSeq, tables: st.frozen()}) // seclint:locked db is not yet published
 	f.db = db
+	f.fence = fence
 	f.pending = make(map[int64][]LogRecord)
 	f.recs = nil
 	f.appliedLSN = lsn

@@ -113,9 +113,9 @@ func (db *Database) AddNotNull(table, column string) error {
 
 // validateRow enforces the table's constraints on a prospective row.
 func (db *Database) validateRow(table string, schema *Schema, r Row) error {
-	db.mu.RLock()
+	db.mu.Lock()
 	cs := db.cons
-	db.mu.RUnlock()
+	db.mu.Unlock()
 	if cs == nil {
 		return nil
 	}

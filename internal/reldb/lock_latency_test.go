@@ -44,6 +44,40 @@ func TestLockReleaseWakesWaitersImmediately(t *testing.T) {
 	lm.releaseAll(2)
 }
 
+// TestReadersNeverEnterLockManager: the MVCC contract — the lock manager
+// arbitrates writers only. A SELECT issued while another transaction
+// holds a table's exclusive lock returns immediately from the pinned
+// committed version; it neither waits for the writer nor times out. The
+// lock timeout is set far above the pass threshold so a read that ever
+// re-enters the lock path fails on latency.
+func TestReadersNeverEnterLockManager(t *testing.T) {
+	db := NewDatabase()
+	db.lockMgr.Timeout = 10 * time.Second
+	mustExec(t, db, "CREATE TABLE t (n INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1)")
+
+	txn := db.Begin()
+	if _, err := txn.ExecStmt(MustParse("INSERT INTO t VALUES (2)")); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	res, err := db.Exec("SELECT n FROM t")
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("read under writer lock: %v", err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("read saw %d rows, want the 1 committed row", len(res.Rows))
+	}
+	if elapsed > time.Second {
+		t.Fatalf("read took %v under a held writer lock; reads must be lock-free", elapsed)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestLockWaitStillTimesOut: the deadline timer remains the deadlock
 // breaker — a waiter whose lock is never released gets ErrLockTimeout
 // close to its configured timeout, not arbitrarily later.

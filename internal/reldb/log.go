@@ -2,6 +2,7 @@ package reldb
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"webdbsec/internal/wal"
@@ -23,7 +24,7 @@ const (
 )
 
 // LogRecord is one entry of the write-ahead log. DML records carry enough
-// state to redo (After) the change; Before is kept for auditing and undo
+// state to redo (After) the change; Before is kept for auditing and
 // inspection.
 type LogRecord struct {
 	LSN     int64
@@ -52,6 +53,9 @@ type Log struct {
 	// Txn.Commit refuses to report durability it cannot provide.
 	w   *wal.WAL // seclint:guardedby mu
 	err error    // seclint:guardedby mu
+	// checkpointing serializes checkpointAt calls (appends continue; only a
+	// second concurrent checkpoint is refused).
+	checkpointing bool // seclint:guardedby mu
 }
 
 // NewLog returns an empty in-memory log.
@@ -78,19 +82,7 @@ func (l *Log) Append(rec LogRecord) int64 {
 // seclint:exempt log substrate below the access-control gate; SecureDB authorizes before the engine logs
 func (l *Log) AppendWait(rec LogRecord) (int64, error) {
 	lsn, ack := l.appendAsync(rec)
-	if ack == nil {
-		return lsn, l.Err()
-	}
-	if err := ack.Wait(); err != nil {
-		l.mu.Lock()
-		if l.err == nil {
-			l.err = err
-		}
-		err = l.err
-		l.mu.Unlock()
-		return lsn, err
-	}
-	return lsn, nil
+	return lsn, l.waitAck(ack)
 }
 
 // appendAsync assigns the record's LSN, mirrors it into the backend's
@@ -118,6 +110,25 @@ func (l *Log) appendAsync(rec LogRecord) (int64, *wal.Ack) {
 	return rec.LSN, ack
 }
 
+// waitAck blocks for a pending ack's durability verdict, folding a failure
+// into the sticky backend error. A nil ack (in-memory log, or a log whose
+// backend already failed) reports the sticky error.
+func (l *Log) waitAck(ack *wal.Ack) error {
+	if ack == nil {
+		return l.Err()
+	}
+	if err := ack.Wait(); err != nil {
+		l.mu.Lock()
+		if l.err == nil {
+			l.err = err
+		}
+		err = l.err
+		l.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
 // Err returns the sticky durable-backend error, or nil for a healthy (or
 // purely in-memory) log.
 func (l *Log) Err() error {
@@ -133,24 +144,54 @@ func (l *Log) Durable() bool {
 	return l.w != nil
 }
 
-// checkpoint forwards the snapshot to the backend and, on success, drops
-// the in-memory record list — the growth bound the backend's segment
-// truncation provides on disk.
-func (l *Log) checkpoint(snapshot []byte) error {
+// checkpointAt forwards the snapshot to the backend, truncating the log at
+// trunc (every record with LSN <= trunc is covered by the snapshot or
+// belongs to a transaction whose records the backend keeps; durable.go
+// computes the fence). Appends continue concurrently throughout — l.mu is
+// NOT held across the backend I/O, only while swapping bookkeeping — which
+// is what makes the database-level Checkpoint fuzzy.
+func (l *Log) checkpointAt(snapshot []byte, trunc int64) error {
+	w, err := l.beginCheckpoint()
+	if err != nil {
+		return err
+	}
+
+	err = w.CheckpointAt(snapshot, uint64(trunc))
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.checkpointing = false
+	if err != nil {
+		if l.err == nil {
+			l.err = err
+		}
+		return err
+	}
+	// Drop the in-memory mirror of everything at or below the truncation
+	// point — the growth bound the backend's segment deletion provides on
+	// disk.
+	recs := l.records
+	i := sort.Search(len(recs), func(i int) bool { return recs[i].LSN > trunc })
+	l.records = append([]LogRecord(nil), recs[i:]...)
+	return nil
+}
+
+// beginCheckpoint claims the single checkpoint slot and returns the
+// backend to stream to. The claim is released by checkpointAt's epilogue.
+func (l *Log) beginCheckpoint() (*wal.WAL, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.w == nil {
-		return fmt.Errorf("reldb: checkpoint: no durable backend")
+		return nil, fmt.Errorf("reldb: checkpoint: no durable backend")
 	}
 	if l.err != nil {
-		return l.err
+		return nil, l.err
 	}
-	if err := l.w.Checkpoint(snapshot); err != nil {
-		l.err = err
-		return err
+	if l.checkpointing {
+		return nil, fmt.Errorf("reldb: checkpoint already in progress")
 	}
-	l.records = nil
-	return nil
+	l.checkpointing = true
+	return l.w, nil
 }
 
 // Len returns the number of records.
@@ -171,30 +212,42 @@ func (l *Log) Records() []LogRecord {
 // unconditionally; DML is redone only for transactions with a Commit
 // record (uncommitted and aborted work disappears, which is exactly the
 // atomicity contract).
+//
+// seclint:locked db is not yet published; no other goroutine holds a reference before Recover returns
 func Recover(l *Log) (*Database, error) {
 	recs := l.Records()
 	db := NewDatabase()
-	if err := applyRecords(db, recs, committedTxns(recs)); err != nil {
+	st := newTableStage(nil)
+	if err := applyRecords(st, recs, committedTxns(recs), 0); err != nil {
 		return nil, err
 	}
 	// The recovered database continues the same history.
+	nextLSN := int64(len(recs))
+	if n := len(recs); n > 0 && recs[n-1].LSN > nextLSN {
+		nextLSN = recs[n-1].LSN
+	}
 	db.log.mu.Lock()
 	db.log.records = recs
-	db.log.nextLSN = int64(len(recs))
-	if n := len(recs); n > 0 && recs[n-1].LSN > db.log.nextLSN {
-		db.log.nextLSN = recs[n-1].LSN
-	}
+	db.log.nextLSN = nextLSN
 	db.log.mu.Unlock()
 	db.txnSeq = maxTxn(recs)
+	db.current.Store(&dbVersion{lsn: nextLSN, txnSeq: db.txnSeq, tables: st.frozen()})
 	return db, nil
 }
 
 // committedTxns returns the ids of transactions recs contains a Commit
 // record for.
 func committedTxns(recs []LogRecord) map[int64]bool {
+	return committedAfter(recs, 0)
+}
+
+// committedAfter returns the ids of transactions whose Commit record in
+// recs has LSN > fence — the transactions a fenced recovery must redo
+// (commits at or below the fence are already inside the snapshot).
+func committedAfter(recs []LogRecord, fence int64) map[int64]bool {
 	committed := map[int64]bool{}
 	for _, r := range recs {
-		if r.Op == OpCommit {
+		if r.Op == OpCommit && r.LSN > fence {
 			committed[r.Txn] = true
 		}
 	}
@@ -212,22 +265,78 @@ func maxTxn(recs []LogRecord) int64 {
 	return max
 }
 
-// applyRecords redoes recs onto db: DDL unconditionally, DML only for the
-// transactions listed in committed. It is the shared redo engine of
-// Recover (full history, empty database) and OpenDatabase (post-checkpoint
-// tail, snapshot-restored database).
-func applyRecords(db *Database, recs []LogRecord, committed map[int64]bool) error {
+// tableStage is a private mutable overlay over a frozen table map — the
+// working state of every redo path (recovery, post-checkpoint tail replay,
+// follower apply). Reads and writes go to work, cloning from base on first
+// touch; frozen() seals the overlay for installation into a version.
+// A stage is single-goroutine by construction.
+type tableStage struct {
+	base map[string]*Table // frozen source tables (nil = empty database)
+	work map[string]*Table // private mutable copies
+}
+
+func newTableStage(base map[string]*Table) *tableStage {
+	return &tableStage{base: base, work: make(map[string]*Table)}
+}
+
+// mutable returns the stage's private copy of the table, cloning it out of
+// base on first touch.
+func (st *tableStage) mutable(name string) (*Table, bool) {
+	if t, ok := st.work[name]; ok {
+		return t, true
+	}
+	if t, ok := st.base[name]; ok {
+		c := t.clone()
+		st.work[name] = c
+		return c, true
+	}
+	return nil, false
+}
+
+// put installs a fresh table into the stage.
+func (st *tableStage) put(t *Table) { st.work[t.Name] = t }
+
+// has reports whether the stage (overlay or base) knows the table.
+func (st *tableStage) has(name string) bool {
+	if _, ok := st.work[name]; ok {
+		return true
+	}
+	_, ok := st.base[name]
+	return ok
+}
+
+// frozen freezes every staged table and returns the overlay, ready for
+// Database.installLocked (or for building a fresh version).
+func (st *tableStage) frozen() map[string]*Table {
+	for _, t := range st.work {
+		t.freeze()
+	}
+	return st.work
+}
+
+// applyRecords redoes recs onto the stage: DDL for records above the
+// fence, DML for the transactions listed in committed (the caller computes
+// committed with the same fence via committedAfter, so a transaction whose
+// effects the snapshot already contains is not redone). It is the shared
+// redo engine of Recover (full history, fence 0), OpenDatabase
+// (post-checkpoint tail over a restored snapshot) and Follower.Apply (one
+// commit's buffer over the current version).
+func applyRecords(st *tableStage, recs []LogRecord, committed map[int64]bool, fence int64) error {
 	for _, r := range recs {
 		switch r.Op {
 		case OpCreateTable:
+			if r.LSN <= fence {
+				continue
+			}
 			if r.Schema == nil {
 				return fmt.Errorf("reldb: recover: CreateTable without schema")
 			}
-			db.mu.Lock()
-			db.tables[r.Table] = NewTable(r.Table, *r.Schema)
-			db.mu.Unlock()
+			st.put(NewTable(r.Table, *r.Schema))
 		case OpCreateIndex:
-			t, ok := db.Table(r.Table)
+			if r.LSN <= fence {
+				continue
+			}
+			t, ok := st.mutable(r.Table)
 			if !ok {
 				return fmt.Errorf("reldb: recover: index on unknown table %s", r.Table)
 			}
@@ -244,7 +353,7 @@ func applyRecords(db *Database, recs []LogRecord, committed map[int64]bool) erro
 			if !committed[r.Txn] {
 				continue
 			}
-			t, ok := db.Table(r.Table)
+			t, ok := st.mutable(r.Table)
 			if !ok {
 				return fmt.Errorf("reldb: recover: insert into unknown table %s", r.Table)
 			}
@@ -253,7 +362,7 @@ func applyRecords(db *Database, recs []LogRecord, committed map[int64]bool) erro
 			if !committed[r.Txn] {
 				continue
 			}
-			t, ok := db.Table(r.Table)
+			t, ok := st.mutable(r.Table)
 			if !ok {
 				return fmt.Errorf("reldb: recover: update of unknown table %s", r.Table)
 			}
@@ -264,7 +373,7 @@ func applyRecords(db *Database, recs []LogRecord, committed map[int64]bool) erro
 			if !committed[r.Txn] {
 				continue
 			}
-			t, ok := db.Table(r.Table)
+			t, ok := st.mutable(r.Table)
 			if !ok {
 				return fmt.Errorf("reldb: recover: delete from unknown table %s", r.Table)
 			}

@@ -3,17 +3,28 @@ package reldb
 import (
 	"fmt"
 	"sort"
-	"sync"
 )
 
 // Table is a heap of rows with optional hash and ordered indexes. Rows are
 // addressed by a stable rowID (never reused), which the transaction layer
-// uses for undo records and locks.
+// uses for write sets and locks.
+//
+// Tables are copy-on-write at table granularity (the MVCC unit): a table
+// reachable from a published dbVersion is frozen — immutable forever — and
+// all reads on it are lock-free. Mutation happens only on private working
+// copies (a transaction's write set, recovery staging, a follower's apply
+// overlay) that exactly one goroutine owns; committing freezes the copy
+// and installs it into a new version. The frozen flag turns a violation of
+// that ownership discipline into a panic instead of a data race.
 type Table struct {
 	Name   string
 	Schema Schema
 
-	mu     sync.RWMutex
+	// frozen marks the table immutable: it is reachable from a published
+	// version and may be read by any number of goroutines, but never
+	// written again.
+	frozen bool
+
 	rows   map[int64]Row
 	nextID int64
 
@@ -40,7 +51,7 @@ type ordEntry struct {
 	id int64
 }
 
-// NewTable creates an empty table.
+// NewTable creates an empty, unfrozen table.
 func NewTable(name string, schema Schema) *Table {
 	return &Table{
 		Name:    name,
@@ -51,11 +62,57 @@ func NewTable(name string, schema Schema) *Table {
 	}
 }
 
+// freeze marks the table immutable and returns it.
+func (t *Table) freeze() *Table {
+	t.frozen = true
+	return t
+}
+
+// clone returns a private, unfrozen copy the caller may mutate. Row values
+// are shared with the original — safe, because rows in the map are never
+// mutated in place (Insert/Update store fresh clones) — while the row map
+// and both index structures are deep-copied.
+func (t *Table) clone() *Table {
+	c := &Table{
+		Name:    t.Name,
+		Schema:  t.Schema,
+		rows:    make(map[int64]Row, len(t.rows)),
+		nextID:  t.nextID,
+		hashIdx: make(map[string]*hashIndex, len(t.hashIdx)),
+		ordIdx:  make(map[string]*orderedIndex, len(t.ordIdx)),
+	}
+	for id, r := range t.rows {
+		c.rows[id] = r
+	}
+	for col, idx := range t.hashIdx {
+		ci := &hashIndex{col: idx.col, rows: make(map[string]map[int64]bool, len(idx.rows))}
+		for k, ids := range idx.rows {
+			m := make(map[int64]bool, len(ids))
+			for id := range ids {
+				m[id] = true
+			}
+			ci.rows[k] = m
+		}
+		c.hashIdx[col] = ci
+	}
+	for col, idx := range t.ordIdx {
+		c.ordIdx[col] = &orderedIndex{col: idx.col, entries: append([]ordEntry(nil), idx.entries...)}
+	}
+	return c
+}
+
+// mutable panics when the table is frozen — the copy-on-write discipline
+// guard (a frozen table may be shared by any number of readers).
+func (t *Table) mutable() {
+	if t.frozen {
+		panic("reldb: write to frozen table " + t.Name + " (mutate a working copy instead)")
+	}
+}
+
 // CreateHashIndex builds a hash index on the column, indexing existing
-// rows.
+// rows. Only legal on a private working copy.
 func (t *Table) CreateHashIndex(col string) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mutable()
 	ci := t.Schema.ColIndex(col)
 	if ci < 0 {
 		return fmt.Errorf("reldb: table %s has no column %s", t.Name, col)
@@ -68,10 +125,10 @@ func (t *Table) CreateHashIndex(col string) error {
 	return nil
 }
 
-// CreateOrderedIndex builds an ordered index on the column.
+// CreateOrderedIndex builds an ordered index on the column. Only legal on
+// a private working copy.
 func (t *Table) CreateOrderedIndex(col string) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mutable()
 	ci := t.Schema.ColIndex(col)
 	if ci < 0 {
 		return fmt.Errorf("reldb: table %s has no column %s", t.Name, col)
@@ -126,15 +183,15 @@ func (o *orderedIndex) remove(v Value, id int64) {
 	}
 }
 
-// Insert adds a row and returns its rowID.
+// Insert adds a row and returns its rowID. Only legal on a private working
+// copy.
 //
 // seclint:exempt physical row storage; grants and row policies are enforced by SecureDB above the engine
 func (t *Table) Insert(r Row) (int64, error) {
+	t.mutable()
 	if err := t.Schema.CheckRow(r); err != nil {
 		return 0, err
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.nextID++
 	id := t.nextID
 	t.rows[id] = r.Clone()
@@ -147,10 +204,9 @@ func (t *Table) Insert(r Row) (int64, error) {
 	return id, nil
 }
 
-// insertAt restores a row under a specific id (recovery/undo path).
+// insertAt restores a row under a specific id (recovery/replica path).
 func (t *Table) insertAt(id int64, r Row) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mutable()
 	t.rows[id] = r.Clone()
 	if id > t.nextID {
 		t.nextID = id
@@ -163,12 +219,10 @@ func (t *Table) insertAt(id int64, r Row) {
 	}
 }
 
-// Get returns a copy of the row with the given id.
+// Get returns a copy of the row with the given id. Lock-free.
 //
 // seclint:exempt physical row storage; grants and row policies are enforced by SecureDB above the engine
 func (t *Table) Get(id int64) (Row, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	r, ok := t.rows[id]
 	if !ok {
 		return nil, false
@@ -176,15 +230,15 @@ func (t *Table) Get(id int64) (Row, bool) {
 	return r.Clone(), true
 }
 
-// Update replaces the row with the given id, returning the old row.
+// Update replaces the row with the given id, returning the old row. Only
+// legal on a private working copy.
 //
 // seclint:exempt physical row storage; grants and row policies are enforced by SecureDB above the engine
 func (t *Table) Update(id int64, r Row) (Row, error) {
+	t.mutable()
 	if err := t.Schema.CheckRow(r); err != nil {
 		return nil, err
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	old, ok := t.rows[id]
 	if !ok {
 		return nil, fmt.Errorf("reldb: table %s has no row %d", t.Name, id)
@@ -201,12 +255,12 @@ func (t *Table) Update(id int64, r Row) (Row, error) {
 	return old, nil
 }
 
-// Delete removes the row with the given id, returning the old row.
+// Delete removes the row with the given id, returning the old row. Only
+// legal on a private working copy.
 //
 // seclint:exempt physical row storage; grants and row policies are enforced by SecureDB above the engine
 func (t *Table) Delete(id int64) (Row, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mutable()
 	old, ok := t.rows[id]
 	if !ok {
 		return nil, fmt.Errorf("reldb: table %s has no row %d", t.Name, id)
@@ -221,41 +275,33 @@ func (t *Table) Delete(id int64) (Row, error) {
 	return old, nil
 }
 
-// Len returns the number of rows.
+// Len returns the number of rows. Lock-free.
 func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	return len(t.rows)
 }
 
 // Scan calls fn for every (rowID, row) pair; fn must not mutate the row.
-// Iteration order is by rowID for determinism.
+// Iteration order is by rowID for determinism. Lock-free: on a frozen
+// table the iteration sees exactly the version's state no matter what
+// commits concurrently.
 //
 // seclint:exempt physical row storage; grants and row policies are enforced by SecureDB above the engine
 func (t *Table) Scan(fn func(id int64, r Row) bool) {
-	t.mu.RLock()
 	ids := make([]int64, 0, len(t.rows))
 	for id := range t.rows {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	rows := make([]Row, len(ids))
-	for i, id := range ids {
-		rows[i] = t.rows[id]
-	}
-	t.mu.RUnlock()
-	for i, id := range ids {
-		if !fn(id, rows[i]) {
+	for _, id := range ids {
+		if !fn(id, t.rows[id]) {
 			return
 		}
 	}
 }
 
 // LookupEq uses a hash index (if present) to find rowIDs whose column
-// equals v; ok is false when no usable index exists.
+// equals v; ok is false when no usable index exists. Lock-free.
 func (t *Table) LookupEq(col string, v Value) (ids []int64, ok bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	idx, exists := t.hashIdx[col]
 	if !exists {
 		return nil, false
@@ -268,10 +314,8 @@ func (t *Table) LookupEq(col string, v Value) (ids []int64, ok bool) {
 }
 
 // LookupRange uses an ordered index to find rowIDs with lo <= col <= hi;
-// nil bounds are open. ok is false when no ordered index exists.
+// nil bounds are open. ok is false when no ordered index exists. Lock-free.
 func (t *Table) LookupRange(col string, lo, hi *Value) (ids []int64, ok bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	idx, exists := t.ordIdx[col]
 	if !exists {
 		return nil, false
@@ -292,18 +336,15 @@ func (t *Table) LookupRange(col string, lo, hi *Value) (ids []int64, ok bool) {
 	return ids, true
 }
 
-// HasHashIndex reports whether the column has a hash index.
+// HasHashIndex reports whether the column has a hash index. Lock-free.
 func (t *Table) HasHashIndex(col string) bool {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	_, ok := t.hashIdx[col]
 	return ok
 }
 
 // HasOrderedIndex reports whether the column has an ordered index.
+// Lock-free.
 func (t *Table) HasOrderedIndex(col string) bool {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	_, ok := t.ordIdx[col]
 	return ok
 }

@@ -6,9 +6,14 @@ import (
 	"time"
 )
 
-// lockManager implements table-granularity shared/exclusive locking with a
-// wait timeout as the deadlock breaker (two-phase locking: transactions
-// acquire as they go and release everything at commit/abort).
+// lockManager implements table-granularity exclusive locking for writers
+// with a wait timeout as the deadlock breaker (two-phase locking:
+// transactions acquire as they go and release everything at commit/abort).
+//
+// Only writers lock. Reads — inside or outside transactions — run against
+// a pinned MVCC snapshot and never touch the lock manager, so a writer
+// holding a table for the length of a group-commit fsync blocks other
+// writers of that table and nobody else.
 type lockManager struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
@@ -19,8 +24,7 @@ type lockManager struct {
 }
 
 type lockState struct {
-	readers map[int64]bool
-	writer  int64 // 0 = none
+	writer int64 // 0 = none
 }
 
 // ErrLockTimeout is returned when a lock cannot be acquired in time —
@@ -36,14 +40,14 @@ func newLockManager() *lockManager {
 func (lm *lockManager) state(table string) *lockState {
 	st := lm.locks[table]
 	if st == nil {
-		st = &lockState{readers: make(map[int64]bool)}
+		st = &lockState{}
 		lm.locks[table] = st
 	}
 	return st
 }
 
-// acquireShared takes a read lock for the transaction.
-func (lm *lockManager) acquireShared(txn int64, table string) error {
+// acquireExclusive takes the table's write lock.
+func (lm *lockManager) acquireExclusive(txn int64, table string) error {
 	deadline := time.Now().Add(lm.Timeout)
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
@@ -54,34 +58,7 @@ func (lm *lockManager) acquireShared(txn int64, table string) error {
 		}
 		st = lm.state(table)
 	}
-	st.readers[txn] = true
-	return nil
-}
-
-// acquireExclusive takes (or upgrades to) a write lock.
-func (lm *lockManager) acquireExclusive(txn int64, table string) error {
-	deadline := time.Now().Add(lm.Timeout)
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	st := lm.state(table)
-	for {
-		othersReading := false
-		for r := range st.readers {
-			if r != txn {
-				othersReading = true
-				break
-			}
-		}
-		if (st.writer == 0 || st.writer == txn) && !othersReading {
-			break
-		}
-		if !lm.waitUntil(deadline) {
-			return ErrLockTimeout
-		}
-		st = lm.state(table)
-	}
 	st.writer = txn
-	delete(st.readers, txn)
 	return nil
 }
 
@@ -116,7 +93,6 @@ func (lm *lockManager) releaseAll(txn int64) {
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
 	for _, st := range lm.locks {
-		delete(st.readers, txn)
 		if st.writer == txn {
 			st.writer = 0
 		}
@@ -124,44 +100,64 @@ func (lm *lockManager) releaseAll(txn int64) {
 	lm.cond.Broadcast()
 }
 
-// Txn is an explicit transaction: strict two-phase locking at table
-// granularity, undo on abort, commit record in the log.
+// Txn is an explicit transaction: reads run against the MVCC snapshot
+// pinned at Begin (plus the transaction's own writes), writes go to
+// private working copies of each touched table under strict two-phase
+// exclusive locks, and Commit freezes the copies and installs them as the
+// next version. Abort simply discards the copies — there is no undo,
+// because nothing was ever shared.
 type Txn struct {
-	id     int64
-	db     *Database
-	undo   []undoRec
-	done   bool
-	tables map[string]bool // tables touched (for lock release accounting)
+	id   int64
+	db   *Database
+	snap *Snapshot
+	// work holds the private, mutable copy of every table this transaction
+	// has written (clone-on-first-write from the then-current version,
+	// taken while holding the table's exclusive lock).
+	work map[string]*Table
+	done bool
 }
 
-type undoRec struct {
-	op    LogOp
-	table string
-	rowID int64
-	row   Row // before-image for update/delete
-}
-
-// Begin starts a transaction.
+// Begin starts a transaction. The Begin record's LSN is assigned in the
+// same critical section that registers the transaction as active, so the
+// checkpoint fence (durable.go) can prove every record of an in-flight
+// transaction lies above its WAL truncation point.
 func (db *Database) Begin() *Txn {
 	db.mu.Lock()
 	db.txnSeq++
 	id := db.txnSeq
-	db.activeTxns++
+	beginLSN, _ := db.log.appendAsync(LogRecord{Txn: id, Op: OpBegin})
+	db.activeTxns[id] = beginLSN
 	db.mu.Unlock()
-	db.log.Append(LogRecord{Txn: id, Op: OpBegin})
-	return &Txn{id: id, db: db, tables: make(map[string]bool)}
-}
-
-// endTxn retires a transaction from the in-flight count Checkpoint gates
-// on.
-func (db *Database) endTxn() {
-	db.mu.Lock()
-	db.activeTxns--
-	db.mu.Unlock()
+	return &Txn{id: id, db: db, snap: db.Snapshot(), work: make(map[string]*Table)}
 }
 
 // ID returns the transaction id.
 func (t *Txn) ID() int64 { return t.id }
+
+// writeTable returns the transaction's private copy of the table, taking
+// the exclusive lock and cloning from the current committed version on
+// first write. Cloning from current (not the Begin-time snapshot) is what
+// makes this two-phase locking rather than optimistic snapshot isolation:
+// the lock guarantees no other writer touched the table since the version
+// was installed, so the copy extends the latest state.
+func (t *Txn) writeTable(name string) (*Table, error) {
+	if w, ok := t.work[name]; ok {
+		return w, nil
+	}
+	if _, ok := t.db.current.Load().table(name); !ok {
+		return nil, fmt.Errorf("reldb: unknown table %s", name)
+	}
+	if err := t.db.lockMgr.acquireExclusive(t.id, name); err != nil {
+		return nil, err
+	}
+	cur, ok := t.db.current.Load().table(name)
+	if !ok {
+		return nil, fmt.Errorf("reldb: unknown table %s", name)
+	}
+	w := cur.clone()
+	t.work[name] = w
+	return w, nil
+}
 
 // Exec parses and executes a statement inside the transaction.
 //
@@ -184,21 +180,18 @@ func (t *Txn) ExecStmt(st Stmt) (*Result, error) {
 	}
 	switch s := st.(type) {
 	case *SelectStmt:
-		if err := t.db.lockMgr.acquireShared(t.id, s.Table); err != nil {
-			return nil, err
+		// Read-your-writes: a table this transaction has written is read
+		// from its working copy; everything else from the pinned snapshot.
+		if w, ok := t.work[s.Table]; ok {
+			return execSelectTable(w, s)
 		}
-		t.tables[s.Table] = true
-		return t.db.execSelect(s)
+		return t.snap.ExecSelect(s)
 
 	case *InsertStmt:
-		tbl, ok := t.db.Table(s.Table)
-		if !ok {
-			return nil, fmt.Errorf("reldb: unknown table %s", s.Table)
-		}
-		if err := t.db.lockMgr.acquireExclusive(t.id, s.Table); err != nil {
+		tbl, err := t.writeTable(s.Table)
+		if err != nil {
 			return nil, err
 		}
-		t.tables[s.Table] = true
 		if err := t.db.validateRow(s.Table, &tbl.Schema, Row(s.Values)); err != nil {
 			return nil, err
 		}
@@ -207,18 +200,13 @@ func (t *Txn) ExecStmt(st Stmt) (*Result, error) {
 			return nil, err
 		}
 		t.db.log.Append(LogRecord{Txn: t.id, Op: OpInsert, Table: s.Table, RowID: id, After: Row(s.Values).Clone()})
-		t.undo = append(t.undo, undoRec{op: OpInsert, table: s.Table, rowID: id})
 		return &Result{Affected: 1}, nil
 
 	case *UpdateStmt:
-		tbl, ok := t.db.Table(s.Table)
-		if !ok {
-			return nil, fmt.Errorf("reldb: unknown table %s", s.Table)
-		}
-		if err := t.db.lockMgr.acquireExclusive(t.id, s.Table); err != nil {
+		tbl, err := t.writeTable(s.Table)
+		if err != nil {
 			return nil, err
 		}
-		t.tables[s.Table] = true
 		ids, rows, err := planScan(tbl, s.Where)
 		if err != nil {
 			return nil, err
@@ -250,20 +238,15 @@ func (t *Txn) ExecStmt(st Stmt) (*Result, error) {
 				return nil, err
 			}
 			t.db.log.Append(LogRecord{Txn: t.id, Op: OpUpdate, Table: s.Table, RowID: id, Before: before.Clone(), After: newRow})
-			t.undo = append(t.undo, undoRec{op: OpUpdate, table: s.Table, rowID: id, row: before.Clone()})
 			n++
 		}
 		return &Result{Affected: n}, nil
 
 	case *DeleteStmt:
-		tbl, ok := t.db.Table(s.Table)
-		if !ok {
-			return nil, fmt.Errorf("reldb: unknown table %s", s.Table)
-		}
-		if err := t.db.lockMgr.acquireExclusive(t.id, s.Table); err != nil {
+		tbl, err := t.writeTable(s.Table)
+		if err != nil {
 			return nil, err
 		}
-		t.tables[s.Table] = true
 		ids, _, err := planScan(tbl, s.Where)
 		if err != nil {
 			return nil, err
@@ -275,7 +258,6 @@ func (t *Txn) ExecStmt(st Stmt) (*Result, error) {
 				return nil, err
 			}
 			t.db.log.Append(LogRecord{Txn: t.id, Op: OpDelete, Table: s.Table, RowID: id, Before: before.Clone()})
-			t.undo = append(t.undo, undoRec{op: OpDelete, table: s.Table, rowID: id, row: before.Clone()})
 			n++
 		}
 		return &Result{Affected: n}, nil
@@ -290,9 +272,13 @@ func (t *Txn) ExecStmt(st Stmt) (*Result, error) {
 // in-memory state stays applied, but a caller that needs durability must
 // treat the transaction as lost.
 //
-// The locks are held until the durability verdict arrives: releasing them
-// while the commit record is still in the group-commit pipeline would let
-// a second transaction read this one's writes and be acknowledged before
+// The commit record's LSN is assigned and the new version installed in one
+// db.mu critical section, so version install order is WAL order: readers
+// can never observe commit B without commit A when A's record precedes
+// B's. The durability verdict is awaited OUTSIDE db.mu (other committers
+// keep installing into the same batched fsync), but the table locks are
+// held until the verdict arrives: releasing them earlier would let a
+// second transaction read this one's writes and be acknowledged before
 // (or without) them ever reaching disk. Concurrent committers therefore
 // block inside the same batched fsync, which is exactly the window group
 // commit amortizes.
@@ -301,35 +287,39 @@ func (t *Txn) Commit() error {
 		return fmt.Errorf("reldb: transaction %d already finished", t.id)
 	}
 	t.done = true
-	_, err := t.db.log.AppendWait(LogRecord{Txn: t.id, Op: OpCommit})
-	t.db.endTxn()
-	t.db.lockMgr.releaseAll(t.id)
+	db := t.db
+	db.mu.Lock()
+	lsn, ack := db.log.appendAsync(LogRecord{Txn: t.id, Op: OpCommit})
+	if len(t.work) > 0 {
+		frozen := make(map[string]*Table, len(t.work))
+		for name, w := range t.work {
+			frozen[name] = w.freeze()
+		}
+		db.installLocked(lsn, frozen)
+	}
+	delete(db.activeTxns, t.id)
+	db.mu.Unlock()
+	err := db.log.waitAck(ack)
+	db.lockMgr.releaseAll(t.id)
+	t.snap.Release()
+	t.work = nil
 	return err
 }
 
-// Abort rolls the transaction back by applying its undo records in
-// reverse, then releases its locks.
+// Abort discards the transaction: its working copies are dropped
+// unpublished (no shared state was ever touched, so there is nothing to
+// undo), an Abort record marks the log, and the locks are released.
 func (t *Txn) Abort() {
 	if t.done {
 		return
 	}
 	t.done = true
-	for i := len(t.undo) - 1; i >= 0; i-- {
-		u := t.undo[i]
-		tbl, ok := t.db.Table(u.table)
-		if !ok {
-			continue
-		}
-		switch u.op {
-		case OpInsert:
-			tbl.Delete(u.rowID)
-		case OpUpdate:
-			tbl.Update(u.rowID, u.row)
-		case OpDelete:
-			tbl.insertAt(u.rowID, u.row)
-		}
-	}
-	t.db.log.Append(LogRecord{Txn: t.id, Op: OpAbort})
-	t.db.endTxn()
-	t.db.lockMgr.releaseAll(t.id)
+	db := t.db
+	db.mu.Lock()
+	db.log.appendAsync(LogRecord{Txn: t.id, Op: OpAbort})
+	delete(db.activeTxns, t.id)
+	db.mu.Unlock()
+	db.lockMgr.releaseAll(t.id)
+	t.snap.Release()
+	t.work = nil
 }

@@ -116,32 +116,53 @@ func TestSharedReadersDoNotBlock(t *testing.T) {
 	}
 }
 
-func TestReaderBlocksWriter(t *testing.T) {
+// TestReaderDoesNotBlockWriter pins down the MVCC read contract that
+// replaced reader/writer locking: a transactional reader takes no lock, so
+// a concurrent writer proceeds immediately — and the reader keeps seeing
+// its Begin-time snapshot even after the writer's delete commits.
+func TestReaderDoesNotBlockWriter(t *testing.T) {
 	db := empDB(t)
 	db.lockMgr.Timeout = 150 * time.Millisecond
 	r := db.Begin()
-	if _, err := r.Exec("SELECT * FROM emp"); err != nil {
+	res, err := r.Exec("SELECT * FROM emp")
+	if err != nil {
 		t.Fatal(err)
 	}
+	before := len(res.Rows)
 	w := db.Begin()
-	if _, err := w.Exec("DELETE FROM emp"); err != ErrLockTimeout {
-		t.Fatalf("err = %v, want lock timeout", err)
+	if _, err := w.Exec("DELETE FROM emp"); err != nil {
+		t.Fatalf("writer blocked by reader: %v", err)
 	}
-	w.Abort()
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// The reader's snapshot is unaffected by the committed delete.
+	res, err = r.Exec("SELECT * FROM emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != before {
+		t.Fatalf("reader saw %d rows after concurrent delete, want snapshot's %d", len(res.Rows), before)
+	}
 	if err := r.Commit(); err != nil {
 		t.Fatal(err)
 	}
+	// A fresh reader sees the delete.
+	res = mustExec(t, db, "SELECT * FROM emp")
+	if len(res.Rows) != 0 {
+		t.Fatalf("committed delete invisible to new reader: %d rows", len(res.Rows))
+	}
 }
 
-func TestLockUpgradeSameTxn(t *testing.T) {
+func TestReadThenWriteSameTxn(t *testing.T) {
 	db := empDB(t)
 	txn := db.Begin()
 	if _, err := txn.Exec("SELECT * FROM emp"); err != nil {
 		t.Fatal(err)
 	}
-	// Same transaction upgrades its own shared lock.
+	// Reading never locks; the write acquires the exclusive lock on demand.
 	if _, err := txn.Exec("UPDATE emp SET salary = 50 WHERE id = 5"); err != nil {
-		t.Fatalf("upgrade failed: %v", err)
+		t.Fatalf("write after read failed: %v", err)
 	}
 	if err := txn.Commit(); err != nil {
 		t.Fatal(err)

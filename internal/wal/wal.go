@@ -256,6 +256,13 @@ type WAL struct {
 	scratch []*Ack  // seclint:guardedby mu
 	leader  bool    // seclint:guardedby mu
 	ioBusy  bool    // seclint:guardedby mu
+	// checkpointing is true while a fuzzy CheckpointAt streams its snapshot
+	// and deletes sealed segments. It is NOT io ownership — batch leaders
+	// keep claiming ioBusy and writing the active segment throughout — but
+	// the quiesce-based file operations (Checkpoint, Sync, TruncateTo,
+	// InstallSnapshot, Close) wait for it, because they touch the snapshot
+	// file and segment list a fuzzy checkpoint is working on.
+	checkpointing bool // seclint:guardedby mu
 
 	// File state: owned by the io-ownership holder (see above), touched by
 	// writeBatch/checkpointIO without mu — deliberately not mu-guarded.
@@ -711,7 +718,7 @@ func (w *WAL) quiesceLocked() {
 			w.cond.Broadcast()
 			continue
 		}
-		if len(w.queue) == 0 && !w.leader && !w.ioBusy {
+		if len(w.queue) == 0 && !w.leader && !w.ioBusy && !w.checkpointing {
 			w.ioBusy = true
 			return
 		}
@@ -766,8 +773,8 @@ func (w *WAL) Sync() error {
 // and deletion merely leaves stale segments whose records are skipped on
 // open because their LSNs are covered by the snapshot. The pipeline is
 // drained first, so the snapshot's coverage claim never outruns the disk;
-// callers should checkpoint at quiescent moments (reldb enforces this via
-// ErrActiveTxns).
+// callers whose snapshot covers only a prefix of the log (fuzzy
+// checkpoints over an MVCC version) use CheckpointAt instead.
 func (w *WAL) Checkpoint(snapshot []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -850,6 +857,170 @@ func (w *WAL) checkpointIO(snapshot []byte, lastLSN uint64, segs []string) (int,
 	}
 	w.activeSize = 0
 	return len(buf), nil
+}
+
+// CheckpointAt installs snapshot as the new recovery base covering every
+// record with LSN <= upTo, WITHOUT quiescing the commit pipeline: appends,
+// batches and fsyncs keep running while the snapshot streams out. This is
+// the fuzzy-checkpoint primitive — the store above pins a consistent
+// in-memory version, keeps committing, and fences the log here at a point
+// the version provably covers (reldb additionally holds upTo below the
+// oldest in-flight transaction's first record so redo never loses a
+// record it needs).
+//
+// Only sealed segments — never the one the batch pipeline may still be
+// appending to — whose frames all lie at or below upTo are deleted; the
+// records above the fence survive for replay. Crash-safety is the same
+// protocol as Checkpoint: tmp write + fsync + atomic rename is the commit
+// point, segment deletion happens after it, and a crash in between leaves
+// stale segments whose covered records are skipped on open. A checkpoint
+// at or below the current snapshot LSN is a no-op. Because the fsynced
+// snapshot itself makes every record at or below upTo recoverable, the
+// durable watermark advances to upTo on success.
+func (w *WAL) CheckpointAt(snapshot []byte, upTo uint64) error {
+	candidates, claimed, err := w.claimCheckpoint(snapshot, upTo)
+	if err != nil || !claimed {
+		return err
+	}
+
+	written, removed, err := w.fuzzyCheckpointIO(snapshot, upTo, candidates)
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.checkpointing = false
+	w.cond.Broadcast()
+	if err != nil {
+		if w.err == nil {
+			w.err = err
+		}
+		return w.err
+	}
+	w.snapLSN = upTo
+	w.snapshot = append([]byte(nil), snapshot...)
+	// Replace — never mutate — the recovered tail (Replay iterates it
+	// without the lock).
+	var tail []Record
+	for _, r := range w.tail {
+		if r.LSN > upTo {
+			tail = append(tail, r)
+		}
+	}
+	w.tail = tail
+	if len(removed) > 0 {
+		rm := make(map[string]bool, len(removed))
+		for _, name := range removed {
+			rm[name] = true
+		}
+		var kept []string
+		for _, name := range w.segments {
+			if !rm[name] {
+				kept = append(kept, name)
+			}
+		}
+		w.segments = kept
+	}
+	w.advanceDurableLocked(upTo)
+	w.stats.Checkpoints++
+	w.stats.Segments = len(w.segments)
+	w.stats.SnapshotLSN = upTo
+	w.stats.BytesWritten += uint64(written)
+	return nil
+}
+
+// claimCheckpoint validates a CheckpointAt request and claims the single
+// checkpoint slot. claimed is false with a nil error when the request is
+// a no-op (upTo at or below the current snapshot). On a true claim it
+// also snapshots the deletion candidates: every segment name but the
+// last — the last named segment may be the active file the pipeline is
+// writing and is always spared (a later checkpoint reaps it once it is
+// sealed). The claim serializes against other fuzzy checkpoints and
+// against any quiesce-based file operation currently holding io
+// ownership; batch leaders claiming ioBusy after checkpointing is set
+// proceed concurrently.
+func (w *WAL) claimCheckpoint(snapshot []byte, upTo uint64) (candidates []string, claimed bool, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(snapshot) > MaxPayload {
+		return nil, false, fmt.Errorf("wal: snapshot %d bytes exceeds MaxPayload", len(snapshot))
+	}
+	for w.checkpointing || w.ioBusy {
+		if w.err != nil {
+			return nil, false, w.err
+		}
+		w.cond.Wait()
+	}
+	if w.err != nil {
+		return nil, false, w.err
+	}
+	if upTo <= w.snapLSN {
+		return nil, false, nil
+	}
+	if upTo > w.lastLSN {
+		return nil, false, fmt.Errorf("wal: checkpoint at %d beyond last LSN %d", upTo, w.lastLSN)
+	}
+	w.checkpointing = true
+	if len(w.segments) > 1 {
+		candidates = append([]string(nil), w.segments[:len(w.segments)-1]...)
+	}
+	return candidates, true, nil
+}
+
+// fuzzyCheckpointIO performs CheckpointAt's file work: tmp write, fsync,
+// atomic rename, then deletion of the candidate segments fully covered by
+// upTo. It runs WITHOUT io ownership — concurrent batch leaders write the
+// active segment while this streams — touching only the snapshot files and
+// sealed segments. Deletion stops at the first candidate with a frame
+// above upTo (frames are in LSN order across segments, so later candidates
+// are above it too).
+func (w *WAL) fuzzyCheckpointIO(snapshot []byte, upTo uint64, candidates []string) (written int, removed []string, err error) {
+	f, err := w.fs.Create(snapshotTmpName)
+	if err != nil {
+		return 0, nil, fmt.Errorf("wal: checkpoint create: %w", err)
+	}
+	bp := getEncodeBuf()
+	*bp = EncodeFrame(*bp, upTo, snapshot)
+	buf := *bp
+	defer putEncodeBuf(bp)
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return 0, nil, fmt.Errorf("wal: checkpoint write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, nil, fmt.Errorf("wal: checkpoint fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return 0, nil, fmt.Errorf("wal: checkpoint close: %w", err)
+	}
+	if err := w.fs.Rename(snapshotTmpName, snapshotName); err != nil {
+		return 0, nil, fmt.Errorf("wal: checkpoint rename: %w", err)
+	}
+	// Committed. Deletions below are cleanup; a failure poisons the log but
+	// cannot lose the checkpoint.
+	for _, name := range candidates {
+		data, err := w.fs.ReadFile(name)
+		if err != nil {
+			return len(buf), removed, fmt.Errorf("wal: checkpoint read segment %s: %w", name, err)
+		}
+		covered := true
+		rest := data
+		for len(rest) > 0 {
+			lsn, _, next, derr := DecodeFrame(rest)
+			if derr != nil || lsn > upTo {
+				covered = false
+				break
+			}
+			rest = next
+		}
+		if !covered {
+			break
+		}
+		if err := w.fs.Remove(name); err != nil {
+			return len(buf), removed, fmt.Errorf("wal: checkpoint drop segment %s: %w", name, err)
+		}
+		removed = append(removed, name)
+	}
+	return len(buf), removed, nil
 }
 
 // advanceDurableLocked raises the durable watermark and pokes the

@@ -75,3 +75,93 @@ func TestAddToSetAdvancesGeneration(t *testing.T) {
 		t.Error("AddToSet did not advance the store generation")
 	}
 }
+
+// TestSnapshotUnaffectedByLaterMutations: the MVCC contract — a pinned
+// snapshot keeps reporting the (generation, document, membership) state
+// it was taken at, no matter what the store does afterwards. This is
+// what makes generation-keyed decision caching sound: the generation a
+// reader observes and the content it reads come from the same immutable
+// version.
+func TestSnapshotUnaffectedByLaterMutations(t *testing.T) {
+	s := NewStore()
+	s.Put(genDoc("a.xml"))
+	s.AddToSet("s1", "a.xml")
+	sn := s.Snapshot()
+	defer sn.Release()
+	gen, docGen := sn.Generation(), sn.DocGeneration("a.xml")
+	doc, ok := sn.Get("a.xml")
+	if !ok {
+		t.Fatal("snapshot missing a.xml")
+	}
+
+	// Every kind of mutation the store supports.
+	s.Put(genDoc("a.xml"))
+	s.Put(genDoc("b.xml"))
+	s.AddToSet("s2", "a.xml")
+	s.Remove("a.xml")
+
+	if s.Generation() <= gen {
+		t.Fatal("live store generation did not advance past the snapshot")
+	}
+	if sn.Generation() != gen {
+		t.Errorf("snapshot generation moved: %d -> %d", gen, sn.Generation())
+	}
+	if sn.DocGeneration("a.xml") != docGen {
+		t.Errorf("snapshot doc generation moved: %d -> %d", docGen, sn.DocGeneration("a.xml"))
+	}
+	if got, ok := sn.Get("a.xml"); !ok || got != doc {
+		t.Error("snapshot no longer returns the pinned document object")
+	}
+	if got := sn.SetsOf("a.xml"); len(got) != 1 || got[0] != "s1" {
+		t.Errorf("snapshot SetsOf(a.xml) = %v, want the pinned [s1]", got)
+	}
+	if sn.Len() != 1 {
+		t.Errorf("snapshot Len = %d, want the pinned 1", sn.Len())
+	}
+	// The live store, meanwhile, reflects all of it.
+	if _, ok := s.Get("a.xml"); ok {
+		t.Error("live store still has the removed a.xml")
+	}
+	if _, ok := s.Get("b.xml"); !ok {
+		t.Error("live store missing b.xml")
+	}
+}
+
+// TestSnapshotRetentionAndReclaim: a pinned snapshot keeps exactly its
+// version alive; unpinned superseded versions are swept at the next
+// install, and releasing the snapshot lets its version go too. Readers
+// never block writers — the store keeps installing while the pin is
+// held — and retention is bounded by the pins actually outstanding.
+func TestSnapshotRetentionAndReclaim(t *testing.T) {
+	s := NewStore()
+	s.Put(genDoc("a.xml"))
+	sn := s.Snapshot()
+
+	// Two installs while pinned: the pinned version is retained, the
+	// intermediate (unpinned) one is reclaimed by the writer-driven sweep.
+	s.Put(genDoc("b.xml"))
+	s.Put(genDoc("c.xml"))
+	st := s.VersionStats()
+	if st.Retained != 1 {
+		t.Fatalf("Retained = %d while one snapshot pinned, want 1", st.Retained)
+	}
+	if st.Pinned != 1 {
+		t.Fatalf("Pinned = %d, want 1", st.Pinned)
+	}
+	if st.Reclaimed == 0 {
+		t.Fatal("intermediate unpinned version was never reclaimed")
+	}
+
+	sn.Release()
+	s.Put(genDoc("d.xml"))
+	st = s.VersionStats()
+	if st.Retained != 0 {
+		t.Fatalf("Retained = %d after release and install, want 0", st.Retained)
+	}
+	if st.Pinned != 0 {
+		t.Fatalf("Pinned = %d after release, want 0", st.Pinned)
+	}
+	if st.Installed != st.Reclaimed {
+		t.Fatalf("Installed = %d, Reclaimed = %d; all superseded versions should be reclaimed", st.Installed, st.Reclaimed)
+	}
+}

@@ -40,30 +40,23 @@ type storeSnap struct {
 
 // OpenStore recovers a document store from w and wires it to keep
 // journaling there. The caller owns w's lifecycle but must not use it
-// directly afterwards.
+// directly afterwards. Recovery stages into one private version published
+// at the end, stamped with the last replayed LSN, so post-recovery
+// mutations continue the version sequence exactly where the journal ends.
+//
+// seclint:locked s is not yet published; no other goroutine holds a reference before OpenStore returns
 func OpenStore(w *wal.WAL) (*Store, error) {
 	s := NewStore()
-	if payload, _, ok := w.Snapshot(); ok {
+	v := newStoreVersion()
+	if payload, snapLSN, ok := w.Snapshot(); ok {
 		var snap storeSnap
 		if err := json.Unmarshal(payload, &snap); err != nil {
 			return nil, fmt.Errorf("xmldoc: decode snapshot: %w", err)
 		}
-		for name, xml := range snap.Docs {
-			d, err := ParseString(name, xml)
-			if err != nil {
-				return nil, fmt.Errorf("xmldoc: restore %s: %w", name, err)
-			}
-			s.docs[name] = d
+		if err := stageSnap(v, &snap); err != nil {
+			return nil, err
 		}
-		for set, docs := range snap.Sets {
-			for _, doc := range docs {
-				s.linkSetLocked(set, doc)
-			}
-		}
-		for name, g := range snap.DocGens {
-			s.docGens[name] = g
-		}
-		s.gen = snap.Gen
+		v.lsn = int64(snapLSN)
 	}
 	err := w.Replay(func(lsn uint64, payload []byte) error {
 		var rec storeJournal
@@ -76,69 +69,75 @@ func OpenStore(w *wal.WAL) (*Store, error) {
 			if err != nil {
 				return fmt.Errorf("xmldoc: replay put %s: %w", rec.Doc, err)
 			}
-			s.docs[rec.Doc] = d
+			v.docs[rec.Doc] = d
 		case "remove":
-			delete(s.docs, rec.Doc)
-			for _, set := range s.sets {
-				delete(set, rec.Doc)
-			}
-			delete(s.memberOf, rec.Doc)
+			delete(v.docs, rec.Doc)
+			v.unlinkDoc(rec.Doc)
 		case "addset":
-			s.linkSetLocked(rec.Set, rec.Doc)
+			v.linkOwned(rec.Set, rec.Doc)
 		default:
 			return fmt.Errorf("xmldoc: unknown journal op %q at lsn %d", rec.Op, lsn)
 		}
-		s.docGens[rec.Doc] = rec.DocGen
-		s.gen = rec.Gen
+		v.docGens[rec.Doc] = rec.DocGen
+		v.gen = rec.Gen
+		v.lsn = int64(lsn)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	s.w = w
+	s.current.Store(v)
 	return s, nil
 }
 
-// linkSetLocked wires doc into set in both directions without touching
-// generations. Write lock held (or exclusive ownership during recovery).
-func (s *Store) linkSetLocked(set, doc string) {
-	m := s.sets[set]
-	if m == nil {
-		m = make(map[string]bool)
-		s.sets[set] = m
+// stageSnap decodes a checkpoint snapshot into the private staging
+// version v.
+func stageSnap(v *storeVersion, snap *storeSnap) error {
+	for name, xml := range snap.Docs {
+		d, err := ParseString(name, xml)
+		if err != nil {
+			return fmt.Errorf("xmldoc: restore %s: %w", name, err)
+		}
+		v.docs[name] = d
 	}
-	m[doc] = true
-	r := s.memberOf[doc]
-	if r == nil {
-		r = make(map[string]bool)
-		s.memberOf[doc] = r
+	for set, docs := range snap.Sets {
+		for _, doc := range docs {
+			v.linkOwned(set, doc)
+		}
 	}
-	r[set] = true
+	for name, g := range snap.DocGens {
+		v.docGens[name] = g
+	}
+	v.gen = snap.Gen
+	return nil
 }
 
-// Checkpoint writes a snapshot of the store and truncates the journal.
+// Checkpoint writes a snapshot of the store and truncates the journal at
+// the snapshotted version's LSN. The checkpoint is fuzzy: it pins the
+// current version and releases mu before encoding, so mutations keep
+// committing while the snapshot streams out. Because every journal entry
+// is one complete mutation, the snapshot at LSN n plus the journal tail
+// above n reconstructs every later state — nothing blocks, nothing tears.
 func (s *Store) Checkpoint() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.w == nil {
-		return fmt.Errorf("xmldoc: checkpoint: no durable backend")
+	w, v, err := s.pinForCheckpoint()
+	if err != nil {
+		return err
 	}
-	if s.err != nil {
-		return s.err
-	}
+	defer v.pins.Add(-1)
 	snap := storeSnap{
-		Gen:     s.gen,
-		DocGens: make(map[string]uint64, len(s.docGens)),
-		Docs:    make(map[string]string, len(s.docs)),
-		Sets:    make(map[string][]string, len(s.sets)),
+		Gen:     v.gen,
+		DocGens: make(map[string]uint64, len(v.docGens)),
+		Docs:    make(map[string]string, len(v.docs)),
+		Sets:    make(map[string][]string, len(v.sets)),
 	}
-	for name, g := range s.docGens {
+	for name, g := range v.docGens {
 		snap.DocGens[name] = g
 	}
-	for name, d := range s.docs {
+	for name, d := range v.docs {
 		snap.Docs[name] = d.Canonical()
 	}
-	for set, docs := range s.sets {
+	for set, docs := range v.sets {
 		for doc := range docs {
 			snap.Sets[set] = append(snap.Sets[set], doc)
 		}
@@ -147,32 +146,57 @@ func (s *Store) Checkpoint() error {
 	if err != nil {
 		return fmt.Errorf("xmldoc: encode snapshot: %w", err)
 	}
-	if err := s.w.Checkpoint(payload); err != nil {
+	if err := w.CheckpointAt(payload, uint64(v.lsn)); err != nil {
+		s.mu.Lock()
 		s.err = err
+		s.mu.Unlock()
 		return err
 	}
 	return nil
 }
 
+// pinForCheckpoint pins the current version under the writer mutex and
+// returns it with the journal backend. The caller unpins.
+func (s *Store) pinForCheckpoint() (*wal.WAL, *storeVersion, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return nil, nil, fmt.Errorf("xmldoc: checkpoint: no durable backend")
+	}
+	if s.err != nil {
+		return nil, nil, s.err
+	}
+	v := s.current.Load()
+	v.pins.Add(1)
+	return s.w, v, nil
+}
+
 // Err returns the sticky journal error, if any.
 func (s *Store) Err() error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.err
 }
 
 // journalLocked appends a journal entry for a mutation that already
-// happened. Write lock held; failures stick.
-func (s *Store) journalLocked(rec *storeJournal) {
+// happened and returns its LSN — the stamp for the version the mutation
+// installs. It returns 0 (keep the predecessor's stamp) for in-memory
+// stores and on failure; failures stick.
+//
+// seclint:locked caller holds s.mu
+func (s *Store) journalLocked(rec *storeJournal) int64 {
 	if s.w == nil || s.err != nil {
-		return
+		return 0
 	}
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		s.err = err
-		return
+		return 0
 	}
-	if _, err := s.w.Append(payload); err != nil {
+	lsn, err := s.w.Append(payload)
+	if err != nil {
 		s.err = err
+		return 0
 	}
+	return int64(lsn)
 }

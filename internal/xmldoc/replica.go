@@ -14,7 +14,10 @@ import (
 // state mapping as on the leader.
 
 // ApplyReplicated applies one shipped journal entry. Entries must arrive
-// in the order the leader journaled them.
+// in the order the leader journaled them. Each entry installs a new store
+// version stamped with the shipped LSN, so the replica's version sequence
+// mirrors the leader's and replica readers pin snapshots exactly as
+// leader readers do.
 func (s *Store) ApplyReplicated(lsn uint64, payload []byte) error {
 	var rec storeJournal
 	if err := json.Unmarshal(payload, &rec); err != nil {
@@ -22,31 +25,31 @@ func (s *Store) ApplyReplicated(lsn uint64, payload []byte) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	v := s.current.Load().clone()
 	switch rec.Op {
 	case "put":
 		d, err := ParseString(rec.Doc, rec.XML)
 		if err != nil {
 			return fmt.Errorf("xmldoc: replicate put %s: %w", rec.Doc, err)
 		}
-		s.docs[rec.Doc] = d
+		v.docs[rec.Doc] = d
 	case "remove":
-		delete(s.docs, rec.Doc)
-		for _, set := range s.sets {
-			delete(set, rec.Doc)
-		}
-		delete(s.memberOf, rec.Doc)
+		delete(v.docs, rec.Doc)
+		v.unlinkDoc(rec.Doc)
 	case "addset":
-		s.linkSetLocked(rec.Set, rec.Doc)
+		v.link(rec.Set, rec.Doc)
 	default:
 		return fmt.Errorf("xmldoc: unknown replicated op %q at lsn %d", rec.Op, lsn)
 	}
-	s.docGens[rec.Doc] = rec.DocGen
-	s.gen = rec.Gen
+	v.docGens[rec.Doc] = rec.DocGen
+	v.gen = rec.Gen
+	s.installLocked(int64(lsn), v)
 	return nil
 }
 
 // RestoreReplicated replaces the store's contents from a leader checkpoint
-// snapshot (full resync).
+// snapshot (full resync). The replacement is one version install: readers
+// holding pinned snapshots keep their pre-resync view until they release.
 func (s *Store) RestoreReplicated(lsn uint64, snapshot []byte) error {
 	var snap storeSnap
 	// An empty snapshot resets to genesis (a never-checkpointed leader
@@ -56,28 +59,19 @@ func (s *Store) RestoreReplicated(lsn uint64, snapshot []byte) error {
 			return fmt.Errorf("xmldoc: decode replicated snapshot: %w", err)
 		}
 	}
-	docs := make(map[string]*Document, len(snap.Docs))
-	for name, xml := range snap.Docs {
-		d, err := ParseString(name, xml)
-		if err != nil {
-			return fmt.Errorf("xmldoc: restore %s: %w", name, err)
-		}
-		docs[name] = d
+	v := newStoreVersion()
+	if err := stageSnap(v, &snap); err != nil {
+		return err
 	}
+	v.lsn = int64(lsn)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.docs = docs
-	s.sets = make(map[string]map[string]bool)
-	s.memberOf = make(map[string]map[string]bool)
-	s.docGens = make(map[string]uint64, len(snap.DocGens))
-	for set, names := range snap.Sets {
-		for _, doc := range names {
-			s.linkSetLocked(set, doc)
-		}
-	}
-	for name, g := range snap.DocGens {
-		s.docGens[name] = g
-	}
-	s.gen = snap.Gen
+	// A resync may rewind the LSN (divergence repair), so bypass
+	// installLocked's monotone stamp and publish v as-is.
+	cur := s.current.Load()
+	s.current.Store(v)
+	s.retained = append(s.retained, cur)
+	s.vstats.Installed++
+	s.sweepLocked()
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"webdbsec/internal/wal"
 )
@@ -431,26 +432,55 @@ func (d *Document) Prune(keep func(*Node) bool) *Document {
 // binding changes (Put, Remove) or its set membership changes (AddToSet) —
 // exactly the events that can alter an access decision about the document.
 // Decision caches (internal/decisioncache) key cached artifacts on it.
+//
+// Internally the store is multi-versioned: the whole decision-relevant
+// state (documents, set membership, generations) lives in an immutable
+// storeVersion behind an atomic pointer. Readers load the pointer and
+// never take a lock; writers build a copy-on-write successor under mu and
+// publish it stamped with the WAL LSN of its journal entry, so version
+// order and replication order coincide. Snapshot pins a version when a
+// caller needs several reads to observe one consistent state.
 type Store struct {
-	mu   sync.RWMutex
+	// mu serializes writers (Put, Remove, AddToSet, the replication apply
+	// path) and version installation; readers never take it.
+	mu sync.Mutex
+	// current is the latest published version. Stored under mu; loaded
+	// anywhere.
+	current atomic.Pointer[storeVersion] // seclint:atomicptr mu
+	// retained holds superseded versions until no snapshot pins them.
+	retained []*storeVersion // seclint:guardedby mu
+	// vstats counts version lifecycle events.
+	vstats StoreVersionStats // seclint:guardedby mu
+	// w, when set, receives a journal entry for every mutation (see
+	// persist.go); err is the sticky journal failure.
+	w   *wal.WAL // seclint:guardedby mu
+	err error    // seclint:guardedby mu
+}
+
+// storeVersion is one immutable state of the store. A writer builds it
+// privately — cloning the outer maps and any inner set map it touches —
+// and nothing mutates it after publication.
+type storeVersion struct {
+	// lsn is the WAL LSN of the journal entry that produced this version
+	// (0 for genesis and for stores without a durable backend). Every
+	// journal entry describes one complete mutation, so a snapshot of the
+	// version at LSN n holds exactly the mutations journaled at or below n
+	// — the fence and the truncation point of a fuzzy checkpoint coincide.
+	lsn  int64
+	gen  uint64
 	docs map[string]*Document
-	// Sets maps a set name to the document names it contains.
+	// sets maps a set name to the document names it contains.
 	sets map[string]map[string]bool
 	// memberOf is the reverse index: document name -> set names. It lets
 	// the policy index find set-level policies without scanning all sets.
 	memberOf map[string]map[string]bool
-	// gen advances on every mutation; docGens per document name.
-	gen     uint64
-	docGens map[string]uint64
-	// w, when set, receives a journal entry for every mutation (see
-	// persist.go); err is the sticky journal failure.
-	w   *wal.WAL
-	err error
+	docGens  map[string]uint64
+	// pins counts snapshots holding this version live.
+	pins atomic.Int64
 }
 
-// NewStore returns an empty document store.
-func NewStore() *Store {
-	return &Store{
+func newStoreVersion() *storeVersion {
+	return &storeVersion{
 		docs:     make(map[string]*Document),
 		sets:     make(map[string]map[string]bool),
 		memberOf: make(map[string]map[string]bool),
@@ -458,124 +488,93 @@ func NewStore() *Store {
 	}
 }
 
-// Put adds or replaces a document, advancing its generation.
-//
-// seclint:exempt document storage below the access-control gate; accessctl.Engine authorizes before the store mutates
-func (s *Store) Put(d *Document) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.docs[d.Name] = d
-	s.docGens[d.Name]++
-	s.gen++
-	if s.w != nil {
-		s.journalLocked(&storeJournal{
-			Op: "put", Doc: d.Name, XML: d.Canonical(),
-			Gen: s.gen, DocGen: s.docGens[d.Name],
-		})
+// clone returns a private successor sharing the inner set maps with v; the
+// writer must replace (not mutate) any inner map it changes — link and
+// unlinkDoc do.
+func (v *storeVersion) clone() *storeVersion {
+	nv := &storeVersion{
+		lsn:      v.lsn,
+		gen:      v.gen,
+		docs:     make(map[string]*Document, len(v.docs)+1),
+		sets:     make(map[string]map[string]bool, len(v.sets)+1),
+		memberOf: make(map[string]map[string]bool, len(v.memberOf)+1),
+		docGens:  make(map[string]uint64, len(v.docGens)+1),
 	}
-}
-
-// Get returns the named document.
-//
-// seclint:exempt document storage below the access-control gate; accessctl.Engine computes authorized views above it
-func (s *Store) Get(name string) (*Document, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	d, ok := s.docs[name]
-	return d, ok
-}
-
-// Remove deletes the named document and drops it from every set, advancing
-// the document's generation.
-//
-// seclint:exempt document storage below the access-control gate; accessctl.Engine authorizes before the store mutates
-func (s *Store) Remove(name string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.docs, name)
-	for _, set := range s.sets {
-		delete(set, name)
+	for k, d := range v.docs {
+		nv.docs[k] = d
 	}
-	delete(s.memberOf, name)
-	s.docGens[name]++
-	s.gen++
-	if s.w != nil {
-		s.journalLocked(&storeJournal{
-			Op: "remove", Doc: name, Gen: s.gen, DocGen: s.docGens[name],
-		})
+	for k, m := range v.sets {
+		nv.sets[k] = m
 	}
+	for k, m := range v.memberOf {
+		nv.memberOf[k] = m
+	}
+	for k, g := range v.docGens {
+		nv.docGens[k] = g
+	}
+	return nv
 }
 
-// Len returns the number of documents in the store.
-func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.docs)
+// link wires doc into set in both directions, copying the touched inner
+// maps so versions sharing them are undisturbed. Private versions only.
+func (v *storeVersion) link(set, doc string) {
+	m := copySet(v.sets[set])
+	m[doc] = true
+	v.sets[set] = m
+	r := copySet(v.memberOf[doc])
+	r[set] = true
+	v.memberOf[doc] = r
 }
 
-// Generation returns the store-wide mutation counter: it advances on every
-// Put, Remove and AddToSet and never repeats.
-func (s *Store) Generation() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.gen
+// linkOwned wires doc into set in place. Only for versions whose inner
+// maps are all private (staging during recovery or restore), never for
+// clones of a published version.
+func (v *storeVersion) linkOwned(set, doc string) {
+	m := v.sets[set]
+	if m == nil {
+		m = make(map[string]bool)
+		v.sets[set] = m
+	}
+	m[doc] = true
+	r := v.memberOf[doc]
+	if r == nil {
+		r = make(map[string]bool)
+		v.memberOf[doc] = r
+	}
+	r[set] = true
 }
 
-// DocGeneration returns the named document's generation: it advances
-// whenever the name's binding or set membership changes, and is 0 for
-// names the store has never seen. Together with the name it identifies an
-// exact decision-relevant state of the document, so caches keyed on
-// (name, generation) are invalidated precisely — mutating one document
-// does not disturb cached artifacts of any other.
-func (s *Store) DocGeneration(name string) uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.docGens[name]
+// unlinkDoc drops doc from every set, copying the touched inner maps.
+func (v *storeVersion) unlinkDoc(doc string) {
+	for set, m := range v.sets {
+		if m[doc] {
+			nm := copySet(m)
+			delete(nm, doc)
+			v.sets[set] = nm
+		}
+	}
+	delete(v.memberOf, doc)
 }
 
-// Names returns the document names in sorted order.
-func (s *Store) Names() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.docs))
-	for name := range s.docs {
+func copySet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m)+1)
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func (v *storeVersion) names() []string {
+	out := make([]string, 0, len(v.docs))
+	for name := range v.docs {
 		out = append(out, name)
 	}
 	sort.Strings(out)
 	return out
 }
 
-// AddToSet places a document into a named document set, creating the set if
-// needed. The document need not exist yet. Membership changes advance the
-// document's generation (set-level policies may now cover it).
-//
-// seclint:exempt set administration on the trusted setup path, not a data entry point
-func (s *Store) AddToSet(set, doc string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.linkSetLocked(set, doc)
-	s.docGens[doc]++
-	s.gen++
-	if s.w != nil {
-		s.journalLocked(&storeJournal{
-			Op: "addset", Doc: doc, Set: set, Gen: s.gen, DocGen: s.docGens[doc],
-		})
-	}
-}
-
-// SetContains reports whether the named set contains the document.
-func (s *Store) SetContains(set, doc string) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.sets[set][doc]
-}
-
-// SetsOf returns the names of the sets containing the document, sorted.
-// It returns nil for documents in no set.
-func (s *Store) SetsOf(doc string) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	m := s.memberOf[doc]
+func (v *storeVersion) setsOf(doc string) []string {
+	m := v.memberOf[doc]
 	if len(m) == 0 {
 		return nil
 	}
@@ -587,14 +586,267 @@ func (s *Store) SetsOf(doc string) []string {
 	return out
 }
 
-// SetMembers returns the sorted document names of a set.
-func (s *Store) SetMembers(set string) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+func (v *storeVersion) setMembers(set string) []string {
 	var out []string
-	for name := range s.sets[set] {
+	for name := range v.sets[set] {
 		out = append(out, name)
 	}
 	sort.Strings(out)
 	return out
+}
+
+// NewStore returns an empty document store.
+//
+// seclint:locked s is not yet published; no other goroutine holds a reference before NewStore returns
+func NewStore() *Store {
+	s := &Store{}
+	s.current.Store(newStoreVersion())
+	return s
+}
+
+// installLocked publishes v as the current version, stamped with the WAL
+// LSN of the journal entry that produced it. A zero lsn (no durable
+// backend, or a journal failure already recorded in s.err) keeps the
+// predecessor's stamp so version LSNs stay monotone. The superseded
+// version is retained until no snapshot pins it. Caller holds s.mu.
+//
+// seclint:locked caller holds s.mu
+func (s *Store) installLocked(lsn int64, v *storeVersion) {
+	cur := s.current.Load()
+	if lsn < cur.lsn {
+		lsn = cur.lsn
+	}
+	v.lsn = lsn
+	s.current.Store(v)
+	s.retained = append(s.retained, cur)
+	s.vstats.Installed++
+	s.sweepLocked()
+}
+
+// sweepLocked drops retained versions no snapshot pins. Writer-driven:
+// it runs at every install, so retention is bounded by the lifetime of
+// the snapshots actually held. Caller holds s.mu.
+//
+// seclint:locked caller holds s.mu
+func (s *Store) sweepLocked() {
+	kept := s.retained[:0]
+	for _, v := range s.retained {
+		if v.pins.Load() > 0 {
+			kept = append(kept, v)
+		} else {
+			s.vstats.Reclaimed++
+		}
+	}
+	for i := len(kept); i < len(s.retained); i++ {
+		s.retained[i] = nil
+	}
+	s.retained = kept
+}
+
+// StoreVersionStats counts version lifecycle events; see
+// (*Store).VersionStats.
+type StoreVersionStats struct {
+	// Installed and Reclaimed count versions published and swept.
+	Installed int64
+	Reclaimed int64
+	// Retained is the number of superseded versions still held for
+	// snapshots; Pinned is the total pin count across all live versions.
+	Retained int
+	Pinned   int64
+}
+
+// VersionStats reports version lifecycle counters — test and operational
+// visibility into snapshot retention.
+func (s *Store) VersionStats() StoreVersionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.vstats
+	st.Retained = len(s.retained)
+	for _, v := range s.retained {
+		st.Pinned += v.pins.Load()
+	}
+	st.Pinned += s.current.Load().pins.Load()
+	return st
+}
+
+// Put adds or replaces a document, advancing its generation.
+//
+// seclint:exempt document storage below the access-control gate; accessctl.Engine authorizes before the store mutates
+func (s *Store) Put(d *Document) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.current.Load().clone()
+	v.docs[d.Name] = d
+	v.docGens[d.Name]++
+	v.gen++
+	lsn := s.journalLocked(&storeJournal{
+		Op: "put", Doc: d.Name, XML: d.Canonical(),
+		Gen: v.gen, DocGen: v.docGens[d.Name],
+	})
+	s.installLocked(lsn, v)
+}
+
+// Get returns the named document.
+//
+// seclint:exempt document storage below the access-control gate; accessctl.Engine computes authorized views above it
+func (s *Store) Get(name string) (*Document, bool) {
+	v := s.current.Load()
+	d, ok := v.docs[name]
+	return d, ok
+}
+
+// Remove deletes the named document and drops it from every set, advancing
+// the document's generation.
+//
+// seclint:exempt document storage below the access-control gate; accessctl.Engine authorizes before the store mutates
+func (s *Store) Remove(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.current.Load().clone()
+	delete(v.docs, name)
+	v.unlinkDoc(name)
+	v.docGens[name]++
+	v.gen++
+	lsn := s.journalLocked(&storeJournal{
+		Op: "remove", Doc: name, Gen: v.gen, DocGen: v.docGens[name],
+	})
+	s.installLocked(lsn, v)
+}
+
+// Len returns the number of documents in the store.
+func (s *Store) Len() int {
+	return len(s.current.Load().docs)
+}
+
+// Generation returns the store-wide mutation counter: it advances on every
+// Put, Remove and AddToSet and never repeats.
+func (s *Store) Generation() uint64 {
+	return s.current.Load().gen
+}
+
+// DocGeneration returns the named document's generation: it advances
+// whenever the name's binding or set membership changes, and is 0 for
+// names the store has never seen. Together with the name it identifies an
+// exact decision-relevant state of the document, so caches keyed on
+// (name, generation) are invalidated precisely — mutating one document
+// does not disturb cached artifacts of any other.
+func (s *Store) DocGeneration(name string) uint64 {
+	return s.current.Load().docGens[name]
+}
+
+// Names returns the document names in sorted order.
+func (s *Store) Names() []string {
+	return s.current.Load().names()
+}
+
+// AddToSet places a document into a named document set, creating the set if
+// needed. The document need not exist yet. Membership changes advance the
+// document's generation (set-level policies may now cover it).
+//
+// seclint:exempt set administration on the trusted setup path, not a data entry point
+func (s *Store) AddToSet(set, doc string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.current.Load().clone()
+	v.link(set, doc)
+	v.docGens[doc]++
+	v.gen++
+	lsn := s.journalLocked(&storeJournal{
+		Op: "addset", Doc: doc, Set: set, Gen: v.gen, DocGen: v.docGens[doc],
+	})
+	s.installLocked(lsn, v)
+}
+
+// SetContains reports whether the named set contains the document.
+func (s *Store) SetContains(set, doc string) bool {
+	return s.current.Load().sets[set][doc]
+}
+
+// SetsOf returns the names of the sets containing the document, sorted.
+// It returns nil for documents in no set.
+func (s *Store) SetsOf(doc string) []string {
+	return s.current.Load().setsOf(doc)
+}
+
+// SetMembers returns the sorted document names of a set.
+func (s *Store) SetMembers(set string) []string {
+	return s.current.Load().setMembers(set)
+}
+
+// StoreSnapshot is a pinned, immutable view of the store at one version.
+// Every method observes the same state: a decision evaluated against a
+// snapshot sees documents, set membership and generations that all belong
+// to one point in the mutation order, no matter how many writers commit
+// meanwhile. Release it when done so the version can be reclaimed;
+// reads are lock-free throughout.
+type StoreSnapshot struct {
+	v        *storeVersion
+	released atomic.Bool
+}
+
+// Snapshot pins the current version and returns a consistent read view.
+func (s *Store) Snapshot() *StoreSnapshot {
+	for {
+		v := s.current.Load()
+		v.pins.Add(1)
+		// A writer may have published a successor between the load and the
+		// pin; re-check so the pin provably lands on a version that was
+		// current while pinned.
+		if s.current.Load() == v {
+			return &StoreSnapshot{v: v}
+		}
+		v.pins.Add(-1)
+	}
+}
+
+// Release unpins the snapshot. Safe to call more than once.
+func (sn *StoreSnapshot) Release() {
+	if sn.released.CompareAndSwap(false, true) {
+		sn.v.pins.Add(-1)
+	}
+}
+
+// LSN returns the WAL LSN of the journal entry that produced the pinned
+// version (0 for genesis or an in-memory store).
+func (sn *StoreSnapshot) LSN() int64 { return sn.v.lsn }
+
+// Get returns the named document as of the snapshot.
+//
+// seclint:exempt document storage below the access-control gate; accessctl.Engine computes authorized views above it
+func (sn *StoreSnapshot) Get(name string) (*Document, bool) {
+	d, ok := sn.v.docs[name]
+	return d, ok
+}
+
+// Len returns the number of documents as of the snapshot.
+func (sn *StoreSnapshot) Len() int { return len(sn.v.docs) }
+
+// Generation returns the store-wide mutation counter as of the snapshot.
+func (sn *StoreSnapshot) Generation() uint64 { return sn.v.gen }
+
+// DocGeneration returns the named document's generation as of the
+// snapshot.
+func (sn *StoreSnapshot) DocGeneration(name string) uint64 {
+	return sn.v.docGens[name]
+}
+
+// Names returns the document names in sorted order as of the snapshot.
+func (sn *StoreSnapshot) Names() []string { return sn.v.names() }
+
+// SetContains reports whether the named set contains the document as of
+// the snapshot.
+func (sn *StoreSnapshot) SetContains(set, doc string) bool {
+	return sn.v.sets[set][doc]
+}
+
+// SetsOf returns the names of the sets containing the document as of the
+// snapshot, sorted; nil for documents in no set.
+func (sn *StoreSnapshot) SetsOf(doc string) []string {
+	return sn.v.setsOf(doc)
+}
+
+// SetMembers returns the sorted document names of a set as of the
+// snapshot.
+func (sn *StoreSnapshot) SetMembers(set string) []string {
+	return sn.v.setMembers(set)
 }
