@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint build test race bench benchsmoke fmt fmtcheck crashmatrix crashshort failovershort
+.PHONY: check vet lint build test race bench benchsmoke fmt fmtcheck crashmatrix crashshort failovershort fuzzshort
 
 # check is the full verification gate: formatting, vet, the seclint
 # static-analysis suite (guardedby/verdictcheck/ctxio/gatecheck — the
@@ -10,7 +10,7 @@ GO ?= go
 # one-iteration bench smoke so a broken benchmark cannot sit unnoticed
 # until measurement time, and the bounded crash matrix (crashshort) so a
 # durability regression cannot land between full crashmatrix runs.
-check: fmtcheck vet lint build race bench crashshort failovershort
+check: fmtcheck vet lint build race bench crashshort failovershort fuzzshort
 
 vet:
 	$(GO) vet ./...
@@ -68,6 +68,14 @@ crashmatrix:
 crashshort:
 	$(GO) test -race -short -run 'Crash' ./internal/wal/ ./internal/reldb/ \
 		./internal/audit/ ./internal/policy/ ./internal/resilience/...
+
+# fuzzshort gives every fuzz target a short budget on each check run: the
+# decoders that parse attacker-controlled bytes (WAL records, auth
+# tokens) must never panic, whatever the input. The corpus accumulated
+# under testdata/ replays first, so past crashers stay fixed.
+fuzzshort:
+	$(GO) test -run '^$$' -fuzz FuzzTokenDecode -fuzztime 5s ./internal/authtoken/
+	$(GO) test -run '^$$' -fuzz FuzzWALDecode -fuzztime 5s ./internal/wal/
 
 # failovershort is the replication gate wired into check: a 3-node
 # cluster elects, replicates, survives kill-the-leader at sampled byte

@@ -45,12 +45,13 @@ var experiments = []struct {
 	{"E19", "WAL group commit: durable commit throughput vs committer count", runE19},
 	{"E20", "WAL-shipped replication: commit latency, catch-up lag, failover time vs follower count", runE20},
 	{"E21", "MVCC snapshot reads vs locked reads under committing writers; fuzzy-checkpoint stall", runE21},
+	{"E22", "stateless token fast path: wallet evaluation vs single-verification tokens over HTTP", runE22},
 }
 
 func main() {
 	runFlag := flag.String("run", "", "experiment id to run (default: all)")
 	quick := flag.Bool("quick", false, "use smaller workloads")
-	snapshotFlag := flag.String("snapshot", "", "write the before/after JSON record (-run selects E17, E19, E20 or E21; default E17) to this file and exit")
+	snapshotFlag := flag.String("snapshot", "", "write the before/after JSON record (-run selects E17, E19, E20, E21 or E22; default E17) to this file and exit")
 	flag.Parse()
 
 	if *snapshotFlag != "" {
@@ -64,6 +65,8 @@ func main() {
 			err = writeSnapshotE20(*snapshotFlag, *quick)
 		case "E21":
 			err = writeSnapshotE21(*snapshotFlag, *quick)
+		case "E22":
+			err = writeSnapshotE22(*snapshotFlag, *quick)
 		default:
 			err = fmt.Errorf("no snapshot writer for experiment %q", *runFlag)
 		}

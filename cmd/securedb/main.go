@@ -29,9 +29,12 @@ import (
 	"time"
 
 	"webdbsec/internal/audit"
+	"webdbsec/internal/authtoken"
 	"webdbsec/internal/core"
+	"webdbsec/internal/credential"
 	"webdbsec/internal/debugz"
 	"webdbsec/internal/inference"
+	"webdbsec/internal/keymgmt"
 	"webdbsec/internal/policy"
 	"webdbsec/internal/privacy"
 	"webdbsec/internal/reldb"
@@ -53,6 +56,7 @@ func main() {
 	replicaAddr := flag.String("replica", "", "replication listen address (host:port) for cluster mode")
 	peersSpec := flag.String("peers", "", "comma-separated id=host:port list of every OTHER cluster member")
 	clusterSecret := flag.String("clustersecret", "securedb-demo", "shared secret deriving the demo cluster node identities")
+	tokenTTL := flag.Duration("tokenttl", 2*time.Minute, "auth-token lifetime for the POST /token fast path (0 disables token auth)")
 	flag.Parse()
 
 	if *nodeID != "" || *replicaAddr != "" || *peersSpec != "" {
@@ -65,6 +69,7 @@ func main() {
 			httpAddr:    *addr,
 			people:      *people,
 			debug:       *debug,
+			tokenTTL:    *tokenTTL,
 		})
 		return
 	}
@@ -118,10 +123,25 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Token fast path: POST /token runs the full evaluation once and hands
+	// back a stateless Ed25519 token; the serving endpoints then verify it
+	// with one signature check instead of re-qualifying every request.
+	var authSvc *authtoken.Service
+	if *tokenTTL > 0 {
+		var err error
+		authSvc, err = newAuthService(*tokenTTL, func() *core.SecureWebDB { return w })
+		if err != nil {
+			log.Fatalf("securedb: token auth: %v", err)
+		}
+	}
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", handler(w, true))
-	mux.HandleFunc("/exec", handler(w, false))
-	mux.HandleFunc("/agg", aggHandler(w))
+	mux.HandleFunc("/query", handler(w, authSvc, true))
+	mux.HandleFunc("/exec", handler(w, authSvc, false))
+	mux.HandleFunc("/agg", aggHandler(w, authSvc))
+	if authSvc != nil {
+		mux.HandleFunc("/token", authSvc.MintHandler())
+	}
 	mux.HandleFunc("/explain", func(rw http.ResponseWriter, r *http.Request) {
 		plan, err := w.DB().DB().Explain(r.FormValue("sql"))
 		if err != nil {
@@ -138,6 +158,9 @@ func main() {
 	if *debug {
 		debugz.Mount(mux)
 		debugz.Publish("securedb.parse_cache", func() any { return w.DB().ParseCacheStats() })
+		if authSvc != nil {
+			debugz.Publish("securedb.authtoken", func() any { return authSvc.Gate.Stats() })
+		}
 		if dbWAL != nil {
 			debugz.Publish("securedb.wal.db", func() any { return dbWAL.Stats() })
 			debugz.Publish("securedb.wal.audit", func() any { return auditWAL.Stats() })
@@ -209,15 +232,70 @@ func main() {
 	}
 }
 
-func handler(w *core.SecureWebDB, isQuery bool) http.HandlerFunc {
+// grantMintGate is the MintGate behind every securedb mint: the System R
+// grant catalog of the currently-serving pipeline. A subject may hold a
+// token only if it owns the demo table or holds a live Select grant on it
+// — the same catalog every query consults, so the token attests a real
+// policy decision, not a side channel around one. current is indirect so
+// the cluster's gate follows promotions and demotions.
+type grantMintGate struct {
+	current func() *core.SecureWebDB
+}
+
+func (g grantMintGate) AllowMint(s *policy.Subject) bool {
+	w := g.current()
+	if w == nil {
+		return false
+	}
+	return w.DB().Grants().HasPrivilege(s.ID, sysr.Select, "patients")
+}
+
+// newAuthService builds the full (mint-capable) token service a leader or
+// single node runs: verifier and minter over a fresh keyring, gated on
+// the live grant catalog. The keyring is returned to the caller through
+// the service's Gate for cluster key export.
+func newAuthService(ttl time.Duration, current func() *core.SecureWebDB) (*authtoken.Service, error) {
+	ring, err := keymgmt.NewMintKeyring(2)
+	if err != nil {
+		return nil, err
+	}
+	return newAuthServiceWithRing(ring, ttl, current)
+}
+
+func newAuthServiceWithRing(ring *keymgmt.MintKeyring, ttl time.Duration, current func() *core.SecureWebDB) (*authtoken.Service, error) {
+	minter, err := authtoken.NewMinter(ring, credential.NewVerifier(), grantMintGate{current: current}, ttl)
+	if err != nil {
+		return nil, err
+	}
+	return &authtoken.Service{Gate: &authtoken.Gate{
+		Verifier: authtoken.NewVerifier(ring, ttl, 0, 0),
+		Minter:   minter,
+	}}, nil
+}
+
+// authSubject resolves the request's serving subject: through the token
+// gate when the surface has one (fast path, wallet fallback, or legacy
+// passthrough), straight from the form fields when token auth is off.
+func authSubject(rw http.ResponseWriter, r *http.Request, auth *authtoken.Service) (*policy.Subject, bool) {
+	if auth != nil {
+		return auth.Authorize(rw, r)
+	}
+	subject := &policy.Subject{ID: r.FormValue("subject")}
+	if roles := r.FormValue("roles"); roles != "" {
+		subject.Roles = strings.Split(roles, ",")
+	}
+	return subject, true
+}
+
+func handler(w *core.SecureWebDB, auth *authtoken.Service, isQuery bool) http.HandlerFunc {
 	return func(rw http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(rw, "POST only", http.StatusMethodNotAllowed)
 			return
 		}
-		subject := &policy.Subject{ID: r.FormValue("subject")}
-		if roles := r.FormValue("roles"); roles != "" {
-			subject.Roles = strings.Split(roles, ",")
+		subject, ok := authSubject(rw, r, auth)
+		if !ok {
+			return
 		}
 		sql := r.FormValue("sql")
 		if subject.ID == "" || sql == "" {
@@ -257,15 +335,15 @@ func handler(w *core.SecureWebDB, isQuery bool) http.HandlerFunc {
 
 // aggHandler serves statistical queries through the secure aggregate
 // path: the subject only ever aggregates over its visible rows.
-func aggHandler(w *core.SecureWebDB) http.HandlerFunc {
+func aggHandler(w *core.SecureWebDB, auth *authtoken.Service) http.HandlerFunc {
 	return func(rw http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(rw, "POST only", http.StatusMethodNotAllowed)
 			return
 		}
-		subject := &policy.Subject{ID: r.FormValue("subject")}
-		if roles := r.FormValue("roles"); roles != "" {
-			subject.Roles = strings.Split(roles, ",")
+		subject, ok := authSubject(rw, r, auth)
+		if !ok {
+			return
 		}
 		res, err := w.DB().ExecAggregateSecure(subject, r.FormValue("sql"))
 		if err != nil {

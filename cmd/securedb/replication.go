@@ -25,8 +25,10 @@ import (
 	"time"
 
 	"webdbsec/internal/audit"
+	"webdbsec/internal/authtoken"
 	"webdbsec/internal/core"
 	"webdbsec/internal/debugz"
+	"webdbsec/internal/keymgmt"
 	"webdbsec/internal/reldb"
 	"webdbsec/internal/replication"
 	"webdbsec/internal/wal"
@@ -42,6 +44,7 @@ type clusterOpts struct {
 	httpAddr    string
 	people      int
 	debug       bool
+	tokenTTL    time.Duration
 }
 
 // parsePeers decodes "id=host:port,id=host:port" into the peer map.
@@ -126,7 +129,29 @@ func runCluster(o clusterOpts) {
 	r.follower.Store(follower)
 	r.rebuildFollowerServing()
 
-	node, err := replication.NewNode(replication.Config{
+	// Token auth, cluster form: each node carries its own mint keyring (it
+	// only signs while leading) plus a PublicKeySet fed by the replication
+	// stream, so a token minted by any leadership verifies on any replica.
+	// The leader's gate mints and rolls successors; a follower's gate runs
+	// verify-only (negative replay capacity: it cannot sign successors, so
+	// it must not consume nonces either).
+	if o.tokenTTL > 0 {
+		ring, err := keymgmt.NewMintKeyring(2)
+		if err != nil {
+			log.Fatalf("securedb: token auth: %v", err)
+		}
+		r.ring = ring
+		r.keyset = keymgmt.NewPublicKeySet()
+		r.leaderAuth, err = newAuthServiceWithRing(ring, o.tokenTTL, r.current)
+		if err != nil {
+			log.Fatalf("securedb: token auth: %v", err)
+		}
+		r.followerAuth = &authtoken.Service{Gate: &authtoken.Gate{
+			Verifier: authtoken.NewVerifier(r.keyset, o.tokenTTL, 0, -1),
+		}}
+	}
+
+	cfg := replication.Config{
 		NodeID:     o.nodeID,
 		Addr:       o.replicaAddr,
 		Peers:      peers,
@@ -139,7 +164,12 @@ func runCluster(o clusterOpts) {
 		OnLeader:   r.onLeader,
 		OnDemote:   r.onDemote,
 		Logf:       log.Printf,
-	})
+	}
+	if r.ring != nil {
+		cfg.ExportAuthKeys = r.ring.ExportPublic
+		cfg.InstallAuthKeys = r.keyset.Install
+	}
+	node, err := replication.NewNode(cfg)
 	if err != nil {
 		log.Fatalf("securedb: replication: %v", err)
 	}
@@ -158,6 +188,20 @@ func runCluster(o clusterOpts) {
 			fmt.Fprintf(rw, "%4d %-10s %-8s %-60s %s\n", rec.Seq, rec.Actor, rec.Action, rec.Object, rec.Outcome)
 		}
 	})
+	mux.HandleFunc("/token", func(rw http.ResponseWriter, req *http.Request) {
+		// Minting is leader-only: the mint keyring's private half never
+		// leaves the node that signs with it, and followers hold only the
+		// replicated public set.
+		if r.leaderAuth == nil {
+			http.Error(rw, "token auth disabled (-tokenttl 0)", http.StatusNotFound)
+			return
+		}
+		if node.Role() != replication.LeaderRole || !r.leading.Load() {
+			r.notLeader(rw)
+			return
+		}
+		r.leaderAuth.MintHandler()(rw, req)
+	})
 	mux.HandleFunc("/cluster", func(rw http.ResponseWriter, req *http.Request) {
 		s := node.Snapshot()
 		fmt.Fprintf(rw, "node %s role=%s epoch=%d leader=%s commit=%d durable=%d applied=%d\n",
@@ -169,6 +213,15 @@ func runCluster(o clusterOpts) {
 	if o.debug {
 		debugz.Mount(mux)
 		debugz.Publish("securedb.replication", func() any { return node.Snapshot() })
+		if r.leaderAuth != nil {
+			debugz.Publish("securedb.authtoken", func() any {
+				return map[string]any{
+					"leading": r.leading.Load(),
+					"leader":  r.leaderAuth.Gate.Stats(),
+					"replica": r.followerAuth.Gate.Stats(),
+				}
+			})
+		}
 		debugz.Publish("securedb.wal.db", func() any { return dbWAL.Stats() })
 		debugz.Publish("securedb.wal.audit", func() any { return auditWAL.Stats() })
 		log.Print("securedb: debug endpoints enabled at /debug/pprof and /debug/vars")
@@ -217,9 +270,29 @@ type replicaSet struct {
 	people   int
 	auditLog *audit.Log
 
+	// Token-auth state (nil when -tokenttl 0): ring signs while leading,
+	// keyset verifies what the replication stream shipped, and the two
+	// pre-built gates are selected per request by role.
+	ring         *keymgmt.MintKeyring
+	keyset       *keymgmt.PublicKeySet
+	leaderAuth   *authtoken.Service
+	followerAuth *authtoken.Service
+
 	follower atomic.Pointer[reldb.Follower]
 	serving  atomic.Pointer[core.SecureWebDB]
 	leading  atomic.Bool
+}
+
+// activeAuth picks the gate for the node's current role: mint-capable
+// while leading, verify-only otherwise. Nil when token auth is off.
+func (r *replicaSet) activeAuth() *authtoken.Service {
+	if r.leaderAuth == nil {
+		return nil
+	}
+	if r.leading.Load() {
+		return r.leaderAuth
+	}
+	return r.followerAuth
 }
 
 // rebuildFollowerServing points the pipeline at the follower's replayed
@@ -265,6 +338,16 @@ func (r *replicaSet) onLeader() {
 		return
 	}
 	r.serving.Store(w)
+	// Seed the local public key set with this node's own export before
+	// taking traffic: tokens this leadership mints must verify here even
+	// after a later demotion, and the replication stream only ships keys
+	// peer-to-peer, never self-to-self.
+	if r.ring != nil {
+		data, _ := r.ring.ExportPublic()
+		if err := r.keyset.Install(data); err != nil {
+			log.Printf("securedb: install own mint keys: %v", err)
+		}
+	}
 	r.leading.Store(true)
 	log.Printf("securedb: %s promoted to leader", r.nodeID)
 }
@@ -314,7 +397,7 @@ func (r *replicaSet) queryHandler() http.HandlerFunc {
 			http.Error(rw, "replica warming up", http.StatusServiceUnavailable)
 			return
 		}
-		handler(w, true)(rw, req)
+		handler(w, r.activeAuth(), true)(rw, req)
 	}
 }
 
@@ -325,7 +408,7 @@ func (r *replicaSet) aggHandler() http.HandlerFunc {
 			http.Error(rw, "replica warming up", http.StatusServiceUnavailable)
 			return
 		}
-		aggHandler(w)(rw, req)
+		aggHandler(w, r.activeAuth())(rw, req)
 	}
 }
 
@@ -344,7 +427,7 @@ func (r *replicaSet) execHandler() http.HandlerFunc {
 			return
 		}
 		rec := httpRecorder{header: make(http.Header)}
-		handler(w, false)(&rec, req)
+		handler(w, r.leaderAuth, false)(&rec, req)
 		if rec.status == 0 {
 			rec.status = http.StatusOK
 		}

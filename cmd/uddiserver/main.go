@@ -13,6 +13,8 @@ package main
 
 import (
 	"context"
+	"crypto/ed25519"
+	"encoding/hex"
 	"errors"
 	"flag"
 	"fmt"
@@ -21,24 +23,81 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"webdbsec/internal/authtoken"
+	"webdbsec/internal/credential"
 	"webdbsec/internal/debugz"
+	"webdbsec/internal/keymgmt"
 	"webdbsec/internal/policy"
 	"webdbsec/internal/synth"
 	"webdbsec/internal/uddi"
 	"webdbsec/internal/wsa"
 )
 
+// registryMintGate is the registry's mint policy: only an identified
+// sender whose wallet carried at least one verified credential from a
+// trusted authority (-trustca) may hold a token. The wallet itself was
+// fully evaluated by the minter before this decision runs.
+type registryMintGate struct{}
+
+func (registryMintGate) AllowMint(s *policy.Subject) bool {
+	return s.ID != "" && s.Wallet != nil && len(s.Wallet.Credentials) > 0
+}
+
+// newRegistryAuth builds the token service for the envelope surface:
+// wallets verify against the -trustca authorities, tokens verify against
+// a fresh local keyring.
+func newRegistryAuth(ttl time.Duration, trustCAs string) (*authtoken.Service, error) {
+	ring, err := keymgmt.NewMintKeyring(2)
+	if err != nil {
+		return nil, err
+	}
+	cv := credential.NewVerifier()
+	for _, spec := range strings.Split(trustCAs, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		name, hexKey, ok := strings.Cut(spec, "=")
+		if !ok {
+			return nil, fmt.Errorf("-trustca %q: want name=hexpubkey", spec)
+		}
+		raw, err := hex.DecodeString(hexKey)
+		if err != nil || len(raw) != ed25519.PublicKeySize {
+			return nil, fmt.Errorf("-trustca %q: bad ed25519 public key", spec)
+		}
+		cv.Trust(name, ed25519.PublicKey(raw))
+	}
+	minter, err := authtoken.NewMinter(ring, cv, registryMintGate{}, ttl)
+	if err != nil {
+		return nil, err
+	}
+	return &authtoken.Service{Gate: &authtoken.Gate{
+		Verifier: authtoken.NewVerifier(ring, ttl, 0, 0),
+		Minter:   minter,
+	}}, nil
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	mode := flag.String("mode", "two-party", "deployment: two-party | trusted | untrusted")
 	demo := flag.Int("demo", 25, "number of synthetic demo entries (0 = none)")
 	debug := flag.Bool("debug", false, "expose /debug/pprof and /debug/vars (off by default)")
+	tokenTTL := flag.Duration("tokenttl", 2*time.Minute, "auth-token lifetime for the POST /token fast path (0 disables token auth)")
+	trustCAs := flag.String("trustca", "", "comma-separated name=hexpubkey credential authorities trusted for wallet qualification")
 	flag.Parse()
 
 	srv := &wsa.RegistryServer{Registry: uddi.NewRegistry(nil)}
+	if *tokenTTL > 0 {
+		auth, err := newRegistryAuth(*tokenTTL, *trustCAs)
+		if err != nil {
+			log.Fatalf("uddiserver: token auth: %v", err)
+		}
+		srv.Auth = auth
+	}
 	var cachedAgency *uddi.UntrustedAgency
 
 	switch *mode {
@@ -94,6 +153,9 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.Handle("/", srv)
+	if srv.Auth != nil {
+		mux.HandleFunc("/token", srv.Auth.MintHandler())
+	}
 	mux.HandleFunc("/describe", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/xml")
 		io.WriteString(w, srv.Describe("http://"+r.Host+"/").ToXML().Canonical())
@@ -102,6 +164,9 @@ func main() {
 		debugz.Mount(mux)
 		if cachedAgency != nil {
 			debugz.Publish("uddiserver.decision_cache", func() any { return cachedAgency.CacheStats() })
+		}
+		if srv.Auth != nil {
+			debugz.Publish("uddiserver.authtoken", func() any { return srv.Auth.Gate.Stats() })
 		}
 		log.Printf("uddiserver: debug endpoints enabled at /debug/pprof and /debug/vars")
 	}

@@ -14,6 +14,18 @@
 // turning an architectural decision ("enforcement lives one layer up")
 // into a visible, grep-able annotation instead of silent convention.
 //
+// The stateless-token fast path extends the rule in both directions.
+// Inside authtoken (a target package), every Mint entry point must reach
+// a policy decision — the seclint:gate MintGate interface or a gate
+// package — because a token is a portable attestation that the full
+// evaluation ran; an ungated mint would forge that attestation. In the
+// *other* target packages, a call into authtoken's Verify/Authenticate/
+// Authorize surface counts as a gate: verification is only as strong as
+// the mint behind it, and the mint side is exactly what this analyzer
+// pins down. Within authtoken itself verification never counts — the
+// package that signs tokens cannot bootstrap its own gate off checking
+// them.
+//
 // The check is an existence check over the package-local call graph, not
 // a per-path proof: it catches the decay mode where a new entry point
 // ships with no gate at all, which is exactly how enforcement that
@@ -38,9 +50,10 @@ var Analyzer = &analysis.Analyzer{
 // targetPkgs are the data-path packages, matched by last path element so
 // testdata packages are covered.
 var targetPkgs = map[string]bool{
-	"reldb":  true,
-	"xmldoc": true,
-	"xquery": true,
+	"reldb":     true,
+	"xmldoc":    true,
+	"xquery":    true,
+	"authtoken": true,
 }
 
 // gatePkgs are packages a call into which counts as reaching the
@@ -56,8 +69,19 @@ var gatePkgs = map[string]bool{
 var entryVerbs = []string{
 	"Get", "Query", "Select", "Insert", "Update", "Delete", "Put",
 	"Exec", "Read", "Write", "Load", "Fetch", "Scan", "Eval",
-	"Save", "Add", "Remove", "Find", "Append",
+	"Save", "Add", "Remove", "Find", "Append", "Mint",
 }
+
+// tokenVerifyPkg is the stateless-token package: calls into its
+// verification surface count as gates in the other target packages (the
+// mint side is policy-gated by this same analyzer), never within
+// authtoken itself.
+const tokenVerifyPkg = "webdbsec/internal/authtoken"
+
+// tokenVerifyVerbs are the name prefixes of authtoken's verification
+// surface. Mint-side names are deliberately absent: calling Mint is
+// requesting an attestation, not checking one.
+var tokenVerifyVerbs = []string{"Verify", "Authenticate", "Authorize"}
 
 func run(pass *analysis.Pass) error {
 	if !targetPkgs[lastElem(pass.Pkg.Path())] {
@@ -65,6 +89,7 @@ func run(pass *analysis.Pass) error {
 	}
 	funcs := analysis.LocalFuncs(pass)
 	gateMethods := collectGateInterfaces(pass)
+	inAuthtoken := lastElem(pass.Pkg.Path()) == "authtoken"
 
 	// Seed: functions containing a direct gate call.
 	seed := make(map[*types.Func]string)
@@ -81,7 +106,7 @@ func run(pass *analysis.Pass) error {
 			if callee == nil {
 				return true
 			}
-			if isGateCall(callee, gateMethods) {
+			if isGateCall(callee, gateMethods, inAuthtoken) {
 				seed[obj] = callee.FullName()
 			}
 			return true
@@ -147,11 +172,24 @@ func collectGateInterfaces(pass *analysis.Pass) map[*types.Func]bool {
 	return methods
 }
 
-func isGateCall(callee *types.Func, gateMethods map[*types.Func]bool) bool {
+func isGateCall(callee *types.Func, gateMethods map[*types.Func]bool, inAuthtoken bool) bool {
 	if gateMethods[callee] {
 		return true
 	}
-	return callee.Pkg() != nil && gatePkgs[callee.Pkg().Path()]
+	if callee.Pkg() == nil {
+		return false
+	}
+	if gatePkgs[callee.Pkg().Path()] {
+		return true
+	}
+	if !inAuthtoken && callee.Pkg().Path() == tokenVerifyPkg {
+		for _, verb := range tokenVerifyVerbs {
+			if strings.HasPrefix(callee.Name(), verb) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // isEntryPoint reports whether fn is an exported read/write entry point:

@@ -13,3 +13,10 @@ import (
 func TestGateCheck(t *testing.T) {
 	analysistest.Run(t, Analyzer, filepath.Join("..", "testdata", "src", "reldb"))
 }
+
+// TestGateCheckMintSide runs over a testdata package named authtoken:
+// Mint entry points need a real policy decision, and verification calls
+// do not count as gates inside the token package itself.
+func TestGateCheckMintSide(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("..", "testdata", "src", "authtoken"))
+}

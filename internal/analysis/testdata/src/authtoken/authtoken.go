@@ -1,0 +1,59 @@
+// Testdata for gatecheck's token rule, mint side. The directory is named
+// authtoken so the analyzer treats it as the token package itself: Mint
+// entry points must reach a policy decision, and — unlike everywhere
+// else — calls into the real verification surface do NOT count as gates
+// (the package that signs tokens cannot bootstrap its own gate off
+// checking them).
+package authtoken
+
+import (
+	"time"
+
+	"webdbsec/internal/authtoken"
+	"webdbsec/internal/policy"
+)
+
+// MintGate mirrors the production annotation: calls through it are the
+// policy decision a mint must be behind.
+//
+// seclint:gate AllowMint IS the mint policy decision
+type MintGate interface {
+	AllowMint(s *policy.Subject) bool
+}
+
+// Issuer is a toy token issuer.
+type Issuer struct {
+	gate MintGate
+	v    *authtoken.Verifier
+}
+
+// MintBadge runs the gate before signing: the correct shape.
+func (i *Issuer) MintBadge(s *policy.Subject) []byte {
+	if !i.gate.AllowMint(s) {
+		return nil
+	}
+	return []byte(s.ID)
+}
+
+// MintViaHelper reaches the gate two frames down; same-package helpers count.
+func (i *Issuer) MintViaHelper(s *policy.Subject) []byte {
+	if !i.allowed(s) {
+		return nil
+	}
+	return []byte(s.ID)
+}
+
+func (i *Issuer) allowed(s *policy.Subject) bool { return i.gate.AllowMint(s) }
+
+// MintRaw signs with no policy decision on any path: the forged
+// attestation gatecheck exists to catch.
+func (i *Issuer) MintRaw(s *policy.Subject) []byte { // want `exported entry point MintRaw reaches no accessctl/policy/sysr check on any path`
+	return []byte(s.ID)
+}
+
+// GetSession verifies a token — but inside the token package itself that
+// is not a gate, so this entry point is still flagged.
+func (i *Issuer) GetSession(raw []byte) bool { // want `exported entry point GetSession reaches no accessctl/policy/sysr check on any path`
+	_, err := i.v.Verify(raw, time.Unix(0, 0))
+	return err == nil
+}

@@ -1,0 +1,152 @@
+package authtoken
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"webdbsec/internal/policy"
+)
+
+// Gate is the request-time authentication gate the serving stack puts in
+// front of its handlers: consult the token verifier first, fall back to
+// the full wallet path. The fast path costs one Ed25519 verification
+// plus a nonce consume; the slow path is a complete mint — full wallet
+// verification and the MintGate policy decision — whose product is a
+// token, so a wallet-authenticated response upgrades the client to the
+// fast path for free.
+type Gate struct {
+	Verifier *Verifier
+	// Minter is nil on a read replica: the gate then verifies tokens but
+	// cannot roll successors or evaluate wallets — see Authenticate.
+	Minter *Minter
+
+	fast      atomic.Uint64
+	slow      atomic.Uint64
+	legacy    atomic.Uint64
+	rejected  atomic.Uint64
+	fallbacks atomic.Uint64
+}
+
+// Auth paths, as reported in AuthResult.Path and counted in GateStats.
+const (
+	// PathToken: authenticated by token verification alone.
+	PathToken = "token"
+	// PathWallet: authenticated by the full wallet evaluation (and
+	// upgraded — the result carries a fresh token).
+	PathWallet = "wallet"
+	// PathLegacy: no auth material presented; the caller decides whether
+	// its deployment still serves such requests.
+	PathLegacy = "legacy"
+)
+
+// AuthResult is a successful authentication.
+type AuthResult struct {
+	// Path says which path authenticated the request.
+	Path string
+	// Token is the credential the client should present next: the
+	// successor of a consumed token, or the freshly minted product of a
+	// wallet evaluation. Nil on the legacy path.
+	Token *Token
+	// ExpiresAt is when Token ages out (clients refresh against it).
+	ExpiresAt time.Time
+}
+
+// Authenticate authenticates subject s presenting rawToken (nil when the
+// client holds none) at instant now.
+//
+//   - A valid token bound to s's serving fingerprint authenticates the
+//     request and is consumed; the result carries its successor.
+//   - A failed or absent token falls back to the full wallet path when s
+//     carries a wallet: a complete Mint evaluation, whose token rides
+//     back on the result.
+//   - Neither token nor wallet is the legacy path: Authenticate reports
+//     it rather than refusing, because whether unauthenticated requests
+//     are still served is deployment policy, not this gate's call.
+//
+// A non-nil error means the request presented auth material and all of
+// it failed — the caller should refuse the request.
+func (g *Gate) Authenticate(s *policy.Subject, rawToken []byte, now time.Time) (*AuthResult, error) {
+	if len(rawToken) > 0 {
+		t, err := g.Verifier.VerifyBound(rawToken, s, now)
+		if err == nil {
+			if g.Minter == nil {
+				// Read replica: the token authenticates, but no successor
+				// can be signed here — the client keeps presenting the
+				// same token (the replica's verifier runs in read-replica
+				// mode, which does not consume nonces).
+				g.fast.Add(1)
+				return &AuthResult{Path: PathToken, ExpiresAt: time.Unix(t.IssuedAt, 0).Add(g.Verifier.TTL())}, nil
+			}
+			succ, mintErr := g.Minter.mintBound(t.Subject, now)
+			if mintErr != nil {
+				g.rejected.Add(1)
+				return nil, fmt.Errorf("authtoken: roll successor: %w", mintErr)
+			}
+			g.fast.Add(1)
+			return &AuthResult{Path: PathToken, Token: succ, ExpiresAt: now.Add(g.Minter.TTL())}, nil
+		}
+		if s.Wallet == nil || g.Minter == nil {
+			g.rejected.Add(1)
+			return nil, err
+		}
+		// Token dead (expired, rotated away, replay after a lost
+		// response) but the client also presented its wallet: re-qualify
+		// from scratch.
+		g.fallbacks.Add(1)
+	}
+	if s.Wallet != nil {
+		if g.Minter == nil {
+			g.rejected.Add(1)
+			return nil, ErrMintUnavailable
+		}
+		t, err := g.Minter.Mint(s, now)
+		if err != nil {
+			g.rejected.Add(1)
+			return nil, err
+		}
+		g.slow.Add(1)
+		return &AuthResult{Path: PathWallet, Token: t, ExpiresAt: now.Add(g.Minter.TTL())}, nil
+	}
+	g.legacy.Add(1)
+	return &AuthResult{Path: PathLegacy}, nil
+}
+
+// GateStats aggregates the gate's path counters with the verifier's and
+// minter's — the one struct debugz publishes per serving surface.
+type GateStats struct {
+	// FastPath counts token-authenticated requests, SlowPath full wallet
+	// evaluations, Legacy requests with no auth material, Rejected
+	// refusals, TokenFallbacks requests whose token failed but whose
+	// wallet then re-qualified them.
+	FastPath       uint64
+	SlowPath       uint64
+	Legacy         uint64
+	Rejected       uint64
+	TokenFallbacks uint64
+	// FastPathHitRate is FastPath over all authenticated traffic
+	// (fast+slow), the headline number for the fast path's reach.
+	FastPathHitRate float64
+	Verifier        VerifierStats
+	Mint            MintStats
+}
+
+// Stats snapshots the gate and its components.
+func (g *Gate) Stats() GateStats {
+	fast, slow := g.fast.Load(), g.slow.Load()
+	st := GateStats{
+		FastPath:       fast,
+		SlowPath:       slow,
+		Legacy:         g.legacy.Load(),
+		Rejected:       g.rejected.Load(),
+		TokenFallbacks: g.fallbacks.Load(),
+		Verifier:       g.Verifier.Stats(),
+	}
+	if g.Minter != nil {
+		st.Mint = g.Minter.Stats()
+	}
+	if fast+slow > 0 {
+		st.FastPathHitRate = float64(fast) / float64(fast+slow)
+	}
+	return st
+}

@@ -1,0 +1,110 @@
+package authtoken
+
+import (
+	"sync"
+)
+
+// replayShards fixes the shard count; like the decision cache, sixteen
+// is plenty to keep verification's one map touch off a global lock at
+// request concurrency.
+const replayShards = 16
+
+// replayCache is the sharded bounded nonce set behind single-use tokens.
+// Consuming a nonce is one mutex + map insert on 1/16th of the space;
+// entries die with their token (issued-at + TTL + skew, after which the
+// stateless timestamp check rejects the token anyway, so remembering the
+// nonce buys nothing). Each shard is bounded: when full it evicts its
+// oldest live entry FIFO — that briefly re-opens the replay window for
+// the evicted token, so evictions are counted and surfaced in Stats
+// rather than hidden (size the cache to the token population, not the
+// other way around).
+type replayCache struct {
+	shards [replayShards]replayShard
+}
+
+type replayShard struct {
+	mu       sync.Mutex
+	capacity int              // seclint:guardedby mu
+	seen     map[uint64]int64 // seclint:guardedby mu
+	order    []replayEntry    // seclint:guardedby mu
+	evicted  uint64           // seclint:guardedby mu
+}
+
+type replayEntry struct {
+	nonce   uint64
+	expires int64
+}
+
+// newReplayCache bounds the cache to roughly capacity nonces overall.
+func newReplayCache(capacity int) *replayCache {
+	if capacity < replayShards {
+		capacity = replayShards
+	}
+	per := (capacity + replayShards - 1) / replayShards
+	c := &replayCache{}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.capacity = per
+		s.seen = make(map[uint64]int64, per)
+		s.mu.Unlock()
+	}
+	return c
+}
+
+// shardFor mixes the (already random) nonce so even adversarially minted
+// nonce patterns spread across shards.
+func (c *replayCache) shardFor(nonce uint64) *replayShard {
+	h := nonce * 0x9e3779b97f4a7c15 // Fibonacci hashing
+	return &c.shards[h>>(64-4)]
+}
+
+// consume marks the nonce used until expires. It returns false — replay —
+// when the nonce is already live.
+func (c *replayCache) consume(nonce uint64, expires, now int64) bool {
+	s := c.shardFor(nonce)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Drop entries whose tokens can no longer verify; this also frees
+	// the capacity their nonces were holding. A nonce re-marked after
+	// expiry leaves its stale order entry behind, so dropping one must
+	// only delete the map entry it actually owns.
+	for len(s.order) > 0 && s.order[0].expires <= now {
+		s.dropHeadLocked()
+	}
+	if exp, dup := s.seen[nonce]; dup && exp > now {
+		return false
+	}
+	if len(s.order) >= s.capacity {
+		s.dropHeadLocked()
+		s.evicted++
+	}
+	s.seen[nonce] = expires
+	s.order = append(s.order, replayEntry{nonce: nonce, expires: expires})
+	return true
+}
+
+// dropHeadLocked removes the oldest order entry, deleting its map entry
+// only when it still owns it (a re-marked nonce's map entry belongs to a
+// newer order slot).
+//
+// seclint:locked caller holds s.mu
+func (s *replayShard) dropHeadLocked() {
+	e := s.order[0]
+	s.order = s.order[1:]
+	if exp, ok := s.seen[e.nonce]; ok && exp == e.expires {
+		delete(s.seen, e.nonce)
+	}
+}
+
+// stats sums entry counts and evictions across shards.
+func (c *replayCache) stats() (entries int, evictions uint64) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		entries += len(s.seen)
+		evictions += s.evicted
+		s.mu.Unlock()
+	}
+	return entries, evictions
+}

@@ -1,0 +1,131 @@
+// Package authtoken is the stateless authentication fast path: a
+// fixed-layout binary token, minted once after a full wallet/credential
+// evaluation has succeeded, that any node holding the epoch public-key
+// set can verify with a single Ed25519 check — no credential store, no
+// policy-base lookup, no per-request signature sweep over the wallet.
+//
+// The paper's subject model (§3.1) qualifies subjects by credentials, and
+// every request re-derives that qualification: each wallet signature is
+// re-verified and the policy base re-consulted. PR 2's decision cache
+// made the *decision* cheap; this package makes the *qualification*
+// cheap, following the trust-brokerage separation — mint once after the
+// full trust decision, verify cheaply everywhere — and the offline
+// verifier idiom of constrained-device credential tokens.
+//
+// Token layout (101 bytes, integers big-endian):
+//
+//	offset  size  field
+//	     0     1  version (currently 1)
+//	     1     4  key epoch — which mint key signed this token
+//	     5     8  issued-at, unix seconds
+//	    13     8  nonce — random, single-use (see below)
+//	    21    16  subject fingerprint — the PR 2 binding identity
+//	    37    64  Ed25519 signature over bytes [0,37)
+//
+// The subject fingerprint is policy.Subject.Fingerprint over the
+// *serving* identity (ID + roles, nil wallet): the identity every
+// post-auth decision — row policies, privacy constraints, decision
+// caches — actually observes, since request paths carry no wallet once
+// qualification is done. Binding it means a token cannot be replayed
+// under a different identity or role set, and cached decisions key
+// exactly as they would for the slow path.
+//
+// Tokens are single-use: every successful verification consumes the
+// nonce (sharded bounded replay cache) and the server rolls the token,
+// returning a successor — same fingerprint, fresh nonce, signed with the
+// *current* key epoch — in the response. A client therefore always holds
+// exactly one live token; a lost response degrades to a re-mint through
+// the full wallet path, and key rotation migrates clients automatically
+// as successors pick up the new epoch.
+package authtoken
+
+import (
+	"crypto/ed25519"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Version is the only token version this package mints or verifies.
+const Version = 1
+
+// Layout constants. The signature covers everything before it.
+const (
+	signedLen = 37
+	// TokenLen is the exact encoded size; Decode rejects anything else.
+	TokenLen = signedLen + ed25519.SignatureSize // 101
+)
+
+// ErrMalformed reports a token that is not structurally valid: wrong
+// length, unknown version — anything Decode cannot even parse.
+var ErrMalformed = errors.New("authtoken: malformed token")
+
+// Token is the decoded form.
+type Token struct {
+	// Epoch names the mint key that signed the token; the verifier looks
+	// it up in its epoch public-key set.
+	Epoch uint32
+	// IssuedAt is the mint instant, unix seconds. The verifier derives
+	// expiry (IssuedAt+TTL) and the future-skew bound from it.
+	IssuedAt int64
+	// Nonce is random and single-use; the replay cache consumes it.
+	Nonce uint64
+	// Subject is the raw 16-byte subject fingerprint the token is bound
+	// to (the hex-decoded policy.Subject.Fingerprint of the serving
+	// identity).
+	Subject [16]byte
+	// Sig is the issuer's Ed25519 signature over the signed prefix.
+	Sig [ed25519.SignatureSize]byte
+}
+
+// Encode renders the token in the fixed wire layout.
+func (t *Token) Encode() []byte {
+	out := make([]byte, TokenLen)
+	out[0] = Version
+	binary.BigEndian.PutUint32(out[1:5], t.Epoch)
+	binary.BigEndian.PutUint64(out[5:13], uint64(t.IssuedAt))
+	binary.BigEndian.PutUint64(out[13:21], t.Nonce)
+	copy(out[21:37], t.Subject[:])
+	copy(out[signedLen:], t.Sig[:])
+	return out
+}
+
+// EncodeString renders the token for HTTP transport (unpadded URL-safe
+// base64 — header- and form-value-clean).
+func (t *Token) EncodeString() string {
+	return base64.RawURLEncoding.EncodeToString(t.Encode())
+}
+
+// Decode parses the fixed layout. It checks structure only — length and
+// version; signature, freshness and replay are the verifier's job.
+func Decode(raw []byte) (*Token, error) {
+	if len(raw) != TokenLen {
+		return nil, fmt.Errorf("%w: %d bytes, want %d", ErrMalformed, len(raw), TokenLen)
+	}
+	if raw[0] != Version {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrMalformed, raw[0], Version)
+	}
+	t := &Token{
+		Epoch:    binary.BigEndian.Uint32(raw[1:5]),
+		IssuedAt: int64(binary.BigEndian.Uint64(raw[5:13])),
+		Nonce:    binary.BigEndian.Uint64(raw[13:21]),
+	}
+	copy(t.Subject[:], raw[21:37])
+	copy(t.Sig[:], raw[signedLen:])
+	return t, nil
+}
+
+// DecodeString parses the base64 transport form.
+func DecodeString(s string) (*Token, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	return Decode(raw)
+}
+
+// signedPrefix returns the bytes the signature covers.
+func (t *Token) signedPrefix() []byte {
+	return t.Encode()[:signedLen]
+}

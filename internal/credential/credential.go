@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Type declares a credential type: its name and the attributes instances of
@@ -178,30 +179,112 @@ func (w *Wallet) OfType(typ string) []*Credential {
 
 // Verifier resolves issuer names to public keys; wallets are checked
 // against it before expressions are evaluated.
+//
+// Valid is memoized: a wallet's fingerprint covers its subject and every
+// credential's full content *including signatures*, so two wallets with
+// the same fingerprint verify identically under the same trusted key
+// set. The key-set generation is part of the memo entry, so Trust
+// invalidates all earlier results wholesale.
 type Verifier struct {
-	keys map[string]ed25519.PublicKey
+	mu   sync.Mutex
+	keys map[string]ed25519.PublicKey // seclint:guardedby mu
+	gen  uint64                       // seclint:guardedby mu
+	memo map[[32]byte]memoEntry       // seclint:guardedby mu
+	hits uint64                       // seclint:guardedby mu
+	miss uint64                       // seclint:guardedby mu
 }
 
-// NewVerifier returns an empty verifier.
-func NewVerifier() *Verifier { return &Verifier{keys: make(map[string]ed25519.PublicKey)} }
+// memoEntry is one cached Valid result: the generation it was computed
+// under, and the verified subset. The slice is shared between the cache
+// and every caller that hits it — callers must treat it as read-only.
+type memoEntry struct {
+	gen   uint64
+	valid []*Credential
+}
 
-// Trust registers an authority's public key.
-func (v *Verifier) Trust(issuer string, key ed25519.PublicKey) { v.keys[issuer] = key }
+// memoCapacity bounds the memo map; overflow evicts an arbitrary entry.
+const memoCapacity = 1024
+
+// NewVerifier returns an empty verifier.
+func NewVerifier() *Verifier {
+	return &Verifier{keys: make(map[string]ed25519.PublicKey), memo: make(map[[32]byte]memoEntry)}
+}
+
+// Trust registers an authority's public key and invalidates every
+// memoized verification: the new key may validate credentials that
+// failed before (or, on re-keying an issuer, fail ones that passed).
+func (v *Verifier) Trust(issuer string, key ed25519.PublicKey) {
+	v.mu.Lock()
+	v.keys[issuer] = key
+	v.gen++
+	v.mu.Unlock()
+}
 
 // TrustAuthority registers the authority directly.
 func (v *Verifier) TrustAuthority(a *Authority) { v.Trust(a.Name, a.PublicKey()) }
 
 // Valid returns the subset of the wallet's credentials that verify against
-// a trusted issuer key.
+// a trusted issuer key. Results are memoized by wallet fingerprint and
+// key-set generation; the returned slice may be shared with other callers
+// of the same wallet and must not be mutated.
 func (v *Verifier) Valid(w *Wallet) []*Credential {
+	fp := w.Fingerprint()
+	gen, cached, keys, hit := v.memoLookup(fp)
+	if hit {
+		return cached
+	}
 	var out []*Credential
 	for _, c := range w.Credentials {
-		key, ok := v.keys[c.Issuer]
+		key, ok := keys[c.Issuer]
 		if ok && Verify(c, key) {
 			out = append(out, c)
 		}
 	}
+	v.memoStore(fp, gen, out)
 	return out
+}
+
+// memoLookup checks the memo under the lock. On a miss it returns a
+// snapshot of the trusted keys so the Ed25519 work runs unlocked; a
+// concurrent Trust bumps gen, and memoStore discards the stale result.
+func (v *Verifier) memoLookup(fp [32]byte) (gen uint64, cached []*Credential, keys map[string]ed25519.PublicKey, hit bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	gen = v.gen
+	if e, ok := v.memo[fp]; ok && e.gen == gen {
+		v.hits++
+		return gen, e.valid, nil, true
+	}
+	v.miss++
+	keys = make(map[string]ed25519.PublicKey, len(v.keys))
+	for i, k := range v.keys {
+		keys[i] = k
+	}
+	return gen, nil, keys, false
+}
+
+// memoStore installs a verification result unless the key set changed
+// while it was being computed.
+func (v *Verifier) memoStore(fp [32]byte, gen uint64, out []*Credential) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.gen != gen {
+		return
+	}
+	if len(v.memo) >= memoCapacity {
+		for k := range v.memo {
+			delete(v.memo, k)
+			break
+		}
+	}
+	v.memo[fp] = memoEntry{gen: gen, valid: out}
+}
+
+// MemoStats reports memoized-verification hits and misses.
+func (v *Verifier) MemoStats() (hits, misses uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.hits, v.miss
 }
 
 // Expr is a compiled credential expression. The grammar:

@@ -1,6 +1,8 @@
 package credential
 
 import (
+	"strconv"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -220,4 +222,94 @@ func TestQuickExprNotInvolution(t *testing.T) {
 			t.Errorf("!! not identity for %q", e)
 		}
 	}
+}
+
+func TestValidMemoization(t *testing.T) {
+	auth, _ := NewAuthority("hospital")
+	rogue, _ := NewAuthority("rogue")
+	v := NewVerifier()
+	v.TrustAuthority(auth)
+
+	w := NewWallet("ana")
+	w.Add(auth.Issue("clinician", "ana", nil))
+	w.Add(rogue.Issue("admin", "ana", nil))
+
+	first := v.Valid(w)
+	if len(first) != 1 || first[0].Type != "clinician" {
+		t.Fatalf("valid = %v", first)
+	}
+	if h, m := v.MemoStats(); h != 0 || m != 1 {
+		t.Fatalf("after first call: hits=%d misses=%d", h, m)
+	}
+
+	// Identical content in a distinct wallet value hits the memo.
+	w2 := NewWallet("ana")
+	w2.Add(w.Credentials[1])
+	w2.Add(w.Credentials[0])
+	second := v.Valid(w2)
+	if len(second) != 1 || second[0].Type != "clinician" {
+		t.Fatalf("memoized valid = %v", second)
+	}
+	if h, m := v.MemoStats(); h != 1 || m != 1 {
+		t.Fatalf("after memo hit: hits=%d misses=%d", h, m)
+	}
+
+	// Trusting a new issuer invalidates: the rogue credential now passes.
+	v.TrustAuthority(rogue)
+	third := v.Valid(w)
+	if len(third) != 2 {
+		t.Fatalf("after trust: valid = %v", third)
+	}
+	if h, m := v.MemoStats(); h != 1 || m != 2 {
+		t.Fatalf("after invalidation: hits=%d misses=%d", h, m)
+	}
+}
+
+func TestValidMemoKeyedBySignature(t *testing.T) {
+	auth, _ := NewAuthority("hospital")
+	v := NewVerifier()
+	v.TrustAuthority(auth)
+
+	good := NewWallet("ana")
+	good.Add(auth.Issue("clinician", "ana", nil))
+	if got := v.Valid(good); len(got) != 1 {
+		t.Fatalf("good wallet: %v", got)
+	}
+
+	// Same content, corrupted signature: must MISS the memo and fail.
+	c := *good.Credentials[0]
+	c.Signature = append([]byte{}, c.Signature...)
+	c.Signature[0] ^= 0xff
+	bad := &Wallet{Subject: "ana", Credentials: []*Credential{&c}}
+	if got := v.Valid(bad); len(got) != 0 {
+		t.Fatalf("corrupted signature passed via memo: %v", got)
+	}
+}
+
+func TestValidMemoConcurrent(t *testing.T) {
+	auth, _ := NewAuthority("hospital")
+	v := NewVerifier()
+	v.TrustAuthority(auth)
+	wallets := make([]*Wallet, 32)
+	for i := range wallets {
+		w := NewWallet("ana")
+		w.Add(auth.Issue("clinician", "ana", map[string]string{"n": strconv.Itoa(i)}))
+		wallets[i] = w
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if got := v.Valid(wallets[(g+i)%len(wallets)]); len(got) != 1 {
+					t.Errorf("valid = %v", got)
+				}
+				if i == 100 && g == 0 {
+					v.Trust("late", nil) // concurrent invalidation must be safe
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

@@ -1,0 +1,189 @@
+package keymgmt
+
+import (
+	"crypto/ed25519"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Mint-key management for the stateless auth-token fast path
+// (internal/authtoken). The keyring lives here, next to the XKMS-style
+// key service, because it is the same concern the paper assigns to key
+// management as a web service: keys have a lifecycle (issue, locate,
+// revoke) that is policy, not cryptography.
+//
+// A MintKeyring holds the epoch-stamped Ed25519 mint keys of one node.
+// Exactly one epoch is current and signs; a bounded window of past
+// epochs stays verifiable so rotation does not instantly strand every
+// outstanding token, and anything older is gone — rotation past the
+// window is the revocation story for leaked mint keys. The verify half
+// (epoch → public key) exports as a compact JSON set that replication
+// ships to followers, where a PublicKeySet installs it; generations
+// order exports so a stale set never overwrites a newer one.
+
+// MintKeyring is one node's epoch-stamped mint keys. It implements both
+// authtoken interfaces: SigningKeys (the current epoch signs new tokens)
+// and VerifyKeys (the retained epochs verify outstanding ones).
+type MintKeyring struct {
+	mu    sync.Mutex
+	epoch uint32                       // seclint:guardedby mu
+	priv  ed25519.PrivateKey           // seclint:guardedby mu
+	pubs  map[uint32]ed25519.PublicKey // seclint:guardedby mu
+	keep  int                          // seclint:guardedby mu
+	gen   uint64                       // seclint:guardedby mu
+}
+
+// NewMintKeyring generates epoch 1 and retains keep epochs of verify
+// keys (minimum 1 — the current epoch is always verifiable).
+func NewMintKeyring(keep int) (*MintKeyring, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	pub, priv, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		return nil, fmt.Errorf("keymgmt: generate mint key: %w", err)
+	}
+	k := &MintKeyring{keep: keep}
+	k.mu.Lock()
+	k.epoch, k.priv, k.gen = 1, priv, 1
+	k.pubs = map[uint32]ed25519.PublicKey{1: pub}
+	k.mu.Unlock()
+	return k, nil
+}
+
+// SigningKey returns the current epoch and its private key
+// (authtoken.SigningKeys).
+func (k *MintKeyring) SigningKey() (uint32, ed25519.PrivateKey) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.epoch, k.priv
+}
+
+// VerifyKey resolves an epoch to its public key if it is still within
+// the retention window (authtoken.VerifyKeys).
+func (k *MintKeyring) VerifyKey(epoch uint32) (ed25519.PublicKey, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	pub, ok := k.pubs[epoch]
+	return pub, ok
+}
+
+// Rotate generates the next epoch, makes it current, and drops verify
+// keys older than the retention window. Tokens minted under a dropped
+// epoch fail verification everywhere the new set ships — that is the
+// point.
+func (k *MintKeyring) Rotate() (uint32, error) {
+	pub, priv, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		return 0, fmt.Errorf("keymgmt: rotate mint key: %w", err)
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.epoch++
+	k.priv = priv
+	k.pubs[k.epoch] = pub
+	for e := range k.pubs {
+		if e+uint32(k.keep) <= k.epoch {
+			delete(k.pubs, e)
+		}
+	}
+	k.gen++
+	return k.epoch, nil
+}
+
+// Generation counts rotations; replication ships a fresh export whenever
+// it observes the generation moved.
+func (k *MintKeyring) Generation() uint64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.gen
+}
+
+// mintKeyExport is the wire form of the verify-key set.
+type mintKeyExport struct {
+	Gen    uint64            `json:"gen"`
+	Epoch  uint32            `json:"epoch"`
+	Epochs map[string]string `json:"epochs"` // epoch (decimal) → public key (hex)
+}
+
+// ExportPublic renders the retained verify keys plus the generation that
+// produced them, for shipping to replicas.
+func (k *MintKeyring) ExportPublic() ([]byte, uint64) {
+	k.mu.Lock()
+	exp := mintKeyExport{Gen: k.gen, Epoch: k.epoch, Epochs: make(map[string]string, len(k.pubs))}
+	for e, pub := range k.pubs {
+		exp.Epochs[strconv.FormatUint(uint64(e), 10)] = hex.EncodeToString(pub)
+	}
+	k.mu.Unlock()
+	raw, err := json.Marshal(exp)
+	if err != nil {
+		// Marshalling a map of strings cannot fail; keep the signature
+		// clean for the replication hook.
+		return nil, 0
+	}
+	return raw, exp.Gen
+}
+
+// PublicKeySet is the follower-side verify-key set: installed from a
+// leader's export, swapped atomically, consulted lock-cheap on every
+// token verification (authtoken.VerifyKeys).
+type PublicKeySet struct {
+	mu    sync.Mutex
+	epoch uint32                       // seclint:guardedby mu
+	gen   uint64                       // seclint:guardedby mu
+	pubs  map[uint32]ed25519.PublicKey // seclint:guardedby mu
+}
+
+// NewPublicKeySet returns an empty set; every verification fails
+// ErrUnknownEpoch until the first Install.
+func NewPublicKeySet() *PublicKeySet { return &PublicKeySet{} }
+
+// Install replaces the set with a decoded export. The caller sequences
+// installs (replication delivers them in stream order from the current
+// leader); Install itself only refuses data it cannot parse.
+func (p *PublicKeySet) Install(data []byte) error {
+	var exp mintKeyExport
+	if err := json.Unmarshal(data, &exp); err != nil {
+		return fmt.Errorf("keymgmt: decode mint key set: %w", err)
+	}
+	pubs := make(map[uint32]ed25519.PublicKey, len(exp.Epochs))
+	for es, ks := range exp.Epochs {
+		e, err := strconv.ParseUint(es, 10, 32)
+		if err != nil {
+			return fmt.Errorf("keymgmt: mint key set epoch %q: %w", es, err)
+		}
+		raw, err := hex.DecodeString(ks)
+		if err != nil || len(raw) != ed25519.PublicKeySize {
+			return fmt.Errorf("keymgmt: mint key set epoch %s: bad public key", es)
+		}
+		pubs[uint32(e)] = ed25519.PublicKey(raw)
+	}
+	p.mu.Lock()
+	p.epoch, p.gen, p.pubs = exp.Epoch, exp.Gen, pubs
+	p.mu.Unlock()
+	return nil
+}
+
+// VerifyKey resolves an epoch to its public key (authtoken.VerifyKeys).
+func (p *PublicKeySet) VerifyKey(epoch uint32) (ed25519.PublicKey, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pub, ok := p.pubs[epoch]
+	return pub, ok
+}
+
+// Snapshot reports the installed generation, current epoch and the
+// retained epochs in ascending order (for /cluster style introspection).
+func (p *PublicKeySet) Snapshot() (gen uint64, epoch uint32, epochs []uint32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for e := range p.pubs {
+		epochs = append(epochs, e)
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	return p.gen, p.epoch, epochs
+}

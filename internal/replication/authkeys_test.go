@@ -1,0 +1,98 @@
+package replication_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"webdbsec/internal/authtoken"
+	"webdbsec/internal/policy"
+)
+
+// The cross-node token property: a token minted on the leader verifies on
+// any replica against the replicated public-key set alone, and dies
+// everywhere once rotation pushes its epoch out of the retention window.
+
+type allowMint struct{}
+
+func (allowMint) AllowMint(*policy.Subject) bool { return true }
+
+// waitVerify polls a verifier until raw verifies (wantErr nil) or fails
+// with wantErr. The epoch check precedes the replay consume, so a token
+// whose nonce an earlier poll consumed still reports ErrUnknownEpoch once
+// the rotated key set lands.
+func waitVerify(t *testing.T, v *authtoken.Verifier, raw []byte, wantErr error, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	var last error
+	for time.Now().Before(deadline) {
+		_, last = v.Verify(raw, time.Now())
+		if wantErr == nil && last == nil {
+			return
+		}
+		if wantErr != nil && errors.Is(last, wantErr) {
+			return
+		}
+		// A success when we wanted an error consumed the nonce; keep
+		// polling only for the error case (the set may not have shipped).
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("verify on replica: last err = %v, want %v", last, wantErr)
+}
+
+func TestLeaderMintedTokenVerifiesOnFollower(t *testing.T) {
+	c := newCluster(t, "a", "b", "c")
+	c.mintKeys = true
+	c.startAll("a", "b", "c")
+	leader := c.waitLeader(5 * time.Second)
+
+	minter, err := authtoken.NewMinter(leader.ring, nil, allowMint{}, time.Minute)
+	if err != nil {
+		t.Fatalf("minter: %v", err)
+	}
+	s := &policy.Subject{ID: "ana", Roles: []string{"analyst"}}
+
+	// Two tokens: one consumed on each follower (tokens are single-use,
+	// and each replica has its own replay cache).
+	var followers []*member
+	for _, id := range c.sorted() {
+		if id != leader.id {
+			followers = append(followers, c.members[id])
+		}
+	}
+	if len(followers) != 2 {
+		t.Fatalf("followers = %d", len(followers))
+	}
+	for _, f := range followers {
+		tok, err := minter.Mint(s, time.Now())
+		if err != nil {
+			t.Fatalf("mint: %v", err)
+		}
+		fv := authtoken.NewVerifier(f.keyset, time.Minute, 0, 0)
+		waitVerify(t, fv, tok.Encode(), nil, 3*time.Second)
+	}
+
+	// Rotate past the keep window (keep=2: two rotations drop epoch 1).
+	stale, err := minter.Mint(s, time.Now())
+	if err != nil {
+		t.Fatalf("mint pre-rotation: %v", err)
+	}
+	if _, err := leader.ring.Rotate(); err != nil {
+		t.Fatalf("rotate: %v", err)
+	}
+	if _, err := leader.ring.Rotate(); err != nil {
+		t.Fatalf("rotate: %v", err)
+	}
+	for _, f := range followers {
+		fv := authtoken.NewVerifier(f.keyset, time.Minute, 0, 0)
+		// The rotated set ships via heartbeat; the stale token must start
+		// failing ErrUnknownEpoch once it lands.
+		waitVerify(t, fv, stale.Encode(), authtoken.ErrUnknownEpoch, 3*time.Second)
+		// And a token under the new epoch verifies.
+		fresh, err := minter.Mint(s, time.Now())
+		if err != nil {
+			t.Fatalf("mint post-rotation: %v", err)
+		}
+		waitVerify(t, fv, fresh.Encode(), nil, 3*time.Second)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"webdbsec/internal/credential"
+	"webdbsec/internal/keymgmt"
 	"webdbsec/internal/reldb"
 	"webdbsec/internal/replication"
 	"webdbsec/internal/resilience/faultinject"
@@ -37,6 +38,12 @@ type member struct {
 	id string
 	fs *faultinject.MemFS
 
+	// ring/keyset are the auth-token mint keys (cluster.mintKeys mode):
+	// the ring signs when this member leads, the keyset receives whatever
+	// set the current leader ships. Both survive restarts of the member.
+	ring   *keymgmt.MintKeyring
+	keyset *keymgmt.PublicKeySet
+
 	mu       sync.Mutex
 	w        *wal.WAL
 	node     *replication.Node
@@ -61,6 +68,9 @@ type cluster struct {
 	// the xmldoc store). Promote/demote hooks are skipped in this mode, so
 	// leadership is role-only and member.db stays nil.
 	applierFor func(m *member) (replication.Applier, uint64)
+	// mintKeys gives every member an auth-token mint keyring and a
+	// replicated PublicKeySet, wired through ExportAuthKeys/InstallAuthKeys.
+	mintKeys bool
 
 	mu      sync.Mutex
 	blocked map[string]map[string]bool
@@ -260,6 +270,20 @@ func (c *cluster) start(id string) *member {
 		ElectionTimeout:   150 * time.Millisecond,
 		Dial:              c.dialer(id),
 		Logf:              c.t.Logf,
+	}
+	if c.mintKeys {
+		if m.ring == nil {
+			r, err := keymgmt.NewMintKeyring(2)
+			if err != nil {
+				c.t.Fatalf("start %s: keyring: %v", id, err)
+			}
+			m.ring = r
+		}
+		if m.keyset == nil {
+			m.keyset = keymgmt.NewPublicKeySet()
+		}
+		cfg.ExportAuthKeys = m.ring.ExportPublic
+		cfg.InstallAuthKeys = m.keyset.Install
 	}
 	if c.applierFor == nil {
 		cfg.OnLeader = func() {

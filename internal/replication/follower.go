@@ -74,6 +74,7 @@ func (n *Node) followOnce(leader string) error {
 		return fmt.Errorf("replication: unexpected %q during join", resp.T)
 	}
 	n.observeEpoch(resp.Epoch)
+	n.installAuthKeys(resp.Keys, resp.KeysGen, resp.Epoch)
 	switch resp.Plan {
 	case "reject":
 		return fmt.Errorf("replication: join rejected by %s: %s", leader, resp.Reason)
@@ -158,6 +159,28 @@ func (n *Node) advanceTailEpoch(epoch, epochStart, durable uint64) error {
 	return nil
 }
 
+// installAuthKeys hands a shipped mint verify-key set to the deployment
+// hook, ordered by (leader epoch, keyring generation): a set from an
+// older leadership, or an older generation of the same one, is dropped —
+// heartbeats from a stale leader must never roll the key set back.
+func (n *Node) installAuthKeys(data []byte, gen, epoch uint64) {
+	if n.cfg.InstallAuthKeys == nil || len(data) == 0 {
+		return
+	}
+	n.mu.Lock()
+	stale := epoch < n.authKeysEpoch || (epoch == n.authKeysEpoch && gen <= n.authKeysGen)
+	if !stale {
+		n.authKeysEpoch, n.authKeysGen = epoch, gen
+	}
+	n.mu.Unlock()
+	if stale {
+		return
+	}
+	if err := n.cfg.InstallAuthKeys(data); err != nil {
+		n.logf("install auth key set gen %d: %v", gen, err)
+	}
+}
+
 // verifyJoinHash recomputes the chain hash over the overlapping span and
 // compares it to the leader's. A match proves the shared prefix is
 // byte-identical; a mismatch (divergence) or an applied position past the
@@ -239,6 +262,7 @@ func (n *Node) consume(ch *secchan.Channel, leader string, epoch, epochStart uin
 			return fmt.Errorf("replication: stale leader epoch %d < %d", m.Epoch, n.Epoch())
 		}
 		n.observeEpoch(m.Epoch)
+		n.installAuthKeys(m.Keys, m.KeysGen, m.Epoch)
 		switch m.T {
 		case "recs":
 			for _, rec := range m.Recs {

@@ -261,6 +261,12 @@ func (n *Node) serveJoin(ch *secchan.Channel, m *msg) {
 		common = leaderLast
 	}
 	resp := &msg{T: "joinResp", Node: n.cfg.NodeID, Epoch: epoch, Commit: n.CommitLSN(), EpochStart: epochStart}
+	if n.cfg.ExportAuthKeys != nil {
+		// Ship the mint verify-key set with the join plan so the follower
+		// can verify leader-minted auth tokens before a single WAL byte
+		// arrives.
+		resp.Keys, resp.KeysGen = n.cfg.ExportAuthKeys()
+	}
 	if m.LastLSN < leaderSnapLSN || common < from {
 		// No overlapping span to cross-check: the follower's history is
 		// compacted away (or it is empty while we checkpointed) — resync.
@@ -475,6 +481,21 @@ func (n *Node) pump(l *link, start uint64, epoch uint64) {
 	ticker := time.NewTicker(n.cfg.heartbeat())
 	defer ticker.Stop()
 	lastCommit := uint64(0)
+	// Mint-key shipping: heartbeats re-ship the verify-key set whenever
+	// the keyring generation moves past what this link has sent. Starting
+	// at zero means the first heartbeat always carries the set — the
+	// joinResp already did, but a redundant install is idempotent and
+	// covers a rotation racing the handshake.
+	sentKeysGen := uint64(0)
+	authKeys := func(m *msg) {
+		if n.cfg.ExportAuthKeys == nil {
+			return
+		}
+		if data, gen := n.cfg.ExportAuthKeys(); gen != sentKeysGen {
+			m.Keys, m.KeysGen = data, gen
+			sentKeysGen = gen
+		}
+	}
 	for {
 		// Drain the cursor into batches.
 		for {
@@ -518,7 +539,9 @@ func (n *Node) pump(l *link, start uint64, epoch uint64) {
 		}
 		if commit != lastCommit {
 			lastCommit = commit
-			raw, err := encodeMsg(&msg{T: "hb", Node: n.cfg.NodeID, Epoch: epoch, Commit: commit})
+			hb := &msg{T: "hb", Node: n.cfg.NodeID, Epoch: epoch, Commit: commit}
+			authKeys(hb)
+			raw, err := encodeMsg(hb)
 			if err == nil && !n.enqueue(l, raw) {
 				return
 			}
@@ -532,7 +555,9 @@ func (n *Node) pump(l *link, start uint64, epoch uint64) {
 		case <-watch:
 		case <-commitCh:
 		case <-ticker.C:
-			raw, err := encodeMsg(&msg{T: "hb", Node: n.cfg.NodeID, Epoch: epoch, Commit: commit})
+			hb := &msg{T: "hb", Node: n.cfg.NodeID, Epoch: epoch, Commit: commit}
+			authKeys(hb)
+			raw, err := encodeMsg(hb)
 			if err == nil && !n.enqueue(l, raw) {
 				return
 			}

@@ -147,6 +147,20 @@ type Config struct {
 	// epoch observed, Stop).
 	OnDemote func()
 
+	// ExportAuthKeys, when set on a node that can lead, renders the
+	// auth-token mint verify-key set (keymgmt.MintKeyring.ExportPublic)
+	// plus its generation. The leader ships it in every joinResp and in a
+	// heartbeat whenever the generation moves, so leader-minted tokens
+	// verify on any replica and a key rotation propagates without waiting
+	// for log traffic.
+	ExportAuthKeys func() (data []byte, gen uint64)
+	// InstallAuthKeys, when set, installs a shipped verify-key set on a
+	// follower (keymgmt.PublicKeySet.Install). Installs arrive in stream
+	// order from the current leader; the node layer additionally orders
+	// them by (leader epoch, generation) so a stale set never clobbers a
+	// newer one across leadership changes.
+	InstallAuthKeys func(data []byte) error
+
 	// HeartbeatInterval paces leader heartbeats (default 50ms);
 	// ElectionTimeout is how long silence means a dead leader and how
 	// much quorum staleness a leader tolerates before fencing itself
@@ -265,6 +279,13 @@ type Node struct {
 	// timeout for its voters to come back as streaming followers before
 	// quorum silence can demote it.
 	leaderAt time.Time // seclint:guardedby mu
+
+	// authKeysEpoch/authKeysGen order mint verify-key installs: a set is
+	// installed only if its (leader epoch, keyring generation) is strictly
+	// newer than the last one taken, so a stale leader's keys can never
+	// clobber a newer leadership's.
+	authKeysEpoch uint64 // seclint:guardedby mu
+	authKeysGen   uint64 // seclint:guardedby mu
 
 	elections uint64 // seclint:guardedby mu
 	failovers uint64 // seclint:guardedby mu

@@ -67,6 +67,14 @@ type msg struct {
 	// position covers this — i.e. once its log is a full prefix of
 	// everything the leader held when it was elected.
 	EpochStart uint64 `json:"estart,omitempty"`
+
+	// joinResp / hb: the auth-token mint verify-key set
+	// (keymgmt.MintKeyring.ExportPublic) and the keyring generation that
+	// produced it. Shipped in every joinResp and re-shipped in a heartbeat
+	// when the generation moves, so leader-minted tokens verify on every
+	// replica and rotations propagate promptly.
+	Keys    []byte `json:"keys,omitempty"`
+	KeysGen uint64 `json:"keysgen,omitempty"`
 }
 
 type wireRec struct {

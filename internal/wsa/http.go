@@ -2,6 +2,7 @@ package wsa
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -9,7 +10,11 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
+	"webdbsec/internal/authtoken"
+	"webdbsec/internal/credential"
 	"webdbsec/internal/merkle"
 	"webdbsec/internal/policy"
 	"webdbsec/internal/resilience"
@@ -54,6 +59,13 @@ func faultStatus(err error) int {
 type RegistryServer struct {
 	Registry *uddi.Registry
 	Agency   *uddi.UntrustedAgency
+	// Auth, when set, authenticates every envelope before dispatch: the
+	// stateless token fast path first (X-Auth-Token header), full wallet
+	// evaluation as fallback (X-Auth-Wallet header), legacy passthrough
+	// when the envelope presents neither — existing two-party deployments
+	// keep working, but every authenticated response arms the client with
+	// the token to present next.
+	Auth *authtoken.Service
 }
 
 // Describe returns the service description for this server.
@@ -104,6 +116,9 @@ func (s *RegistryServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeFault(w, status, err.Error())
 		return
 	}
+	if !s.authenticate(w, r, env) {
+		return
+	}
 	resp, err := s.dispatch(env)
 	if err != nil {
 		writeFault(w, faultStatus(err), err.Error())
@@ -111,6 +126,45 @@ func (s *RegistryServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/xml")
 	io.WriteString(w, resp.Encode())
+}
+
+// authenticate runs the token/wallet gate over the envelope's sender
+// identity. The envelope carries the identity; the auth material rides in
+// headers because the body is the XML payload. A refusal is a 401 fault
+// (terminal for the client's retry policy); success arms the response
+// with the successor token.
+func (s *RegistryServer) authenticate(w http.ResponseWriter, r *http.Request, env *Envelope) bool {
+	if s.Auth == nil {
+		return true
+	}
+	subj := &policy.Subject{ID: env.Sender, Roles: env.Roles}
+	if enc := r.Header.Get(authtoken.WalletHeader); enc != "" {
+		wal, err := authtoken.DecodeWallet(enc)
+		if err != nil {
+			writeFault(w, http.StatusBadRequest, err.Error())
+			return false
+		}
+		subj.Wallet = wal
+	}
+	var rawTok []byte
+	if enc := r.Header.Get(authtoken.TokenHeader); enc != "" {
+		var err error
+		rawTok, err = base64.RawURLEncoding.DecodeString(enc)
+		if err != nil {
+			writeFault(w, http.StatusBadRequest, "wsa: token encoding: "+err.Error())
+			return false
+		}
+	}
+	res, err := s.Auth.Gate.Authenticate(subj, rawTok, time.Now())
+	if err != nil {
+		writeFault(w, http.StatusUnauthorized, err.Error())
+		return false
+	}
+	if res.Token != nil {
+		w.Header().Set(authtoken.TokenHeader, res.Token.EncodeString())
+		w.Header().Set(authtoken.ExpiresHeader, strconv.FormatInt(res.ExpiresAt.Unix(), 10))
+	}
+	return true
 }
 
 func writeFault(w http.ResponseWriter, code int, msg string) {
@@ -359,6 +413,53 @@ type Client struct {
 	Retry *resilience.RetryPolicy
 	// Breaker, when non-nil, guards every call.
 	Breaker *resilience.Breaker
+	// Auth, when non-nil, attaches token/wallet auth material to every
+	// call and transparently refreshes the token from response headers.
+	Auth *TokenAuth
+}
+
+// TokenAuth holds a client's auth material: the wallet that qualifies it
+// on the slow path and the current single-use token. Every request takes
+// the token (tokens are consumed server-side, so a taken token is never
+// re-presented) and attaches the wallet alongside; every authenticated
+// response stores the successor the server returned. A request that loses
+// its response — or a concurrent call that finds the token already taken
+// — simply re-qualifies on the wallet path and comes back token-armed, so
+// refresh needs no client-visible protocol. Concurrent calls sharing one
+// TokenAuth therefore stay correct but only one of them rides the fast
+// path per hop.
+type TokenAuth struct {
+	Wallet *credential.Wallet
+
+	mu    sync.Mutex
+	token string // seclint:guardedby mu
+}
+
+// take removes and returns the held token (empty when none).
+func (a *TokenAuth) take() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := a.token
+	a.token = ""
+	return t
+}
+
+// store keeps a successor token from a response; empty is a no-op.
+func (a *TokenAuth) store(t string) {
+	if t == "" {
+		return
+	}
+	a.mu.Lock()
+	a.token = t
+	a.mu.Unlock()
+}
+
+// Token reports the currently held token without consuming it (tests and
+// introspection).
+func (a *TokenAuth) Token() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.token
 }
 
 // Call posts an envelope under ctx and decodes the response, applying
@@ -398,11 +499,38 @@ func (c *Client) post(ctx context.Context, op, payload string) (*Envelope, error
 		return nil, resilience.MarkTerminal(fmt.Errorf("wsa: call %s: %w", op, err))
 	}
 	req.Header.Set("Content-Type", "application/xml")
+	var sentTok string
+	if c.Auth != nil {
+		if sentTok = c.Auth.take(); sentTok != "" {
+			req.Header.Set(authtoken.TokenHeader, sentTok)
+		}
+		if c.Auth.Wallet != nil {
+			// The wallet always rides along: it costs the server nothing
+			// while the token verifies (the gate checks the token first)
+			// and it is the transparent re-qualification path when the
+			// token has expired, rotated away, or was lost with a response.
+			enc, err := authtoken.EncodeWallet(c.Auth.Wallet)
+			if err != nil {
+				return nil, resilience.MarkTerminal(fmt.Errorf("wsa: call %s: %w", op, err))
+			}
+			req.Header.Set(authtoken.WalletHeader, enc)
+		}
+	}
 	resp, err := httpc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("wsa: call %s: %w", op, err)
 	}
 	defer resp.Body.Close()
+	if c.Auth != nil {
+		if succ := resp.Header.Get(authtoken.TokenHeader); succ != "" {
+			c.Auth.store(succ)
+		} else if sentTok != "" && resp.StatusCode < 400 {
+			// The call succeeded but granted no successor: a read replica
+			// (which verifies without consuming) or an auth-less endpoint.
+			// The presented token is still live — keep it.
+			c.Auth.store(sentTok)
+		}
+	}
 	out, decErr := DecodeEnvelope(io.LimitReader(resp.Body, MaxRequestBody))
 	if resp.StatusCode >= 500 {
 		// Server-side failure: retryable. Prefer the fault text when the

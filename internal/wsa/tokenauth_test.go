@@ -1,0 +1,159 @@
+package wsa
+
+import (
+	"context"
+	"crypto/ed25519"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"webdbsec/internal/authtoken"
+	"webdbsec/internal/credential"
+	"webdbsec/internal/policy"
+	"webdbsec/internal/uddi"
+)
+
+// End-to-end token auth over the envelope surface: first call qualifies
+// on the wallet and comes back token-armed, subsequent calls ride the
+// fast path, and bad material is refused with a terminal fault.
+
+type uddiMintGate struct{}
+
+func (uddiMintGate) AllowMint(s *policy.Subject) bool { return s.ID != "" }
+
+// testRing is a single-epoch in-test keyring (keymgmt.MintKeyring imports
+// this package, so the real one is off-limits to internal tests).
+type testRing struct {
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+func (k *testRing) SigningKey() (uint32, ed25519.PrivateKey) { return 1, k.priv }
+func (k *testRing) VerifyKey(e uint32) (ed25519.PublicKey, bool) {
+	if e == 1 {
+		return k.pub, true
+	}
+	return nil, false
+}
+
+func newTokenServer(t *testing.T) (*httptest.Server, *RegistryServer, *credential.Authority) {
+	t.Helper()
+	pub, priv, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		t.Fatalf("keygen: %v", err)
+	}
+	ring := &testRing{pub: pub, priv: priv}
+	auth, err := credential.NewAuthority("registry-ca")
+	if err != nil {
+		t.Fatalf("authority: %v", err)
+	}
+	cv := credential.NewVerifier()
+	cv.TrustAuthority(auth)
+	m, err := authtoken.NewMinter(ring, cv, uddiMintGate{}, time.Minute)
+	if err != nil {
+		t.Fatalf("minter: %v", err)
+	}
+	rs := &RegistryServer{
+		Registry: uddi.NewRegistry(nil),
+		Auth: &authtoken.Service{Gate: &authtoken.Gate{
+			Verifier: authtoken.NewVerifier(ring, time.Minute, 0, 0),
+			Minter:   m,
+		}},
+	}
+	ts := httptest.NewServer(rs)
+	t.Cleanup(ts.Close)
+	return ts, rs, auth
+}
+
+func TestClientTokenFastPathOverEnvelope(t *testing.T) {
+	ts, rs, auth := newTokenServer(t)
+	ctx := context.Background()
+
+	w := credential.NewWallet("acme-pub")
+	if err := w.Add(auth.Issue("publisher", "acme-pub", nil)); err != nil {
+		t.Fatalf("wallet: %v", err)
+	}
+	c := &Client{Endpoint: ts.URL, Sender: "acme-pub", Auth: &TokenAuth{Wallet: w}}
+
+	// First call: no token yet — wallet path, and the response arms us.
+	if err := c.SaveBusiness(ctx, acmeEntity()); err != nil {
+		t.Fatal(err)
+	}
+	if c.Auth.Token() == "" {
+		t.Fatalf("no token armed after wallet-authenticated call")
+	}
+	first := c.Auth.Token()
+
+	// Next calls: fast path, and the held token rolls every hop.
+	for i := 0; i < 3; i++ {
+		if _, err := c.FindBusiness(ctx, "acme"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Auth.Token() == first {
+		t.Fatalf("token did not roll across calls")
+	}
+	st := rs.Auth.Gate.Stats()
+	if st.SlowPath != 1 || st.FastPath != 3 {
+		t.Fatalf("stats = %+v, want 1 slow / 3 fast", st)
+	}
+	if st.FastPathHitRate != 0.75 {
+		t.Fatalf("hit rate = %v, want 0.75", st.FastPathHitRate)
+	}
+}
+
+func TestLegacyEnvelopeStillServed(t *testing.T) {
+	ts, rs, _ := newTokenServer(t)
+	c := &Client{Endpoint: ts.URL, Sender: "legacy-pub"}
+	if err := c.SaveBusiness(context.Background(), acmeEntity()); err != nil {
+		t.Fatal(err)
+	}
+	if st := rs.Auth.Gate.Stats(); st.Legacy != 1 {
+		t.Fatalf("stats = %+v, want 1 legacy", st)
+	}
+}
+
+func TestBadWalletRefusedWithTerminalFault(t *testing.T) {
+	ts, _, _ := newTokenServer(t)
+	rogue, err := credential.NewAuthority("rogue")
+	if err != nil {
+		t.Fatalf("authority: %v", err)
+	}
+	w := credential.NewWallet("mallory")
+	if err := w.Add(rogue.Issue("publisher", "mallory", nil)); err != nil {
+		t.Fatalf("wallet: %v", err)
+	}
+	c := &Client{Endpoint: ts.URL, Sender: "mallory", Auth: &TokenAuth{Wallet: w}}
+	err = c.SaveBusiness(context.Background(), acmeEntity())
+	if err == nil || !strings.Contains(err.Error(), "credential") {
+		t.Fatalf("err = %v, want wallet refusal", err)
+	}
+}
+
+func TestStolenTokenRefusedForOtherSender(t *testing.T) {
+	ts, rs, auth := newTokenServer(t)
+	ctx := context.Background()
+	w := credential.NewWallet("acme-pub")
+	if err := w.Add(auth.Issue("publisher", "acme-pub", nil)); err != nil {
+		t.Fatalf("wallet: %v", err)
+	}
+	victim := &Client{Endpoint: ts.URL, Sender: "acme-pub", Auth: &TokenAuth{Wallet: w}}
+	if err := victim.SaveBusiness(ctx, acmeEntity()); err != nil {
+		t.Fatal(err)
+	}
+	// A different sender presenting the victim's token, no wallet.
+	thief := &Client{Endpoint: ts.URL, Sender: "mallory", Auth: &TokenAuth{}}
+	thief.Auth.store(victim.Auth.Token())
+	_, err := thief.FindBusiness(ctx, "acme")
+	if err == nil || !strings.Contains(err.Error(), "different subject") {
+		t.Fatalf("err = %v, want subject-binding refusal", err)
+	}
+	if st := rs.Auth.Gate.Stats(); st.Rejected != 1 || st.Verifier.SubjectMismatch != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The victim's held token was NOT consumed by the failed theft.
+	if _, err := victim.FindBusiness(ctx, "acme"); err != nil {
+		t.Fatalf("victim after theft attempt: %v", err)
+	}
+}
