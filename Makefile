@@ -1,10 +1,15 @@
 GO ?= go
 
-.PHONY: check vet lint build test race bench benchsmoke fmt fmtcheck crashmatrix crashshort failovershort fuzzshort
+.PHONY: check vet lint lintshort build test race bench benchsmoke fmt fmtcheck crashmatrix crashshort failovershort fuzzshort
+
+# NPROC bounds go vet's package-level parallelism for the lint targets;
+# override on boxes where the cgroup CPU limit is below nproc.
+NPROC ?= $(shell nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 
 # check is the full verification gate: formatting, vet, the seclint
-# static-analysis suite (guardedby/verdictcheck/ctxio/gatecheck — the
-# security and durability invariants machine-checked), build, the test
+# static-analysis suite (guardedby/verdictcheck/ctxio/gatecheck plus the
+# taintflow/leakcheck dataflow analyzers — the security and durability
+# invariants machine-checked), build, the test
 # suite under the race detector (the resilience and caching layers are
 # concurrent by design — a run without -race proves little), a
 # one-iteration bench smoke so a broken benchmark cannot sit unnoticed
@@ -16,12 +21,20 @@ vet:
 	$(GO) vet ./...
 
 # lint builds the seclint vettool (cmd/seclint) and runs its analyzer
-# suite over the whole tree via go vet's -vettool protocol. The tree must
-# stay finding-free; see internal/analysis/README.md for the annotation
-# grammar when a finding is a false positive.
+# suite over the whole tree via go vet's -vettool protocol, fanning
+# package units out over NPROC workers. The tree must stay finding-free;
+# see internal/analysis/README.md for the annotation grammar when a
+# finding is a false positive.
 lint:
 	$(GO) build -o bin/seclint ./cmd/seclint
-	$(GO) vet -vettool=$(CURDIR)/bin/seclint ./...
+	$(GO) vet -vettool=$(CURDIR)/bin/seclint -p $(NPROC) ./...
+
+# lintshort is the edit-compile loop variant: the same analyzer suite
+# over internal/... only, skipping the cmd and examples binaries (their
+# findings are caught by the full lint inside make check).
+lintshort:
+	$(GO) build -o bin/seclint ./cmd/seclint
+	$(GO) vet -vettool=$(CURDIR)/bin/seclint -p $(NPROC) ./internal/...
 
 build:
 	$(GO) build ./...

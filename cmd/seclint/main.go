@@ -3,8 +3,10 @@
 // otherwise enforces only by review — mutex discipline on annotated
 // fields (guardedby), never-dropped durability verdicts (verdictcheck),
 // context plumbing on service-layer I/O (ctxio), access-control gating
-// of data-path entry points (gatecheck), and the annotation grammar
-// itself (annotcheck).
+// of data-path entry points (gatecheck), the annotation grammar itself
+// (annotcheck), and two interprocedural taint analyses: web input must
+// be parsed before it is executed (taintflow) and secrets must be
+// redacted before they are logged (leakcheck).
 //
 // Run it through the go toolchain so it sees compiled export data:
 //
@@ -12,7 +14,9 @@
 //	go vet -vettool=$(pwd)/bin/seclint ./...
 //
 // or let `make lint` (part of `make check`) do both. Invoking the binary
-// with package patterns re-executes go vet for you: `bin/seclint ./...`.
+// with package patterns re-executes go vet for you: `bin/seclint ./...`,
+// and `bin/seclint -json ./...` emits one JSON finding per line on
+// stdout for editors and CI.
 package main
 
 import (

@@ -374,7 +374,8 @@ func setupDemo(w *core.SecureWebDB, people int, fresh bool) error {
 			return err
 		}
 		for _, p := range synth.People(1, people) {
-			stmt := fmt.Sprintf("INSERT INTO patients VALUES ('%s', '%s', %d, '%s')", p.Name, p.Zip, p.Age, p.Disease)
+			stmt := fmt.Sprintf("INSERT INTO patients VALUES (%s, %s, %d, %s)",
+				reldb.QuoteString(p.Name), reldb.QuoteString(p.Zip), p.Age, reldb.QuoteString(p.Disease))
 			if _, err := w.DB().Exec(dba, stmt); err != nil {
 				return err
 			}

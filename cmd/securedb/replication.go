@@ -39,12 +39,16 @@ type clusterOpts struct {
 	nodeID      string
 	replicaAddr string
 	peersSpec   string
-	secret      string
-	dataDir     string
-	httpAddr    string
-	people      int
-	debug       bool
-	tokenTTL    time.Duration
+	// secret derives every node's signing key; leaking it leaks the
+	// whole cluster's identities.
+	//
+	// seclint:secret
+	secret   string
+	dataDir  string
+	httpAddr string
+	people   int
+	debug    bool
+	tokenTTL time.Duration
 }
 
 // parsePeers decodes "id=host:port,id=host:port" into the peer map.

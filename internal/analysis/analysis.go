@@ -21,8 +21,10 @@ import (
 )
 
 // Analyzer describes one static check. Unlike x/tools there is no
-// Requires/ResultOf plumbing and no cross-package facts: every seclint
-// invariant is checkable one package at a time.
+// Requires/ResultOf plumbing; cross-package state travels as facts (see
+// facts.go): an analyzer that sets ExportsFacts is additionally run over
+// dependency packages in fact-only mode so its summaries propagate
+// bottom-up through the import graph.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and test output. It
 	// must be a valid identifier.
@@ -31,6 +33,10 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
+	// ExportsFacts marks the analyzer as a fact producer: the driver
+	// runs it on dependency (VetxOnly) packages too, with diagnostics
+	// suppressed, so its ExportFact calls reach importing packages.
+	ExportsFacts bool
 }
 
 // Pass carries one type-checked package through an Analyzer.Run.
@@ -40,8 +46,13 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// ImportedFacts holds the merged facts of every dependency,
+	// analyzer name → object key → JSON. Nil when the driver has none.
+	ImportedFacts PackageFacts
 	// Report delivers one diagnostic. Set by the driver.
 	Report func(Diagnostic)
+	// exportFact records one fact for this package; set by the driver.
+	exportFact func(analyzer, key string, data []byte)
 }
 
 // Diagnostic is one finding. Analyzer is filled in by the driver

@@ -8,6 +8,14 @@
 // e.g. the verdictcheck cases call the actual webdbsec/internal/wal API —
 // which the harness resolves by asking `go list -export` for compiled
 // export data, exactly as the vettool does in production.
+//
+// A testdata package may also import a *sibling* testdata package by its
+// bare directory name (e.g. the taintflow cases import "taintsrc"). The
+// harness typechecks the sibling from source first, runs the analyzer's
+// fact pass over it, and round-trips the exported facts through their
+// JSON wire form before handing them to the package under test — so a
+// golden test exercises the same cross-package summary flow the
+// unitchecker ships through go vet's vetx files.
 package analysistest
 
 import (
@@ -37,6 +45,20 @@ import (
 // test error.
 func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	t.Helper()
+	pkg, fset, files, info, imported := load(t, a, dir, map[string]*types.Package{})
+	diags, _, err := analysis.RunAll([]*analysis.Analyzer{a}, fset, files, pkg, info, imported)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	check(t, fset, files, diags)
+}
+
+// load parses and typechecks the testdata package at dir, resolving
+// module imports through compiled export data and sibling testdata
+// imports from source (recursively), and returns the merged facts the
+// analyzer's fact pass exported for those siblings.
+func load(t *testing.T, a *analysis.Analyzer, dir string, siblings map[string]*types.Package) (*types.Package, *token.FileSet, []*ast.File, *types.Info, analysis.PackageFacts) {
+	t.Helper()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatalf("analysistest: %v", err)
@@ -63,7 +85,43 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 		t.Fatalf("analysistest: no Go files in %s", dir)
 	}
 
-	exports := exportData(t, imports)
+	// Sibling testdata imports: bare names matching a directory next to
+	// this one. Load each from source first and collect its facts so the
+	// package under test sees cross-package summaries.
+	imported := analysis.PackageFacts{}
+	moduleImports := map[string]bool{}
+	for path := range imports {
+		if strings.Contains(path, "/") || strings.Contains(path, ".") {
+			moduleImports[path] = true
+			continue
+		}
+		sibDir := filepath.Join(filepath.Dir(dir), path)
+		if st, err := os.Stat(sibDir); err != nil || !st.IsDir() {
+			moduleImports[path] = true
+			continue
+		}
+		if _, done := siblings[path]; !done {
+			sibPkg, sibFset, sibFiles, sibInfo, sibImported := load(t, a, sibDir, siblings)
+			siblings[path] = sibPkg
+			facts, err := analysis.RunFactsOnly([]*analysis.Analyzer{a}, sibFset, sibFiles, sibPkg, sibInfo, sibImported)
+			if err != nil {
+				t.Fatalf("analysistest: fact pass over %s: %v", sibDir, err)
+			}
+			// Round-trip through the JSON wire form — golden tests must
+			// exercise what the unitchecker actually ships.
+			wire, err := facts.Encode()
+			if err != nil {
+				t.Fatalf("analysistest: encoding facts of %s: %v", sibDir, err)
+			}
+			decoded, err := analysis.DecodeFacts(wire)
+			if err != nil {
+				t.Fatalf("analysistest: decoding facts of %s: %v", sibDir, err)
+			}
+			imported.Merge(decoded)
+		}
+	}
+
+	exports := exportData(t, moduleImports)
 	lookup := func(path string) (io.ReadCloser, error) {
 		file, ok := exports[path]
 		if !ok {
@@ -73,7 +131,10 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	}
 	var firstErr error
 	tconf := types.Config{
-		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Importer: &siblingImporter{
+			siblings: siblings,
+			fallback: importer.ForCompiler(fset, "gc", lookup),
+		},
 		Error: func(err error) {
 			if firstErr == nil {
 				firstErr = err
@@ -91,11 +152,26 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	if err != nil {
 		t.Fatalf("analysistest: typecheck %s: %v", dir, err)
 	}
+	return pkg, fset, files, info, imported
+}
 
-	diags, err := analysis.RunAll([]*analysis.Analyzer{a}, fset, files, pkg, info)
-	if err != nil {
-		t.Fatalf("analysistest: %v", err)
+// siblingImporter resolves bare sibling testdata packages from the
+// already-typechecked set and everything else through export data.
+type siblingImporter struct {
+	siblings map[string]*types.Package
+	fallback types.Importer
+}
+
+func (si *siblingImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := si.siblings[path]; ok {
+		return pkg, nil
 	}
+	return si.fallback.Import(path)
+}
+
+// check compares diagnostics against the `// want` expectations.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
 
 	type key struct {
 		file string

@@ -10,7 +10,14 @@
 //     atomic.Pointer[T] and name a sibling mutex field (the writer lock
 //     of the version-pointer discipline);
 //   - `seclint:exempt` must carry a non-empty reason;
-//   - `seclint:gate` must sit on an interface type declaration.
+//   - `seclint:gate` must sit on an interface type declaration;
+//   - `seclint:taint-exempt` must carry a non-empty reason;
+//   - `seclint:source`, `seclint:sink` and `seclint:sanitizer` must sit
+//     on a function declaration (sink/secret additionally on a struct
+//     field for `secret`);
+//   - a `seclint:sanitizer` function must not return one of its
+//     parameters unchanged — a "sanitizer" that hands back its input is
+//     a hole in the taint lattice, not a validator.
 package annotcheck
 
 import (
@@ -29,11 +36,16 @@ var Analyzer = &analysis.Analyzer{
 }
 
 var knownVerbs = map[string]bool{
-	"guardedby": true,
-	"atomicptr": true,
-	"locked":    true,
-	"exempt":    true,
-	"gate":      true,
+	"guardedby":    true,
+	"atomicptr":    true,
+	"locked":       true,
+	"exempt":       true,
+	"gate":         true,
+	"source":       true,
+	"sink":         true,
+	"sanitizer":    true,
+	"secret":       true,
+	"taint-exempt": true,
 }
 
 func run(pass *analysis.Pass) error {
@@ -42,9 +54,19 @@ func run(pass *analysis.Pass) error {
 		// from the syntax they annotate.
 		placedGuardedby := make(map[token.Pos]bool)
 		placedGate := make(map[token.Pos]bool)
+		placedTaint := make(map[token.Pos]bool) // source/sink/sanitizer/secret
 
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
+			case *ast.FuncDecl:
+				for _, verb := range []string{"source", "sink", "sanitizer", "secret"} {
+					if d, ok := analysis.GroupDirective(n.Doc, verb); ok {
+						placedTaint[d.Pos] = true
+					}
+				}
+				if d, ok := analysis.GroupDirective(n.Doc, "sanitizer"); ok {
+					checkSanitizerBody(pass, n, d)
+				}
 			case *ast.TypeSpec:
 				if _, ok := n.Type.(*ast.InterfaceType); ok {
 					if d, ok := analysis.GroupDirective(n.Doc, "gate"); ok {
@@ -53,6 +75,14 @@ func run(pass *analysis.Pass) error {
 				}
 				if st, ok := n.Type.(*ast.StructType); ok {
 					checkStruct(pass, st, placedGuardedby)
+					// `seclint:secret` may annotate a struct field.
+					for _, field := range st.Fields.List {
+						for _, grp := range []*ast.CommentGroup{field.Doc, field.Comment} {
+							if d, ok := analysis.GroupDirective(grp, "secret"); ok {
+								placedTaint[d.Pos] = true
+							}
+						}
+					}
 				}
 			case *ast.GenDecl:
 				// `seclint:gate` may sit on the GenDecl doc when the
@@ -76,7 +106,7 @@ func run(pass *analysis.Pass) error {
 				}
 				switch {
 				case !knownVerbs[d.Verb]:
-					pass.Reportf(d.Pos, "unknown seclint directive %q (want guardedby, atomicptr, locked, exempt or gate)", d.Verb)
+					pass.Reportf(d.Pos, "unknown seclint directive %q (want guardedby, atomicptr, locked, exempt, gate, source, sink, sanitizer, secret or taint-exempt)", d.Verb)
 				case d.Verb == "exempt" && d.Args == "":
 					pass.Reportf(d.Pos, "seclint:exempt requires a reason: // seclint:exempt <why this is outside the invariant>")
 				case d.Verb == "guardedby" && !placedGuardedby[d.Pos]:
@@ -85,11 +115,68 @@ func run(pass *analysis.Pass) error {
 					pass.Reportf(d.Pos, "seclint:atomicptr must annotate a struct field and name a sibling sync.Mutex/RWMutex field")
 				case d.Verb == "gate" && !placedGate[d.Pos]:
 					pass.Reportf(d.Pos, "seclint:gate must annotate an interface type declaration")
+				case d.Verb == "taint-exempt" && d.Args == "":
+					pass.Reportf(d.Pos, "seclint:taint-exempt requires a reason: // seclint:taint-exempt <why this flow is safe>")
+				case (d.Verb == "source" || d.Verb == "sink" || d.Verb == "sanitizer") && !placedTaint[d.Pos]:
+					pass.Reportf(d.Pos, "seclint:%s must annotate a function declaration", d.Verb)
+				case d.Verb == "secret" && !placedTaint[d.Pos]:
+					pass.Reportf(d.Pos, "seclint:secret must annotate a function declaration or a struct field")
 				}
 			}
 		}
 	}
 	return nil
+}
+
+// checkSanitizerBody rejects the degenerate sanitizer: one that returns
+// an input parameter unchanged (directly or through a bare string/[]byte
+// conversion). Such a function launders taint without validating
+// anything, so the annotation would punch a silent hole in taintflow and
+// leakcheck.
+func checkSanitizerBody(pass *analysis.Pass, fn *ast.FuncDecl, d analysis.Directive) {
+	if fn.Body == nil {
+		return
+	}
+	params := make(map[types.Object]bool)
+	if fn.Type.Params != nil {
+		for _, f := range fn.Type.Params.List {
+			for _, name := range f.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	if len(params) == 0 {
+		return
+	}
+	isParam := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		return params[pass.TypesInfo.Uses[id]]
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			e := ast.Unparen(res)
+			// string(p) / []byte(p) is still the same bytes.
+			if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+				if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+					e = ast.Unparen(call.Args[0])
+				}
+			}
+			if isParam(e) {
+				pass.Reportf(ret.Pos(), "seclint:sanitizer function %s returns its input unchanged; a sanitizer must produce a validated value, not launder taint", fn.Name.Name)
+				return true
+			}
+		}
+		return true
+	})
 }
 
 // checkStruct validates guardedby and atomicptr annotations inside one

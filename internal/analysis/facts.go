@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"sort"
+)
+
+// Facts are how seclint invariants cross package boundaries. An analyzer
+// running on package P may export a fact about a function (or an exported
+// struct field) declared in P; when a package importing P is analyzed
+// later, the same analyzer sees those facts and can reason about calls
+// into P without re-reading its source. The unitchecker persists facts as
+// JSON in the vetx file cmd/go hands around (`PackageVetx` on the read
+// side, `VetxOutput` on the write side), so propagation rides the exact
+// dependency-order scheduling `go vet` already does; analysistest
+// re-creates the same flow in-process for testdata packages, round-
+// tripping through JSON so the serialized form is what is tested.
+//
+// A fact is an opaque JSON value keyed by (analyzer name, object key).
+// Object keys are stable, human-readable strings:
+//
+//	func:(*webdbsec/internal/reldb.Database).ExecStmt
+//	field:webdbsec/internal/credential.Credential.Signature
+//
+// Keys carry the package path, so one merged PackageFacts map can hold
+// the facts of every dependency at once.
+
+// PackageFacts maps analyzer name → object key → serialized fact.
+type PackageFacts map[string]map[string]json.RawMessage
+
+// FuncKey returns the fact key for a function or method.
+func FuncKey(fn *types.Func) string {
+	return "func:" + fn.FullName()
+}
+
+// FieldKey returns the fact key for a struct field, identified by the
+// declaring package, the named type and the field name.
+func FieldKey(pkg *types.Package, typeName, fieldName string) string {
+	return "field:" + pkg.Path() + "." + typeName + "." + fieldName
+}
+
+// Merge folds src into f, overwriting on key collision (facts are
+// per-package, so collisions only happen when the same package is seen
+// twice — the values are identical).
+func (f PackageFacts) Merge(src PackageFacts) {
+	for analyzer, objs := range src {
+		dst := f[analyzer]
+		if dst == nil {
+			dst = make(map[string]json.RawMessage, len(objs))
+			f[analyzer] = dst
+		}
+		for k, v := range objs {
+			dst[k] = v
+		}
+	}
+}
+
+// Encode renders the facts as deterministic JSON (sorted keys — the
+// output lands in go vet's build cache, so byte-stable encodings avoid
+// spurious cache misses).
+func (f PackageFacts) Encode() ([]byte, error) {
+	// json.Marshal already sorts map keys; the explicit type keeps the
+	// shape documented here in one place.
+	type wire map[string]map[string]json.RawMessage
+	return json.Marshal(wire(f))
+}
+
+// DecodeFacts parses a fact file. Empty input (the pre-fact vetx files,
+// or a dependency outside the module) decodes as no facts.
+func DecodeFacts(data []byte) (PackageFacts, error) {
+	if len(data) == 0 {
+		return PackageFacts{}, nil
+	}
+	var f PackageFacts
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("analysis: decoding facts: %w", err)
+	}
+	if f == nil {
+		f = PackageFacts{}
+	}
+	return f, nil
+}
+
+// ExportFact records a fact about obj under the pass's analyzer. Facts
+// are only useful on exported or cross-package-reachable objects, but
+// exporting one about an unexported helper is harmless — importers
+// simply never look it up.
+func (p *Pass) ExportFact(key string, fact any) {
+	if p.exportFact == nil {
+		return
+	}
+	data, err := json.Marshal(fact)
+	if err != nil {
+		// Fact types are plain structs defined next to the analyzer; a
+		// marshal failure is a bug there, not an input condition.
+		panic(fmt.Sprintf("analysis: encoding fact for %s: %v", key, err))
+	}
+	p.exportFact(p.Analyzer.Name, key, data)
+}
+
+// ImportFact decodes the fact stored for key by this pass's analyzer in
+// a dependency package, reporting whether one exists.
+func (p *Pass) ImportFact(key string, out any) bool {
+	objs := p.ImportedFacts[p.Analyzer.Name]
+	raw, ok := objs[key]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, out) == nil
+}
+
+// FactKeys lists the keys this pass's analyzer has facts for, sorted —
+// handy for tests and debugging.
+func (p *Pass) FactKeys() []string {
+	var keys []string
+	for k := range p.ImportedFacts[p.Analyzer.Name] {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

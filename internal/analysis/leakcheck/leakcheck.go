@@ -1,0 +1,130 @@
+// Package leakcheck defines an Analyzer that keeps secret material out
+// of logs, error strings and debug output.
+//
+// # Analyzer leakcheck
+//
+// leakcheck: secrets must not reach logs, error text or debug surfaces
+// except through an explicit redaction helper.
+//
+// The analyzer runs the shared interprocedural engine
+// (internal/analysis/taint) with the secrecy vocabulary of this
+// repository:
+//
+//   - Origins: every value of type crypto/ed25519.PrivateKey, plus any
+//     struct field or function annotated `// seclint:secret` — wallet
+//     credential bytes, token nonces, the demo cluster secret, replay
+//     cache keys. Field annotations travel as analysis facts, so
+//     reading credential.Wallet's secret bytes in another package still
+//     taints.
+//
+//   - Declassifiers: signing (the signature is public), deriving the
+//     public half, hashing, and any function annotated
+//     `// seclint:sanitizer` — in-tree the fingerprint/redaction
+//     helpers (credential.Fingerprint, credential.Redact) that reduce a
+//     secret to a short non-invertible form safe to print.
+//
+//   - Sinks: the fmt print/format family that produces user-visible
+//     text (fmt.Errorf, fmt.Print*), the log package, errors.New,
+//     http.Error, and anything annotated `// seclint:sink` (debugz
+//     expvar publication).
+//
+// A flow may be silenced with `// seclint:taint-exempt <reason>` on the
+// flagged line or the line above; annotcheck rejects a bare exemption
+// with no reason.
+package leakcheck
+
+import (
+	"fmt"
+	"go/types"
+
+	"webdbsec/internal/analysis"
+	"webdbsec/internal/analysis/taint"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:         "leakcheck",
+	Doc:          "secret material must not reach logs, errors or debug output unredacted",
+	Run:          run,
+	ExportsFacts: true,
+}
+
+func run(pass *analysis.Pass) error {
+	return taint.Run(pass, &taint.Config{
+		OriginVerb:       "secret",
+		Kind:             "secret",
+		OriginType:       secretType,
+		OpaqueContainers: true,
+		IntrinsicSanitizer: func(callee *types.Func) bool {
+			return declassifiers[callee.FullName()]
+		},
+		IntrinsicSink: func(callee *types.Func) ([]int, string, bool) {
+			full := callee.FullName()
+			if textSinks[full] {
+				return nil, full, true // nil index list = every argument
+			}
+			return nil, "", false
+		},
+		Message: func(sink, origin string) string {
+			src := ""
+			if origin != "" {
+				src = fmt.Sprintf(" (%s)", origin)
+			}
+			return fmt.Sprintf("secret%s reaches %s; redact or fingerprint it first or add // seclint:taint-exempt <reason>", src, sink)
+		},
+	})
+}
+
+// secretType marks types whose every value is secret material.
+func secretType(t types.Type) (string, bool) {
+	if isNamed(t, "crypto/ed25519", "PrivateKey") {
+		return "ed25519 private key", true
+	}
+	return "", false
+}
+
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// declassifiers reduce a secret to something safe: a signature, a public
+// key, a digest.
+var declassifiers = map[string]bool{
+	"crypto/ed25519.Sign":                true,
+	"(crypto/ed25519.PrivateKey).Sign":   true,
+	"(crypto/ed25519.PrivateKey).Public": true,
+	"(crypto/ed25519.PrivateKey).Equal":  true,
+	"crypto/sha256.Sum256":               true,
+	"crypto/hmac.New":                    true,
+	"crypto/subtle.ConstantTimeCompare":  true,
+}
+
+// textSinks is the fmt/log/error surface where secret bytes become
+// operator- or client-visible text.
+var textSinks = buildTextSinks()
+
+func buildTextSinks() map[string]bool {
+	m := map[string]bool{
+		"errors.New":     true,
+		"net/http.Error": true,
+	}
+	// The Sprint family is deliberately absent: formatting a secret into
+	// a string propagates taint (the engine's conservative model covers
+	// it), and the flow is flagged where that string becomes visible.
+	for _, n := range []string{"Errorf", "Print", "Printf", "Println"} {
+		m["fmt."+n] = true
+	}
+	for _, n := range []string{
+		"Print", "Printf", "Println",
+		"Fatal", "Fatalf", "Fatalln",
+		"Panic", "Panicf", "Panicln",
+	} {
+		m["log."+n] = true
+		m["(*log.Logger)."+n] = true
+	}
+	return m
+}

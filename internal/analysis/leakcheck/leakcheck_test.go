@@ -1,0 +1,15 @@
+package leakcheck
+
+import (
+	"path/filepath"
+	"testing"
+
+	"webdbsec/internal/analysis/analysistest"
+)
+
+// TestLeakCheck runs over the leakmain fixture, which imports the
+// leaksrc sibling: the annotated-field and helper-sink cases cross the
+// package boundary as analysis facts.
+func TestLeakCheck(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("..", "testdata", "src", "leakmain"))
+}

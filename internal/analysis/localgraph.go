@@ -63,6 +63,12 @@ func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
 		return nil
 	}
 	fn, _ := info.Uses[id].(*types.Func)
+	if fn != nil {
+		// Instantiated generics resolve to a distinct *types.Func per
+		// instantiation; summaries, facts and annotations are all keyed
+		// by the declared (origin) object.
+		fn = fn.Origin()
+	}
 	return fn
 }
 

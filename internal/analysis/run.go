@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -22,27 +23,64 @@ func NewTypesInfo() *types.Info {
 }
 
 // RunAll applies every analyzer to one type-checked package and returns
-// the combined diagnostics in file/position order. An analyzer error
+// the combined diagnostics in file/position order plus the facts the
+// analyzers exported about this package. imported carries the merged
+// facts of the package's dependencies (nil is fine). An analyzer error
 // (a bug in the analyzer, not a finding) aborts the run.
-func RunAll(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+func RunAll(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, imported PackageFacts) ([]Diagnostic, PackageFacts, error) {
+	diags, exported, err := run(analyzers, fset, files, pkg, info, imported, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, exported, nil
+}
+
+// RunFactsOnly applies just the fact-producing analyzers, suppressing
+// diagnostics — the dependency-package mode of the unitchecker protocol
+// (VetxOnly) and of analysistest's testdata-sibling loading.
+func RunFactsOnly(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, imported PackageFacts) (PackageFacts, error) {
+	var factful []*Analyzer
+	for _, a := range analyzers {
+		if a.ExportsFacts {
+			factful = append(factful, a)
+		}
+	}
+	_, exported, err := run(factful, fset, files, pkg, info, imported, false)
+	return exported, err
+}
+
+func run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, imported PackageFacts, report bool) ([]Diagnostic, PackageFacts, error) {
 	var diags []Diagnostic
+	exported := PackageFacts{}
 	for _, a := range analyzers {
 		pass := &Pass{
-			Analyzer:  a,
-			Fset:      fset,
-			Files:     files,
-			Pkg:       pkg,
-			TypesInfo: info,
+			Analyzer:      a,
+			Fset:          fset,
+			Files:         files,
+			Pkg:           pkg,
+			TypesInfo:     info,
+			ImportedFacts: imported,
 		}
 		name := a.Name
 		pass.Report = func(d Diagnostic) {
+			if !report {
+				return
+			}
 			d.Analyzer = name
 			diags = append(diags, d)
 		}
+		pass.exportFact = func(analyzer, key string, data []byte) {
+			objs := exported[analyzer]
+			if objs == nil {
+				objs = make(map[string]json.RawMessage)
+				exported[analyzer] = objs
+			}
+			objs[key] = json.RawMessage(data)
+		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+			return nil, nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
 		}
 	}
-	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
-	return diags, nil
+	return diags, exported, nil
 }

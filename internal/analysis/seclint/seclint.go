@@ -9,12 +9,14 @@ import (
 	"webdbsec/internal/analysis/ctxio"
 	"webdbsec/internal/analysis/gatecheck"
 	"webdbsec/internal/analysis/guardedby"
+	"webdbsec/internal/analysis/leakcheck"
+	"webdbsec/internal/analysis/taintflow"
 	"webdbsec/internal/analysis/verdictcheck"
 )
 
 // Analyzers returns the full seclint suite, in the order findings are
 // most useful to read: grammar first (a bad annotation invalidates the
-// rest), then the invariants.
+// rest), then the invariants, then the interprocedural dataflow checks.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		annotcheck.Analyzer,
@@ -22,5 +24,7 @@ func Analyzers() []*analysis.Analyzer {
 		verdictcheck.Analyzer,
 		ctxio.Analyzer,
 		gatecheck.Analyzer,
+		taintflow.Analyzer,
+		leakcheck.Analyzer,
 	}
 }

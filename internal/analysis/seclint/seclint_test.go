@@ -1,0 +1,98 @@
+package seclint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// expected is the full analyzer roster. Adding an analyzer package
+// without updating this list (and so thinking about whether it belongs
+// in the default suite) is the failure mode this test exists for.
+var expected = []string{
+	"annotcheck",
+	"guardedby",
+	"verdictcheck",
+	"ctxio",
+	"gatecheck",
+	"taintflow",
+	"leakcheck",
+}
+
+// TestSuiteComplete: every analyzer package under internal/analysis is
+// registered in Analyzers(), names are unique, and each entry is
+// runnable.
+func TestSuiteComplete(t *testing.T) {
+	got := map[string]bool{}
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q is missing Name, Doc or Run", a.Name)
+		}
+		if got[a.Name] {
+			t.Errorf("analyzer %q registered twice", a.Name)
+		}
+		got[a.Name] = true
+	}
+	for _, name := range expected {
+		if !got[name] {
+			t.Errorf("analyzer %q not in Analyzers()", name)
+		}
+	}
+	if len(got) != len(expected) {
+		t.Errorf("Analyzers() has %d entries, expected list has %d — update one of them", len(got), len(expected))
+	}
+
+	// The expected list itself must track the analyzer packages on disk:
+	// a directory with an analyzer that never made the list is invisible
+	// to every driver.
+	entries, err := os.ReadDir("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	infra := map[string]bool{
+		"analysistest": true, "seclint": true, "taint": true,
+		"testdata": true, "unitchecker": true,
+	}
+	want := map[string]bool{}
+	for _, n := range expected {
+		want[n] = true
+	}
+	for _, e := range entries {
+		if !e.IsDir() || infra[e.Name()] {
+			continue
+		}
+		if !want[e.Name()] {
+			t.Errorf("internal/analysis/%s exists but is not in the expected suite list", e.Name())
+		}
+	}
+}
+
+// TestDriversWired: cmd/seclint consumes Analyzers() and make check runs
+// the lint target, so a finding anywhere in the suite gates the build.
+func TestDriversWired(t *testing.T) {
+	main, err := os.ReadFile(filepath.Join("..", "..", "..", "cmd", "seclint", "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(main), "seclint.Analyzers()") {
+		t.Error("cmd/seclint does not run seclint.Analyzers()")
+	}
+	mk, err := os.ReadFile(filepath.Join("..", "..", "..", "Makefile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var checkDeps string
+	for _, line := range strings.Split(string(mk), "\n") {
+		if strings.HasPrefix(line, "check:") {
+			checkDeps = line
+			break
+		}
+	}
+	if !strings.Contains(checkDeps, "lint") {
+		t.Errorf("make check does not depend on lint: %q", checkDeps)
+	}
+	if !strings.Contains(string(mk), "-vettool=") {
+		t.Error("Makefile lint target does not run the vettool")
+	}
+}

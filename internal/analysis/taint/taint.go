@@ -1,0 +1,1104 @@
+// Package taint is the shared interprocedural dataflow engine behind the
+// taintflow and leakcheck analyzers. Both check the same shape of
+// invariant — values originating at *origins* must not reach *sinks*
+// without passing a *sanitizer* — and differ only in their vocabulary:
+// taintflow's origins are web-input surfaces and its sinks are execution
+// paths into the data tier; leakcheck's origins are secret material and
+// its sinks are logs, error text and debug output.
+//
+// The engine computes one Summary per function, bottom-up over the
+// package-local call graph (analysis.LocalFuncs), to a monotone fixpoint:
+// taint bits only ever accumulate, so iteration terminates. Summaries of
+// other packages in this module arrive as analysis facts (see
+// internal/analysis/facts.go); calls into packages with no facts — the
+// standard library, mostly — fall back to a conservative model where
+// taint propagates from arguments to string-shaped results and to the
+// receiver, unless the Config names the callee as an intrinsic source,
+// sanitizer or sink.
+//
+// Within a function the abstraction is deliberately simple: each local
+// variable holds a bitmask of origins (bit i = "derives from entry value
+// i", where entry values are the receiver followed by the parameters,
+// plus one bit for "derives from an origin"). Assignments, range
+// statements, composite literals, conversions, string concatenation and
+// call results propagate bits; comparisons and bool/numeric results drop
+// them (a predicate over a secret is not the secret; a length is not the
+// input). The body is re-walked until the variable map stops changing,
+// so loops and use-before-def orderings converge.
+package taint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"webdbsec/internal/analysis"
+)
+
+// originBit marks a value that derives from an origin (a source for
+// taintflow, a secret for leakcheck). Lower bits mark derivation from
+// the function's entry values (receiver, then parameters).
+const originBit uint64 = 1 << 63
+
+// maxEntryBits caps how many entry values get their own bit; functions
+// with more parameters than this are handled conservatively (the
+// overflow parameters share the last bit).
+const maxEntryBits = 62
+
+// Summary is the per-function interprocedural fact: how taint moves
+// through a call to this function. It is exported under the analyzer's
+// name keyed by analysis.FuncKey, so importing packages see it.
+type Summary struct {
+	// Origin marks results that are tainted no matter the arguments
+	// (the function reads a source / returns secret material). Indices
+	// are result positions; a single entry of -1 means every result.
+	Origin []int `json:"origin,omitempty"`
+	// OriginWitness names the origin for diagnostics.
+	OriginWitness string `json:"ow,omitempty"`
+	// Sanitizer marks the function as clearing taint: its results are
+	// clean whatever its arguments.
+	Sanitizer bool `json:"san,omitempty"`
+	// Propagate lists entry indices (receiver first, then parameters)
+	// whose taint reaches at least one result.
+	Propagate []int `json:"prop,omitempty"`
+	// SinkParams lists entry indices that reach a sink inside the
+	// function (directly or through callees).
+	SinkParams []int `json:"sink,omitempty"`
+	// SinkWitness names that sink for diagnostics at the call site.
+	SinkWitness string `json:"sw,omitempty"`
+}
+
+func (s *Summary) equal(o *Summary) bool {
+	return s.Sanitizer == o.Sanitizer &&
+		s.OriginWitness == o.OriginWitness && s.SinkWitness == o.SinkWitness &&
+		equalInts(s.Origin, o.Origin) && equalInts(s.Propagate, o.Propagate) &&
+		equalInts(s.SinkParams, o.SinkParams)
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FieldFact marks an exported struct field as an origin — leakcheck's
+// secret-annotated fields — keyed by analysis.FieldKey.
+type FieldFact struct {
+	Origin  bool   `json:"origin"`
+	Witness string `json:"w,omitempty"`
+}
+
+// Config is one analyzer's vocabulary over the shared engine.
+type Config struct {
+	// OriginVerb is the annotation verb that marks a function's results
+	// or a struct field as an origin ("source" or "secret").
+	OriginVerb string
+	// Kind names the tainted class in diagnostics ("web input",
+	// "secret").
+	Kind string
+	// IntrinsicOrigin reports whether a call to callee introduces
+	// taint, returning the tainted result indices (nil = all results)
+	// and a witness string.
+	IntrinsicOrigin func(callee *types.Func, call *ast.CallExpr, info *types.Info) ([]int, string, bool)
+	// OriginType reports whether every value of this type is an origin
+	// (e.g. ed25519.PrivateKey), with a witness.
+	OriginType func(t types.Type) (string, bool)
+	// IntrinsicSanitizer reports whether a call to callee clears taint.
+	IntrinsicSanitizer func(callee *types.Func) bool
+	// IntrinsicSink reports whether callee is a sink, returning the
+	// entry indices that must stay clean (nil = all) and a witness.
+	IntrinsicSink func(callee *types.Func) ([]int, string, bool)
+	// CleanType reports types that never carry taint for this analyzer
+	// (e.g. context.Context for taintflow): expressions of such a type
+	// are always clean, cutting conservative over-propagation.
+	CleanType func(t types.Type) bool
+	// OpaqueContainers stops struct values from inheriting the taint of
+	// values stored in their fields. leakcheck sets this: keys live in
+	// unexported struct fields by design, and without it every object
+	// that ever held a key — authorities, keyrings, services, whole
+	// servers — becomes "secret", drowning real flows in noise. The
+	// secret value itself (the key, the annotated field read) stays
+	// tracked wherever it moves.
+	OpaqueContainers bool
+	// Message renders the diagnostic for a clean-path violation.
+	Message func(sinkWitness, originWitness string) string
+}
+
+// exemptVerb silences one reported flow, with a mandatory reason
+// (validated by annotcheck). It applies on the flagged line, the line
+// above, or the enclosing function's doc comment.
+const exemptVerb = "taint-exempt"
+
+// val is the abstract value of one variable or expression.
+type val struct {
+	bits    uint64
+	witness string // first origin witness that reached this value
+}
+
+func (v val) or(o val) val {
+	w := v.witness
+	if w == "" {
+		w = o.witness
+	}
+	return val{bits: v.bits | o.bits, witness: w}
+}
+
+func (v val) hasOrigin() bool { return v.bits&originBit != 0 }
+
+// engine analyzes one package under one Config.
+type engine struct {
+	pass      *analysis.Pass
+	cfg       *Config
+	funcs     map[*types.Func]*analysis.FuncNode
+	summaries map[*types.Func]*Summary
+	// annotated local functions, by directive.
+	annOrigin    map[*types.Func]bool
+	annSanitizer map[*types.Func]bool
+	annSink      map[*types.Func]bool
+	// origin-annotated struct fields declared in this package, plus
+	// their fact keys for export.
+	originFields map[*types.Var]string // field -> witness
+	fieldKeys    map[*types.Var]string
+	// lineDirectives per file, for taint-exempt.
+	lines map[*ast.File]map[int][]analysis.Directive
+}
+
+// Run executes the engine over the pass's package: computes summaries to
+// fixpoint, reports origin-to-sink flows, and exports facts.
+func Run(pass *analysis.Pass, cfg *Config) error {
+	e := &engine{
+		pass:         pass,
+		cfg:          cfg,
+		funcs:        analysis.LocalFuncs(pass),
+		summaries:    map[*types.Func]*Summary{},
+		annOrigin:    map[*types.Func]bool{},
+		annSanitizer: map[*types.Func]bool{},
+		annSink:      map[*types.Func]bool{},
+		originFields: map[*types.Var]string{},
+		fieldKeys:    map[*types.Var]string{},
+		lines:        map[*ast.File]map[int][]analysis.Directive{},
+	}
+	e.collectAnnotations()
+
+	// Seed summaries from annotations so even bodyless wrappers carry
+	// their declared role.
+	for obj := range e.funcs {
+		e.summaries[obj] = e.seedSummary(obj)
+	}
+
+	// Monotone fixpoint over the package's functions: each round
+	// re-derives every summary from the bodies given the previous
+	// round's summaries. Bits only accumulate, so this terminates; the
+	// round cap is a safety net, not a tuning knob.
+	for round := 0; round < len(e.funcs)+2; round++ {
+		changed := false
+		for obj, node := range e.funcs {
+			s := e.analyze(obj, node, nil)
+			if !s.equal(e.summaries[obj]) {
+				e.summaries[obj] = s
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Reporting pass: re-walk each body with final summaries, emitting
+	// a diagnostic for every sink argument carrying origin taint.
+	seen := map[token.Pos]bool{}
+	for obj, node := range e.funcs {
+		e.analyze(obj, node, func(pos token.Pos, msg string) {
+			if seen[pos] {
+				return
+			}
+			seen[pos] = true
+			pass.Reportf(pos, "%s", msg)
+		})
+	}
+
+	// Export facts: every function summary with taint effects (importers
+	// only look up the ones they call), every annotated exported field,
+	// and a package marker. The marker is what lets importers tell
+	// "analyzed, no effects" from "never analyzed": a call into a marked
+	// package with no function fact is a no-op, while a call into an
+	// unmarked one (the standard library) falls back to conservative
+	// argument-to-result propagation.
+	for obj, s := range e.summaries {
+		if s.Sanitizer || len(s.Origin) > 0 || len(s.Propagate) > 0 || len(s.SinkParams) > 0 {
+			pass.ExportFact(analysis.FuncKey(obj), s)
+		}
+	}
+	for field, key := range e.fieldKeys {
+		pass.ExportFact(key, &FieldFact{Origin: true, Witness: e.originFields[field]})
+	}
+	pass.ExportFact(pkgMarkerKey(pass.Pkg), true)
+	return nil
+}
+
+// pkgMarkerKey is the fact key recording that the engine analyzed a
+// package in full.
+func pkgMarkerKey(pkg *types.Package) string {
+	return "pkg:" + pkg.Path()
+}
+
+// collectAnnotations walks the files for directive-annotated functions
+// and struct fields and indexes line directives.
+func (e *engine) collectAnnotations() {
+	for _, file := range e.pass.Files {
+		if e.pass.InTestFile(file.Pos()) {
+			continue
+		}
+		e.lines[file] = analysis.LineDirectives(e.pass.Fset, file)
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				obj, ok := e.pass.TypesInfo.Defs[d.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				if _, ok := analysis.GroupDirective(d.Doc, e.cfg.OriginVerb); ok {
+					e.annOrigin[obj] = true
+				}
+				if _, ok := analysis.GroupDirective(d.Doc, "sanitizer"); ok {
+					e.annSanitizer[obj] = true
+				}
+				if _, ok := analysis.GroupDirective(d.Doc, "sink"); ok {
+					e.annSink[obj] = true
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, f := range st.Fields.List {
+						if !e.fieldAnnotated(f) {
+							continue
+						}
+						for _, name := range f.Names {
+							fv, ok := e.pass.TypesInfo.Defs[name].(*types.Var)
+							if !ok {
+								continue
+							}
+							witness := e.pass.Pkg.Name() + "." + ts.Name.Name + "." + name.Name
+							e.originFields[fv] = witness
+							e.fieldKeys[fv] = analysis.FieldKey(e.pass.Pkg, ts.Name.Name, name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func (e *engine) fieldAnnotated(f *ast.Field) bool {
+	for _, grp := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if _, ok := analysis.GroupDirective(grp, e.cfg.OriginVerb); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// seedSummary builds the annotation-derived part of a summary.
+func (e *engine) seedSummary(obj *types.Func) *Summary {
+	s := &Summary{}
+	if e.annSanitizer[obj] {
+		s.Sanitizer = true
+	}
+	if e.annOrigin[obj] {
+		s.Origin = []int{-1}
+		s.OriginWitness = obj.FullName()
+	}
+	if e.annSink[obj] {
+		s.SinkParams = []int{-1}
+		s.SinkWitness = obj.FullName()
+	}
+	return s
+}
+
+// entryVars enumerates the function's entry values: receiver first, then
+// parameters, each mapped to its bit index.
+func entryVars(obj *types.Func) []*types.Var {
+	sig := obj.Type().(*types.Signature)
+	var out []*types.Var
+	if recv := sig.Recv(); recv != nil {
+		out = append(out, recv)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		out = append(out, sig.Params().At(i))
+	}
+	return out
+}
+
+func entryBit(i int) uint64 {
+	if i >= maxEntryBits {
+		i = maxEntryBits - 1
+	}
+	return 1 << i
+}
+
+// analyze runs the function-local dataflow and derives a Summary. When
+// report is non-nil, origin-to-sink hits are delivered through it.
+func (e *engine) analyze(obj *types.Func, node *analysis.FuncNode, report func(token.Pos, string)) *Summary {
+	s := e.seedSummary(obj)
+	if s.Sanitizer {
+		// A sanitizer's contract is total: its body is trusted to
+		// validate, so no flows inside it are reported and nothing
+		// propagates. (annotcheck rejects sanitizers that return an
+		// input unchanged.)
+		return s
+	}
+
+	fa := &funcAnalysis{
+		engine: e,
+		fn:     node.Decl,
+		vars:   map[types.Object]val{},
+		report: report,
+	}
+	entries := entryVars(obj)
+	for i, v := range entries {
+		fa.vars[v] = val{bits: entryBit(i)}
+		if e.cfg.OriginType != nil {
+			if w, ok := e.cfg.OriginType(v.Type()); ok {
+				fa.vars[v] = val{bits: entryBit(i) | originBit, witness: w}
+			}
+		}
+	}
+	if len(s.Origin) > 0 {
+		// Annotated origin: results are tainted by declaration; still
+		// analyze the body for internal sink hits.
+		fa.extraResult = val{bits: originBit, witness: s.OriginWitness}
+	}
+
+	// Inner fixpoint: re-walk the body until variable taints stabilize.
+	for round := 0; ; round++ {
+		fa.changed = false
+		fa.walkBody()
+		if !fa.changed || round > 64 {
+			break
+		}
+	}
+	// One more walk with reporting enabled happens implicitly: report
+	// was active on every walk, but the dedupe in Run keeps one
+	// diagnostic per position.
+
+	sig := obj.Type().(*types.Signature)
+	nres := sig.Results().Len()
+	resultTaint := fa.resultTaint(sig)
+	var origin []int
+	propagate := map[int]bool{}
+	for ri := 0; ri < nres; ri++ {
+		rv := resultTaint[ri]
+		if fa.extraResult.bits != 0 {
+			rv = rv.or(fa.extraResult)
+		}
+		if rv.hasOrigin() {
+			origin = append(origin, ri)
+			if s.OriginWitness == "" {
+				s.OriginWitness = rv.witness
+			}
+		}
+		for i := range entries {
+			if rv.bits&entryBit(i) != 0 {
+				propagate[i] = true
+			}
+		}
+	}
+	if len(s.Origin) == 0 {
+		s.Origin = origin
+	}
+	for i := range entries {
+		if fa.sinkEntry[i] {
+			s.SinkParams = append(s.SinkParams, i)
+		}
+	}
+	if s.SinkWitness == "" {
+		s.SinkWitness = fa.sinkWitness
+	}
+	for i := range entries {
+		if propagate[i] {
+			s.Propagate = append(s.Propagate, i)
+		}
+	}
+	sort.Ints(s.Propagate)
+	sort.Ints(s.SinkParams)
+	return s
+}
+
+// funcAnalysis is the per-function walk state.
+type funcAnalysis struct {
+	*engine
+	fn          *ast.FuncDecl
+	vars        map[types.Object]val
+	returns     []val // accumulated per-result taints, indexed by result position
+	extraResult val
+	sinkEntry   [maxEntryBits + 1]bool
+	sinkWitness string
+	changed     bool
+	report      func(token.Pos, string)
+}
+
+func (fa *funcAnalysis) setVar(obj types.Object, v val) {
+	if obj == nil || v.bits == 0 {
+		return
+	}
+	cur := fa.vars[obj]
+	next := cur.or(v)
+	if next.bits != cur.bits || (cur.witness == "" && next.witness != "") {
+		fa.vars[obj] = next
+		fa.changed = true
+	}
+}
+
+// resultTaint folds the recorded return statements into per-result
+// taints, including named result variables.
+func (fa *funcAnalysis) resultTaint(sig *types.Signature) []val {
+	n := sig.Results().Len()
+	out := make([]val, n)
+	for i := 0; i < n; i++ {
+		if i < len(fa.returns) {
+			out[i] = out[i].or(fa.returns[i])
+		}
+		// Named results may be assigned and returned naked.
+		if rv := sig.Results().At(i); rv.Name() != "" {
+			out[i] = out[i].or(fa.vars[rv])
+		}
+	}
+	return out
+}
+
+func (fa *funcAnalysis) recordReturn(i int, v val) {
+	for len(fa.returns) <= i {
+		fa.returns = append(fa.returns, val{})
+	}
+	prev := fa.returns[i]
+	next := prev.or(v)
+	if next.bits != prev.bits {
+		fa.returns[i] = next
+		fa.changed = true
+	}
+}
+
+// walkBody traverses the function body once, propagating taint through
+// statements and checking sinks.
+func (fa *funcAnalysis) walkBody() {
+	ast.Inspect(fa.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			fa.assign(n)
+		case *ast.ValueSpec:
+			fa.valueSpec(n)
+		case *ast.RangeStmt:
+			xv := fa.taintOf(n.X)
+			if n.Key != nil {
+				fa.assignTo(n.Key, xv)
+			}
+			if n.Value != nil {
+				fa.assignTo(n.Value, xv)
+			}
+		case *ast.ReturnStmt:
+			fa.returnStmt(n)
+		case *ast.CallExpr:
+			// Evaluate for sink effects even in statement position;
+			// taintOf on calls performs the sink check.
+			fa.callResults(n)
+		case *ast.SendStmt:
+			// ch <- v taints the channel variable.
+			fa.assignTo(n.Chan, fa.taintOf(n.Value))
+		}
+		return true
+	})
+}
+
+func (fa *funcAnalysis) assign(n *ast.AssignStmt) {
+	// Tuple assignment from a single multi-result call keeps per-result
+	// precision (pub, priv, err := GenerateKey).
+	if len(n.Lhs) > 1 && len(n.Rhs) == 1 {
+		if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+			results := fa.callResults(call)
+			for i, lhs := range n.Lhs {
+				if i < len(results) {
+					fa.assignTo(lhs, results[i])
+				}
+			}
+			return
+		}
+		// v, ok := m[k] / x.(T) / <-ch: taint both from the operand.
+		v := fa.taintOf(n.Rhs[0])
+		for _, lhs := range n.Lhs {
+			fa.assignTo(lhs, v)
+		}
+		return
+	}
+	for i, lhs := range n.Lhs {
+		if i < len(n.Rhs) {
+			fa.assignTo(lhs, fa.taintOf(n.Rhs[i]))
+		}
+	}
+}
+
+func (fa *funcAnalysis) valueSpec(n *ast.ValueSpec) {
+	if len(n.Values) == 1 && len(n.Names) > 1 {
+		if call, ok := ast.Unparen(n.Values[0]).(*ast.CallExpr); ok {
+			results := fa.callResults(call)
+			for i, name := range n.Names {
+				if i < len(results) {
+					fa.setVar(fa.pass.TypesInfo.Defs[name], results[i])
+				}
+			}
+			return
+		}
+	}
+	for i, name := range n.Names {
+		if i < len(n.Values) {
+			fa.setVar(fa.pass.TypesInfo.Defs[name], fa.taintOf(n.Values[i]))
+		}
+	}
+}
+
+func (fa *funcAnalysis) returnStmt(n *ast.ReturnStmt) {
+	if len(n.Results) == 1 {
+		if call, ok := ast.Unparen(n.Results[0]).(*ast.CallExpr); ok {
+			if results := fa.callResults(call); len(results) > 1 {
+				for i, v := range results {
+					fa.recordReturn(i, v)
+				}
+				return
+			}
+		}
+	}
+	for i, r := range n.Results {
+		fa.recordReturn(i, fa.taintOf(r))
+	}
+}
+
+// assignTo propagates v into an assignment target. Writes through a
+// field, index or dereference taint the root variable: mutation makes
+// the container carry the value.
+func (fa *funcAnalysis) assignTo(lhs ast.Expr, v val) {
+	if v.bits == 0 {
+		return
+	}
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := fa.pass.TypesInfo.Defs[l]
+		if obj == nil {
+			obj = fa.pass.TypesInfo.Uses[l]
+		}
+		fa.setVar(obj, v)
+	case *ast.SelectorExpr:
+		if !fa.cfg.OpaqueContainers {
+			fa.assignTo(l.X, v)
+		}
+	case *ast.IndexExpr:
+		fa.assignTo(l.X, v)
+	case *ast.StarExpr:
+		fa.assignTo(l.X, v)
+	case *ast.SliceExpr:
+		fa.assignTo(l.X, v)
+	}
+}
+
+// taintOf computes the abstract value of an expression.
+func (fa *funcAnalysis) taintOf(e ast.Expr) val {
+	if e == nil {
+		return val{}
+	}
+	// Type-intrinsic origins (e.g. ed25519.PrivateKey) mark any
+	// expression of the type, wherever it came from; clean types never
+	// carry taint, whatever fed them.
+	if tv, ok := fa.pass.TypesInfo.Types[e]; ok && tv.Value == nil && tv.Type != nil {
+		if fa.cfg.CleanType != nil && fa.cfg.CleanType(tv.Type) {
+			return val{}
+		}
+		if fa.cfg.OriginType != nil {
+			if w, ok := fa.cfg.OriginType(tv.Type); ok {
+				return val{bits: originBit, witness: w}
+			}
+		}
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := fa.pass.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = fa.pass.TypesInfo.Defs[e]
+		}
+		return fa.vars[obj]
+	case *ast.SelectorExpr:
+		if v, ok := fa.fieldOrigin(e); ok {
+			return v.or(fa.taintOf(e.X))
+		}
+		return fa.taintOf(e.X)
+	case *ast.CallExpr:
+		results := fa.callResults(e)
+		var v val
+		for _, r := range results {
+			v = v.or(r)
+		}
+		return v
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+			token.LAND, token.LOR:
+			// Predicates are one bit of derived information, not the
+			// value itself.
+			return val{}
+		}
+		return fa.taintOf(e.X).or(fa.taintOf(e.Y))
+	case *ast.UnaryExpr:
+		return fa.taintOf(e.X)
+	case *ast.StarExpr:
+		return fa.taintOf(e.X)
+	case *ast.ParenExpr:
+		return fa.taintOf(e.X)
+	case *ast.IndexExpr:
+		return fa.taintOf(e.X)
+	case *ast.SliceExpr:
+		return fa.taintOf(e.X)
+	case *ast.CompositeLit:
+		if fa.cfg.OpaqueContainers && fa.isStructLit(e) {
+			return val{}
+		}
+		var v val
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v = v.or(fa.taintOf(kv.Value))
+				continue
+			}
+			v = v.or(fa.taintOf(el))
+		}
+		return v
+	case *ast.TypeAssertExpr:
+		return fa.taintOf(e.X)
+	}
+	return val{}
+}
+
+// isStructLit reports whether the composite literal builds a struct
+// (as opposed to a slice, array or map, whose elements stay the value).
+func (fa *funcAnalysis) isStructLit(e *ast.CompositeLit) bool {
+	tv, ok := fa.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isStruct := tv.Type.Underlying().(*types.Struct)
+	return isStruct
+}
+
+// fieldOrigin reports whether the selector reads an origin-annotated
+// struct field, local or imported.
+func (fa *funcAnalysis) fieldOrigin(sel *ast.SelectorExpr) (val, bool) {
+	obj := fa.pass.TypesInfo.Uses[sel.Sel]
+	fv, ok := obj.(*types.Var)
+	if !ok || !fv.IsField() {
+		return val{}, false
+	}
+	if w, ok := fa.originFields[fv]; ok {
+		return val{bits: originBit, witness: w}, true
+	}
+	// Imported field: reconstruct the fact key from the selection's
+	// receiver type.
+	selInfo, ok := fa.pass.TypesInfo.Selections[sel]
+	if !ok || fv.Pkg() == nil || fv.Pkg() == fa.pass.Pkg {
+		return val{}, false
+	}
+	recv := selInfo.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return val{}, false
+	}
+	key := analysis.FieldKey(fv.Pkg(), named.Obj().Name(), fv.Name())
+	var fact FieldFact
+	if fa.pass.ImportFact(key, &fact) && fact.Origin {
+		return val{bits: originBit, witness: fact.Witness}, true
+	}
+	return val{}, false
+}
+
+// callResults computes the per-result taints of a call, applying the
+// sink check to its arguments.
+func (fa *funcAnalysis) callResults(call *ast.CallExpr) []val {
+	info := fa.pass.TypesInfo
+	// Conversions: string(b), []byte(s), T(x) — taint flows through.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return []val{fa.taintOf(call.Args[0])}
+		}
+		return []val{{}}
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				var v val
+				for _, a := range call.Args {
+					v = v.or(fa.taintOf(a))
+				}
+				return []val{v}
+			case "copy":
+				if len(call.Args) == 2 {
+					fa.assignTo(call.Args[0], fa.taintOf(call.Args[1]))
+				}
+				return []val{{}}
+			default:
+				// len, cap, min, max, make, new, delete, panic, ...
+				return []val{{}}
+			}
+		}
+	}
+
+	callee := analysis.Callee(info, call)
+	args := fa.callArgs(call, callee)
+
+	if callee == nil {
+		// Indirect call through a function value: conservative
+		// propagation into one result.
+		var v val
+		for _, a := range args {
+			v = v.or(a)
+		}
+		if tv, ok := info.Types[call]; ok && tv.Type != nil && cleanResultType(tv.Type) {
+			return []val{{}}
+		}
+		return []val{v}
+	}
+
+	sum := fa.summaryFor(callee)
+
+	// Sink check: intrinsic table, local/imported summary, or
+	// annotation. Report origin-tainted arguments; fold entry-tainted
+	// arguments into this function's own summary.
+	fa.checkSink(call, callee, sum, args)
+
+	// Sanitizers clear everything.
+	if fa.annSanitizer[callee] || (sum != nil && sum.Sanitizer) ||
+		(fa.cfg.IntrinsicSanitizer != nil && fa.cfg.IntrinsicSanitizer(callee)) {
+		return fa.cleanResults(callee)
+	}
+
+	// Intrinsic origins (e.g. http.Request.FormValue) taint the listed
+	// results.
+	if fa.cfg.IntrinsicOrigin != nil {
+		if resIdx, w, ok := fa.cfg.IntrinsicOrigin(callee, call, info); ok {
+			return fa.originResults(callee, resIdx, w, args)
+		}
+	}
+
+	if sum != nil {
+		return fa.summaryResults(callee, sum, args)
+	}
+
+	// Unknown callee (standard library, no facts): taint propagates
+	// from arguments to string-shaped results and into the receiver —
+	// bytes written into a bytes.Buffer come back out of its String.
+	var v val
+	for _, a := range args {
+		v = v.or(a)
+	}
+	if v.bits != 0 {
+		if selExpr, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+				fa.assignTo(selExpr.X, v)
+			}
+		}
+	}
+	return fa.spreadResults(callee, v)
+}
+
+// callArgs lines call arguments up with entry indices: receiver first
+// for methods, then the positional arguments.
+func (fa *funcAnalysis) callArgs(call *ast.CallExpr, callee *types.Func) []val {
+	var args []val
+	if callee != nil {
+		if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				args = append(args, fa.taintOf(sel.X))
+			} else {
+				args = append(args, val{})
+			}
+		}
+	}
+	for _, a := range call.Args {
+		args = append(args, fa.taintOf(a))
+	}
+	return args
+}
+
+// summaryFor resolves a callee's summary: local fixpoint state for
+// same-package functions, imported facts for the rest of the module.
+func (fa *funcAnalysis) summaryFor(callee *types.Func) *Summary {
+	if s, ok := fa.summaries[callee]; ok {
+		return s
+	}
+	if callee.Pkg() == nil || callee.Pkg() == fa.pass.Pkg {
+		return nil
+	}
+	var s Summary
+	if fa.pass.ImportFact(analysis.FuncKey(callee), &s) {
+		return &s
+	}
+	// No fact, but the package was analyzed: the callee has no taint
+	// effects. Without the marker it would fall into the conservative
+	// unknown-callee model and manufacture flows that do not exist.
+	var analyzed bool
+	if fa.pass.ImportFact(pkgMarkerKey(callee.Pkg()), &analyzed) && analyzed {
+		return &Summary{}
+	}
+	return nil
+}
+
+// checkSink reports origin-tainted arguments reaching a sink and records
+// entry-tainted ones in the current function's summary.
+func (fa *funcAnalysis) checkSink(call *ast.CallExpr, callee *types.Func, sum *Summary, args []val) {
+	var sinkIdx []int
+	var witness string
+	switch {
+	case fa.cfg.IntrinsicSink != nil:
+		if idx, w, ok := fa.cfg.IntrinsicSink(callee); ok {
+			sinkIdx, witness = idx, w
+			break
+		}
+		fallthrough
+	default:
+		if sum != nil && len(sum.SinkParams) > 0 {
+			sinkIdx, witness = sum.SinkParams, sum.SinkWitness
+			if witness == "" {
+				witness = callee.FullName()
+			}
+		} else if fa.annSink[callee] {
+			sinkIdx = []int{-1}
+			witness = callee.FullName()
+		}
+	}
+	if witness == "" {
+		return
+	}
+	// An exemption on the call line (or the enclosing function) vouches
+	// for this flow entirely: the call stops being a sink, so the
+	// exemption is not re-litigated in every caller up the chain.
+	if fa.exempt(call.Pos()) {
+		return
+	}
+	all := sinkIdx == nil || (len(sinkIdx) == 1 && sinkIdx[0] == -1)
+	idxSet := map[int]bool{}
+	for _, i := range sinkIdx {
+		idxSet[i] = true
+	}
+	// Variadic overflow arguments map onto the callee's last entry index.
+	lastEntry := calleeEntryCount(callee) - 1
+	for i, a := range args {
+		if a.bits == 0 {
+			continue
+		}
+		ei := i
+		if lastEntry >= 0 && ei > lastEntry {
+			ei = lastEntry
+		}
+		if !all && !idxSet[ei] {
+			continue
+		}
+		if a.hasOrigin() {
+			if fa.report != nil {
+				fa.report(call.Pos(), fa.cfg.Message(witness, a.witness))
+			}
+			continue
+		}
+		// Entry-derived taint: this function forwards its own inputs to
+		// a sink — callers must know.
+		for ei := 0; ei <= maxEntryBits; ei++ {
+			if a.bits&entryBit(ei) != 0 && entryBit(ei) != originBit {
+				if !fa.sinkEntry[ei] {
+					fa.sinkEntry[ei] = true
+					fa.changed = true
+				}
+				if fa.sinkWitness == "" {
+					fa.sinkWitness = witness
+				}
+			}
+		}
+	}
+}
+
+// exempt reports whether the flagged position carries a taint-exempt
+// directive: on its line, the line above, or the enclosing function doc.
+func (fa *funcAnalysis) exempt(pos token.Pos) bool {
+	if _, ok := analysis.GroupDirective(fa.fn.Doc, exemptVerb); ok {
+		return true
+	}
+	for file, lines := range fa.lines {
+		f := fa.pass.Fset.File(file.Pos())
+		if f == nil || f != fa.pass.Fset.File(pos) {
+			continue
+		}
+		return analysis.HasLineDirective(lines, fa.pass.Fset, pos, exemptVerb)
+	}
+	return false
+}
+
+// cleanResults returns all-clean results sized to the callee.
+func (fa *funcAnalysis) cleanResults(callee *types.Func) []val {
+	return make([]val, resultCount(callee))
+}
+
+// originResults taints the listed result indices (nil = all), keeping
+// argument propagation for the rest.
+func (fa *funcAnalysis) originResults(callee *types.Func, resIdx []int, witness string, args []val) []val {
+	n := resultCount(callee)
+	out := make([]val, n)
+	if resIdx == nil {
+		for i := range out {
+			out[i] = val{bits: originBit, witness: witness}
+		}
+		return out
+	}
+	for _, i := range resIdx {
+		if i >= 0 && i < n {
+			out[i] = val{bits: originBit, witness: witness}
+		}
+	}
+	return out
+}
+
+// summaryResults applies a callee summary to the argument taints.
+func (fa *funcAnalysis) summaryResults(callee *types.Func, sum *Summary, args []val) []val {
+	n := resultCount(callee)
+	out := make([]val, n)
+	if len(sum.Origin) == 1 && sum.Origin[0] == -1 {
+		for i := range out {
+			out[i] = val{bits: originBit, witness: sum.OriginWitness}
+		}
+	} else {
+		for _, ri := range sum.Origin {
+			if ri >= 0 && ri < n {
+				out[ri] = val{bits: originBit, witness: sum.OriginWitness}
+			}
+		}
+	}
+	// Propagation: taint of listed entry args spreads to every result
+	// (result-level precision inside the callee is not worth the fact
+	// size), except bool/numeric/error results — a predicate, count or
+	// failure derived from a tainted value is not the value.
+	var carried val
+	for _, ei := range sum.Propagate {
+		if ei < len(args) {
+			carried = carried.or(args[ei])
+		}
+	}
+	if carried.bits != 0 {
+		sig, _ := callee.Type().(*types.Signature)
+		for i := range out {
+			if sig != nil && i < sig.Results().Len() && cleanResultType(sig.Results().At(i).Type()) {
+				continue
+			}
+			out[i] = out[i].or(carried)
+		}
+	}
+	return out
+}
+
+// spreadResults distributes v across the callee's results, skipping
+// bool/numeric/error-typed ones.
+func (fa *funcAnalysis) spreadResults(callee *types.Func, v val) []val {
+	n := resultCount(callee)
+	out := make([]val, n)
+	sig, _ := callee.Type().(*types.Signature)
+	for i := range out {
+		if sig != nil && i < sig.Results().Len() && cleanResultType(sig.Results().At(i).Type()) {
+			continue
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// calleeEntryCount is the number of entry values (receiver plus
+// parameters) of the callee, or -1 if its type is not a signature.
+func calleeEntryCount(callee *types.Func) int {
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	n := sig.Params().Len()
+	if sig.Recv() != nil {
+		n++
+	}
+	return n
+}
+
+func resultCount(callee *types.Func) int {
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return 1
+	}
+	n := sig.Results().Len()
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
+// cleanResultType reports result types that drop taint when crossing a
+// call with no precise model: bool, numeric and error. A predicate over
+// a secret is not the secret; a length is not the input; stdlib error
+// values are assumed not to embed the payload (locally-built errors are
+// caught at their fmt.Errorf construction, which is a sink).
+func cleanResultType(t types.Type) bool {
+	if types.Identical(t, errorType) {
+		return true
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsBoolean|types.IsNumeric) != 0
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// PathMatch is a small helper for intrinsic tables: it reports whether
+// the callee is pkgPath.Name or (pkgPath.Recv).Name, using the compact
+// spec "pkgpath.Name" / "(pkgpath.Recv).Name" / "(*pkgpath.Recv).Name".
+func PathMatch(callee *types.Func, specs ...string) bool {
+	if callee == nil {
+		return false
+	}
+	full := callee.FullName()
+	for _, s := range specs {
+		if s == full {
+			return true
+		}
+	}
+	return false
+}
+
+// PrefixMatch reports whether the callee lives in pkgPath and its name
+// starts with one of the prefixes.
+func PrefixMatch(callee *types.Func, pkgPath string, prefixes ...string) bool {
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, p := range prefixes {
+		if strings.HasPrefix(callee.Name(), p) {
+			return true
+		}
+	}
+	return false
+}

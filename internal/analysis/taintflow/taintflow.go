@@ -1,0 +1,135 @@
+// Package taintflow defines an Analyzer that tracks web input to
+// execution sinks.
+//
+// # Analyzer taintflow
+//
+// taintflow: web input must be parsed or validated before it reaches an
+// execution sink.
+//
+// The analyzer runs the shared interprocedural engine
+// (internal/analysis/taint) with the web-facing vocabulary of this
+// repository:
+//
+//   - Origins: every value derived from a *net/http.Request — form
+//     values, headers (including X-Auth-Token), URL components, body
+//     reads — plus any function annotated `// seclint:source` (wsa
+//     request decoding, UDDI inquiry input, secchan frame payloads).
+//
+//   - Sanitizers: functions annotated `// seclint:sanitizer`. In-tree
+//     these are the reldb SQL parser, the xquery parser, and
+//     authtoken decode+verify — the places where raw bytes become a
+//     validated structure. The annotation travels as an analysis fact,
+//     so a sanitizer in internal/reldb clears taint in cmd/securedb.
+//
+//   - Sinks: filesystem calls taking a path (os.Open, os.ReadFile,
+//     os.WriteFile, os.Remove*, os.Mkdir*, os.Rename, os.OpenFile,
+//     os.Stat) and any function annotated `// seclint:sink` (reldb
+//     statement execution, xquery evaluation, xmldoc path ops, WAL
+//     appends).
+//
+// A flow may be silenced with `// seclint:taint-exempt <reason>` on the
+// flagged line or the line above; annotcheck rejects a bare exemption
+// with no reason.
+package taintflow
+
+import (
+	"fmt"
+	"go/types"
+
+	"webdbsec/internal/analysis"
+	"webdbsec/internal/analysis/taint"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:         "taintflow",
+	Doc:          "web input must pass a sanitizer before reaching an execution sink",
+	Run:          run,
+	ExportsFacts: true,
+}
+
+func run(pass *analysis.Pass) error {
+	return taint.Run(pass, &taint.Config{
+		OriginVerb: "source",
+		Kind:       "web input",
+		OriginType: requestType,
+		CleanType:  cleanType,
+		IntrinsicSink: func(callee *types.Func) ([]int, string, bool) {
+			if pathSinks[callee.FullName()] {
+				// Only the leading path arguments are sensitive; the
+				// write payload of os.WriteFile may carry input.
+				switch callee.Name() {
+				case "Rename", "Link", "Symlink":
+					return []int{0, 1}, callee.FullName(), true
+				default:
+					return []int{0}, callee.FullName(), true
+				}
+			}
+			return nil, "", false
+		},
+		Message: func(sink, origin string) string {
+			src := ""
+			if origin != "" {
+				src = fmt.Sprintf(" (from %s)", origin)
+			}
+			return fmt.Sprintf("unsanitized web input%s reaches %s; parse/validate it first or add // seclint:taint-exempt <reason>", src, sink)
+		},
+	})
+}
+
+// requestType marks request-derived roots: every value of type
+// *http.Request (or http.Request) is web input, so reads through it —
+// FormValue, Header.Get, URL.Path, Body — come out tainted without an
+// intrinsic table per accessor.
+func requestType(t types.Type) (string, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if isNamed(t, "net/http", "Request") {
+		return "http request", true
+	}
+	return "", false
+}
+
+// cleanType cuts conservative propagation through values that cannot
+// carry attacker-controlled bytes into an execution sink: contexts,
+// errors, and the response writer.
+func cleanType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if types.Identical(t, errorType) {
+		return true
+	}
+	return isNamed(t, "context", "Context") ||
+		isNamed(t, "net/http", "ResponseWriter") ||
+		isNamed(t, "time", "Time") || isNamed(t, "time", "Duration")
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// pathSinks lists stdlib filesystem entry points whose path arguments
+// must not be attacker-controlled.
+var pathSinks = buildPathSinks()
+
+func buildPathSinks() map[string]bool {
+	names := []string{
+		"Open", "OpenFile", "Create", "ReadFile", "WriteFile",
+		"Remove", "RemoveAll", "Mkdir", "MkdirAll", "Rename",
+		"Stat", "Lstat", "ReadDir", "Truncate", "Chmod",
+		"Link", "Symlink",
+	}
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m["os."+n] = true
+	}
+	return m
+}

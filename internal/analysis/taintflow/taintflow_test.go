@@ -1,0 +1,22 @@
+package taintflow
+
+import (
+	"path/filepath"
+	"testing"
+
+	"webdbsec/internal/analysis/analysistest"
+)
+
+// TestTaintFlow runs over the taintweb fixture, which imports the
+// taintsrc sibling: the cross-package cases are caught purely through
+// exported summaries (JSON-round-tripped by the harness), the same way
+// go vet ships them between packages.
+func TestTaintFlow(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("..", "testdata", "src", "taintweb"))
+}
+
+// TestTaintFlowSourcePackage runs over the sibling itself: annotated
+// sources feeding the annotated sink inside one package.
+func TestTaintFlowSourcePackage(t *testing.T) {
+	analysistest.Run(t, Analyzer, filepath.Join("..", "testdata", "src", "taintsrc"))
+}

@@ -80,3 +80,66 @@ func floatingAtomic()      {}
 
 /* seclint:gate wrong target */ // want `seclint:gate must annotate an interface type declaration`
 type notIface struct{}
+
+// --- taint-annotation grammar ---
+
+// A well-formed source/sink/sanitizer trio on function declarations.
+
+// seclint:source
+func goodSource() string { return "input" }
+
+// seclint:sink
+func goodSink(q string) { _ = q }
+
+// seclint:sanitizer
+func goodSanitizer(src string) (string, error) {
+	if src == "" {
+		return "", nil
+	}
+	return "parsed", nil
+}
+
+// A sanitizer that hands back its input is taint laundering.
+
+// seclint:sanitizer
+func identitySanitizer(src string) string {
+	return src // want `seclint:sanitizer function identitySanitizer returns its input unchanged`
+}
+
+// A bare conversion does not make it a sanitizer either.
+
+// seclint:sanitizer
+func conversionSanitizer(b []byte) string {
+	return string(b) // want `seclint:sanitizer function conversionSanitizer returns its input unchanged`
+}
+
+// Annotating secrets on a struct field and on a function are both legal.
+
+type vault struct {
+	// seclint:secret
+	key []byte
+	pub []byte /* seclint:secret */
+}
+
+// seclint:secret
+func secretFunc() []byte { return nil }
+
+var _ = vault{}
+
+/* seclint:secret */ // want `seclint:secret must annotate a function declaration or a struct field`
+var looseSecret = 1
+
+/* seclint:source */ // want `seclint:source must annotate a function declaration`
+type sourceOnType struct{}
+
+/* seclint:sink */ // want `seclint:sink must annotate a function declaration`
+var sinkOnVar = 2
+
+/* seclint:sanitizer */ // want `seclint:sanitizer must annotate a function declaration`
+type sanitizerOnType struct{}
+
+/* seclint:taint-exempt */ // want `seclint:taint-exempt requires a reason`
+func bareTaintExempt()     {}
+
+// seclint:taint-exempt fixture data only, never reaches production
+func reasonedTaintExempt() {}

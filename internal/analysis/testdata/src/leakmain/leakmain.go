@@ -1,0 +1,64 @@
+// Package leakmain is the leakcheck golden fixture: private keys and
+// annotated secrets flowing into logs and error strings, with
+// declassified and redacted negatives.
+package leakmain
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"log"
+
+	"leaksrc"
+)
+
+// direct: a private key formatted into an error.
+func direct(priv ed25519.PrivateKey) error {
+	return fmt.Errorf("minting failed for key %x", priv) // want `secret .*reaches fmt\.Errorf`
+}
+
+// oneHop: the secret reaches fmt.Errorf through one level of helper
+// indirection — wrapErr's summary carries the sink.
+func oneHop(priv ed25519.PrivateKey) error {
+	return wrapErr(priv) // want `secret .*reaches fmt\.Errorf`
+}
+
+func wrapErr(k []byte) error {
+	return fmt.Errorf("bad key material: %x", k)
+}
+
+// annotatedField: leaksrc.Wallet.Blob is secret by annotation; the fact
+// crosses the package boundary.
+func annotatedField(w *leaksrc.Wallet) {
+	log.Printf("wallet contents: %x", w.Blob) // want `secret .*reaches log\.Printf`
+}
+
+// crossPackageSink: leaksrc.Describe's summary says its parameter hits
+// an error-string sink two hops down.
+func crossPackageSink(w *leaksrc.Wallet) {
+	leaksrc.Describe(w.Blob) // want `secret .*reaches leaksrc\.newErr`
+}
+
+// declassified: a signature over the secret is public; no finding.
+func declassified(priv ed25519.PrivateKey, msg []byte) {
+	sig := ed25519.Sign(priv, msg)
+	log.Printf("signature: %x", sig)
+}
+
+// redacted: the cross-package sanitizer clears the annotated secret.
+func redacted(w *leaksrc.Wallet) {
+	log.Printf("wallet: %s", leaksrc.Redact(w.Blob))
+}
+
+// exempted: reasoned exemption silences the flow.
+func exempted(priv ed25519.PrivateKey) {
+	// seclint:taint-exempt test-only fixture key, never a production secret
+	log.Printf("dev key: %x", priv)
+}
+
+// meta: lengths and predicates derived from secrets are not secrets.
+func meta(priv ed25519.PrivateKey) {
+	log.Printf("key length: %d", len(priv))
+	if len(priv) != ed25519.PrivateKeySize {
+		log.Print("bad key size")
+	}
+}

@@ -1,0 +1,38 @@
+// Package leaksrc is a sibling fixture for the leakcheck golden tests:
+// an annotated secret struct field and a redaction helper whose effects
+// reach the package under test only as analysis facts.
+package leaksrc
+
+// Wallet models a credential store.
+type Wallet struct {
+	Owner string
+	// Blob is raw credential material.
+	// seclint:secret
+	Blob []byte
+}
+
+// Redact reduces a secret to a short printable fingerprint.
+//
+// seclint:sanitizer
+func Redact(b []byte) string {
+	if len(b) == 0 {
+		return "empty"
+	}
+	return "cred-xxxx"
+}
+
+// Describe forwards its argument into an error string: callers passing
+// secrets must be flagged at their call site.
+func Describe(b []byte) error {
+	return errString(b)
+}
+
+func errString(b []byte) error {
+	return newErr(string(b))
+}
+
+// seclint:sink
+func newErr(s string) error {
+	_ = s
+	return nil
+}

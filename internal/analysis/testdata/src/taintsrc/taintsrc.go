@@ -1,0 +1,40 @@
+// Package taintsrc is a sibling fixture for the taintflow golden tests:
+// it declares an annotated source, sink, sanitizer and a propagating
+// helper, so the package under test exercises summaries that arrive as
+// analysis facts rather than from local syntax.
+package taintsrc
+
+// Recv models a secchan-style frame read: its result is attacker bytes.
+//
+// seclint:source
+func Recv() string {
+	return "wire bytes"
+}
+
+// Exec models statement execution: its argument must be sanitized.
+//
+// seclint:sink
+func Exec(q string) {
+	_ = q
+}
+
+// Parse models the reldb parser: whatever comes out has been validated.
+//
+// seclint:sanitizer
+func Parse(src string) (string, error) {
+	if src == "" {
+		return "", nil
+	}
+	return "select", nil
+}
+
+// Wrap concatenates; taint must flow through it into the result.
+func Wrap(s string) string {
+	return "[" + s + "]"
+}
+
+// RunRaw forwards its argument to the sink: callers with tainted input
+// must be flagged at their call site.
+func RunRaw(q string) {
+	Exec(q)
+}

@@ -1,0 +1,96 @@
+// Package taintweb is the taintflow golden fixture: request-derived
+// values flowing into execution sinks, with and without sanitizers,
+// locally and across the package boundary to taintsrc.
+package taintweb
+
+import (
+	"io"
+	"net/http"
+	"os"
+
+	"taintsrc"
+)
+
+// direct: request value straight into a filesystem sink.
+func direct(w http.ResponseWriter, r *http.Request) {
+	name := r.FormValue("file")
+	os.Open(name) // want `unsanitized web input .*reaches os\.Open`
+}
+
+// header: the X-Auth-Token header is web input like any other.
+func header(r *http.Request) {
+	tok := r.Header.Get("X-Auth-Token")
+	os.ReadFile(tok) // want `unsanitized web input .*reaches os\.ReadFile`
+}
+
+// body: bytes read off the request body stay tainted through io.ReadAll
+// and a string conversion.
+func body(r *http.Request) {
+	raw, _ := io.ReadAll(r.Body)
+	taintsrc.Exec(string(raw)) // want `unsanitized web input .*reaches taintsrc\.Exec`
+}
+
+// crossPackage: a taintsrc.Recv origin reaches a taintsrc.Exec sink —
+// both ends known only through exported facts — via the Wrap propagator.
+func crossPackage() {
+	in := taintsrc.Recv()
+	q := taintsrc.Wrap(in)
+	taintsrc.Exec(q) // want `unsanitized web input .*reaches taintsrc\.Exec`
+}
+
+// indirectSink: RunRaw's summary says its parameter reaches a sink, so
+// the flag lands on this call, one level above the actual Exec.
+func indirectSink(r *http.Request) {
+	taintsrc.RunRaw(r.URL.Path) // want `unsanitized web input .*reaches taintsrc\.Exec`
+}
+
+// localHelper: same indirection through a helper in this package.
+func localHelper(r *http.Request) {
+	runIt(r.FormValue("q")) // want `unsanitized web input .*reaches taintsrc\.Exec`
+}
+
+func runIt(q string) {
+	taintsrc.Exec(q)
+}
+
+// sanitized: parsing clears taint; no finding on either call.
+func sanitized(r *http.Request) {
+	stmt, err := taintsrc.Parse(r.FormValue("q"))
+	if err != nil {
+		return
+	}
+	taintsrc.Exec(stmt)
+}
+
+// exempted: the directive silences the flow; annotcheck checks the
+// reason is present.
+func exempted(r *http.Request) {
+	name := r.FormValue("file")
+	// seclint:taint-exempt name is matched against an allowlist by the caller
+	os.Open(name)
+}
+
+// predicates: comparisons over tainted values are clean.
+func predicates(r *http.Request) {
+	if r.FormValue("mode") == "debug" {
+		os.Open("static.txt")
+	}
+}
+
+// cleanConst: untainted values may hit sinks freely.
+func cleanConst() {
+	os.Open("config.json")
+	taintsrc.Exec("select 1")
+}
+
+// exemptMidChain: an exemption on the sink call inside a helper vouches
+// for the flow once — the helper stops exporting the sink effect, so its
+// callers are not re-flagged.
+func exemptMidChain(r *http.Request) {
+	vetted(r.FormValue("q"))
+}
+
+func vetted(q string) {
+	// seclint:taint-exempt q only selects among fixed shard names validated at startup
+	taintsrc.Exec(q)
+}

@@ -15,17 +15,28 @@
 //
 // cmd/go also schedules every transitive dependency (standard library
 // included) with VetxOnly=true so fact-producing checkers can propagate
-// facts upward. seclint's invariants are all single-package, so VetxOnly
-// runs write an empty facts file and return immediately — vetting ./...
+// facts upward. seclint uses exactly that channel for its interprocedural
+// taint summaries: on a VetxOnly run of a package inside this module, the
+// fact-producing analyzers (taintflow, leakcheck) run with diagnostics
+// suppressed and their per-function summaries are written to the vetx
+// file as JSON; the full run of an importing package reads every
+// dependency's vetx through PackageVetx and hands the merged facts to the
+// analyzers. Standard-library (and other out-of-module) dependencies
+// still write an empty facts file and return immediately — their call
+// surface is covered by the analyzers' built-in models, so vetting ./...
 // costs one parse+typecheck per package in this module and nothing for
 // the standard library.
 //
 // As a convenience, invoking the tool with package patterns instead of a
 // cfg file re-executes `go vet -vettool=<self> <patterns>`, so
-// `./bin/seclint ./...` works from a shell.
+// `./bin/seclint ./...` works from a shell. A leading -json flag in that
+// mode re-emits findings as one JSON object per line on stdout
+// ({"file","line","col","analyzer","message"}) for CI and editors.
 package unitchecker
 
 import (
+	"bufio"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -41,6 +52,21 @@ import (
 
 	"webdbsec/internal/analysis"
 )
+
+// jsonEnv, when set to 1 in the environment, switches the per-package
+// diagnostic output from "file:line:col: message" lines to JSON objects.
+// The convenience driver sets it for `seclint -json ./...`; it is an env
+// var rather than a flag because cmd/go only forwards flags it knows.
+const jsonEnv = "SECLINT_JSON"
+
+// Finding is the JSON shape of one diagnostic in -json mode.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
 
 // config mirrors cmd/go/internal/work.vetConfig, the JSON handed to a
 // vettool for each package. Fields the checker does not need are kept so
@@ -78,8 +104,11 @@ func Main(analyzers ...*analysis.Analyzer) {
 		case args[0] == "-V=full":
 			// cmd/go hashes this line into its action cache key. The
 			// "devel" spelling matches what x/tools prints and what
-			// cmd/go's toolID parser accepts.
-			fmt.Printf("%s version devel comments-go-here buildID=seclint\n", os.Args[0])
+			// cmd/go's toolID parser accepts; the buildID is a content
+			// hash of the binary itself, so editing an analyzer and
+			// rebuilding invalidates every cached vet result — a
+			// constant here would happily serve stale findings.
+			fmt.Printf("%s version devel comments-go-here buildID=%s\n", os.Args[0], selfHash())
 			os.Exit(0)
 		case args[0] == "-flags":
 			// No tool-specific flags: cmd/go must not forward any of the
@@ -98,27 +127,101 @@ func Main(analyzers ...*analysis.Analyzer) {
 	}
 
 	// Convenience mode: treat the arguments as package patterns and let
-	// the real go vet drive us with proper export data and caching.
+	// the real go vet drive us with proper export data and caching. A
+	// leading -json switches the findings to machine-readable output.
 	if len(args) > 0 {
-		self, err := os.Executable()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		jsonOut := false
+		if args[0] == "-json" {
+			jsonOut = true
+			args = args[1:]
+		}
+		if len(args) == 0 {
+			fmt.Fprintf(os.Stderr, "usage: %s [-json] <packages>\n", progname)
 			os.Exit(1)
 		}
-		cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+		os.Exit(reexec(progname, args, jsonOut))
+	}
+
+	fmt.Fprintf(os.Stderr, "usage: go vet -vettool=%s ./...  (or %s [-json] <packages>)\n", os.Args[0], progname)
+	os.Exit(1)
+}
+
+// reexec drives `go vet -vettool=<self>` over the package patterns. In
+// JSON mode the per-package invocations emit findings as JSON lines on
+// stderr (see jsonEnv); reexec separates them from go vet's own chatter
+// ("# pkg" headers, build errors) and reprints findings on stdout,
+// everything else on stderr — so `seclint -json ./... > findings.jsonl`
+// does what it looks like.
+func reexec(progname string, patterns []string, jsonOut bool) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		return 1
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
+	if !jsonOut {
 		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
 		if err := cmd.Run(); err != nil {
 			if ee, ok := err.(*exec.ExitError); ok {
-				os.Exit(ee.ExitCode())
+				return ee.ExitCode()
 			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
-			os.Exit(1)
+			return 1
 		}
-		os.Exit(0)
+		return 0
 	}
+	cmd.Env = append(os.Environ(), jsonEnv+"=1")
+	cmd.Stdout = os.Stdout
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		return 1
+	}
+	if err := cmd.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		return 1
+	}
+	sc := bufio.NewScanner(stderr)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	out := bufio.NewWriter(os.Stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		var f Finding
+		if strings.HasPrefix(line, "{") && json.Unmarshal([]byte(line), &f) == nil && f.File != "" {
+			fmt.Fprintln(out, line)
+			continue
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	out.Flush()
+	if err := cmd.Wait(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		return 1
+	}
+	return 0
+}
 
-	fmt.Fprintf(os.Stderr, "usage: go vet -vettool=%s ./...  (or %s <packages>)\n", os.Args[0], progname)
-	os.Exit(1)
+// selfHash content-hashes the running binary for the -V=full version
+// line, falling back to a constant if the executable cannot be read
+// (the cache then simply stays warm).
+func selfHash() string {
+	self, err := os.Executable()
+	if err != nil {
+		return "seclint"
+	}
+	f, err := os.Open(self)
+	if err != nil {
+		return "seclint"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "seclint"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
 }
 
 // run analyzes the single package described by cfgFile and returns the
@@ -136,18 +239,30 @@ func run(cfgFile string, analyzers []*analysis.Analyzer) int {
 	}
 
 	// The facts file must exist even when empty: cmd/go stores it in the
-	// build cache as this vet run's output.
-	writeVetx := func() {
-		if cfg.VetxOutput != "" {
-			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-				fmt.Fprintf(os.Stderr, "seclint: %v\n", err)
+	// build cache as this vet run's output and feeds it to importers.
+	writeVetx := func(facts analysis.PackageFacts) {
+		if cfg.VetxOutput == "" {
+			return
+		}
+		var data []byte
+		if len(facts) > 0 {
+			var err error
+			data, err = facts.Encode()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "seclint: encoding facts: %v\n", err)
+				data = nil
 			}
+		}
+		if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "seclint: %v\n", err)
 		}
 	}
 
-	if cfg.VetxOnly {
-		// Dependency run, wanted only for facts. seclint produces none.
-		writeVetx()
+	if cfg.VetxOnly && !inModule(&cfg) {
+		// Dependency run of an out-of-module package (standard library,
+		// external module): the analyzers model those surfaces
+		// internally, so no parse, no facts.
+		writeVetx(nil)
 		return 0
 	}
 
@@ -157,7 +272,7 @@ func run(cfgFile string, analyzers []*analysis.Analyzer) int {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				writeVetx()
+				writeVetx(nil)
 				return 0
 			}
 			fmt.Fprintf(os.Stderr, "seclint: %v\n", err)
@@ -169,23 +284,52 @@ func run(cfgFile string, analyzers []*analysis.Analyzer) int {
 	pkg, info, err := typecheck(fset, files, &cfg)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			writeVetx()
+			writeVetx(nil)
 			return 0
 		}
 		fmt.Fprintf(os.Stderr, "seclint: typechecking %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
 
-	diags, err := analysis.RunAll(analyzers, fset, files, pkg, info)
+	imported := analysis.PackageFacts{}
+	for path, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			// A missing dependency vetx only degrades cross-package
+			// precision; the single-package invariants still hold.
+			continue
+		}
+		facts, err := analysis.DecodeFacts(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seclint: facts of %s: %v\n", path, err)
+			continue
+		}
+		imported.Merge(facts)
+	}
+
+	if cfg.VetxOnly {
+		// In-module dependency run: compute and ship facts, suppress
+		// diagnostics — the package's own full run reports them.
+		exported, err := analysis.RunFactsOnly(analyzers, fset, files, pkg, info, imported)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seclint: %v\n", err)
+			return 1
+		}
+		writeVetx(exported)
+		return 0
+	}
+
+	diags, exported, err := analysis.RunAll(analyzers, fset, files, pkg, info, imported)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "seclint: %v\n", err)
 		return 1
 	}
-	writeVetx()
+	writeVetx(exported)
 	if len(diags) == 0 {
 		return 0
 	}
 	cwd, _ := os.Getwd()
+	asJSON := os.Getenv(jsonEnv) == "1"
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
 		name := pos.Filename
@@ -194,9 +338,27 @@ func run(cfgFile string, analyzers []*analysis.Analyzer) int {
 				name = rel
 			}
 		}
+		if asJSON {
+			line, err := json.Marshal(Finding{
+				File: name, Line: pos.Line, Col: pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+			if err == nil {
+				fmt.Fprintf(os.Stderr, "%s\n", line)
+				continue
+			}
+		}
 		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s [seclint:%s]\n", name, pos.Line, pos.Column, d.Message, d.Analyzer)
 	}
 	return 2
+}
+
+// inModule reports whether the package under analysis belongs to the
+// main module — the tree whose source seclint's interprocedural
+// summaries cover. Test variants ("pkg [pkg.test]") share the prefix.
+func inModule(cfg *config) bool {
+	return cfg.ModulePath != "" && cfg.ModulePath != "std" &&
+		strings.HasPrefix(cfg.ImportPath, cfg.ModulePath)
 }
 
 // typecheck type-checks the package using the export data files cmd/go

@@ -84,6 +84,7 @@ func (l *Log) AppendChecked(actor, action, object, outcome string) (Record, erro
 	if l.w != nil && l.err == nil {
 		if payload, err := encodeRecord(&r); err != nil {
 			l.err = err
+			// seclint:taint-exempt audit records preserve the submitted text verbatim by design; the WAL frame is length-prefixed binary and never re-parsed as input
 		} else if _, a, err := l.w.AppendAsync(payload); err != nil {
 			l.err = err
 		} else {

@@ -70,6 +70,8 @@ type Token struct {
 	// expiry (IssuedAt+TTL) and the future-skew bound from it.
 	IssuedAt int64
 	// Nonce is random and single-use; the replay cache consumes it.
+	//
+	// seclint:secret
 	Nonce uint64
 	// Subject is the raw 16-byte subject fingerprint the token is bound
 	// to (the hex-decoded policy.Subject.Fingerprint of the serving
@@ -99,6 +101,7 @@ func (t *Token) EncodeString() string {
 
 // Decode parses the fixed layout. It checks structure only — length and
 // version; signature, freshness and replay are the verifier's job.
+// seclint:sanitizer
 func Decode(raw []byte) (*Token, error) {
 	if len(raw) != TokenLen {
 		return nil, fmt.Errorf("%w: %d bytes, want %d", ErrMalformed, len(raw), TokenLen)
@@ -117,6 +120,7 @@ func Decode(raw []byte) (*Token, error) {
 }
 
 // DecodeString parses the base64 transport form.
+// seclint:sanitizer
 func DecodeString(s string) (*Token, error) {
 	raw, err := base64.RawURLEncoding.DecodeString(s)
 	if err != nil {

@@ -102,6 +102,7 @@ func (v *Verifier) TTL() time.Duration { return v.ttl }
 // window, then replay. The nonce is consumed last, so a presentation
 // that fails for any other reason does not burn the legitimate holder's
 // token.
+// seclint:sanitizer
 func (v *Verifier) Verify(raw []byte, now time.Time) (*Token, error) {
 	return v.verifyBound(raw, nil, now)
 }
@@ -110,6 +111,7 @@ func (v *Verifier) Verify(raw []byte, now time.Time) (*Token, error) {
 // to exactly the serving fingerprint of subject s (ID + roles). A valid
 // token presented under the wrong identity fails ErrSubjectMismatch
 // without consuming the nonce.
+// seclint:sanitizer
 func (v *Verifier) VerifyBound(raw []byte, s *policy.Subject, now time.Time) (*Token, error) {
 	fp := BindingFingerprint(s)
 	return v.verifyBound(raw, &fp, now)

@@ -52,6 +52,8 @@ type Credential struct {
 	Attrs map[string]string
 	// Signature is the issuer's Ed25519 signature over the canonical
 	// encoding; empty for unsigned (test-only) credentials.
+	//
+	// seclint:secret
 	Signature []byte
 }
 
@@ -70,9 +72,20 @@ func (c *Credential) canonical() []byte {
 	return []byte(b.String())
 }
 
+// Redact reduces secret bytes to a short non-invertible tag ("redacted:"
+// plus four digest bytes) that is safe to embed in logs, error text and
+// debug output. It is the leakcheck-blessed way to mention key or
+// signature material in a message.
+// seclint:sanitizer
+func Redact(secret []byte) string {
+	sum := sha256.Sum256(secret)
+	return fmt.Sprintf("redacted:%x", sum[:4])
+}
+
 // Fingerprint returns a digest identifying the credential's full content,
 // signature included: two credentials share a fingerprint iff they are the
 // same assertion signed the same way. Decision caches key on it.
+// seclint:sanitizer
 func (c *Credential) Fingerprint() [32]byte {
 	return sha256.Sum256(append(c.canonical(), c.Signature...))
 }
@@ -81,6 +94,7 @@ func (c *Credential) Fingerprint() [32]byte {
 // of credential insertion order. Two wallets with the same credentials (by
 // Credential.Fingerprint) collide; wallets differing in any credential do
 // not. A nil wallet has the zero-wallet fingerprint.
+// seclint:sanitizer
 func (w *Wallet) Fingerprint() [32]byte {
 	if w == nil {
 		return sha256.Sum256([]byte("wallet|nil"))

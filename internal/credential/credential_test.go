@@ -2,6 +2,7 @@ package credential
 
 import (
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -312,4 +313,23 @@ func TestValidMemoConcurrent(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// TestRedact: the redaction tag is short, deterministic, distinguishes
+// different secrets, and never contains the secret bytes themselves.
+func TestRedact(t *testing.T) {
+	secret := []byte("wallet-signing-key-material")
+	tag := Redact(secret)
+	if tag != Redact(secret) {
+		t.Error("Redact is not deterministic")
+	}
+	if tag == Redact([]byte("other-secret")) {
+		t.Error("distinct secrets share a redaction tag")
+	}
+	if !strings.HasPrefix(tag, "redacted:") || len(tag) != len("redacted:")+8 {
+		t.Errorf("tag = %q, want redacted: plus 8 hex digits", tag)
+	}
+	if strings.Contains(tag, string(secret)) {
+		t.Errorf("tag %q contains the secret", tag)
+	}
 }

@@ -47,6 +47,7 @@ func (*AggregateStmt) stmt() {}
 
 // ParseAggregate parses an aggregate SELECT. It returns an error when the
 // statement is not an aggregate query (callers fall back to Parse).
+// seclint:sanitizer
 func ParseAggregate(src string) (*AggregateStmt, error) {
 	toks, err := lex(src)
 	if err != nil {
@@ -140,6 +141,7 @@ func ParseAggregate(src string) (*AggregateStmt, error) {
 // COUNT(*) counts rows.
 //
 // seclint:exempt storage engine below the access-control gate; SecureDB authorizes before aggregation
+// seclint:sink
 func (db *Database) ExecAggregate(st *AggregateStmt) (*Result, error) {
 	t, ok := db.Table(st.Table)
 	if !ok {

@@ -91,6 +91,7 @@ func (db *Database) Exec(src string) (*Result, error) {
 // an implicit transaction.
 //
 // seclint:exempt storage engine below the access-control gate; SecureDB.Exec authorizes and rewrites first
+// seclint:sink
 func (db *Database) ExecStmt(st Stmt) (*Result, error) {
 	switch s := st.(type) {
 	case *CreateTableStmt, *CreateIndexStmt:

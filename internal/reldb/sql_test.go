@@ -234,3 +234,36 @@ func TestExprStrings(t *testing.T) {
 		t.Errorf("printed predicate does not re-parse: %q: %v", s, err)
 	}
 }
+
+// TestStringLiteralEscape: ” inside a literal is an escaped quote, and
+// QuoteString produces exactly that form — the pair is what keeps a value
+// containing a quote from growing into syntax when statement text is
+// composed.
+func TestStringLiteralEscape(t *testing.T) {
+	st := MustParse("INSERT INTO emp VALUES (1, 'O''Brien', 1.0, TRUE)")
+	ins := st.(*InsertStmt)
+	if ins.Values[1] != Str("O'Brien") {
+		t.Errorf("values = %v, want O'Brien", ins.Values)
+	}
+	if _, err := Parse("SELECT name FROM emp WHERE name = 'O'Brien'"); err == nil {
+		t.Error("unescaped interior quote parsed; it should be a syntax error")
+	}
+	for _, s := range []string{"plain", "O'Brien", "''", "", "a''b"} {
+		src := "INSERT INTO emp VALUES (1, " + QuoteString(s) + ", 1.0, TRUE)"
+		st, err := Parse(src)
+		if err != nil {
+			t.Fatalf("QuoteString(%q): %v", s, err)
+		}
+		if got := st.(*InsertStmt).Values[1]; got != Str(s) {
+			t.Errorf("QuoteString(%q) round-tripped to %v", s, got)
+		}
+	}
+	// The adversarial shape Sprintf-composed statements used to hit: a
+	// value that tries to terminate the literal and smuggle in more SQL.
+	hostile := "x', 'y', 2, 'z"
+	src := "INSERT INTO emp VALUES (1, " + QuoteString(hostile) + ", 1.0, TRUE)"
+	ins = MustParse(src).(*InsertStmt)
+	if len(ins.Values) != 4 || ins.Values[1] != Str(hostile) {
+		t.Errorf("hostile value changed statement shape: %+v", ins)
+	}
+}

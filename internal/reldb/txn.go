@@ -174,6 +174,7 @@ func (t *Txn) Exec(src string) (*Result, error) {
 // transactional and is rejected here.
 //
 // seclint:exempt storage engine below the access-control gate; SecureDB authorizes before transactional work
+// seclint:sink
 func (t *Txn) ExecStmt(st Stmt) (*Result, error) {
 	if t.done {
 		return nil, fmt.Errorf("reldb: transaction %d already finished", t.id)

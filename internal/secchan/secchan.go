@@ -297,6 +297,7 @@ func (c *Channel) sendRecord(payload []byte) error {
 // error.
 //
 // seclint:exempt record-level API; cfg.ReadTimeout arms the net.Conn read deadline in place of a ctx
+// seclint:source
 func (c *Channel) Receive() ([]byte, error) {
 	if c.cfg.ReadTimeout > 0 {
 		if err := c.conn.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout)); err != nil {
@@ -376,6 +377,7 @@ func (c *PlainChannel) Send(payload []byte) error {
 // Receive reads one frame.
 //
 // seclint:exempt experiment-only baseline mirroring Channel.Receive's conn-level contract
+// seclint:source
 func (c *PlainChannel) Receive() ([]byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(c.conn, lenBuf[:]); err != nil {

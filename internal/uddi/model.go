@@ -205,6 +205,7 @@ func writeCategoryBag(b *xmldoc.Builder, bag []KeyedReference) {
 
 // EntityFromXML parses a businessEntity document back into its struct
 // form; inverse of ToXML.
+// seclint:sanitizer
 func EntityFromXML(d *xmldoc.Document) (*BusinessEntity, error) {
 	if d == nil || d.Root == nil || d.Root.Name != "businessEntity" {
 		return nil, fmt.Errorf("uddi: document is not a businessEntity")

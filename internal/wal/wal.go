@@ -499,6 +499,7 @@ func (w *WAL) Err() error {
 // record is durable when Append returns nil. Concurrent Appends are
 // coalesced: the frame may reach disk in a shared batch write under a
 // shared fsync.
+// seclint:sink
 func (w *WAL) Append(payload []byte) (uint64, error) {
 	lsn, a, err := w.AppendAsync(payload)
 	if err != nil {
@@ -516,6 +517,7 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 // are written strictly in LSN order, so a nil verdict for a frame implies
 // every lower-LSN frame is also on disk. An error here means the frame
 // was never enqueued (poisoned or closed log, oversized payload).
+// seclint:sink
 func (w *WAL) AppendAsync(payload []byte) (uint64, *Ack, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -775,6 +777,7 @@ func (w *WAL) Sync() error {
 // drained first, so the snapshot's coverage claim never outruns the disk;
 // callers whose snapshot covers only a prefix of the log (fuzzy
 // checkpoints over an MVCC version) use CheckpointAt instead.
+// seclint:sink
 func (w *WAL) Checkpoint(snapshot []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -877,6 +880,7 @@ func (w *WAL) checkpointIO(snapshot []byte, lastLSN uint64, segs []string) (int,
 // at or below the current snapshot LSN is a no-op. Because the fsynced
 // snapshot itself makes every record at or below upTo recoverable, the
 // durable watermark advances to upTo on success.
+// seclint:sink
 func (w *WAL) CheckpointAt(snapshot []byte, upTo uint64) error {
 	candidates, claimed, err := w.claimCheckpoint(snapshot, upTo)
 	if err != nil || !claimed {

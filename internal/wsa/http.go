@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -66,6 +67,18 @@ type RegistryServer struct {
 	// keep working, but every authenticated response arms the client with
 	// the token to present next.
 	Auth *authtoken.Service
+	// Logf, when set, receives server-side diagnostics (recovered panic
+	// values among them). Defaults to the standard logger.
+	Logf func(format string, args ...any)
+}
+
+// logf routes a diagnostic to the configured logger.
+func (s *RegistryServer) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
 }
 
 // Describe returns the service description for this server.
@@ -92,8 +105,12 @@ func (s *RegistryServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if p := recover(); p != nil {
 			// Headers may already be out if the panic hit mid-write; the
 			// superfluous-WriteHeader log line is the lesser evil next to
-			// a dead server.
-			writeFault(w, http.StatusInternalServerError, fmt.Sprintf("wsa: internal error: %v", p))
+			// a dead server. The panic value itself stays server-side:
+			// it can carry whatever was in flight — internal paths, key
+			// material, fragments of other requests — so the wire gets
+			// an opaque fault and the operator log gets the detail.
+			s.logf("wsa: panic serving %s: %v", r.URL.Path, p)
+			writeFault(w, http.StatusInternalServerError, "wsa: internal error")
 		}
 	}()
 	if r.Method != http.MethodPost {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -24,7 +25,12 @@ var noSleep = func(context.Context, time.Duration) error { return nil }
 // 500 fault, not a dead server. A nil Registry makes every operation
 // panic.
 func TestPanicInDispatchRecovered(t *testing.T) {
-	rs := &RegistryServer{} // Registry == nil → nil dereference in dispatch
+	var logged atomic.Value
+	rs := &RegistryServer{ // Registry == nil → nil dereference in dispatch
+		Logf: func(format string, args ...any) {
+			logged.Store(fmt.Sprintf(format, args...))
+		},
+	}
 	ts := httptest.NewServer(rs)
 	defer ts.Close()
 	b := xmldoc.NewBuilder("req", "findBusiness")
@@ -33,9 +39,22 @@ func TestPanicInDispatchRecovered(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Errorf("status = %d, want 500", resp.StatusCode)
+	}
+	// The fault on the wire must be opaque: the panic value (here a
+	// runtime nil-dereference message) is server-side diagnostics, not
+	// client-visible content.
+	if strings.Contains(string(body), "runtime error") {
+		t.Errorf("panic detail leaked to client: %q", body)
+	}
+	if !strings.Contains(string(body), "wsa: internal error") {
+		t.Errorf("fault body = %q, want generic internal-error fault", body)
+	}
+	if lg, _ := logged.Load().(string); !strings.Contains(lg, "runtime error") {
+		t.Errorf("server log = %q, want the recovered panic value", lg)
 	}
 	// The server must still answer subsequent requests.
 	resp, err = http.Post(ts.URL, "application/xml", strings.NewReader(env.Encode()))

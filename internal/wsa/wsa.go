@@ -65,6 +65,7 @@ func (e *Envelope) Encode() string {
 }
 
 // DecodeEnvelope parses the wire form back into an Envelope.
+// seclint:source
 func DecodeEnvelope(r io.Reader) (*Envelope, error) {
 	d, err := xmldoc.Parse("envelope", r)
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 // Namespaces are flattened into plain local names (the policy and Merkle
 // machinery operate on local structure). Whitespace-only text between
 // elements is dropped; other text is preserved verbatim.
+// seclint:sanitizer
 func Parse(docName string, r io.Reader) (*Document, error) {
 	dec := xml.NewDecoder(r)
 	var b *Builder
@@ -61,12 +62,14 @@ func Parse(docName string, r io.Reader) (*Document, error) {
 }
 
 // ParseString is Parse over a string.
+// seclint:sanitizer
 func ParseString(docName, s string) (*Document, error) {
 	return Parse(docName, strings.NewReader(s))
 }
 
 // MustParseString is ParseString that panics on error; for tests and
 // examples with literal documents.
+// seclint:sanitizer
 func MustParseString(docName, s string) *Document {
 	d, err := ParseString(docName, s)
 	if err != nil {

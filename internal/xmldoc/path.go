@@ -45,6 +45,7 @@ type pathPred struct {
 
 // CompilePath parses a path expression. The empty path and "/" select the
 // document root.
+// seclint:sanitizer
 func CompilePath(expr string) (*PathExpr, error) {
 	p := &PathExpr{raw: expr}
 	s := strings.TrimSpace(expr)
@@ -97,6 +98,7 @@ func CompilePath(expr string) (*PathExpr, error) {
 }
 
 // MustCompilePath is CompilePath that panics on error.
+// seclint:sanitizer
 func MustCompilePath(expr string) *PathExpr {
 	p, err := CompilePath(expr)
 	if err != nil {

@@ -95,6 +95,7 @@ func value(n *xmldoc.Node) string {
 }
 
 // Compile parses a FLWOR query.
+// seclint:sanitizer
 func Compile(src string) (*Query, error) {
 	q := &Query{raw: src}
 	rest := strings.TrimSpace(src)
@@ -174,6 +175,7 @@ func Compile(src string) (*Query, error) {
 }
 
 // MustCompile is Compile that panics on error.
+// seclint:sanitizer
 func MustCompile(src string) *Query {
 	q, err := Compile(src)
 	if err != nil {
@@ -293,6 +295,7 @@ type Row []string
 // Eval runs the query over a document.
 //
 // seclint:exempt evaluates a caller-supplied document; SecureEval is the gated entry that resolves the authorized view first
+// seclint:sink
 func (q *Query) Eval(d *xmldoc.Document) []Row {
 	var out []Row
 	for _, n := range q.forPath.Select(d) {
@@ -325,6 +328,7 @@ func (q *Query) Eval(d *xmldoc.Document) []Row {
 // SecureEval runs the query over the subject's authorized read view of the
 // named document — queries can never see more than the view. It returns
 // nil when the subject may not read any portion.
+// seclint:sink
 func (q *Query) SecureEval(e Viewer, docName string, s *policy.Subject) []Row {
 	v := e.View(docName, s, policy.Read)
 	if v == nil {
